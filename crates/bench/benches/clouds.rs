@@ -1,0 +1,132 @@
+//! E2/E3/A1 — Figures 3 & 4: data-cloud search, refinement, and the
+//! exact-vs-sampled cloud ablation.
+//!
+//! Regenerates the paper's Figure 3/4 observations as printed
+//! `[E2]`/`[E3]` lines plus Criterion timings for: broad search, exact
+//! cloud computation, sampled cloud computation (A1), and refined search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cr_bench::fixtures::{observe, system};
+use cr_textsearch::cloud::{compute_cloud, CloudConfig};
+
+fn bench_clouds(c: &mut Criterion) {
+    // A quarter-scale campus (≈4,650 courses, 33,500 comments) keeps the
+    // full bench suite under a few minutes; scale 1.0 reproduces the
+    // paper's exact corpus size (see EXPERIMENTS.md for both).
+    let (app, stats) = system(0.25);
+    observe("E1", &format!("corpus: {}", stats.summary()));
+
+    let engine = app.search().engine();
+    let query = engine.parse_query("american");
+    let results = engine.search(&query, 10);
+    let corpus = stats.courses;
+    observe(
+        "E2",
+        &format!(
+            "search \"american\": {} of {} courses ({:.1}%) — paper: 1160 of 18605 (6.2%)",
+            results.total,
+            corpus,
+            100.0 * results.total as f64 / corpus as f64
+        ),
+    );
+
+    let cloud = engine.cloud(&results, &CloudConfig::default());
+    let bigram = cloud
+        .terms
+        .iter()
+        .find(|t| t.term.contains(' '))
+        .map(|t| t.term.clone())
+        .unwrap_or_else(|| cloud.terms[0].term.clone());
+    observe(
+        "E2",
+        &format!(
+            "cloud: {} terms, top = {:?}, refinement candidate = {:?}",
+            cloud.terms.len(),
+            cloud.terms.iter().take(5).map(|t| t.display.as_str()).collect::<Vec<_>>(),
+            bigram
+        ),
+    );
+
+    let refined = engine.search(&query.refine(&bigram), 10);
+    observe(
+        "E3",
+        &format!(
+            "refine by {:?}: {} -> {} results ({:.1}x narrowing) — paper: 1160 -> 123 (9.4x)",
+            bigram,
+            results.total,
+            refined.total,
+            results.total as f64 / refined.total.max(1) as f64
+        ),
+    );
+
+    // ---- Criterion timings -------------------------------------------
+    let mut group = c.benchmark_group("clouds");
+    group.sample_size(20);
+
+    group.bench_function("search_broad_term", |b| {
+        b.iter(|| engine.search(std::hint::black_box(&query), 10))
+    });
+
+    group.bench_function("cloud_exact", |b| {
+        b.iter(|| {
+            compute_cloud(
+                &engine.corpus().index,
+                std::hint::black_box(&results.matched_docs),
+                &query.terms,
+                &CloudConfig::default(),
+            )
+        })
+    });
+
+    // A1 ablation: sampled top-k aggregation.
+    for k in [50usize, 200, 1000] {
+        group.bench_with_input(BenchmarkId::new("cloud_sampled", k), &k, |b, &k| {
+            let cfg = CloudConfig {
+                sample_top_k: Some(k),
+                ..CloudConfig::default()
+            };
+            b.iter(|| {
+                compute_cloud(
+                    &engine.corpus().index,
+                    std::hint::black_box(&results.matched_docs),
+                    &query.terms,
+                    &cfg,
+                )
+            })
+        });
+    }
+
+    // A1 quality: overlap of sampled cloud with exact top-10.
+    let exact_top: Vec<&str> = cloud.terms.iter().take(10).map(|t| t.term.as_str()).collect();
+    for k in [50usize, 200, 1000] {
+        let sampled = compute_cloud(
+            &engine.corpus().index,
+            &results.matched_docs,
+            &query.terms,
+            &CloudConfig {
+                sample_top_k: Some(k),
+                ..CloudConfig::default()
+            },
+        );
+        let overlap = sampled
+            .terms
+            .iter()
+            .take(10)
+            .filter(|t| exact_top.contains(&t.term.as_str()))
+            .count();
+        observe(
+            "A1",
+            &format!("sampled cloud k={k}: top-10 overlap with exact = {overlap}/10"),
+        );
+    }
+
+    group.bench_function("search_refined", |b| {
+        let rq = query.refine(&bigram);
+        b.iter(|| engine.search(std::hint::black_box(&rq), 10))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_clouds);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! E7–E12 service benchmarks: planner reports, requirement audits, grade
+//! distributions, comment ranking, question routing, and the E7
+//! self-reported-vs-official comparison at scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cr_bench::fixtures::{observe, system};
+use courserank::services::forum::Question;
+use courserank::services::recs::{ExecMode, RecOptions};
+
+fn bench_services(c: &mut Criterion) {
+    let (app, stats) = system(0.1);
+    observe("services", &format!("corpus: {}", stats.summary()));
+
+    // ---- E7 observation at scale ---------------------------------------
+    let rs = app
+        .db()
+        .database()
+        .query_sql(
+            "SELECT o.CourseID FROM OfficialGradeDist o \
+             JOIN Enrollments e ON e.CourseID = o.CourseID \
+             WHERE e.Grade IS NOT NULL GROUP BY o.CourseID \
+             HAVING COUNT(*) >= 100 LIMIT 25",
+        )
+        .unwrap();
+    let mut tvs = Vec::new();
+    for r in &rs.rows {
+        let course = r[0].as_int().unwrap();
+        if let Some((tv, _, _)) = app.grades().self_vs_official(course, 2008).unwrap() {
+            tvs.push(tv);
+        }
+    }
+    if !tvs.is_empty() {
+        let mean = tvs.iter().sum::<f64>() / tvs.len() as f64;
+        observe(
+            "E7",
+            &format!(
+                "self-reported vs official over {} courses: mean TV distance {:.3} (paper: \"very close\")",
+                tvs.len(),
+                mean
+            ),
+        );
+    }
+
+    let mut group = c.benchmark_group("services");
+    group.sample_size(20);
+
+    // Planner (E11).
+    group.bench_function("planner_report", |b| {
+        b.iter(|| app.planner().report(std::hint::black_box(1)).unwrap())
+    });
+
+    // Requirement audit (the generator defines one program per dept).
+    group.bench_function("requirement_audit", |b| {
+        b.iter(|| app.requirements().audit(1, std::hint::black_box(1)).unwrap())
+    });
+
+    // Grade distribution with privacy checks.
+    let course_with_official = rs.rows[0][0].as_int().unwrap();
+    group.bench_function("visible_grade_distribution", |b| {
+        b.iter(|| {
+            app.grades()
+                .visible_distribution(std::hint::black_box(course_with_official), 2008)
+                .unwrap()
+        })
+    });
+
+    // Comment ranking on the most-commented course.
+    let top_course = app
+        .db()
+        .database()
+        .query_sql(
+            "SELECT CourseID, COUNT(*) AS n FROM Comments GROUP BY CourseID ORDER BY n DESC LIMIT 1",
+        )
+        .unwrap()
+        .rows[0][0]
+        .as_int()
+        .unwrap();
+    group.bench_function("comment_ranking", |b| {
+        b.iter(|| {
+            app.comments()
+                .ranked_for_course(std::hint::black_box(top_course))
+                .unwrap()
+        })
+    });
+
+    // Question routing (E9).
+    let q = Question {
+        id: 999_999,
+        asker: None,
+        course: Some(top_course),
+        dep: None,
+        text: "how heavy is the workload?".into(),
+        seeded: false,
+    };
+    group.sample_size(10);
+    group.bench_function("forum_route_question", |b| {
+        b.iter(|| app.forum().route(std::hint::black_box(&q)).unwrap())
+    });
+
+    // End-to-end recommendation through the facade (both exec modes).
+    let opts = RecOptions::default();
+    group.bench_function("recommend_courses_direct", |b| {
+        b.iter(|| {
+            app.recs()
+                .recommend_courses(std::hint::black_box(1), &opts, ExecMode::Direct)
+                .unwrap()
+        })
+    });
+    group.bench_function("recommend_courses_compiled_sql", |b| {
+        b.iter(|| {
+            app.recs()
+                .recommend_courses(std::hint::black_box(1), &opts, ExecMode::CompiledSql)
+                .unwrap()
+        })
+    });
+
+    // Course page (Figure 1 left, E11).
+    group.bench_function("course_page_render", |b| {
+        b.iter(|| app.course_page(std::hint::black_box(top_course)).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_services);
+criterion_main!(benches);

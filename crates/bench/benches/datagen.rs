@@ -1,0 +1,86 @@
+//! E1 — dataset generation: throughput at increasing fractions of the
+//! paper's scale, and a one-shot full paper-scale generation whose stats
+//! are the §2 numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cr_bench::fixtures::observe;
+use cr_datagen::{generate, ScaleConfig};
+
+fn bench_datagen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen");
+    group.sample_size(10);
+
+    for fraction in [0.02f64, 0.1] {
+        let cfg = ScaleConfig::scaled(fraction);
+        group.bench_with_input(
+            BenchmarkId::new("generate", cfg.courses),
+            &cfg,
+            |b, cfg| b.iter(|| generate(cfg).unwrap()),
+        );
+    }
+    group.finish();
+
+    // One full paper-scale generation, timed once, stats printed for
+    // EXPERIMENTS.md (E1).
+    let cfg = ScaleConfig::paper_scale();
+    let t0 = std::time::Instant::now();
+    let (db, stats) = generate(&cfg).unwrap();
+    let elapsed = t0.elapsed();
+    observe(
+        "E1",
+        &format!(
+            "paper scale generated in {elapsed:.2?}: {} — paper §2: 18,605 courses, 134,000 comments, 50,300 ratings, 9,000 of 14,000 students",
+            stats.summary()
+        ),
+    );
+    observe(
+        "E1",
+        &format!(
+            "supporting relations: {} enrollments, {} offerings, {} programs, {} questions, {} official distributions",
+            stats.enrollments, stats.offerings, stats.programs, stats.questions,
+            stats.official_dist_courses
+        ),
+    );
+    let t1 = std::time::Instant::now();
+    let app = courserank::CourseRank::assemble(db).unwrap();
+    observe(
+        "E1",
+        &format!("paper-scale search index built in {:.2?}", t1.elapsed()),
+    );
+    let (_, results, cloud) = app
+        .search()
+        .search_with_cloud("american", None, 10)
+        .unwrap();
+    observe(
+        "E2-full",
+        &format!(
+            "at paper scale, \"american\" matches {} of {} courses ({:.1}%) — paper: 1160 (6.2%); cloud top terms {:?}",
+            results.total,
+            stats.courses,
+            100.0 * results.total as f64 / stats.courses as f64,
+            cloud
+                .terms
+                .iter()
+                .take(6)
+                .map(|t| t.display.as_str())
+                .collect::<Vec<_>>()
+        ),
+    );
+    if let Some(b) = cloud.terms.iter().find(|t| t.term.contains(' ')) {
+        let q = app.search().engine().parse_query("american").refine(&b.term);
+        let refined = app.search().engine().search(&q, 10);
+        observe(
+            "E3-full",
+            &format!(
+                "refine by {:?}: {} -> {} ({:.1}x) — paper: 1160 -> 123 (9.4x)",
+                b.display,
+                results.total,
+                refined.total,
+                results.total as f64 / refined.total.max(1) as f64
+            ),
+        );
+    }
+}
+
+criterion_group!(benches, bench_datagen);
+criterion_main!(benches);

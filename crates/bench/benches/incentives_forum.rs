@@ -1,0 +1,115 @@
+//! E9/E10 — routing accuracy and incentive-scheme simulation, reported as
+//! observations plus timings for the ledger hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cr_bench::fixtures::{campus, observe};
+use courserank::services::forum::{Forum, Question, RoutingConfig};
+use courserank::services::incentives::{Incentives, PointEvent};
+
+fn bench_incentives_forum(c: &mut Criterion) {
+    let (db, stats) = campus(0.05);
+    observe("E9/E10", &format!("corpus: {}", stats.summary()));
+
+    // ---- E9: routing precision over ground truth -----------------------
+    let forum = Forum::new(db.clone()).with_config(RoutingConfig {
+        fanout: 5,
+        ..RoutingConfig::default()
+    });
+    let rs = db
+        .database()
+        .query_sql(
+            "SELECT CourseID, COUNT(*) AS n FROM Enrollments WHERE Status = 'taken' \
+             GROUP BY CourseID HAVING COUNT(*) >= 5 ORDER BY n DESC LIMIT 20",
+        )
+        .unwrap();
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for (qi, r) in rs.rows.iter().enumerate() {
+        let course = r[0].as_int().unwrap();
+        let takers: Vec<i64> = db
+            .database()
+            .query_sql(&format!(
+                "SELECT SuID FROM Enrollments WHERE CourseID = {course} AND Status = 'taken'"
+            ))
+            .unwrap()
+            .rows
+            .iter()
+            .map(|x| x[0].as_int().unwrap())
+            .collect();
+        let routed = forum
+            .route(&Question {
+                id: 900_000 + qi as i64,
+                asker: None,
+                course: Some(course),
+                dep: None,
+                text: "?".into(),
+                seeded: false,
+            })
+            .unwrap();
+        total += routed.len();
+        hits += routed.iter().filter(|r| takers.contains(&r.student)).count();
+    }
+    observe(
+        "E9",
+        &format!(
+            "routing precision over {} questions: {:.1}% ({hits}/{total} routed candidates took the course)",
+            rs.rows.len(),
+            100.0 * hits as f64 / total.max(1) as f64
+        ),
+    );
+
+    // ---- E10: honest vs gamer over 30 days ------------------------------
+    let incentives = Incentives::new(db.clone());
+    let mut gamer_attempted = 0i64;
+    for day in 0..30 {
+        incentives.award(800_001, PointEvent::DailyLogin, day).unwrap();
+        incentives.award(800_001, PointEvent::PostedComment, day).unwrap();
+        if day % 5 == 0 {
+            incentives.award(800_001, PointEvent::BestAnswer, day).unwrap();
+        }
+        for _ in 0..50 {
+            gamer_attempted += PointEvent::VotedForBest.points() + PointEvent::PostedComment.points();
+            incentives.award(800_002, PointEvent::VotedForBest, day).unwrap();
+            incentives.award(800_002, PointEvent::PostedComment, day).unwrap();
+        }
+    }
+    let honest = incentives.score(800_001).unwrap();
+    let gamer = incentives.score(800_002).unwrap();
+    observe(
+        "E10",
+        &format!(
+            "30-day simulation: honest user {honest} pts; gamer {gamer} pts granted of {gamer_attempted} attempted ({:.0}% blocked by caps)",
+            100.0 * (1.0 - gamer as f64 / gamer_attempted as f64)
+        ),
+    );
+
+    let mut group = c.benchmark_group("incentives_forum");
+    group.sample_size(10);
+    let q = Question {
+        id: 999_998,
+        asker: None,
+        dep: Some("CS".into()),
+        course: None,
+        text: "intro class?".into(),
+        seeded: true,
+    };
+    group.bench_function("route_department_question", |b| {
+        b.iter(|| forum.route(std::hint::black_box(&q)).unwrap())
+    });
+    group.bench_function("award_with_cap_check", |b| {
+        let mut day = 10_000;
+        b.iter(|| {
+            day += 1;
+            incentives
+                .award(800_003, PointEvent::DailyLogin, day)
+                .unwrap()
+        })
+    });
+    group.bench_function("leaderboard_top10", |b| {
+        b.iter(|| incentives.leaderboard(10).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_incentives_forum);
+criterion_main!(benches);

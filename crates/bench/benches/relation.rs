@@ -1,0 +1,161 @@
+//! A3 — relational-engine microbenchmarks: access paths (seq scan vs
+//! primary key vs secondary index vs B-tree range) and join strategies
+//! (hash vs nested loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cr_bench::fixtures::observe;
+use cr_relation::row::row;
+use cr_relation::Database;
+
+const N_ROWS: i64 = 100_000;
+
+fn setup() -> Database {
+    let db = Database::new();
+    db.execute_sql(
+        "CREATE TABLE ratings (id INT PRIMARY KEY, student INT, course INT, score FLOAT)",
+    )
+    .unwrap();
+    let mut rows = Vec::with_capacity(N_ROWS as usize);
+    for i in 0..N_ROWS {
+        rows.push(row![
+            i,
+            i % 9_000,
+            (i * 7) % 18_605,
+            ((i % 9) + 1) as f64 / 2.0
+        ]);
+    }
+    db.insert_many("ratings", rows).unwrap();
+    // Secondary indexes for the indexed variants.
+    db.create_index("ratings", "by_student", &["student"], false)
+        .unwrap();
+    db.create_btree_index("ratings", "by_course", &["course"], false)
+        .unwrap();
+    db
+}
+
+fn bench_relation(c: &mut Criterion) {
+    let db = setup();
+    // A table without indexes for the seq-scan baseline.
+    let db_noidx = Database::new();
+    db_noidx
+        .execute_sql(
+            "CREATE TABLE ratings (id INT PRIMARY KEY, student INT, course INT, score FLOAT)",
+        )
+        .unwrap();
+    let mut rows = Vec::with_capacity(N_ROWS as usize);
+    for i in 0..N_ROWS {
+        rows.push(row![
+            i,
+            i % 9_000,
+            (i * 7) % 18_605,
+            ((i % 9) + 1) as f64 / 2.0
+        ]);
+    }
+    db_noidx.insert_many("ratings", rows).unwrap();
+
+    observe("A3", &format!("ratings table: {N_ROWS} rows"));
+
+    let mut group = c.benchmark_group("relation");
+
+    // Point lookup: index vs full scan.
+    group.bench_function("point_lookup_secondary_index", |b| {
+        b.iter(|| {
+            db.query_sql("SELECT COUNT(*) AS n FROM ratings WHERE student = 4242")
+                .unwrap()
+        })
+    });
+    group.bench_function("point_lookup_seq_scan", |b| {
+        b.iter(|| {
+            db_noidx
+                .query_sql("SELECT COUNT(*) AS n FROM ratings WHERE student = 4242")
+                .unwrap()
+        })
+    });
+
+    // Primary-key lookup.
+    group.bench_function("pk_lookup", |b| {
+        b.iter(|| {
+            db.query_sql("SELECT score FROM ratings WHERE id = 77777")
+                .unwrap()
+        })
+    });
+
+    // Range scan: B-tree vs seq.
+    group.bench_function("range_btree_index", |b| {
+        b.iter(|| {
+            db.query_sql(
+                "SELECT COUNT(*) AS n FROM ratings WHERE course >= 100 AND course <= 120",
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("range_seq_scan", |b| {
+        b.iter(|| {
+            db_noidx
+                .query_sql(
+                    "SELECT COUNT(*) AS n FROM ratings WHERE course >= 100 AND course <= 120",
+                )
+                .unwrap()
+        })
+    });
+
+    // Joins: equi (hash) vs non-equi (nested loop) on a smaller slice.
+    let join_db = Database::new();
+    join_db
+        .execute_sql("CREATE TABLE a (x INT PRIMARY KEY, k INT)")
+        .unwrap();
+    join_db
+        .execute_sql("CREATE TABLE b (y INT PRIMARY KEY, k INT)")
+        .unwrap();
+    let mut ra = Vec::new();
+    let mut rb = Vec::new();
+    for i in 0..2_000i64 {
+        ra.push(row![i, i % 500]);
+        rb.push(row![i, (i * 3) % 500]);
+    }
+    join_db.insert_many("a", ra).unwrap();
+    join_db.insert_many("b", rb).unwrap();
+
+    group.bench_function("join_equi_hash", |b| {
+        b.iter(|| {
+            join_db
+                .query_sql("SELECT COUNT(*) AS n FROM a JOIN b ON a.k = b.k")
+                .unwrap()
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("join_nonequi_nested_loop", |b| {
+        b.iter(|| {
+            join_db
+                .query_sql("SELECT COUNT(*) AS n FROM a JOIN b ON a.k < b.k AND b.k < 20")
+                .unwrap()
+        })
+    });
+
+    // Aggregation throughput.
+    for groups in [10i64, 1_000] {
+        group.bench_with_input(
+            BenchmarkId::new("group_by", groups),
+            &groups,
+            |b, &g| {
+                let sql = format!(
+                    "SELECT student % {g} AS k, AVG(score) AS s FROM ratings GROUP BY student % {g}"
+                );
+                b.iter(|| db.query_sql(&sql).unwrap())
+            },
+        );
+    }
+
+    // Sort + limit (top-k).
+    group.bench_function("order_by_limit", |b| {
+        b.iter(|| {
+            db.query_sql("SELECT id FROM ratings ORDER BY score DESC, id LIMIT 10")
+                .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_relation);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Shared benchmark fixtures: generated campuses and assembled systems.
+
+use courserank::db::CourseRankDb;
+use courserank::CourseRank;
+use cr_datagen::{generate, GenStats, ScaleConfig};
+
+/// Generate a campus at a fraction of the paper scale.
+pub fn campus(fraction: f64) -> (CourseRankDb, GenStats) {
+    generate(&ScaleConfig::scaled(fraction)).expect("datagen succeeds")
+}
+
+/// Generate and assemble the full system.
+pub fn system(fraction: f64) -> (CourseRank, GenStats) {
+    let (db, stats) = campus(fraction);
+    let app = CourseRank::assemble(db).expect("assemble succeeds");
+    (app, stats)
+}
+
+/// Print a labelled experiment observation (these lines are collected
+/// into EXPERIMENTS.md).
+pub fn observe(experiment: &str, message: &str) {
+    println!("[{experiment}] {message}");
+}

@@ -1,0 +1,214 @@
+//! The CourseRank application facade — Figure 2 in code.
+//!
+//! Wires every component over one shared database: search/CourseCloud,
+//! FlexRecs recommendations, the planner, the requirement tracker, grades,
+//! comments, the Q&A forum, incentives, privacy, and authentication.
+
+use std::sync::Arc;
+
+use cr_relation::RelResult;
+
+use crate::auth::Auth;
+use crate::db::CourseRankDb;
+use crate::model::CourseId;
+use crate::services::comments::Comments;
+use crate::services::faculty::Faculty;
+use crate::services::forum::Forum;
+use crate::services::grades::Grades;
+use crate::services::incentives::Incentives;
+use crate::services::planner::Planner;
+use crate::services::privacy::Privacy;
+use crate::services::recs::Recommender;
+use crate::services::requirements::RequirementTracker;
+use crate::services::search::CourseCloud;
+use crate::services::strategies::Strategies;
+use crate::services::textbooks::Textbooks;
+
+/// The assembled system.
+#[derive(Clone)]
+pub struct CourseRank {
+    db: CourseRankDb,
+    auth: Arc<Auth>,
+    search: Arc<CourseCloud>,
+    recs: Recommender,
+    planner: Planner,
+    requirements: RequirementTracker,
+    grades: Grades,
+    comments: Comments,
+    faculty: Faculty,
+    forum: Forum,
+    incentives: Arc<Incentives>,
+    privacy: Privacy,
+    strategies: Strategies,
+    textbooks: Textbooks,
+}
+
+impl CourseRank {
+    /// Assemble the system over a populated database, building the search
+    /// index sequentially. (The A4 ablation found the parallel sharded
+    /// build is merge-dominated and does not pay even at the paper's
+    /// 18,605-course scale; `assemble_with_threads` exposes it anyway.)
+    pub fn assemble(db: CourseRankDb) -> RelResult<Self> {
+        Self::assemble_with_threads(db, 1)
+    }
+
+    /// Assemble with an explicit indexing thread count.
+    pub fn assemble_with_threads(db: CourseRankDb, threads: usize) -> RelResult<Self> {
+        let privacy = Privacy::new(db.clone());
+        let incentives = Incentives::new(db.clone());
+        Ok(CourseRank {
+            auth: Arc::new(Auth::new(db.clone())),
+            search: Arc::new(CourseCloud::build_parallel(db.clone(), threads)?),
+            recs: Recommender::new(db.clone()),
+            planner: Planner::new(db.clone()),
+            requirements: RequirementTracker::new(db.clone()),
+            grades: Grades::new(db.clone(), privacy.clone()),
+            comments: Comments::new(db.clone()),
+            faculty: Faculty::new(db.clone()),
+            forum: Forum::new(db.clone()),
+            incentives: Arc::new(incentives.clone()),
+            privacy,
+            strategies: Strategies::new(db.clone()),
+            textbooks: Textbooks::new(db.clone(), incentives),
+            db,
+        })
+    }
+
+    pub fn db(&self) -> &CourseRankDb {
+        &self.db
+    }
+    pub fn auth(&self) -> &Auth {
+        &self.auth
+    }
+    pub fn search(&self) -> &CourseCloud {
+        &self.search
+    }
+    pub fn recs(&self) -> &Recommender {
+        &self.recs
+    }
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+    pub fn requirements(&self) -> &RequirementTracker {
+        &self.requirements
+    }
+    pub fn grades(&self) -> &Grades {
+        &self.grades
+    }
+    pub fn comments(&self) -> &Comments {
+        &self.comments
+    }
+    pub fn faculty(&self) -> &Faculty {
+        &self.faculty
+    }
+    pub fn forum(&self) -> &Forum {
+        &self.forum
+    }
+    pub fn incentives(&self) -> &Incentives {
+        &self.incentives
+    }
+    pub fn privacy(&self) -> &Privacy {
+        &self.privacy
+    }
+    pub fn strategies(&self) -> &Strategies {
+        &self.strategies
+    }
+    pub fn textbooks(&self) -> &Textbooks {
+        &self.textbooks
+    }
+
+    /// The Figure 2 component inventory — used by the architecture smoke
+    /// test (E12) and the README.
+    pub fn components() -> &'static [&'static str] {
+        &[
+            "auth (closed community, 3 constituencies)",
+            "search + CourseCloud (data clouds)",
+            "FlexRecs recommendations",
+            "planner (conflicts, GPA, four-year plan)",
+            "requirement tracker",
+            "grades (official + self-reported)",
+            "comments (helpfulness ranking)",
+            "faculty tools (annotations, course comparison)",
+            "Q&A forum (seeding + routing)",
+            "incentives (points, anti-gaming caps)",
+            "privacy (opt-out, k-threshold)",
+            "strategy registry (admin-defined FlexRecs workflows)",
+            "volunteer textbook reporting",
+        ]
+    }
+
+    /// Render a course descriptor page (Figure 1, left) as text.
+    pub fn course_page(&self, course: CourseId) -> RelResult<String> {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let Some(c) = self.db.course(course)? else {
+            return Ok(format!("course {course} not found\n"));
+        };
+        let _ = writeln!(out, "=== {} — {} ({} units)", c.dep, c.title, c.units);
+        let _ = writeln!(out, "{}", c.description);
+        if let Some(avg) = self.comments.average_rating(course)? {
+            let _ = writeln!(out, "average student rating: {avg:.1} / 5");
+        }
+        match self.grades.visible_distribution(course, 2008)? {
+            Ok((dist, source)) => {
+                let _ = writeln!(out, "grade distribution ({source}):");
+                out.push_str(&dist.render());
+            }
+            Err(w) => {
+                let _ = writeln!(out, "grade distribution withheld: {w:?}");
+            }
+        }
+        let ranked = self.comments.ranked_for_course(course)?;
+        if !ranked.is_empty() {
+            let _ = writeln!(out, "top comments:");
+            for r in ranked.iter().take(3) {
+                let _ = writeln!(
+                    out,
+                    "  ({:.1}★, +{}/-{}) {}",
+                    r.rating, r.helpful, r.unhelpful, r.text
+                );
+            }
+        }
+        let planned = self.db.planned_by(course)?;
+        if !planned.is_empty() {
+            let _ = writeln!(out, "{} students planning to take this", planned.len());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::test_fixtures::small_campus;
+
+    #[test]
+    fn assemble_over_fixture() {
+        let app = CourseRank::assemble_with_threads(small_campus(), 2).unwrap();
+        // Every component reachable and functional.
+        let (hits, _) = app.search().search("programming", 10).unwrap();
+        assert!(!hits.is_empty());
+        let report = app.planner().report(444).unwrap();
+        assert_eq!(report.quarters.len(), 2);
+        assert!(app.comments().average_rating(101).unwrap().is_some());
+    }
+
+    #[test]
+    fn components_list_matches_figure_2() {
+        let comps = CourseRank::components();
+        assert_eq!(comps.len(), 13);
+        assert!(comps.iter().any(|c| c.contains("CourseCloud")));
+        assert!(comps.iter().any(|c| c.contains("FlexRecs")));
+    }
+
+    #[test]
+    fn course_page_renders() {
+        let app = CourseRank::assemble_with_threads(small_campus(), 1).unwrap();
+        let page = app.course_page(101).unwrap();
+        assert!(page.contains("Introduction to Programming"));
+        assert!(page.contains("average student rating"));
+        assert!(page.contains("grade distribution"));
+        let missing = app.course_page(424242).unwrap();
+        assert!(missing.contains("not found"));
+    }
+}

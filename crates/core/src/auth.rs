@@ -1,0 +1,249 @@
+//! The closed community: authentication and constituencies.
+//!
+//! §2.1: "CourseRank has access to official 'user names' on the Stanford
+//! network and can therefore validate that a user is a student or a
+//! professor or staff" — three distinct constituencies with different
+//! capabilities (§2.2 "Interaction for Constituents").
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use cr_relation::{RelError, RelResult, Value};
+
+use crate::db::CourseRankDb;
+use crate::model::UserId;
+
+/// The three constituencies (plus the site admins who define FlexRecs
+/// strategies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    Student,
+    Faculty,
+    Staff,
+    Admin,
+}
+
+impl Role {
+    pub fn code(&self) -> &'static str {
+        match self {
+            Role::Student => "student",
+            Role::Faculty => "faculty",
+            Role::Staff => "staff",
+            Role::Admin => "admin",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Role> {
+        match s {
+            "student" => Some(Role::Student),
+            "faculty" => Some(Role::Faculty),
+            "staff" => Some(Role::Staff),
+            "admin" => Some(Role::Admin),
+            _ => None,
+        }
+    }
+}
+
+/// Capabilities gated by constituency. The mapping encodes §2.2:
+/// students plan and comment; faculty annotate their courses and compare;
+/// staff define program requirements; admins define recommendation
+/// strategies (FlexRecs "for the site administrator").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Capability {
+    SearchCourses,
+    RateAndComment,
+    PlanCourses,
+    ViewGradeDistributions,
+    AnnotateOwnCourses,
+    CompareOwnCourses,
+    DefineRequirements,
+    AdviseStudents,
+    DefineRecStrategies,
+    SeedForum,
+}
+
+impl Role {
+    pub fn can(&self, cap: Capability) -> bool {
+        use Capability::*;
+        match self {
+            Role::Student => matches!(
+                cap,
+                SearchCourses | RateAndComment | PlanCourses | ViewGradeDistributions
+            ),
+            Role::Faculty => matches!(
+                cap,
+                SearchCourses
+                    | ViewGradeDistributions
+                    | AnnotateOwnCourses
+                    | CompareOwnCourses
+            ),
+            Role::Staff => matches!(
+                cap,
+                SearchCourses | DefineRequirements | AdviseStudents | SeedForum
+            ),
+            Role::Admin => true,
+        }
+    }
+}
+
+/// An authenticated session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Session {
+    pub token: u64,
+    pub user: UserId,
+    pub role: Role,
+    pub username: String,
+}
+
+/// The authenticator: checks usernames against the Users relation (the
+/// stand-in for "official user names on the Stanford network") and issues
+/// sessions.
+#[derive(Debug)]
+pub struct Auth {
+    db: CourseRankDb,
+    sessions: Mutex<HashMap<u64, Session>>,
+    next_token: Mutex<u64>,
+}
+
+impl Auth {
+    pub fn new(db: CourseRankDb) -> Self {
+        Auth {
+            db,
+            sessions: Mutex::new(HashMap::new()),
+            next_token: Mutex::new(1),
+        }
+    }
+
+    /// Register a user (done from the official directory import).
+    pub fn register(&self, id: UserId, username: &str, role: Role, display: &str) -> RelResult<()> {
+        self.db.insert_user(id, username, role.code(), display)
+    }
+
+    /// Authenticate by username. Unknown usernames are rejected — the
+    /// community is closed ("only available to the Stanford community").
+    pub fn login(&self, username: &str) -> RelResult<Session> {
+        let found = self.db.catalog().with_table("Users", |t| {
+            t.scan()
+                .find(|(_, r)| {
+                    matches!(&r[1], Value::Text(u) if u.eq_ignore_ascii_case(username))
+                })
+                .map(|(_, r)| {
+                    (
+                        r[0].as_int().unwrap_or(0),
+                        r[2].as_text().unwrap_or("student").to_owned(),
+                    )
+                })
+        })?;
+        let (user, role_code) =
+            found.ok_or_else(|| RelError::Invalid(format!("unknown user {username}")))?;
+        let role = Role::parse(&role_code)
+            .ok_or_else(|| RelError::Invalid(format!("corrupt role {role_code}")))?;
+        let mut next = self.next_token.lock();
+        let token = *next;
+        *next += 1;
+        let session = Session {
+            token,
+            user,
+            role,
+            username: username.to_owned(),
+        };
+        self.sessions.lock().insert(token, session.clone());
+        Ok(session)
+    }
+
+    /// Resolve a session token.
+    pub fn session(&self, token: u64) -> Option<Session> {
+        self.sessions.lock().get(&token).cloned()
+    }
+
+    /// Log out.
+    pub fn logout(&self, token: u64) -> bool {
+        self.sessions.lock().remove(&token).is_some()
+    }
+
+    /// Capability check for a live session.
+    pub fn authorize(&self, token: u64, cap: Capability) -> RelResult<Session> {
+        let s = self
+            .session(token)
+            .ok_or_else(|| RelError::Invalid("no such session".into()))?;
+        if s.role.can(cap) {
+            Ok(s)
+        } else {
+            Err(RelError::Invalid(format!(
+                "{} role may not {cap:?}",
+                s.role.code()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn auth() -> Auth {
+        let db = CourseRankDb::new();
+        let a = Auth::new(db);
+        a.register(1, "sally", Role::Student, "Sally S").unwrap();
+        a.register(2, "knuth", Role::Faculty, "Prof. Knuth").unwrap();
+        a.register(3, "regoffice", Role::Staff, "Registrar").unwrap();
+        a.register(4, "root", Role::Admin, "Site Admin").unwrap();
+        a
+    }
+
+    #[test]
+    fn closed_community_rejects_unknown() {
+        let a = auth();
+        assert!(a.login("outsider").is_err());
+        assert!(a.login("sally").is_ok());
+        assert!(a.login("SALLY").is_ok(), "usernames case-insensitive");
+    }
+
+    #[test]
+    fn sessions_roundtrip() {
+        let a = auth();
+        let s = a.login("sally").unwrap();
+        assert_eq!(a.session(s.token).unwrap().user, 1);
+        assert!(a.logout(s.token));
+        assert!(a.session(s.token).is_none());
+        assert!(!a.logout(s.token));
+    }
+
+    #[test]
+    fn constituency_capabilities() {
+        use Capability::*;
+        assert!(Role::Student.can(PlanCourses));
+        assert!(!Role::Student.can(DefineRequirements));
+        assert!(Role::Faculty.can(CompareOwnCourses));
+        assert!(!Role::Faculty.can(RateAndComment)); // faculty annotate, not rate
+        assert!(Role::Staff.can(DefineRequirements));
+        assert!(!Role::Staff.can(PlanCourses));
+        assert!(Role::Admin.can(DefineRecStrategies));
+        assert!(!Role::Student.can(DefineRecStrategies));
+    }
+
+    #[test]
+    fn authorize_enforces_capability() {
+        let a = auth();
+        let s = a.login("sally").unwrap();
+        assert!(a.authorize(s.token, Capability::PlanCourses).is_ok());
+        assert!(a
+            .authorize(s.token, Capability::DefineRequirements)
+            .is_err());
+        let f = a.login("knuth").unwrap();
+        assert!(a
+            .authorize(f.token, Capability::AnnotateOwnCourses)
+            .is_ok());
+        // Stale token:
+        assert!(a.authorize(99999, Capability::SearchCourses).is_err());
+    }
+
+    #[test]
+    fn distinct_tokens_per_login() {
+        let a = auth();
+        let s1 = a.login("sally").unwrap();
+        let s2 = a.login("sally").unwrap();
+        assert_ne!(s1.token, s2.token);
+    }
+}

@@ -1,0 +1,30 @@
+//! # courserank — a focused social site for course evaluation and planning
+//!
+//! The application layer of the CIDR 2009 paper *Social Systems: Can We Do
+//! More Than Just Poke Friends?* — CourseRank itself, assembled from the
+//! substrates ([`cr_relation`], [`cr_textsearch`], [`cr_flexrecs`]):
+//!
+//! * [`db`] — the relational schema (the paper's Courses / Students /
+//!   Comments plus the rich data §3 describes: departments, offerings,
+//!   prerequisites, instructors, textbooks, official grade distributions,
+//!   programs/requirements, Q&A, points);
+//! * [`model`] — typed ids, terms/quarters, letter grades;
+//! * [`auth`] — the closed community: real identities, three
+//!   constituencies (students, faculty, staff);
+//! * [`services`] — the components of Figure 2:
+//!   [`services::search`] (CourseCloud), [`services::recs`] (FlexRecs
+//!   facade), [`services::planner`] (Planner), [`services::requirements`]
+//!   (Requirement Tracker), [`services::grades`], [`services::comments`],
+//!   [`services::forum`] (Q&A with routing), [`services::incentives`],
+//!   [`services::privacy`];
+//! * [`app`] — the [`app::CourseRank`] facade tying them together.
+
+pub mod app;
+pub mod auth;
+pub mod db;
+pub mod model;
+pub mod services;
+
+pub use app::CourseRank;
+pub use db::CourseRankDb;
+pub use model::{CourseId, Grade, StudentId, Term};

@@ -1,0 +1,362 @@
+//! Typed domain values: ids, terms, grades.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Course identifier.
+pub type CourseId = i64;
+/// Student identifier ("SuID" in the paper's schema).
+pub type StudentId = i64;
+/// User identifier (students, faculty, staff all have one).
+pub type UserId = i64;
+/// Department identifier (e.g. "CS").
+pub type DepId = String;
+
+/// Academic terms, in academic-year order (Stanford's quarter system —
+/// "courses […] have to be taken in a certain order and in certain
+/// quarters", §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Term {
+    Autumn,
+    Winter,
+    Spring,
+    Summer,
+}
+
+impl Term {
+    pub const ALL: [Term; 4] = [Term::Autumn, Term::Winter, Term::Spring, Term::Summer];
+
+    pub fn code(&self) -> &'static str {
+        match self {
+            Term::Autumn => "Aut",
+            Term::Winter => "Win",
+            Term::Spring => "Spr",
+            Term::Summer => "Sum",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Term> {
+        match s.to_ascii_lowercase().as_str() {
+            "aut" | "autumn" | "fall" => Some(Term::Autumn),
+            "win" | "winter" => Some(Term::Winter),
+            "spr" | "spring" => Some(Term::Spring),
+            "sum" | "summer" => Some(Term::Summer),
+            _ => None,
+        }
+    }
+
+    /// Position within the academic year (Autumn = 0).
+    pub fn ordinal(&self) -> u8 {
+        match self {
+            Term::Autumn => 0,
+            Term::Winter => 1,
+            Term::Spring => 2,
+            Term::Summer => 3,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// A specific academic quarter: year + term. Ordered chronologically,
+/// where `year` is the calendar year in which the term *starts*
+/// (Aut 2008 < Win 2009 < Spr 2009 — academic year 2008-09).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Quarter {
+    pub year: i32,
+    pub term: Term,
+}
+
+impl Quarter {
+    pub fn new(year: i32, term: Term) -> Self {
+        Quarter { year, term }
+    }
+
+    /// Chronological sort key. Winter/Spring/Summer of academic year Y
+    /// happen in calendar year Y+1 at Stanford, but CourseRank stores the
+    /// calendar year directly, so ordering is plain (year, term-position
+    /// within the calendar year: Win < Spr < Sum < Aut).
+    pub fn sort_key(&self) -> (i32, u8) {
+        let pos = match self.term {
+            Term::Winter => 0,
+            Term::Spring => 1,
+            Term::Summer => 2,
+            Term::Autumn => 3,
+        };
+        (self.year, pos)
+    }
+
+    /// The next quarter chronologically.
+    pub fn next(&self) -> Quarter {
+        match self.term {
+            Term::Winter => Quarter::new(self.year, Term::Spring),
+            Term::Spring => Quarter::new(self.year, Term::Summer),
+            Term::Summer => Quarter::new(self.year, Term::Autumn),
+            Term::Autumn => Quarter::new(self.year + 1, Term::Winter),
+        }
+    }
+}
+
+impl PartialOrd for Quarter {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Quarter {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.sort_key().cmp(&other.sort_key())
+    }
+}
+
+impl fmt::Display for Quarter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.term, self.year)
+    }
+}
+
+/// Letter grades with Stanford-style grade points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Grade {
+    APlus,
+    A,
+    AMinus,
+    BPlus,
+    B,
+    BMinus,
+    CPlus,
+    C,
+    CMinus,
+    DPlus,
+    D,
+    F,
+    /// Credit (pass) — no grade points, excluded from GPA.
+    CreditNoCredit,
+}
+
+impl Grade {
+    pub const LETTER_GRADES: [Grade; 12] = [
+        Grade::APlus,
+        Grade::A,
+        Grade::AMinus,
+        Grade::BPlus,
+        Grade::B,
+        Grade::BMinus,
+        Grade::CPlus,
+        Grade::C,
+        Grade::CMinus,
+        Grade::DPlus,
+        Grade::D,
+        Grade::F,
+    ];
+
+    /// Grade points (Stanford scale: A+ = 4.3).
+    pub fn points(&self) -> Option<f64> {
+        Some(match self {
+            Grade::APlus => 4.3,
+            Grade::A => 4.0,
+            Grade::AMinus => 3.7,
+            Grade::BPlus => 3.3,
+            Grade::B => 3.0,
+            Grade::BMinus => 2.7,
+            Grade::CPlus => 2.3,
+            Grade::C => 2.0,
+            Grade::CMinus => 1.7,
+            Grade::DPlus => 1.3,
+            Grade::D => 1.0,
+            Grade::F => 0.0,
+            Grade::CreditNoCredit => return None,
+        })
+    }
+
+    pub fn letter(&self) -> &'static str {
+        match self {
+            Grade::APlus => "A+",
+            Grade::A => "A",
+            Grade::AMinus => "A-",
+            Grade::BPlus => "B+",
+            Grade::B => "B",
+            Grade::BMinus => "B-",
+            Grade::CPlus => "C+",
+            Grade::C => "C",
+            Grade::CMinus => "C-",
+            Grade::DPlus => "D+",
+            Grade::D => "D",
+            Grade::F => "F",
+            Grade::CreditNoCredit => "CR",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Grade> {
+        Some(match s.trim().to_ascii_uppercase().as_str() {
+            "A+" => Grade::APlus,
+            "A" => Grade::A,
+            "A-" => Grade::AMinus,
+            "B+" => Grade::BPlus,
+            "B" => Grade::B,
+            "B-" => Grade::BMinus,
+            "C+" => Grade::CPlus,
+            "C" => Grade::C,
+            "C-" => Grade::CMinus,
+            "D+" => Grade::DPlus,
+            "D" => Grade::D,
+            "F" => Grade::F,
+            "CR" | "CR/NC" | "S" => Grade::CreditNoCredit,
+            _ => return None,
+        })
+    }
+
+    /// GPA over a set of (grade, units) pairs; CR/NC excluded.
+    pub fn gpa(entries: &[(Grade, i64)]) -> Option<f64> {
+        let mut points = 0.0;
+        let mut units = 0i64;
+        for (g, u) in entries {
+            if let Some(p) = g.points() {
+                points += p * *u as f64;
+                units += u;
+            }
+        }
+        if units == 0 {
+            None
+        } else {
+            Some(points / units as f64)
+        }
+    }
+}
+
+impl fmt::Display for Grade {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// Days of week for schedules, bit-packed (Mon = bit 0 … Sun = bit 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Days(pub u8);
+
+impl Days {
+    pub const MWF: Days = Days(0b0010101);
+    pub const TTH: Days = Days(0b0001010);
+
+    /// Parse strings like "MWF", "TTh", "MTWThF".
+    pub fn parse(s: &str) -> Days {
+        let mut bits = 0u8;
+        let chars: Vec<char> = s.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            match chars[i].to_ascii_uppercase() {
+                'M' => bits |= 1,
+                'T' => {
+                    if chars
+                        .get(i + 1)
+                        .is_some_and(|c| c.eq_ignore_ascii_case(&'h'))
+                    {
+                        bits |= 1 << 3; // Thursday
+                        i += 1;
+                    } else {
+                        bits |= 1 << 1; // Tuesday
+                    }
+                }
+                'W' => bits |= 1 << 2,
+                'F' => bits |= 1 << 4,
+                'S' => {
+                    if chars
+                        .get(i + 1)
+                        .is_some_and(|c| c.eq_ignore_ascii_case(&'u'))
+                    {
+                        bits |= 1 << 6; // Sunday
+                        i += 1;
+                    } else {
+                        bits |= 1 << 5; // Saturday
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        Days(bits)
+    }
+
+    pub fn overlaps(&self, other: Days) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    pub fn encode(&self) -> String {
+        const NAMES: [&str; 7] = ["M", "T", "W", "Th", "F", "Sa", "Su"];
+        let mut s = String::new();
+        for (i, n) in NAMES.iter().enumerate() {
+            if self.0 & (1 << i) != 0 {
+                s.push_str(n);
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_roundtrip() {
+        for t in Term::ALL {
+            assert_eq!(Term::parse(t.code()), Some(t));
+        }
+        assert_eq!(Term::parse("fall"), Some(Term::Autumn));
+        assert_eq!(Term::parse("xyz"), None);
+    }
+
+    #[test]
+    fn quarter_chronology() {
+        let aut08 = Quarter::new(2008, Term::Autumn);
+        let win09 = Quarter::new(2009, Term::Winter);
+        let spr09 = Quarter::new(2009, Term::Spring);
+        assert!(aut08 < win09);
+        assert!(win09 < spr09);
+        assert_eq!(aut08.next(), win09);
+        assert_eq!(win09.next(), spr09);
+        assert_eq!(
+            Quarter::new(2009, Term::Summer).next(),
+            Quarter::new(2009, Term::Autumn)
+        );
+    }
+
+    #[test]
+    fn grade_points_and_parse() {
+        assert_eq!(Grade::parse("A-"), Some(Grade::AMinus));
+        assert_eq!(Grade::AMinus.points(), Some(3.7));
+        assert_eq!(Grade::CreditNoCredit.points(), None);
+        assert_eq!(Grade::parse("??"), None);
+        for g in Grade::LETTER_GRADES {
+            assert_eq!(Grade::parse(g.letter()), Some(g));
+        }
+    }
+
+    #[test]
+    fn gpa_weighted_by_units() {
+        // A (4 units) + B (2 units) → (16+6)/6 ≈ 3.667
+        let gpa = Grade::gpa(&[(Grade::A, 4), (Grade::B, 2)]).unwrap();
+        assert!((gpa - 22.0 / 6.0).abs() < 1e-9);
+        // CR/NC excluded entirely.
+        let gpa2 = Grade::gpa(&[(Grade::A, 4), (Grade::CreditNoCredit, 3)]).unwrap();
+        assert_eq!(gpa2, 4.0);
+        assert_eq!(Grade::gpa(&[(Grade::CreditNoCredit, 3)]), None);
+        assert_eq!(Grade::gpa(&[]), None);
+    }
+
+    #[test]
+    fn days_parse_and_overlap() {
+        assert_eq!(Days::parse("MWF"), Days::MWF);
+        assert_eq!(Days::parse("TTh"), Days::TTH);
+        assert!(!Days::MWF.overlaps(Days::TTH));
+        assert!(Days::parse("MTh").overlaps(Days::TTH));
+        assert_eq!(Days::parse("MWF").encode(), "MWF");
+        assert_eq!(Days::parse("TTh").encode(), "TTh");
+        assert_eq!(Days::parse("SaSu").encode(), "SaSu");
+    }
+}

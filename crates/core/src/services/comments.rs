@@ -1,0 +1,177 @@
+//! Comment ranking by helpfulness.
+//!
+//! §2: students "rank the accuracy of each others' comments". Comments
+//! carry helpful/unhelpful votes; display order uses the Wilson lower
+//! bound of the helpful proportion (robust for few votes — a 2/2 comment
+//! must not outrank a 95/100 one), with recency as a tiebreak.
+
+use cr_relation::row::row;
+use cr_relation::{RelResult, Value};
+
+use crate::db::CourseRankDb;
+use crate::model::{CourseId, UserId};
+
+/// A ranked comment as displayed on the course page.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedComment {
+    pub id: i64,
+    pub student: i64,
+    pub text: String,
+    pub rating: f64,
+    pub helpful: i64,
+    pub unhelpful: i64,
+    pub quality: f64,
+}
+
+/// Wilson score lower bound (95%) for a Bernoulli proportion.
+pub fn wilson_lower_bound(positive: i64, total: i64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let n = total as f64;
+    let p = positive as f64 / n;
+    let z = 1.96f64;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = p + z2 / (2.0 * n);
+    let margin = z * ((p * (1.0 - p) + z2 / (4.0 * n)) / n).sqrt();
+    ((centre - margin) / denom).max(0.0)
+}
+
+/// The comment service.
+#[derive(Debug, Clone)]
+pub struct Comments {
+    db: CourseRankDb,
+}
+
+impl Comments {
+    pub fn new(db: CourseRankDb) -> Self {
+        Comments { db }
+    }
+
+    /// Record a helpfulness vote. One vote per (comment, voter) — a
+    /// re-vote replaces the old one.
+    pub fn vote(&self, comment: i64, voter: UserId, helpful: bool) -> RelResult<()> {
+        // Replace semantics: delete then insert.
+        self.db.database().execute_sql(&format!(
+            "DELETE FROM CommentVotes WHERE CommentID = {comment} AND VoterID = {voter}"
+        ))?;
+        self.db
+            .database()
+            .insert("CommentVotes", row![comment, voter, helpful])
+            .map(|_| ())
+    }
+
+    /// Vote counts for a comment: (helpful, unhelpful).
+    pub fn votes(&self, comment: i64) -> RelResult<(i64, i64)> {
+        let rs = self.db.database().query_sql(&format!(
+            "SELECT Helpful, COUNT(*) AS n FROM CommentVotes \
+             WHERE CommentID = {comment} GROUP BY Helpful"
+        ))?;
+        let mut helpful = 0;
+        let mut unhelpful = 0;
+        for r in &rs.rows {
+            match (&r[0], r[1].as_int()) {
+                (Value::Bool(true), Ok(n)) => helpful = n,
+                (Value::Bool(false), Ok(n)) => unhelpful = n,
+                _ => {}
+            }
+        }
+        Ok((helpful, unhelpful))
+    }
+
+    /// Comments of a course ranked by quality (Wilson bound, then votes,
+    /// then recency).
+    pub fn ranked_for_course(&self, course: CourseId) -> RelResult<Vec<RankedComment>> {
+        let rs = self.db.database().query_sql(&format!(
+            "SELECT CommentID, SuID, Text, Rating, Date FROM Comments WHERE CourseID = {course}"
+        ))?;
+        let mut out = Vec::with_capacity(rs.rows.len());
+        for r in &rs.rows {
+            let id = r[0].as_int()?;
+            let (helpful, unhelpful) = self.votes(id)?;
+            let quality = wilson_lower_bound(helpful, helpful + unhelpful);
+            out.push(RankedComment {
+                id,
+                student: r[1].as_int()?,
+                text: r[2].as_text().unwrap_or("").to_owned(),
+                rating: r[3].as_float().unwrap_or(0.0),
+                helpful,
+                unhelpful,
+                quality,
+            });
+        }
+        out.sort_by(|a, b| {
+            b.quality
+                .partial_cmp(&a.quality)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (b.helpful + b.unhelpful).cmp(&(a.helpful + a.unhelpful)))
+                .then_with(|| b.id.cmp(&a.id))
+        });
+        Ok(out)
+    }
+
+    /// Average user rating of a course (from comments).
+    pub fn average_rating(&self, course: CourseId) -> RelResult<Option<f64>> {
+        let rs = self.db.database().query_sql(&format!(
+            "SELECT AVG(Rating) AS r FROM Comments WHERE CourseID = {course}"
+        ))?;
+        Ok(rs.rows.first().and_then(|r| r[0].as_float().ok()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::test_fixtures::small_campus;
+
+    #[test]
+    fn wilson_bound_sanity() {
+        assert_eq!(wilson_lower_bound(0, 0), 0.0);
+        // More evidence at the same ratio → higher bound.
+        assert!(wilson_lower_bound(95, 100) > wilson_lower_bound(2, 2));
+        assert!(wilson_lower_bound(10, 10) > wilson_lower_bound(5, 10));
+        // Bounded in [0, 1].
+        for (p, t) in [(0, 10), (5, 10), (10, 10), (1, 1)] {
+            let w = wilson_lower_bound(p, t);
+            assert!((0.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn voting_and_ranking() {
+        let db = small_campus();
+        let c = Comments::new(db);
+        // Comment 2 gets many helpful votes; comment 1 gets two.
+        for voter in 100..110 {
+            c.vote(2, voter, true).unwrap();
+        }
+        c.vote(1, 200, true).unwrap();
+        c.vote(1, 201, true).unwrap();
+        c.vote(3, 300, false).unwrap();
+        let ranked = c.ranked_for_course(101).unwrap();
+        assert_eq!(ranked.len(), 3);
+        assert_eq!(ranked[0].id, 2, "most-voted helpful comment first");
+        assert_eq!(ranked[0].helpful, 10);
+        assert_eq!(ranked.last().unwrap().id, 3, "downvoted comment last");
+    }
+
+    #[test]
+    fn revote_replaces() {
+        let db = small_campus();
+        let c = Comments::new(db);
+        c.vote(1, 42, true).unwrap();
+        c.vote(1, 42, false).unwrap();
+        assert_eq!(c.votes(1).unwrap(), (0, 1));
+    }
+
+    #[test]
+    fn average_rating() {
+        let db = small_campus();
+        let c = Comments::new(db);
+        // 101 has ratings 5.0, 4.0, 3.0.
+        let avg = c.average_rating(101).unwrap().unwrap();
+        assert!((avg - 4.0).abs() < 1e-9);
+        assert!(c.average_rating(9999).unwrap().is_none());
+    }
+}

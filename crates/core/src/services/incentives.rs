@@ -1,0 +1,245 @@
+//! The incentive point scheme.
+//!
+//! §2.2 quotes Yahoo! Answers' scheme as the archetype: "providing a best
+//! answer is rewarded by 10 points, logging into the site yields 1 point a
+//! day, voting on an answer that becomes the best answer increases the
+//! voter's score by 1 point, and so forth. However, such incentives do not
+//! necessarily make users contribute sensibly. Users often try to boost
+//! their reputation by exploiting these schemes."
+//!
+//! We implement that scheme *and* the anti-gaming caps the paper implies
+//! are needed: daily caps per reason, so vote-spamming and comment-spamming
+//! saturate quickly. Experiment E10 simulates an honest user vs. a gamer
+//! and shows the cap bounding the gamer's advantage.
+
+use std::sync::Arc;
+
+use cr_relation::row::row;
+use cr_relation::{RelResult, Value};
+use parking_lot::Mutex;
+
+use crate::db::CourseRankDb;
+use crate::model::UserId;
+
+/// Point-earning events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PointEvent {
+    /// Daily login (once per day).
+    DailyLogin,
+    /// Authored the best answer to a question.
+    BestAnswer,
+    /// Voted for the answer that became best.
+    VotedForBest,
+    /// Posted a comment with a rating.
+    PostedComment,
+    /// Reported a textbook (the volunteer-reporting system of §2.2).
+    ReportedTextbook,
+}
+
+impl PointEvent {
+    pub fn reason(&self) -> &'static str {
+        match self {
+            PointEvent::DailyLogin => "daily_login",
+            PointEvent::BestAnswer => "best_answer",
+            PointEvent::VotedForBest => "voted_for_best",
+            PointEvent::PostedComment => "posted_comment",
+            PointEvent::ReportedTextbook => "reported_textbook",
+        }
+    }
+
+    /// Points per event (Yahoo!-Answers-shaped).
+    pub fn points(&self) -> i64 {
+        match self {
+            PointEvent::DailyLogin => 1,
+            PointEvent::BestAnswer => 10,
+            PointEvent::VotedForBest => 1,
+            PointEvent::PostedComment => 2,
+            PointEvent::ReportedTextbook => 3,
+        }
+    }
+
+    /// Daily cap on events of this kind per user (anti-gaming).
+    pub fn daily_cap(&self) -> i64 {
+        match self {
+            PointEvent::DailyLogin => 1,
+            PointEvent::BestAnswer => 5,
+            PointEvent::VotedForBest => 10,
+            PointEvent::PostedComment => 5,
+            PointEvent::ReportedTextbook => 5,
+        }
+    }
+}
+
+/// The incentives service (a ledger over the Points relation). Clones
+/// share the entry-id counter.
+#[derive(Debug, Clone)]
+pub struct Incentives {
+    db: CourseRankDb,
+    next_entry: Arc<Mutex<i64>>,
+}
+
+impl Incentives {
+    pub fn new(db: CourseRankDb) -> Self {
+        let next = db.count("Points").unwrap_or(0) + 1;
+        Incentives {
+            db,
+            next_entry: Arc::new(Mutex::new(next)),
+        }
+    }
+
+    /// Try to award points for an event on `day` (days since epoch).
+    /// Returns the points granted (0 when the daily cap is hit).
+    pub fn award(&self, user: UserId, event: PointEvent, day: i32) -> RelResult<i64> {
+        let today = self
+            .db
+            .database()
+            .query_sql(&format!(
+                "SELECT COUNT(*) AS n FROM Points WHERE UserID = {user} \
+                 AND Reason = '{}' AND Date = {day}",
+                event.reason()
+            ))?
+            .scalar()
+            .and_then(|v| v.as_int().ok())
+            .unwrap_or(0);
+        if today >= event.daily_cap() {
+            return Ok(0);
+        }
+        let id = {
+            let mut n = self.next_entry.lock();
+            let id = *n;
+            *n += 1;
+            id
+        };
+        self.db.database().insert(
+            "Points",
+            row![
+                id,
+                user,
+                event.reason(),
+                event.points(),
+                Value::Date(day)
+            ],
+        )?;
+        Ok(event.points())
+    }
+
+    /// Total score of a user.
+    pub fn score(&self, user: UserId) -> RelResult<i64> {
+        let v = self
+            .db
+            .database()
+            .query_sql(&format!(
+                "SELECT COALESCE(SUM(Points), 0) AS s FROM Points WHERE UserID = {user}"
+            ))?
+            .scalar()
+            .cloned()
+            .unwrap_or(Value::Int(0));
+        Ok(match v {
+            Value::Int(i) => i,
+            Value::Float(f) => f as i64,
+            _ => 0,
+        })
+    }
+
+    /// Leaderboard: top-n users by score.
+    pub fn leaderboard(&self, n: usize) -> RelResult<Vec<(UserId, i64)>> {
+        let rs = self.db.database().query_sql(&format!(
+            "SELECT UserID, SUM(Points) AS s FROM Points GROUP BY UserID \
+             ORDER BY s DESC, UserID LIMIT {n}"
+        ))?;
+        Ok(rs
+            .rows
+            .iter()
+            .filter_map(|r| Some((r[0].as_int().ok()?, r[1].as_int().ok()?)))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::test_fixtures::small_campus;
+
+    fn incentives() -> Incentives {
+        Incentives::new(small_campus())
+    }
+
+    #[test]
+    fn yahoo_answers_scheme_values() {
+        assert_eq!(PointEvent::BestAnswer.points(), 10);
+        assert_eq!(PointEvent::DailyLogin.points(), 1);
+        assert_eq!(PointEvent::VotedForBest.points(), 1);
+    }
+
+    #[test]
+    fn award_and_score() {
+        let inc = incentives();
+        assert_eq!(inc.award(1, PointEvent::BestAnswer, 100).unwrap(), 10);
+        assert_eq!(inc.award(1, PointEvent::DailyLogin, 100).unwrap(), 1);
+        assert_eq!(inc.score(1).unwrap(), 11);
+        assert_eq!(inc.score(2).unwrap(), 0);
+    }
+
+    #[test]
+    fn daily_login_once_per_day() {
+        let inc = incentives();
+        assert_eq!(inc.award(1, PointEvent::DailyLogin, 100).unwrap(), 1);
+        assert_eq!(inc.award(1, PointEvent::DailyLogin, 100).unwrap(), 0);
+        assert_eq!(inc.award(1, PointEvent::DailyLogin, 101).unwrap(), 1);
+        assert_eq!(inc.score(1).unwrap(), 2);
+    }
+
+    #[test]
+    fn caps_bound_gaming() {
+        let inc = incentives();
+        // A gamer spamming votes: only 10/day stick.
+        let mut granted = 0;
+        for _ in 0..100 {
+            granted += inc.award(7, PointEvent::VotedForBest, 100).unwrap();
+        }
+        assert_eq!(granted, 10);
+        // Next day the cap resets.
+        assert_eq!(inc.award(7, PointEvent::VotedForBest, 101).unwrap(), 1);
+    }
+
+    #[test]
+    fn leaderboard_orders_by_score() {
+        let inc = incentives();
+        inc.award(1, PointEvent::BestAnswer, 1).unwrap();
+        inc.award(2, PointEvent::BestAnswer, 1).unwrap();
+        inc.award(2, PointEvent::BestAnswer, 2).unwrap();
+        inc.award(3, PointEvent::DailyLogin, 1).unwrap();
+        let lb = inc.leaderboard(10).unwrap();
+        assert_eq!(lb[0], (2, 20));
+        assert_eq!(lb[1], (1, 10));
+        assert_eq!(lb[2], (3, 1));
+    }
+
+    #[test]
+    fn honest_vs_gamer_simulation() {
+        let inc = incentives();
+        // Honest user: logs in daily, writes one comment, occasionally a
+        // best answer. Gamer: spams votes and comments all day.
+        for day in 0..30 {
+            inc.award(1, PointEvent::DailyLogin, day).unwrap();
+            inc.award(1, PointEvent::PostedComment, day).unwrap();
+            if day % 5 == 0 {
+                inc.award(1, PointEvent::BestAnswer, day).unwrap();
+            }
+            for _ in 0..50 {
+                inc.award(2, PointEvent::VotedForBest, day).unwrap();
+                inc.award(2, PointEvent::PostedComment, day).unwrap();
+            }
+        }
+        let honest = inc.score(1).unwrap();
+        let gamer = inc.score(2).unwrap();
+        // Without caps the gamer would have 30·50·(1+2) = 4500 points;
+        // with caps it is 30·(10·1 + 5·2) = 600.
+        assert_eq!(gamer, 600);
+        assert!(honest >= 140);
+        assert!(
+            (gamer as f64) < 5.0 * honest as f64,
+            "caps must keep gaming advantage bounded: honest={honest} gamer={gamer}"
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! The CourseRank components of Figure 2.
+
+pub mod comments;
+pub mod faculty;
+pub mod forum;
+pub mod grades;
+pub mod incentives;
+pub mod planner;
+pub mod privacy;
+pub mod recs;
+pub mod requirements;
+pub mod search;
+pub mod strategies;
+pub mod textbooks;

@@ -1,0 +1,548 @@
+//! The FlexRecs facade: personalized recommendation strategies.
+//!
+//! §3.2: "we are implementing an interface where one can ask for
+//! recommended courses, or recommended majors […], or recommended quarters
+//! in which to take a given course and choose different options on how
+//! recommendations will be generated (e.g., based on what 'similar'
+//! students have done or the grades they have taken)."
+//!
+//! The admin defines strategies (workflow templates); the student picks
+//! one and sets options. Execution can go through the direct executor or
+//! the SQL compiler (the paper's model) — both are exposed for the A2
+//! ablation.
+
+use std::collections::{HashMap, HashSet};
+
+use cr_flexrecs::compile::compile_and_run;
+use cr_flexrecs::templates::{self, SchemaMap};
+use cr_flexrecs::{execute, RecResult, Workflow};
+use cr_relation::{RelError, RelResult, Value};
+
+use crate::db::{CourseRankDb, EnrollStatus};
+use crate::model::{CourseId, StudentId};
+
+/// How the student wants similarity computed (§3.2's "different options":
+/// "based on what 'similar' students have done or the grades they have
+/// taken").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimilarityBasis {
+    /// Students with similar ratings (Figure 5b).
+    #[default]
+    Ratings,
+    /// Students with similar transcripts (set overlap of courses taken).
+    CoursesTaken,
+    /// Students with similar *grades*: "a student may want to base her
+    /// recommendations on people with similar grades, as opposed to with
+    /// similar tastes" (§3).
+    Grades,
+}
+
+/// Options a student can set on the recommendation page.
+#[derive(Debug, Clone)]
+pub struct RecOptions {
+    pub basis: SimilarityBasis,
+    /// Neighborhood size.
+    pub k_students: usize,
+    /// How many recommendations to return.
+    pub k_courses: usize,
+    /// Minimum ratings in common before two students count as similar.
+    pub min_common: usize,
+    /// Weight neighbors by similarity (vs. plain average).
+    pub weighted: bool,
+    /// Hide courses the student already took.
+    pub exclude_taken: bool,
+}
+
+impl Default for RecOptions {
+    fn default() -> Self {
+        RecOptions {
+            basis: SimilarityBasis::Ratings,
+            k_students: 20,
+            k_courses: 10,
+            min_common: 2,
+            weighted: false,
+            exclude_taken: true,
+        }
+    }
+}
+
+/// A course recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CourseRec {
+    pub course: CourseId,
+    pub title: String,
+    pub score: f64,
+}
+
+/// Which execution path to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Direct workflow executor.
+    #[default]
+    Direct,
+    /// Compile to SQL (the paper's execution model), with automatic
+    /// fallback for non-compilable workflows.
+    CompiledSql,
+}
+
+/// The recommendation service.
+#[derive(Debug, Clone)]
+pub struct Recommender {
+    db: CourseRankDb,
+    map: SchemaMap,
+}
+
+impl Recommender {
+    pub fn new(db: CourseRankDb) -> Self {
+        Recommender {
+            db,
+            map: SchemaMap::default(),
+        }
+    }
+
+    /// The workflow a set of options denotes (visible to the admin UI —
+    /// `workflow.explain()` renders Figure 5).
+    pub fn course_workflow(&self, student: StudentId, opts: &RecOptions) -> Workflow {
+        match (opts.basis, opts.weighted) {
+            (SimilarityBasis::Ratings, false) => templates::user_cf(
+                &self.map,
+                student,
+                opts.k_students,
+                // Over-fetch so post-hoc exclude_taken still leaves k.
+                opts.k_courses * 2 + 16,
+                opts.min_common,
+                false,
+            ),
+            (SimilarityBasis::Ratings, true) => templates::user_cf_weighted(
+                &self.map,
+                student,
+                opts.k_students,
+                opts.k_courses * 2 + 16,
+                opts.min_common,
+            ),
+            (SimilarityBasis::CoursesTaken, _) => {
+                // Transcript-similarity neighborhood, then rating lookup.
+                templates::similar_students_by_courses(&self.map, student, opts.k_students)
+            }
+            (SimilarityBasis::Grades, weighted) => {
+                // Same Figure 5(b) shape over the derived GradePoints
+                // relation: similarity by grade vectors, courses scored by
+                // the similar students' grade points.
+                let map = self.grade_map();
+                if weighted {
+                    templates::user_cf_weighted(
+                        &map,
+                        student,
+                        opts.k_students,
+                        opts.k_courses * 2 + 16,
+                        opts.min_common,
+                    )
+                } else {
+                    templates::user_cf(
+                        &map,
+                        student,
+                        opts.k_students,
+                        opts.k_courses * 2 + 16,
+                        opts.min_common,
+                        false,
+                    )
+                }
+            }
+        }
+    }
+
+    /// The schema map pointing the CF templates at the derived
+    /// GradePoints relation.
+    fn grade_map(&self) -> SchemaMap {
+        SchemaMap {
+            ratings_table: "GradePoints".into(),
+            rating_value: "Points".into(),
+            ..self.map.clone()
+        }
+    }
+
+    /// (Re)build the derived `GradePoints(SuID, CourseID, Points)` relation
+    /// from the letter grades in Enrollments. Called before grade-based
+    /// recommendations; cheap enough to refresh on demand.
+    pub fn ensure_grade_points(&self) -> RelResult<usize> {
+        let catalog = self.db.catalog();
+        if !catalog.has_table("GradePoints") {
+            self.db.database().execute_sql(
+                "CREATE TABLE GradePoints (SuID INT, CourseID INT, Points FLOAT NOT NULL, \
+                 PRIMARY KEY (SuID, CourseID))",
+            )?;
+        } else {
+            self.db.database().execute_sql("DELETE FROM GradePoints")?;
+        }
+        let rs = self.db.database().query_sql(
+            "SELECT SuID, CourseID, Grade FROM Enrollments \
+             WHERE Status = 'taken' AND Grade IS NOT NULL",
+        )?;
+        let mut rows = Vec::with_capacity(rs.rows.len());
+        for r in &rs.rows {
+            let Some(points) = r[2]
+                .as_text()
+                .ok()
+                .and_then(crate::model::Grade::parse)
+                .and_then(|g| g.points())
+            else {
+                continue; // CR/NC carries no points
+            };
+            rows.push(cr_relation::row::row![
+                r[0].clone(),
+                r[1].clone(),
+                points
+            ]);
+        }
+        let n = rows.len();
+        // A student may appear twice for the same course across quarters;
+        // keep the first (insert_many would abort on the duplicate).
+        for row in rows {
+            match self.db.database().insert("GradePoints", row) {
+                Ok(_) => {}
+                Err(RelError::DuplicateKey(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(n)
+    }
+
+    /// Recommend courses for a student.
+    pub fn recommend_courses(
+        &self,
+        student: StudentId,
+        opts: &RecOptions,
+        mode: ExecMode,
+    ) -> RelResult<Vec<CourseRec>> {
+        if opts.basis == SimilarityBasis::Grades {
+            self.ensure_grade_points()?;
+        }
+        let ranking: Vec<(Value, f64)> = match opts.basis {
+            SimilarityBasis::Ratings | SimilarityBasis::Grades => {
+                let wf = self.course_workflow(student, opts);
+                let result = self.run(&wf, mode)?;
+                result.ranking("CourseID", "score")?
+            }
+            SimilarityBasis::CoursesTaken => {
+                // Two-phase: transcript-similar students, then their top
+                // courses by rating (via SQL over the neighbor set).
+                let wf = templates::similar_students_by_courses(
+                    &self.map,
+                    student,
+                    opts.k_students,
+                );
+                let neighbors = self.run(&wf, mode)?;
+                let ids: Vec<String> = neighbors
+                    .ranking("SuID", "sim")?
+                    .into_iter()
+                    .map(|(v, _)| v.to_string())
+                    .collect();
+                if ids.is_empty() {
+                    return Ok(Vec::new());
+                }
+                let sql = format!(
+                    "SELECT CourseID, AVG(Rating) AS score FROM Comments \
+                     WHERE SuID IN ({}) AND Rating IS NOT NULL \
+                     GROUP BY CourseID ORDER BY score DESC",
+                    ids.join(", ")
+                );
+                let rs = self.db.database().query_sql(&sql)?;
+                rs.rows
+                    .iter()
+                    .filter_map(|r| {
+                        let score = r[1].as_float().ok()?;
+                        Some((r[0].clone(), score))
+                    })
+                    .collect()
+            }
+        };
+
+        let taken: HashSet<CourseId> = if opts.exclude_taken {
+            self.db
+                .enrollments_of(student)?
+                .into_iter()
+                .filter(|e| e.status == EnrollStatus::Taken)
+                .map(|e| e.course)
+                .collect()
+        } else {
+            HashSet::new()
+        };
+
+        let mut out = Vec::with_capacity(opts.k_courses);
+        for (id, score) in ranking {
+            let course = id.as_int()?;
+            if taken.contains(&course) {
+                continue;
+            }
+            let title = self
+                .db
+                .course(course)?
+                .map(|c| c.title)
+                .unwrap_or_default();
+            out.push(CourseRec {
+                course,
+                title,
+                score,
+            });
+            if out.len() >= opts.k_courses {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Figure 5(a): courses related to a given course by title.
+    pub fn related_courses(&self, course: CourseId, k: usize) -> RelResult<Vec<CourseRec>> {
+        let c = self
+            .db
+            .course(course)?
+            .ok_or_else(|| RelError::Invalid(format!("no course {course}")))?;
+        let wf = templates::related_courses(&self.map, &c.title, None, k);
+        let result = execute(&wf, &self.db.catalog())?;
+        result
+            .ranking("CourseID", "score")?
+            .into_iter()
+            .map(|(id, score)| {
+                let course = id.as_int()?;
+                Ok(CourseRec {
+                    course,
+                    title: self
+                        .db
+                        .course(course)?
+                        .map(|c| c.title)
+                        .unwrap_or_default(),
+                    score,
+                })
+            })
+            .collect()
+    }
+
+    /// Recommend a major: departments ranked by how the student's
+    /// neighborhood rates that department's courses.
+    pub fn recommend_major(
+        &self,
+        student: StudentId,
+        opts: &RecOptions,
+    ) -> RelResult<Vec<(String, f64)>> {
+        let wf = templates::major_recommendation(
+            &self.map,
+            student,
+            opts.k_students,
+            opts.min_common,
+        );
+        let result = execute(&wf, &self.db.catalog())?;
+        let dep_idx = result
+            .column_index("DepID")
+            .ok_or_else(|| RelError::UnknownColumn("DepID".into()))?;
+        let score_idx = result
+            .column_index("score")
+            .ok_or_else(|| RelError::UnknownColumn("score".into()))?;
+        let mut per_dep: HashMap<String, (f64, usize)> = HashMap::new();
+        for t in &result.tuples {
+            let dep = match t[dep_idx].as_scalar() {
+                Some(Value::Text(d)) => d.clone(),
+                _ => continue,
+            };
+            let score = match t[score_idx].as_scalar() {
+                Some(Value::Float(f)) => *f,
+                Some(Value::Int(i)) => *i as f64,
+                _ => continue,
+            };
+            let slot = per_dep.entry(dep).or_insert((0.0, 0));
+            slot.0 += score;
+            slot.1 += 1;
+        }
+        let mut out: Vec<(String, f64)> = per_dep
+            .into_iter()
+            .map(|(dep, (sum, n))| (dep, sum / n as f64))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        Ok(out)
+    }
+
+    /// Recommend a quarter for a course (ratings by term, historical).
+    pub fn recommend_quarter(&self, course: CourseId) -> RelResult<Vec<(i64, String, f64, i64)>> {
+        let sql = templates::quarter_recommendation_sql(&self.map, course);
+        let rs = self.db.database().query_sql(&sql)?;
+        Ok(rs
+            .rows
+            .iter()
+            .filter_map(|r| {
+                Some((
+                    r[0].as_int().ok()?,
+                    r[1].as_text().ok()?.to_owned(),
+                    r[2].as_float().ok()?,
+                    r[3].as_int().ok()?,
+                ))
+            })
+            .collect())
+    }
+
+    fn run(&self, wf: &Workflow, mode: ExecMode) -> RelResult<RecResult> {
+        match mode {
+            ExecMode::Direct => execute(wf, &self.db.catalog()),
+            ExecMode::CompiledSql => Ok(compile_and_run(wf, &self.db.catalog())?.result),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::test_fixtures::small_campus;
+    use crate::db::Comment;
+    use crate::model::{Quarter, Term};
+
+    /// Extend the fixture with enough ratings for CF to act.
+    fn campus_with_ratings() -> CourseRankDb {
+        let db = small_campus();
+        // Bob rates like Sally and also loves 102 and 103.
+        let more = [
+            (2, 202, 4.0),
+            (2, 102, 5.0),
+            (2, 103, 4.5),
+            (4, 202, 2.0),
+            (4, 103, 3.0),
+        ];
+        for (id, (student, course, rating)) in (101i64..).zip(more) {
+            db.insert_comment(&Comment {
+                id,
+                student,
+                course,
+                quarter: Quarter::new(2008, Term::Autumn),
+                text: "rated".into(),
+                rating,
+                date: 0,
+            })
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn cf_recommends_unseen_courses() {
+        let db = campus_with_ratings();
+        let r = Recommender::new(db);
+        let recs = r
+            .recommend_courses(444, &RecOptions::default(), ExecMode::Direct)
+            .unwrap();
+        assert!(!recs.is_empty());
+        // Sally took 101 and 202 — they must not appear.
+        assert!(recs.iter().all(|x| x.course != 101 && x.course != 202));
+        // Bob (her twin) loves 102 → it should be recommended.
+        assert!(recs.iter().any(|x| x.course == 102), "{recs:?}");
+    }
+
+    #[test]
+    fn exclude_taken_toggle() {
+        let db = campus_with_ratings();
+        let r = Recommender::new(db);
+        let opts = RecOptions {
+            exclude_taken: false,
+            ..RecOptions::default()
+        };
+        let recs = r.recommend_courses(444, &opts, ExecMode::Direct).unwrap();
+        assert!(recs.iter().any(|x| x.course == 101));
+    }
+
+    #[test]
+    fn compiled_mode_matches_direct() {
+        let db = campus_with_ratings();
+        let r = Recommender::new(db);
+        let a = r
+            .recommend_courses(444, &RecOptions::default(), ExecMode::Direct)
+            .unwrap();
+        let b = r
+            .recommend_courses(444, &RecOptions::default(), ExecMode::CompiledSql)
+            .unwrap();
+        let am: HashMap<i64, f64> = a.iter().map(|x| (x.course, x.score)).collect();
+        let bm: HashMap<i64, f64> = b.iter().map(|x| (x.course, x.score)).collect();
+        assert_eq!(am.len(), bm.len());
+        for (k, v) in &am {
+            assert!((bm[k] - v).abs() < 1e-9, "course {k}");
+        }
+    }
+
+    #[test]
+    fn transcript_basis_works() {
+        let db = campus_with_ratings();
+        let r = Recommender::new(db);
+        let opts = RecOptions {
+            basis: SimilarityBasis::CoursesTaken,
+            min_common: 1,
+            ..RecOptions::default()
+        };
+        let recs = r.recommend_courses(444, &opts, ExecMode::Direct).unwrap();
+        assert!(!recs.is_empty());
+    }
+
+    #[test]
+    fn grade_basis_builds_derived_relation_and_recommends() {
+        let db = campus_with_ratings();
+        let r = Recommender::new(db.clone());
+        let n = r.ensure_grade_points().unwrap();
+        assert!(n > 0);
+        assert!(db.catalog().has_table("GradePoints"));
+        // Refreshing is idempotent.
+        let n2 = r.ensure_grade_points().unwrap();
+        assert_eq!(n, n2);
+        let opts = RecOptions {
+            basis: SimilarityBasis::Grades,
+            min_common: 1,
+            // The fixture's grade overlap is tiny (everyone's graded
+            // courses are Sally's too), so keep taken courses visible.
+            exclude_taken: false,
+            ..RecOptions::default()
+        };
+        let recs = r.recommend_courses(444, &opts, ExecMode::Direct).unwrap();
+        // Sally (A in 101) resembles Bob (A-) and Tim (B) via course 101;
+        // their graded courses surface, scored by grade points.
+        assert!(!recs.is_empty(), "{recs:?}");
+        assert!(recs.iter().any(|x| x.course == 101), "{recs:?}");
+        // Scores are grade points (0..=4.3).
+        for rec in &recs {
+            assert!((0.0..=4.3).contains(&rec.score), "{rec:?}");
+        }
+    }
+
+    #[test]
+    fn related_courses_by_title() {
+        let db = small_campus();
+        let r = Recommender::new(db);
+        let recs = r.related_courses(101, 5).unwrap();
+        // "Programming Abstractions" shares "Programming".
+        assert!(recs.iter().any(|x| x.course == 102), "{recs:?}");
+        assert!(r.related_courses(999, 5).is_err());
+    }
+
+    #[test]
+    fn major_recommendation_ranks_departments() {
+        let db = campus_with_ratings();
+        let r = Recommender::new(db);
+        let majors = r.recommend_major(444, &RecOptions::default()).unwrap();
+        assert!(!majors.is_empty());
+        // Bob (Sally's twin) loves CS courses → CS should lead.
+        assert_eq!(majors[0].0, "CS", "{majors:?}");
+    }
+
+    #[test]
+    fn quarter_recommendation() {
+        let db = campus_with_ratings();
+        let r = Recommender::new(db);
+        let q = r.recommend_quarter(101).unwrap();
+        assert!(!q.is_empty());
+        // All fixture ratings for 101 are in Aut 2008.
+        assert_eq!(q[0].0, 2008);
+        assert_eq!(q[0].1, "Aut");
+    }
+
+    #[test]
+    fn workflow_explain_shows_strategy() {
+        let db = small_campus();
+        let r = Recommender::new(db);
+        let wf = r.course_workflow(444, &RecOptions::default());
+        let text = wf.explain();
+        assert!(text.contains("inverse_euclidean"));
+        assert!(text.contains("rating_lookup"));
+    }
+}

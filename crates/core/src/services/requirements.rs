@@ -1,0 +1,561 @@
+//! The Requirement Tracker.
+//!
+//! §2.1: "a tool that checks if requirements for a major have been met
+//! (Requirement Tracker)". §2.2: staff "define the requirements for their
+//! programs" through a dedicated interface, which "enables students to
+//! check which requirements they meet based on the courses they have
+//! taken so far".
+//!
+//! Requirements form an algebra:
+//!
+//! * [`Requirement::Course`] — a specific course;
+//! * [`Requirement::AllOf`] / [`Requirement::AnyOf`] — conjunction /
+//!   disjunction;
+//! * [`Requirement::CountFrom`] — at least n courses from a set;
+//! * [`Requirement::UnitsFrom`] — at least u units from a set;
+//! * [`Requirement::UnitsInDept`] — at least u units in a department.
+//!
+//! The algebra round-trips through the `Requirements` relation so staff
+//! edits persist in the database like everything else.
+
+use std::collections::{HashMap, HashSet};
+
+use cr_relation::row::row;
+use cr_relation::{RelError, RelResult, Value};
+
+use crate::db::CourseRankDb;
+use crate::model::CourseId;
+
+/// A program requirement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Requirement {
+    /// Take this exact course.
+    Course(CourseId),
+    /// Every child requirement must be met.
+    AllOf(Vec<Requirement>),
+    /// At least one child requirement must be met.
+    AnyOf(Vec<Requirement>),
+    /// At least `n` distinct courses from `from`.
+    CountFrom { n: usize, from: Vec<CourseId> },
+    /// At least `units` units from `from`.
+    UnitsFrom { units: i64, from: Vec<CourseId> },
+    /// At least `units` units in department `dep`.
+    UnitsInDept { units: i64, dep: String },
+}
+
+/// Evaluation outcome for one requirement node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReqStatus {
+    pub met: bool,
+    /// Human-readable description of the node.
+    pub label: String,
+    /// Fraction complete in [0, 1] (1.0 when met).
+    pub progress: f64,
+    /// What is still missing, in words.
+    pub missing: Option<String>,
+    /// Child statuses (for AllOf/AnyOf).
+    pub children: Vec<ReqStatus>,
+}
+
+impl Requirement {
+    /// Evaluate against the set of taken courses (with units per course).
+    pub fn evaluate(&self, taken: &HashMap<CourseId, i64>, db: &CourseRankDb) -> RelResult<ReqStatus> {
+        Ok(match self {
+            Requirement::Course(c) => {
+                let met = taken.contains_key(c);
+                let title = db
+                    .course(*c)?
+                    .map(|x| x.title)
+                    .unwrap_or_else(|| format!("course {c}"));
+                ReqStatus {
+                    met,
+                    label: format!("take {title}"),
+                    progress: if met { 1.0 } else { 0.0 },
+                    missing: (!met).then(|| format!("missing {title}")),
+                    children: Vec::new(),
+                }
+            }
+            Requirement::AllOf(parts) => {
+                let children: Vec<ReqStatus> = parts
+                    .iter()
+                    .map(|p| p.evaluate(taken, db))
+                    .collect::<RelResult<_>>()?;
+                let met = children.iter().all(|c| c.met);
+                let progress = if children.is_empty() {
+                    1.0
+                } else {
+                    children.iter().map(|c| c.progress).sum::<f64>() / children.len() as f64
+                };
+                ReqStatus {
+                    met,
+                    label: "all of".into(),
+                    progress,
+                    missing: (!met).then(|| {
+                        children
+                            .iter()
+                            .filter(|c| !c.met)
+                            .filter_map(|c| c.missing.clone())
+                            .collect::<Vec<_>>()
+                            .join("; ")
+                    }),
+                    children,
+                }
+            }
+            Requirement::AnyOf(parts) => {
+                let children: Vec<ReqStatus> = parts
+                    .iter()
+                    .map(|p| p.evaluate(taken, db))
+                    .collect::<RelResult<_>>()?;
+                let met = children.iter().any(|c| c.met);
+                let progress = children
+                    .iter()
+                    .map(|c| c.progress)
+                    .fold(0.0, f64::max);
+                ReqStatus {
+                    met,
+                    label: "any of".into(),
+                    progress: if met { 1.0 } else { progress },
+                    missing: (!met).then(|| "none of the alternatives met".to_owned()),
+                    children,
+                }
+            }
+            Requirement::CountFrom { n, from } => {
+                let have = from.iter().filter(|c| taken.contains_key(c)).count();
+                let met = have >= *n;
+                ReqStatus {
+                    met,
+                    label: format!("{n} courses from a list of {}", from.len()),
+                    progress: (have as f64 / (*n).max(1) as f64).min(1.0),
+                    missing: (!met).then(|| format!("{} more course(s) needed", n - have)),
+                    children: Vec::new(),
+                }
+            }
+            Requirement::UnitsFrom { units, from } => {
+                let have: i64 = from.iter().filter_map(|c| taken.get(c)).sum();
+                let met = have >= *units;
+                ReqStatus {
+                    met,
+                    label: format!("{units} units from a list of {}", from.len()),
+                    progress: (have as f64 / (*units).max(1) as f64).min(1.0),
+                    missing: (!met).then(|| format!("{} more unit(s) needed", units - have)),
+                    children: Vec::new(),
+                }
+            }
+            Requirement::UnitsInDept { units, dep } => {
+                let mut have = 0i64;
+                for (&course, &u) in taken {
+                    if let Some(c) = db.course(course)? {
+                        if c.dep.eq_ignore_ascii_case(dep) {
+                            have += u;
+                        }
+                    }
+                }
+                let met = have >= *units;
+                ReqStatus {
+                    met,
+                    label: format!("{units} units in {dep}"),
+                    progress: (have as f64 / (*units).max(1) as f64).min(1.0),
+                    missing: (!met).then(|| {
+                        format!("{} more unit(s) in {dep} needed", units - have)
+                    }),
+                    children: Vec::new(),
+                }
+            }
+        })
+    }
+}
+
+/// The tracker service: program storage + audits.
+#[derive(Debug, Clone)]
+pub struct RequirementTracker {
+    db: CourseRankDb,
+}
+
+impl RequirementTracker {
+    pub fn new(db: CourseRankDb) -> Self {
+        RequirementTracker { db }
+    }
+
+    /// Persist a program definition (staff interface). Returns program id.
+    pub fn define_program(
+        &self,
+        program_id: i64,
+        dep: &str,
+        name: &str,
+        requirement: &Requirement,
+    ) -> RelResult<()> {
+        self.db
+            .database()
+            .insert("Programs", row![program_id, dep, name])?;
+        let mut next_req_id = self
+            .db
+            .catalog()
+            .with_table("Requirements", |t| t.len() as i64)?
+            + 1;
+        self.store_requirement(program_id, None, requirement, &mut next_req_id)?;
+        Ok(())
+    }
+
+    fn store_requirement(
+        &self,
+        program: i64,
+        parent: Option<i64>,
+        req: &Requirement,
+        next_id: &mut i64,
+    ) -> RelResult<i64> {
+        let id = *next_id;
+        *next_id += 1;
+        let parent_v = Value::from(parent);
+        let insert = |kind: &str,
+                      param: Option<i64>,
+                      course: Option<i64>,
+                      dep: Option<&str>,
+                      label: &str|
+         -> RelResult<()> {
+            self.db
+                .database()
+                .insert(
+                    "Requirements",
+                    row![
+                        id,
+                        program,
+                        parent_v.clone(),
+                        kind,
+                        Value::from(param),
+                        Value::from(course),
+                        Value::from(dep.map(str::to_owned)),
+                        label
+                    ],
+                )
+                .map(|_| ())
+        };
+        match req {
+            Requirement::Course(c) => insert("course", None, Some(*c), None, "")?,
+            Requirement::AllOf(parts) => {
+                insert("all_of", None, None, None, "")?;
+                for p in parts {
+                    self.store_requirement(program, Some(id), p, next_id)?;
+                }
+            }
+            Requirement::AnyOf(parts) => {
+                insert("any_of", None, None, None, "")?;
+                for p in parts {
+                    self.store_requirement(program, Some(id), p, next_id)?;
+                }
+            }
+            Requirement::CountFrom { n, from } => {
+                insert("count_from", Some(*n as i64), None, None, &ids_label(from))?
+            }
+            Requirement::UnitsFrom { units, from } => {
+                insert("units_from", Some(*units), None, None, &ids_label(from))?
+            }
+            Requirement::UnitsInDept { units, dep } => {
+                insert("units_in_dept", Some(*units), None, Some(dep), "")?
+            }
+        }
+        Ok(id)
+    }
+
+    /// Load a program's requirement tree back from the relation.
+    pub fn load_program(&self, program_id: i64) -> RelResult<Requirement> {
+        #[derive(Clone)]
+        struct RowData {
+            id: i64,
+            parent: Option<i64>,
+            kind: String,
+            param: Option<i64>,
+            course: Option<i64>,
+            dep: Option<String>,
+            label: String,
+        }
+        let rows: Vec<RowData> = self.db.catalog().with_table("Requirements", |t| {
+            t.scan()
+                .filter(|(_, r)| r[1] == Value::Int(program_id))
+                .map(|(_, r)| RowData {
+                    id: r[0].as_int().unwrap_or(0),
+                    parent: r[2].as_int().ok(),
+                    kind: r[3].as_text().unwrap_or("").to_owned(),
+                    param: r[4].as_int().ok(),
+                    course: r[5].as_int().ok(),
+                    dep: r[6].as_text().ok().map(str::to_owned),
+                    label: r[7].as_text().unwrap_or("").to_owned(),
+                })
+                .collect()
+        })?;
+        if rows.is_empty() {
+            return Err(RelError::Invalid(format!("no program {program_id}")));
+        }
+        let mut children: HashMap<i64, Vec<&RowData>> = HashMap::new();
+        let mut root: Option<&RowData> = None;
+        for r in &rows {
+            match r.parent {
+                Some(p) => children.entry(p).or_default().push(r),
+                None => root = Some(r),
+            }
+        }
+        fn build(
+            r: &RowData,
+            children: &HashMap<i64, Vec<&RowData>>,
+        ) -> RelResult<Requirement> {
+            Ok(match r.kind.as_str() {
+                "course" => Requirement::Course(
+                    r.course
+                        .ok_or_else(|| RelError::Invalid("course req without id".into()))?,
+                ),
+                "all_of" => Requirement::AllOf(
+                    children
+                        .get(&r.id)
+                        .map(|cs| cs.iter().map(|c| build(c, children)).collect())
+                        .transpose()?
+                        .unwrap_or_default(),
+                ),
+                "any_of" => Requirement::AnyOf(
+                    children
+                        .get(&r.id)
+                        .map(|cs| cs.iter().map(|c| build(c, children)).collect())
+                        .transpose()?
+                        .unwrap_or_default(),
+                ),
+                "count_from" => Requirement::CountFrom {
+                    n: r.param.unwrap_or(0) as usize,
+                    from: parse_ids(&r.label),
+                },
+                "units_from" => Requirement::UnitsFrom {
+                    units: r.param.unwrap_or(0),
+                    from: parse_ids(&r.label),
+                },
+                "units_in_dept" => Requirement::UnitsInDept {
+                    units: r.param.unwrap_or(0),
+                    dep: r.dep.clone().unwrap_or_default(),
+                },
+                other => return Err(RelError::Invalid(format!("unknown req kind {other}"))),
+            })
+        }
+        build(
+            root.ok_or_else(|| RelError::Invalid("program has no root requirement".into()))?,
+            &children,
+        )
+    }
+
+    /// Audit a student against a stored program.
+    pub fn audit(&self, program_id: i64, student: crate::model::StudentId) -> RelResult<ReqStatus> {
+        let requirement = self.load_program(program_id)?;
+        let taken = self.taken_with_units(student)?;
+        requirement.evaluate(&taken, &self.db)
+    }
+
+    /// Taken courses with units.
+    pub fn taken_with_units(
+        &self,
+        student: crate::model::StudentId,
+    ) -> RelResult<HashMap<CourseId, i64>> {
+        let mut out = HashMap::new();
+        let taken: HashSet<CourseId> = self
+            .db
+            .enrollments_of(student)?
+            .into_iter()
+            .filter(|e| e.status == crate::db::EnrollStatus::Taken)
+            .map(|e| e.course)
+            .collect();
+        for c in taken {
+            let units = self.db.course(c)?.map(|x| x.units).unwrap_or(0);
+            out.insert(c, units);
+        }
+        Ok(out)
+    }
+
+    /// Render an audit as an indented checklist.
+    pub fn render(status: &ReqStatus) -> String {
+        let mut out = String::new();
+        fn rec(s: &ReqStatus, depth: usize, out: &mut String) {
+            use std::fmt::Write;
+            let mark = if s.met { "✓" } else { "✗" };
+            let _ = writeln!(
+                out,
+                "{}{} {} ({:.0}%)",
+                "  ".repeat(depth),
+                mark,
+                s.label,
+                s.progress * 100.0
+            );
+            for c in &s.children {
+                rec(c, depth + 1, out);
+            }
+        }
+        rec(status, 0, &mut out);
+        out
+    }
+}
+
+fn ids_label(ids: &[CourseId]) -> String {
+    ids.iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_ids(label: &str) -> Vec<CourseId> {
+    label
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::test_fixtures::small_campus;
+
+    fn cs_major() -> Requirement {
+        Requirement::AllOf(vec![
+            Requirement::Course(101),
+            Requirement::AnyOf(vec![Requirement::Course(102), Requirement::Course(103)]),
+            Requirement::CountFrom {
+                n: 1,
+                from: vec![201, 202],
+            },
+            Requirement::UnitsInDept {
+                units: 5,
+                dep: "CS".into(),
+            },
+        ])
+    }
+
+    fn taken(pairs: &[(CourseId, i64)]) -> HashMap<CourseId, i64> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn course_requirement() {
+        let db = small_campus();
+        let r = Requirement::Course(101);
+        let s = r.evaluate(&taken(&[(101, 5)]), &db).unwrap();
+        assert!(s.met);
+        assert_eq!(s.progress, 1.0);
+        let s = r.evaluate(&taken(&[]), &db).unwrap();
+        assert!(!s.met);
+        assert!(s.missing.unwrap().contains("Introduction to Programming"));
+    }
+
+    #[test]
+    fn all_of_and_any_of() {
+        let db = small_campus();
+        let r = cs_major();
+        // Sally's transcript-like: 101 (5u CS) + 202 (3u HIST).
+        let s = r.evaluate(&taken(&[(101, 5), (202, 3)]), &db).unwrap();
+        assert!(!s.met); // missing the AnyOf(102|103)
+        assert_eq!(s.children.len(), 4);
+        assert!(s.children[0].met);
+        assert!(!s.children[1].met);
+        assert!(s.children[2].met); // 202 counts
+        assert!(s.children[3].met); // 5 CS units
+        // Adding 103 completes it.
+        let s = r
+            .evaluate(&taken(&[(101, 5), (202, 3), (103, 4)]), &db)
+            .unwrap();
+        assert!(s.met);
+        assert_eq!(s.progress, 1.0);
+    }
+
+    #[test]
+    fn count_and_units_progress() {
+        let db = small_campus();
+        let r = Requirement::CountFrom {
+            n: 2,
+            from: vec![101, 102, 103],
+        };
+        let s = r.evaluate(&taken(&[(101, 5)]), &db).unwrap();
+        assert!(!s.met);
+        assert!((s.progress - 0.5).abs() < 1e-9);
+        let r = Requirement::UnitsFrom {
+            units: 9,
+            from: vec![101, 102],
+        };
+        let s = r.evaluate(&taken(&[(101, 5)]), &db).unwrap();
+        assert!((s.progress - 5.0 / 9.0).abs() < 1e-9);
+        assert!(s.missing.unwrap().contains("4 more unit"));
+    }
+
+    #[test]
+    fn units_in_dept_counts_only_that_dept() {
+        let db = small_campus();
+        let r = Requirement::UnitsInDept {
+            units: 8,
+            dep: "CS".into(),
+        };
+        // 101 (CS, 5) + 201 (HIST, 4): only 5 CS units.
+        let s = r.evaluate(&taken(&[(101, 5), (201, 4)]), &db).unwrap();
+        assert!(!s.met);
+        let s = r.evaluate(&taken(&[(101, 5), (102, 5)]), &db).unwrap();
+        assert!(s.met);
+    }
+
+    #[test]
+    fn program_roundtrip_through_relation() {
+        let db = small_campus();
+        let tracker = RequirementTracker::new(db);
+        let original = cs_major();
+        tracker
+            .define_program(1, "CS", "BS Computer Science", &original)
+            .unwrap();
+        let loaded = tracker.load_program(1).unwrap();
+        assert_eq!(loaded, original);
+    }
+
+    #[test]
+    fn audit_uses_student_transcript() {
+        let db = small_campus();
+        let tracker = RequirementTracker::new(db);
+        tracker
+            .define_program(1, "CS", "BS Computer Science", &cs_major())
+            .unwrap();
+        // Sally has taken 101 and 202.
+        let s = tracker.audit(1, 444).unwrap();
+        assert!(!s.met);
+        let text = RequirementTracker::render(&s);
+        assert!(text.contains("✗"));
+        assert!(text.contains("✓"));
+    }
+
+    #[test]
+    fn unknown_program_errors() {
+        let db = small_campus();
+        let tracker = RequirementTracker::new(db);
+        assert!(tracker.load_program(77).is_err());
+    }
+
+    #[test]
+    fn multiple_programs_coexist() {
+        let db = small_campus();
+        let tracker = RequirementTracker::new(db);
+        tracker
+            .define_program(1, "CS", "BS CS", &Requirement::Course(101))
+            .unwrap();
+        tracker
+            .define_program(
+                2,
+                "HIST",
+                "BA History",
+                &Requirement::AllOf(vec![
+                    Requirement::Course(201),
+                    Requirement::Course(202),
+                ]),
+            )
+            .unwrap();
+        assert_eq!(tracker.load_program(1).unwrap(), Requirement::Course(101));
+        match tracker.load_program(2).unwrap() {
+            Requirement::AllOf(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_all_of_is_vacuously_met() {
+        let db = small_campus();
+        let s = Requirement::AllOf(vec![])
+            .evaluate(&taken(&[]), &db)
+            .unwrap();
+        assert!(s.met);
+        assert_eq!(s.progress, 1.0);
+    }
+}

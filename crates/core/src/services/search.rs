@@ -1,0 +1,276 @@
+//! CourseCloud: the search + data-cloud component (Figures 3 and 4).
+//!
+//! Wraps [`cr_textsearch`] with the CourseRank entity definition: a course
+//! entity spans `Courses` (title, description), `Comments` (student text),
+//! and `Textbooks` (volunteer-reported titles), with title weighted
+//! highest — the §3.1 ranking answer.
+
+use cr_relation::{RelResult, Value};
+use cr_textsearch::cloud::CloudConfig;
+use cr_textsearch::engine::{SearchEngine, SearchResults};
+use cr_textsearch::entity::{build_index, build_index_parallel, reindex_entity, EntitySpec, FieldSource};
+use cr_textsearch::DataCloud;
+
+use crate::db::CourseRankDb;
+use crate::model::CourseId;
+
+/// The CourseRank course-entity definition.
+pub fn course_entity_spec() -> EntitySpec {
+    EntitySpec {
+        name: "course".into(),
+        base_table: "Courses".into(),
+        id_column: "CourseID".into(),
+        fields: vec![
+            (
+                "title".into(),
+                FieldSource::Column {
+                    column: "Title".into(),
+                    weight: 4.0,
+                },
+            ),
+            (
+                "description".into(),
+                FieldSource::Column {
+                    column: "Description".into(),
+                    weight: 2.0,
+                },
+            ),
+            (
+                "comments".into(),
+                FieldSource::Related {
+                    table: "Comments".into(),
+                    fk_column: "CourseID".into(),
+                    text_column: "Text".into(),
+                    weight: 1.0,
+                },
+            ),
+            (
+                "textbooks".into(),
+                FieldSource::Related {
+                    table: "Textbooks".into(),
+                    fk_column: "CourseID".into(),
+                    text_column: "Title".into(),
+                    weight: 1.5,
+                },
+            ),
+        ],
+    }
+}
+
+/// A search hit enriched with course data (what the Figure 3 result list
+/// shows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CourseHit {
+    pub course: CourseId,
+    pub title: String,
+    pub dep: String,
+    pub score: f64,
+    /// Matching fragment of the description, hits marked with `[...]`.
+    pub snippet: Option<String>,
+}
+
+/// The CourseCloud service.
+#[derive(Debug, Clone)]
+pub struct CourseCloud {
+    db: CourseRankDb,
+    engine: SearchEngine,
+    spec: EntitySpec,
+    cloud_config: CloudConfig,
+}
+
+impl CourseCloud {
+    /// Build the index single-threaded.
+    pub fn build(db: CourseRankDb) -> RelResult<Self> {
+        let spec = course_entity_spec();
+        let corpus = build_index(&db.catalog(), &spec)?;
+        Ok(CourseCloud {
+            db,
+            engine: SearchEngine::new(corpus),
+            spec,
+            cloud_config: CloudConfig::default(),
+        })
+    }
+
+    /// Build the index with parallel sharding (paper-scale corpora).
+    pub fn build_parallel(db: CourseRankDb, threads: usize) -> RelResult<Self> {
+        let spec = course_entity_spec();
+        let corpus = build_index_parallel(&db.catalog(), &spec, threads)?;
+        Ok(CourseCloud {
+            db,
+            engine: SearchEngine::new(corpus),
+            spec,
+            cloud_config: CloudConfig::default(),
+        })
+    }
+
+    pub fn with_cloud_config(mut self, config: CloudConfig) -> Self {
+        self.cloud_config = config;
+        self
+    }
+
+    pub fn engine(&self) -> &SearchEngine {
+        &self.engine
+    }
+
+    /// Search and return enriched hits plus the raw results (for cloud
+    /// computation and counts).
+    pub fn search(&self, query: &str, k: usize) -> RelResult<(Vec<CourseHit>, SearchResults)> {
+        let q = self.engine.parse_query(query);
+        let results = self.engine.search(&q, k);
+        let hits = self.enrich(&results)?;
+        Ok((hits, results))
+    }
+
+    fn enrich(&self, results: &SearchResults) -> RelResult<Vec<CourseHit>> {
+        let analyzer = self.engine.corpus().index.analyzer();
+        let mut hits = Vec::with_capacity(results.hits.len());
+        for h in &results.hits {
+            let course = h.entity_id.as_int()?;
+            let c = self.db.course(course)?;
+            let snippet = c.as_ref().and_then(|c| {
+                cr_textsearch::highlight::snippet(
+                    &c.description,
+                    &results.query.terms,
+                    analyzer,
+                    12,
+                )
+                .map(|s| s.render())
+            });
+            hits.push(CourseHit {
+                course,
+                title: c.as_ref().map(|c| c.title.clone()).unwrap_or_default(),
+                dep: c.map(|c| c.dep).unwrap_or_default(),
+                score: h.score,
+                snippet,
+            });
+        }
+        Ok(hits)
+    }
+
+    /// The cloud for a result set.
+    pub fn cloud(&self, results: &SearchResults) -> DataCloud {
+        self.engine.cloud(results, &self.cloud_config)
+    }
+
+    /// The Figure 3 → Figure 4 loop in one call: search, compute the
+    /// cloud, optionally refined by a previously clicked cloud term.
+    pub fn search_with_cloud(
+        &self,
+        query: &str,
+        refine_term: Option<&str>,
+        k: usize,
+    ) -> RelResult<(Vec<CourseHit>, SearchResults, DataCloud)> {
+        let mut q = self.engine.parse_query(query);
+        if let Some(t) = refine_term {
+            q = q.refine(t);
+        }
+        let results = self.engine.search(&q, k);
+        let cloud = self.engine.cloud(&results, &self.cloud_config);
+        let hits = self.enrich(&results)?;
+        Ok((hits, results, cloud))
+    }
+
+    /// Reindex one course after new user content (a fresh comment).
+    pub fn reindex_course(&mut self, course: CourseId) -> RelResult<bool> {
+        reindex_entity(
+            self.engine.corpus_mut(),
+            &self.db.catalog(),
+            &self.spec,
+            &Value::Int(course),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::test_fixtures::small_campus;
+    use crate::db::Comment;
+    use crate::model::{Quarter, Term};
+
+    fn cloud() -> CourseCloud {
+        CourseCloud::build(small_campus()).unwrap()
+    }
+
+    #[test]
+    fn search_spans_relations() {
+        let c = cloud();
+        // "java" appears only in 101's description.
+        let (hits, results) = c.search("java", 10).unwrap();
+        assert_eq!(results.total, 1);
+        assert_eq!(hits[0].course, 101);
+        // "castles" appears in 201's description AND a comment.
+        let (hits, _) = c.search("castles", 10).unwrap();
+        assert_eq!(hits[0].course, 201);
+    }
+
+    #[test]
+    fn snippets_highlight_description_matches() {
+        let c = cloud();
+        let (hits, _) = c.search("java", 10).unwrap();
+        let snip = hits[0].snippet.as_deref().unwrap();
+        assert!(snip.contains("[java]"), "{snip}");
+    }
+
+    #[test]
+    fn serendipity_greek_science(){
+        // The paper's example: searching "greek" finds History of Science
+        // even though its title never says Greek.
+        let c = cloud();
+        let (hits, _) = c.search("greek", 10).unwrap();
+        assert!(hits.iter().any(|h| h.course == 202), "{hits:?}");
+    }
+
+    #[test]
+    fn refinement_narrows() {
+        let c = cloud();
+        let (_, broad, _) = c.search_with_cloud("programming", None, 10).unwrap();
+        let (_, narrow, _) = c
+            .search_with_cloud("programming", Some("java"), 10)
+            .unwrap();
+        assert!(narrow.total <= broad.total);
+        assert_eq!(narrow.total, 1);
+    }
+
+    #[test]
+    fn reindex_picks_up_new_comment() {
+        let mut c = cloud();
+        let (_, r) = c.search("quantum", 10).unwrap();
+        assert_eq!(r.total, 0);
+        c.db
+            .insert_comment(&Comment {
+                id: 99,
+                student: 444,
+                course: 103,
+                quarter: Quarter::new(2009, Term::Spring),
+                text: "surprise quantum computing lectures at the end".into(),
+                rating: 5.0,
+                date: 0,
+            })
+            .unwrap();
+        assert!(c.reindex_course(103).unwrap());
+        let (hits, r) = c.search("quantum", 10).unwrap();
+        assert_eq!(r.total, 1);
+        assert_eq!(hits[0].course, 103);
+    }
+
+    #[test]
+    fn parallel_build_equivalent() {
+        let db = small_campus();
+        let seq = CourseCloud::build(db.clone()).unwrap();
+        let par = CourseCloud::build_parallel(db, 2).unwrap();
+        let (a, _) = seq.search("programming", 10).unwrap();
+        let (b, _) = par.search("programming", 10).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn textbook_titles_searchable() {
+        let db = small_campus();
+        db.insert_textbook(1, 103, "Operating System Concepts (Dinosaur Book)", Some(444))
+            .unwrap();
+        let c = CourseCloud::build(db).unwrap();
+        let (hits, _) = c.search("dinosaur", 10).unwrap();
+        assert_eq!(hits[0].course, 103);
+    }
+}

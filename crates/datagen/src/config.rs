@@ -1,0 +1,157 @@
+//! Generation scale configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// All the knobs. [`ScaleConfig::paper_scale`] reproduces the §2 numbers;
+/// [`ScaleConfig::scaled`] shrinks everything proportionally for tests and
+/// fast benches.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScaleConfig {
+    pub seed: u64,
+    /// Number of departments.
+    pub departments: usize,
+    /// Total course count (paper: 18,605).
+    pub courses: usize,
+    /// Total students (paper: ~14,000).
+    pub students: usize,
+    /// Students who actively use the system (paper: >9,000).
+    pub active_students: usize,
+    /// Total comments (paper: 134,000).
+    pub comments: usize,
+    /// Comments that carry a rating (paper: >50,300).
+    pub ratings: usize,
+    /// Mean taken-courses per active student.
+    pub mean_courses_per_student: f64,
+    /// Mean planned (future) courses per active student.
+    pub mean_planned_per_student: f64,
+    /// Zipf skew for course popularity (1.0 = classic).
+    pub zipf_s: f64,
+    /// Academic years covered (offerings/enrollments), e.g. 2006..=2008.
+    pub first_year: i32,
+    pub last_year: i32,
+    /// Fraction of students sharing their plans (§2.2: "the vast majority").
+    pub share_plans_rate: f64,
+    /// Self-report bias: probability that a student nudges a reported
+    /// grade one step up (E7 measures how far this pulls the
+    /// distributions apart — the paper found "very close").
+    pub grade_inflation_rate: f64,
+    /// Official grade distributions are published for this fraction of
+    /// courses in disclosing schools.
+    pub official_dist_rate: f64,
+}
+
+impl ScaleConfig {
+    /// The September-2008 numbers from §2 of the paper.
+    pub fn paper_scale() -> Self {
+        ScaleConfig {
+            seed: 0xC0DE_2009,
+            departments: 60,
+            courses: 18_605,
+            students: 14_000,
+            active_students: 9_000,
+            comments: 134_000,
+            ratings: 50_300,
+            mean_courses_per_student: 28.0,
+            mean_planned_per_student: 4.0,
+            zipf_s: 1.0,
+            first_year: 2006,
+            last_year: 2008,
+            share_plans_rate: 0.9,
+            grade_inflation_rate: 0.15,
+            official_dist_rate: 0.8,
+        }
+    }
+
+    /// Scale every cardinality by `fraction` (≥ 1 course/student/...).
+    /// Departments scale by √fraction: vocabulary diversity (which drives
+    /// how selective a broad search term is — the Figure 3 shape) must
+    /// shrink much more slowly than corpus size.
+    pub fn scaled(fraction: f64) -> Self {
+        let p = Self::paper_scale();
+        let f = |n: usize| ((n as f64 * fraction).round() as usize).max(1);
+        ScaleConfig {
+            departments: ((p.departments as f64 * fraction.sqrt()).round() as usize)
+                .clamp(4, 60),
+            courses: f(p.courses),
+            students: f(p.students),
+            active_students: f(p.active_students),
+            comments: f(p.comments),
+            ratings: f(p.ratings),
+            ..p
+        }
+    }
+
+    /// A small config for unit tests (fast: < 100 ms).
+    pub fn tiny() -> Self {
+        ScaleConfig {
+            seed: 42,
+            departments: 4,
+            courses: 120,
+            students: 200,
+            active_students: 150,
+            comments: 600,
+            ratings: 400,
+            mean_courses_per_student: 10.0,
+            mean_planned_per_student: 2.0,
+            zipf_s: 1.0,
+            first_year: 2007,
+            last_year: 2008,
+            share_plans_rate: 0.9,
+            grade_inflation_rate: 0.15,
+            official_dist_rate: 0.8,
+        }
+    }
+
+    /// Basic sanity: active ≤ total, ratings ≤ comments, years ordered.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.active_students > self.students {
+            return Err("active_students > students".into());
+        }
+        if self.ratings > self.comments {
+            return Err("ratings > comments".into());
+        }
+        if self.first_year > self.last_year {
+            return Err("first_year > last_year".into());
+        }
+        if self.departments == 0 || self.courses == 0 {
+            return Err("need at least one department and course".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_section_2() {
+        let c = ScaleConfig::paper_scale();
+        assert_eq!(c.courses, 18_605);
+        assert_eq!(c.comments, 134_000);
+        assert_eq!(c.ratings, 50_300);
+        assert_eq!(c.students, 14_000);
+        assert_eq!(c.active_students, 9_000);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn scaled_preserves_ratios() {
+        let c = ScaleConfig::scaled(0.1);
+        assert_eq!(c.courses, 1861); // 18_605 * 0.1 rounded
+        assert_eq!(c.departments, 19); // 60 * √0.1
+        assert!(c.active_students <= c.students);
+        assert!(c.ratings <= c.comments);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_inversions() {
+        let mut c = ScaleConfig::tiny();
+        c.active_students = c.students + 1;
+        assert!(c.validate().is_err());
+        let mut c = ScaleConfig::tiny();
+        c.ratings = c.comments + 1;
+        assert!(c.validate().is_err());
+    }
+}

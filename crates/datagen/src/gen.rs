@@ -1,0 +1,574 @@
+//! The generator proper.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use courserank::db::{Comment, Course, CourseRankDb, EnrollStatus, Enrollment, Offering, Student};
+use courserank::model::{CourseId, Days, Grade, Quarter, StudentId, Term};
+use courserank::services::requirements::{Requirement, RequirementTracker};
+use cr_relation::{value::ymd_to_days, RelError, RelResult};
+
+use crate::config::ScaleConfig;
+use crate::words::{self, DeptTheme, DEPT_THEMES};
+
+/// What was generated (experiment E1 compares against the paper's §2
+/// numbers).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GenStats {
+    pub departments: usize,
+    pub courses: usize,
+    pub students: usize,
+    pub active_students: usize,
+    pub enrollments: usize,
+    pub planned: usize,
+    pub comments: usize,
+    pub ratings: usize,
+    pub offerings: usize,
+    pub instructors: usize,
+    pub programs: usize,
+    pub questions: usize,
+    pub official_dist_courses: usize,
+    pub prerequisites: usize,
+}
+
+impl GenStats {
+    /// One-line summary like the paper's §2 sentence.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} courses, {} comments, {} ratings; {} of {} students active",
+            self.courses, self.comments, self.ratings, self.active_students, self.students
+        )
+    }
+}
+
+/// Per-course latent parameters driving grades/ratings.
+struct CourseModel {
+    /// 0 = easy, 1 = brutal.
+    difficulty: f64,
+    /// Latent quality: mean rating in [1.5, 5.0].
+    quality: f64,
+    dept: usize,
+}
+
+/// Generate a complete campus.
+pub fn generate(config: &ScaleConfig) -> RelResult<(CourseRankDb, GenStats)> {
+    config.validate().map_err(RelError::Invalid)?;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let db = CourseRankDb::new();
+    let mut stats = GenStats::default();
+
+    // ------------------------------------------------------------------
+    // Departments (cycling the themes, suffixing clones).
+    // ------------------------------------------------------------------
+    let mut dept_codes: Vec<String> = Vec::with_capacity(config.departments);
+    let mut dept_theme: Vec<&'static DeptTheme> = Vec::with_capacity(config.departments);
+    for i in 0..config.departments {
+        let theme = &DEPT_THEMES[i % DEPT_THEMES.len()];
+        let code = if i < DEPT_THEMES.len() {
+            theme.code.to_owned()
+        } else {
+            format!("{}{}", theme.code, i / DEPT_THEMES.len() + 1)
+        };
+        db.insert_department(&code, theme.name, theme.school)?;
+        dept_codes.push(code);
+        dept_theme.push(theme);
+    }
+    stats.departments = config.departments;
+
+    // ------------------------------------------------------------------
+    // Instructors: one per ~8 courses, at least one per department.
+    // ------------------------------------------------------------------
+    let n_instructors = (config.courses / 8).max(config.departments);
+    for i in 0..n_instructors {
+        let dep = i % config.departments;
+        db.insert_instructor(
+            i as i64 + 1,
+            &words::person_name(&mut rng),
+            &dept_codes[dep],
+        )?;
+    }
+    stats.instructors = n_instructors;
+
+    // ------------------------------------------------------------------
+    // Courses with latent difficulty/quality, prerequisites, offerings.
+    // ------------------------------------------------------------------
+    let mut models: Vec<CourseModel> = Vec::with_capacity(config.courses);
+    let mut titles: Vec<String> = Vec::with_capacity(config.courses);
+    let mut per_dept_courses: Vec<Vec<CourseId>> = vec![Vec::new(); config.departments];
+    let terms = [Term::Autumn, Term::Winter, Term::Spring];
+    let mut offering_id = 0i64;
+    for i in 0..config.courses {
+        let dept = i % config.departments;
+        let theme = dept_theme[dept];
+        let id = i as CourseId + 1;
+        let title = words::course_title(&mut rng, theme, i);
+        let description = words::course_description(&mut rng, theme, &title);
+        let units = *[3i64, 3, 4, 4, 5, 5, 2, 1].choose(&mut rng).expect("nonempty");
+        db.insert_course(&Course {
+            id,
+            dep: dept_codes[dept].clone(),
+            title: title.clone(),
+            description,
+            units,
+            url: format!("https://courserank.example/course/{id}"),
+        })?;
+        titles.push(title);
+        models.push(CourseModel {
+            difficulty: rng.gen_range(0.0..1.0),
+            quality: rng.gen_range(1.5..5.0),
+            dept,
+        });
+        // Prerequisite: an earlier course in the same department.
+        if !per_dept_courses[dept].is_empty() && rng.gen_bool(0.3) {
+            let prereq = *per_dept_courses[dept]
+                .choose(&mut rng)
+                .expect("nonempty checked");
+            db.insert_prerequisite(id, prereq)?;
+            stats.prerequisites += 1;
+        }
+        per_dept_courses[dept].push(id);
+        // Offerings: 1–2 quarters per covered year.
+        for year in config.first_year..=config.last_year {
+            let n_offerings = rng.gen_range(1..=2);
+            let mut used_terms: HashSet<Term> = HashSet::new();
+            for _ in 0..n_offerings {
+                let term = *terms.choose(&mut rng).expect("nonempty");
+                if !used_terms.insert(term) {
+                    continue;
+                }
+                offering_id += 1;
+                let start = 8 * 60 + 30 * rng.gen_range(0..16) as i64; // 08:00–16:00
+                db.insert_offering(&Offering {
+                    id: offering_id,
+                    course: id,
+                    quarter: Quarter::new(year, term),
+                    instructor: (rng.gen_range(0..n_instructors) as i64) + 1,
+                    days: if rng.gen_bool(0.5) { Days::MWF } else { Days::TTH },
+                    start_min: start,
+                    end_min: start + if rng.gen_bool(0.7) { 50 } else { 110 },
+                })?;
+                stats.offerings += 1;
+            }
+        }
+    }
+    stats.courses = config.courses;
+
+    // Zipf popularity over a random permutation of courses.
+    let mut popularity_order: Vec<usize> = (0..config.courses).collect();
+    popularity_order.shuffle(&mut rng);
+    let mut cumulative: Vec<f64> = Vec::with_capacity(config.courses);
+    let mut acc = 0.0;
+    for rank in 0..config.courses {
+        acc += 1.0 / ((rank + 1) as f64).powf(config.zipf_s);
+        cumulative.push(acc);
+    }
+    let total_weight = acc;
+    let sample_course = |rng: &mut StdRng| -> usize {
+        let x = rng.gen_range(0.0..total_weight);
+        let rank = cumulative.partition_point(|&c| c < x);
+        popularity_order[rank.min(config.courses - 1)]
+    };
+
+    // ------------------------------------------------------------------
+    // Students + users.
+    // ------------------------------------------------------------------
+    let classes = ["2009", "2010", "2011", "2012"];
+    for i in 0..config.students {
+        let id = i as StudentId + 1;
+        let major = if rng.gen_bool(0.8) {
+            Some(dept_codes[rng.gen_range(0..config.departments)].clone())
+        } else {
+            None
+        };
+        db.insert_student(&Student {
+            id,
+            name: words::person_name(&mut rng),
+            class: (*classes.choose(&mut rng).expect("nonempty")).to_owned(),
+            major,
+            gpa: None,
+            share_plans: rng.gen_bool(config.share_plans_rate),
+        })?;
+        db.insert_user(id, &format!("user{id}"), "student", "")?;
+    }
+    stats.students = config.students;
+    stats.active_students = config.active_students;
+
+    // ------------------------------------------------------------------
+    // Enrollments for active students (Zipf courses, major boost).
+    // ------------------------------------------------------------------
+    // Cache majors as dept indices for the boost.
+    let mut major_of: Vec<Option<usize>> = Vec::with_capacity(config.students);
+    {
+        let rs = db
+            .database()
+            .query_sql("SELECT SuID, Major FROM Students ORDER BY SuID")?;
+        for r in &rs.rows {
+            let major = r[1]
+                .as_text()
+                .ok()
+                .and_then(|m| dept_codes.iter().position(|d| d == m));
+            major_of.push(major);
+        }
+    }
+
+    let past_quarters: Vec<Quarter> = (config.first_year..=config.last_year)
+        .flat_map(|y| {
+            [Term::Autumn, Term::Winter, Term::Spring]
+                .into_iter()
+                .map(move |t| Quarter::new(y, t))
+        })
+        .collect();
+    let future_quarters = [
+        Quarter::new(config.last_year + 1, Term::Winter),
+        Quarter::new(config.last_year + 1, Term::Spring),
+    ];
+
+    // Taken (student, course, grade) triples kept for comment sampling.
+    let mut taken_pool: Vec<(StudentId, usize)> = Vec::new();
+    let mut taken_per_course: Vec<u32> = vec![0; config.courses];
+    let mut enrollment_rows: Vec<Enrollment> = Vec::new();
+    for s in 0..config.active_students {
+        let student = s as StudentId + 1;
+        let n = sample_count(&mut rng, config.mean_courses_per_student);
+        let mut chosen: HashSet<usize> = HashSet::with_capacity(n);
+        for _ in 0..n * 3 {
+            if chosen.len() >= n {
+                break;
+            }
+            let mut c = sample_course(&mut rng);
+            // Major boost: re-sample within the major half the time.
+            if let Some(m) = major_of.get(s).copied().flatten() {
+                if models[c].dept != m && rng.gen_bool(0.5) {
+                    if let Some(&mc) = per_dept_courses[m].choose(&mut rng) {
+                        c = (mc - 1) as usize;
+                    }
+                }
+            }
+            chosen.insert(c);
+        }
+        let mut chosen: Vec<usize> = chosen.into_iter().collect();
+        chosen.sort_unstable(); // HashSet order is nondeterministic
+        for c in chosen {
+            let quarter = *past_quarters.choose(&mut rng).expect("nonempty");
+            let grade = sample_grade(&mut rng, models[c].difficulty, config.grade_inflation_rate);
+            enrollment_rows.push(Enrollment {
+                student,
+                course: c as CourseId + 1,
+                quarter,
+                grade: Some(grade),
+                status: EnrollStatus::Taken,
+            });
+            taken_per_course[c] += 1;
+            taken_pool.push((student, c));
+        }
+        // Planned courses in future quarters.
+        let n_planned = sample_count(&mut rng, config.mean_planned_per_student);
+        let mut planned: HashSet<usize> = HashSet::new();
+        for _ in 0..n_planned * 3 {
+            if planned.len() >= n_planned {
+                break;
+            }
+            planned.insert(sample_course(&mut rng));
+        }
+        let mut planned: Vec<usize> = planned.into_iter().collect();
+        planned.sort_unstable();
+        for c in planned {
+            enrollment_rows.push(Enrollment {
+                student,
+                course: c as CourseId + 1,
+                quarter: *future_quarters.choose(&mut rng).expect("nonempty"),
+                grade: None,
+                status: EnrollStatus::Planned,
+            });
+            stats.planned += 1;
+        }
+    }
+    // Bulk insert, skipping rare PK collisions (same course re-chosen in
+    // the same quarter after the planned/taken merge).
+    for e in &enrollment_rows {
+        match db.insert_enrollment(e) {
+            Ok(()) => {
+                if e.status == EnrollStatus::Taken {
+                    stats.enrollments += 1;
+                }
+            }
+            Err(RelError::DuplicateKey(_)) => {}
+            Err(other) => return Err(other),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Comments (+ ratings for a prefix, per the paper's 134k/50.3k split).
+    // ------------------------------------------------------------------
+    let comment_date_range = (
+        ymd_to_days(config.first_year + 1, 1, 1),
+        ymd_to_days(config.last_year, 12, 31),
+    );
+    if !taken_pool.is_empty() {
+        for i in 0..config.comments {
+            let &(student, c) = taken_pool.choose(&mut rng).expect("nonempty");
+            let has_rating = i < config.ratings;
+            let rating = sample_rating(&mut rng, models[c].quality);
+            let text =
+                words::comment_text(&mut rng, dept_theme[models[c].dept], rating, &titles[c]);
+            // Adoption ramp: comment volume grows over the site's life
+            // (the paper's first-year growth story). max(u1, u2) gives a
+            // triangular distribution rising toward the present.
+            let span = (comment_date_range.1 - comment_date_range.0) as f64;
+            let u = rng
+                .gen_range(0.0f64..1.0)
+                .max(rng.gen_range(0.0f64..1.0));
+            let date = comment_date_range.0 + (u * span) as i32;
+            db.insert_comment(&Comment {
+                id: i as i64 + 1,
+                student,
+                course: c as CourseId + 1,
+                quarter: *past_quarters.choose(&mut rng).expect("nonempty"),
+                text,
+                rating: if has_rating { rating } else { f64::NAN }, // NAN → NULL
+                date,
+            })?;
+            stats.comments += 1;
+            if has_rating {
+                stats.ratings += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Official grade distributions (disclosing-school courses) — drawn
+    // from the same latent model *without* the self-report inflation.
+    // ------------------------------------------------------------------
+    for (i, model) in models.iter().enumerate() {
+        let theme = dept_theme[model.dept];
+        if theme.school != "Engineering" || !rng.gen_bool(config.official_dist_rate) {
+            continue;
+        }
+        // Official class size tracks enrollment: the registrar sees every
+        // student (including CourseRank non-users), so scale the observed
+        // taken-count up by the inactive share, floored at a seminar-sized
+        // class.
+        let observed = taken_per_course[i] as f64;
+        let scale_up = config.students as f64 / config.active_students.max(1) as f64;
+        let class_size = ((observed * scale_up) as i64).max(20);
+        let mut counts = std::collections::BTreeMap::new();
+        for _ in 0..class_size {
+            let g = sample_grade(&mut rng, model.difficulty, 0.0);
+            *counts.entry(g).or_insert(0i64) += 1;
+        }
+        for (g, n) in counts {
+            db.insert_official_grade(i as CourseId + 1, config.last_year, g, n)?;
+        }
+        stats.official_dist_courses += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Programs (one per department) + seeded Q&A.
+    // ------------------------------------------------------------------
+    let tracker = RequirementTracker::new(db.clone());
+    for (d, code) in dept_codes.iter().enumerate() {
+        let dept_courses = &per_dept_courses[d];
+        if dept_courses.len() < 3 {
+            continue;
+        }
+        let intro = dept_courses[0];
+        let electives: Vec<CourseId> =
+            dept_courses.iter().copied().skip(1).take(6).collect();
+        let req = Requirement::AllOf(vec![
+            Requirement::Course(intro),
+            Requirement::CountFrom {
+                n: 2.min(electives.len()),
+                from: electives,
+            },
+            Requirement::UnitsInDept {
+                units: 15,
+                dep: code.clone(),
+            },
+        ]);
+        tracker.define_program(d as i64 + 1, code, &format!("BS {}", dept_theme[d].name), &req)?;
+        stats.programs += 1;
+    }
+    let forum = courserank::services::forum::Forum::new(db.clone());
+    for (d, code) in dept_codes.iter().enumerate().take(config.departments) {
+        let faqs = [
+            format!("who do I see to have my {code} program approved?"),
+            format!(
+                "what is a good introductory class in {code} for non-majors?"
+            ),
+        ];
+        let refs: Vec<&str> = faqs.iter().map(String::as_str).collect();
+        forum.seed_faqs(code, &refs)?;
+        stats.questions += refs.len();
+        let _ = d;
+    }
+
+    Ok((db, stats))
+}
+
+/// Poisson-ish count around `mean` (geometric mixture — cheap, skewed).
+fn sample_count(rng: &mut StdRng, mean: f64) -> usize {
+    let low = (mean * 0.5).max(1.0) as usize;
+    let high = (mean * 1.5).max(2.0) as usize;
+    rng.gen_range(low..=high)
+}
+
+/// Sample a letter grade for a course with the given difficulty.
+/// `inflation` is the probability the (self-reported) grade is bumped one
+/// step up.
+pub fn sample_grade(rng: &mut StdRng, difficulty: f64, inflation: f64) -> Grade {
+    // Latent grade points ~ N(mean, 0.55), mean in [2.4, 3.8].
+    let mean = 3.8 - 1.4 * difficulty;
+    let z: f64 = {
+        // Box-Muller.
+        let u1: f64 = rng.gen_range(1e-9..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    let points = (mean + 0.55 * z).clamp(0.0, 4.3);
+    let mut idx = nearest_grade(points);
+    if inflation > 0.0 && rng.gen_bool(inflation) && idx > 0 {
+        idx -= 1; // one step toward A+
+    }
+    Grade::LETTER_GRADES[idx]
+}
+
+fn nearest_grade(points: f64) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f64::MAX;
+    for (i, g) in Grade::LETTER_GRADES.iter().enumerate() {
+        let d = (g.points().expect("letter grades have points") - points).abs();
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Sample a 1–5 rating around the course's latent quality (half-step
+/// granularity like CourseRank's star widget).
+fn sample_rating(rng: &mut StdRng, quality: f64) -> f64 {
+    let noise: f64 = rng.gen_range(-1.0..1.0);
+    let r = (quality + noise).clamp(1.0, 5.0);
+    (r * 2.0).round() / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_campus_generates_to_spec() {
+        let cfg = ScaleConfig::tiny();
+        let (db, stats) = generate(&cfg).unwrap();
+        assert_eq!(stats.courses, cfg.courses);
+        assert_eq!(stats.comments, cfg.comments);
+        assert_eq!(stats.ratings, cfg.ratings);
+        assert_eq!(db.count("Courses").unwrap() as usize, cfg.courses);
+        assert_eq!(db.count("Comments").unwrap() as usize, cfg.comments);
+        assert!(stats.enrollments > 0);
+        assert!(stats.offerings > 0);
+        assert!(stats.programs > 0);
+        // Ratings: exactly cfg.ratings comments carry a non-null rating.
+        let rated = db
+            .database()
+            .query_sql("SELECT COUNT(Rating) AS n FROM Comments")
+            .unwrap();
+        assert_eq!(
+            rated.scalar().unwrap().as_int().unwrap() as usize,
+            cfg.ratings
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = ScaleConfig::tiny();
+        let (_, a) = generate(&cfg).unwrap();
+        let (_, b) = generate(&cfg).unwrap();
+        assert_eq!(a, b);
+        // And a different seed differs somewhere.
+        let mut cfg2 = ScaleConfig::tiny();
+        cfg2.seed = 43;
+        let (_, c) = generate(&cfg2).unwrap();
+        assert_ne!(
+            (a.enrollments, a.offerings, a.prerequisites),
+            (c.enrollments, c.offerings, c.prerequisites)
+        );
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let cfg = ScaleConfig::tiny();
+        let (db, _) = generate(&cfg).unwrap();
+        let rs = db
+            .database()
+            .query_sql(
+                "SELECT CourseID, COUNT(*) AS n FROM Enrollments GROUP BY CourseID ORDER BY n DESC",
+            )
+            .unwrap();
+        let counts: Vec<i64> = rs.rows.iter().map(|r| r[1].as_int().unwrap()).collect();
+        assert!(counts.len() > 10);
+        // Top course must dominate the median (Zipf shape).
+        let median = counts[counts.len() / 2];
+        assert!(
+            counts[0] >= median * 3,
+            "top={} median={median}",
+            counts[0]
+        );
+    }
+
+    #[test]
+    fn grade_model_tracks_difficulty() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mean_points = |d: f64, rng: &mut StdRng| -> f64 {
+            let mut sum = 0.0;
+            for _ in 0..500 {
+                sum += sample_grade(rng, d, 0.0).points().unwrap();
+            }
+            sum / 500.0
+        };
+        let easy = mean_points(0.1, &mut rng);
+        let hard = mean_points(0.9, &mut rng);
+        assert!(easy > hard + 0.5, "easy={easy} hard={hard}");
+    }
+
+    #[test]
+    fn inflation_shifts_grades_up() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut honest = 0.0;
+        let mut inflated = 0.0;
+        for _ in 0..2000 {
+            honest += sample_grade(&mut rng, 0.5, 0.0).points().unwrap();
+            inflated += sample_grade(&mut rng, 0.5, 0.3).points().unwrap();
+        }
+        assert!(inflated > honest);
+    }
+
+    #[test]
+    fn official_distributions_only_for_engineering() {
+        let cfg = ScaleConfig::tiny();
+        let (db, stats) = generate(&cfg).unwrap();
+        assert!(stats.official_dist_courses > 0);
+        let rs = db
+            .database()
+            .query_sql(
+                "SELECT DISTINCT d.School FROM OfficialGradeDist o \
+                 JOIN Courses c ON o.CourseID = c.CourseID \
+                 JOIN Departments d ON c.DepID = d.DepID",
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0].as_text().unwrap(), "Engineering");
+    }
+
+    #[test]
+    fn summary_reads_like_the_paper() {
+        let (_, stats) = generate(&ScaleConfig::tiny()).unwrap();
+        let s = stats.summary();
+        assert!(s.contains("courses"));
+        assert!(s.contains("active"));
+    }
+}

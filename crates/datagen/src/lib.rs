@@ -1,0 +1,28 @@
+//! # cr-datagen — a deterministic synthetic Stanford-scale university
+//!
+//! The paper evaluates CourseRank on live Stanford data: "the system
+//! provides (September 2008) access to 18,605 courses, 134,000 comments,
+//! and over 50,300 ratings" used by "more than 9,000 Stanford students,
+//! out of a total of about 14,000". That data is proprietary, so this
+//! crate generates a synthetic campus with matching **cardinalities and
+//! distributional shape** (see DESIGN.md §2 for the substitution
+//! rationale):
+//!
+//! * departments with themed vocabularies, so broad terms ("american")
+//!   hit a few percent of the corpus while department jargon stays
+//!   concentrated — the regime Figures 3/4 live in;
+//! * Zipf-skewed course popularity (enrollment and commenting follow it);
+//! * per-course difficulty driving a grade model, shared between official
+//!   distributions and (biased) self-reports — experiment E7's setup;
+//! * prerequisite chains within departments, offerings with real meeting
+//!   times, programs with requirements, seeded Q&A.
+//!
+//! Everything is driven by a single RNG seed: the same
+//! [`ScaleConfig`] always produces the same database.
+
+pub mod config;
+pub mod gen;
+pub mod words;
+
+pub use config::ScaleConfig;
+pub use gen::{generate, GenStats};

@@ -1,0 +1,904 @@
+//! Workflow → SQL compilation.
+//!
+//! §3.2: "The engine executes a workflow by 'compiling' it into a sequence
+//! of SQL calls, which are executed by a conventional DBMS. When possible,
+//! library functions are compiled into the SQL statements themselves; in
+//! other cases we can rely on external functions that are called by the
+//! SQL statements."
+//!
+//! Concretely:
+//!
+//! * relational operators (source, select, project, join, limit, union)
+//!   compile to `SELECT`s whose results materialize into temp tables —
+//!   the "sequence of SQL calls";
+//! * a recommend with [`RecMethod::RatingLookup`] compiles to a
+//!   join + `GROUP BY` aggregation (`AVG`/`SUM`/`MAX`/weighted average);
+//! * a recommend with inverse-Euclidean ratings similarity against a
+//!   *single* comparator compiles to a self-join with
+//!   `1/(1+SQRT(SUM((ra−rb)²)))` — the library function *in* the SQL;
+//! * text-similarity recommends run as **external functions** over
+//!   SQL-materialized inputs (the paper's fallback);
+//! * anything else (multi-comparator similarity, `exclude_seen`, joins
+//!   over set-valued inputs) falls back to the direct executor for the
+//!   whole workflow — reported in [`CompiledRun::fallback_reason`].
+//!
+//! The A2 ablation benchmarks compiled vs. direct execution, and
+//! `tests/flexrecs_equivalence.rs` checks they return the same rankings.
+
+use cr_relation::{Catalog, RelError, RelResult, ResultSet, Value};
+
+use crate::datum::{Datum, WfSchema, WfType};
+use crate::exec::{self, RecResult};
+use crate::workflow::{
+    infer_schema, Node, RecAgg, RecMethod, RecommendSpec, WfPredicate, Workflow,
+};
+
+/// Result of a compiled run.
+#[derive(Debug, Clone)]
+pub struct CompiledRun {
+    pub result: RecResult,
+    /// Every SQL statement executed, in order.
+    pub sql_log: Vec<String>,
+    /// Human description of external (non-SQL) steps.
+    pub external_steps: Vec<String>,
+    /// Set when the workflow could not be compiled at all and ran on the
+    /// direct executor instead.
+    pub fallback_reason: Option<String>,
+}
+
+/// A compiled relation: a (temp or base) table plus bookkeeping.
+#[derive(Debug, Clone)]
+struct Rel {
+    table: String,
+    /// Scalar column names, in order, as stored in `table`.
+    columns: Vec<String>,
+    /// Pending ε-extension (set-valued attribute not materialized in SQL).
+    extend: Option<ExtendInfo>,
+}
+
+#[derive(Debug, Clone)]
+struct ExtendInfo {
+    related_table: String,
+    fk_column: String,
+    /// Column *in the compiled relation* holding the join key.
+    local_key: String,
+    key_column: String,
+    rating_column: Option<String>,
+    as_name: String,
+}
+
+/// Process-wide temp-table counter: concurrent compiled runs over the
+/// same catalog must not collide on temp names.
+static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+struct Ctx<'a> {
+    catalog: &'a Catalog,
+    sql_log: Vec<String>,
+    external: Vec<String>,
+    temps: Vec<String>,
+}
+
+/// Raised internally to trigger whole-workflow fallback.
+struct Unsupported(String);
+
+impl<'a> Ctx<'a> {
+    fn run_sql(&mut self, sql: &str) -> RelResult<ResultSet> {
+        self.sql_log.push(sql.to_owned());
+        cr_relation::sql::query(sql, self.catalog)
+    }
+
+    /// Materialize a result set into a fresh temp table; returns its name.
+    fn materialize(&mut self, rs: &ResultSet, columns: &[String]) -> RelResult<String> {
+        let id = TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let name = format!("flexrecs_tmp_{id}");
+        let mut cols = Vec::with_capacity(columns.len());
+        for (i, c) in columns.iter().enumerate() {
+            cols.push(cr_relation::Column::new(
+                c.clone(),
+                rs.schema.column(i).data_type,
+            ));
+        }
+        self.catalog
+            .create_table(&name, cr_relation::Schema::qualified(&name, cols), vec![])?;
+        self.catalog.with_table_mut(&name, |t| -> RelResult<()> {
+            for row in &rs.rows {
+                t.insert(row.clone())?;
+            }
+            Ok(())
+        })??;
+        self.temps.push(name.clone());
+        Ok(name)
+    }
+
+    fn cleanup(&mut self) {
+        for t in self.temps.drain(..) {
+            let _ = self.catalog.drop_table(&t);
+        }
+    }
+}
+
+/// Compile and run a workflow; falls back to direct execution when the
+/// workflow uses constructs outside the compilable subset.
+pub fn compile_and_run(workflow: &Workflow, catalog: &Catalog) -> RelResult<CompiledRun> {
+    let mut ctx = Ctx {
+        catalog,
+        sql_log: Vec::new(),
+        external: Vec::new(),
+        temps: Vec::new(),
+    };
+    let schema = infer_schema(&workflow.root, catalog)?;
+    let outcome = compile_node(&workflow.root, &mut ctx);
+    match outcome {
+        Ok(rel) => {
+            // Read the final relation back out as workflow tuples. Only
+            // scalar columns are materialized; a pending extend at the
+            // root would mean the schema has a set attribute we cannot
+            // reproduce — fall back in that case.
+            if schema.columns.iter().any(|(_, t)| *t != WfType::Scalar) {
+                ctx.cleanup();
+                return fallback(workflow, catalog, ctx, "root schema has set-valued attributes");
+            }
+            let sql = format!("SELECT * FROM {}", rel.table);
+            let rs = ctx.run_sql(&sql)?;
+            let tuples = rs
+                .rows
+                .into_iter()
+                .map(|r| r.into_iter().map(Datum::Scalar).collect())
+                .collect();
+            let out_schema = WfSchema {
+                columns: rel
+                    .columns
+                    .iter()
+                    .map(|c| (c.clone(), WfType::Scalar))
+                    .collect(),
+            };
+            let (sql_log, external_steps) = (ctx.sql_log.clone(), ctx.external.clone());
+            ctx.cleanup();
+            Ok(CompiledRun {
+                result: RecResult {
+                    schema: out_schema,
+                    tuples,
+                },
+                sql_log,
+                external_steps,
+                fallback_reason: None,
+            })
+        }
+        Err(CompileError::Rel(e)) => {
+            ctx.cleanup();
+            Err(e)
+        }
+        Err(CompileError::Unsupported(Unsupported(reason))) => {
+            ctx.cleanup();
+            fallback(workflow, catalog, ctx, &reason)
+        }
+    }
+}
+
+fn fallback(
+    workflow: &Workflow,
+    catalog: &Catalog,
+    ctx: Ctx<'_>,
+    reason: &str,
+) -> RelResult<CompiledRun> {
+    let result = exec::execute(workflow, catalog)?;
+    Ok(CompiledRun {
+        result,
+        sql_log: ctx.sql_log,
+        external_steps: ctx.external,
+        fallback_reason: Some(reason.to_owned()),
+    })
+}
+
+enum CompileError {
+    Rel(RelError),
+    Unsupported(Unsupported),
+}
+
+impl From<RelError> for CompileError {
+    fn from(e: RelError) -> Self {
+        CompileError::Rel(e)
+    }
+}
+
+impl From<Unsupported> for CompileError {
+    fn from(u: Unsupported) -> Self {
+        CompileError::Unsupported(u)
+    }
+}
+
+type CResult<T> = Result<T, CompileError>;
+
+fn unsupported<T>(msg: impl Into<String>) -> CResult<T> {
+    Err(CompileError::Unsupported(Unsupported(msg.into())))
+}
+
+fn quote_value(v: &Value) -> String {
+    match v {
+        Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+        other => other.to_string(),
+    }
+}
+
+fn predicate_sql(p: &WfPredicate) -> String {
+    match p {
+        WfPredicate::Cmp { column, op, value } => {
+            format!("{column} {} {}", op.sql(), quote_value(value))
+        }
+        WfPredicate::And(ps) => {
+            let parts: Vec<String> = ps.iter().map(predicate_sql).collect();
+            format!("({})", parts.join(" AND "))
+        }
+        WfPredicate::Or(ps) => {
+            let parts: Vec<String> = ps.iter().map(predicate_sql).collect();
+            format!("({})", parts.join(" OR "))
+        }
+    }
+}
+
+fn compile_node(node: &Node, ctx: &mut Ctx<'_>) -> CResult<Rel> {
+    match node {
+        Node::Source { table } => {
+            let schema = ctx.catalog.table_schema(table)?;
+            Ok(Rel {
+                table: table.clone(),
+                columns: schema.columns().iter().map(|c| c.name.clone()).collect(),
+                extend: None,
+            })
+        }
+
+        Node::Select { input, predicate } => {
+            let rel = compile_node(input, ctx)?;
+            let sql = format!(
+                "SELECT * FROM {} WHERE {}",
+                rel.table,
+                predicate_sql(predicate)
+            );
+            let rs = ctx.run_sql(&sql)?;
+            let table = ctx.materialize(&rs, &rel.columns)?;
+            Ok(Rel {
+                table,
+                columns: rel.columns,
+                extend: rel.extend,
+            })
+        }
+
+        Node::Project { input, columns } => {
+            let rel = compile_node(input, ctx)?;
+            // Virtual (extended) attributes survive only if both the key
+            // and the attribute name are kept.
+            let scalar_cols: Vec<String> = columns
+                .iter()
+                .filter(|c| rel.columns.iter().any(|rc| rc.eq_ignore_ascii_case(c)))
+                .cloned()
+                .collect();
+            let keep_extend = match &rel.extend {
+                Some(e) => {
+                    columns.iter().any(|c| c.eq_ignore_ascii_case(&e.as_name))
+                        && scalar_cols
+                            .iter()
+                            .any(|c| c.eq_ignore_ascii_case(&e.local_key))
+                }
+                None => false,
+            };
+            let sql = format!("SELECT {} FROM {}", scalar_cols.join(", "), rel.table);
+            let rs = ctx.run_sql(&sql)?;
+            let table = ctx.materialize(&rs, &scalar_cols)?;
+            Ok(Rel {
+                table,
+                columns: scalar_cols,
+                extend: if keep_extend { rel.extend } else { None },
+            })
+        }
+
+        Node::Join {
+            left,
+            right,
+            left_col,
+            right_col,
+        } => {
+            let l = compile_node(left, ctx)?;
+            let r = compile_node(right, ctx)?;
+            if l.extend.is_some() || r.extend.is_some() {
+                return unsupported("join over set-valued inputs");
+            }
+            // Dedup output column names.
+            let mut out_cols: Vec<String> = Vec::with_capacity(l.columns.len() + r.columns.len());
+            let mut select_items: Vec<String> = Vec::new();
+            for c in &l.columns {
+                out_cols.push(c.clone());
+                select_items.push(format!("a.{c} AS {c}"));
+            }
+            for c in &r.columns {
+                let mut name = c.clone();
+                let mut suffix = 2;
+                while out_cols.iter().any(|o| o.eq_ignore_ascii_case(&name)) {
+                    name = format!("{c}_{suffix}");
+                    suffix += 1;
+                }
+                select_items.push(format!("b.{c} AS {name}"));
+                out_cols.push(name);
+            }
+            let sql = format!(
+                "SELECT {} FROM {} a JOIN {} b ON a.{} = b.{}",
+                select_items.join(", "),
+                l.table,
+                r.table,
+                left_col,
+                right_col
+            );
+            let rs = ctx.run_sql(&sql)?;
+            let table = ctx.materialize(&rs, &out_cols)?;
+            Ok(Rel {
+                table,
+                columns: out_cols,
+                extend: None,
+            })
+        }
+
+        Node::Extend {
+            input,
+            related_table,
+            fk_column,
+            local_key,
+            key_column,
+            rating_column,
+            as_name,
+        } => {
+            let rel = compile_node(input, ctx)?;
+            if rel.extend.is_some() {
+                return unsupported("multiple pending extends");
+            }
+            // Pre-aggregate the related table to one (mean) rating per
+            // (fk, key) — the extend operator's set semantics — so the
+            // downstream similarity/lookup SQL matches the direct
+            // executor exactly.
+            let related = match rating_column {
+                Some(rc) => {
+                    let sql = format!(
+                        "SELECT {fk} AS {fk}, {key} AS {key}, AVG({rc}) AS {rc} \
+                         FROM {tbl} WHERE {rc} IS NOT NULL GROUP BY {fk}, {key}",
+                        fk = fk_column,
+                        key = key_column,
+                        rc = rc,
+                        tbl = related_table,
+                    );
+                    let rs = ctx.run_sql(&sql)?;
+                    ctx.materialize(
+                        &rs,
+                        &[fk_column.clone(), key_column.clone(), rc.clone()],
+                    )?
+                }
+                None => related_table.clone(),
+            };
+            Ok(Rel {
+                extend: Some(ExtendInfo {
+                    related_table: related,
+                    fk_column: fk_column.clone(),
+                    local_key: local_key.clone(),
+                    key_column: key_column.clone(),
+                    rating_column: rating_column.clone(),
+                    as_name: as_name.clone(),
+                }),
+                ..rel
+            })
+        }
+
+        Node::Limit { input, k } => {
+            let rel = compile_node(input, ctx)?;
+            let sql = format!("SELECT * FROM {} LIMIT {k}", rel.table);
+            let rs = ctx.run_sql(&sql)?;
+            let table = ctx.materialize(&rs, &rel.columns)?;
+            Ok(Rel {
+                table,
+                columns: rel.columns,
+                extend: rel.extend,
+            })
+        }
+
+        Node::Union { left, right } => {
+            let l = compile_node(left, ctx)?;
+            let r = compile_node(right, ctx)?;
+            if l.extend.is_some() || r.extend.is_some() {
+                return unsupported("union over set-valued inputs");
+            }
+            let sql = format!(
+                "SELECT * FROM {} UNION ALL SELECT * FROM {}",
+                l.table, r.table
+            );
+            let rs = ctx.run_sql(&sql)?;
+            let table = ctx.materialize(&rs, &l.columns)?;
+            Ok(Rel {
+                table,
+                columns: l.columns,
+                extend: None,
+            })
+        }
+
+        Node::Recommend {
+            target,
+            comparator,
+            spec,
+        } => compile_recommend(target, comparator, spec, ctx),
+    }
+}
+
+fn compile_recommend(
+    target: &Node,
+    comparator: &Node,
+    spec: &RecommendSpec,
+    ctx: &mut Ctx<'_>,
+) -> CResult<Rel> {
+    if spec.exclude_seen.is_some() {
+        return unsupported("exclude_seen requires anti-join support");
+    }
+    let t = compile_node(target, ctx)?;
+    let c = compile_node(comparator, ctx)?;
+
+    match &spec.method {
+        RecMethod::RatingLookup => {
+            let Some(ce) = &c.extend else {
+                return unsupported("rating lookup needs a ratings-extended comparator");
+            };
+            let Some(rating_col) = &ce.rating_column else {
+                return unsupported("rating lookup needs a ratings (not set) extension");
+            };
+            if t.extend.is_some() {
+                return unsupported("rating-lookup target with pending extend");
+            }
+            let group_cols: Vec<String> =
+                t.columns.iter().map(|col| format!("t.{col}")).collect();
+            let select_cols: Vec<String> = t
+                .columns
+                .iter()
+                .map(|col| format!("t.{col} AS {col}"))
+                .collect();
+            let score_expr = match &spec.agg {
+                RecAgg::Avg => format!("AVG(r.{rating_col})"),
+                RecAgg::Sum => format!("SUM(r.{rating_col})"),
+                RecAgg::Max => format!("MAX(r.{rating_col})"),
+                RecAgg::WeightedAvg { weight_attr } => format!(
+                    "SUM(r.{rating_col} * c.{weight_attr}) / SUM(c.{weight_attr})"
+                ),
+            };
+            let limit = spec
+                .k
+                .map(|k| format!(" LIMIT {k}"))
+                .unwrap_or_default();
+            let sql = format!(
+                "SELECT {}, {} AS {} FROM {} t \
+                 JOIN {} r ON r.{} = t.{} \
+                 JOIN {} c ON r.{} = c.{} \
+                 GROUP BY {} HAVING {} > 0 ORDER BY {} DESC, {}{}",
+                select_cols.join(", "),
+                score_expr,
+                spec.score_name,
+                t.table,
+                ce.related_table,
+                ce.key_column,
+                spec.target_attr,
+                c.table,
+                ce.fk_column,
+                ce.local_key,
+                group_cols.join(", "),
+                score_expr,
+                spec.score_name,
+                t.columns[0],
+                limit,
+            );
+            let rs = ctx.run_sql(&sql)?;
+            let mut out_cols = t.columns.clone();
+            out_cols.push(spec.score_name.clone());
+            let table = ctx.materialize(&rs, &out_cols)?;
+            Ok(Rel {
+                table,
+                columns: out_cols,
+                extend: None, // lookup targets are plain relations
+            })
+        }
+
+        RecMethod::Ratings { sim, min_common } => {
+            use crate::similarity::RatingsSim;
+            if !matches!(sim, RatingsSim::InverseEuclidean) {
+                // Pearson in pure SQL needs correlated means — external.
+                return unsupported(format!("{} not compiled to SQL", sim.name()));
+            }
+            let (Some(te), Some(ce)) = (&t.extend, &c.extend) else {
+                return unsupported("ratings similarity needs extended inputs");
+            };
+            let (Some(t_rating), Some(c_rating)) = (&te.rating_column, &ce.rating_column) else {
+                return unsupported("ratings similarity over set extensions");
+            };
+            // Single-comparator restriction (the personalization case).
+            let c_count = ctx.catalog.table_len(&c.table)?;
+            if c_count != 1 {
+                return unsupported(format!(
+                    "SQL ratings similarity supports exactly one comparator tuple, got {c_count}"
+                ));
+            }
+            let select_cols: Vec<String> = t
+                .columns
+                .iter()
+                .map(|col| format!("t.{col} AS {col}"))
+                .collect();
+            let group_cols: Vec<String> =
+                t.columns.iter().map(|col| format!("t.{col}")).collect();
+            let dist = format!(
+                "SQRT(SUM((rt.{t_rating} - rc.{c_rating}) * (rt.{t_rating} - rc.{c_rating})))"
+            );
+            let score_expr = format!("1.0 / (1.0 + {dist})");
+            let limit = spec
+                .k
+                .map(|k| format!(" LIMIT {k}"))
+                .unwrap_or_default();
+            let sql = format!(
+                "SELECT {}, {} AS {} FROM {} t \
+                 JOIN {} rt ON rt.{} = t.{} \
+                 JOIN {} c ON 1 = 1 \
+                 JOIN {} rc ON rc.{} = c.{} AND rc.{} = rt.{} \
+                 GROUP BY {} HAVING COUNT(*) >= {} ORDER BY {} DESC, {}{}",
+                select_cols.join(", "),
+                score_expr,
+                spec.score_name,
+                t.table,
+                te.related_table,
+                te.fk_column,
+                te.local_key,
+                c.table,
+                ce.related_table,
+                ce.fk_column,
+                ce.local_key,
+                ce.key_column,
+                te.key_column,
+                group_cols.join(", "),
+                min_common.max(&1),
+                spec.score_name,
+                t.columns[0],
+                limit,
+            );
+            let rs = ctx.run_sql(&sql)?;
+            let mut out_cols = t.columns.clone();
+            out_cols.push(spec.score_name.clone());
+            let table = ctx.materialize(&rs, &out_cols)?;
+            // The target's ratings extension survives (re-keyed onto the
+            // materialized output) so an upper rating-lookup can use it.
+            Ok(Rel {
+                table,
+                columns: out_cols,
+                extend: Some(te.clone()),
+            })
+        }
+
+        RecMethod::Text(text_sim) => {
+            // External function over SQL-materialized inputs.
+            if t.extend.is_some() || c.extend.is_some() {
+                return unsupported("text similarity over extended inputs");
+            }
+            ctx.external.push(format!(
+                "text similarity {} between {}.{} and {}.{}",
+                text_sim.name(),
+                t.table,
+                spec.target_attr,
+                c.table,
+                spec.comparator_attr
+            ));
+            let t_tuples = load_tuples(ctx, &t)?;
+            let c_tuples = load_tuples(ctx, &c)?;
+            let t_schema = WfSchema {
+                columns: t
+                    .columns
+                    .iter()
+                    .map(|n| (n.clone(), WfType::Scalar))
+                    .collect(),
+            };
+            let c_schema = WfSchema {
+                columns: c
+                    .columns
+                    .iter()
+                    .map(|n| (n.clone(), WfType::Scalar))
+                    .collect(),
+            };
+            let scored = exec::recommend(&t_schema, t_tuples, &c_schema, &c_tuples, spec)
+                .map_err(CompileError::Rel)?;
+            // Materialize the external result so parents keep composing.
+            let mut out_cols = t.columns.clone();
+            out_cols.push(spec.score_name.clone());
+            let rows: Vec<Vec<Value>> = scored
+                .iter()
+                .map(|tu| {
+                    tu.iter()
+                        .map(|d| d.as_scalar().cloned().unwrap_or(Value::Null))
+                        .collect()
+                })
+                .collect();
+            let rs = synthetic_result(&out_cols, rows);
+            let table = ctx.materialize(&rs, &out_cols)?;
+            Ok(Rel {
+                table,
+                columns: out_cols,
+                extend: None,
+            })
+        }
+
+        RecMethod::Set(_) => unsupported("set similarity runs on the direct executor"),
+    }
+}
+
+fn load_tuples(ctx: &mut Ctx<'_>, rel: &Rel) -> CResult<Vec<crate::datum::Tuple>> {
+    let sql = format!("SELECT * FROM {}", rel.table);
+    let rs = ctx.run_sql(&sql)?;
+    Ok(rs
+        .rows
+        .into_iter()
+        .map(|r| r.into_iter().map(Datum::Scalar).collect())
+        .collect())
+}
+
+fn synthetic_result(columns: &[String], rows: Vec<Vec<Value>>) -> ResultSet {
+    let cols: Vec<cr_relation::Column> = columns
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            // Infer column type from the first non-null value.
+            let dt = rows
+                .iter()
+                .filter_map(|r| r[i].data_type())
+                .next()
+                .unwrap_or(cr_relation::DataType::Text);
+            cr_relation::Column::new(name.clone(), dt)
+        })
+        .collect();
+    ResultSet {
+        schema: cr_relation::Schema::new(cols),
+        rows,
+    }
+}
+
+/// Compile a workflow to its SQL step list without executing the final
+/// read-back (dry run): useful for EXPLAIN-style tooling and tests.
+pub fn explain_sql(workflow: &Workflow, catalog: &Catalog) -> RelResult<Vec<String>> {
+    let run = compile_and_run(workflow, catalog)?;
+    Ok(run.sql_log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use crate::similarity::{RatingsSim, TextSim};
+    use crate::workflow::CmpOp;
+    use cr_relation::Database;
+
+    fn db() -> Database {
+        let db = Database::new();
+        db.execute_sql(
+            "CREATE TABLE Courses (CourseID INT PRIMARY KEY, Title TEXT, Year INT)",
+        )
+        .unwrap();
+        db.execute_sql("CREATE TABLE Students (SuID INT PRIMARY KEY, Name TEXT)")
+            .unwrap();
+        db.execute_sql(
+            "CREATE TABLE Comments (SuID INT, CourseID INT, Rating FLOAT, PRIMARY KEY (SuID, CourseID))",
+        )
+        .unwrap();
+        db.execute_sql(
+            "INSERT INTO Courses VALUES \
+             (1, 'Introduction to Programming', 2008), \
+             (2, 'Programming Abstractions', 2008), \
+             (3, 'Medieval History', 2008), \
+             (5, 'Operating Systems', 2008)",
+        )
+        .unwrap();
+        db.execute_sql(
+            "INSERT INTO Students VALUES (444, 'Sally'), (2, 'Bob'), (3, 'Ann'), (4, 'Tim')",
+        )
+        .unwrap();
+        db.execute_sql(
+            "INSERT INTO Comments VALUES \
+             (444, 1, 5.0), (444, 3, 2.0), \
+             (2, 1, 5.0), (2, 3, 2.0), (2, 2, 4.5), \
+             (3, 1, 1.0), (3, 3, 5.0), (3, 5, 1.5), \
+             (4, 1, 4.5), (4, 3, 2.5), (4, 5, 5.0)",
+        )
+        .unwrap();
+        db
+    }
+
+    fn extend_students() -> Node {
+        Node::Extend {
+            input: Box::new(Node::Source {
+                table: "Students".into(),
+            }),
+            related_table: "Comments".into(),
+            fk_column: "SuID".into(),
+            local_key: "SuID".into(),
+            key_column: "CourseID".into(),
+            rating_column: Some("Rating".into()),
+            as_name: "ratings".into(),
+        }
+    }
+
+    fn cf_workflow() -> Workflow {
+        let lower = Node::Recommend {
+            target: Box::new(Node::Select {
+                input: Box::new(extend_students()),
+                predicate: WfPredicate::cmp("SuID", CmpOp::NotEq, 444i64),
+            }),
+            comparator: Box::new(Node::Select {
+                input: Box::new(extend_students()),
+                predicate: WfPredicate::eq("SuID", 444i64),
+            }),
+            spec: RecommendSpec::new(
+                "ratings",
+                "ratings",
+                RecMethod::Ratings {
+                    sim: RatingsSim::InverseEuclidean,
+                    min_common: 2,
+                },
+            )
+            .top_k(2)
+            .score_as("sim"),
+        };
+        Workflow::new(
+            "cf",
+            Node::Recommend {
+                target: Box::new(Node::Source {
+                    table: "Courses".into(),
+                }),
+                comparator: Box::new(lower),
+                spec: RecommendSpec::new("CourseID", "ratings", RecMethod::RatingLookup)
+                    .with_agg(RecAgg::Avg),
+            },
+        )
+    }
+
+    #[test]
+    fn cf_workflow_compiles_fully_to_sql() {
+        let db = db();
+        let wf = cf_workflow();
+        let run = compile_and_run(&wf, &db.catalog()).unwrap();
+        assert!(run.fallback_reason.is_none(), "{:?}", run.fallback_reason);
+        assert!(run.external_steps.is_empty());
+        // Both the similarity self-join and the lookup aggregation are in
+        // the log.
+        let joined = run.sql_log.join("\n");
+        assert!(joined.contains("SQRT(SUM("), "{joined}");
+        assert!(joined.contains("AVG(r.Rating)"), "{joined}");
+        assert!(joined.contains("HAVING COUNT(*) >= 2"), "{joined}");
+    }
+
+    #[test]
+    fn compiled_equals_direct_for_cf() {
+        let db = db();
+        let wf = cf_workflow();
+        let direct = exec::execute(&wf, &db.catalog()).unwrap();
+        let compiled = compile_and_run(&wf, &db.catalog()).unwrap();
+        let d: HashMap<Value, f64> = direct
+            .ranking("CourseID", "score")
+            .unwrap()
+            .into_iter()
+            .collect();
+        let c: HashMap<Value, f64> = compiled
+            .result
+            .ranking("CourseID", "score")
+            .unwrap()
+            .into_iter()
+            .collect();
+        assert_eq!(d.len(), c.len(), "direct {d:?} vs compiled {c:?}");
+        for (k, v) in &d {
+            assert!((c[k] - v).abs() < 1e-9, "score mismatch for {k}");
+        }
+    }
+
+    #[test]
+    fn temp_tables_are_dropped() {
+        let db = db();
+        let wf = cf_workflow();
+        compile_and_run(&wf, &db.catalog()).unwrap();
+        assert!(
+            !db.catalog()
+                .table_names()
+                .iter()
+                .any(|t| t.starts_with("flexrecs_tmp")),
+            "{:?}",
+            db.catalog().table_names()
+        );
+    }
+
+    #[test]
+    fn text_recommend_is_hybrid() {
+        let db = db();
+        let wf = Workflow::new(
+            "related",
+            Node::Recommend {
+                target: Box::new(Node::Select {
+                    input: Box::new(Node::Source {
+                        table: "Courses".into(),
+                    }),
+                    predicate: WfPredicate::cmp("CourseID", CmpOp::NotEq, 1i64),
+                }),
+                comparator: Box::new(Node::Select {
+                    input: Box::new(Node::Source {
+                        table: "Courses".into(),
+                    }),
+                    predicate: WfPredicate::eq("CourseID", 1i64),
+                }),
+                spec: RecommendSpec::new("Title", "Title", RecMethod::Text(TextSim::WordJaccard))
+                    .top_k(3),
+            },
+        );
+        let run = compile_and_run(&wf, &db.catalog()).unwrap();
+        assert!(run.fallback_reason.is_none());
+        assert_eq!(run.external_steps.len(), 1);
+        assert!(!run.sql_log.is_empty());
+        let ranking = run.result.ranking("CourseID", "score").unwrap();
+        assert_eq!(ranking[0].0, Value::Int(2));
+    }
+
+    #[test]
+    fn multi_comparator_similarity_falls_back() {
+        let db = db();
+        let wf = Workflow::new(
+            "multi",
+            Node::Recommend {
+                target: Box::new(extend_students()),
+                comparator: Box::new(extend_students()), // 4 comparators
+                spec: RecommendSpec::new(
+                    "ratings",
+                    "ratings",
+                    RecMethod::Ratings {
+                        sim: RatingsSim::InverseEuclidean,
+                        min_common: 1,
+                    },
+                ),
+            },
+        );
+        let run = compile_and_run(&wf, &db.catalog()).unwrap();
+        assert!(run.fallback_reason.is_some());
+        // Fallback still returns correct results.
+        let direct = exec::execute(&wf, &db.catalog()).unwrap();
+        assert_eq!(run.result.tuples.len(), direct.tuples.len());
+    }
+
+    #[test]
+    fn exclude_seen_falls_back() {
+        let db = db();
+        let mut wf = cf_workflow();
+        if let Node::Recommend { spec, .. } = &mut wf.root {
+            spec.exclude_seen = Some(("CourseID".into(), "ratings".into()));
+        }
+        let run = compile_and_run(&wf, &db.catalog()).unwrap();
+        assert!(run.fallback_reason.is_some());
+    }
+
+    #[test]
+    fn relational_only_workflow_compiles() {
+        let db = db();
+        let wf = Workflow::new(
+            "rel",
+            Node::Limit {
+                input: Box::new(Node::Join {
+                    left: Box::new(Node::Source {
+                        table: "Comments".into(),
+                    }),
+                    right: Box::new(Node::Source {
+                        table: "Courses".into(),
+                    }),
+                    left_col: "CourseID".into(),
+                    right_col: "CourseID".into(),
+                }),
+                k: 5,
+            },
+        );
+        let run = compile_and_run(&wf, &db.catalog()).unwrap();
+        assert!(run.fallback_reason.is_none());
+        assert_eq!(run.result.tuples.len(), 5);
+        // Joined duplicate column got a suffix.
+        assert!(run
+            .result
+            .schema
+            .columns
+            .iter()
+            .any(|(n, _)| n == "CourseID_2"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # cr-flexrecs — declarative recommendation workflows
+//!
+//! Implements FlexRecs from §3.2 of *Social Systems: Can We Do More Than
+//! Just Poke Friends?* (CIDR 2009):
+//!
+//! > "At the heart of FlexRecs lies a special **recommend operator**, which
+//! > takes as input a set of tuples and ranks them by comparing them to
+//! > another set of tuples. The operator may call upon functions in a
+//! > library that implement common tasks for recommendations, such as
+//! > computing the Jaccard or Pearson similarity of two sets of objects.
+//! > The operator may be combined with other recommend operators and
+//! > traditional relational operators […] The engine executes a workflow by
+//! > 'compiling' it into a sequence of SQL calls, which are executed by a
+//! > conventional DBMS."
+//!
+//! * [`datum`] — set-valued tuples: the **extend** operator (ε in Figure
+//!   5b) nests related tuples as a set/ratings attribute "irrespective of
+//!   the database schema";
+//! * [`similarity`] — the function library (Jaccard, Dice, overlap,
+//!   cosine, Pearson, inverse Euclidean, text similarity);
+//! * [`workflow`] — the operator DAG (source, select, project, join,
+//!   extend, recommend, limit, union) with schema validation and a
+//!   Figure-5-style textual rendering;
+//! * [`exec`] — the direct executor over a [`cr_relation::Database`];
+//! * [`compile`] — the SQL compiler: workflows whose recommend steps are
+//!   expressible relationally (rating lookups, inverse-Euclidean rating
+//!   distance) become actual SQL strings run by the engine; others fall
+//!   back to "external functions called by the SQL statements" (hybrid);
+//! * [`templates`] — the paper's two Figure 5 workflows plus the
+//!   course/major/quarter recommenders §3.2 describes CourseRank shipping.
+
+pub mod compile;
+pub mod datum;
+pub mod exec;
+pub mod similarity;
+pub mod templates;
+pub mod workflow;
+
+pub use datum::{Datum, Tuple, WfSchema, WfType};
+pub use exec::{execute, RecResult};
+pub use similarity::{RatingsSim, SetSim, TextSim};
+pub use workflow::{CmpOp, Node, RecAgg, RecMethod, RecommendSpec, WfPredicate, Workflow};

@@ -1,0 +1,324 @@
+//! The catalog and the [`Database`] facade.
+//!
+//! The [`Catalog`] owns every table behind a per-table
+//! [`parking_lot::RwLock`], so CourseRank's read-mostly workload (searches,
+//! recommendations, planner reads) proceeds concurrently while comment
+//! inserts take short write locks on a single table.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{RelError, RelResult};
+use crate::exec::{self, ResultSet};
+use crate::expr::Expr;
+use crate::index::IndexKind;
+use crate::plan::{optimizer, LogicalPlan};
+use crate::row::{Row, RowId};
+use crate::schema::Schema;
+use crate::sql;
+use crate::table::Table;
+
+/// The set of tables. Cloning a `Catalog` is cheap (it is an `Arc` inside);
+/// clones see the same data.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    inner: Arc<RwLock<BTreeMap<String, Arc<RwLock<Table>>>>>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a table. `pk_columns` are positions into `schema`.
+    pub fn create_table(
+        &self,
+        name: &str,
+        schema: Schema,
+        pk_columns: Vec<usize>,
+    ) -> RelResult<()> {
+        let mut tables = self.inner.write();
+        let key = name.to_ascii_lowercase();
+        if tables.contains_key(&key) {
+            return Err(RelError::TableExists(name.to_owned()));
+        }
+        tables.insert(
+            key,
+            Arc::new(RwLock::new(Table::new(name, schema, pk_columns))),
+        );
+        Ok(())
+    }
+
+    /// Drop a table.
+    pub fn drop_table(&self, name: &str) -> RelResult<()> {
+        let mut tables = self.inner.write();
+        tables
+            .remove(&name.to_ascii_lowercase())
+            .map(|_| ())
+            .ok_or_else(|| RelError::UnknownTable(name.to_owned()))
+    }
+
+    fn handle(&self, name: &str) -> RelResult<Arc<RwLock<Table>>> {
+        self.inner
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| RelError::UnknownTable(name.to_owned()))
+    }
+
+    /// Run a closure with read access to a table.
+    pub fn with_table<R>(&self, name: &str, f: impl FnOnce(&Table) -> R) -> RelResult<R> {
+        let h = self.handle(name)?;
+        let guard = h.read();
+        Ok(f(&guard))
+    }
+
+    /// Run a closure with write access to a table.
+    pub fn with_table_mut<R>(&self, name: &str, f: impl FnOnce(&mut Table) -> R) -> RelResult<R> {
+        let h = self.handle(name)?;
+        let mut guard = h.write();
+        Ok(f(&mut guard))
+    }
+
+    /// Schema of a table (cloned).
+    pub fn table_schema(&self, name: &str) -> RelResult<Schema> {
+        self.with_table(name, |t| t.schema().clone())
+    }
+
+    /// Live row count.
+    pub fn table_len(&self, name: &str) -> RelResult<usize> {
+        self.with_table(name, Table::len)
+    }
+
+    /// True if a table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.inner.read().contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// All table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.read().keys().cloned().collect()
+    }
+}
+
+/// The database facade: a catalog plus the SQL and plan entry points.
+///
+/// ```
+/// use cr_relation::Database;
+/// let db = Database::new();
+/// db.execute_sql("CREATE TABLE t (x INT)").unwrap();
+/// db.execute_sql("INSERT INTO t VALUES (1),(2),(3)").unwrap();
+/// let n = db.query_sql("SELECT COUNT(*) AS n FROM t").unwrap();
+/// assert_eq!(n.scalar().unwrap().as_int().unwrap(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    catalog: Catalog,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying catalog (cheap clone; shares data).
+    pub fn catalog(&self) -> Catalog {
+        self.catalog.clone()
+    }
+
+    /// Execute any SQL statement. For queries, returns the result set; for
+    /// DDL/DML, returns a result set with an `affected` count column.
+    pub fn execute_sql(&self, text: &str) -> RelResult<ResultSet> {
+        sql::execute(text, &self.catalog)
+    }
+
+    /// Execute a SQL query (errors if the statement is not a SELECT).
+    pub fn query_sql(&self, text: &str) -> RelResult<ResultSet> {
+        sql::query(text, &self.catalog)
+    }
+
+    /// Run a logical plan (optimizing first).
+    pub fn run_plan(&self, plan: &LogicalPlan) -> RelResult<ResultSet> {
+        let optimized = optimizer::optimize(plan.clone());
+        exec::execute(&optimized, &self.catalog)
+    }
+
+    /// Run a logical plan exactly as given (for optimizer A/B tests).
+    pub fn run_plan_unoptimized(&self, plan: &LogicalPlan) -> RelResult<ResultSet> {
+        exec::execute(plan, &self.catalog)
+    }
+
+    /// Insert a row programmatically.
+    pub fn insert(&self, table: &str, row: Row) -> RelResult<RowId> {
+        self.catalog.with_table_mut(table, |t| t.insert(row))?
+    }
+
+    /// Insert many rows programmatically (single write lock).
+    pub fn insert_many(&self, table: &str, rows: Vec<Row>) -> RelResult<usize> {
+        self.catalog.with_table_mut(table, |t| {
+            let mut n = 0usize;
+            for r in rows {
+                t.insert(r)?;
+                n += 1;
+            }
+            Ok(n)
+        })?
+    }
+
+    /// Create a hash index.
+    pub fn create_index(
+        &self,
+        table: &str,
+        index_name: &str,
+        columns: &[&str],
+        unique: bool,
+    ) -> RelResult<()> {
+        self.create_index_kind(table, index_name, columns, IndexKind::Hash, unique)
+    }
+
+    /// Create a B-tree index (supports range scans).
+    pub fn create_btree_index(
+        &self,
+        table: &str,
+        index_name: &str,
+        columns: &[&str],
+        unique: bool,
+    ) -> RelResult<()> {
+        self.create_index_kind(table, index_name, columns, IndexKind::BTree, unique)
+    }
+
+    fn create_index_kind(
+        &self,
+        table: &str,
+        index_name: &str,
+        columns: &[&str],
+        kind: IndexKind,
+        unique: bool,
+    ) -> RelResult<()> {
+        self.catalog.with_table_mut(table, |t| {
+            let positions = columns
+                .iter()
+                .map(|c| t.schema().index_of(c))
+                .collect::<RelResult<Vec<_>>>()?;
+            t.create_index(index_name, positions, kind, unique)
+        })?
+    }
+
+    /// Delete rows matching a (named-column) predicate; returns count.
+    pub fn delete_where(&self, table: &str, predicate: &Expr) -> RelResult<usize> {
+        self.catalog.with_table_mut(table, |t| {
+            let bound = predicate.bind(t.schema())?;
+            let mut victims = Vec::new();
+            for (rid, row) in t.scan() {
+                if bound.eval_predicate(row)? {
+                    victims.push(rid);
+                }
+            }
+            let n = victims.len();
+            for rid in victims {
+                t.delete(rid);
+            }
+            Ok(n)
+        })?
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::row;
+    use crate::schema::{Column, DataType};
+    use crate::value::Value;
+
+    #[test]
+    fn create_and_drop() {
+        let c = Catalog::new();
+        let s = Schema::new(vec![Column::new("x", DataType::Int)]);
+        c.create_table("t", s.clone(), vec![]).unwrap();
+        assert!(c.has_table("t"));
+        assert!(c.has_table("T")); // case-insensitive
+        assert!(matches!(
+            c.create_table("T", s, vec![]),
+            Err(RelError::TableExists(_))
+        ));
+        c.drop_table("t").unwrap();
+        assert!(!c.has_table("t"));
+        assert!(matches!(c.drop_table("t"), Err(RelError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = Catalog::new();
+        c.create_table(
+            "t",
+            Schema::new(vec![Column::new("x", DataType::Int)]),
+            vec![],
+        )
+        .unwrap();
+        let c2 = c.clone();
+        c2.with_table_mut("t", |t| t.insert(row![1i64]).unwrap())
+            .unwrap();
+        assert_eq!(c.table_len("t").unwrap(), 1);
+    }
+
+    #[test]
+    fn database_insert_and_delete_where() {
+        let db = Database::new();
+        db.execute_sql("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+            .unwrap();
+        db.insert_many("t", vec![row![1i64, 10i64], row![2i64, 20i64], row![3i64, 30i64]])
+            .unwrap();
+        let n = db
+            .delete_where("t", &Expr::col("v").gt_eq(Expr::lit(20i64)))
+            .unwrap();
+        assert_eq!(n, 2);
+        let rs = db.query_sql("SELECT COUNT(*) AS n FROM t").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn concurrent_readers() {
+        use std::thread;
+        let db = Database::new();
+        db.execute_sql("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
+        for i in 0..100 {
+            db.insert("t", row![i as i64]).unwrap();
+        }
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let db = db.clone();
+                thread::spawn(move || {
+                    let rs = db.query_sql("SELECT COUNT(*) AS n FROM t").unwrap();
+                    rs.scalar().unwrap().as_int().unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 100);
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_distinct_tables() {
+        use std::thread;
+        let db = Database::new();
+        db.execute_sql("CREATE TABLE a (id INT PRIMARY KEY)").unwrap();
+        db.execute_sql("CREATE TABLE b (id INT PRIMARY KEY)").unwrap();
+        let mut handles = Vec::new();
+        for (table, base) in [("a", 0i64), ("b", 1000i64)] {
+            let db = db.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..200 {
+                    db.insert(table, row![base + i]).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.catalog().table_len("a").unwrap(), 200);
+        assert_eq!(db.catalog().table_len("b").unwrap(), 200);
+    }
+}

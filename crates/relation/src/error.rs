@@ -1,0 +1,114 @@
+//! Error types for the relational engine.
+
+use std::fmt;
+
+/// Result alias used throughout the engine.
+pub type RelResult<T> = Result<T, RelError>;
+
+/// All errors the engine can produce.
+///
+/// Variants are deliberately coarse: callers in the social-site layers
+/// mostly need to distinguish *user errors* (bad SQL, unknown column) from
+/// *constraint violations* (duplicate key) from *engine bugs*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// A table was not found in the catalog.
+    UnknownTable(String),
+    /// A column reference could not be resolved against a schema.
+    UnknownColumn(String),
+    /// An ambiguous (multiply-resolvable) column reference.
+    AmbiguousColumn(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// A primary-key or unique constraint was violated.
+    DuplicateKey(String),
+    /// A value had the wrong type for an operation or column.
+    TypeMismatch { expected: String, found: String },
+    /// Division by zero or a similar arithmetic fault during evaluation.
+    Arithmetic(String),
+    /// SQL lexing failed.
+    Lex { pos: usize, message: String },
+    /// SQL parsing failed.
+    Parse { pos: usize, message: String },
+    /// A semantically invalid plan or statement (binder errors).
+    Invalid(String),
+    /// A row count mismatch during insert (wrong arity).
+    Arity { expected: usize, found: usize },
+    /// An index with this name already exists.
+    IndexExists(String),
+    /// An index was not found.
+    UnknownIndex(String),
+    /// NOT NULL constraint violated.
+    NullViolation(String),
+    /// Feature not supported by this engine subset.
+    Unsupported(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            RelError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            RelError::AmbiguousColumn(c) => write!(f, "ambiguous column reference: {c}"),
+            RelError::TableExists(t) => write!(f, "table already exists: {t}"),
+            RelError::DuplicateKey(k) => write!(f, "duplicate key: {k}"),
+            RelError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            RelError::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
+            RelError::Lex { pos, message } => write!(f, "lex error at byte {pos}: {message}"),
+            RelError::Parse { pos, message } => write!(f, "parse error at token {pos}: {message}"),
+            RelError::Invalid(m) => write!(f, "invalid statement: {m}"),
+            RelError::Arity { expected, found } => {
+                write!(f, "arity mismatch: expected {expected} values, found {found}")
+            }
+            RelError::IndexExists(i) => write!(f, "index already exists: {i}"),
+            RelError::UnknownIndex(i) => write!(f, "unknown index: {i}"),
+            RelError::NullViolation(c) => write!(f, "NOT NULL violation on column {c}"),
+            RelError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(
+            RelError::UnknownTable("t".into()).to_string(),
+            "unknown table: t"
+        );
+        assert_eq!(
+            RelError::TypeMismatch {
+                expected: "Int".into(),
+                found: "Text".into()
+            }
+            .to_string(),
+            "type mismatch: expected Int, found Text"
+        );
+        assert_eq!(
+            RelError::Arity {
+                expected: 3,
+                found: 2
+            }
+            .to_string(),
+            "arity mismatch: expected 3 values, found 2"
+        );
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            RelError::UnknownColumn("x".into()),
+            RelError::UnknownColumn("x".into())
+        );
+        assert_ne!(
+            RelError::UnknownColumn("x".into()),
+            RelError::UnknownColumn("y".into())
+        );
+    }
+}

@@ -1,0 +1,986 @@
+//! Physical execution.
+//!
+//! Plans execute as a pipeline of row iterators. Scans clone only the rows
+//! (and columns) that survive their pushed-down filter and projection;
+//! operators above stream owned rows. Pipeline breakers (hash join build
+//! side, aggregation, sort) materialize as usual.
+//!
+//! Scans pick an **access path** at runtime: if the pushed-down predicate
+//! contains an equality (or range) conjunct on the primary key or an
+//! indexed column, the matching index serves the lookup and only the
+//! residual predicate is evaluated per row. This is what makes FlexRecs'
+//! compiled per-user queries cheap on paper-scale data.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::ops::Bound;
+
+use crate::catalog::Catalog;
+use crate::error::{RelError, RelResult};
+use crate::expr::{BinOp, Expr};
+use crate::plan::{AggExpr, AggFn, JoinKind, LogicalPlan, SortKey};
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Value;
+
+/// A fully materialized query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    /// Empty result with a schema.
+    pub fn empty(schema: Schema) -> Self {
+        ResultSet {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Column index by (unqualified) name.
+    pub fn column_index(&self, name: &str) -> RelResult<usize> {
+        self.schema.index_of(name)
+    }
+
+    /// Iterate a single column's values.
+    pub fn column_values(&self, name: &str) -> RelResult<Vec<&Value>> {
+        let i = self.column_index(name)?;
+        Ok(self.rows.iter().map(|r| &r[i]).collect())
+    }
+
+    /// First row, first column — for scalar queries (`SELECT COUNT(*) ...`).
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+
+    /// Render as an aligned text table (used by the example binaries to
+    /// reproduce the paper's screenshots in terminal form).
+    pub fn to_text_table(&self) -> String {
+        let headers: Vec<String> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let s = v.to_string();
+                        if s.len() > widths[i] {
+                            widths[i] = s.len();
+                        }
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            for w in &widths {
+                let _ = write!(out, "+-{}-", "-".repeat(*w));
+            }
+            out.push_str("+\n");
+        };
+        sep(&mut out);
+        for (i, h) in headers.iter().enumerate() {
+            let _ = write!(out, "| {h:<width$} ", width = widths[i]);
+        }
+        out.push_str("|\n");
+        sep(&mut out);
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                let _ = write!(out, "| {c:<width$} ", width = widths[i]);
+            }
+            out.push_str("|\n");
+        }
+        sep(&mut out);
+        out
+    }
+}
+
+/// Execute a logical plan against a catalog, materializing the result.
+pub fn execute(plan: &LogicalPlan, catalog: &Catalog) -> RelResult<ResultSet> {
+    let rows = run(plan, catalog)?;
+    Ok(ResultSet {
+        schema: plan.schema().clone(),
+        rows,
+    })
+}
+
+fn run(plan: &LogicalPlan, catalog: &Catalog) -> RelResult<Vec<Row>> {
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            projection,
+            filter,
+            ..
+        } => catalog.with_table(table, |t| scan_table(t, projection, filter))?,
+
+        LogicalPlan::Filter { input, predicate } => {
+            let rows = run(input, catalog)?;
+            let mut out = Vec::with_capacity(rows.len() / 2);
+            for r in rows {
+                if predicate.eval_predicate(&r)? {
+                    out.push(r);
+                }
+            }
+            Ok(out)
+        }
+
+        LogicalPlan::Project { input, exprs, .. } => {
+            let rows = run(input, catalog)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for r in rows {
+                let mut projected = Vec::with_capacity(exprs.len());
+                for (e, _) in exprs {
+                    projected.push(e.eval(&r)?);
+                }
+                out.push(projected);
+            }
+            Ok(out)
+        }
+
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            ..
+        } => run_join(left, right, *kind, on, catalog),
+
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            ..
+        } => run_aggregate(input, group_by, aggs, catalog),
+
+        LogicalPlan::Sort { input, keys } => {
+            let rows = run(input, catalog)?;
+            sort_rows(rows, keys)
+        }
+
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            let rows = run(input, catalog)?;
+            let it = rows.into_iter().skip(*offset);
+            Ok(match limit {
+                Some(n) => it.take(*n).collect(),
+                None => it.collect(),
+            })
+        }
+
+        LogicalPlan::Values { rows, .. } => Ok(rows.clone()),
+
+        LogicalPlan::Union { left, right } => {
+            let mut rows = run(left, catalog)?;
+            rows.extend(run(right, catalog)?);
+            Ok(rows)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scan + access-path selection
+// ---------------------------------------------------------------------
+
+/// How a scan will fetch rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPath {
+    SeqScan,
+    /// Primary-key point lookup with the given key.
+    PkLookup(Vec<Value>),
+    /// Secondary-index equality lookup: (index name, key).
+    IndexEq(String, Vec<Value>),
+    /// Secondary B-tree index range scan on its leading column.
+    IndexRange {
+        index: String,
+        lower: Bound<Value>,
+        upper: Bound<Value>,
+    },
+}
+
+/// Decide the access path for a scan's pushed-down filter. Public so that
+/// benches and tests can assert index usage (ablation A3 in DESIGN.md).
+pub fn choose_access_path(table: &Table, filter: &Option<Expr>) -> AccessPath {
+    let Some(filter) = filter else {
+        return AccessPath::SeqScan;
+    };
+    let conjuncts = filter.split_conjunction();
+
+    // 1. Full primary-key equality?
+    let pk = table.pk_columns();
+    if !pk.is_empty() {
+        let mut key: Vec<Option<Value>> = vec![None; pk.len()];
+        for c in &conjuncts {
+            if let Some((col, v)) = as_col_eq_literal(c) {
+                if let Some(pos) = pk.iter().position(|&p| p == col) {
+                    key[pos] = Some(v);
+                }
+            }
+        }
+        if key.iter().all(Option::is_some) {
+            return AccessPath::PkLookup(key.into_iter().map(Option::unwrap).collect());
+        }
+    }
+
+    // 2. Single-column secondary index equality?
+    for c in &conjuncts {
+        if let Some((col, v)) = as_col_eq_literal(c) {
+            if let Some(idx) = table.index_on_column(col) {
+                if idx.columns.len() == 1 {
+                    return AccessPath::IndexEq(idx.name.clone(), vec![v]);
+                }
+            }
+        }
+    }
+
+    // 3. Range on a B-tree index's leading column?
+    let mut range: HashMap<usize, (Bound<Value>, Bound<Value>)> = HashMap::new();
+    for c in &conjuncts {
+        if let Some((col, op, v)) = as_col_cmp_literal(c) {
+            let entry = range
+                .entry(col)
+                .or_insert((Bound::Unbounded, Bound::Unbounded));
+            match op {
+                BinOp::Gt => entry.0 = Bound::Excluded(v),
+                BinOp::GtEq => entry.0 = Bound::Included(v),
+                BinOp::Lt => entry.1 = Bound::Excluded(v),
+                BinOp::LtEq => entry.1 = Bound::Included(v),
+                _ => {}
+            }
+        }
+    }
+    for (col, (lo, hi)) in range {
+        if matches!((&lo, &hi), (Bound::Unbounded, Bound::Unbounded)) {
+            continue;
+        }
+        if let Some(idx) = table.index_on_column(col) {
+            if idx.kind() == crate::index::IndexKind::BTree && idx.columns.len() == 1 {
+                return AccessPath::IndexRange {
+                    index: idx.name.clone(),
+                    lower: lo,
+                    upper: hi,
+                };
+            }
+        }
+    }
+
+    AccessPath::SeqScan
+}
+
+fn as_col_eq_literal(e: &Expr) -> Option<(usize, Value)> {
+    if let Expr::Binary {
+        op: BinOp::Eq,
+        left,
+        right,
+    } = e
+    {
+        match (&**left, &**right) {
+            (Expr::Column(c), Expr::Literal(v)) | (Expr::Literal(v), Expr::Column(c)) => {
+                return Some((*c, v.clone()))
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn as_col_cmp_literal(e: &Expr) -> Option<(usize, BinOp, Value)> {
+    if let Expr::Binary { op, left, right } = e {
+        if !op.is_comparison() {
+            return None;
+        }
+        match (&**left, &**right) {
+            (Expr::Column(c), Expr::Literal(v)) => return Some((*c, *op, v.clone())),
+            (Expr::Literal(v), Expr::Column(c)) => {
+                // Flip the comparison: v < col  ≡  col > v.
+                let flipped = match op {
+                    BinOp::Lt => BinOp::Gt,
+                    BinOp::LtEq => BinOp::GtEq,
+                    BinOp::Gt => BinOp::Lt,
+                    BinOp::GtEq => BinOp::LtEq,
+                    other => *other,
+                };
+                return Some((*c, flipped, v.clone()));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn scan_table(
+    table: &Table,
+    projection: &Option<Vec<usize>>,
+    filter: &Option<Expr>,
+) -> RelResult<Vec<Row>> {
+    let path = choose_access_path(table, filter);
+    let project = |r: &Row| -> Row {
+        match projection {
+            None => r.clone(),
+            Some(cols) => cols.iter().map(|&i| r[i].clone()).collect(),
+        }
+    };
+    let passes = |r: &Row| -> RelResult<bool> {
+        match filter {
+            Some(f) => f.eval_predicate(r),
+            None => Ok(true),
+        }
+    };
+    let mut out = Vec::new();
+    match path {
+        AccessPath::SeqScan => {
+            for (_, r) in table.scan() {
+                if passes(r)? {
+                    out.push(project(r));
+                }
+            }
+        }
+        AccessPath::PkLookup(key) => {
+            if let Some(r) = table.get_by_pk(&key) {
+                if passes(r)? {
+                    out.push(project(r));
+                }
+            }
+        }
+        AccessPath::IndexEq(name, key) => {
+            let idx = table
+                .index(&name)
+                .ok_or_else(|| RelError::UnknownIndex(name.clone()))?;
+            if let Some(rids) = idx.get(&key) {
+                for &rid in rids {
+                    if let Some(r) = table.get(rid) {
+                        if passes(r)? {
+                            out.push(project(r));
+                        }
+                    }
+                }
+            }
+        }
+        AccessPath::IndexRange {
+            index,
+            lower,
+            upper,
+        } => {
+            let idx = table
+                .index(&index)
+                .ok_or_else(|| RelError::UnknownIndex(index.clone()))?;
+            let lo_key = match &lower {
+                Bound::Included(v) => Bound::Included(vec![v.clone()]),
+                Bound::Excluded(v) => Bound::Excluded(vec![v.clone()]),
+                Bound::Unbounded => Bound::Unbounded,
+            };
+            let hi_key = match &upper {
+                Bound::Included(v) => Bound::Included(vec![v.clone()]),
+                Bound::Excluded(v) => Bound::Excluded(vec![v.clone()]),
+                Bound::Unbounded => Bound::Unbounded,
+            };
+            let lo_ref = match &lo_key {
+                Bound::Included(k) => Bound::Included(k),
+                Bound::Excluded(k) => Bound::Excluded(k),
+                Bound::Unbounded => Bound::Unbounded,
+            };
+            let hi_ref = match &hi_key {
+                Bound::Included(k) => Bound::Included(k),
+                Bound::Excluded(k) => Bound::Excluded(k),
+                Bound::Unbounded => Bound::Unbounded,
+            };
+            for rid in idx.range(lo_ref, hi_ref) {
+                if let Some(r) = table.get(rid) {
+                    if passes(r)? {
+                        out.push(project(r));
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------
+
+/// Extract equi-join keys from a join predicate bound over the concatenated
+/// schema: conjuncts of the form `left_col = right_col`. Returns
+/// `(left_keys, right_keys_relative, residual)`.
+fn extract_equi_keys(on: &Expr, left_width: usize) -> (Vec<usize>, Vec<usize>, Vec<Expr>) {
+    let mut lk = Vec::new();
+    let mut rk = Vec::new();
+    let mut residual = Vec::new();
+    for c in on.split_conjunction() {
+        if let Expr::Binary {
+            op: BinOp::Eq,
+            left,
+            right,
+        } = &c
+        {
+            if let (Expr::Column(a), Expr::Column(b)) = (&**left, &**right) {
+                let (a, b) = (*a, *b);
+                if a < left_width && b >= left_width {
+                    lk.push(a);
+                    rk.push(b - left_width);
+                    continue;
+                }
+                if b < left_width && a >= left_width {
+                    lk.push(b);
+                    rk.push(a - left_width);
+                    continue;
+                }
+            }
+        }
+        residual.push(c);
+    }
+    (lk, rk, residual)
+}
+
+fn run_join(
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+    kind: JoinKind,
+    on: &Expr,
+    catalog: &Catalog,
+) -> RelResult<Vec<Row>> {
+    let left_rows = run(left, catalog)?;
+    let right_rows = run(right, catalog)?;
+    let left_width = left.schema().len();
+    let right_width = right.schema().len();
+    let (lk, rk, residual) = extract_equi_keys(on, left_width);
+    let residual = if residual.is_empty() {
+        None
+    } else {
+        Some(Expr::conjoin(residual))
+    };
+
+    let mut out = Vec::new();
+    if lk.is_empty() {
+        // Nested-loop join on the full predicate.
+        for l in &left_rows {
+            let mut matched = false;
+            for r in &right_rows {
+                let mut combined = Vec::with_capacity(left_width + right_width);
+                combined.extend_from_slice(l);
+                combined.extend_from_slice(r);
+                if on.eval_predicate(&combined)? {
+                    matched = true;
+                    out.push(combined);
+                }
+            }
+            if !matched && kind == JoinKind::LeftOuter {
+                let mut combined = Vec::with_capacity(left_width + right_width);
+                combined.extend_from_slice(l);
+                combined.extend(std::iter::repeat_n(Value::Null, right_width));
+                out.push(combined);
+            }
+        }
+    } else {
+        // Hash join: build on the right, probe from the left.
+        let mut build: HashMap<Vec<Value>, Vec<usize>> =
+            HashMap::with_capacity(right_rows.len());
+        for (i, r) in right_rows.iter().enumerate() {
+            let key: Vec<Value> = rk.iter().map(|&k| r[k].clone()).collect();
+            if key.iter().any(Value::is_null) {
+                continue; // NULL keys never join
+            }
+            build.entry(key).or_default().push(i);
+        }
+        for l in &left_rows {
+            let key: Vec<Value> = lk.iter().map(|&k| l[k].clone()).collect();
+            let mut matched = false;
+            if !key.iter().any(Value::is_null) {
+                if let Some(idxs) = build.get(&key) {
+                    for &i in idxs {
+                        let mut combined = Vec::with_capacity(left_width + right_width);
+                        combined.extend_from_slice(l);
+                        combined.extend_from_slice(&right_rows[i]);
+                        let ok = match &residual {
+                            Some(p) => p.eval_predicate(&combined)?,
+                            None => true,
+                        };
+                        if ok {
+                            matched = true;
+                            out.push(combined);
+                        }
+                    }
+                }
+            }
+            if !matched && kind == JoinKind::LeftOuter {
+                let mut combined = Vec::with_capacity(left_width + right_width);
+                combined.extend_from_slice(l);
+                combined.extend(std::iter::repeat_n(Value::Null, right_width));
+                out.push(combined);
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    Sum { total: f64, any: bool, int: bool },
+    Avg { total: f64, n: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    /// DISTINCT wrapper: collected values, finished by the inner fn.
+    Distinct(Vec<Value>, AggFn),
+}
+
+impl AggState {
+    fn new(a: &AggExpr) -> AggState {
+        if a.distinct {
+            return AggState::Distinct(Vec::new(), a.func);
+        }
+        match a.func {
+            AggFn::Count | AggFn::CountStar => AggState::Count(0),
+            AggFn::Sum => AggState::Sum {
+                total: 0.0,
+                any: false,
+                int: true,
+            },
+            AggFn::Avg => AggState::Avg { total: 0.0, n: 0 },
+            AggFn::Min => AggState::Min(None),
+            AggFn::Max => AggState::Max(None),
+        }
+    }
+
+    fn update(&mut self, v: Value, is_star: bool) -> RelResult<()> {
+        match self {
+            AggState::Count(n) => {
+                if is_star || !v.is_null() {
+                    *n += 1;
+                }
+            }
+            AggState::Sum { total, any, int } => {
+                if !v.is_null() {
+                    if !matches!(v, Value::Int(_)) {
+                        *int = false;
+                    }
+                    *total += v.as_float()?;
+                    *any = true;
+                }
+            }
+            AggState::Avg { total, n } => {
+                if !v.is_null() {
+                    *total += v.as_float()?;
+                    *n += 1;
+                }
+            }
+            AggState::Min(cur) => {
+                if !v.is_null() && cur.as_ref().is_none_or(|c| v < *c) {
+                    *cur = Some(v);
+                }
+            }
+            AggState::Max(cur) => {
+                if !v.is_null() && cur.as_ref().is_none_or(|c| v > *c) {
+                    *cur = Some(v);
+                }
+            }
+            AggState::Distinct(vals, _) => {
+                if is_star || !v.is_null() {
+                    vals.push(v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> RelResult<Value> {
+        Ok(match self {
+            AggState::Count(n) => Value::Int(n),
+            AggState::Sum { total, any, int } => {
+                if !any {
+                    Value::Null
+                } else if int {
+                    Value::Int(total as i64)
+                } else {
+                    Value::float(total)
+                }
+            }
+            AggState::Avg { total, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::float(total / n as f64)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
+            AggState::Distinct(mut vals, func) => {
+                vals.sort();
+                vals.dedup();
+                let mut inner = AggState::new(&AggExpr {
+                    func,
+                    arg: Expr::lit(0i64),
+                    distinct: false,
+                    name: String::new(),
+                });
+                for v in vals {
+                    inner.update(v, false)?;
+                }
+                inner.finish()?
+            }
+        })
+    }
+}
+
+fn run_aggregate(
+    input: &LogicalPlan,
+    group_by: &[Expr],
+    aggs: &[AggExpr],
+    catalog: &Catalog,
+) -> RelResult<Vec<Row>> {
+    let rows = run(input, catalog)?;
+    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    // Preserve first-seen group order for deterministic output.
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for r in &rows {
+        let mut key = Vec::with_capacity(group_by.len());
+        for g in group_by {
+            key.push(g.eval(r)?);
+        }
+        let states = match groups.get_mut(&key) {
+            Some(s) => s,
+            None => {
+                order.push(key.clone());
+                groups
+                    .entry(key.clone())
+                    .or_insert_with(|| aggs.iter().map(AggState::new).collect())
+            }
+        };
+        for (state, a) in states.iter_mut().zip(aggs) {
+            let is_star = a.func == AggFn::CountStar;
+            let v = if is_star {
+                Value::Int(1)
+            } else {
+                a.arg.eval(r)?
+            };
+            state.update(v, is_star)?;
+        }
+    }
+    // Global aggregate over empty input still yields one row.
+    if groups.is_empty() && group_by.is_empty() {
+        let states: Vec<AggState> = aggs.iter().map(AggState::new).collect();
+        let mut row = Vec::with_capacity(aggs.len());
+        for s in states {
+            row.push(s.finish()?);
+        }
+        return Ok(vec![row]);
+    }
+    let mut out = Vec::with_capacity(groups.len());
+    for key in order {
+        let states = groups.remove(&key).expect("group recorded in order");
+        let mut row = key;
+        for s in states {
+            row.push(s.finish()?);
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Sort
+// ---------------------------------------------------------------------
+
+fn sort_rows(mut rows: Vec<Row>, keys: &[SortKey]) -> RelResult<Vec<Row>> {
+    // Pre-compute key tuples so expression evaluation happens O(n), not
+    // O(n log n); then sort indices and gather.
+    let mut keyed: Vec<(Vec<Value>, usize)> = Vec::with_capacity(rows.len());
+    for (i, r) in rows.iter().enumerate() {
+        let mut k = Vec::with_capacity(keys.len());
+        for sk in keys {
+            k.push(sk.expr.eval(r)?);
+        }
+        keyed.push((k, i));
+    }
+    keyed.sort_by(|(a, ai), (b, bi)| {
+        for (i, sk) in keys.iter().enumerate() {
+            let ord = a[i].total_cmp(&b[i]);
+            let ord = if sk.desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        ai.cmp(bi) // stable tiebreak
+    });
+    let mut out = Vec::with_capacity(rows.len());
+    for (_, i) in keyed {
+        out.push(std::mem::take(&mut rows[i]));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Database;
+    use crate::plan::PlanBuilder;
+
+    fn db() -> Database {
+        let db = Database::new();
+        db.execute_sql(
+            "CREATE TABLE courses (id INT PRIMARY KEY, dep TEXT, units INT, rating FLOAT)",
+        )
+        .unwrap();
+        db.execute_sql(
+            "INSERT INTO courses VALUES \
+             (1,'CS',5,4.5),(2,'CS',3,3.0),(3,'HIST',4,4.0),(4,'HIST',4,NULL),(5,'MATH',3,2.5)",
+        )
+        .unwrap();
+        db.execute_sql("CREATE TABLE comments (cid INT PRIMARY KEY, course_id INT, text TEXT)")
+            .unwrap();
+        db.execute_sql(
+            "INSERT INTO comments VALUES (10,1,'great'),(11,1,'hard'),(12,3,'fun')",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn seq_scan_all() {
+        let db = db();
+        let rs = db.query_sql("SELECT * FROM courses").unwrap();
+        assert_eq!(rs.rows.len(), 5);
+        assert_eq!(rs.schema.len(), 4);
+    }
+
+    #[test]
+    fn pk_lookup_path_chosen() {
+        let db = db();
+        db.catalog()
+            .with_table("courses", |t| {
+                let filter = Some(Expr::col_idx(0).eq(Expr::lit(3i64)));
+                assert_eq!(
+                    choose_access_path(t, &filter),
+                    AccessPath::PkLookup(vec![Value::Int(3)])
+                );
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn secondary_index_path_chosen_and_correct() {
+        let db = db();
+        db.create_index("courses", "by_dep", &["dep"], false).unwrap();
+        db.catalog()
+            .with_table("courses", |t| {
+                let filter = Some(Expr::col_idx(1).eq(Expr::lit("CS")));
+                assert_eq!(
+                    choose_access_path(t, &filter),
+                    AccessPath::IndexEq("by_dep".into(), vec![Value::text("CS")])
+                );
+            })
+            .unwrap();
+        let rs = db
+            .query_sql("SELECT id FROM courses WHERE dep = 'CS'")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn btree_range_path() {
+        let db = db();
+        db.create_btree_index("courses", "by_units", &["units"], false)
+            .unwrap();
+        let rs = db
+            .query_sql("SELECT id FROM courses WHERE units >= 4 AND units <= 5")
+            .unwrap();
+        let mut ids: Vec<i64> = rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        ids.sort();
+        assert_eq!(ids, vec![1, 3, 4]);
+        db.catalog()
+            .with_table("courses", |t| {
+                let filter = Some(
+                    Expr::col_idx(2)
+                        .gt_eq(Expr::lit(4i64))
+                        .and(Expr::col_idx(2).lt_eq(Expr::lit(5i64))),
+                );
+                assert!(matches!(
+                    choose_access_path(t, &filter),
+                    AccessPath::IndexRange { .. }
+                ));
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn hash_join_inner() {
+        let db = db();
+        let rs = db
+            .query_sql(
+                "SELECT courses.id, comments.text FROM courses \
+                 JOIN comments ON courses.id = comments.course_id",
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 3);
+    }
+
+    #[test]
+    fn left_outer_join_extends_with_nulls() {
+        let db = db();
+        let rs = db
+            .query_sql(
+                "SELECT courses.id, comments.text FROM courses \
+                 LEFT JOIN comments ON courses.id = comments.course_id \
+                 ORDER BY courses.id",
+            )
+            .unwrap();
+        // 1 has two comments, 3 has one, 2/4/5 null-extended: 6 rows.
+        assert_eq!(rs.rows.len(), 6);
+        let null_rows = rs.rows.iter().filter(|r| r[1].is_null()).count();
+        assert_eq!(null_rows, 3);
+    }
+
+    #[test]
+    fn nested_loop_for_non_equi_join() {
+        let db = db();
+        let rs = db
+            .query_sql(
+                "SELECT a.id, b.id FROM courses a JOIN courses b ON a.units < b.units",
+            )
+            .unwrap();
+        // pairs with strictly smaller units: units are [5,3,4,4,3]
+        // 3<4 (2 with id3), 3<4(id4), 3<5; two rows with units 3 → 2*3=6, 4<5 ×2 → 8
+        assert_eq!(rs.rows.len(), 8);
+    }
+
+    #[test]
+    fn aggregate_groups_and_nulls() {
+        let db = db();
+        let rs = db
+            .query_sql(
+                "SELECT dep, COUNT(*) AS n, AVG(rating) AS avg_r, SUM(units) AS su \
+                 FROM courses GROUP BY dep ORDER BY dep",
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 3);
+        // CS: n=2, avg=(4.5+3)/2=3.75
+        assert_eq!(rs.rows[0][0], Value::text("CS"));
+        assert_eq!(rs.rows[0][1], Value::Int(2));
+        assert_eq!(rs.rows[0][2], Value::Float(3.75));
+        // HIST: one NULL rating → avg over non-null only = 4.0
+        assert_eq!(rs.rows[1][2], Value::Float(4.0));
+    }
+
+    #[test]
+    fn count_ignores_null_countstar_does_not() {
+        let db = db();
+        let rs = db
+            .query_sql("SELECT COUNT(rating) AS c, COUNT(*) AS cs FROM courses")
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(4));
+        assert_eq!(rs.rows[0][1], Value::Int(5));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let db = db();
+        let rs = db
+            .query_sql("SELECT COUNT(*) AS c, MAX(units) AS m FROM courses WHERE id > 999")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Int(0));
+        assert!(rs.rows[0][1].is_null());
+    }
+
+    #[test]
+    fn distinct_count() {
+        let db = db();
+        let rs = db
+            .query_sql("SELECT COUNT(DISTINCT dep) AS d FROM courses")
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn sort_asc_desc_with_nulls_first() {
+        let db = db();
+        let rs = db
+            .query_sql("SELECT id, rating FROM courses ORDER BY rating DESC, id")
+            .unwrap();
+        // DESC: NULL sorts first ascending → last descending? Our total
+        // order puts NULL lowest, so DESC puts it last.
+        let ids: Vec<i64> = rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(ids, vec![1, 3, 2, 5, 4]);
+    }
+
+    #[test]
+    fn limit_offset() {
+        let db = db();
+        let rs = db
+            .query_sql("SELECT id FROM courses ORDER BY id LIMIT 2 OFFSET 1")
+            .unwrap();
+        let ids: Vec<i64> = rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn union_appends() {
+        let db = db();
+        let rs = db
+            .query_sql(
+                "SELECT id FROM courses WHERE dep = 'CS' \
+                 UNION ALL SELECT id FROM courses WHERE dep = 'MATH'",
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 3);
+    }
+
+    #[test]
+    fn result_set_helpers() {
+        let db = db();
+        let rs = db.query_sql("SELECT COUNT(*) AS n FROM courses").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(5)));
+        let table = rs.to_text_table();
+        assert!(table.contains("| n "));
+        assert!(table.contains("| 5 "));
+    }
+
+    #[test]
+    fn programmatic_plan_matches_sql() {
+        let db = db();
+        let plan = PlanBuilder::scan(&db.catalog(), "courses")
+            .unwrap()
+            .filter(Expr::col("units").gt_eq(Expr::lit(4i64)))
+            .unwrap()
+            .select_columns(&["id"])
+            .unwrap()
+            .sort_by("id", false)
+            .unwrap()
+            .build();
+        let a = db.run_plan(&plan).unwrap();
+        let b = db
+            .query_sql("SELECT id FROM courses WHERE units >= 4 ORDER BY id")
+            .unwrap();
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn join_null_keys_never_match() {
+        let db = Database::new();
+        db.execute_sql("CREATE TABLE a (x INT)").unwrap();
+        db.execute_sql("CREATE TABLE b (y INT)").unwrap();
+        db.execute_sql("INSERT INTO a VALUES (NULL),(1)").unwrap();
+        db.execute_sql("INSERT INTO b VALUES (NULL),(1)").unwrap();
+        let rs = db
+            .query_sql("SELECT * FROM a JOIN b ON a.x = b.y")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+    }
+}

@@ -1,0 +1,1170 @@
+//! Scalar expressions: AST, binding, evaluation, constant folding.
+//!
+//! Expressions appear in `WHERE`/`HAVING` predicates, projections, and join
+//! conditions. An expression starts life *unbound* (column references by
+//! name) and is [`Expr::bind`]-ed against a [`Schema`] to produce a form
+//! with positional references that evaluates without name lookups — the
+//! hot path runs on `&[Value]` with zero hashing.
+
+use std::fmt;
+
+use crate::error::{RelError, RelResult};
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+}
+
+impl BinOp {
+    pub fn sql(&self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "=",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        }
+    }
+
+    /// True for comparison operators (result is Bool).
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        )
+    }
+}
+
+/// Built-in scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarFn {
+    Lower,
+    Upper,
+    Length,
+    Abs,
+    Round,
+    Coalesce,
+    /// `CONCAT(a, b, ...)` — string concatenation, NULLs become "".
+    Concat,
+    /// `SUBSTR(s, start, len)` — 1-based start as in SQL.
+    Substr,
+    /// Square root (NULL for negative input).
+    Sqrt,
+    /// `POW(base, exponent)`.
+    Pow,
+    /// Natural logarithm (NULL for non-positive input).
+    Ln,
+    /// `EXP(x)`.
+    Exp,
+}
+
+impl ScalarFn {
+    pub fn by_name(name: &str) -> Option<ScalarFn> {
+        match name.to_ascii_uppercase().as_str() {
+            "LOWER" => Some(ScalarFn::Lower),
+            "UPPER" => Some(ScalarFn::Upper),
+            "LENGTH" => Some(ScalarFn::Length),
+            "ABS" => Some(ScalarFn::Abs),
+            "ROUND" => Some(ScalarFn::Round),
+            "COALESCE" => Some(ScalarFn::Coalesce),
+            "CONCAT" => Some(ScalarFn::Concat),
+            "SUBSTR" => Some(ScalarFn::Substr),
+            "SQRT" => Some(ScalarFn::Sqrt),
+            "POW" | "POWER" => Some(ScalarFn::Pow),
+            "LN" => Some(ScalarFn::Ln),
+            "EXP" => Some(ScalarFn::Exp),
+            _ => None,
+        }
+    }
+
+    pub fn sql(&self) -> &'static str {
+        match self {
+            ScalarFn::Lower => "LOWER",
+            ScalarFn::Upper => "UPPER",
+            ScalarFn::Length => "LENGTH",
+            ScalarFn::Abs => "ABS",
+            ScalarFn::Round => "ROUND",
+            ScalarFn::Coalesce => "COALESCE",
+            ScalarFn::Concat => "CONCAT",
+            ScalarFn::Substr => "SUBSTR",
+            ScalarFn::Sqrt => "SQRT",
+            ScalarFn::Pow => "POW",
+            ScalarFn::Ln => "LN",
+            ScalarFn::Exp => "EXP",
+        }
+    }
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Literal(Value),
+    /// An unresolved column reference (`qualifier.name` or `name`).
+    ColumnName {
+        qualifier: Option<String>,
+        name: String,
+    },
+    /// A resolved column reference (position in the input row).
+    Column(usize),
+    /// Binary operation.
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// Logical NOT.
+    Not(Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull { expr: Box<Expr>, negated: bool },
+    /// `expr LIKE pattern` (with `%` and `_` wildcards), case-insensitive
+    /// (CourseRank-style search is case-insensitive throughout).
+    Like {
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+    },
+    /// `expr IN (list)`.
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    /// `expr BETWEEN low AND high`.
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    /// Scalar function call.
+    Func { func: ScalarFn, args: Vec<Expr> },
+}
+
+impl Expr {
+    // ------------------------------------------------------------------
+    // Constructors (builder-style, used heavily by plan builders and
+    // FlexRecs compilation).
+    // ------------------------------------------------------------------
+
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    pub fn col(name: impl Into<String>) -> Expr {
+        let name = name.into();
+        match name.split_once('.') {
+            Some((q, n)) => Expr::ColumnName {
+                qualifier: Some(q.to_owned()),
+                name: n.to_owned(),
+            },
+            None => Expr::ColumnName {
+                qualifier: None,
+                name,
+            },
+        }
+    }
+
+    pub fn col_idx(i: usize) -> Expr {
+        Expr::Column(i)
+    }
+
+    pub fn binary(self, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(self),
+            right: Box::new(rhs),
+        }
+    }
+
+    pub fn eq(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Eq, rhs)
+    }
+    pub fn not_eq(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::NotEq, rhs)
+    }
+    pub fn lt(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Lt, rhs)
+    }
+    pub fn lt_eq(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::LtEq, rhs)
+    }
+    pub fn gt(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Gt, rhs)
+    }
+    pub fn gt_eq(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::GtEq, rhs)
+    }
+    pub fn and(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::And, rhs)
+    }
+    pub fn or(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Or, rhs)
+    }
+    // Builder names deliberately mirror SQL arithmetic; they are not the
+    // std::ops traits (those would force Expr: Sized bounds awkwardly in
+    // builder chains and break the uniform `.and()/.eq()` style).
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Add, rhs)
+    }
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Sub, rhs)
+    }
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Mul, rhs)
+    }
+    #[allow(clippy::should_implement_trait)]
+    pub fn div(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Div, rhs)
+    }
+
+    pub fn like(self, pattern: impl Into<String>) -> Expr {
+        Expr::Like {
+            expr: Box::new(self),
+            pattern: Box::new(Expr::lit(pattern.into())),
+            negated: false,
+        }
+    }
+
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull {
+            expr: Box::new(self),
+            negated: false,
+        }
+    }
+
+    pub fn in_list(self, list: Vec<Expr>) -> Expr {
+        Expr::InList {
+            expr: Box::new(self),
+            list,
+            negated: false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Binding & analysis
+    // ------------------------------------------------------------------
+
+    /// Resolve every [`Expr::ColumnName`] against `schema`, producing an
+    /// expression with positional [`Expr::Column`] references.
+    pub fn bind(&self, schema: &Schema) -> RelResult<Expr> {
+        Ok(match self {
+            Expr::Literal(v) => Expr::Literal(v.clone()),
+            Expr::ColumnName { qualifier, name } => {
+                Expr::Column(schema.resolve(qualifier.as_deref(), name)?)
+            }
+            Expr::Column(i) => {
+                if *i >= schema.len() {
+                    return Err(RelError::Invalid(format!(
+                        "column index {i} out of range for schema of {} columns",
+                        schema.len()
+                    )));
+                }
+                Expr::Column(*i)
+            }
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op: *op,
+                left: Box::new(left.bind(schema)?),
+                right: Box::new(right.bind(schema)?),
+            },
+            Expr::Not(e) => Expr::Not(Box::new(e.bind(schema)?)),
+            Expr::Neg(e) => Expr::Neg(Box::new(e.bind(schema)?)),
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(expr.bind(schema)?),
+                negated: *negated,
+            },
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
+                expr: Box::new(expr.bind(schema)?),
+                pattern: Box::new(pattern.bind(schema)?),
+                negated: *negated,
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
+                expr: Box::new(expr.bind(schema)?),
+                list: list.iter().map(|e| e.bind(schema)).collect::<RelResult<_>>()?,
+                negated: *negated,
+            },
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Expr::Between {
+                expr: Box::new(expr.bind(schema)?),
+                low: Box::new(low.bind(schema)?),
+                high: Box::new(high.bind(schema)?),
+                negated: *negated,
+            },
+            Expr::Func { func, args } => Expr::Func {
+                func: *func,
+                args: args.iter().map(|e| e.bind(schema)).collect::<RelResult<_>>()?,
+            },
+        })
+    }
+
+    /// Collect the positional columns this (bound) expression reads.
+    pub fn referenced_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Literal(_) => {}
+            Expr::ColumnName { .. } => {}
+            Expr::Column(i) => out.push(*i),
+            Expr::Binary { left, right, .. } => {
+                left.referenced_columns(out);
+                right.referenced_columns(out);
+            }
+            Expr::Not(e) | Expr::Neg(e) => e.referenced_columns(out),
+            Expr::IsNull { expr, .. } => expr.referenced_columns(out),
+            Expr::Like { expr, pattern, .. } => {
+                expr.referenced_columns(out);
+                pattern.referenced_columns(out);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.referenced_columns(out);
+                for e in list {
+                    e.referenced_columns(out);
+                }
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.referenced_columns(out);
+                low.referenced_columns(out);
+                high.referenced_columns(out);
+            }
+            Expr::Func { args, .. } => {
+                for e in args {
+                    e.referenced_columns(out);
+                }
+            }
+        }
+    }
+
+    /// True if the expression contains no column references (constant).
+    pub fn is_constant(&self) -> bool {
+        let mut cols = Vec::new();
+        self.referenced_columns(&mut cols);
+        cols.is_empty() && !self.has_unbound_names()
+    }
+
+    fn has_unbound_names(&self) -> bool {
+        match self {
+            Expr::ColumnName { .. } => true,
+            Expr::Literal(_) | Expr::Column(_) => false,
+            Expr::Binary { left, right, .. } => {
+                left.has_unbound_names() || right.has_unbound_names()
+            }
+            Expr::Not(e) | Expr::Neg(e) => e.has_unbound_names(),
+            Expr::IsNull { expr, .. } => expr.has_unbound_names(),
+            Expr::Like { expr, pattern, .. } => {
+                expr.has_unbound_names() || pattern.has_unbound_names()
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.has_unbound_names() || list.iter().any(Expr::has_unbound_names)
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.has_unbound_names() || low.has_unbound_names() || high.has_unbound_names()
+            }
+            Expr::Func { args, .. } => args.iter().any(Expr::has_unbound_names),
+        }
+    }
+
+    /// Shift every positional column reference by `delta` (used when an
+    /// expression written against a join's right input is evaluated against
+    /// the concatenated join row).
+    pub fn shift_columns(&self, delta: usize) -> Expr {
+        self.map_columns(&|i| i + delta)
+    }
+
+    /// Rewrite positional references through `f`.
+    pub fn map_columns(&self, f: &dyn Fn(usize) -> usize) -> Expr {
+        match self {
+            Expr::Literal(v) => Expr::Literal(v.clone()),
+            Expr::ColumnName { qualifier, name } => Expr::ColumnName {
+                qualifier: qualifier.clone(),
+                name: name.clone(),
+            },
+            Expr::Column(i) => Expr::Column(f(*i)),
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op: *op,
+                left: Box::new(left.map_columns(f)),
+                right: Box::new(right.map_columns(f)),
+            },
+            Expr::Not(e) => Expr::Not(Box::new(e.map_columns(f))),
+            Expr::Neg(e) => Expr::Neg(Box::new(e.map_columns(f))),
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(expr.map_columns(f)),
+                negated: *negated,
+            },
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
+                expr: Box::new(expr.map_columns(f)),
+                pattern: Box::new(pattern.map_columns(f)),
+                negated: *negated,
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
+                expr: Box::new(expr.map_columns(f)),
+                list: list.iter().map(|e| e.map_columns(f)).collect(),
+                negated: *negated,
+            },
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Expr::Between {
+                expr: Box::new(expr.map_columns(f)),
+                low: Box::new(low.map_columns(f)),
+                high: Box::new(high.map_columns(f)),
+                negated: *negated,
+            },
+            Expr::Func { func, args } => Expr::Func {
+                func: *func,
+                args: args.iter().map(|e| e.map_columns(f)).collect(),
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Evaluation
+    // ------------------------------------------------------------------
+
+    /// Evaluate against a row. Unbound names are an error.
+    pub fn eval(&self, row: &Row) -> RelResult<Value> {
+        match self {
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Column(i) => row.get(*i).cloned().ok_or_else(|| {
+                RelError::Invalid(format!("row too short for column index {i}"))
+            }),
+            Expr::ColumnName { qualifier, name } => Err(RelError::Invalid(format!(
+                "unbound column reference {}{name} at eval time",
+                qualifier
+                    .as_deref()
+                    .map(|q| format!("{q}."))
+                    .unwrap_or_default()
+            ))),
+            Expr::Binary { op, left, right } => eval_binary(*op, left, right, row),
+            Expr::Not(e) => match e.eval(row)? {
+                Value::Null => Ok(Value::Null),
+                v => Ok(Value::Bool(!v.as_bool()?)),
+            },
+            Expr::Neg(e) => match e.eval(row)? {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Float(f) => Ok(Value::float(-f)),
+                v => Err(RelError::TypeMismatch {
+                    expected: "numeric".into(),
+                    found: v.type_name().into(),
+                }),
+            },
+            Expr::IsNull { expr, negated } => {
+                let is_null = expr.eval(row)?.is_null();
+                Ok(Value::Bool(is_null != *negated))
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let v = expr.eval(row)?;
+                let p = pattern.eval(row)?;
+                if v.is_null() || p.is_null() {
+                    return Ok(Value::Null);
+                }
+                let matched = like_match(v.as_text()?, p.as_text()?);
+                Ok(Value::Bool(matched != *negated))
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = expr.eval(row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut found = false;
+                for item in list {
+                    if item.eval(row)?.sql_eq(&v) {
+                        found = true;
+                        break;
+                    }
+                }
+                Ok(Value::Bool(found != *negated))
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let v = expr.eval(row)?;
+                let lo = low.eval(row)?;
+                let hi = high.eval(row)?;
+                if v.is_null() || lo.is_null() || hi.is_null() {
+                    return Ok(Value::Null);
+                }
+                let within = lo.total_cmp(&v) != std::cmp::Ordering::Greater
+                    && v.total_cmp(&hi) != std::cmp::Ordering::Greater;
+                Ok(Value::Bool(within != *negated))
+            }
+            Expr::Func { func, args } => eval_func(*func, args, row),
+        }
+    }
+
+    /// Evaluate as a predicate: NULL collapses to false (SQL WHERE
+    /// semantics).
+    pub fn eval_predicate(&self, row: &Row) -> RelResult<bool> {
+        match self.eval(row)? {
+            Value::Null => Ok(false),
+            Value::Bool(b) => Ok(b),
+            other => Err(RelError::TypeMismatch {
+                expected: "Bool".into(),
+                found: other.type_name().into(),
+            }),
+        }
+    }
+
+    /// Constant-fold: evaluate constant subtrees down to literals.
+    pub fn fold(&self) -> Expr {
+        let folded = match self {
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op: *op,
+                left: Box::new(left.fold()),
+                right: Box::new(right.fold()),
+            },
+            Expr::Not(e) => Expr::Not(Box::new(e.fold())),
+            Expr::Neg(e) => Expr::Neg(Box::new(e.fold())),
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(expr.fold()),
+                negated: *negated,
+            },
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
+                expr: Box::new(expr.fold()),
+                pattern: Box::new(pattern.fold()),
+                negated: *negated,
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
+                expr: Box::new(expr.fold()),
+                list: list.iter().map(Expr::fold).collect(),
+                negated: *negated,
+            },
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Expr::Between {
+                expr: Box::new(expr.fold()),
+                low: Box::new(low.fold()),
+                high: Box::new(high.fold()),
+                negated: *negated,
+            },
+            Expr::Func { func, args } => Expr::Func {
+                func: *func,
+                args: args.iter().map(Expr::fold).collect(),
+            },
+            other => other.clone(),
+        };
+        if folded.is_constant() {
+            if let Ok(v) = folded.eval(&Vec::new()) {
+                return Expr::Literal(v);
+            }
+        }
+        folded
+    }
+
+    /// Split a conjunctive predicate into its AND-ed parts.
+    pub fn split_conjunction(&self) -> Vec<Expr> {
+        match self {
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => {
+                let mut parts = left.split_conjunction();
+                parts.extend(right.split_conjunction());
+                parts
+            }
+            other => vec![other.clone()],
+        }
+    }
+
+    /// Reassemble a conjunction from parts. Empty input folds to TRUE.
+    pub fn conjoin(parts: Vec<Expr>) -> Expr {
+        parts
+            .into_iter()
+            .reduce(|a, b| a.and(b))
+            .unwrap_or_else(|| Expr::lit(true))
+    }
+}
+
+fn eval_binary(op: BinOp, left: &Expr, right: &Expr, row: &Row) -> RelResult<Value> {
+    // Short-circuit logical operators (also gives NULL-tolerant AND/OR).
+    if matches!(op, BinOp::And | BinOp::Or) {
+        let l = left.eval(row)?;
+        return match (op, &l) {
+            (BinOp::And, Value::Bool(false)) => Ok(Value::Bool(false)),
+            (BinOp::Or, Value::Bool(true)) => Ok(Value::Bool(true)),
+            _ => {
+                let r = right.eval(row)?;
+                match (l, r) {
+                    (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                    (a, b) => {
+                        let (a, b) = (a.as_bool()?, b.as_bool()?);
+                        Ok(Value::Bool(match op {
+                            BinOp::And => a && b,
+                            _ => a || b,
+                        }))
+                    }
+                }
+            }
+        };
+    }
+
+    let l = left.eval(row)?;
+    let r = right.eval(row)?;
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    if op.is_comparison() {
+        // DATE columns compare against integer literals (days since
+        // epoch) — coerce so `WHERE Date = 100` behaves as expected.
+        let (l, r) = match (&l, &r) {
+            (Value::Date(_), Value::Int(i)) => (l.clone(), Value::Date(*i as i32)),
+            (Value::Int(i), Value::Date(_)) => (Value::Date(*i as i32), r.clone()),
+            _ => (l, r),
+        };
+        let ord = l.total_cmp(&r);
+        use std::cmp::Ordering::*;
+        let b = match op {
+            BinOp::Eq => ord == Equal,
+            BinOp::NotEq => ord != Equal,
+            BinOp::Lt => ord == Less,
+            BinOp::LtEq => ord != Greater,
+            BinOp::Gt => ord == Greater,
+            BinOp::GtEq => ord != Less,
+            _ => unreachable!(),
+        };
+        return Ok(Value::Bool(b));
+    }
+    // Arithmetic. Text + Text concatenates (convenience used by FlexRecs'
+    // compiled SQL when labelling results).
+    match (&l, &r) {
+        (Value::Text(a), Value::Text(b)) if op == BinOp::Add => {
+            let mut s = String::with_capacity(a.len() + b.len());
+            s.push_str(a);
+            s.push_str(b);
+            Ok(Value::Text(s))
+        }
+        (Value::Int(a), Value::Int(b)) => {
+            let a = *a;
+            let b = *b;
+            Ok(match op {
+                BinOp::Add => Value::Int(a.wrapping_add(b)),
+                BinOp::Sub => Value::Int(a.wrapping_sub(b)),
+                BinOp::Mul => Value::Int(a.wrapping_mul(b)),
+                BinOp::Div => {
+                    if b == 0 {
+                        return Err(RelError::Arithmetic("division by zero".into()));
+                    }
+                    // SQL-style: integer division yields a float when not
+                    // exact, matching how ratings averages must behave.
+                    if a % b == 0 {
+                        Value::Int(a / b)
+                    } else {
+                        Value::float(a as f64 / b as f64)
+                    }
+                }
+                BinOp::Mod => {
+                    if b == 0 {
+                        return Err(RelError::Arithmetic("modulo by zero".into()));
+                    }
+                    Value::Int(a % b)
+                }
+                _ => unreachable!(),
+            })
+        }
+        _ => {
+            let a = l.as_float()?;
+            let b = r.as_float()?;
+            Ok(match op {
+                BinOp::Add => Value::float(a + b),
+                BinOp::Sub => Value::float(a - b),
+                BinOp::Mul => Value::float(a * b),
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return Err(RelError::Arithmetic("division by zero".into()));
+                    }
+                    Value::float(a / b)
+                }
+                BinOp::Mod => {
+                    if b == 0.0 {
+                        return Err(RelError::Arithmetic("modulo by zero".into()));
+                    }
+                    Value::float(a % b)
+                }
+                _ => unreachable!(),
+            })
+        }
+    }
+}
+
+fn eval_func(func: ScalarFn, args: &[Expr], row: &Row) -> RelResult<Value> {
+    let arity_err = |expected: usize| {
+        Err(RelError::Invalid(format!(
+            "{} expects {expected} argument(s), got {}",
+            func.sql(),
+            args.len()
+        )))
+    };
+    match func {
+        ScalarFn::Lower | ScalarFn::Upper | ScalarFn::Length => {
+            if args.len() != 1 {
+                return arity_err(1);
+            }
+            let v = args[0].eval(row)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let s = v.as_text()?;
+            Ok(match func {
+                ScalarFn::Lower => Value::Text(s.to_lowercase()),
+                ScalarFn::Upper => Value::Text(s.to_uppercase()),
+                ScalarFn::Length => Value::Int(s.chars().count() as i64),
+                _ => unreachable!(),
+            })
+        }
+        ScalarFn::Abs => {
+            if args.len() != 1 {
+                return arity_err(1);
+            }
+            match args[0].eval(row)? {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(i.abs())),
+                Value::Float(f) => Ok(Value::float(f.abs())),
+                v => Err(RelError::TypeMismatch {
+                    expected: "numeric".into(),
+                    found: v.type_name().into(),
+                }),
+            }
+        }
+        ScalarFn::Round => {
+            if args.is_empty() || args.len() > 2 {
+                return arity_err(1);
+            }
+            let v = args[0].eval(row)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let digits = if args.len() == 2 {
+                args[1].eval(row)?.as_int()?
+            } else {
+                0
+            };
+            let f = v.as_float()?;
+            let scale = 10f64.powi(digits as i32);
+            Ok(Value::float((f * scale).round() / scale))
+        }
+        ScalarFn::Coalesce => {
+            for a in args {
+                let v = a.eval(row)?;
+                if !v.is_null() {
+                    return Ok(v);
+                }
+            }
+            Ok(Value::Null)
+        }
+        ScalarFn::Concat => {
+            let mut s = String::new();
+            for a in args {
+                let v = a.eval(row)?;
+                if !v.is_null() {
+                    s.push_str(&v.to_string());
+                }
+            }
+            Ok(Value::Text(s))
+        }
+        ScalarFn::Sqrt | ScalarFn::Ln | ScalarFn::Exp => {
+            if args.len() != 1 {
+                return arity_err(1);
+            }
+            let v = args[0].eval(row)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let f = v.as_float()?;
+            Ok(match func {
+                ScalarFn::Sqrt => {
+                    if f < 0.0 {
+                        Value::Null
+                    } else {
+                        Value::float(f.sqrt())
+                    }
+                }
+                ScalarFn::Ln => {
+                    if f <= 0.0 {
+                        Value::Null
+                    } else {
+                        Value::float(f.ln())
+                    }
+                }
+                _ => Value::float(f.exp()),
+            })
+        }
+        ScalarFn::Pow => {
+            if args.len() != 2 {
+                return arity_err(2);
+            }
+            let a = args[0].eval(row)?;
+            let b = args[1].eval(row)?;
+            if a.is_null() || b.is_null() {
+                return Ok(Value::Null);
+            }
+            Ok(Value::float(a.as_float()?.powf(b.as_float()?)))
+        }
+        ScalarFn::Substr => {
+            if args.len() != 3 {
+                return arity_err(3);
+            }
+            let v = args[0].eval(row)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let s = v.as_text()?;
+            let start = args[1].eval(row)?.as_int()?.max(1) as usize - 1;
+            let len = args[2].eval(row)?.as_int()?.max(0) as usize;
+            Ok(Value::Text(s.chars().skip(start).take(len).collect()))
+        }
+    }
+}
+
+/// SQL LIKE matching with `%` (any run) and `_` (any one char),
+/// case-insensitive. Iterative two-pointer algorithm (no recursion, no
+/// allocation beyond the lowercase buffers).
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.to_lowercase().chars().collect();
+    let p: Vec<char> = pattern.to_lowercase().chars().collect();
+    let (mut ti, mut pi) = (0usize, 0usize);
+    let (mut star_p, mut star_t) = (usize::MAX, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            ti += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star_p = pi;
+            star_t = ti;
+            pi += 1;
+        } else if star_p != usize::MAX {
+            star_t += 1;
+            ti = star_t;
+            pi = star_p + 1;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(Value::Text(s)) => write!(f, "'{}'", s.replace('\'', "''")),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::ColumnName { qualifier, name } => match qualifier {
+                Some(q) => write!(f, "{q}.{name}"),
+                None => write!(f, "{name}"),
+            },
+            Expr::Column(i) => write!(f, "#{i}"),
+            Expr::Binary { op, left, right } => write!(f, "({left} {} {right})", op.sql()),
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+            Expr::Neg(e) => write!(f, "(-{e})"),
+            Expr::IsNull { expr, negated } => {
+                write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => write!(
+                f,
+                "({expr} {}LIKE {pattern})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "))")
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(
+                f,
+                "({expr} {}BETWEEN {low} AND {high})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Func { func, args } => {
+                write!(f, "{}(", func.sql())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, DataType};
+    use proptest::prelude::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Text),
+            Column::new("c", DataType::Float),
+        ])
+    }
+
+    fn row() -> Row {
+        vec![Value::Int(10), Value::text("Greek Science"), Value::Float(2.5)]
+    }
+
+    #[test]
+    fn bind_and_eval_column() {
+        let e = Expr::col("b").bind(&schema()).unwrap();
+        assert_eq!(e.eval(&row()).unwrap(), Value::text("Greek Science"));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = Expr::col("a").add(Expr::lit(5i64)).bind(&schema()).unwrap();
+        assert_eq!(e.eval(&row()).unwrap(), Value::Int(15));
+        let e = Expr::col("a").div(Expr::lit(4i64)).bind(&schema()).unwrap();
+        assert_eq!(e.eval(&row()).unwrap(), Value::Float(2.5));
+        let e = Expr::col("a").div(Expr::lit(0i64)).bind(&schema()).unwrap();
+        assert!(matches!(e.eval(&row()), Err(RelError::Arithmetic(_))));
+    }
+
+    #[test]
+    fn comparisons_and_null_semantics() {
+        let e = Expr::col("a").gt(Expr::lit(5i64)).bind(&schema()).unwrap();
+        assert_eq!(e.eval(&row()).unwrap(), Value::Bool(true));
+        let e = Expr::lit(Value::Null).eq(Expr::lit(1i64));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Null);
+        assert!(!e.eval_predicate(&row()).unwrap()); // NULL → false in WHERE
+    }
+
+    #[test]
+    fn short_circuit_and() {
+        // (false AND error) must not error.
+        let e = Expr::lit(false).and(Expr::lit(1i64).div(Expr::lit(0i64)).eq(Expr::lit(1i64)));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Bool(false));
+        let e = Expr::lit(true).or(Expr::lit(1i64).div(Expr::lit(0i64)).eq(Expr::lit(1i64)));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("American Studies", "%american%"));
+        assert!(like_match("American Studies", "american%"));
+        assert!(!like_match("Latin American", "american%"));
+        assert!(like_match("CS106A", "CS1_6A"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("x", ""));
+        assert!(like_match("abc", "abc"));
+        assert!(like_match("abcdef", "a%c%f"));
+        assert!(!like_match("abcdef", "a%c%g"));
+    }
+
+    #[test]
+    fn in_and_between() {
+        let e = Expr::col("a")
+            .in_list(vec![Expr::lit(1i64), Expr::lit(10i64)])
+            .bind(&schema())
+            .unwrap();
+        assert_eq!(e.eval(&row()).unwrap(), Value::Bool(true));
+
+        let e = Expr::Between {
+            expr: Box::new(Expr::col("c")),
+            low: Box::new(Expr::lit(2.0f64)),
+            high: Box::new(Expr::lit(3.0f64)),
+            negated: false,
+        }
+        .bind(&schema())
+        .unwrap();
+        assert_eq!(e.eval(&row()).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn scalar_functions() {
+        let r = row();
+        let e = Expr::Func {
+            func: ScalarFn::Lower,
+            args: vec![Expr::col_idx(1)],
+        };
+        assert_eq!(e.eval(&r).unwrap(), Value::text("greek science"));
+        let e = Expr::Func {
+            func: ScalarFn::Length,
+            args: vec![Expr::col_idx(1)],
+        };
+        assert_eq!(e.eval(&r).unwrap(), Value::Int(13));
+        let e = Expr::Func {
+            func: ScalarFn::Coalesce,
+            args: vec![Expr::lit(Value::Null), Expr::lit(7i64)],
+        };
+        assert_eq!(e.eval(&r).unwrap(), Value::Int(7));
+        let e = Expr::Func {
+            func: ScalarFn::Substr,
+            args: vec![Expr::col_idx(1), Expr::lit(7i64), Expr::lit(7i64)],
+        };
+        assert_eq!(e.eval(&r).unwrap(), Value::text("Science"));
+        let e = Expr::Func {
+            func: ScalarFn::Round,
+            args: vec![Expr::lit(2.567f64), Expr::lit(1i64)],
+        };
+        assert_eq!(e.eval(&r).unwrap(), Value::Float(2.6));
+    }
+
+    #[test]
+    fn constant_folding() {
+        let e = Expr::lit(2i64).add(Expr::lit(3i64)).mul(Expr::lit(4i64));
+        assert_eq!(e.fold(), Expr::Literal(Value::Int(20)));
+        // Non-constant parts survive.
+        let e = Expr::col_idx(0).add(Expr::lit(2i64).add(Expr::lit(3i64)));
+        let folded = e.fold();
+        match folded {
+            Expr::Binary { right, .. } => assert_eq!(*right, Expr::Literal(Value::Int(5))),
+            other => panic!("unexpected fold result {other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_and_conjoin_roundtrip() {
+        let e = Expr::col_idx(0)
+            .gt(Expr::lit(1i64))
+            .and(Expr::col_idx(1).eq(Expr::lit("x")))
+            .and(Expr::col_idx(2).lt(Expr::lit(3i64)));
+        let parts = e.split_conjunction();
+        assert_eq!(parts.len(), 3);
+        let again = Expr::conjoin(parts);
+        // Semantics preserved (evaluate on a sample row).
+        let r: Row = vec![Value::Int(2), Value::text("x"), Value::Int(1)];
+        assert_eq!(
+            e.eval_predicate(&r).unwrap(),
+            again.eval_predicate(&r).unwrap()
+        );
+    }
+
+    #[test]
+    fn display_roundtrips_readably() {
+        let e = Expr::col("a").gt_eq(Expr::lit(5i64)).and(Expr::col("b").like("%x%"));
+        assert_eq!(e.to_string(), "((a >= 5) AND (b LIKE '%x%'))");
+    }
+
+    #[test]
+    fn unbound_eval_is_error() {
+        assert!(Expr::col("nope").eval(&row()).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn fold_preserves_semantics(a in -100i64..100, b in -100i64..100, c in -100i64..100) {
+            let e = Expr::lit(a).add(Expr::lit(b)).mul(Expr::lit(c));
+            let folded = e.fold();
+            let empty: Row = Vec::new();
+            prop_assert_eq!(e.eval(&empty).unwrap(), folded.eval(&empty).unwrap());
+        }
+
+        #[test]
+        fn like_self_match(s in "[a-z ]{0,20}") {
+            prop_assert!(like_match(&s, &s));
+            prop_assert!(like_match(&s, "%"));
+            let mut p = String::from("%");
+            p.push_str(&s);
+            p.push('%');
+            prop_assert!(like_match(&s, &p));
+        }
+
+        #[test]
+        fn comparison_totality(a in -50i64..50, b in -50i64..50) {
+            let r: Row = Vec::new();
+            let lt = Expr::lit(a).lt(Expr::lit(b)).eval(&r).unwrap().as_bool().unwrap();
+            let eq = Expr::lit(a).eq(Expr::lit(b)).eval(&r).unwrap().as_bool().unwrap();
+            let gt = Expr::lit(a).gt(Expr::lit(b)).eval(&r).unwrap().as_bool().unwrap();
+            prop_assert_eq!(1, lt as u8 + eq as u8 + gt as u8);
+        }
+    }
+}

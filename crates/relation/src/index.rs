@@ -1,0 +1,208 @@
+//! Secondary indexes.
+//!
+//! Two physical forms are provided:
+//!
+//! * [`IndexKind::Hash`] — equality lookups (`WHERE course_id = ?`), the
+//!   workhorse for FlexRecs' compiled joins;
+//! * [`IndexKind::BTree`] — equality plus range scans (`WHERE year >= 2008`),
+//!   used by the planner/requirements services for term-range queries.
+//!
+//! Both map a (possibly composite) key — a `Vec<Value>` over the indexed
+//! columns — to the set of matching [`RowId`]s. Indexes are maintained
+//! eagerly by [`crate::table::Table`] on insert/update/delete.
+
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+
+use crate::row::{Row, RowId};
+use crate::value::Value;
+
+/// Composite index key.
+pub type IndexKey = Vec<Value>;
+
+/// Which physical structure backs an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    Hash,
+    BTree,
+}
+
+/// A secondary index over one or more columns of a table.
+#[derive(Debug, Clone)]
+pub struct Index {
+    pub name: String,
+    /// Column positions (in the owning table's schema) forming the key.
+    pub columns: Vec<usize>,
+    pub unique: bool,
+    storage: IndexStorage,
+}
+
+#[derive(Debug, Clone)]
+enum IndexStorage {
+    Hash(HashMap<IndexKey, Vec<RowId>>),
+    BTree(BTreeMap<IndexKey, Vec<RowId>>),
+}
+
+impl Index {
+    pub fn new(name: impl Into<String>, columns: Vec<usize>, kind: IndexKind, unique: bool) -> Self {
+        let storage = match kind {
+            IndexKind::Hash => IndexStorage::Hash(HashMap::new()),
+            IndexKind::BTree => IndexStorage::BTree(BTreeMap::new()),
+        };
+        Index {
+            name: name.into(),
+            columns,
+            unique,
+            storage,
+        }
+    }
+
+    pub fn kind(&self) -> IndexKind {
+        match self.storage {
+            IndexStorage::Hash(_) => IndexKind::Hash,
+            IndexStorage::BTree(_) => IndexKind::BTree,
+        }
+    }
+
+    /// Extract this index's key from a full row.
+    pub fn key_of(&self, row: &Row) -> IndexKey {
+        self.columns.iter().map(|&i| row[i].clone()).collect()
+    }
+
+    /// True if inserting `key` would violate a unique constraint.
+    pub fn would_conflict(&self, key: &IndexKey) -> bool {
+        self.unique && self.get(key).is_some_and(|ids| !ids.is_empty())
+    }
+
+    /// Insert an entry.
+    pub fn insert(&mut self, key: IndexKey, rid: RowId) {
+        match &mut self.storage {
+            IndexStorage::Hash(m) => m.entry(key).or_default().push(rid),
+            IndexStorage::BTree(m) => m.entry(key).or_default().push(rid),
+        }
+    }
+
+    /// Remove an entry (no-op if absent).
+    pub fn remove(&mut self, key: &IndexKey, rid: RowId) {
+        let bucket = match &mut self.storage {
+            IndexStorage::Hash(m) => m.get_mut(key),
+            IndexStorage::BTree(m) => m.get_mut(key),
+        };
+        if let Some(ids) = bucket {
+            ids.retain(|&r| r != rid);
+            if ids.is_empty() {
+                match &mut self.storage {
+                    IndexStorage::Hash(m) => {
+                        m.remove(key);
+                    }
+                    IndexStorage::BTree(m) => {
+                        m.remove(key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Equality lookup.
+    pub fn get(&self, key: &IndexKey) -> Option<&[RowId]> {
+        match &self.storage {
+            IndexStorage::Hash(m) => m.get(key).map(|v| v.as_slice()),
+            IndexStorage::BTree(m) => m.get(key).map(|v| v.as_slice()),
+        }
+    }
+
+    /// Range scan (BTree only; returns empty for hash indexes).
+    pub fn range(
+        &self,
+        lower: Bound<&IndexKey>,
+        upper: Bound<&IndexKey>,
+    ) -> Vec<RowId> {
+        match &self.storage {
+            IndexStorage::Hash(_) => Vec::new(),
+            IndexStorage::BTree(m) => m
+                .range::<IndexKey, _>((lower, upper))
+                .flat_map(|(_, ids)| ids.iter().copied())
+                .collect(),
+        }
+    }
+
+    /// Number of distinct keys (used by the optimizer's selectivity guess).
+    pub fn distinct_keys(&self) -> usize {
+        match &self.storage {
+            IndexStorage::Hash(m) => m.len(),
+            IndexStorage::BTree(m) => m.len(),
+        }
+    }
+
+    /// Total entries across all keys.
+    pub fn entries(&self) -> usize {
+        match &self.storage {
+            IndexStorage::Hash(m) => m.values().map(Vec::len).sum(),
+            IndexStorage::BTree(m) => m.values().map(Vec::len).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(v: i64) -> IndexKey {
+        vec![Value::Int(v)]
+    }
+
+    #[test]
+    fn hash_index_insert_get_remove() {
+        let mut idx = Index::new("i", vec![0], IndexKind::Hash, false);
+        idx.insert(key(1), RowId(10));
+        idx.insert(key(1), RowId(11));
+        idx.insert(key(2), RowId(12));
+        assert_eq!(idx.get(&key(1)).unwrap(), &[RowId(10), RowId(11)]);
+        assert_eq!(idx.entries(), 3);
+        assert_eq!(idx.distinct_keys(), 2);
+        idx.remove(&key(1), RowId(10));
+        assert_eq!(idx.get(&key(1)).unwrap(), &[RowId(11)]);
+        idx.remove(&key(1), RowId(11));
+        assert!(idx.get(&key(1)).is_none());
+    }
+
+    #[test]
+    fn btree_range_scan() {
+        let mut idx = Index::new("i", vec![0], IndexKind::BTree, false);
+        for v in 0..10 {
+            idx.insert(key(v), RowId(v as u64));
+        }
+        let got = idx.range(
+            Bound::Included(&key(3)),
+            Bound::Excluded(&key(7)),
+        );
+        assert_eq!(got, vec![RowId(3), RowId(4), RowId(5), RowId(6)]);
+    }
+
+    #[test]
+    fn hash_range_is_empty() {
+        let mut idx = Index::new("i", vec![0], IndexKind::Hash, false);
+        idx.insert(key(1), RowId(1));
+        assert!(idx
+            .range(Bound::Unbounded, Bound::Unbounded)
+            .is_empty());
+    }
+
+    #[test]
+    fn unique_conflict_detection() {
+        let mut idx = Index::new("u", vec![0], IndexKind::Hash, true);
+        idx.insert(key(1), RowId(1));
+        assert!(idx.would_conflict(&key(1)));
+        assert!(!idx.would_conflict(&key(2)));
+    }
+
+    #[test]
+    fn composite_keys() {
+        let mut idx = Index::new("c", vec![0, 2], IndexKind::BTree, false);
+        let row: Row = vec![Value::Int(1), Value::text("x"), Value::Int(2008)];
+        let k = idx.key_of(&row);
+        assert_eq!(k, vec![Value::Int(1), Value::Int(2008)]);
+        idx.insert(k.clone(), RowId(5));
+        assert_eq!(idx.get(&k).unwrap(), &[RowId(5)]);
+    }
+}

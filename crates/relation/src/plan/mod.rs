@@ -1,0 +1,14 @@
+//! Logical query plans.
+//!
+//! A [`LogicalPlan`] is a tree of relational operators with **bound**
+//! expressions (positional column references). Plans are produced either by
+//! the [`PlanBuilder`] (programmatic API — what FlexRecs' direct executor
+//! uses) or by the SQL binder, then rewritten by the [`optimizer`] and
+//! executed by [`crate::exec`].
+
+mod builder;
+mod logical;
+pub mod optimizer;
+
+pub use builder::{infer_expr_type, PlanBuilder};
+pub use logical::{AggExpr, AggFn, JoinKind, LogicalPlan, SortKey};

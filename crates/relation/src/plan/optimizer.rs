@@ -1,0 +1,484 @@
+//! Logical-plan rewrites.
+//!
+//! Three classic passes, applied bottom-up until fixpoint:
+//!
+//! 1. **Constant folding** — every expression is folded.
+//! 2. **Predicate pushdown** — filters sink through filters and joins and
+//!    merge into scans, where the executor can serve them from an index.
+//! 3. **Projection pruning** — a projection directly above a scan (with an
+//!    optional filter in between) narrows the scan to the columns actually
+//!    used, so wide CourseRank rows (descriptions, comment text) are not
+//!    cloned when only ids and ratings are needed.
+
+use crate::expr::Expr;
+
+use super::logical::{JoinKind, LogicalPlan};
+
+/// Optimize a plan. Idempotent.
+pub fn optimize(plan: LogicalPlan) -> LogicalPlan {
+    let plan = fold_constants(plan);
+    let plan = push_down_predicates(plan);
+    prune_projections(plan)
+}
+
+/// Fold constant subexpressions everywhere.
+fn fold_constants(plan: LogicalPlan) -> LogicalPlan {
+    map_children(plan, &|p| match p {
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input,
+            predicate: predicate.fold(),
+        },
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input,
+            exprs: exprs.into_iter().map(|(e, n)| (e.fold(), n)).collect(),
+            schema,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            schema,
+        } => LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on: on.fold(),
+            schema,
+        },
+        LogicalPlan::Scan {
+            table,
+            alias,
+            projection,
+            filter,
+            schema,
+        } => LogicalPlan::Scan {
+            table,
+            alias,
+            projection,
+            filter: filter.map(|f| f.fold()),
+            schema,
+        },
+        other => other,
+    })
+}
+
+/// Push filters down as far as they can go.
+fn push_down_predicates(plan: LogicalPlan) -> LogicalPlan {
+    map_children(plan, &|p| {
+        if let LogicalPlan::Filter { input, predicate } = p {
+            push_filter(*input, predicate)
+        } else {
+            p
+        }
+    })
+}
+
+fn push_filter(input: LogicalPlan, predicate: Expr) -> LogicalPlan {
+    match input {
+        // Filter ∘ Filter → merge conjunctions and retry.
+        LogicalPlan::Filter {
+            input: inner,
+            predicate: inner_pred,
+        } => push_filter(*inner, inner_pred.and(predicate)),
+
+        // Filter ∘ Scan → merge into scan filter. The scan's own filter is
+        // bound against the *full* table schema; a filter above the scan is
+        // bound against the scan's (possibly projected) output. Only merge
+        // when no projection intervenes; otherwise keep the filter node.
+        LogicalPlan::Scan {
+            table,
+            alias,
+            projection: None,
+            filter,
+            schema,
+        } => LogicalPlan::Scan {
+            table,
+            alias,
+            projection: None,
+            filter: Some(match filter {
+                Some(f) => f.and(predicate),
+                None => predicate,
+            }),
+            schema,
+        },
+
+        // Filter ∘ Join → route conjuncts that reference only one side.
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            schema,
+        } => {
+            let left_width = left.schema().len();
+            let mut to_left = Vec::new();
+            let mut to_right = Vec::new();
+            let mut keep = Vec::new();
+            for part in predicate.split_conjunction() {
+                let mut cols = Vec::new();
+                part.referenced_columns(&mut cols);
+                let all_left = cols.iter().all(|&c| c < left_width);
+                let all_right = cols.iter().all(|&c| c >= left_width);
+                // For LEFT OUTER joins, pushing a predicate to the right
+                // side changes semantics (it would filter before the
+                // null-extension); pushing left is always safe.
+                match (all_left, all_right, kind) {
+                    (true, _, _) => to_left.push(part),
+                    (_, true, JoinKind::Inner) => {
+                        to_right.push(part.map_columns(&|c| c - left_width))
+                    }
+                    _ => keep.push(part),
+                }
+            }
+            let new_left = if to_left.is_empty() {
+                *left
+            } else {
+                push_filter(*left, Expr::conjoin(to_left))
+            };
+            let new_right = if to_right.is_empty() {
+                *right
+            } else {
+                push_filter(*right, Expr::conjoin(to_right))
+            };
+            let joined = LogicalPlan::Join {
+                left: Box::new(new_left),
+                right: Box::new(new_right),
+                kind,
+                on,
+                schema,
+            };
+            if keep.is_empty() {
+                joined
+            } else {
+                LogicalPlan::Filter {
+                    input: Box::new(joined),
+                    predicate: Expr::conjoin(keep),
+                }
+            }
+        }
+
+        // Anything else: leave the filter in place.
+        other => LogicalPlan::Filter {
+            input: Box::new(other),
+            predicate,
+        },
+    }
+}
+
+/// Narrow scans under projections to the columns actually used.
+fn prune_projections(plan: LogicalPlan) -> LogicalPlan {
+    map_children(plan, &|p| {
+        let LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } = p
+        else {
+            return p;
+        };
+        match *input {
+            LogicalPlan::Scan {
+                table,
+                alias,
+                projection: None,
+                filter,
+                schema: scan_schema,
+            } => {
+                // Columns the projection reads (scan filter runs before the
+                // projection inside the scan, so its columns need not be
+                // emitted).
+                let mut used = Vec::new();
+                for (e, _) in &exprs {
+                    e.referenced_columns(&mut used);
+                }
+                used.sort_unstable();
+                used.dedup();
+                if used.len() == scan_schema.len() {
+                    // Nothing to prune.
+                    return LogicalPlan::Project {
+                        input: Box::new(LogicalPlan::Scan {
+                            table,
+                            alias,
+                            projection: None,
+                            filter,
+                            schema: scan_schema,
+                        }),
+                        exprs,
+                        schema,
+                    };
+                }
+                // Remap projection expressions onto the narrowed row.
+                let position = |old: usize| used.binary_search(&old).unwrap_or(0);
+                let new_exprs: Vec<(Expr, String)> = exprs
+                    .into_iter()
+                    .map(|(e, n)| (e.map_columns(&position), n))
+                    .collect();
+                let narrowed = LogicalPlan::scan_output_schema(&scan_schema, &Some(used.clone()));
+                LogicalPlan::Project {
+                    input: Box::new(LogicalPlan::Scan {
+                        table,
+                        alias,
+                        projection: Some(used),
+                        filter,
+                        schema: narrowed,
+                    }),
+                    exprs: new_exprs,
+                    schema,
+                }
+            }
+            other => LogicalPlan::Project {
+                input: Box::new(other),
+                exprs,
+                schema,
+            },
+        }
+    })
+}
+
+/// Apply `f` to every node, bottom-up.
+fn map_children(plan: LogicalPlan, f: &dyn Fn(LogicalPlan) -> LogicalPlan) -> LogicalPlan {
+    let rebuilt = match plan {
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(map_children(*input, f)),
+            predicate,
+        },
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input: Box::new(map_children(*input, f)),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            schema,
+        } => LogicalPlan::Join {
+            left: Box::new(map_children(*left, f)),
+            right: Box::new(map_children(*right, f)),
+            kind,
+            on,
+            schema,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(map_children(*input, f)),
+            group_by,
+            aggs,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(map_children(*input, f)),
+            keys,
+        },
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => LogicalPlan::Limit {
+            input: Box::new(map_children(*input, f)),
+            limit,
+            offset,
+        },
+        LogicalPlan::Union { left, right } => LogicalPlan::Union {
+            left: Box::new(map_children(*left, f)),
+            right: Box::new(map_children(*right, f)),
+        },
+        leaf => leaf,
+    };
+    f(rebuilt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::plan::PlanBuilder;
+    use crate::row::row;
+    use crate::schema::{Column, DataType, Schema};
+
+    fn setup() -> Catalog {
+        let c = Catalog::new();
+        c.create_table(
+            "t",
+            Schema::qualified(
+                "t",
+                vec![
+                    Column::not_null("id", DataType::Int),
+                    Column::new("dep", DataType::Text),
+                    Column::new("units", DataType::Int),
+                ],
+            ),
+            vec![0],
+        )
+        .unwrap();
+        c.create_table(
+            "u",
+            Schema::qualified(
+                "u",
+                vec![
+                    Column::not_null("id", DataType::Int),
+                    Column::new("t_id", DataType::Int),
+                ],
+            ),
+            vec![0],
+        )
+        .unwrap();
+        c.with_table_mut("t", |t| {
+            t.insert(row![1i64, "CS", 5i64])?;
+            t.insert(row![2i64, "HIST", 3i64])
+        })
+        .unwrap()
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn filter_merges_into_scan() {
+        let c = setup();
+        let plan = PlanBuilder::scan(&c, "t")
+            .unwrap()
+            .filter(Expr::col("units").gt(Expr::lit(3i64)))
+            .unwrap()
+            .build();
+        let opt = optimize(plan);
+        match opt {
+            LogicalPlan::Scan { filter, .. } => assert!(filter.is_some()),
+            other => panic!("expected Scan, got {}", other.explain()),
+        }
+    }
+
+    #[test]
+    fn stacked_filters_merge() {
+        let c = setup();
+        let plan = PlanBuilder::scan(&c, "t")
+            .unwrap()
+            .filter(Expr::col("units").gt(Expr::lit(3i64)))
+            .unwrap()
+            .filter(Expr::col("dep").eq(Expr::lit("CS")))
+            .unwrap()
+            .build();
+        let opt = optimize(plan);
+        match &opt {
+            LogicalPlan::Scan { filter: Some(f), .. } => {
+                assert_eq!(f.split_conjunction().len(), 2);
+            }
+            other => panic!("expected Scan with merged filter, got {}", other.explain()),
+        }
+    }
+
+    #[test]
+    fn filter_splits_across_join() {
+        let c = setup();
+        let left = PlanBuilder::scan(&c, "t").unwrap();
+        let right = PlanBuilder::scan(&c, "u").unwrap();
+        let plan = left
+            .join(
+                right,
+                JoinKind::Inner,
+                Expr::col("t.id").eq(Expr::col("u.t_id")),
+            )
+            .unwrap()
+            .filter(
+                Expr::col("t.units")
+                    .gt(Expr::lit(3i64))
+                    .and(Expr::col("u.id").lt(Expr::lit(100i64))),
+            )
+            .unwrap()
+            .build();
+        let opt = optimize(plan);
+        // Both conjuncts should have sunk into the scans.
+        match &opt {
+            LogicalPlan::Join { left, right, .. } => {
+                assert!(matches!(**left, LogicalPlan::Scan { filter: Some(_), .. }));
+                assert!(matches!(**right, LogicalPlan::Scan { filter: Some(_), .. }));
+            }
+            other => panic!("expected Join at root, got {}", other.explain()),
+        }
+    }
+
+    #[test]
+    fn left_outer_does_not_push_right() {
+        let c = setup();
+        let left = PlanBuilder::scan(&c, "t").unwrap();
+        let right = PlanBuilder::scan(&c, "u").unwrap();
+        let plan = left
+            .join(
+                right,
+                JoinKind::LeftOuter,
+                Expr::col("t.id").eq(Expr::col("u.t_id")),
+            )
+            .unwrap()
+            .filter(Expr::col("u.id").lt(Expr::lit(100i64)))
+            .unwrap()
+            .build();
+        let opt = optimize(plan);
+        // Right-side predicate must stay above the join.
+        assert!(matches!(opt, LogicalPlan::Filter { .. }));
+    }
+
+    #[test]
+    fn projection_prunes_scan() {
+        let c = setup();
+        let plan = PlanBuilder::scan(&c, "t")
+            .unwrap()
+            .project(vec![(Expr::col("dep"), "dep")])
+            .unwrap()
+            .build();
+        let opt = optimize(plan);
+        match &opt {
+            LogicalPlan::Project { input, .. } => match &**input {
+                LogicalPlan::Scan {
+                    projection: Some(p),
+                    ..
+                } => assert_eq!(p, &vec![1]),
+                other => panic!("expected pruned Scan, got {}", other.explain()),
+            },
+            other => panic!("expected Project, got {}", other.explain()),
+        }
+    }
+
+    #[test]
+    fn optimize_preserves_results() {
+        use crate::catalog::Database;
+        let db = Database::new();
+        db.execute_sql("CREATE TABLE t (id INT PRIMARY KEY, dep TEXT, units INT)")
+            .unwrap();
+        for i in 0..50 {
+            db.execute_sql(&format!(
+                "INSERT INTO t VALUES ({i}, '{}', {})",
+                if i % 2 == 0 { "CS" } else { "HIST" },
+                i % 6
+            ))
+            .unwrap();
+        }
+        let plan = PlanBuilder::scan(&db.catalog(), "t")
+            .unwrap()
+            .filter(Expr::col("units").gt(Expr::lit(2i64)))
+            .unwrap()
+            .project(vec![(Expr::col("id"), "id"), (Expr::col("units"), "units")])
+            .unwrap()
+            .build();
+        let raw = db.run_plan_unoptimized(&plan).unwrap();
+        let opt = db.run_plan(&plan).unwrap();
+        let mut a = raw.rows.clone();
+        let mut b = opt.rows.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! Rows and row identifiers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// A stable identifier for a row within one table.
+///
+/// Row ids are assigned monotonically on insert and never reused; deleting
+/// a row leaves a tombstone. Secondary indexes store `RowId`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RowId(pub u64);
+
+impl RowId {
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// A row of values. Cheap to clone for small arities; the engine moves rows
+/// where possible and clones only at pipeline breakers (sort, hash build).
+pub type Row = Vec<Value>;
+
+/// A helper for building rows out of heterogeneous Rust values.
+///
+/// ```
+/// use cr_relation::row::row;
+/// use cr_relation::value::Value;
+/// let r = row![1i64, "CS 106A", 5i64];
+/// assert_eq!(r[1], Value::text("CS 106A"));
+/// ```
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        vec![$($crate::value::Value::from($v)),*]
+    };
+}
+
+pub use row;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_macro_builds_values() {
+        let r = row![1i64, "x", 2.5f64, true];
+        assert_eq!(
+            r,
+            vec![
+                Value::Int(1),
+                Value::text("x"),
+                Value::Float(2.5),
+                Value::Bool(true)
+            ]
+        );
+    }
+
+    #[test]
+    fn rowid_ordering() {
+        assert!(RowId(1) < RowId(2));
+        assert_eq!(RowId(7).as_u64(), 7);
+    }
+}

@@ -1,0 +1,260 @@
+//! SQL abstract syntax tree.
+
+use crate::schema::DataType;
+use crate::value::Value;
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    CreateTable(CreateTable),
+    DropTable { name: String },
+    CreateIndex(CreateIndex),
+    Insert(Insert),
+    Select(Select),
+    Update(Update),
+    Delete(Delete),
+    /// `EXPLAIN SELECT ...` — returns the optimized logical plan as text.
+    Explain(Box<Statement>),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTable {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+    /// Table-level PRIMARY KEY (a, b) — column names.
+    pub primary_key: Vec<String>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub data_type: DataType,
+    pub not_null: bool,
+    pub primary_key: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateIndex {
+    pub name: String,
+    pub table: String,
+    pub columns: Vec<String>,
+    pub unique: bool,
+    /// `USING BTREE` (default is hash).
+    pub btree: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insert {
+    pub table: String,
+    /// Optional explicit column list.
+    pub columns: Vec<String>,
+    /// One expression row per VALUES tuple (must be constant).
+    pub rows: Vec<Vec<SqlExpr>>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    pub table: String,
+    pub assignments: Vec<(String, SqlExpr)>,
+    pub filter: Option<SqlExpr>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delete {
+    pub table: String,
+    pub filter: Option<SqlExpr>,
+}
+
+/// A SELECT query (one arm of a possible UNION ALL chain).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Option<FromClause>,
+    pub filter: Option<SqlExpr>,
+    pub group_by: Vec<SqlExpr>,
+    pub having: Option<SqlExpr>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<usize>,
+    pub offset: Option<usize>,
+    /// UNION ALL continuation.
+    pub union: Option<Box<Select>>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// `expr [AS name]`
+    Expr { expr: SqlExpr, alias: Option<String> },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromClause {
+    pub base: TableRef,
+    pub joins: Vec<Join>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    pub table: TableRef,
+    pub left_outer: bool,
+    pub on: SqlExpr,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: SqlExpr,
+    pub desc: bool,
+}
+
+/// Binary operators at the SQL level (mirrors [`crate::expr::BinOp`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+}
+
+/// Expressions as parsed (aggregates still embedded; the binder separates
+/// them out).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    Literal(Value),
+    /// `name` or `qualifier.name`.
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    Binary {
+        op: SqlBinOp,
+        left: Box<SqlExpr>,
+        right: Box<SqlExpr>,
+    },
+    Not(Box<SqlExpr>),
+    Neg(Box<SqlExpr>),
+    IsNull {
+        expr: Box<SqlExpr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<SqlExpr>,
+        pattern: Box<SqlExpr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<SqlExpr>,
+        list: Vec<SqlExpr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<SqlExpr>,
+        low: Box<SqlExpr>,
+        high: Box<SqlExpr>,
+        negated: bool,
+    },
+    /// Function call: scalar (`LOWER`, ...) or aggregate (`COUNT`, `SUM`,
+    /// `AVG`, `MIN`, `MAX`). `COUNT(*)` is represented with `star = true`.
+    Func {
+        name: String,
+        args: Vec<SqlExpr>,
+        distinct: bool,
+        star: bool,
+    },
+}
+
+impl SqlExpr {
+    /// True if this expression (sub)tree contains an aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            SqlExpr::Func { name, args, .. } => {
+                is_aggregate_name(name) || args.iter().any(SqlExpr::contains_aggregate)
+            }
+            SqlExpr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            SqlExpr::Not(e) | SqlExpr::Neg(e) => e.contains_aggregate(),
+            SqlExpr::IsNull { expr, .. } => expr.contains_aggregate(),
+            SqlExpr::Like { expr, pattern, .. } => {
+                expr.contains_aggregate() || pattern.contains_aggregate()
+            }
+            SqlExpr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(SqlExpr::contains_aggregate)
+            }
+            SqlExpr::Between {
+                expr, low, high, ..
+            } => {
+                expr.contains_aggregate()
+                    || low.contains_aggregate()
+                    || high.contains_aggregate()
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Is `name` one of the aggregate functions?
+pub fn is_aggregate_name(name: &str) -> bool {
+    matches!(
+        name.to_ascii_uppercase().as_str(),
+        "COUNT" | "SUM" | "AVG" | "MIN" | "MAX"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = SqlExpr::Func {
+            name: "COUNT".into(),
+            args: vec![],
+            distinct: false,
+            star: true,
+        };
+        assert!(agg.contains_aggregate());
+        let nested = SqlExpr::Binary {
+            op: SqlBinOp::Add,
+            left: Box::new(agg),
+            right: Box::new(SqlExpr::Literal(Value::Int(1))),
+        };
+        assert!(nested.contains_aggregate());
+        let scalar = SqlExpr::Func {
+            name: "LOWER".into(),
+            args: vec![SqlExpr::Column {
+                qualifier: None,
+                name: "x".into(),
+            }],
+            distinct: false,
+            star: false,
+        };
+        assert!(!scalar.contains_aggregate());
+    }
+
+    #[test]
+    fn aggregate_names() {
+        for n in ["count", "SUM", "Avg", "MIN", "max"] {
+            assert!(is_aggregate_name(n), "{n}");
+        }
+        assert!(!is_aggregate_name("LOWER"));
+    }
+}

@@ -1,0 +1,315 @@
+//! SQL tokenizer.
+
+use crate::error::{RelError, RelResult};
+
+/// A lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (original case preserved; keyword matching is
+    /// case-insensitive in the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal ('' is the escape for a single quote).
+    Str(String),
+    // Punctuation / operators
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Semicolon,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+}
+
+impl Token {
+    /// True if this token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize SQL text.
+pub fn lex(text: &str) -> RelResult<Vec<Token>> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err(RelError::Lex {
+                        pos: i,
+                        message: "unexpected '!'".into(),
+                    });
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::LtEq);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // string literal with '' escaping
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(RelError::Lex {
+                            pos: i,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // advance over a full UTF-8 char
+                        let ch_len = utf8_len(bytes[i]);
+                        s.push_str(
+                            std::str::from_utf8(&bytes[i..i + ch_len]).map_err(|_| {
+                                RelError::Lex {
+                                    pos: i,
+                                    message: "invalid UTF-8 in string".into(),
+                                }
+                            })?,
+                        );
+                        i += ch_len;
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let s = &text[start..i];
+                if is_float {
+                    tokens.push(Token::Float(s.parse().map_err(|_| RelError::Lex {
+                        pos: start,
+                        message: format!("bad float literal {s}"),
+                    })?));
+                } else {
+                    tokens.push(Token::Int(s.parse().map_err(|_| RelError::Lex {
+                        pos: start,
+                        message: format!("bad int literal {s}"),
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '"' => {
+                if c == '"' {
+                    // quoted identifier
+                    let start = i + 1;
+                    i += 1;
+                    while i < bytes.len() && bytes[i] != b'"' {
+                        i += 1;
+                    }
+                    if i >= bytes.len() {
+                        return Err(RelError::Lex {
+                            pos: start,
+                            message: "unterminated quoted identifier".into(),
+                        });
+                    }
+                    tokens.push(Token::Ident(text[start..i].to_owned()));
+                    i += 1;
+                } else {
+                    let start = i;
+                    while i < bytes.len()
+                        && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    tokens.push(Token::Ident(text[start..i].to_owned()));
+                }
+            }
+            other => {
+                return Err(RelError::Lex {
+                    pos: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >> 5 == 0b110 => 2,
+        b if b >> 4 == 0b1110 => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_select() {
+        let t = lex("SELECT a.x, COUNT(*) FROM t WHERE y >= 2.5 AND z <> 'it''s'").unwrap();
+        assert!(t.contains(&Token::Ident("SELECT".into())));
+        assert!(t.contains(&Token::Float(2.5)));
+        assert!(t.contains(&Token::NotEq));
+        assert!(t.contains(&Token::Str("it's".into())));
+        assert!(t.contains(&Token::GtEq));
+    }
+
+    #[test]
+    fn lex_comments_and_whitespace() {
+        let t = lex("SELECT 1 -- trailing comment\n, 2").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Int(1),
+                Token::Comma,
+                Token::Int(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_operators() {
+        let t = lex("< <= > >= = <> != + - * / %").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Lt,
+                Token::LtEq,
+                Token::Gt,
+                Token::GtEq,
+                Token::Eq,
+                Token::NotEq,
+                Token::NotEq,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::Percent,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_quoted_identifier() {
+        let t = lex("SELECT \"Mixed Case\" FROM t").unwrap();
+        assert!(t.contains(&Token::Ident("Mixed Case".into())));
+    }
+
+    #[test]
+    fn lex_unterminated_string_errors() {
+        assert!(matches!(lex("SELECT 'oops"), Err(RelError::Lex { .. })));
+    }
+
+    #[test]
+    fn lex_unicode_strings() {
+        let t = lex("SELECT 'héllo — ünïcode'").unwrap();
+        assert!(t.contains(&Token::Str("héllo — ünïcode".into())));
+    }
+
+    #[test]
+    fn keyword_matching_is_case_insensitive() {
+        let t = lex("select").unwrap();
+        assert!(t[0].is_kw("SELECT"));
+        assert!(t[0].is_kw("select"));
+        assert!(!t[0].is_kw("FROM"));
+    }
+}

@@ -1,0 +1,387 @@
+//! Row-oriented table storage.
+//!
+//! A [`Table`] owns its rows (a `Vec<Option<Row>>` slot array — `None` is a
+//! tombstone left by DELETE), a primary-key index, and any number of
+//! secondary [`Index`]es which are maintained eagerly on every mutation.
+
+use std::collections::HashMap;
+
+use crate::error::{RelError, RelResult};
+use crate::index::{Index, IndexKey, IndexKind};
+use crate::row::{Row, RowId};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// An in-memory table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    /// Slot array; index == RowId.0. Tombstoned slots are `None`.
+    rows: Vec<Option<Row>>,
+    /// Live-row count (excludes tombstones).
+    live: usize,
+    /// Positions of the primary-key columns (may be empty: no PK).
+    pk_columns: Vec<usize>,
+    /// PK value → RowId.
+    pk_index: HashMap<IndexKey, RowId>,
+    /// Secondary indexes by name.
+    indexes: Vec<Index>,
+}
+
+impl Table {
+    /// Create an empty table. `pk_columns` are positions into `schema`.
+    pub fn new(name: impl Into<String>, schema: Schema, pk_columns: Vec<usize>) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            live: 0,
+            pk_columns,
+            pk_index: HashMap::new(),
+            indexes: Vec::new(),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Live row count.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Primary-key column positions.
+    pub fn pk_columns(&self) -> &[usize] {
+        &self.pk_columns
+    }
+
+    fn pk_key(&self, row: &Row) -> Option<IndexKey> {
+        if self.pk_columns.is_empty() {
+            None
+        } else {
+            Some(self.pk_columns.iter().map(|&i| row[i].clone()).collect())
+        }
+    }
+
+    /// Insert a row (validated and coerced against the schema).
+    /// Returns the new row's id.
+    pub fn insert(&mut self, row: Row) -> RelResult<RowId> {
+        let row = self.schema.validate_row(row)?;
+        if let Some(key) = self.pk_key(&row) {
+            if key.iter().any(Value::is_null) {
+                return Err(RelError::NullViolation("primary key".into()));
+            }
+            if self.pk_index.contains_key(&key) {
+                return Err(RelError::DuplicateKey(format!(
+                    "{}({})",
+                    self.name,
+                    key.iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )));
+            }
+        }
+        for idx in &self.indexes {
+            if idx.unique {
+                let key = idx.key_of(&row);
+                if idx.would_conflict(&key) {
+                    return Err(RelError::DuplicateKey(format!("{}:{}", self.name, idx.name)));
+                }
+            }
+        }
+        let rid = RowId(self.rows.len() as u64);
+        if let Some(key) = self.pk_key(&row) {
+            self.pk_index.insert(key, rid);
+        }
+        for idx in &mut self.indexes {
+            let key = idx.key_of(&row);
+            idx.insert(key, rid);
+        }
+        self.rows.push(Some(row));
+        self.live += 1;
+        Ok(rid)
+    }
+
+    /// Fetch a row by id (None if tombstoned or out of range).
+    pub fn get(&self, rid: RowId) -> Option<&Row> {
+        self.rows.get(rid.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Look up by primary key.
+    pub fn get_by_pk(&self, key: &IndexKey) -> Option<&Row> {
+        self.pk_index.get(key).and_then(|&rid| self.get(rid))
+    }
+
+    /// RowId for a primary key.
+    pub fn rowid_by_pk(&self, key: &IndexKey) -> Option<RowId> {
+        self.pk_index.get(key).copied()
+    }
+
+    /// Delete by row id. Returns true if a live row was removed.
+    pub fn delete(&mut self, rid: RowId) -> bool {
+        let slot = match self.rows.get_mut(rid.0 as usize) {
+            Some(s) => s,
+            None => return false,
+        };
+        let Some(row) = slot.take() else {
+            return false;
+        };
+        if let Some(key) = self.pk_key(&row) {
+            self.pk_index.remove(&key);
+        }
+        for idx in &mut self.indexes {
+            let key = idx.key_of(&row);
+            idx.remove(&key, rid);
+        }
+        self.live -= 1;
+        true
+    }
+
+    /// Replace the row at `rid` with `new_row` (validated). Indexes are
+    /// updated. Errors restore nothing — callers treat errors as aborts on
+    /// a single-row basis (the engine has no multi-statement transactions).
+    pub fn update(&mut self, rid: RowId, new_row: Row) -> RelResult<()> {
+        let new_row = self.schema.validate_row(new_row)?;
+        let old_row = self
+            .get(rid)
+            .cloned()
+            .ok_or_else(|| RelError::Invalid(format!("no row {rid:?} in {}", self.name)))?;
+        // PK change: check uniqueness against *other* rows.
+        if let (Some(old_key), Some(new_key)) = (self.pk_key(&old_row), self.pk_key(&new_row)) {
+            if old_key != new_key {
+                if self.pk_index.contains_key(&new_key) {
+                    return Err(RelError::DuplicateKey(self.name.clone()));
+                }
+                self.pk_index.remove(&old_key);
+                self.pk_index.insert(new_key, rid);
+            }
+        }
+        for idx in &mut self.indexes {
+            let old_key = idx.key_of(&old_row);
+            let new_key = idx.key_of(&new_row);
+            if old_key != new_key {
+                idx.remove(&old_key, rid);
+                idx.insert(new_key, rid);
+            }
+        }
+        self.rows[rid.0 as usize] = Some(new_row);
+        Ok(())
+    }
+
+    /// Iterate live rows with their ids.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> + '_ {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|r| (RowId(i as u64), r)))
+    }
+
+    /// Create a secondary index over `columns` and backfill it.
+    pub fn create_index(
+        &mut self,
+        name: impl Into<String>,
+        columns: Vec<usize>,
+        kind: IndexKind,
+        unique: bool,
+    ) -> RelResult<()> {
+        let name = name.into();
+        if self.indexes.iter().any(|i| i.name == name) {
+            return Err(RelError::IndexExists(name));
+        }
+        let mut idx = Index::new(name, columns, kind, unique);
+        for (rid, row) in self
+            .rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|r| (RowId(i as u64), r)))
+        {
+            let key = idx.key_of(row);
+            if idx.would_conflict(&key) {
+                return Err(RelError::DuplicateKey(format!(
+                    "{}:{} (backfill)",
+                    self.name, idx.name
+                )));
+            }
+            idx.insert(key, rid);
+        }
+        self.indexes.push(idx);
+        Ok(())
+    }
+
+    /// Find an index by name.
+    pub fn index(&self, name: &str) -> Option<&Index> {
+        self.indexes.iter().find(|i| i.name == name)
+    }
+
+    /// All secondary indexes.
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// Find an index whose leading key column is `column` (optimizer hook).
+    pub fn index_on_column(&self, column: usize) -> Option<&Index> {
+        self.indexes
+            .iter()
+            .find(|i| i.columns.first() == Some(&column))
+    }
+
+    /// Collect all live rows (cloned). Convenience for small tables/tests.
+    pub fn all_rows(&self) -> Vec<Row> {
+        self.scan().map(|(_, r)| r.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::row;
+    use crate::schema::{Column, DataType};
+    use proptest::prelude::*;
+
+    fn courses() -> Table {
+        let schema = Schema::qualified(
+            "courses",
+            vec![
+                Column::not_null("id", DataType::Int),
+                Column::new("title", DataType::Text),
+                Column::new("units", DataType::Int),
+            ],
+        );
+        Table::new("courses", schema, vec![0])
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = courses();
+        let rid = t.insert(row![1i64, "Intro", 5i64]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(rid).unwrap()[1], Value::text("Intro"));
+        assert_eq!(
+            t.get_by_pk(&vec![Value::Int(1)]).unwrap()[2],
+            Value::Int(5)
+        );
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let mut t = courses();
+        t.insert(row![1i64, "A", 3i64]).unwrap();
+        let err = t.insert(row![1i64, "B", 4i64]).unwrap_err();
+        assert!(matches!(err, RelError::DuplicateKey(_)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn null_pk_rejected() {
+        let mut t = courses();
+        // id is NOT NULL so validate_row catches it first.
+        assert!(t.insert(vec![Value::Null, Value::Null, Value::Null]).is_err());
+    }
+
+    #[test]
+    fn delete_leaves_tombstone_and_updates_indexes() {
+        let mut t = courses();
+        t.create_index("by_units", vec![2], IndexKind::Hash, false)
+            .unwrap();
+        let r1 = t.insert(row![1i64, "A", 3i64]).unwrap();
+        let r2 = t.insert(row![2i64, "B", 3i64]).unwrap();
+        assert!(t.delete(r1));
+        assert!(!t.delete(r1)); // second delete is a no-op
+        assert_eq!(t.len(), 1);
+        assert!(t.get(r1).is_none());
+        assert!(t.get(r2).is_some());
+        let idx = t.index("by_units").unwrap();
+        assert_eq!(idx.get(&vec![Value::Int(3)]).unwrap(), &[r2]);
+        // PK is freed for reuse.
+        t.insert(row![1i64, "A2", 4i64]).unwrap();
+    }
+
+    #[test]
+    fn update_moves_index_entries() {
+        let mut t = courses();
+        t.create_index("by_units", vec![2], IndexKind::BTree, false)
+            .unwrap();
+        let rid = t.insert(row![1i64, "A", 3i64]).unwrap();
+        t.update(rid, row![1i64, "A", 4i64]).unwrap();
+        let idx = t.index("by_units").unwrap();
+        assert!(idx.get(&vec![Value::Int(3)]).is_none());
+        assert_eq!(idx.get(&vec![Value::Int(4)]).unwrap(), &[rid]);
+    }
+
+    #[test]
+    fn update_pk_conflict_rejected() {
+        let mut t = courses();
+        let r1 = t.insert(row![1i64, "A", 3i64]).unwrap();
+        t.insert(row![2i64, "B", 3i64]).unwrap();
+        assert!(matches!(
+            t.update(r1, row![2i64, "A", 3i64]),
+            Err(RelError::DuplicateKey(_))
+        ));
+    }
+
+    #[test]
+    fn backfilled_index_sees_existing_rows() {
+        let mut t = courses();
+        t.insert(row![1i64, "A", 3i64]).unwrap();
+        t.insert(row![2i64, "B", 4i64]).unwrap();
+        t.create_index("by_units", vec![2], IndexKind::Hash, false)
+            .unwrap();
+        assert_eq!(t.index("by_units").unwrap().entries(), 2);
+    }
+
+    #[test]
+    fn unique_secondary_index_enforced() {
+        let mut t = courses();
+        t.create_index("uniq_title", vec![1], IndexKind::Hash, true)
+            .unwrap();
+        t.insert(row![1i64, "A", 3i64]).unwrap();
+        assert!(matches!(
+            t.insert(row![2i64, "A", 4i64]),
+            Err(RelError::DuplicateKey(_))
+        ));
+    }
+
+    proptest! {
+        /// Index contents always agree with a full scan, under arbitrary
+        /// insert/delete interleavings.
+        #[test]
+        fn index_scan_consistency(ops in proptest::collection::vec((0i64..50, any::<bool>()), 1..100)) {
+            let mut t = courses();
+            t.create_index("by_units", vec![2], IndexKind::Hash, false).unwrap();
+            let mut next_id = 0i64;
+            for (units, is_insert) in ops {
+                if is_insert {
+                    next_id += 1;
+                    t.insert(row![next_id, "t", units]).unwrap();
+                } else {
+                    let rid = t.scan().next().map(|(rid, _)| rid);
+                    if let Some(rid) = rid {
+                        t.delete(rid);
+                    }
+                }
+            }
+            // For every live row, the index on units must contain its rid.
+            let idx = t.index("by_units").unwrap();
+            let mut via_index = 0usize;
+            for (rid, r) in t.scan() {
+                let key = vec![r[2].clone()];
+                let ids = idx.get(&key).unwrap_or(&[]);
+                prop_assert!(ids.contains(&rid));
+                via_index += 1;
+            }
+            prop_assert_eq!(via_index, t.len());
+            prop_assert_eq!(idx.entries(), t.len());
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! The search engine: the query → results → cloud → refine loop of
+//! Figures 3 and 4.
+//!
+//! Queries are conjunctive (every term must match — that is what makes a
+//! cloud click *narrow* the result set, 1160 → 123 in the paper), terms
+//! are analyzed with the same analyzer as the index, and quoted phrases
+//! ("latin american") map to bigram terms.
+
+use std::collections::HashMap;
+
+use cr_relation::Value;
+
+use crate::cloud::{compute_cloud, CloudConfig, DataCloud};
+use crate::entity::EntityCorpus;
+use crate::index::DocId;
+use crate::score::{bm25f_term_score, idf, Bm25Params};
+
+/// A parsed query: analyzed terms (unigrams or bigram phrases).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Query {
+    pub terms: Vec<String>,
+}
+
+impl Query {
+    /// Parse query text. Supports bare words and double-quoted phrases;
+    /// a two-word phrase becomes one bigram term. A cloud term chosen for
+    /// refinement can be passed verbatim ("latin american" contains a
+    /// space and is treated as a phrase).
+    pub fn parse(text: &str, analyzer: &crate::analysis::Analyzer) -> Query {
+        let mut terms = Vec::new();
+        let mut rest = text;
+        while let Some(start) = rest.find('"') {
+            let before = &rest[..start];
+            push_words(before, analyzer, &mut terms);
+            match rest[start + 1..].find('"') {
+                Some(len) => {
+                    let phrase = &rest[start + 1..start + 1 + len];
+                    push_phrase(phrase, analyzer, &mut terms);
+                    rest = &rest[start + 1 + len + 1..];
+                }
+                None => {
+                    rest = &rest[start + 1..];
+                }
+            }
+        }
+        push_words(rest, analyzer, &mut terms);
+        terms.dedup();
+        Query { terms }
+    }
+
+    /// Append a refinement term (from a cloud click).
+    pub fn refine(&self, cloud_term: &str) -> Query {
+        let mut q = self.clone();
+        if !q.terms.iter().any(|t| t == cloud_term) {
+            q.terms.push(cloud_term.to_owned());
+        }
+        q
+    }
+}
+
+fn push_words(text: &str, analyzer: &crate::analysis::Analyzer, out: &mut Vec<String>) {
+    for token in text.split_whitespace() {
+        // A pre-analyzed multi-word term arrives whole only via
+        // Query::refine; free text splits into unigrams here.
+        out.extend(analyzer.terms(token));
+    }
+}
+
+fn push_phrase(phrase: &str, analyzer: &crate::analysis::Analyzer, out: &mut Vec<String>) {
+    let words = analyzer.terms(phrase);
+    match words.len() {
+        0 => {}
+        1 => out.push(words.into_iter().next().expect("len checked")),
+        _ => {
+            // Multi-word phrases decompose into consecutive bigram terms.
+            for pair in words.windows(2) {
+                out.push(format!("{} {}", pair[0], pair[1]));
+            }
+        }
+    }
+}
+
+/// One search hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    pub doc: DocId,
+    pub entity_id: Value,
+    pub score: f64,
+}
+
+/// Results of a search: total match count, top-k hits, and the full
+/// matched doc list (score-ordered) that cloud computation aggregates.
+#[derive(Debug, Clone, Default)]
+pub struct SearchResults {
+    pub query: Query,
+    pub total: usize,
+    pub hits: Vec<SearchHit>,
+    pub matched_docs: Vec<DocId>,
+}
+
+/// The engine: a built [`EntityCorpus`] plus scoring parameters.
+#[derive(Debug, Clone)]
+pub struct SearchEngine {
+    corpus: EntityCorpus,
+    params: Bm25Params,
+}
+
+impl SearchEngine {
+    pub fn new(corpus: EntityCorpus) -> Self {
+        SearchEngine {
+            corpus,
+            params: Bm25Params::default(),
+        }
+    }
+
+    pub fn with_params(mut self, params: Bm25Params) -> Self {
+        self.params = params;
+        self
+    }
+
+    pub fn corpus(&self) -> &EntityCorpus {
+        &self.corpus
+    }
+
+    pub fn corpus_mut(&mut self) -> &mut EntityCorpus {
+        &mut self.corpus
+    }
+
+    /// Parse text into a query with the corpus analyzer.
+    pub fn parse_query(&self, text: &str) -> Query {
+        Query::parse(text, self.corpus.index.analyzer())
+    }
+
+    /// Run a search: conjunctive over the query terms, BM25F-scored,
+    /// returning the top `k` hits and the full match list.
+    pub fn search(&self, query: &Query, k: usize) -> SearchResults {
+        let index = &self.corpus.index;
+        if query.terms.is_empty() {
+            return SearchResults {
+                query: query.clone(),
+                ..SearchResults::default()
+            };
+        }
+        // Accumulate per-doc scores; docs must match every term.
+        let mut acc: HashMap<DocId, (f64, usize)> = HashMap::new();
+        for (ti, term) in query.terms.iter().enumerate() {
+            let postings = index.postings(term);
+            let df = postings.iter().filter(|p| index.is_live(p.doc)).count();
+            if df == 0 {
+                return SearchResults {
+                    query: query.clone(),
+                    ..SearchResults::default()
+                };
+            }
+            let term_idf = idf(index.num_docs(), df);
+            for p in postings {
+                if !index.is_live(p.doc) {
+                    continue;
+                }
+                let s = bm25f_term_score(index, p, term_idf, self.params);
+                match acc.get_mut(&p.doc) {
+                    Some(slot) if slot.1 == ti => {
+                        slot.0 += s;
+                        slot.1 = ti + 1;
+                    }
+                    None if ti == 0 => {
+                        acc.insert(p.doc, (s, 1));
+                    }
+                    _ => {} // missed an earlier term → cannot match all
+                }
+            }
+        }
+        let need = query.terms.len();
+        let mut matched: Vec<(DocId, f64)> = acc
+            .into_iter()
+            .filter(|(_, (_, seen))| *seen == need)
+            .map(|(d, (s, _))| (d, s))
+            .collect();
+        matched.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        let total = matched.len();
+        let hits = matched
+            .iter()
+            .take(k)
+            .map(|&(doc, score)| SearchHit {
+                doc,
+                entity_id: self.corpus.doc_to_id[doc.0 as usize].clone(),
+                score,
+            })
+            .collect();
+        SearchResults {
+            query: query.clone(),
+            total,
+            hits,
+            matched_docs: matched.into_iter().map(|(d, _)| d).collect(),
+        }
+    }
+
+    /// Compute the data cloud for a result set (excluding the query's own
+    /// terms, per Figure 3).
+    pub fn cloud(&self, results: &SearchResults, config: &CloudConfig) -> DataCloud {
+        compute_cloud(
+            &self.corpus.index,
+            &results.matched_docs,
+            &results.query.terms,
+            config,
+        )
+    }
+
+    /// The full search-then-cloud step used by the examples.
+    pub fn search_with_cloud(
+        &self,
+        text: &str,
+        k: usize,
+        config: &CloudConfig,
+    ) -> (SearchResults, DataCloud) {
+        let q = self.parse_query(text);
+        let results = self.search(&q, k);
+        let cloud = self.cloud(&results, config);
+        (results, cloud)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Analyzer;
+    use crate::entity::{build_index, EntitySpec};
+    use cr_relation::Database;
+
+    fn setup() -> SearchEngine {
+        let db = Database::new();
+        db.execute_sql(
+            "CREATE TABLE Courses (CourseID INT PRIMARY KEY, Title TEXT, Description TEXT)",
+        )
+        .unwrap();
+        db.execute_sql(
+            "CREATE TABLE Comments (CommentID INT PRIMARY KEY, CourseID INT, Text TEXT)",
+        )
+        .unwrap();
+        let courses = [
+            (1, "American History", "political history of the united states"),
+            (2, "Latin American Studies", "culture politics of latin america"),
+            (3, "African American Literature", "novels and poetry"),
+            (4, "Databases", "storage and queries"),
+            (5, "American Politics", "government institutions elections"),
+        ];
+        for (id, t, d) in courses {
+            db.execute_sql(&format!(
+                "INSERT INTO Courses VALUES ({id}, '{t}', '{d}')"
+            ))
+            .unwrap();
+        }
+        db.execute_sql(
+            "INSERT INTO Comments VALUES (10, 4, 'american style grading easy'), (11, 3, 'moving african american voices')",
+        )
+        .unwrap();
+        let corpus = build_index(&db.catalog(), &EntitySpec::course_default()).unwrap();
+        SearchEngine::new(corpus)
+    }
+
+    #[test]
+    fn query_parse_words_and_phrases() {
+        let a = Analyzer::new();
+        let q = Query::parse("american \"latin american\" history", &a);
+        assert_eq!(
+            q.terms,
+            vec!["american", "latin american", "history"]
+        );
+    }
+
+    #[test]
+    fn query_parse_long_phrase_becomes_bigrams() {
+        let a = Analyzer::new();
+        let q = Query::parse("\"modern latin american\"", &a);
+        assert_eq!(q.terms, vec!["modern latin", "latin american"]);
+    }
+
+    #[test]
+    fn broad_search_matches_across_relations() {
+        let e = setup();
+        let q = e.parse_query("american");
+        let r = e.search(&q, 10);
+        // Courses 1,2,3,5 via title, 4 via a comment.
+        assert_eq!(r.total, 5);
+    }
+
+    #[test]
+    fn refinement_narrows_results() {
+        let e = setup();
+        let q = e.parse_query("american");
+        let broad = e.search(&q, 10);
+        let refined = e.search(&q.refine("african american"), 10);
+        assert_eq!(refined.total, 1);
+        assert!(refined.total < broad.total);
+        assert_eq!(refined.hits[0].entity_id, Value::Int(3));
+    }
+
+    #[test]
+    fn title_match_ranks_first() {
+        let e = setup();
+        let r = e.search(&e.parse_query("american"), 10);
+        // Doc 4 matches only via comment; it must rank last.
+        assert_eq!(
+            r.hits.last().unwrap().entity_id,
+            Value::Int(4),
+            "comment-only hit should rank below title hits"
+        );
+    }
+
+    #[test]
+    fn nonexistent_term_empty() {
+        let e = setup();
+        let r = e.search(&e.parse_query("zorblatt"), 10);
+        assert_eq!(r.total, 0);
+        assert!(r.hits.is_empty());
+    }
+
+    #[test]
+    fn empty_query_empty_results() {
+        let e = setup();
+        let r = e.search(&e.parse_query("  the of and "), 10);
+        assert_eq!(r.total, 0);
+    }
+
+    #[test]
+    fn conjunctive_semantics() {
+        let e = setup();
+        let r = e.search(&e.parse_query("american politics"), 10);
+        // "politic" appears in courses 2 and 5 (and 1's description says
+        // "political" → stems to "political"? no: "political" stems via
+        // -ly? no. It stays "political".) So match = {2, 5}.
+        assert_eq!(r.total, 2);
+    }
+
+    #[test]
+    fn cloud_excludes_query_and_suggests_refinements() {
+        let e = setup();
+        let (r, cloud) = e.search_with_cloud(
+            "american",
+            10,
+            &CloudConfig {
+                min_doc_freq: 1,
+                ..CloudConfig::default()
+            },
+        );
+        assert_eq!(r.total, 5);
+        let terms = cloud.term_strings();
+        assert!(!terms.contains(&"american"));
+        assert!(
+            terms.iter().any(|t| t.contains("politic") || t.contains("history")),
+            "{terms:?}"
+        );
+    }
+
+    #[test]
+    fn search_with_k_truncates_hits_not_total() {
+        let e = setup();
+        let r = e.search(&e.parse_query("american"), 2);
+        assert_eq!(r.hits.len(), 2);
+        assert_eq!(r.total, 5);
+        assert_eq!(r.matched_docs.len(), 5);
+    }
+
+    #[test]
+    fn scores_are_descending() {
+        let e = setup();
+        let r = e.search(&e.parse_query("american"), 10);
+        for w in r.hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+}

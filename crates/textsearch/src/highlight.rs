@@ -1,0 +1,200 @@
+//! Snippet extraction: the short fragment of matching text shown under
+//! each result in Figure 3's list.
+//!
+//! Finds the window of the source text with the densest coverage of query
+//! terms and marks the hits. Works on raw field text (highlighting happens
+//! at display time, against whichever field the caller wants to show).
+
+use crate::analysis::Analyzer;
+
+/// A snippet: the chosen window plus the byte ranges of term hits within
+/// it (for terminal/HTML emphasis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snippet {
+    pub text: String,
+    /// (start, end) byte offsets into `text` of each matched word.
+    pub highlights: Vec<(usize, usize)>,
+}
+
+impl Snippet {
+    /// Render with `[` `]` emphasis markers (terminal-friendly).
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(self.text.len() + 4 * self.highlights.len());
+        let mut pos = 0;
+        for &(start, end) in &self.highlights {
+            out.push_str(&self.text[pos..start]);
+            out.push('[');
+            out.push_str(&self.text[start..end]);
+            out.push(']');
+            pos = end;
+        }
+        out.push_str(&self.text[pos..]);
+        out
+    }
+}
+
+/// Extract the best snippet of ~`max_words` words for `query_terms`
+/// (analyzed terms — unigrams or bigrams; bigram terms match when both
+/// words match in sequence).
+pub fn snippet(
+    text: &str,
+    query_terms: &[String],
+    analyzer: &Analyzer,
+    max_words: usize,
+) -> Option<Snippet> {
+    // Split query bigrams into their word set for matching.
+    let mut want: Vec<&str> = Vec::new();
+    for t in query_terms {
+        for w in t.split(' ') {
+            if !want.contains(&w) {
+                want.push(w);
+            }
+        }
+    }
+    if want.is_empty() || text.is_empty() {
+        return None;
+    }
+
+    // Tokenize the text with byte offsets by re-scanning words.
+    struct Word<'a> {
+        raw: &'a str,
+        start: usize,
+        matched: bool,
+    }
+    let mut words: Vec<Word> = Vec::new();
+    let mut byte = 0usize;
+    for raw in text.split(|c: char| c.is_whitespace()) {
+        if !raw.is_empty() {
+            let matched = analyzer
+                .terms(raw)
+                .iter()
+                .any(|t| want.contains(&t.as_str()));
+            words.push(Word {
+                raw,
+                start: byte,
+                matched,
+            });
+        }
+        byte += raw.len() + 1;
+    }
+    if words.is_empty() {
+        return None;
+    }
+
+    // Densest window of max_words words.
+    let window = max_words.max(1).min(words.len());
+    let mut best_start = 0usize;
+    let mut current: usize = words[..window].iter().filter(|w| w.matched).count();
+    let mut best_count = current;
+    for i in 1..=words.len().saturating_sub(window) {
+        current = current - usize::from(words[i - 1].matched)
+            + usize::from(words[i + window - 1].matched);
+        if current > best_count {
+            best_count = current;
+            best_start = i;
+        }
+    }
+    if best_count == 0 {
+        return None;
+    }
+
+    let slice = &words[best_start..best_start + window];
+    let from = slice[0].start;
+    let last = &slice[slice.len() - 1];
+    let to = last.start + last.raw.len();
+    let mut snippet_text = String::new();
+    if best_start > 0 {
+        snippet_text.push('…');
+    }
+    let prefix_len = snippet_text.len();
+    snippet_text.push_str(&text[from..to]);
+    if best_start + window < words.len() {
+        snippet_text.push('…');
+    }
+    let highlights = slice
+        .iter()
+        .filter(|w| w.matched)
+        .map(|w| {
+            let s = w.start - from + prefix_len;
+            (s, s + w.raw.len())
+        })
+        .collect();
+    Some(Snippet {
+        text: snippet_text,
+        highlights,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terms(q: &str) -> Vec<String> {
+        Analyzer::new().terms(q)
+    }
+
+    #[test]
+    fn finds_matching_window() {
+        let text = "a long preamble about nothing in particular and then \
+                    suddenly the greek scientists appear with their theories \
+                    and a trailing coda about administration";
+        let s = snippet(text, &terms("greek scientists"), &Analyzer::new(), 8).unwrap();
+        assert!(s.text.contains("greek"));
+        assert!(s.text.contains("scientists"));
+        assert!(s.text.starts_with('…'));
+        assert_eq!(s.highlights.len(), 2);
+    }
+
+    #[test]
+    fn render_marks_hits() {
+        let s = snippet(
+            "introduction to java programming",
+            &terms("java"),
+            &Analyzer::new(),
+            10,
+        )
+        .unwrap();
+        assert_eq!(s.render(), "introduction to [java] programming");
+    }
+
+    #[test]
+    fn no_match_no_snippet() {
+        assert!(snippet("nothing relevant here", &terms("quantum"), &Analyzer::new(), 5).is_none());
+        assert!(snippet("", &terms("x"), &Analyzer::new(), 5).is_none());
+        assert!(snippet("text", &[], &Analyzer::new(), 5).is_none());
+    }
+
+    #[test]
+    fn bigram_terms_match_their_words() {
+        let s = snippet(
+            "the latin american literature seminar",
+            &["latin american".to_owned()],
+            &Analyzer::new(),
+            6,
+        )
+        .unwrap();
+        assert_eq!(s.highlights.len(), 2);
+        assert!(s.render().contains("[latin] [american]"));
+    }
+
+    #[test]
+    fn stemmed_matching() {
+        // Query "programming" (stem "program") matches "programs".
+        let s = snippet(
+            "several programs were written",
+            &terms("programming"),
+            &Analyzer::new(),
+            6,
+        )
+        .unwrap();
+        assert!(s.render().contains("[programs]"));
+    }
+
+    #[test]
+    fn window_truncates_long_text() {
+        let long = "java ".repeat(3) + &"filler ".repeat(100);
+        let s = snippet(&long, &terms("java"), &Analyzer::new(), 5).unwrap();
+        assert!(s.text.split_whitespace().count() <= 6); // window + ellipsis
+        assert!(s.text.ends_with('…'));
+    }
+}

@@ -1,0 +1,458 @@
+//! The inverted + forward index.
+//!
+//! Documents are *entities* with multiple weighted fields. The index keeps:
+//!
+//! * **postings**: term → list of (doc, per-field term frequency) — drives
+//!   retrieval;
+//! * **forward index**: doc → term frequency map including **bigrams** —
+//!   drives data-cloud aggregation (§3.1's "terms are aggregated over all
+//!   parts that make a course entity");
+//! * corpus statistics (document frequencies, total/average field lengths)
+//!   — drive BM25F and the cloud's log-likelihood scorer.
+//!
+//! Indexing is incremental: documents can be added and removed (CourseRank
+//! reindexes a course entity when a new comment arrives).
+
+use std::collections::HashMap;
+
+use crate::analysis::Analyzer;
+
+/// Document identifier (dense, assigned by the index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u32);
+
+/// Field identifier (position in the index's field table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FieldId(pub u16);
+
+/// A field definition: name and search weight.
+#[derive(Debug, Clone)]
+pub struct FieldSpec {
+    pub name: String,
+    /// BM25F weight — a term hit in a weight-3 title counts like three
+    /// hits in a weight-1 comment body.
+    pub weight: f64,
+}
+
+/// One posting: a document and its per-field term frequencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Posting {
+    pub doc: DocId,
+    /// Parallel to the index's field table; tf in each field.
+    pub field_tf: Vec<u32>,
+}
+
+/// Per-document data retained for scoring and clouds.
+#[derive(Debug, Clone, Default)]
+pub struct DocEntry {
+    /// Weighted length (Σ field_weight × field token count).
+    pub weighted_len: f64,
+    /// Term → tf across all fields (unweighted), **including bigrams**.
+    pub term_freqs: HashMap<String, u32>,
+    /// Tombstone.
+    pub deleted: bool,
+}
+
+/// The index.
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    analyzer: Analyzer,
+    fields: Vec<FieldSpec>,
+    postings: HashMap<String, Vec<Posting>>,
+    docs: Vec<DocEntry>,
+    live_docs: usize,
+    total_weighted_len: f64,
+    /// Whether to index adjacent-token bigrams (needed by data clouds).
+    index_bigrams: bool,
+    /// term (stem) → (most frequent surface form, its count). Clouds
+    /// display surfaces ("politics"), not stems ("politic").
+    surfaces: HashMap<String, (String, u32)>,
+    /// Exact corpus term frequencies (incl. bigrams) across live docs —
+    /// the denominator of the cloud's log-likelihood contingency table.
+    corpus_tf: HashMap<String, u64>,
+    /// Σ corpus_tf — total live tokens (incl. bigrams).
+    corpus_tokens: u64,
+}
+
+impl InvertedIndex {
+    /// Create an index with the given fields.
+    pub fn new(analyzer: Analyzer, fields: Vec<FieldSpec>) -> Self {
+        InvertedIndex {
+            analyzer,
+            fields,
+            postings: HashMap::new(),
+            docs: Vec::new(),
+            live_docs: 0,
+            total_weighted_len: 0.0,
+            index_bigrams: true,
+            surfaces: HashMap::new(),
+            corpus_tf: HashMap::new(),
+            corpus_tokens: 0,
+        }
+    }
+
+    /// Disable bigram indexing (halves index size; clouds lose multi-word
+    /// terms — used by the A1 ablation).
+    pub fn without_bigrams(mut self) -> Self {
+        self.index_bigrams = false;
+        self
+    }
+
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    pub fn fields(&self) -> &[FieldSpec] {
+        &self.fields
+    }
+
+    /// Field id by name.
+    pub fn field_id(&self, name: &str) -> Option<FieldId> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FieldId(i as u16))
+    }
+
+    /// Number of live documents.
+    pub fn num_docs(&self) -> usize {
+        self.live_docs
+    }
+
+    /// Average weighted document length (BM25 normalization).
+    pub fn avg_weighted_len(&self) -> f64 {
+        if self.live_docs == 0 {
+            0.0
+        } else {
+            self.total_weighted_len / self.live_docs as f64
+        }
+    }
+
+    /// Document frequency of a term (live docs only; postings may contain
+    /// tombstoned docs which are filtered at read time).
+    pub fn doc_freq(&self, term: &str) -> usize {
+        self.postings
+            .get(term)
+            .map(|ps| ps.iter().filter(|p| self.is_live(p.doc)).count())
+            .unwrap_or(0)
+    }
+
+    /// Raw postings for a term (includes tombstoned docs; callers filter
+    /// with [`InvertedIndex::is_live`]).
+    pub fn postings(&self, term: &str) -> &[Posting] {
+        self.postings.get(term).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Is this doc id live?
+    pub fn is_live(&self, doc: DocId) -> bool {
+        self.docs
+            .get(doc.0 as usize)
+            .is_some_and(|d| !d.deleted)
+    }
+
+    /// Per-document entry (None if deleted/unknown).
+    pub fn doc(&self, doc: DocId) -> Option<&DocEntry> {
+        self.docs
+            .get(doc.0 as usize)
+            .filter(|d| !d.deleted)
+    }
+
+    /// Total number of distinct indexed terms (unigrams + bigrams).
+    pub fn vocabulary_size(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Add a document given `(field, text)` pairs; unknown fields are an
+    /// indexing bug and panic (the entity layer controls both sides).
+    /// Returns the new doc id.
+    pub fn add_document(&mut self, field_texts: &[(FieldId, &str)]) -> DocId {
+        let doc = DocId(self.docs.len() as u32);
+        let mut entry = DocEntry::default();
+        // term → per-field tf
+        let mut tf: HashMap<String, Vec<u32>> = HashMap::new();
+        for (field, text) in field_texts {
+            let fi = field.0 as usize;
+            assert!(fi < self.fields.len(), "unknown field {field:?}");
+            let weight = self.fields[fi].weight;
+            let tokens = self.analyzer.tokenize(text);
+            entry.weighted_len += weight * tokens.len() as f64;
+            for (i, tok) in tokens.iter().enumerate() {
+                bump(&mut tf, &tok.term, fi, self.fields.len());
+                *entry.term_freqs.entry(tok.term.clone()).or_insert(0) += 1;
+                record_surface(&mut self.surfaces, &tok.term, &tok.surface);
+                if self.index_bigrams {
+                    if let Some(prev) = i.checked_sub(1).map(|j| &tokens[j]) {
+                        if prev.position + 1 == tok.position {
+                            let bigram = format!("{} {}", prev.term, tok.term);
+                            let bigram_surface =
+                                format!("{} {}", prev.surface, tok.surface);
+                            record_surface(&mut self.surfaces, &bigram, &bigram_surface);
+                            bump(&mut tf, &bigram, fi, self.fields.len());
+                            *entry.term_freqs.entry(bigram).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+        }
+        for (term, tf_val) in &entry.term_freqs {
+            *self.corpus_tf.entry(term.clone()).or_insert(0) += *tf_val as u64;
+            self.corpus_tokens += *tf_val as u64;
+        }
+        for (term, field_tf) in tf {
+            self.postings
+                .entry(term)
+                .or_default()
+                .push(Posting { doc, field_tf });
+        }
+        self.total_weighted_len += entry.weighted_len;
+        self.docs.push(entry);
+        self.live_docs += 1;
+        doc
+    }
+
+    /// Remove a document (tombstone). Postings are filtered lazily; call
+    /// [`InvertedIndex::vacuum`] to compact after bulk deletions.
+    pub fn remove_document(&mut self, doc: DocId) -> bool {
+        match self.docs.get_mut(doc.0 as usize) {
+            Some(d) if !d.deleted => {
+                d.deleted = true;
+                self.live_docs -= 1;
+                self.total_weighted_len -= d.weighted_len;
+                for (term, tf) in &d.term_freqs {
+                    if let Some(c) = self.corpus_tf.get_mut(term) {
+                        *c = c.saturating_sub(*tf as u64);
+                    }
+                    self.corpus_tokens = self.corpus_tokens.saturating_sub(*tf as u64);
+                }
+                d.term_freqs.clear();
+                d.term_freqs.shrink_to_fit();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Physically drop tombstoned postings.
+    pub fn vacuum(&mut self) {
+        let docs = &self.docs;
+        self.postings.retain(|_, ps| {
+            ps.retain(|p| !docs[p.doc.0 as usize].deleted);
+            !ps.is_empty()
+        });
+    }
+
+    /// Exact corpus term frequency (live docs, incl. bigrams).
+    pub fn corpus_tf(&self, term: &str) -> u64 {
+        self.corpus_tf.get(term).copied().unwrap_or(0)
+    }
+
+    /// Total live tokens across the corpus (incl. bigrams).
+    pub fn corpus_tokens(&self) -> u64 {
+        self.corpus_tokens
+    }
+
+    /// The display (surface) form for a term: the most frequent original
+    /// word that stemmed to it ("politic" → "politics"). Falls back to the
+    /// term itself.
+    pub fn display_form<'a>(&'a self, term: &'a str) -> &'a str {
+        self.surfaces
+            .get(term)
+            .map(|(s, _)| s.as_str())
+            .unwrap_or(term)
+    }
+
+    /// Absorb another index built with the same analyzer/field config,
+    /// appending its documents after this index's (doc ids shift by the
+    /// current doc count). Used to merge parallel build shards.
+    pub fn absorb(&mut self, other: InvertedIndex) {
+        assert_eq!(
+            self.fields.len(),
+            other.fields.len(),
+            "absorb requires identical field configuration"
+        );
+        let offset = self.docs.len() as u32;
+        for (term, postings) in other.postings {
+            let slot = self.postings.entry(term).or_default();
+            slot.reserve(postings.len());
+            for mut p in postings {
+                p.doc = DocId(p.doc.0 + offset);
+                slot.push(p);
+            }
+        }
+        self.docs.extend(other.docs);
+        self.live_docs += other.live_docs;
+        self.total_weighted_len += other.total_weighted_len;
+        for (term, (surface, count)) in other.surfaces {
+            match self.surfaces.get_mut(&term) {
+                Some(slot) if slot.1 >= count => {}
+                _ => {
+                    self.surfaces.insert(term, (surface, count));
+                }
+            }
+        }
+        for (term, tf) in other.corpus_tf {
+            *self.corpus_tf.entry(term).or_insert(0) += tf;
+        }
+        self.corpus_tokens += other.corpus_tokens;
+    }
+
+    /// All live doc ids (used by match-all queries / corpus statistics).
+    pub fn live_doc_ids(&self) -> Vec<DocId> {
+        self.docs
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !d.deleted)
+            .map(|(i, _)| DocId(i as u32))
+            .collect()
+    }
+}
+
+fn record_surface(map: &mut HashMap<String, (String, u32)>, term: &str, surface: &str) {
+    match map.get_mut(term) {
+        Some((best, count)) => {
+            if best == surface {
+                *count += 1;
+            } else if *count == 0 {
+                *best = surface.to_owned();
+                *count = 1;
+            }
+            // A different surface with the slot occupied: simple
+            // first-wins-with-reinforcement policy (cheap and stable; the
+            // dominant form wins in practice because it reinforces).
+        }
+        None => {
+            map.insert(term.to_owned(), (surface.to_owned(), 1));
+        }
+    }
+}
+
+fn bump(map: &mut HashMap<String, Vec<u32>>, term: &str, field: usize, nfields: usize) {
+    match map.get_mut(term) {
+        Some(v) => v[field] += 1,
+        None => {
+            let mut v = vec![0u32; nfields];
+            v[field] = 1;
+            map.insert(term.to_owned(), v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fields() -> Vec<FieldSpec> {
+        vec![
+            FieldSpec {
+                name: "title".into(),
+                weight: 3.0,
+            },
+            FieldSpec {
+                name: "body".into(),
+                weight: 1.0,
+            },
+        ]
+    }
+
+    fn index() -> InvertedIndex {
+        InvertedIndex::new(Analyzer::new(), fields())
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut ix = index();
+        let t = ix.field_id("title").unwrap();
+        let b = ix.field_id("body").unwrap();
+        let d0 = ix.add_document(&[(t, "Latin American History"), (b, "covers latin america")]);
+        let d1 = ix.add_document(&[(t, "Intro to Databases"), (b, "sql and storage")]);
+        assert_eq!(ix.num_docs(), 2);
+        assert_eq!(ix.doc_freq("latin"), 1);
+        assert_eq!(ix.doc_freq("american"), 1); // stemmed "america" ≠ "american"? both map via stem
+        let ps = ix.postings("databas");
+        // "Databases" stems to "database"
+        assert!(ps.is_empty());
+        let ps = ix.postings("database");
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].doc, d1);
+        // title tf recorded in field 0
+        let ps = ix.postings("latin");
+        assert_eq!(ps[0].doc, d0);
+        assert_eq!(ps[0].field_tf, vec![1, 1]);
+    }
+
+    #[test]
+    fn bigrams_indexed() {
+        let mut ix = index();
+        let t = ix.field_id("title").unwrap();
+        ix.add_document(&[(t, "Latin American Politics")]);
+        assert_eq!(ix.doc_freq("latin american"), 1);
+        assert_eq!(ix.doc_freq("american politic"), 1);
+        // No bigram across a stopword gap:
+        let mut ix2 = index();
+        let t2 = ix2.field_id("title").unwrap();
+        ix2.add_document(&[(t2, "history of science")]);
+        assert_eq!(ix2.doc_freq("history science"), 0);
+    }
+
+    #[test]
+    fn without_bigrams_mode() {
+        let mut ix = InvertedIndex::new(Analyzer::new(), fields()).without_bigrams();
+        let t = ix.field_id("title").unwrap();
+        ix.add_document(&[(t, "Latin American Politics")]);
+        assert_eq!(ix.doc_freq("latin american"), 0);
+        assert_eq!(ix.doc_freq("latin"), 1);
+    }
+
+    #[test]
+    fn remove_and_vacuum() {
+        let mut ix = index();
+        let t = ix.field_id("title").unwrap();
+        let d0 = ix.add_document(&[(t, "alpha beta")]);
+        let d1 = ix.add_document(&[(t, "alpha gamma")]);
+        assert_eq!(ix.doc_freq("alpha"), 2);
+        assert!(ix.remove_document(d0));
+        assert!(!ix.remove_document(d0)); // double remove is a no-op
+        assert_eq!(ix.num_docs(), 1);
+        assert_eq!(ix.doc_freq("alpha"), 1); // lazy filtering
+        assert_eq!(ix.postings("alpha").len(), 2); // physical postings remain
+        ix.vacuum();
+        assert_eq!(ix.postings("alpha").len(), 1);
+        assert_eq!(ix.postings("alpha")[0].doc, d1);
+        assert!(ix.postings("beta").is_empty());
+    }
+
+    #[test]
+    fn weighted_length_accounting() {
+        let mut ix = index();
+        let t = ix.field_id("title").unwrap();
+        let b = ix.field_id("body").unwrap();
+        // 2 title tokens * 3.0 + 3 body tokens * 1.0 = 9.0
+        ix.add_document(&[(t, "greek science"), (b, "famous greek scientists")]);
+        assert!((ix.avg_weighted_len() - 9.0).abs() < 1e-9);
+        let d = ix.add_document(&[(b, "one")]);
+        assert!((ix.avg_weighted_len() - 5.0).abs() < 1e-9);
+        ix.remove_document(d);
+        assert!((ix.avg_weighted_len() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn term_freqs_power_clouds() {
+        let mut ix = index();
+        let b = ix.field_id("body").unwrap();
+        let d = ix.add_document(&[(b, "politics politics war")]);
+        let entry = ix.doc(d).unwrap();
+        assert_eq!(entry.term_freqs.get("politic"), Some(&2));
+        assert_eq!(entry.term_freqs.get("war"), Some(&1));
+        assert_eq!(entry.term_freqs.get("politic politic"), Some(&1));
+    }
+
+    #[test]
+    fn live_doc_ids_excludes_tombstones() {
+        let mut ix = index();
+        let b = ix.field_id("body").unwrap();
+        let d0 = ix.add_document(&[(b, "x")]);
+        let d1 = ix.add_document(&[(b, "yy")]);
+        ix.remove_document(d0);
+        assert_eq!(ix.live_doc_ids(), vec![d1]);
+    }
+}

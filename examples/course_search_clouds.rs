@@ -1,0 +1,82 @@
+//! Reproduces Figures 3 and 4 of the paper: search "american", inspect the
+//! data cloud, click a cloud term ("african american" when present) and
+//! watch the result set narrow.
+//!
+//! ```sh
+//! cargo run --release --example course_search_clouds [scale]
+//! ```
+//!
+//! `scale` is a fraction of the paper's corpus (default 0.25; pass 1.0 for
+//! the full 18,605 courses).
+
+use courserank::CourseRank;
+use cr_datagen::ScaleConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    println!("== Figures 3 & 4: Data Clouds (scale {scale}) ==\n");
+
+    let (db, stats) = cr_datagen::generate(&ScaleConfig::scaled(scale))?;
+    println!("corpus: {}\n", stats.summary());
+    let app = CourseRank::assemble(db)?;
+
+    // ---- Figure 3: broad search --------------------------------------
+    let query = "american";
+    let t0 = std::time::Instant::now();
+    let (hits, results, cloud) = app.search().search_with_cloud(query, None, 10)?;
+    let broad_total = results.total;
+    println!(
+        "Searching for \"{query}\" — {} courses returned ({:?})",
+        broad_total,
+        t0.elapsed()
+    );
+    println!("top results:");
+    for h in &hits {
+        println!("  [{:>5}] {:<45} {:>8}  score {:.2}", h.course, h.title, h.dep, h.score);
+        if let Some(snip) = &h.snippet {
+            println!("          {snip}");
+        }
+    }
+    println!("\ndata cloud (size = significance):");
+    println!("{}", cloud.render());
+
+    // ---- Figure 4: refine via a cloud term ---------------------------
+    // Prefer a multi-word term like the paper's "African American".
+    let refine = cloud
+        .terms
+        .iter()
+        .find(|t| t.term.contains(' '))
+        .or_else(|| cloud.terms.first())
+        .map(|t| t.term.clone())
+        .ok_or("empty cloud")?;
+    let (hits, results, cloud2) = app.search().search_with_cloud(query, Some(&refine), 10)?;
+    println!(
+        "Clicking \"{refine}\" — narrowed to {} courses ({}x reduction)",
+        results.total,
+        if results.total > 0 {
+            broad_total / results.total.max(1)
+        } else {
+            broad_total
+        }
+    );
+    println!("refined results:");
+    for h in &hits {
+        println!("  [{:>5}] {:<45} {:>8}", h.course, h.title, h.dep);
+    }
+    println!("\nupdated cloud:");
+    for t in cloud2.terms.iter().take(12) {
+        println!("  {:<24} {}", t.display, "█".repeat(t.bucket as usize));
+    }
+
+    // ---- The §3.1 ranking question -----------------------------------
+    println!("\n--- field-weighted ranking (\"Java in title vs Java in comments\") ---");
+    let (hits, _) = app.search().search("java", 5)?;
+    for h in &hits {
+        println!("  score {:.3}  [{:>5}] {}", h.score, h.course, h.title);
+    }
+    println!("(title hits rank above comment-only hits — BM25F field weights)");
+    Ok(())
+}

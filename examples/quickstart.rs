@@ -1,0 +1,121 @@
+//! Quickstart: build a small campus, assemble CourseRank, and touch every
+//! component of Figure 2 once.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use courserank::auth::Role;
+use courserank::db::{Comment, Course, CourseRankDb, EnrollStatus, Enrollment, Student};
+use courserank::model::{Grade, Quarter, Term};
+use courserank::services::recs::{ExecMode, RecOptions};
+use courserank::CourseRank;
+use cr_datagen::ScaleConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== CourseRank quickstart ==\n");
+
+    // 1. You can build a database by hand ...
+    let db = CourseRankDb::new();
+    db.insert_department("CS", "Computer Science", "Engineering")?;
+    db.insert_course(&Course {
+        id: 1,
+        dep: "CS".into(),
+        title: "Introduction to Programming".into(),
+        description: "java basics for everyone".into(),
+        units: 5,
+        url: String::new(),
+    })?;
+    db.insert_student(&Student {
+        id: 444,
+        name: "Sally".into(),
+        class: "2011".into(),
+        major: Some("CS".into()),
+        gpa: None,
+        share_plans: true,
+    })?;
+    db.insert_enrollment(&Enrollment {
+        student: 444,
+        course: 1,
+        quarter: Quarter::new(2008, Term::Autumn),
+        grade: Some(Grade::A),
+        status: EnrollStatus::Taken,
+    })?;
+    db.insert_comment(&Comment {
+        id: 1,
+        student: 444,
+        course: 1,
+        quarter: Quarter::new(2008, Term::Autumn),
+        text: "great intro, loved the java assignments".into(),
+        rating: 5.0,
+        date: 0,
+    })?;
+    println!(
+        "hand-built db: {} course(s), {} comment(s)",
+        db.count("Courses")?,
+        db.count("Comments")?
+    );
+
+    // 2. ... or generate a synthetic campus at any scale (here 5% of the
+    //    paper's: ~930 courses, ~6.7k comments).
+    let (db, stats) = cr_datagen::generate(&ScaleConfig::scaled(0.05))?;
+    println!("generated campus: {}\n", stats.summary());
+
+    // 3. Assemble the full system (builds the search index).
+    let app = CourseRank::assemble(db)?;
+
+    // 4. Closed-community auth with three constituencies.
+    app.auth().register(900_001, "sally", Role::Student, "Sally")?;
+    let session = app.auth().login("sally")?;
+    println!("logged in: {} (role {:?})\n", session.username, session.role);
+
+    // 5. Search with a data cloud (§3.1).
+    let (hits, results, cloud) = app.search().search_with_cloud("american", None, 5)?;
+    println!(
+        "search \"american\": {} matching courses; top hits:",
+        results.total
+    );
+    for h in &hits {
+        println!("  [{:>5}] {} ({})", h.course, h.title, h.dep);
+    }
+    println!("cloud (top 8):");
+    for t in cloud.terms.iter().take(8) {
+        println!("  {:<24} {}", t.display, "█".repeat(t.bucket as usize));
+    }
+    println!();
+
+    // 6. FlexRecs recommendations (§3.2) for a generated active student.
+    let opts = RecOptions {
+        min_common: 1, // the 5% campus is ratings-sparse
+        ..RecOptions::default()
+    };
+    let recs = app.recs().recommend_courses(1, &opts, ExecMode::Direct)?;
+    println!("recommended for student 1:");
+    for r in recs.iter().take(5) {
+        println!("  {:.2}  {}", r.score, r.title);
+    }
+    println!();
+
+    // 7. Planner report (Figure 1, right).
+    let report = app.planner().report(1)?;
+    println!(
+        "planner: {} quarters, cumulative GPA {:?}, {} conflicts",
+        report.quarters.len(),
+        report.cumulative_gpa.map(|g| (g * 100.0).round() / 100.0),
+        report.conflicts.len()
+    );
+
+    // 8. Requirement audit against the student's department program.
+    let audit = app.requirements().audit(1, 1)?;
+    println!(
+        "requirement audit: met={} progress={:.0}%",
+        audit.met,
+        audit.progress * 100.0
+    );
+
+    // 9. A course page (Figure 1, left).
+    if let Some(course) = hits.first().map(|h| h.course) {
+        println!("\n{}", app.course_page(course)?);
+    }
+    Ok(())
+}

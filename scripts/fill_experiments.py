@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Fill EXPERIMENTS.md placeholders from bench_output.txt observations.
+
+The benches print `[E*]`/`[A*]`-tagged observation lines; this script
+collects them plus the relevant Criterion timings and substitutes them
+into the EXPERIMENTS.md template. Idempotent: run after `cargo bench`.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+BENCH = (ROOT / "bench_output.txt").read_text()
+EXP = ROOT / "EXPERIMENTS.md"
+
+
+def observations(tag: str) -> list[str]:
+    return [
+        line.split("] ", 1)[1]
+        for line in BENCH.splitlines()
+        if line.startswith(f"[{tag}]")
+    ]
+
+
+def timings(prefix: str) -> list[str]:
+    """Collect `group/name time: [lo mid hi]` lines as `name: mid`."""
+    out = []
+    lines = BENCH.splitlines()
+    for i, line in enumerate(lines):
+        m = re.match(rf"^({re.escape(prefix)}\S*)\s*$", line)
+        name_inline = re.match(
+            rf"^({re.escape(prefix)}\S*)\s+time:\s+\[(\S+ \S+) (\S+ \S+) ", line
+        )
+        if name_inline:
+            out.append(f"`{name_inline.group(1)}`: {name_inline.group(3)}")
+        elif m and i + 1 < len(lines):
+            t = re.match(r"\s+time:\s+\[\S+ \S+ (\S+ \S+) ", lines[i + 1])
+            if t:
+                out.append(f"`{m.group(1)}`: {t.group(1)}")
+    return out
+
+
+def bullet(lines: list[str]) -> str:
+    return "\n".join(f"- {l}" for l in lines) if lines else "- (not captured)"
+
+
+text = EXP.read_text()
+
+e1 = observations("E1")
+paper_scale = next((l for l in e1 if "paper scale generated" in l), "")
+m = re.search(r"(\d+) courses, (\d+) comments, (\d+) ratings; (\d+) of (\d+)", paper_scale)
+if m:
+    text = text.replace("{E1_COURSES}", m.group(1))
+    text = text.replace("{E1_COMMENTS}", m.group(2))
+    text = text.replace("{E1_RATINGS}", m.group(3))
+    text = text.replace("{E1_STUDENTS}", f"{m.group(4)} / {m.group(5)}")
+text = text.replace("{E1_EXTRA}", bullet([l for l in e1 if "supporting" in l or "generated in" in l or "index built" in l]))
+
+text = text.replace("{E2_FULL}", bullet(observations("E2-full")))
+text = text.replace(
+    "{E2_QUARTER}",
+    bullet(observations("E2") + timings("clouds/search_broad") + timings("clouds/cloud_exact")),
+)
+text = text.replace("{E3_RESULTS}", bullet(observations("E3") + observations("E3-full")))
+text = text.replace("{E4_RESULTS}", bullet(observations("E4") + timings("flexrecs/fig5a")))
+text = text.replace(
+    "{E5_RESULTS}",
+    bullet(observations("E5") + timings("flexrecs/fig5b")),
+)
+text = text.replace("{E7_RESULTS}", bullet(observations("E7")))
+text = text.replace("{E9_RESULTS}", bullet(observations("E9")))
+text = text.replace("{E10_RESULTS}", bullet(observations("E10")))
+
+a1_obs = observations("A1")
+text = text.replace("{A1_RESULTS}", bullet(timings("clouds/cloud_exact")))
+rows = []
+exact_time = (timings("clouds/cloud_exact") or ["`exact`: ?"])[0].split(": ")[-1]
+rows.append(f"| exact (all matched docs) | {exact_time} | 10/10 |")
+for k in (50, 200, 1000):
+    t = timings(f"clouds/cloud_sampled/{k}")
+    tm = t[0].split(": ")[-1] if t else "?"
+    ov = next((o.split("= ")[-1] for o in a1_obs if f"k={k}" in o), "?")
+    rows.append(f"| sampled top-{k} | {tm} | {ov} |")
+text = text.replace("{A1_TABLE}", "\n".join(rows))
+
+text = text.replace(
+    "{A2_RESULTS}",
+    bullet(
+        timings("flexrecs/fig5b_user_cf_direct")
+        + timings("flexrecs/fig5b_user_cf_compiled_sql")
+        + timings("services/recommend_courses")
+    ),
+)
+text = text.replace("{A3_RESULTS}", bullet(observations("A3") + timings("relation/")))
+text = text.replace("{A4_RESULTS}", bullet(observations("A4") + timings("search_scaling/")))
+
+EXP.write_text(text)
+leftover = re.findall(r"\{[A-Z0-9_]+\}", text)
+print("filled EXPERIMENTS.md; unfilled placeholders:", leftover or "none")

@@ -1,0 +1,26 @@
+//! # social-systems — the workspace facade
+//!
+//! Re-exports every crate of the CIDR 2009 *Social Systems* reproduction
+//! so the examples and integration tests (and downstream users who want
+//! one dependency) can reach the whole stack:
+//!
+//! * [`cr_relation`] — the in-memory relational engine + SQL subset;
+//! * [`cr_textsearch`] — entity search and Data Clouds (§3.1);
+//! * [`cr_flexrecs`] — the FlexRecs workflow algebra + SQL compiler (§3.2);
+//! * [`courserank`] — the assembled CourseRank social system (§2);
+//! * [`cr_datagen`] — the synthetic Stanford-scale campus generator.
+//!
+//! ```
+//! let (db, stats) = cr_datagen::generate(&cr_datagen::ScaleConfig::tiny()).unwrap();
+//! let app = courserank::CourseRank::assemble(db).unwrap();
+//! let (_, results, cloud) = app.search().search_with_cloud("theory", None, 5).unwrap();
+//! assert!(results.total > 0);
+//! assert!(!cloud.terms.is_empty());
+//! # let _ = stats;
+//! ```
+
+pub use courserank;
+pub use cr_datagen;
+pub use cr_flexrecs;
+pub use cr_relation;
+pub use cr_textsearch;

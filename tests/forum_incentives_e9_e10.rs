@@ -1,0 +1,163 @@
+//! E9/E10 — Q&A routing accuracy and the incentive scheme.
+//!
+//! E9: §2.2 plans to seed the forum and route questions "to people who are
+//! likely to be able to answer them". We build synthetic ground truth —
+//! the right answerers for a course question are the students who took the
+//! course — and measure routing precision.
+//!
+//! E10: the Yahoo! Answers-style point scheme plus anti-gaming caps.
+
+use courserank::services::forum::{Forum, Question, RoutingConfig};
+use courserank::services::incentives::{Incentives, PointEvent};
+use cr_datagen::ScaleConfig;
+
+#[test]
+fn e9_routing_precision_on_ground_truth() {
+    let (db, _) = cr_datagen::generate(&ScaleConfig::tiny()).unwrap();
+    let forum = Forum::new(db.clone()).with_config(RoutingConfig {
+        fanout: 5,
+        ..RoutingConfig::default()
+    });
+    // Pick 10 reasonably-popular courses; ground truth = their takers.
+    let rs = db
+        .database()
+        .query_sql(
+            "SELECT CourseID, COUNT(*) AS n FROM Enrollments WHERE Status = 'taken' \
+             GROUP BY CourseID HAVING COUNT(*) >= 5 ORDER BY n DESC LIMIT 10",
+        )
+        .unwrap();
+    assert!(rs.rows.len() >= 5);
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for (qi, r) in rs.rows.iter().enumerate() {
+        let course = r[0].as_int().unwrap();
+        let takers: Vec<i64> = db
+            .database()
+            .query_sql(&format!(
+                "SELECT SuID FROM Enrollments WHERE CourseID = {course} AND Status = 'taken'"
+            ))
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
+        let routed = forum
+            .route(&Question {
+                id: 10_000 + qi as i64,
+                asker: None,
+                course: Some(course),
+                dep: None,
+                text: "who can answer this?".into(),
+                seeded: false,
+            })
+            .unwrap();
+        for r in &routed {
+            total += 1;
+            if takers.contains(&r.student) {
+                hits += 1;
+            }
+        }
+    }
+    let precision = hits as f64 / total as f64;
+    assert!(
+        precision >= 0.8,
+        "routing precision {precision:.2} ({hits}/{total})"
+    );
+}
+
+#[test]
+fn e9_seeded_faqs_fill_the_empty_forum() {
+    let (db, stats) = cr_datagen::generate(&ScaleConfig::tiny()).unwrap();
+    // The generator seeds 2 FAQs per department (§2.2's plan).
+    assert_eq!(stats.questions, 2 * stats.departments);
+    let forum = Forum::new(db.clone());
+    let unanswered = forum.unanswered().unwrap();
+    assert_eq!(unanswered.len(), stats.questions);
+    // Department FAQs route to students with department experience.
+    let q = Question {
+        id: 55_555,
+        asker: None,
+        course: None,
+        dep: Some("CS".into()),
+        text: "good intro CS class for non-majors?".into(),
+        seeded: true,
+    };
+    let routed = forum.route(&q).unwrap();
+    assert!(!routed.is_empty());
+    for r in &routed {
+        let n = db
+            .database()
+            .query_sql(&format!(
+                "SELECT COUNT(*) AS n FROM Enrollments e JOIN Courses c \
+                 ON e.CourseID = c.CourseID \
+                 WHERE e.SuID = {} AND c.DepID = 'CS' AND e.Status = 'taken'",
+                r.student
+            ))
+            .unwrap()
+            .scalar()
+            .unwrap()
+            .as_int()
+            .unwrap();
+        assert!(n > 0, "routed to student {} without CS experience", r.student);
+    }
+}
+
+#[test]
+fn e10_best_answer_flow_awards_points() {
+    let (db, _) = cr_datagen::generate(&ScaleConfig::tiny()).unwrap();
+    let forum = Forum::new(db.clone());
+    let incentives = Incentives::new(db.clone());
+    forum
+        .ask(&Question {
+            id: 77_001,
+            asker: Some(1),
+            course: Some(1),
+            dep: None,
+            text: "how is the grading?".into(),
+            seeded: false,
+        })
+        .unwrap();
+    forum.answer(88_001, 77_001, 2, "curved generously").unwrap();
+    forum.mark_best(88_001).unwrap();
+    let granted = incentives.award(2, PointEvent::BestAnswer, 700).unwrap();
+    assert_eq!(granted, 10); // the Yahoo! Answers number the paper quotes
+    assert_eq!(incentives.score(2).unwrap(), 10);
+}
+
+#[test]
+fn e10_gaming_is_capped_honest_use_is_not() {
+    let (db, _) = cr_datagen::generate(&ScaleConfig::tiny()).unwrap();
+    let incentives = Incentives::new(db.clone());
+    // 10 days of honest use vs 10 days of vote spam.
+    for day in 0..10 {
+        incentives.award(501, PointEvent::DailyLogin, day).unwrap();
+        incentives.award(501, PointEvent::PostedComment, day).unwrap();
+        for _ in 0..200 {
+            incentives.award(502, PointEvent::VotedForBest, day).unwrap();
+        }
+    }
+    let honest = incentives.score(501).unwrap();
+    let gamer = incentives.score(502).unwrap();
+    assert_eq!(honest, 10 * (1 + 2));
+    assert_eq!(gamer, 10 * 10); // 10 capped votes/day × 1 point
+    // 2000 attempted spam votes only tripled an honest user's score —
+    // "users often try to boost their reputation"; the caps bound it.
+    assert!(gamer <= honest * 4);
+}
+
+#[test]
+fn e10_leaderboard_is_consistent_with_scores() {
+    let (db, _) = cr_datagen::generate(&ScaleConfig::tiny()).unwrap();
+    let incentives = Incentives::new(db.clone());
+    for (user, n) in [(601i64, 3), (602, 1), (603, 5)] {
+        for day in 0..n {
+            incentives.award(user, PointEvent::BestAnswer, day).unwrap();
+        }
+    }
+    let lb = incentives.leaderboard(3).unwrap();
+    assert_eq!(lb[0].0, 603);
+    assert_eq!(lb[0].1, 50);
+    for (user, score) in &lb {
+        assert_eq!(incentives.score(*user).unwrap(), *score);
+    }
+}

@@ -1,0 +1,70 @@
+//! E1 — §2 system-scale statistics.
+//!
+//! The paper (September 2008): "the system provides access to 18,605
+//! courses, 134,000 comments, and over 50,300 ratings", used by "more than
+//! 9,000 Stanford students, out of a total of about 14,000". The
+//! paper-scale preset reproduces those cardinalities exactly; these tests
+//! verify the preset and, at reduced scale, that the generated database's
+//! relation counts match the generator's claims.
+
+use cr_datagen::ScaleConfig;
+
+#[test]
+fn paper_scale_preset_matches_section_2() {
+    let cfg = ScaleConfig::paper_scale();
+    assert_eq!(cfg.courses, 18_605);
+    assert_eq!(cfg.comments, 134_000);
+    assert_eq!(cfg.ratings, 50_300);
+    assert_eq!(cfg.students, 14_000);
+    assert_eq!(cfg.active_students, 9_000);
+    // The paper notes ~6,500 undergrads with "the vast majority" of users
+    // being undergraduates; our active/total ratio (64%) brackets that.
+    assert!(cfg.active_students as f64 / cfg.students as f64 > 0.6);
+}
+
+#[test]
+fn generated_relations_match_config() {
+    let cfg = ScaleConfig::scaled(0.02);
+    let (db, stats) = cr_datagen::generate(&cfg).unwrap();
+    assert_eq!(db.count("Courses").unwrap() as usize, cfg.courses);
+    assert_eq!(db.count("Comments").unwrap() as usize, cfg.comments);
+    assert_eq!(db.count("Students").unwrap() as usize, cfg.students);
+    assert_eq!(stats.courses, cfg.courses);
+    // Ratings are the non-null subset of comments.
+    let rated = db
+        .database()
+        .query_sql("SELECT COUNT(Rating) AS n FROM Comments")
+        .unwrap();
+    assert_eq!(rated.scalar().unwrap().as_int().unwrap() as usize, cfg.ratings);
+    // Every supporting relation is populated.
+    for table in [
+        "Departments",
+        "Offerings",
+        "Instructors",
+        "Enrollments",
+        "Prerequisites",
+        "Programs",
+        "Requirements",
+        "Questions",
+        "OfficialGradeDist",
+        "Users",
+    ] {
+        assert!(
+            db.count(table).unwrap() > 0,
+            "{table} should be populated"
+        );
+    }
+}
+
+#[test]
+fn active_students_have_transcripts_inactive_do_not() {
+    let cfg = ScaleConfig::tiny();
+    let (db, _) = cr_datagen::generate(&cfg).unwrap();
+    let rs = db
+        .database()
+        .query_sql("SELECT COUNT(DISTINCT SuID) AS n FROM Enrollments")
+        .unwrap();
+    let with_enrollments = rs.scalar().unwrap().as_int().unwrap() as usize;
+    assert!(with_enrollments <= cfg.active_students);
+    assert!(with_enrollments >= cfg.active_students * 9 / 10);
+}
