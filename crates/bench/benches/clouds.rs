@@ -5,9 +5,9 @@
 //! `[E2]`/`[E3]` lines plus Criterion timings for: broad search, exact
 //! cloud computation, sampled cloud computation (A1), and refined search.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cr_bench::fixtures::{observe, system};
 use cr_textsearch::cloud::{compute_cloud, CloudConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_clouds(c: &mut Criterion) {
     // A quarter-scale campus (≈4,650 courses, 33,500 comments) keeps the
@@ -42,7 +42,12 @@ fn bench_clouds(c: &mut Criterion) {
         &format!(
             "cloud: {} terms, top = {:?}, refinement candidate = {:?}",
             cloud.terms.len(),
-            cloud.terms.iter().take(5).map(|t| t.display.as_str()).collect::<Vec<_>>(),
+            cloud
+                .terms
+                .iter()
+                .take(5)
+                .map(|t| t.display.as_str())
+                .collect::<Vec<_>>(),
             bigram
         ),
     );
@@ -97,7 +102,12 @@ fn bench_clouds(c: &mut Criterion) {
     }
 
     // A1 quality: overlap of sampled cloud with exact top-10.
-    let exact_top: Vec<&str> = cloud.terms.iter().take(10).map(|t| t.term.as_str()).collect();
+    let exact_top: Vec<&str> = cloud
+        .terms
+        .iter()
+        .take(10)
+        .map(|t| t.term.as_str())
+        .collect();
     for k in [50usize, 200, 1000] {
         let sampled = compute_cloud(
             &engine.corpus().index,

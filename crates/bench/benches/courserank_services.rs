@@ -2,10 +2,10 @@
 //! distributions, comment ranking, question routing, and the E7
 //! self-reported-vs-official comparison at scale.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use cr_bench::fixtures::{observe, system};
 use courserank::services::forum::Question;
 use courserank::services::recs::{ExecMode, RecOptions};
+use cr_bench::fixtures::{observe, system};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_services(c: &mut Criterion) {
     let (app, stats) = system(0.1);
@@ -51,7 +51,11 @@ fn bench_services(c: &mut Criterion) {
 
     // Requirement audit (the generator defines one program per dept).
     group.bench_function("requirement_audit", |b| {
-        b.iter(|| app.requirements().audit(1, std::hint::black_box(1)).unwrap())
+        b.iter(|| {
+            app.requirements()
+                .audit(1, std::hint::black_box(1))
+                .unwrap()
+        })
     });
 
     // Grade distribution with privacy checks.

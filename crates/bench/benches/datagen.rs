@@ -2,9 +2,9 @@
 //! paper's scale, and a one-shot full paper-scale generation whose stats
 //! are the §2 numbers.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cr_bench::fixtures::observe;
 use cr_datagen::{generate, ScaleConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_datagen(c: &mut Criterion) {
     let mut group = c.benchmark_group("datagen");
@@ -12,11 +12,9 @@ fn bench_datagen(c: &mut Criterion) {
 
     for fraction in [0.02f64, 0.1] {
         let cfg = ScaleConfig::scaled(fraction);
-        group.bench_with_input(
-            BenchmarkId::new("generate", cfg.courses),
-            &cfg,
-            |b, cfg| b.iter(|| generate(cfg).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("generate", cfg.courses), &cfg, |b, cfg| {
+            b.iter(|| generate(cfg).unwrap())
+        });
     }
     group.finish();
 
@@ -67,7 +65,11 @@ fn bench_datagen(c: &mut Criterion) {
         ),
     );
     if let Some(b) = cloud.terms.iter().find(|t| t.term.contains(' ')) {
-        let q = app.search().engine().parse_query("american").refine(&b.term);
+        let q = app
+            .search()
+            .engine()
+            .parse_query("american")
+            .refine(&b.term);
         let refined = app.search().engine().search(&q, 10);
         observe(
             "E3-full",

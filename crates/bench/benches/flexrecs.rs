@@ -1,10 +1,10 @@
 //! E4/E5/A2 — Figure 5 workflows: related-courses and collaborative
 //! filtering, direct executor vs compiled SQL.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cr_bench::fixtures::{campus, observe};
 use cr_flexrecs::compile::compile_and_run;
 use cr_flexrecs::templates::{self, SchemaMap};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_flexrecs(c: &mut Criterion) {
     let (db, stats) = campus(0.1);

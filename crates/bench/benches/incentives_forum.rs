@@ -1,10 +1,10 @@
 //! E9/E10 — routing accuracy and incentive-scheme simulation, reported as
 //! observations plus timings for the ledger hot paths.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use cr_bench::fixtures::{campus, observe};
 use courserank::services::forum::{Forum, Question, RoutingConfig};
 use courserank::services::incentives::{Incentives, PointEvent};
+use cr_bench::fixtures::{campus, observe};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_incentives_forum(c: &mut Criterion) {
     let (db, stats) = campus(0.05);
@@ -47,7 +47,10 @@ fn bench_incentives_forum(c: &mut Criterion) {
             })
             .unwrap();
         total += routed.len();
-        hits += routed.iter().filter(|r| takers.contains(&r.student)).count();
+        hits += routed
+            .iter()
+            .filter(|r| takers.contains(&r.student))
+            .count();
     }
     observe(
         "E9",
@@ -62,15 +65,26 @@ fn bench_incentives_forum(c: &mut Criterion) {
     let incentives = Incentives::new(db.clone());
     let mut gamer_attempted = 0i64;
     for day in 0..30 {
-        incentives.award(800_001, PointEvent::DailyLogin, day).unwrap();
-        incentives.award(800_001, PointEvent::PostedComment, day).unwrap();
+        incentives
+            .award(800_001, PointEvent::DailyLogin, day)
+            .unwrap();
+        incentives
+            .award(800_001, PointEvent::PostedComment, day)
+            .unwrap();
         if day % 5 == 0 {
-            incentives.award(800_001, PointEvent::BestAnswer, day).unwrap();
+            incentives
+                .award(800_001, PointEvent::BestAnswer, day)
+                .unwrap();
         }
         for _ in 0..50 {
-            gamer_attempted += PointEvent::VotedForBest.points() + PointEvent::PostedComment.points();
-            incentives.award(800_002, PointEvent::VotedForBest, day).unwrap();
-            incentives.award(800_002, PointEvent::PostedComment, day).unwrap();
+            gamer_attempted +=
+                PointEvent::VotedForBest.points() + PointEvent::PostedComment.points();
+            incentives
+                .award(800_002, PointEvent::VotedForBest, day)
+                .unwrap();
+            incentives
+                .award(800_002, PointEvent::PostedComment, day)
+                .unwrap();
         }
     }
     let honest = incentives.score(800_001).unwrap();

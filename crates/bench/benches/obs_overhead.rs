@@ -1,0 +1,78 @@
+//! A7 — instrumentation overhead: the observability layer must be
+//! cheap-by-default. Three variants of the same join + aggregate query:
+//!
+//! * `execute_disabled` — metrics registry off (the default), the gate is
+//!   one relaxed atomic load per query;
+//! * `execute_enabled`  — counters + latency histograms recording;
+//! * `explain_analyze`  — full per-operator profiling (one clock read per
+//!   plan node, not per row).
+//!
+//! Acceptance: enabled within 5% of disabled on this workload.
+
+use cr_bench::fixtures::observe;
+use cr_relation::row::row;
+use cr_relation::Database;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const N_ROWS: i64 = 50_000;
+
+fn setup() -> Database {
+    let db = Database::new();
+    db.execute_sql(
+        "CREATE TABLE ratings (id INT PRIMARY KEY, student INT, course INT, score FLOAT)",
+    )
+    .unwrap();
+    db.execute_sql("CREATE TABLE courses (course INT PRIMARY KEY, dep INT)")
+        .unwrap();
+    let mut rows = Vec::with_capacity(N_ROWS as usize);
+    for i in 0..N_ROWS {
+        rows.push(row![
+            i,
+            i % 9_000,
+            (i * 7) % 2_000,
+            ((i % 9) + 1) as f64 / 2.0
+        ]);
+    }
+    db.insert_many("ratings", rows).unwrap();
+    let mut courses = Vec::with_capacity(2_000);
+    for c in 0..2_000i64 {
+        courses.push(row![c, c % 60]);
+    }
+    db.insert_many("courses", courses).unwrap();
+    db
+}
+
+const QUERY: &str = "SELECT c.dep, AVG(r.score) AS s FROM ratings r \
+                     JOIN courses c ON r.course = c.course \
+                     WHERE r.score >= 2.0 GROUP BY c.dep";
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let db = setup();
+    observe(
+        "A7",
+        &format!("join+aggregate over {N_ROWS} ratings x 2000 courses"),
+    );
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(20);
+
+    cr_obs::disable();
+    group.bench_function("execute_disabled", |b| {
+        b.iter(|| db.query_sql(QUERY).unwrap())
+    });
+
+    cr_obs::enable();
+    group.bench_function("execute_enabled", |b| {
+        b.iter(|| db.query_sql(QUERY).unwrap())
+    });
+
+    group.bench_function("explain_analyze", |b| {
+        b.iter(|| db.explain_analyze_sql(QUERY).unwrap())
+    });
+    cr_obs::disable();
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -2,10 +2,10 @@
 //! primary key vs secondary index vs B-tree range) and join strategies
 //! (hash vs nested loop).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cr_bench::fixtures::observe;
 use cr_relation::row::row;
 use cr_relation::Database;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 const N_ROWS: i64 = 100_000;
 
@@ -83,10 +83,8 @@ fn bench_relation(c: &mut Criterion) {
     // Range scan: B-tree vs seq.
     group.bench_function("range_btree_index", |b| {
         b.iter(|| {
-            db.query_sql(
-                "SELECT COUNT(*) AS n FROM ratings WHERE course >= 100 AND course <= 120",
-            )
-            .unwrap()
+            db.query_sql("SELECT COUNT(*) AS n FROM ratings WHERE course >= 100 AND course <= 120")
+                .unwrap()
         })
     });
     group.bench_function("range_seq_scan", |b| {
@@ -134,16 +132,12 @@ fn bench_relation(c: &mut Criterion) {
 
     // Aggregation throughput.
     for groups in [10i64, 1_000] {
-        group.bench_with_input(
-            BenchmarkId::new("group_by", groups),
-            &groups,
-            |b, &g| {
-                let sql = format!(
-                    "SELECT student % {g} AS k, AVG(score) AS s FROM ratings GROUP BY student % {g}"
-                );
-                b.iter(|| db.query_sql(&sql).unwrap())
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("group_by", groups), &groups, |b, &g| {
+            let sql = format!(
+                "SELECT student % {g} AS k, AVG(score) AS s FROM ratings GROUP BY student % {g}"
+            );
+            b.iter(|| db.query_sql(&sql).unwrap())
+        });
     }
 
     // Sort + limit (top-k).

@@ -1,10 +1,10 @@
 //! A4 — search scaling: index build (sequential vs parallel shards) and
 //! query latency as the corpus grows toward the paper's 18,605 courses.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cr_bench::fixtures::{campus, observe};
 use cr_textsearch::entity::{build_index, build_index_parallel};
 use cr_textsearch::SearchEngine;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_search_scaling(c: &mut Criterion) {
     let spec = courserank::services::search::course_entity_spec();
@@ -15,10 +15,7 @@ fn bench_search_scaling(c: &mut Criterion) {
     for fraction in [0.05f64, 0.1, 0.25] {
         let (db, stats) = campus(fraction);
         let catalog = db.catalog();
-        observe(
-            "A4",
-            &format!("scale {fraction}: {}", stats.summary()),
-        );
+        observe("A4", &format!("scale {fraction}: {}", stats.summary()));
 
         group.bench_with_input(
             BenchmarkId::new("index_build_sequential", stats.courses),

@@ -137,6 +137,22 @@ impl CourseRank {
         ]
     }
 
+    /// A snapshot of every process-wide metric: per-service request/error
+    /// counters and latency histograms, plus the substrate metrics
+    /// (`relation.*`, `textsearch.*`, `flexrecs.*`). JSON via
+    /// [`cr_obs::MetricsSnapshot::to_json`]; requires
+    /// [`cr_obs::install`] (or `enable`) to have been called, otherwise
+    /// all counters stay zero.
+    pub fn metrics_snapshot(&self) -> cr_obs::MetricsSnapshot {
+        cr_obs::Registry::global().snapshot()
+    }
+
+    /// The snapshot rendered in Prometheus text exposition format (what a
+    /// `/metrics` endpoint would serve).
+    pub fn metrics_prometheus(&self) -> String {
+        self.metrics_snapshot().to_prometheus()
+    }
+
     /// Render a course descriptor page (Figure 1, left) as text.
     pub fn course_page(&self, course: CourseId) -> RelResult<String> {
         use std::fmt::Write;
@@ -199,6 +215,28 @@ mod tests {
         assert_eq!(comps.len(), 13);
         assert!(comps.iter().any(|c| c.contains("CourseCloud")));
         assert!(comps.iter().any(|c| c.contains("FlexRecs")));
+    }
+
+    #[test]
+    fn metrics_snapshot_counts_service_requests() {
+        cr_obs::install();
+        let app = CourseRank::assemble(small_campus()).unwrap();
+        let before = app
+            .metrics_snapshot()
+            .counter("courserank.search.requests")
+            .unwrap_or(0);
+        app.search().search("programming", 10).unwrap();
+        app.planner().report(444).unwrap();
+        let snap = app.metrics_snapshot();
+        assert_eq!(snap.counter("courserank.search.requests"), Some(before + 1));
+        assert!(snap.counter("courserank.planner.requests").unwrap_or(0) >= 1);
+        assert!(snap
+            .histogram("courserank.search.request_ns")
+            .is_some_and(|h| h.count >= 1));
+        let prom = app.metrics_prometheus();
+        assert!(prom.contains("courserank_search_requests"));
+        let json = snap.to_json();
+        assert!(json.contains("\"courserank.planner.requests\""));
     }
 
     #[test]

@@ -73,10 +73,7 @@ impl Role {
             ),
             Role::Faculty => matches!(
                 cap,
-                SearchCourses
-                    | ViewGradeDistributions
-                    | AnnotateOwnCourses
-                    | CompareOwnCourses
+                SearchCourses | ViewGradeDistributions | AnnotateOwnCourses | CompareOwnCourses
             ),
             Role::Staff => matches!(
                 cap,
@@ -125,9 +122,7 @@ impl Auth {
     pub fn login(&self, username: &str) -> RelResult<Session> {
         let found = self.db.catalog().with_table("Users", |t| {
             t.scan()
-                .find(|(_, r)| {
-                    matches!(&r[1], Value::Text(u) if u.eq_ignore_ascii_case(username))
-                })
+                .find(|(_, r)| matches!(&r[1], Value::Text(u) if u.eq_ignore_ascii_case(username)))
                 .map(|(_, r)| {
                     (
                         r[0].as_int().unwrap_or(0),
@@ -186,8 +181,10 @@ mod tests {
         let db = CourseRankDb::new();
         let a = Auth::new(db);
         a.register(1, "sally", Role::Student, "Sally S").unwrap();
-        a.register(2, "knuth", Role::Faculty, "Prof. Knuth").unwrap();
-        a.register(3, "regoffice", Role::Staff, "Registrar").unwrap();
+        a.register(2, "knuth", Role::Faculty, "Prof. Knuth")
+            .unwrap();
+        a.register(3, "regoffice", Role::Staff, "Registrar")
+            .unwrap();
         a.register(4, "root", Role::Admin, "Site Admin").unwrap();
         a
     }
@@ -232,9 +229,7 @@ mod tests {
             .authorize(s.token, Capability::DefineRequirements)
             .is_err());
         let f = a.login("knuth").unwrap();
-        assert!(a
-            .authorize(f.token, Capability::AnnotateOwnCourses)
-            .is_ok());
+        assert!(a.authorize(f.token, Capability::AnnotateOwnCourses).is_ok());
         // Stale token:
         assert!(a.authorize(99999, Capability::SearchCourses).is_err());
     }

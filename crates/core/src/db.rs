@@ -282,7 +282,13 @@ impl CourseRankDb {
             .map(|_| ())
     }
 
-    pub fn insert_user(&self, id: UserId, username: &str, role: &str, display: &str) -> RelResult<()> {
+    pub fn insert_user(
+        &self,
+        id: UserId,
+        username: &str,
+        role: &str,
+        display: &str,
+    ) -> RelResult<()> {
         self.db
             .insert("Users", row![id, username, role, display])
             .map(|_| ())
@@ -465,15 +471,41 @@ pub(crate) mod test_fixtures {
     /// students with enrollments, comments, official grades.
     pub fn small_campus() -> CourseRankDb {
         let db = CourseRankDb::new();
-        db.insert_department("CS", "Computer Science", "Engineering").unwrap();
-        db.insert_department("HIST", "History", "Humanities").unwrap();
+        db.insert_department("CS", "Computer Science", "Engineering")
+            .unwrap();
+        db.insert_department("HIST", "History", "Humanities")
+            .unwrap();
 
         let courses = [
-            (101, "CS", "Introduction to Programming", "java basics for everyone", 5),
-            (102, "CS", "Programming Abstractions", "data structures in c++", 5),
-            (103, "CS", "Operating Systems", "processes threads storage", 4),
+            (
+                101,
+                "CS",
+                "Introduction to Programming",
+                "java basics for everyone",
+                5,
+            ),
+            (
+                102,
+                "CS",
+                "Programming Abstractions",
+                "data structures in c++",
+                5,
+            ),
+            (
+                103,
+                "CS",
+                "Operating Systems",
+                "processes threads storage",
+                4,
+            ),
             (201, "HIST", "Medieval Europe", "knights and castles", 4),
-            (202, "HIST", "History of Science", "famous greek scientists and more", 3),
+            (
+                202,
+                "HIST",
+                "History of Science",
+                "famous greek scientists and more",
+                3,
+            ),
         ];
         for (id, dep, title, desc, units) in courses {
             db.insert_course(&Course {
@@ -532,13 +564,48 @@ pub(crate) mod test_fixtures {
         }
 
         for (student, course, year, term, grade, status) in [
-            (444, 101, 2008, Term::Autumn, Some(Grade::A), EnrollStatus::Taken),
-            (444, 202, 2008, Term::Autumn, Some(Grade::BPlus), EnrollStatus::Taken),
+            (
+                444,
+                101,
+                2008,
+                Term::Autumn,
+                Some(Grade::A),
+                EnrollStatus::Taken,
+            ),
+            (
+                444,
+                202,
+                2008,
+                Term::Autumn,
+                Some(Grade::BPlus),
+                EnrollStatus::Taken,
+            ),
             (444, 102, 2009, Term::Winter, None, EnrollStatus::Planned),
-            (2, 101, 2008, Term::Autumn, Some(Grade::AMinus), EnrollStatus::Taken),
+            (
+                2,
+                101,
+                2008,
+                Term::Autumn,
+                Some(Grade::AMinus),
+                EnrollStatus::Taken,
+            ),
             (2, 102, 2009, Term::Winter, None, EnrollStatus::Planned),
-            (3, 201, 2008, Term::Autumn, Some(Grade::A), EnrollStatus::Taken),
-            (4, 101, 2008, Term::Autumn, Some(Grade::B), EnrollStatus::Taken),
+            (
+                3,
+                201,
+                2008,
+                Term::Autumn,
+                Some(Grade::A),
+                EnrollStatus::Taken,
+            ),
+            (
+                4,
+                101,
+                2008,
+                Term::Autumn,
+                Some(Grade::B),
+                EnrollStatus::Taken,
+            ),
         ] {
             db.insert_enrollment(&Enrollment {
                 student,

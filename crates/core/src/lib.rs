@@ -23,6 +23,7 @@ pub mod app;
 pub mod auth;
 pub mod db;
 pub mod model;
+pub(crate) mod obs;
 pub mod services;
 
 pub use app::CourseRank;

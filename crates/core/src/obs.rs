@@ -1,0 +1,46 @@
+//! Per-service instrumentation helpers.
+//!
+//! Every user-facing service (CourseCloud, Recommender, Planner, Forum)
+//! owns one [`SvcMetrics`]: a request counter, an error counter, and a
+//! request-latency histogram in the process-wide [`cr_obs`] registry.
+//! When observability is disabled the wrapper costs one relaxed atomic
+//! load and never reads the clock.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cr_relation::RelResult;
+
+/// Request/error counters plus a latency histogram for one service.
+pub(crate) struct SvcMetrics {
+    pub requests: Arc<cr_obs::Counter>,
+    pub errors: Arc<cr_obs::Counter>,
+    pub latency: Arc<cr_obs::Histogram>,
+}
+
+impl SvcMetrics {
+    /// Resolve the three handles for `courserank.<service>.*`.
+    pub fn new(service: &str) -> Self {
+        let reg = cr_obs::Registry::global();
+        SvcMetrics {
+            requests: reg.counter(&format!("courserank.{service}.requests")),
+            errors: reg.counter(&format!("courserank.{service}.errors")),
+            latency: reg.histogram(&format!("courserank.{service}.request_ns")),
+        }
+    }
+
+    /// Run a request, bumping the counters and recording latency.
+    pub fn observe<T>(&self, f: impl FnOnce() -> RelResult<T>) -> RelResult<T> {
+        if !cr_obs::enabled() {
+            return f();
+        }
+        let start = Instant::now();
+        let out = f();
+        self.requests.inc();
+        self.latency.record_duration(start.elapsed());
+        if out.is_err() {
+            self.errors.inc();
+        }
+        out
+    }
+}

@@ -185,9 +185,7 @@ mod tests {
     #[test]
     fn annotate_requires_ownership() {
         let f = Faculty::new(small_campus());
-        assert!(f
-            .annotate(1, 2, 101, "see my lecture notes", None)
-            .is_err());
+        assert!(f.annotate(1, 2, 101, "see my lecture notes", None).is_err());
         f.annotate(1, 1, 101, "see my lecture notes", Some("https://x"))
             .unwrap();
         let notes = f.notes(101).unwrap();

@@ -11,11 +11,19 @@
 //! and (b) karma from the incentive ledger (proven helpfulness).
 //! Experiment E9 measures routing accuracy on synthetic ground truth.
 
+use std::sync::OnceLock;
+
 use cr_relation::row::row;
 use cr_relation::{RelResult, Value};
 
 use crate::db::CourseRankDb;
 use crate::model::{CourseId, StudentId};
+use crate::obs::SvcMetrics;
+
+fn metrics() -> &'static SvcMetrics {
+    static M: OnceLock<SvcMetrics> = OnceLock::new();
+    M.get_or_init(|| SvcMetrics::new("forum"))
+}
 
 /// A question as posted (or seeded).
 #[derive(Debug, Clone, PartialEq)]
@@ -87,21 +95,23 @@ impl Forum {
 
     /// Post a question.
     pub fn ask(&self, q: &Question) -> RelResult<()> {
-        self.db
-            .database()
-            .insert(
-                "Questions",
-                row![
-                    q.id,
-                    Value::from(q.asker),
-                    Value::from(q.course),
-                    Value::from(q.dep.clone()),
-                    q.text.as_str(),
-                    Value::Null,
-                    q.seeded
-                ],
-            )
-            .map(|_| ())
+        metrics().observe(|| {
+            self.db
+                .database()
+                .insert(
+                    "Questions",
+                    row![
+                        q.id,
+                        Value::from(q.asker),
+                        Value::from(q.course),
+                        Value::from(q.dep.clone()),
+                        q.text.as_str(),
+                        Value::Null,
+                        q.seeded
+                    ],
+                )
+                .map(|_| ())
+        })
     }
 
     /// Seed the forum with department-manager FAQs (§2.2's plan). Returns
@@ -122,14 +132,22 @@ impl Forum {
     }
 
     /// Answer a question.
-    pub fn answer(&self, answer_id: i64, question: i64, student: StudentId, text: &str) -> RelResult<()> {
-        self.db
-            .database()
-            .insert(
-                "Answers",
-                row![answer_id, question, student, text, Value::Null, false],
-            )
-            .map(|_| ())
+    pub fn answer(
+        &self,
+        answer_id: i64,
+        question: i64,
+        student: StudentId,
+        text: &str,
+    ) -> RelResult<()> {
+        metrics().observe(|| {
+            self.db
+                .database()
+                .insert(
+                    "Answers",
+                    row![answer_id, question, student, text, Value::Null, false],
+                )
+                .map(|_| ())
+        })
     }
 
     /// Mark an answer as best (asker's choice — feeds incentives).
@@ -142,10 +160,15 @@ impl Forum {
 
     /// Route a question to likely answerers.
     pub fn route(&self, q: &Question) -> RelResult<Vec<RoutedTo>> {
+        metrics().observe(|| self.route_inner(q))
+    }
+
+    fn route_inner(&self, q: &Question) -> RelResult<Vec<RoutedTo>> {
         // Candidate pool: everyone with at least one taken enrollment.
-        let rs = self.db.database().query_sql(
-            "SELECT DISTINCT SuID FROM Enrollments WHERE Status = 'taken'",
-        )?;
+        let rs = self
+            .db
+            .database()
+            .query_sql("SELECT DISTINCT SuID FROM Enrollments WHERE Status = 'taken'")?;
         let mut out = Vec::new();
         for r in &rs.rows {
             let student = r[0].as_int()?;

@@ -112,13 +112,7 @@ impl Incentives {
         };
         self.db.database().insert(
             "Points",
-            row![
-                id,
-                user,
-                event.reason(),
-                event.points(),
-                Value::Date(day)
-            ],
+            row![id, user, event.reason(), event.points(), Value::Date(day)],
         )?;
         Ok(event.points())
     }

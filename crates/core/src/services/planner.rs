@@ -9,11 +9,18 @@
 //! graduation, there is little reason to lie about courses taken".
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::OnceLock;
 
 use cr_relation::RelResult;
 
 use crate::db::{CourseRankDb, EnrollStatus, Enrollment, Offering};
 use crate::model::{CourseId, Grade, Quarter, StudentId};
+use crate::obs::SvcMetrics;
+
+fn metrics() -> &'static SvcMetrics {
+    static M: OnceLock<SvcMetrics> = OnceLock::new();
+    M.get_or_init(|| SvcMetrics::new("planner"))
+}
 
 /// A detected schedule conflict between two offerings in the same quarter.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -107,6 +114,14 @@ impl Planner {
         student: StudentId,
         enrollments: &[Enrollment],
     ) -> RelResult<PlanReport> {
+        metrics().observe(|| self.report_for_inner(student, enrollments))
+    }
+
+    fn report_for_inner(
+        &self,
+        student: StudentId,
+        enrollments: &[Enrollment],
+    ) -> RelResult<PlanReport> {
         // Group by quarter.
         let mut by_quarter: BTreeMap<Quarter, Vec<&Enrollment>> = BTreeMap::new();
         for e in enrollments {
@@ -124,11 +139,7 @@ impl Planner {
             let mut graded: Vec<(Grade, i64)> = Vec::new();
             let mut courses = Vec::with_capacity(list.len());
             for e in list {
-                let course_units = self
-                    .db
-                    .course(e.course)?
-                    .map(|c| c.units)
-                    .unwrap_or(0);
+                let course_units = self.db.course(e.course)?.map(|c| c.units).unwrap_or(0);
                 units += course_units;
                 courses.push(e.course);
                 if let Some(g) = e.grade {
@@ -202,10 +213,7 @@ impl Planner {
     /// Prerequisite-order validation across the whole plan: every
     /// prerequisite of a scheduled course must be completed in an earlier
     /// quarter.
-    pub fn prereq_violations(
-        &self,
-        enrollments: &[Enrollment],
-    ) -> RelResult<Vec<PrereqViolation>> {
+    pub fn prereq_violations(&self, enrollments: &[Enrollment]) -> RelResult<Vec<PrereqViolation>> {
         let mut scheduled: HashMap<CourseId, Quarter> = HashMap::new();
         for e in enrollments {
             let q = scheduled.entry(e.course).or_insert(e.quarter);
@@ -253,7 +261,10 @@ impl Planner {
         for e in &existing {
             let u = self.db.course(e.course)?.map(|c| c.units).unwrap_or(0);
             *per_quarter_units.entry(e.quarter).or_insert(0) += u;
-            per_quarter_courses.entry(e.quarter).or_default().push(e.course);
+            per_quarter_courses
+                .entry(e.quarter)
+                .or_default()
+                .push(e.course);
         }
 
         // The candidate quarters, chronological.

@@ -12,6 +12,7 @@
 //! ablation.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
 
 use cr_flexrecs::compile::compile_and_run;
 use cr_flexrecs::templates::{self, SchemaMap};
@@ -20,6 +21,12 @@ use cr_relation::{RelError, RelResult, Value};
 
 use crate::db::{CourseRankDb, EnrollStatus};
 use crate::model::{CourseId, StudentId};
+use crate::obs::SvcMetrics;
+
+fn metrics() -> &'static SvcMetrics {
+    static M: OnceLock<SvcMetrics> = OnceLock::new();
+    M.get_or_init(|| SvcMetrics::new("recs"))
+}
 
 /// How the student wants similarity computed (§3.2's "different options":
 /// "based on what 'similar' students have done or the grades they have
@@ -188,11 +195,7 @@ impl Recommender {
             else {
                 continue; // CR/NC carries no points
             };
-            rows.push(cr_relation::row::row![
-                r[0].clone(),
-                r[1].clone(),
-                points
-            ]);
+            rows.push(cr_relation::row::row![r[0].clone(), r[1].clone(), points]);
         }
         let n = rows.len();
         // A student may appear twice for the same course across quarters;
@@ -214,6 +217,15 @@ impl Recommender {
         opts: &RecOptions,
         mode: ExecMode,
     ) -> RelResult<Vec<CourseRec>> {
+        metrics().observe(|| self.recommend_courses_inner(student, opts, mode))
+    }
+
+    fn recommend_courses_inner(
+        &self,
+        student: StudentId,
+        opts: &RecOptions,
+        mode: ExecMode,
+    ) -> RelResult<Vec<CourseRec>> {
         if opts.basis == SimilarityBasis::Grades {
             self.ensure_grade_points()?;
         }
@@ -226,11 +238,8 @@ impl Recommender {
             SimilarityBasis::CoursesTaken => {
                 // Two-phase: transcript-similar students, then their top
                 // courses by rating (via SQL over the neighbor set).
-                let wf = templates::similar_students_by_courses(
-                    &self.map,
-                    student,
-                    opts.k_students,
-                );
+                let wf =
+                    templates::similar_students_by_courses(&self.map, student, opts.k_students);
                 let neighbors = self.run(&wf, mode)?;
                 let ids: Vec<String> = neighbors
                     .ranking("SuID", "sim")?
@@ -274,11 +283,7 @@ impl Recommender {
             if taken.contains(&course) {
                 continue;
             }
-            let title = self
-                .db
-                .course(course)?
-                .map(|c| c.title)
-                .unwrap_or_default();
+            let title = self.db.course(course)?.map(|c| c.title).unwrap_or_default();
             out.push(CourseRec {
                 course,
                 title,
@@ -293,6 +298,10 @@ impl Recommender {
 
     /// Figure 5(a): courses related to a given course by title.
     pub fn related_courses(&self, course: CourseId, k: usize) -> RelResult<Vec<CourseRec>> {
+        metrics().observe(|| self.related_courses_inner(course, k))
+    }
+
+    fn related_courses_inner(&self, course: CourseId, k: usize) -> RelResult<Vec<CourseRec>> {
         let c = self
             .db
             .course(course)?
@@ -306,11 +315,7 @@ impl Recommender {
                 let course = id.as_int()?;
                 Ok(CourseRec {
                     course,
-                    title: self
-                        .db
-                        .course(course)?
-                        .map(|c| c.title)
-                        .unwrap_or_default(),
+                    title: self.db.course(course)?.map(|c| c.title).unwrap_or_default(),
                     score,
                 })
             })
@@ -324,12 +329,16 @@ impl Recommender {
         student: StudentId,
         opts: &RecOptions,
     ) -> RelResult<Vec<(String, f64)>> {
-        let wf = templates::major_recommendation(
-            &self.map,
-            student,
-            opts.k_students,
-            opts.min_common,
-        );
+        metrics().observe(|| self.recommend_major_inner(student, opts))
+    }
+
+    fn recommend_major_inner(
+        &self,
+        student: StudentId,
+        opts: &RecOptions,
+    ) -> RelResult<Vec<(String, f64)>> {
+        let wf =
+            templates::major_recommendation(&self.map, student, opts.k_students, opts.min_common);
         let result = execute(&wf, &self.db.catalog())?;
         let dep_idx = result
             .column_index("DepID")
@@ -362,6 +371,10 @@ impl Recommender {
 
     /// Recommend a quarter for a course (ratings by term, historical).
     pub fn recommend_quarter(&self, course: CourseId) -> RelResult<Vec<(i64, String, f64, i64)>> {
+        metrics().observe(|| self.recommend_quarter_inner(course))
+    }
+
+    fn recommend_quarter_inner(&self, course: CourseId) -> RelResult<Vec<(i64, String, f64, i64)>> {
         let sql = templates::quarter_recommendation_sql(&self.map, course);
         let rs = self.db.database().query_sql(&sql)?;
         Ok(rs

@@ -59,7 +59,11 @@ pub struct ReqStatus {
 
 impl Requirement {
     /// Evaluate against the set of taken courses (with units per course).
-    pub fn evaluate(&self, taken: &HashMap<CourseId, i64>, db: &CourseRankDb) -> RelResult<ReqStatus> {
+    pub fn evaluate(
+        &self,
+        taken: &HashMap<CourseId, i64>,
+        db: &CourseRankDb,
+    ) -> RelResult<ReqStatus> {
         Ok(match self {
             Requirement::Course(c) => {
                 let met = taken.contains_key(c);
@@ -107,10 +111,7 @@ impl Requirement {
                     .map(|p| p.evaluate(taken, db))
                     .collect::<RelResult<_>>()?;
                 let met = children.iter().any(|c| c.met);
-                let progress = children
-                    .iter()
-                    .map(|c| c.progress)
-                    .fold(0.0, f64::max);
+                let progress = children.iter().map(|c| c.progress).fold(0.0, f64::max);
                 ReqStatus {
                     met,
                     label: "any of".into(),
@@ -155,9 +156,8 @@ impl Requirement {
                     met,
                     label: format!("{units} units in {dep}"),
                     progress: (have as f64 / (*units).max(1) as f64).min(1.0),
-                    missing: (!met).then(|| {
-                        format!("{} more unit(s) in {dep} needed", units - have)
-                    }),
+                    missing: (!met)
+                        .then(|| format!("{} more unit(s) in {dep} needed", units - have)),
                     children: Vec::new(),
                 }
             }
@@ -293,10 +293,7 @@ impl RequirementTracker {
                 None => root = Some(r),
             }
         }
-        fn build(
-            r: &RowData,
-            children: &HashMap<i64, Vec<&RowData>>,
-        ) -> RelResult<Requirement> {
+        fn build(r: &RowData, children: &HashMap<i64, Vec<&RowData>>) -> RelResult<Requirement> {
             Ok(match r.kind.as_str() {
                 "course" => Requirement::Course(
                     r.course
@@ -449,7 +446,7 @@ mod tests {
         assert!(!s.children[1].met);
         assert!(s.children[2].met); // 202 counts
         assert!(s.children[3].met); // 5 CS units
-        // Adding 103 completes it.
+                                    // Adding 103 completes it.
         let s = r
             .evaluate(&taken(&[(101, 5), (202, 3), (103, 4)]), &db)
             .unwrap();
@@ -536,10 +533,7 @@ mod tests {
                 2,
                 "HIST",
                 "BA History",
-                &Requirement::AllOf(vec![
-                    Requirement::Course(201),
-                    Requirement::Course(202),
-                ]),
+                &Requirement::AllOf(vec![Requirement::Course(201), Requirement::Course(202)]),
             )
             .unwrap();
         assert_eq!(tracker.load_program(1).unwrap(), Requirement::Course(101));

@@ -8,11 +8,21 @@
 use cr_relation::{RelResult, Value};
 use cr_textsearch::cloud::CloudConfig;
 use cr_textsearch::engine::{SearchEngine, SearchResults};
-use cr_textsearch::entity::{build_index, build_index_parallel, reindex_entity, EntitySpec, FieldSource};
+use cr_textsearch::entity::{
+    build_index, build_index_parallel, reindex_entity, EntitySpec, FieldSource,
+};
 use cr_textsearch::DataCloud;
+
+use std::sync::OnceLock;
 
 use crate::db::CourseRankDb;
 use crate::model::CourseId;
+use crate::obs::SvcMetrics;
+
+fn metrics() -> &'static SvcMetrics {
+    static M: OnceLock<SvcMetrics> = OnceLock::new();
+    M.get_or_init(|| SvcMetrics::new("search"))
+}
 
 /// The CourseRank course-entity definition.
 pub fn course_entity_spec() -> EntitySpec {
@@ -115,10 +125,12 @@ impl CourseCloud {
     /// Search and return enriched hits plus the raw results (for cloud
     /// computation and counts).
     pub fn search(&self, query: &str, k: usize) -> RelResult<(Vec<CourseHit>, SearchResults)> {
-        let q = self.engine.parse_query(query);
-        let results = self.engine.search(&q, k);
-        let hits = self.enrich(&results)?;
-        Ok((hits, results))
+        metrics().observe(|| {
+            let q = self.engine.parse_query(query);
+            let results = self.engine.search(&q, k);
+            let hits = self.enrich(&results)?;
+            Ok((hits, results))
+        })
     }
 
     fn enrich(&self, results: &SearchResults) -> RelResult<Vec<CourseHit>> {
@@ -160,14 +172,16 @@ impl CourseCloud {
         refine_term: Option<&str>,
         k: usize,
     ) -> RelResult<(Vec<CourseHit>, SearchResults, DataCloud)> {
-        let mut q = self.engine.parse_query(query);
-        if let Some(t) = refine_term {
-            q = q.refine(t);
-        }
-        let results = self.engine.search(&q, k);
-        let cloud = self.engine.cloud(&results, &self.cloud_config);
-        let hits = self.enrich(&results)?;
-        Ok((hits, results, cloud))
+        metrics().observe(|| {
+            let mut q = self.engine.parse_query(query);
+            if let Some(t) = refine_term {
+                q = q.refine(t);
+            }
+            let results = self.engine.search(&q, k);
+            let cloud = self.engine.cloud(&results, &self.cloud_config);
+            let hits = self.enrich(&results)?;
+            Ok((hits, results, cloud))
+        })
     }
 
     /// Reindex one course after new user content (a fresh comment).
@@ -213,7 +227,7 @@ mod tests {
     }
 
     #[test]
-    fn serendipity_greek_science(){
+    fn serendipity_greek_science() {
         // The paper's example: searching "greek" finds History of Science
         // even though its title never says Greek.
         let c = cloud();
@@ -237,17 +251,16 @@ mod tests {
         let mut c = cloud();
         let (_, r) = c.search("quantum", 10).unwrap();
         assert_eq!(r.total, 0);
-        c.db
-            .insert_comment(&Comment {
-                id: 99,
-                student: 444,
-                course: 103,
-                quarter: Quarter::new(2009, Term::Spring),
-                text: "surprise quantum computing lectures at the end".into(),
-                rating: 5.0,
-                date: 0,
-            })
-            .unwrap();
+        c.db.insert_comment(&Comment {
+            id: 99,
+            student: 444,
+            course: 103,
+            quarter: Quarter::new(2009, Term::Spring),
+            text: "surprise quantum computing lectures at the end".into(),
+            rating: 5.0,
+            date: 0,
+        })
+        .unwrap();
         assert!(c.reindex_course(103).unwrap());
         let (hits, r) = c.search("quantum", 10).unwrap();
         assert_eq!(r.total, 1);
@@ -267,8 +280,13 @@ mod tests {
     #[test]
     fn textbook_titles_searchable() {
         let db = small_campus();
-        db.insert_textbook(1, 103, "Operating System Concepts (Dinosaur Book)", Some(444))
-            .unwrap();
+        db.insert_textbook(
+            1,
+            103,
+            "Operating System Concepts (Dinosaur Book)",
+            Some(444),
+        )
+        .unwrap();
         let c = CourseCloud::build(db).unwrap();
         let (hits, _) = c.search("dinosaur", 10).unwrap();
         assert_eq!(hits[0].course, 103);

@@ -207,12 +207,16 @@ mod tests {
         let wf = cf_template();
         reg.define("cf-default", "ratings-similar students", &wf)
             .unwrap();
-        reg.define("related", "title similarity", &templates::related_courses(
-            &SchemaMap::default(),
-            "Introduction to Programming",
-            None,
-            5,
-        ))
+        reg.define(
+            "related",
+            "title similarity",
+            &templates::related_courses(
+                &SchemaMap::default(),
+                "Introduction to Programming",
+                None,
+                5,
+            ),
+        )
         .unwrap();
         let list = reg.list().unwrap();
         assert_eq!(list.len(), 2);

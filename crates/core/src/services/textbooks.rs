@@ -103,10 +103,7 @@ impl Textbooks {
         ))?;
         self.db
             .database()
-            .insert(
-                "CommentVotes",
-                cr_relation::row::row![key, reporter, true],
-            )
+            .insert("CommentVotes", cr_relation::row::row![key, reporter, true])
             .map(|_| ())
     }
 
@@ -187,7 +184,8 @@ mod tests {
     #[test]
     fn confirmations_drive_ranking() {
         let t = service();
-        t.report(101, "The Art of Computer Programming", 444, 1).unwrap();
+        t.report(101, "The Art of Computer Programming", 444, 1)
+            .unwrap();
         t.report(101, "Learning Java", 2, 1).unwrap();
         for voter in [3, 4, 5] {
             t.report(101, "learning java", voter, 2).unwrap();

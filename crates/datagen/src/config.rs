@@ -70,8 +70,7 @@ impl ScaleConfig {
         let p = Self::paper_scale();
         let f = |n: usize| ((n as f64 * fraction).round() as usize).max(1);
         ScaleConfig {
-            departments: ((p.departments as f64 * fraction.sqrt()).round() as usize)
-                .clamp(4, 60),
+            departments: ((p.departments as f64 * fraction.sqrt()).round() as usize).clamp(4, 60),
             courses: f(p.courses),
             students: f(p.students),
             active_students: f(p.active_students),

@@ -106,7 +106,9 @@ pub fn generate(config: &ScaleConfig) -> RelResult<(CourseRankDb, GenStats)> {
         let id = i as CourseId + 1;
         let title = words::course_title(&mut rng, theme, i);
         let description = words::course_description(&mut rng, theme, &title);
-        let units = *[3i64, 3, 4, 4, 5, 5, 2, 1].choose(&mut rng).expect("nonempty");
+        let units = *[3i64, 3, 4, 4, 5, 5, 2, 1]
+            .choose(&mut rng)
+            .expect("nonempty");
         db.insert_course(&Course {
             id,
             dep: dept_codes[dept].clone(),
@@ -146,7 +148,11 @@ pub fn generate(config: &ScaleConfig) -> RelResult<(CourseRankDb, GenStats)> {
                     course: id,
                     quarter: Quarter::new(year, term),
                     instructor: (rng.gen_range(0..n_instructors) as i64) + 1,
-                    days: if rng.gen_bool(0.5) { Days::MWF } else { Days::TTH },
+                    days: if rng.gen_bool(0.5) {
+                        Days::MWF
+                    } else {
+                        Days::TTH
+                    },
                     start_min: start,
                     end_min: start + if rng.gen_bool(0.7) { 50 } else { 110 },
                 })?;
@@ -318,9 +324,7 @@ pub fn generate(config: &ScaleConfig) -> RelResult<(CourseRankDb, GenStats)> {
             // (the paper's first-year growth story). max(u1, u2) gives a
             // triangular distribution rising toward the present.
             let span = (comment_date_range.1 - comment_date_range.0) as f64;
-            let u = rng
-                .gen_range(0.0f64..1.0)
-                .max(rng.gen_range(0.0f64..1.0));
+            let u = rng.gen_range(0.0f64..1.0).max(rng.gen_range(0.0f64..1.0));
             let date = comment_date_range.0 + (u * span) as i32;
             db.insert_comment(&Comment {
                 id: i as i64 + 1,
@@ -375,8 +379,7 @@ pub fn generate(config: &ScaleConfig) -> RelResult<(CourseRankDb, GenStats)> {
             continue;
         }
         let intro = dept_courses[0];
-        let electives: Vec<CourseId> =
-            dept_courses.iter().copied().skip(1).take(6).collect();
+        let electives: Vec<CourseId> = dept_courses.iter().copied().skip(1).take(6).collect();
         let req = Requirement::AllOf(vec![
             Requirement::Course(intro),
             Requirement::CountFrom {
@@ -388,16 +391,19 @@ pub fn generate(config: &ScaleConfig) -> RelResult<(CourseRankDb, GenStats)> {
                 dep: code.clone(),
             },
         ]);
-        tracker.define_program(d as i64 + 1, code, &format!("BS {}", dept_theme[d].name), &req)?;
+        tracker.define_program(
+            d as i64 + 1,
+            code,
+            &format!("BS {}", dept_theme[d].name),
+            &req,
+        )?;
         stats.programs += 1;
     }
     let forum = courserank::services::forum::Forum::new(db.clone());
     for (d, code) in dept_codes.iter().enumerate().take(config.departments) {
         let faqs = [
             format!("who do I see to have my {code} program approved?"),
-            format!(
-                "what is a good introductory class in {code} for non-majors?"
-            ),
+            format!("what is a good introductory class in {code} for non-majors?"),
         ];
         let refs: Vec<&str> = faqs.iter().map(String::as_str).collect();
         forum.seed_faqs(code, &refs)?;
@@ -513,11 +519,7 @@ mod tests {
         assert!(counts.len() > 10);
         // Top course must dominate the median (Zipf shape).
         let median = counts[counts.len() / 2];
-        assert!(
-            counts[0] >= median * 3,
-            "top={} median={median}",
-            counts[0]
-        );
+        assert!(counts[0] >= median * 3, "top={} median={median}", counts[0]);
     }
 
     #[test]

@@ -21,78 +21,709 @@ pub struct DeptTheme {
 
 /// The 60 department templates (cycled when config asks for fewer/more).
 pub const DEPT_THEMES: &[DeptTheme] = &[
-    DeptTheme { code: "CS", name: "Computer Science", school: "Engineering", words: &["programming", "algorithms", "systems", "data", "software", "compilers", "networks", "java", "databases", "machine", "learning", "graphics", "security", "theory", "distributed"] },
-    DeptTheme { code: "HIST", name: "History", school: "Humanities and Sciences", words: &["history", "medieval", "empire", "revolution", "war", "american", "european", "ancient", "modern", "society", "culture", "politics", "greek", "science"] },
-    DeptTheme { code: "AMSTUD", name: "American Studies", school: "Humanities and Sciences", words: &["american", "culture", "politics", "identity", "race", "immigration", "media", "literature", "history", "society", "african", "latin"] },
-    DeptTheme { code: "MATH", name: "Mathematics", school: "Humanities and Sciences", words: &["calculus", "algebra", "analysis", "topology", "geometry", "probability", "proofs", "equations", "linear", "discrete", "number", "theory"] },
-    DeptTheme { code: "POLISCI", name: "Political Science", school: "Humanities and Sciences", words: &["politics", "government", "democracy", "elections", "policy", "international", "american", "institutions", "comparative", "theory"] },
-    DeptTheme { code: "ENGLISH", name: "English", school: "Humanities and Sciences", words: &["literature", "poetry", "novels", "writing", "fiction", "criticism", "shakespeare", "modern", "narrative"] },
-    DeptTheme { code: "PHYS", name: "Physics", school: "Humanities and Sciences", words: &["mechanics", "quantum", "relativity", "particles", "thermodynamics", "electromagnetism", "optics", "cosmology", "waves", "matter", "science"] },
-    DeptTheme { code: "ECON", name: "Economics", school: "Humanities and Sciences", words: &["markets", "microeconomics", "macroeconomics", "trade", "finance", "game", "theory", "econometrics", "development", "policy", "labor"] },
-    DeptTheme { code: "EE", name: "Electrical Engineering", school: "Engineering", words: &["circuits", "signals", "semiconductor", "embedded", "communication", "electromagnetics", "control", "power", "devices", "analog", "digital", "design"] },
-    DeptTheme { code: "CLASSICS", name: "Classics", school: "Humanities and Sciences", words: &["greek", "latin", "rome", "athens", "mythology", "ancient", "epic", "tragedy", "philosophy", "empire"] },
-    DeptTheme { code: "PSYCH", name: "Psychology", school: "Humanities and Sciences", words: &["cognition", "behavior", "perception", "memory", "development", "social", "brain", "emotion", "personality", "science"] },
-    DeptTheme { code: "SOC", name: "Sociology", school: "Humanities and Sciences", words: &["society", "inequality", "networks", "organizations", "culture", "race", "gender", "social", "movements"] },
-    DeptTheme { code: "BIO", name: "Biology", school: "Humanities and Sciences", words: &["cells", "genetics", "evolution", "ecology", "molecular", "organisms", "physiology", "neuroscience", "biodiversity", "science"] },
-    DeptTheme { code: "MUSIC", name: "Music", school: "Humanities and Sciences", words: &["harmony", "composition", "orchestra", "jazz", "theory", "performance", "opera", "rhythm", "history"] },
-    DeptTheme { code: "ME", name: "Mechanical Engineering", school: "Engineering", words: &["mechanics", "thermodynamics", "design", "robotics", "materials", "dynamics", "manufacturing", "fluids", "energy", "vibration"] },
-    DeptTheme { code: "LAW", name: "Law", school: "Law", words: &["contracts", "torts", "constitutional", "criminal", "property", "litigation", "justice", "courts", "policy"] },
-    DeptTheme { code: "CEE", name: "Civil Engineering", school: "Engineering", words: &["structures", "construction", "environmental", "water", "transportation", "geotechnical", "concrete", "sustainable", "design", "infrastructure"] },
-    DeptTheme { code: "MSE", name: "Materials Science", school: "Engineering", words: &["materials", "polymers", "crystals", "nanostructures", "ceramics", "metals", "characterization", "electronic", "properties"] },
-    DeptTheme { code: "BIOE", name: "Bioengineering", school: "Engineering", words: &["biology", "devices", "imaging", "tissue", "synthetic", "biomechanics", "cells", "molecular", "engineering", "medicine"] },
-    DeptTheme { code: "STATS", name: "Statistics", school: "Humanities and Sciences", words: &["probability", "inference", "regression", "bayesian", "sampling", "data", "models", "stochastic", "estimation", "experiments"] },
-    DeptTheme { code: "CHEM", name: "Chemistry", school: "Humanities and Sciences", words: &["organic", "molecules", "reactions", "synthesis", "spectroscopy", "inorganic", "kinetics", "laboratory", "chemical", "science"] },
-    DeptTheme { code: "PHIL", name: "Philosophy", school: "Humanities and Sciences", words: &["ethics", "logic", "metaphysics", "epistemology", "mind", "language", "ancient", "moral", "political", "philosophy", "greek"] },
-    DeptTheme { code: "ANTHRO", name: "Anthropology", school: "Humanities and Sciences", words: &["culture", "ethnography", "archaeology", "ritual", "kinship", "language", "indigenous", "society", "human", "evolution"] },
-    DeptTheme { code: "LING", name: "Linguistics", school: "Humanities and Sciences", words: &["language", "syntax", "phonology", "semantics", "morphology", "grammar", "speech", "meaning", "acquisition"] },
-    DeptTheme { code: "ARTHIST", name: "Art History", school: "Humanities and Sciences", words: &["painting", "sculpture", "renaissance", "modern", "museums", "baroque", "photography", "design", "culture", "history"] },
-    DeptTheme { code: "DRAMA", name: "Drama", school: "Humanities and Sciences", words: &["theater", "performance", "acting", "stage", "playwriting", "shakespeare", "directing", "design"] },
-    DeptTheme { code: "FRENCH", name: "French", school: "Humanities and Sciences", words: &["french", "grammar", "conversation", "literature", "paris", "francophone", "culture", "language"] },
-    DeptTheme { code: "SPANISH", name: "Spanish", school: "Humanities and Sciences", words: &["spanish", "grammar", "conversation", "literature", "latin", "american", "culture", "language"] },
-    DeptTheme { code: "GERMAN", name: "German", school: "Humanities and Sciences", words: &["german", "grammar", "literature", "berlin", "culture", "language", "philosophy"] },
-    DeptTheme { code: "EASTASIA", name: "East Asian Studies", school: "Humanities and Sciences", words: &["china", "japan", "korea", "culture", "history", "language", "politics", "literature", "asian"] },
-    DeptTheme { code: "RELIGST", name: "Religious Studies", school: "Humanities and Sciences", words: &["religion", "ritual", "scripture", "buddhism", "christianity", "islam", "ethics", "ancient", "culture"] },
-    DeptTheme { code: "EARTHSCI", name: "Earth Sciences", school: "Earth Sciences", words: &["geology", "climate", "oceans", "earthquakes", "minerals", "atmosphere", "environment", "science", "energy"] },
-    DeptTheme { code: "ENERGY", name: "Energy Resources", school: "Earth Sciences", words: &["energy", "petroleum", "renewable", "reservoir", "sustainability", "climate", "resources", "policy"] },
-    DeptTheme { code: "MED", name: "Medicine", school: "Medicine", words: &["anatomy", "physiology", "disease", "clinical", "pharmacology", "immunology", "patients", "health", "medicine", "science"] },
-    DeptTheme { code: "SURG", name: "Surgery", school: "Medicine", words: &["surgical", "anatomy", "clinical", "operative", "trauma", "patients", "procedures", "medicine"] },
-    DeptTheme { code: "PEDS", name: "Pediatrics", school: "Medicine", words: &["children", "development", "clinical", "health", "disease", "patients", "medicine", "care"] },
-    DeptTheme { code: "GSB", name: "Business", school: "Business", words: &["strategy", "marketing", "finance", "accounting", "entrepreneurship", "leadership", "negotiation", "management", "markets", "organizations"] },
-    DeptTheme { code: "EDUC", name: "Education", school: "Education", words: &["teaching", "learning", "schools", "curriculum", "policy", "children", "assessment", "development"] },
+    DeptTheme {
+        code: "CS",
+        name: "Computer Science",
+        school: "Engineering",
+        words: &[
+            "programming",
+            "algorithms",
+            "systems",
+            "data",
+            "software",
+            "compilers",
+            "networks",
+            "java",
+            "databases",
+            "machine",
+            "learning",
+            "graphics",
+            "security",
+            "theory",
+            "distributed",
+        ],
+    },
+    DeptTheme {
+        code: "HIST",
+        name: "History",
+        school: "Humanities and Sciences",
+        words: &[
+            "history",
+            "medieval",
+            "empire",
+            "revolution",
+            "war",
+            "american",
+            "european",
+            "ancient",
+            "modern",
+            "society",
+            "culture",
+            "politics",
+            "greek",
+            "science",
+        ],
+    },
+    DeptTheme {
+        code: "AMSTUD",
+        name: "American Studies",
+        school: "Humanities and Sciences",
+        words: &[
+            "american",
+            "culture",
+            "politics",
+            "identity",
+            "race",
+            "immigration",
+            "media",
+            "literature",
+            "history",
+            "society",
+            "african",
+            "latin",
+        ],
+    },
+    DeptTheme {
+        code: "MATH",
+        name: "Mathematics",
+        school: "Humanities and Sciences",
+        words: &[
+            "calculus",
+            "algebra",
+            "analysis",
+            "topology",
+            "geometry",
+            "probability",
+            "proofs",
+            "equations",
+            "linear",
+            "discrete",
+            "number",
+            "theory",
+        ],
+    },
+    DeptTheme {
+        code: "POLISCI",
+        name: "Political Science",
+        school: "Humanities and Sciences",
+        words: &[
+            "politics",
+            "government",
+            "democracy",
+            "elections",
+            "policy",
+            "international",
+            "american",
+            "institutions",
+            "comparative",
+            "theory",
+        ],
+    },
+    DeptTheme {
+        code: "ENGLISH",
+        name: "English",
+        school: "Humanities and Sciences",
+        words: &[
+            "literature",
+            "poetry",
+            "novels",
+            "writing",
+            "fiction",
+            "criticism",
+            "shakespeare",
+            "modern",
+            "narrative",
+        ],
+    },
+    DeptTheme {
+        code: "PHYS",
+        name: "Physics",
+        school: "Humanities and Sciences",
+        words: &[
+            "mechanics",
+            "quantum",
+            "relativity",
+            "particles",
+            "thermodynamics",
+            "electromagnetism",
+            "optics",
+            "cosmology",
+            "waves",
+            "matter",
+            "science",
+        ],
+    },
+    DeptTheme {
+        code: "ECON",
+        name: "Economics",
+        school: "Humanities and Sciences",
+        words: &[
+            "markets",
+            "microeconomics",
+            "macroeconomics",
+            "trade",
+            "finance",
+            "game",
+            "theory",
+            "econometrics",
+            "development",
+            "policy",
+            "labor",
+        ],
+    },
+    DeptTheme {
+        code: "EE",
+        name: "Electrical Engineering",
+        school: "Engineering",
+        words: &[
+            "circuits",
+            "signals",
+            "semiconductor",
+            "embedded",
+            "communication",
+            "electromagnetics",
+            "control",
+            "power",
+            "devices",
+            "analog",
+            "digital",
+            "design",
+        ],
+    },
+    DeptTheme {
+        code: "CLASSICS",
+        name: "Classics",
+        school: "Humanities and Sciences",
+        words: &[
+            "greek",
+            "latin",
+            "rome",
+            "athens",
+            "mythology",
+            "ancient",
+            "epic",
+            "tragedy",
+            "philosophy",
+            "empire",
+        ],
+    },
+    DeptTheme {
+        code: "PSYCH",
+        name: "Psychology",
+        school: "Humanities and Sciences",
+        words: &[
+            "cognition",
+            "behavior",
+            "perception",
+            "memory",
+            "development",
+            "social",
+            "brain",
+            "emotion",
+            "personality",
+            "science",
+        ],
+    },
+    DeptTheme {
+        code: "SOC",
+        name: "Sociology",
+        school: "Humanities and Sciences",
+        words: &[
+            "society",
+            "inequality",
+            "networks",
+            "organizations",
+            "culture",
+            "race",
+            "gender",
+            "social",
+            "movements",
+        ],
+    },
+    DeptTheme {
+        code: "BIO",
+        name: "Biology",
+        school: "Humanities and Sciences",
+        words: &[
+            "cells",
+            "genetics",
+            "evolution",
+            "ecology",
+            "molecular",
+            "organisms",
+            "physiology",
+            "neuroscience",
+            "biodiversity",
+            "science",
+        ],
+    },
+    DeptTheme {
+        code: "MUSIC",
+        name: "Music",
+        school: "Humanities and Sciences",
+        words: &[
+            "harmony",
+            "composition",
+            "orchestra",
+            "jazz",
+            "theory",
+            "performance",
+            "opera",
+            "rhythm",
+            "history",
+        ],
+    },
+    DeptTheme {
+        code: "ME",
+        name: "Mechanical Engineering",
+        school: "Engineering",
+        words: &[
+            "mechanics",
+            "thermodynamics",
+            "design",
+            "robotics",
+            "materials",
+            "dynamics",
+            "manufacturing",
+            "fluids",
+            "energy",
+            "vibration",
+        ],
+    },
+    DeptTheme {
+        code: "LAW",
+        name: "Law",
+        school: "Law",
+        words: &[
+            "contracts",
+            "torts",
+            "constitutional",
+            "criminal",
+            "property",
+            "litigation",
+            "justice",
+            "courts",
+            "policy",
+        ],
+    },
+    DeptTheme {
+        code: "CEE",
+        name: "Civil Engineering",
+        school: "Engineering",
+        words: &[
+            "structures",
+            "construction",
+            "environmental",
+            "water",
+            "transportation",
+            "geotechnical",
+            "concrete",
+            "sustainable",
+            "design",
+            "infrastructure",
+        ],
+    },
+    DeptTheme {
+        code: "MSE",
+        name: "Materials Science",
+        school: "Engineering",
+        words: &[
+            "materials",
+            "polymers",
+            "crystals",
+            "nanostructures",
+            "ceramics",
+            "metals",
+            "characterization",
+            "electronic",
+            "properties",
+        ],
+    },
+    DeptTheme {
+        code: "BIOE",
+        name: "Bioengineering",
+        school: "Engineering",
+        words: &[
+            "biology",
+            "devices",
+            "imaging",
+            "tissue",
+            "synthetic",
+            "biomechanics",
+            "cells",
+            "molecular",
+            "engineering",
+            "medicine",
+        ],
+    },
+    DeptTheme {
+        code: "STATS",
+        name: "Statistics",
+        school: "Humanities and Sciences",
+        words: &[
+            "probability",
+            "inference",
+            "regression",
+            "bayesian",
+            "sampling",
+            "data",
+            "models",
+            "stochastic",
+            "estimation",
+            "experiments",
+        ],
+    },
+    DeptTheme {
+        code: "CHEM",
+        name: "Chemistry",
+        school: "Humanities and Sciences",
+        words: &[
+            "organic",
+            "molecules",
+            "reactions",
+            "synthesis",
+            "spectroscopy",
+            "inorganic",
+            "kinetics",
+            "laboratory",
+            "chemical",
+            "science",
+        ],
+    },
+    DeptTheme {
+        code: "PHIL",
+        name: "Philosophy",
+        school: "Humanities and Sciences",
+        words: &[
+            "ethics",
+            "logic",
+            "metaphysics",
+            "epistemology",
+            "mind",
+            "language",
+            "ancient",
+            "moral",
+            "political",
+            "philosophy",
+            "greek",
+        ],
+    },
+    DeptTheme {
+        code: "ANTHRO",
+        name: "Anthropology",
+        school: "Humanities and Sciences",
+        words: &[
+            "culture",
+            "ethnography",
+            "archaeology",
+            "ritual",
+            "kinship",
+            "language",
+            "indigenous",
+            "society",
+            "human",
+            "evolution",
+        ],
+    },
+    DeptTheme {
+        code: "LING",
+        name: "Linguistics",
+        school: "Humanities and Sciences",
+        words: &[
+            "language",
+            "syntax",
+            "phonology",
+            "semantics",
+            "morphology",
+            "grammar",
+            "speech",
+            "meaning",
+            "acquisition",
+        ],
+    },
+    DeptTheme {
+        code: "ARTHIST",
+        name: "Art History",
+        school: "Humanities and Sciences",
+        words: &[
+            "painting",
+            "sculpture",
+            "renaissance",
+            "modern",
+            "museums",
+            "baroque",
+            "photography",
+            "design",
+            "culture",
+            "history",
+        ],
+    },
+    DeptTheme {
+        code: "DRAMA",
+        name: "Drama",
+        school: "Humanities and Sciences",
+        words: &[
+            "theater",
+            "performance",
+            "acting",
+            "stage",
+            "playwriting",
+            "shakespeare",
+            "directing",
+            "design",
+        ],
+    },
+    DeptTheme {
+        code: "FRENCH",
+        name: "French",
+        school: "Humanities and Sciences",
+        words: &[
+            "french",
+            "grammar",
+            "conversation",
+            "literature",
+            "paris",
+            "francophone",
+            "culture",
+            "language",
+        ],
+    },
+    DeptTheme {
+        code: "SPANISH",
+        name: "Spanish",
+        school: "Humanities and Sciences",
+        words: &[
+            "spanish",
+            "grammar",
+            "conversation",
+            "literature",
+            "latin",
+            "american",
+            "culture",
+            "language",
+        ],
+    },
+    DeptTheme {
+        code: "GERMAN",
+        name: "German",
+        school: "Humanities and Sciences",
+        words: &[
+            "german",
+            "grammar",
+            "literature",
+            "berlin",
+            "culture",
+            "language",
+            "philosophy",
+        ],
+    },
+    DeptTheme {
+        code: "EASTASIA",
+        name: "East Asian Studies",
+        school: "Humanities and Sciences",
+        words: &[
+            "china",
+            "japan",
+            "korea",
+            "culture",
+            "history",
+            "language",
+            "politics",
+            "literature",
+            "asian",
+        ],
+    },
+    DeptTheme {
+        code: "RELIGST",
+        name: "Religious Studies",
+        school: "Humanities and Sciences",
+        words: &[
+            "religion",
+            "ritual",
+            "scripture",
+            "buddhism",
+            "christianity",
+            "islam",
+            "ethics",
+            "ancient",
+            "culture",
+        ],
+    },
+    DeptTheme {
+        code: "EARTHSCI",
+        name: "Earth Sciences",
+        school: "Earth Sciences",
+        words: &[
+            "geology",
+            "climate",
+            "oceans",
+            "earthquakes",
+            "minerals",
+            "atmosphere",
+            "environment",
+            "science",
+            "energy",
+        ],
+    },
+    DeptTheme {
+        code: "ENERGY",
+        name: "Energy Resources",
+        school: "Earth Sciences",
+        words: &[
+            "energy",
+            "petroleum",
+            "renewable",
+            "reservoir",
+            "sustainability",
+            "climate",
+            "resources",
+            "policy",
+        ],
+    },
+    DeptTheme {
+        code: "MED",
+        name: "Medicine",
+        school: "Medicine",
+        words: &[
+            "anatomy",
+            "physiology",
+            "disease",
+            "clinical",
+            "pharmacology",
+            "immunology",
+            "patients",
+            "health",
+            "medicine",
+            "science",
+        ],
+    },
+    DeptTheme {
+        code: "SURG",
+        name: "Surgery",
+        school: "Medicine",
+        words: &[
+            "surgical",
+            "anatomy",
+            "clinical",
+            "operative",
+            "trauma",
+            "patients",
+            "procedures",
+            "medicine",
+        ],
+    },
+    DeptTheme {
+        code: "PEDS",
+        name: "Pediatrics",
+        school: "Medicine",
+        words: &[
+            "children",
+            "development",
+            "clinical",
+            "health",
+            "disease",
+            "patients",
+            "medicine",
+            "care",
+        ],
+    },
+    DeptTheme {
+        code: "GSB",
+        name: "Business",
+        school: "Business",
+        words: &[
+            "strategy",
+            "marketing",
+            "finance",
+            "accounting",
+            "entrepreneurship",
+            "leadership",
+            "negotiation",
+            "management",
+            "markets",
+            "organizations",
+        ],
+    },
+    DeptTheme {
+        code: "EDUC",
+        name: "Education",
+        school: "Education",
+        words: &[
+            "teaching",
+            "learning",
+            "schools",
+            "curriculum",
+            "policy",
+            "children",
+            "assessment",
+            "development",
+        ],
+    },
 ];
 
 /// Shared academic filler words.
 pub const ACADEMIC: &[&str] = &[
-    "introduction", "advanced", "seminar", "topics", "foundations", "principles",
-    "methods", "research", "practicum", "workshop", "survey", "readings",
-    "analysis", "applications", "perspectives", "contemporary", "special",
+    "introduction",
+    "advanced",
+    "seminar",
+    "topics",
+    "foundations",
+    "principles",
+    "methods",
+    "research",
+    "practicum",
+    "workshop",
+    "survey",
+    "readings",
+    "analysis",
+    "applications",
+    "perspectives",
+    "contemporary",
+    "special",
 ];
 
 /// Positive / negative sentiment words for comments.
 pub const POSITIVE: &[&str] = &[
-    "amazing", "engaging", "clear", "rewarding", "inspiring", "fun", "organized",
-    "brilliant", "practical", "fascinating", "excellent", "helpful",
+    "amazing",
+    "engaging",
+    "clear",
+    "rewarding",
+    "inspiring",
+    "fun",
+    "organized",
+    "brilliant",
+    "practical",
+    "fascinating",
+    "excellent",
+    "helpful",
 ];
 pub const NEGATIVE: &[&str] = &[
-    "boring", "confusing", "dry", "disorganized", "brutal", "tedious",
-    "overwhelming", "unfair", "dull", "rough",
+    "boring",
+    "confusing",
+    "dry",
+    "disorganized",
+    "brutal",
+    "tedious",
+    "overwhelming",
+    "unfair",
+    "dull",
+    "rough",
 ];
 pub const COMMENT_FILLER: &[&str] = &[
-    "lectures", "problem", "sets", "midterm", "final", "exam", "reading",
-    "workload", "grading", "sections", "projects", "homework", "office",
-    "hours", "curve", "material",
+    "lectures", "problem", "sets", "midterm", "final", "exam", "reading", "workload", "grading",
+    "sections", "projects", "homework", "office", "hours", "curve", "material",
 ];
 
 /// First / last names for students and instructors.
 pub const FIRST_NAMES: &[&str] = &[
-    "Alex", "Sam", "Jordan", "Taylor", "Morgan", "Casey", "Riley", "Jamie",
-    "Avery", "Quinn", "Dana", "Robin", "Maria", "Wei", "Priya", "Omar",
-    "Elena", "Kenji", "Fatima", "Diego", "Sally", "Bob",
+    "Alex", "Sam", "Jordan", "Taylor", "Morgan", "Casey", "Riley", "Jamie", "Avery", "Quinn",
+    "Dana", "Robin", "Maria", "Wei", "Priya", "Omar", "Elena", "Kenji", "Fatima", "Diego", "Sally",
+    "Bob",
 ];
 pub const LAST_NAMES: &[&str] = &[
-    "Smith", "Garcia", "Chen", "Patel", "Kim", "Nguyen", "Johnson", "Brown",
-    "Lee", "Martinez", "Davis", "Lopez", "Wilson", "Anderson", "Singh",
-    "Tanaka", "Mueller", "Rossi", "Silva", "Kowalski",
+    "Smith", "Garcia", "Chen", "Patel", "Kim", "Nguyen", "Johnson", "Brown", "Lee", "Martinez",
+    "Davis", "Lopez", "Wilson", "Anderson", "Singh", "Tanaka", "Mueller", "Rossi", "Silva",
+    "Kowalski",
 ];
 
 /// A course title: 2–4 words mixing academic filler and theme words, Title
@@ -131,7 +762,7 @@ pub fn course_title(rng: &mut StdRng, theme: &DeptTheme, index: usize) -> String
 /// bigram cloud terms ("african american") their narrowing power: courses
 /// about a subtopic keep repeating its phrase.
 pub fn course_description(rng: &mut StdRng, theme: &DeptTheme, title: &str) -> String {
-    let n = rng.gen_range(12..30);
+    let n: usize = rng.gen_range(12..30);
     let mut out: Vec<String> = Vec::with_capacity(n + 6);
     for _ in 0..n {
         let w = if rng.gen_bool(0.55) {
@@ -170,7 +801,7 @@ pub fn title_phrase(title: &str) -> Option<String> {
 /// A student comment whose sentiment tracks `rating` (1–5) and that
 /// sometimes echoes the course's title phrase (students name the topic).
 pub fn comment_text(rng: &mut StdRng, theme: &DeptTheme, rating: f64, title: &str) -> String {
-    let n = rng.gen_range(6..18);
+    let n: usize = rng.gen_range(6..18);
     let positive_rate = ((rating - 1.0) / 4.0).clamp(0.05, 0.95);
     let mut out: Vec<String> = Vec::with_capacity(n + 2);
     for _ in 0..n {
@@ -252,10 +883,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for i in 0..20 {
             let title = course_title(&mut rng, t, i);
-            assert!(
-                title.chars().next().unwrap().is_uppercase(),
-                "{title}"
-            );
+            assert!(title.chars().next().unwrap().is_uppercase(), "{title}");
         }
     }
 

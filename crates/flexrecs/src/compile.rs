@@ -25,6 +25,9 @@
 //! The A2 ablation benchmarks compiled vs. direct execution, and
 //! `tests/flexrecs_equivalence.rs` checks they return the same rankings.
 
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
 use cr_relation::{Catalog, RelError, RelResult, ResultSet, Value};
 
 use crate::datum::{Datum, WfSchema, WfType};
@@ -32,6 +35,38 @@ use crate::exec::{self, RecResult};
 use crate::workflow::{
     infer_schema, Node, RecAgg, RecMethod, RecommendSpec, WfPredicate, Workflow,
 };
+
+struct FrMetrics {
+    compiled_runs: Arc<cr_obs::Counter>,
+    fallbacks: Arc<cr_obs::Counter>,
+    run_ns: Arc<cr_obs::Histogram>,
+    step_ns: Arc<cr_obs::Histogram>,
+}
+
+fn metrics() -> &'static FrMetrics {
+    static M: OnceLock<FrMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = cr_obs::Registry::global();
+        FrMetrics {
+            compiled_runs: r.counter("flexrecs.compiled_runs"),
+            fallbacks: r.counter("flexrecs.fallbacks"),
+            run_ns: r.histogram("flexrecs.run_ns"),
+            step_ns: r.histogram("flexrecs.step_ns"),
+        }
+    })
+}
+
+/// One timed step of a compiled run: a SQL call or an external function,
+/// in execution order. The per-step wall-clock times are what let a
+/// recommendation's latency be broken down step by step.
+#[derive(Debug, Clone)]
+pub struct StepTiming {
+    /// Which operator produced the step, e.g. `"Select"`, `"RatingLookup"`.
+    pub label: String,
+    /// Rows the step produced (0 for external steps with no row output).
+    pub rows: usize,
+    pub elapsed: Duration,
+}
 
 /// Result of a compiled run.
 #[derive(Debug, Clone)]
@@ -41,9 +76,33 @@ pub struct CompiledRun {
     pub sql_log: Vec<String>,
     /// Human description of external (non-SQL) steps.
     pub external_steps: Vec<String>,
+    /// Wall-clock timing per step (SQL calls and external functions).
+    pub step_timings: Vec<StepTiming>,
     /// Set when the workflow could not be compiled at all and ran on the
     /// direct executor instead.
     pub fallback_reason: Option<String>,
+}
+
+impl CompiledRun {
+    /// Render the step-by-step timing breakdown as an aligned table.
+    pub fn timing_breakdown(&self) -> String {
+        use cr_relation::profile::fmt_duration;
+        use std::fmt::Write as _;
+        let mut out = String::from("step               rows       time\n");
+        let mut total = Duration::ZERO;
+        for s in &self.step_timings {
+            total += s.elapsed;
+            let _ = writeln!(
+                out,
+                "{:<18} {:<10} {}",
+                s.label,
+                s.rows,
+                fmt_duration(s.elapsed)
+            );
+        }
+        let _ = writeln!(out, "{:<18} {:<10} {}", "total", "", fmt_duration(total));
+        out
+    }
 }
 
 /// A compiled relation: a (temp or base) table plus bookkeeping.
@@ -75,6 +134,7 @@ struct Ctx<'a> {
     catalog: &'a Catalog,
     sql_log: Vec<String>,
     external: Vec<String>,
+    steps: Vec<StepTiming>,
     temps: Vec<String>,
 }
 
@@ -82,9 +142,23 @@ struct Ctx<'a> {
 struct Unsupported(String);
 
 impl<'a> Ctx<'a> {
-    fn run_sql(&mut self, sql: &str) -> RelResult<ResultSet> {
+    /// Run one compiled SQL step, recording it in the log and its timing
+    /// (and the `flexrecs.step_ns` histogram when metrics are enabled)
+    /// under `label`.
+    fn run_sql(&mut self, label: &str, sql: &str) -> RelResult<ResultSet> {
         self.sql_log.push(sql.to_owned());
-        cr_relation::sql::query(sql, self.catalog)
+        let t0 = Instant::now();
+        let result = cr_relation::sql::query(sql, self.catalog);
+        let elapsed = t0.elapsed();
+        if cr_obs::enabled() {
+            metrics().step_ns.record_duration(elapsed);
+        }
+        self.steps.push(StepTiming {
+            label: label.to_owned(),
+            rows: result.as_ref().map(|rs| rs.rows.len()).unwrap_or(0),
+            elapsed,
+        });
+        result
     }
 
     /// Materialize a result set into a fresh temp table; returns its name.
@@ -120,10 +194,27 @@ impl<'a> Ctx<'a> {
 /// Compile and run a workflow; falls back to direct execution when the
 /// workflow uses constructs outside the compilable subset.
 pub fn compile_and_run(workflow: &Workflow, catalog: &Catalog) -> RelResult<CompiledRun> {
+    let started = Instant::now();
+    let run = compile_and_run_inner(workflow, catalog);
+    if cr_obs::enabled() {
+        let m = metrics();
+        m.compiled_runs.inc();
+        if let Ok(r) = &run {
+            if r.fallback_reason.is_some() {
+                m.fallbacks.inc();
+            }
+        }
+        m.run_ns.record_duration(started.elapsed());
+    }
+    run
+}
+
+fn compile_and_run_inner(workflow: &Workflow, catalog: &Catalog) -> RelResult<CompiledRun> {
     let mut ctx = Ctx {
         catalog,
         sql_log: Vec::new(),
         external: Vec::new(),
+        steps: Vec::new(),
         temps: Vec::new(),
     };
     let schema = infer_schema(&workflow.root, catalog)?;
@@ -136,10 +227,15 @@ pub fn compile_and_run(workflow: &Workflow, catalog: &Catalog) -> RelResult<Comp
             // reproduce — fall back in that case.
             if schema.columns.iter().any(|(_, t)| *t != WfType::Scalar) {
                 ctx.cleanup();
-                return fallback(workflow, catalog, ctx, "root schema has set-valued attributes");
+                return fallback(
+                    workflow,
+                    catalog,
+                    ctx,
+                    "root schema has set-valued attributes",
+                );
             }
             let sql = format!("SELECT * FROM {}", rel.table);
-            let rs = ctx.run_sql(&sql)?;
+            let rs = ctx.run_sql("ReadBack", &sql)?;
             let tuples = rs
                 .rows
                 .into_iter()
@@ -152,7 +248,8 @@ pub fn compile_and_run(workflow: &Workflow, catalog: &Catalog) -> RelResult<Comp
                     .map(|c| (c.clone(), WfType::Scalar))
                     .collect(),
             };
-            let (sql_log, external_steps) = (ctx.sql_log.clone(), ctx.external.clone());
+            let (sql_log, external_steps, step_timings) =
+                (ctx.sql_log.clone(), ctx.external.clone(), ctx.steps.clone());
             ctx.cleanup();
             Ok(CompiledRun {
                 result: RecResult {
@@ -161,6 +258,7 @@ pub fn compile_and_run(workflow: &Workflow, catalog: &Catalog) -> RelResult<Comp
                 },
                 sql_log,
                 external_steps,
+                step_timings,
                 fallback_reason: None,
             })
         }
@@ -178,14 +276,21 @@ pub fn compile_and_run(workflow: &Workflow, catalog: &Catalog) -> RelResult<Comp
 fn fallback(
     workflow: &Workflow,
     catalog: &Catalog,
-    ctx: Ctx<'_>,
+    mut ctx: Ctx<'_>,
     reason: &str,
 ) -> RelResult<CompiledRun> {
+    let t0 = Instant::now();
     let result = exec::execute(workflow, catalog)?;
+    ctx.steps.push(StepTiming {
+        label: "DirectFallback".to_owned(),
+        rows: result.tuples.len(),
+        elapsed: t0.elapsed(),
+    });
     Ok(CompiledRun {
         result,
         sql_log: ctx.sql_log,
         external_steps: ctx.external,
+        step_timings: ctx.steps,
         fallback_reason: Some(reason.to_owned()),
     })
 }
@@ -254,7 +359,7 @@ fn compile_node(node: &Node, ctx: &mut Ctx<'_>) -> CResult<Rel> {
                 rel.table,
                 predicate_sql(predicate)
             );
-            let rs = ctx.run_sql(&sql)?;
+            let rs = ctx.run_sql("Select", &sql)?;
             let table = ctx.materialize(&rs, &rel.columns)?;
             Ok(Rel {
                 table,
@@ -282,7 +387,7 @@ fn compile_node(node: &Node, ctx: &mut Ctx<'_>) -> CResult<Rel> {
                 None => false,
             };
             let sql = format!("SELECT {} FROM {}", scalar_cols.join(", "), rel.table);
-            let rs = ctx.run_sql(&sql)?;
+            let rs = ctx.run_sql("Project", &sql)?;
             let table = ctx.materialize(&rs, &scalar_cols)?;
             Ok(Rel {
                 table,
@@ -327,7 +432,7 @@ fn compile_node(node: &Node, ctx: &mut Ctx<'_>) -> CResult<Rel> {
                 left_col,
                 right_col
             );
-            let rs = ctx.run_sql(&sql)?;
+            let rs = ctx.run_sql("Join", &sql)?;
             let table = ctx.materialize(&rs, &out_cols)?;
             Ok(Rel {
                 table,
@@ -363,11 +468,8 @@ fn compile_node(node: &Node, ctx: &mut Ctx<'_>) -> CResult<Rel> {
                         rc = rc,
                         tbl = related_table,
                     );
-                    let rs = ctx.run_sql(&sql)?;
-                    ctx.materialize(
-                        &rs,
-                        &[fk_column.clone(), key_column.clone(), rc.clone()],
-                    )?
+                    let rs = ctx.run_sql("Extend", &sql)?;
+                    ctx.materialize(&rs, &[fk_column.clone(), key_column.clone(), rc.clone()])?
                 }
                 None => related_table.clone(),
             };
@@ -387,7 +489,7 @@ fn compile_node(node: &Node, ctx: &mut Ctx<'_>) -> CResult<Rel> {
         Node::Limit { input, k } => {
             let rel = compile_node(input, ctx)?;
             let sql = format!("SELECT * FROM {} LIMIT {k}", rel.table);
-            let rs = ctx.run_sql(&sql)?;
+            let rs = ctx.run_sql("Limit", &sql)?;
             let table = ctx.materialize(&rs, &rel.columns)?;
             Ok(Rel {
                 table,
@@ -406,7 +508,7 @@ fn compile_node(node: &Node, ctx: &mut Ctx<'_>) -> CResult<Rel> {
                 "SELECT * FROM {} UNION ALL SELECT * FROM {}",
                 l.table, r.table
             );
-            let rs = ctx.run_sql(&sql)?;
+            let rs = ctx.run_sql("Union", &sql)?;
             let table = ctx.materialize(&rs, &l.columns)?;
             Ok(Rel {
                 table,
@@ -446,8 +548,7 @@ fn compile_recommend(
             if t.extend.is_some() {
                 return unsupported("rating-lookup target with pending extend");
             }
-            let group_cols: Vec<String> =
-                t.columns.iter().map(|col| format!("t.{col}")).collect();
+            let group_cols: Vec<String> = t.columns.iter().map(|col| format!("t.{col}")).collect();
             let select_cols: Vec<String> = t
                 .columns
                 .iter()
@@ -457,14 +558,11 @@ fn compile_recommend(
                 RecAgg::Avg => format!("AVG(r.{rating_col})"),
                 RecAgg::Sum => format!("SUM(r.{rating_col})"),
                 RecAgg::Max => format!("MAX(r.{rating_col})"),
-                RecAgg::WeightedAvg { weight_attr } => format!(
-                    "SUM(r.{rating_col} * c.{weight_attr}) / SUM(c.{weight_attr})"
-                ),
+                RecAgg::WeightedAvg { weight_attr } => {
+                    format!("SUM(r.{rating_col} * c.{weight_attr}) / SUM(c.{weight_attr})")
+                }
             };
-            let limit = spec
-                .k
-                .map(|k| format!(" LIMIT {k}"))
-                .unwrap_or_default();
+            let limit = spec.k.map(|k| format!(" LIMIT {k}")).unwrap_or_default();
             let sql = format!(
                 "SELECT {}, {} AS {} FROM {} t \
                  JOIN {} r ON r.{} = t.{} \
@@ -486,7 +584,7 @@ fn compile_recommend(
                 t.columns[0],
                 limit,
             );
-            let rs = ctx.run_sql(&sql)?;
+            let rs = ctx.run_sql("RatingLookup", &sql)?;
             let mut out_cols = t.columns.clone();
             out_cols.push(spec.score_name.clone());
             let table = ctx.materialize(&rs, &out_cols)?;
@@ -521,16 +619,12 @@ fn compile_recommend(
                 .iter()
                 .map(|col| format!("t.{col} AS {col}"))
                 .collect();
-            let group_cols: Vec<String> =
-                t.columns.iter().map(|col| format!("t.{col}")).collect();
+            let group_cols: Vec<String> = t.columns.iter().map(|col| format!("t.{col}")).collect();
             let dist = format!(
                 "SQRT(SUM((rt.{t_rating} - rc.{c_rating}) * (rt.{t_rating} - rc.{c_rating})))"
             );
             let score_expr = format!("1.0 / (1.0 + {dist})");
-            let limit = spec
-                .k
-                .map(|k| format!(" LIMIT {k}"))
-                .unwrap_or_default();
+            let limit = spec.k.map(|k| format!(" LIMIT {k}")).unwrap_or_default();
             let sql = format!(
                 "SELECT {}, {} AS {} FROM {} t \
                  JOIN {} rt ON rt.{} = t.{} \
@@ -556,7 +650,7 @@ fn compile_recommend(
                 t.columns[0],
                 limit,
             );
-            let rs = ctx.run_sql(&sql)?;
+            let rs = ctx.run_sql("RatingsSim", &sql)?;
             let mut out_cols = t.columns.clone();
             out_cols.push(spec.score_name.clone());
             let table = ctx.materialize(&rs, &out_cols)?;
@@ -598,8 +692,18 @@ fn compile_recommend(
                     .map(|n| (n.clone(), WfType::Scalar))
                     .collect(),
             };
+            let t0 = Instant::now();
             let scored = exec::recommend(&t_schema, t_tuples, &c_schema, &c_tuples, spec)
                 .map_err(CompileError::Rel)?;
+            let elapsed = t0.elapsed();
+            if cr_obs::enabled() {
+                metrics().step_ns.record_duration(elapsed);
+            }
+            ctx.steps.push(StepTiming {
+                label: "TextSim(ext)".to_owned(),
+                rows: scored.len(),
+                elapsed,
+            });
             // Materialize the external result so parents keep composing.
             let mut out_cols = t.columns.clone();
             out_cols.push(spec.score_name.clone());
@@ -626,7 +730,7 @@ fn compile_recommend(
 
 fn load_tuples(ctx: &mut Ctx<'_>, rel: &Rel) -> CResult<Vec<crate::datum::Tuple>> {
     let sql = format!("SELECT * FROM {}", rel.table);
-    let rs = ctx.run_sql(&sql)?;
+    let rs = ctx.run_sql("LoadInput", &sql)?;
     Ok(rs
         .rows
         .into_iter()
@@ -664,17 +768,15 @@ pub fn explain_sql(workflow: &Workflow, catalog: &Catalog) -> RelResult<Vec<Stri
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap;
     use crate::similarity::{RatingsSim, TextSim};
     use crate::workflow::CmpOp;
     use cr_relation::Database;
+    use std::collections::HashMap;
 
     fn db() -> Database {
         let db = Database::new();
-        db.execute_sql(
-            "CREATE TABLE Courses (CourseID INT PRIMARY KEY, Title TEXT, Year INT)",
-        )
-        .unwrap();
+        db.execute_sql("CREATE TABLE Courses (CourseID INT PRIMARY KEY, Title TEXT, Year INT)")
+            .unwrap();
         db.execute_sql("CREATE TABLE Students (SuID INT PRIMARY KEY, Name TEXT)")
             .unwrap();
         db.execute_sql(
@@ -788,6 +890,51 @@ mod tests {
         for (k, v) in &d {
             assert!((c[k] - v).abs() < 1e-9, "score mismatch for {k}");
         }
+    }
+
+    #[test]
+    fn step_timings_cover_every_sql_call() {
+        let db = db();
+        let wf = cf_workflow();
+        let run = compile_and_run(&wf, &db.catalog()).unwrap();
+        // One timed step per SQL call (no external steps in pure CF).
+        assert_eq!(run.step_timings.len(), run.sql_log.len());
+        let labels: Vec<&str> = run.step_timings.iter().map(|s| s.label.as_str()).collect();
+        assert!(labels.contains(&"RatingsSim"), "{labels:?}");
+        assert!(labels.contains(&"RatingLookup"), "{labels:?}");
+        assert!(labels.contains(&"ReadBack"), "{labels:?}");
+        // Read-back rows equal the result tuple count.
+        let readback = run
+            .step_timings
+            .iter()
+            .find(|s| s.label == "ReadBack")
+            .unwrap();
+        assert_eq!(readback.rows, run.result.tuples.len());
+        let breakdown = run.timing_breakdown();
+        assert!(breakdown.contains("RatingLookup"));
+        assert!(breakdown.contains("total"));
+    }
+
+    #[test]
+    fn external_text_step_is_timed() {
+        let db = db();
+        let wf = Workflow::new(
+            "related",
+            Node::Recommend {
+                target: Box::new(Node::Source {
+                    table: "Courses".into(),
+                }),
+                comparator: Box::new(Node::Select {
+                    input: Box::new(Node::Source {
+                        table: "Courses".into(),
+                    }),
+                    predicate: WfPredicate::eq("CourseID", 1i64),
+                }),
+                spec: RecommendSpec::new("Title", "Title", RecMethod::Text(TextSim::WordJaccard)),
+            },
+        );
+        let run = compile_and_run(&wf, &db.catalog()).unwrap();
+        assert!(run.step_timings.iter().any(|s| s.label == "TextSim(ext)"));
     }
 
     #[test]

@@ -9,7 +9,9 @@ use std::collections::HashMap;
 use cr_relation::{Catalog, RelError, RelResult, Value};
 
 use crate::datum::{Datum, Tuple, WfSchema};
-use crate::workflow::{infer_schema, Node, RecAgg, RecMethod, RecommendSpec, WfPredicate, Workflow};
+use crate::workflow::{
+    infer_schema, Node, RecAgg, RecMethod, RecommendSpec, WfPredicate, Workflow,
+};
 
 /// A workflow result: schema + tuples (score-ordered for recommend roots).
 #[derive(Debug, Clone, PartialEq)]
@@ -55,7 +57,12 @@ impl RecResult {
 
     /// Render as an aligned text table.
     pub fn to_text_table(&self) -> String {
-        let headers: Vec<&str> = self.schema.columns.iter().map(|(n, _)| n.as_str()).collect();
+        let headers: Vec<&str> = self
+            .schema
+            .columns
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
         let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
         let cells: Vec<Vec<String>> = self
             .tuples
@@ -66,7 +73,15 @@ impl RecResult {
                     .map(|(i, d)| {
                         let s = d.to_string();
                         let s = if s.len() > 40 {
-                            format!("{}…", &s[..s.char_indices().take(39).last().map(|(i, c)| i + c.len_utf8()).unwrap_or(0)])
+                            format!(
+                                "{}…",
+                                &s[..s
+                                    .char_indices()
+                                    .take(39)
+                                    .last()
+                                    .map(|(i, c)| i + c.len_utf8())
+                                    .unwrap_or(0)]
+                            )
                         } else {
                             s
                         };
@@ -220,8 +235,7 @@ pub(crate) fn eval(node: &Node, catalog: &Catalog) -> RelResult<Vec<Tuple>> {
                     }
                     Some(rc) => {
                         let ri = t.schema().index_of(rc)?;
-                        let mut sums: HashMap<Value, HashMap<Value, (f64, u32)>> =
-                            HashMap::new();
+                        let mut sums: HashMap<Value, HashMap<Value, (f64, u32)>> = HashMap::new();
                         for (_, row) in t.scan() {
                             if row[fk].is_null() || row[ri].is_null() {
                                 continue;
@@ -401,12 +415,10 @@ pub(crate) fn recommend(
         let mut acc_max = f64::NEG_INFINITY;
         for (i, c) in comparators.iter().enumerate() {
             let score: Option<f64> = match &spec.method {
-                RecMethod::Text(sim) => {
-                    match (t[t_idx].as_scalar(), c[c_idx].as_scalar()) {
-                        (Some(Value::Text(a)), Some(Value::Text(b))) => Some(sim.score(a, b)),
-                        _ => None,
-                    }
-                }
+                RecMethod::Text(sim) => match (t[t_idx].as_scalar(), c[c_idx].as_scalar()) {
+                    (Some(Value::Text(a)), Some(Value::Text(b))) => Some(sim.score(a, b)),
+                    _ => None,
+                },
                 RecMethod::Set(sim) => match (t[t_idx].as_set(), c[c_idx].as_set()) {
                     (Some(a), Some(b)) => Some(sim.score(a, b)),
                     _ => None,
@@ -492,10 +504,8 @@ mod tests {
     /// Courses / Students / Comments with ratings).
     fn db() -> Database {
         let db = Database::new();
-        db.execute_sql(
-            "CREATE TABLE Courses (CourseID INT PRIMARY KEY, Title TEXT, Year INT)",
-        )
-        .unwrap();
+        db.execute_sql("CREATE TABLE Courses (CourseID INT PRIMARY KEY, Title TEXT, Year INT)")
+            .unwrap();
         db.execute_sql("CREATE TABLE Students (SuID INT PRIMARY KEY, Name TEXT)")
             .unwrap();
         db.execute_sql(

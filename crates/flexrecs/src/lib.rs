@@ -36,6 +36,7 @@ pub mod similarity;
 pub mod templates;
 pub mod workflow;
 
+pub use compile::{compile_and_run, CompiledRun, StepTiming};
 pub use datum::{Datum, Tuple, WfSchema, WfType};
 pub use exec::{execute, RecResult};
 pub use similarity::{RatingsSim, SetSim, TextSim};

@@ -96,15 +96,9 @@ pub enum RatingsSim {
 impl RatingsSim {
     /// `min_common`: below this many shared keys the similarity is 0
     /// (a single shared rating says nothing; CF folklore uses 2–5).
-    pub fn score(
-        &self,
-        a: &[(Value, f64)],
-        b: &[(Value, f64)],
-        min_common: usize,
-    ) -> f64 {
+    pub fn score(&self, a: &[(Value, f64)], b: &[(Value, f64)], min_common: usize) -> f64 {
         // Pair up common keys.
-        let bm: std::collections::HashMap<&Value, f64> =
-            b.iter().map(|(k, v)| (k, *v)).collect();
+        let bm: std::collections::HashMap<&Value, f64> = b.iter().map(|(k, v)| (k, *v)).collect();
         let mut xs: Vec<f64> = Vec::new();
         let mut ys: Vec<f64> = Vec::new();
         for (k, va) in a {
@@ -119,11 +113,7 @@ impl RatingsSim {
         }
         match self {
             RatingsSim::InverseEuclidean => {
-                let d2: f64 = xs
-                    .iter()
-                    .zip(&ys)
-                    .map(|(x, y)| (x - y) * (x - y))
-                    .sum();
+                let d2: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - y) * (x - y)).sum();
                 1.0 / (1.0 + d2.sqrt())
             }
             RatingsSim::Pearson => {
@@ -184,10 +174,16 @@ impl TextSim {
     pub fn score(&self, a: &str, b: &str) -> f64 {
         match self {
             TextSim::WordJaccard => {
-                let sa: HashSet<String> =
-                    a.to_lowercase().split_whitespace().map(str::to_owned).collect();
-                let sb: HashSet<String> =
-                    b.to_lowercase().split_whitespace().map(str::to_owned).collect();
+                let sa: HashSet<String> = a
+                    .to_lowercase()
+                    .split_whitespace()
+                    .map(str::to_owned)
+                    .collect();
+                let sb: HashSet<String> = b
+                    .to_lowercase()
+                    .split_whitespace()
+                    .map(str::to_owned)
+                    .collect();
                 if sa.is_empty() && sb.is_empty() {
                     return 0.0;
                 }
@@ -239,10 +235,7 @@ fn trigrams(s: &str) -> HashSet<[char; 3]> {
         .chain(s.chars())
         .chain(std::iter::once(' '))
         .collect();
-    padded
-        .windows(3)
-        .map(|w| [w[0], w[1], w[2]])
-        .collect()
+    padded.windows(3).map(|w| [w[0], w[1], w[2]]).collect()
 }
 
 /// Classic DP Levenshtein with a rolling row (O(min) memory).
@@ -279,7 +272,10 @@ mod tests {
 
     #[test]
     fn jaccard_basics() {
-        assert_eq!(SetSim::Jaccard.score(&vals(&[1, 2, 3]), &vals(&[2, 3, 4])), 0.5);
+        assert_eq!(
+            SetSim::Jaccard.score(&vals(&[1, 2, 3]), &vals(&[2, 3, 4])),
+            0.5
+        );
         assert_eq!(SetSim::Jaccard.score(&vals(&[1]), &vals(&[1])), 1.0);
         assert_eq!(SetSim::Jaccard.score(&vals(&[1]), &vals(&[2])), 0.0);
         assert_eq!(SetSim::Jaccard.score(&[], &[]), 0.0);

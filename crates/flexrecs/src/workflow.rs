@@ -162,7 +162,9 @@ pub enum RecAgg {
     /// Weighted average, weights drawn from a comparator scalar attribute
     /// (typically the similarity score produced by a lower recommend
     /// operator — classic weighted CF).
-    WeightedAvg { weight_attr: String },
+    WeightedAvg {
+        weight_attr: String,
+    },
 }
 
 impl fmt::Display for RecAgg {
@@ -340,7 +342,10 @@ fn explain_node(node: &Node, depth: usize, out: &mut String) {
             } else {
                 "set"
             };
-            let _ = writeln!(out, "{pad}Extend ε[{as_name} := {kind} from {related_table}]");
+            let _ = writeln!(
+                out,
+                "{pad}Extend ε[{as_name} := {kind} from {related_table}]"
+            );
             explain_node(input, depth + 1, out);
         }
         Node::Recommend {
@@ -348,10 +353,7 @@ fn explain_node(node: &Node, depth: usize, out: &mut String) {
             comparator,
             spec,
         } => {
-            let k = spec
-                .k
-                .map(|k| format!(", top {k}"))
-                .unwrap_or_default();
+            let k = spec.k.map(|k| format!(", top {k}")).unwrap_or_default();
             let _ = writeln!(
                 out,
                 "{pad}Recommend ▷[{} ~ {}, {}, agg={}{}]",
@@ -478,12 +480,8 @@ pub fn infer_schema(
             let ok = match &spec.method {
                 RecMethod::Text(_) => t_ty == WfType::Scalar && c_ty == WfType::Scalar,
                 RecMethod::Set(_) => t_ty == WfType::Set && c_ty == WfType::Set,
-                RecMethod::Ratings { .. } => {
-                    t_ty == WfType::Ratings && c_ty == WfType::Ratings
-                }
-                RecMethod::RatingLookup => {
-                    t_ty == WfType::Scalar && c_ty == WfType::Ratings
-                }
+                RecMethod::Ratings { .. } => t_ty == WfType::Ratings && c_ty == WfType::Ratings,
+                RecMethod::RatingLookup => t_ty == WfType::Scalar && c_ty == WfType::Ratings,
             };
             if !ok {
                 return Err(RelError::Invalid(format!(
@@ -540,14 +538,10 @@ mod tests {
 
     fn db() -> Database {
         let db = Database::new();
-        db.execute_sql(
-            "CREATE TABLE Courses (CourseID INT PRIMARY KEY, Title TEXT, Year INT)",
-        )
-        .unwrap();
-        db.execute_sql(
-            "CREATE TABLE Students (SuID INT PRIMARY KEY, Name TEXT)",
-        )
-        .unwrap();
+        db.execute_sql("CREATE TABLE Courses (CourseID INT PRIMARY KEY, Title TEXT, Year INT)")
+            .unwrap();
+        db.execute_sql("CREATE TABLE Students (SuID INT PRIMARY KEY, Name TEXT)")
+            .unwrap();
         db.execute_sql(
             "CREATE TABLE Comments (SuID INT, CourseID INT, Rating FLOAT, PRIMARY KEY (SuID, CourseID))",
         )
@@ -608,7 +602,10 @@ mod tests {
             ),
         };
         let s = infer_schema(&ok, &db.catalog()).unwrap();
-        assert_eq!(s.columns.last().unwrap(), &("score".to_owned(), WfType::Scalar));
+        assert_eq!(
+            s.columns.last().unwrap(),
+            &("score".to_owned(), WfType::Scalar)
+        );
 
         // text similarity on a ratings attribute: rejected.
         let bad = Node::Recommend {
@@ -639,10 +636,11 @@ mod tests {
                 table: "Courses".into(),
             }),
             comparator: Box::new(students_with_ratings()),
-            spec: RecommendSpec::new("CourseID", "ratings", RecMethod::RatingLookup)
-                .with_agg(RecAgg::WeightedAvg {
+            spec: RecommendSpec::new("CourseID", "ratings", RecMethod::RatingLookup).with_agg(
+                RecAgg::WeightedAvg {
                     weight_attr: "ratings".into(), // not scalar!
-                }),
+                },
+            ),
         };
         assert!(infer_schema(&n, &db.catalog()).is_err());
         let ok = Node::Recommend {
@@ -650,10 +648,11 @@ mod tests {
                 table: "Courses".into(),
             }),
             comparator: Box::new(students_with_ratings()),
-            spec: RecommendSpec::new("CourseID", "ratings", RecMethod::RatingLookup)
-                .with_agg(RecAgg::WeightedAvg {
+            spec: RecommendSpec::new("CourseID", "ratings", RecMethod::RatingLookup).with_agg(
+                RecAgg::WeightedAvg {
                     weight_attr: "SuID".into(),
-                }),
+                },
+            ),
         };
         assert!(infer_schema(&ok, &db.catalog()).is_ok());
     }

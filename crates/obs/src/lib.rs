@@ -1,0 +1,39 @@
+//! `cr-obs` — zero-dependency observability for the social-systems
+//! workspace.
+//!
+//! Three pieces:
+//!
+//! * a process-wide **metrics registry** ([`Registry`]) of named
+//!   [`Counter`]s, [`Gauge`]s, and log-linear latency [`Histogram`]s,
+//!   all recorded with relaxed atomics (no locks on hot paths — the
+//!   registry lock is only taken when a handle is first resolved);
+//! * a **span** API ([`Span`], [`timed`]) that measures wall-clock
+//!   sections into histograms and compiles down to "one relaxed load,
+//!   then nothing" when collection is disabled;
+//! * **snapshot rendering** ([`MetricsSnapshot`]) as hand-rolled JSON,
+//!   Prometheus text exposition, or a human-readable table.
+//!
+//! Collection is **off by default**. Call [`install`] (or [`enable`])
+//! once at startup; every instrumentation site in the workspace guards
+//! on [`enabled`] before touching the clock or allocating.
+//!
+//! ```
+//! cr_obs::install();
+//! {
+//!     let _span = cr_obs::Span::enter("demo.work_ns");
+//!     cr_obs::Registry::global().counter("demo.requests").inc();
+//! }
+//! let snap = cr_obs::Registry::global().snapshot();
+//! assert_eq!(snap.counter("demo.requests"), Some(1));
+//! assert!(snap.histogram("demo.work_ns").unwrap().count >= 1);
+//! ```
+
+pub mod histogram;
+pub mod registry;
+pub mod snapshot;
+pub mod span;
+
+pub use histogram::{Histogram, HistogramSnapshot, QUANTILE_RELATIVE_ERROR};
+pub use registry::{disable, enable, enabled, install, Counter, Gauge, Registry};
+pub use snapshot::MetricsSnapshot;
+pub use span::{timed, Span};

@@ -1,0 +1,191 @@
+//! Snapshot rendering: JSON and Prometheus text exposition.
+//!
+//! `cr-obs` has no dependencies, so the JSON here is hand-rendered;
+//! metric names are restricted enough (ASCII, dots, underscores) that
+//! escaping only needs the JSON string basics.
+
+use crate::histogram::HistogramSnapshot;
+
+/// A point-in-time view of every registered metric, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, i64)>,
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Prometheus metric names use `_`, not `.` or `-`.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+impl MetricsSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Look up a counter value by name (test/assertion convenience).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Look up a histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Render as a JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {name: {...}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            json_escape(name, &mut out);
+            out.push_str(&format!("\":{v}"));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            json_escape(name, &mut out);
+            out.push_str(&format!("\":{v}"));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            json_escape(&h.name, &mut out);
+            out.push_str(&format!(
+                "\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.1},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                h.count, h.sum, h.min, h.max, h.mean, h.p50, h.p95, h.p99
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Render in the Prometheus text exposition format. Histograms are
+    /// exposed as summaries (pre-computed quantiles).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(256);
+        for (name, v) in &self.counters {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        }
+        for h in &self.histograms {
+            let n = prom_name(&h.name);
+            out.push_str(&format!("# TYPE {n} summary\n"));
+            for (q, v) in [(0.5, h.p50), (0.95, h.p95), (0.99, h.p99)] {
+                out.push_str(&format!("{n}{{quantile=\"{q}\"}} {v}\n"));
+            }
+            out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+        }
+        out
+    }
+
+    /// Human-readable table for terminals and examples.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<48} {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("  {name:<48} {v}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms (ns):\n");
+            for h in &self.histograms {
+                out.push_str(&format!(
+                    "  {:<48} count={} mean={:.0} p50={} p95={} p99={} max={}\n",
+                    h.name, h.count, h.mean, h.p50, h.p95, h.p99, h.max
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![("a.requests".into(), 3)],
+            gauges: vec![("depth".into(), -1)],
+            histograms: vec![HistogramSnapshot {
+                name: "a.latency_ns".into(),
+                count: 2,
+                sum: 30,
+                min: 10,
+                max: 20,
+                mean: 15.0,
+                p50: 10,
+                p95: 20,
+                p99: 20,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_shape() {
+        let j = sample().to_json();
+        assert!(j.starts_with("{\"counters\":{\"a.requests\":3}"));
+        assert!(j.contains("\"gauges\":{\"depth\":-1}"));
+        assert!(j.contains("\"a.latency_ns\":{\"count\":2,\"sum\":30"));
+    }
+
+    #[test]
+    fn prometheus_shape() {
+        let p = sample().to_prometheus();
+        assert!(p.contains("# TYPE a_requests counter\na_requests 3\n"));
+        assert!(p.contains("# TYPE depth gauge\ndepth -1\n"));
+        assert!(p.contains("a_latency_ns{quantile=\"0.5\"} 10\n"));
+        assert!(p.contains("a_latency_ns_count 2\n"));
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let s = sample();
+        assert_eq!(s.counter("a.requests"), Some(3));
+        assert!(s.counter("nope").is_none());
+        assert_eq!(s.histogram("a.latency_ns").unwrap().count, 2);
+    }
+}

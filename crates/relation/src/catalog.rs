@@ -145,6 +145,26 @@ impl Database {
         exec::execute(&optimized, &self.catalog)
     }
 
+    /// Run a logical plan (optimizing first) with per-operator profiling.
+    pub fn run_plan_instrumented(
+        &self,
+        plan: &LogicalPlan,
+    ) -> RelResult<(ResultSet, crate::profile::OpProfile)> {
+        let optimized = optimizer::optimize(plan.clone());
+        exec::execute_instrumented(&optimized, &self.catalog)
+    }
+
+    /// `EXPLAIN ANALYZE` for a SQL query: executes it with per-operator
+    /// profiling and returns the result set plus the annotated plan tree
+    /// (rows, elapsed time, access paths, join algorithms per node).
+    pub fn explain_analyze_sql(
+        &self,
+        text: &str,
+    ) -> RelResult<(ResultSet, crate::profile::OpProfile)> {
+        let plan = sql::plan_query(text, &self.catalog)?;
+        exec::execute_instrumented(&plan, &self.catalog)
+    }
+
     /// Run a logical plan exactly as given (for optimizer A/B tests).
     pub fn run_plan_unoptimized(&self, plan: &LogicalPlan) -> RelResult<ResultSet> {
         exec::execute(plan, &self.catalog)
@@ -268,8 +288,11 @@ mod tests {
         let db = Database::new();
         db.execute_sql("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
             .unwrap();
-        db.insert_many("t", vec![row![1i64, 10i64], row![2i64, 20i64], row![3i64, 30i64]])
-            .unwrap();
+        db.insert_many(
+            "t",
+            vec![row![1i64, 10i64], row![2i64, 20i64], row![3i64, 30i64]],
+        )
+        .unwrap();
         let n = db
             .delete_where("t", &Expr::col("v").gt_eq(Expr::lit(20i64)))
             .unwrap();
@@ -282,7 +305,8 @@ mod tests {
     fn concurrent_readers() {
         use std::thread;
         let db = Database::new();
-        db.execute_sql("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
+        db.execute_sql("CREATE TABLE t (id INT PRIMARY KEY)")
+            .unwrap();
         for i in 0..100 {
             db.insert("t", row![i as i64]).unwrap();
         }
@@ -304,8 +328,10 @@ mod tests {
     fn concurrent_writers_distinct_tables() {
         use std::thread;
         let db = Database::new();
-        db.execute_sql("CREATE TABLE a (id INT PRIMARY KEY)").unwrap();
-        db.execute_sql("CREATE TABLE b (id INT PRIMARY KEY)").unwrap();
+        db.execute_sql("CREATE TABLE a (id INT PRIMARY KEY)")
+            .unwrap();
+        db.execute_sql("CREATE TABLE b (id INT PRIMARY KEY)")
+            .unwrap();
         let mut handles = Vec::new();
         for (table, base) in [("a", 0i64), ("b", 1000i64)] {
             let db = db.clone();

@@ -60,7 +60,10 @@ impl fmt::Display for RelError {
             RelError::Parse { pos, message } => write!(f, "parse error at token {pos}: {message}"),
             RelError::Invalid(m) => write!(f, "invalid statement: {m}"),
             RelError::Arity { expected, found } => {
-                write!(f, "arity mismatch: expected {expected} values, found {found}")
+                write!(
+                    f,
+                    "arity mismatch: expected {expected} values, found {found}"
+                )
             }
             RelError::IndexExists(i) => write!(f, "index already exists: {i}"),
             RelError::UnknownIndex(i) => write!(f, "unknown index: {i}"),

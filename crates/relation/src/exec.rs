@@ -12,17 +12,50 @@
 //! compiled per-user queries cheap on paper-scale data.
 
 use std::collections::HashMap;
-use std::fmt::Write as _;
+use std::fmt::{self, Write as _};
 use std::ops::Bound;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use crate::catalog::Catalog;
 use crate::error::{RelError, RelResult};
 use crate::expr::{BinOp, Expr};
 use crate::plan::{AggExpr, AggFn, JoinKind, LogicalPlan, SortKey};
+use crate::profile::OpProfile;
 use crate::row::Row;
 use crate::schema::Schema;
 use crate::table::Table;
 use crate::value::Value;
+
+// ---------------------------------------------------------------------
+// Metrics (handles resolved once; recording is relaxed atomics only)
+// ---------------------------------------------------------------------
+
+struct RelMetrics {
+    queries: Arc<cr_obs::Counter>,
+    query_ns: Arc<cr_obs::Histogram>,
+    rows_out: Arc<cr_obs::Counter>,
+    scan_seq: Arc<cr_obs::Counter>,
+    scan_pk: Arc<cr_obs::Counter>,
+    scan_index_eq: Arc<cr_obs::Counter>,
+    scan_index_range: Arc<cr_obs::Counter>,
+}
+
+fn metrics() -> &'static RelMetrics {
+    static M: OnceLock<RelMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = cr_obs::Registry::global();
+        RelMetrics {
+            queries: r.counter("relation.queries"),
+            query_ns: r.histogram("relation.query_ns"),
+            rows_out: r.counter("relation.rows_out"),
+            scan_seq: r.counter("relation.scan.seq_scan"),
+            scan_pk: r.counter("relation.scan.pk_lookup"),
+            scan_index_eq: r.counter("relation.scan.index_eq"),
+            scan_index_range: r.counter("relation.scan.index_range"),
+        }
+    })
+}
 
 /// A fully materialized query result.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,12 +140,54 @@ impl ResultSet {
 }
 
 /// Execute a logical plan against a catalog, materializing the result.
+///
+/// When metrics collection is on ([`cr_obs::enabled`]) this records the
+/// query counter and latency histogram; otherwise the only overhead over
+/// raw execution is one relaxed atomic load.
 pub fn execute(plan: &LogicalPlan, catalog: &Catalog) -> RelResult<ResultSet> {
+    let started = if cr_obs::enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    };
     let rows = run(plan, catalog)?;
+    if let Some(t0) = started {
+        let m = metrics();
+        m.queries.inc();
+        m.rows_out.add(rows.len() as u64);
+        m.query_ns.record_duration(t0.elapsed());
+    }
     Ok(ResultSet {
         schema: plan.schema().clone(),
         rows,
     })
+}
+
+/// Execute a plan with per-operator profiling: every physical operator is
+/// wrapped with rows-in/rows-out/elapsed accounting and the access path
+/// it chose, yielding an `EXPLAIN ANALYZE`-style [`OpProfile`] tree next
+/// to the normal [`ResultSet`]. Profiling cost is per plan *node* (one
+/// clock read each), not per row, so it stays within a few percent of
+/// [`execute`] — the `instrumentation_overhead` bench pins this down.
+pub fn execute_instrumented(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+) -> RelResult<(ResultSet, OpProfile)> {
+    let started = Instant::now();
+    let (rows, profile) = run_profiled(plan, catalog)?;
+    if cr_obs::enabled() {
+        let m = metrics();
+        m.queries.inc();
+        m.rows_out.add(rows.len() as u64);
+        m.query_ns.record_duration(started.elapsed());
+    }
+    Ok((
+        ResultSet {
+            schema: plan.schema().clone(),
+            rows,
+        },
+        profile,
+    ))
 }
 
 fn run(plan: &LogicalPlan, catalog: &Catalog) -> RelResult<Vec<Row>> {
@@ -122,31 +197,13 @@ fn run(plan: &LogicalPlan, catalog: &Catalog) -> RelResult<Vec<Row>> {
             projection,
             filter,
             ..
-        } => catalog.with_table(table, |t| scan_table(t, projection, filter))?,
+        } => Ok(catalog
+            .with_table(table, |t| scan_table(t, projection, filter))??
+            .0),
 
-        LogicalPlan::Filter { input, predicate } => {
-            let rows = run(input, catalog)?;
-            let mut out = Vec::with_capacity(rows.len() / 2);
-            for r in rows {
-                if predicate.eval_predicate(&r)? {
-                    out.push(r);
-                }
-            }
-            Ok(out)
-        }
+        LogicalPlan::Filter { input, predicate } => filter_rows(run(input, catalog)?, predicate),
 
-        LogicalPlan::Project { input, exprs, .. } => {
-            let rows = run(input, catalog)?;
-            let mut out = Vec::with_capacity(rows.len());
-            for r in rows {
-                let mut projected = Vec::with_capacity(exprs.len());
-                for (e, _) in exprs {
-                    projected.push(e.eval(&r)?);
-                }
-                out.push(projected);
-            }
-            Ok(out)
-        }
+        LogicalPlan::Project { input, exprs, .. } => project_rows(run(input, catalog)?, exprs),
 
         LogicalPlan::Join {
             left,
@@ -154,32 +211,34 @@ fn run(plan: &LogicalPlan, catalog: &Catalog) -> RelResult<Vec<Row>> {
             kind,
             on,
             ..
-        } => run_join(left, right, *kind, on, catalog),
+        } => {
+            let left_rows = run(left, catalog)?;
+            let right_rows = run(right, catalog)?;
+            let (rows, _) = join_rows(
+                left_rows,
+                right_rows,
+                left.schema().len(),
+                right.schema().len(),
+                *kind,
+                on,
+            )?;
+            Ok(rows)
+        }
 
         LogicalPlan::Aggregate {
             input,
             group_by,
             aggs,
             ..
-        } => run_aggregate(input, group_by, aggs, catalog),
+        } => aggregate_rows(&run(input, catalog)?, group_by, aggs),
 
-        LogicalPlan::Sort { input, keys } => {
-            let rows = run(input, catalog)?;
-            sort_rows(rows, keys)
-        }
+        LogicalPlan::Sort { input, keys } => sort_rows(run(input, catalog)?, keys),
 
         LogicalPlan::Limit {
             input,
             limit,
             offset,
-        } => {
-            let rows = run(input, catalog)?;
-            let it = rows.into_iter().skip(*offset);
-            Ok(match limit {
-                Some(n) => it.take(*n).collect(),
-                None => it.collect(),
-            })
-        }
+        } => Ok(limit_rows(run(input, catalog)?, *limit, *offset)),
 
         LogicalPlan::Values { rows, .. } => Ok(rows.clone()),
 
@@ -188,6 +247,186 @@ fn run(plan: &LogicalPlan, catalog: &Catalog) -> RelResult<Vec<Row>> {
             rows.extend(run(right, catalog)?);
             Ok(rows)
         }
+    }
+}
+
+/// Profiled twin of [`run`]: same operator implementations (the shared
+/// `*_rows` helpers), with each node timed and annotated.
+fn run_profiled(plan: &LogicalPlan, catalog: &Catalog) -> RelResult<(Vec<Row>, OpProfile)> {
+    let t0 = Instant::now();
+    let (rows, op, detail, children) = match plan {
+        LogicalPlan::Scan {
+            table,
+            alias,
+            projection,
+            filter,
+            ..
+        } => {
+            let (rows, path) =
+                catalog.with_table(table, |t| scan_table(t, projection, filter))??;
+            let mut detail = vec![format!("access={path}")];
+            if let Some(f) = filter {
+                detail.push(format!("filter={f}"));
+            }
+            let op = match alias {
+                Some(a) if a != table => format!("Scan {table} AS {a}"),
+                _ => format!("Scan {table}"),
+            };
+            (rows, op, detail, Vec::new())
+        }
+
+        LogicalPlan::Filter { input, predicate } => {
+            let (rows, child) = run_profiled(input, catalog)?;
+            let rows = filter_rows(rows, predicate)?;
+            (
+                rows,
+                "Filter".to_owned(),
+                vec![format!("predicate={predicate}")],
+                vec![child],
+            )
+        }
+
+        LogicalPlan::Project { input, exprs, .. } => {
+            let (rows, child) = run_profiled(input, catalog)?;
+            let rows = project_rows(rows, exprs)?;
+            (
+                rows,
+                "Project".to_owned(),
+                vec![format!("exprs={}", exprs.len())],
+                vec![child],
+            )
+        }
+
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            ..
+        } => {
+            let (left_rows, lchild) = run_profiled(left, catalog)?;
+            let (right_rows, rchild) = run_profiled(right, catalog)?;
+            let (rows, info) = join_rows(
+                left_rows,
+                right_rows,
+                left.schema().len(),
+                right.schema().len(),
+                *kind,
+                on,
+            )?;
+            let op = if info.hash {
+                "HashJoin"
+            } else {
+                "NestedLoopJoin"
+            };
+            let mut detail = vec![format!("kind={kind:?}")];
+            if info.hash {
+                detail.push(format!("keys={}", info.keys));
+                detail.push("build=right".to_owned());
+            }
+            (rows, op.to_owned(), detail, vec![lchild, rchild])
+        }
+
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            ..
+        } => {
+            let (rows, child) = run_profiled(input, catalog)?;
+            let out = aggregate_rows(&rows, group_by, aggs)?;
+            (
+                out,
+                "Aggregate".to_owned(),
+                vec![
+                    format!("group_by={}", group_by.len()),
+                    format!("aggs={}", aggs.len()),
+                ],
+                vec![child],
+            )
+        }
+
+        LogicalPlan::Sort { input, keys } => {
+            let (rows, child) = run_profiled(input, catalog)?;
+            let rows = sort_rows(rows, keys)?;
+            (
+                rows,
+                "Sort".to_owned(),
+                vec![format!("keys={}", keys.len())],
+                vec![child],
+            )
+        }
+
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            let (rows, child) = run_profiled(input, catalog)?;
+            let rows = limit_rows(rows, *limit, *offset);
+            let mut detail = Vec::new();
+            if let Some(n) = limit {
+                detail.push(format!("limit={n}"));
+            }
+            if *offset > 0 {
+                detail.push(format!("offset={offset}"));
+            }
+            (rows, "Limit".to_owned(), detail, vec![child])
+        }
+
+        LogicalPlan::Values { rows, .. } => {
+            (rows.clone(), "Values".to_owned(), Vec::new(), Vec::new())
+        }
+
+        LogicalPlan::Union { left, right } => {
+            let (mut rows, lchild) = run_profiled(left, catalog)?;
+            let (right_rows, rchild) = run_profiled(right, catalog)?;
+            rows.extend(right_rows);
+            (rows, "Union".to_owned(), Vec::new(), vec![lchild, rchild])
+        }
+    };
+    let profile = OpProfile {
+        op,
+        detail,
+        rows_out: rows.len(),
+        elapsed: t0.elapsed(),
+        children,
+    };
+    Ok((rows, profile))
+}
+
+// ---------------------------------------------------------------------
+// Row-level operator implementations, shared by the plain and profiled
+// executors so both paths compute identical results.
+// ---------------------------------------------------------------------
+
+fn filter_rows(rows: Vec<Row>, predicate: &Expr) -> RelResult<Vec<Row>> {
+    let mut out = Vec::with_capacity(rows.len() / 2);
+    for r in rows {
+        if predicate.eval_predicate(&r)? {
+            out.push(r);
+        }
+    }
+    Ok(out)
+}
+
+fn project_rows(rows: Vec<Row>, exprs: &[(Expr, String)]) -> RelResult<Vec<Row>> {
+    let mut out = Vec::with_capacity(rows.len());
+    for r in rows {
+        let mut projected = Vec::with_capacity(exprs.len());
+        for (e, _) in exprs {
+            projected.push(e.eval(&r)?);
+        }
+        out.push(projected);
+    }
+    Ok(out)
+}
+
+fn limit_rows(rows: Vec<Row>, limit: Option<usize>, offset: usize) -> Vec<Row> {
+    let it = rows.into_iter().skip(offset);
+    match limit {
+        Some(n) => it.take(n).collect(),
+        None => it.collect(),
     }
 }
 
@@ -209,6 +448,39 @@ pub enum AccessPath {
         lower: Bound<Value>,
         upper: Bound<Value>,
     },
+}
+
+impl fmt::Display for AccessPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn key(vals: &[Value]) -> String {
+            vals.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+        fn bound(b: &Bound<Value>, open: &str, close: &str) -> String {
+            match b {
+                Bound::Included(v) => format!("{open}={v}"),
+                Bound::Excluded(v) => format!("{open}{v}"),
+                Bound::Unbounded => close.to_owned(),
+            }
+        }
+        match self {
+            AccessPath::SeqScan => write!(f, "SeqScan"),
+            AccessPath::PkLookup(k) => write!(f, "PkLookup[{}]", key(k)),
+            AccessPath::IndexEq(name, k) => write!(f, "IndexEq({name})[{}]", key(k)),
+            AccessPath::IndexRange {
+                index,
+                lower,
+                upper,
+            } => write!(
+                f,
+                "IndexRange({index})[{}..{}]",
+                bound(lower, ">", ""),
+                bound(upper, "<", "")
+            ),
+        }
+    }
 }
 
 /// Decide the access path for a scan's pushed-down filter. Public so that
@@ -321,12 +593,23 @@ fn as_col_cmp_literal(e: &Expr) -> Option<(usize, BinOp, Value)> {
     None
 }
 
+/// Scan a table, returning the matching rows and the access path that
+/// served them (surfaced in EXPLAIN ANALYZE output).
 fn scan_table(
     table: &Table,
     projection: &Option<Vec<usize>>,
     filter: &Option<Expr>,
-) -> RelResult<Vec<Row>> {
+) -> RelResult<(Vec<Row>, AccessPath)> {
     let path = choose_access_path(table, filter);
+    if cr_obs::enabled() {
+        let m = metrics();
+        match &path {
+            AccessPath::SeqScan => m.scan_seq.inc(),
+            AccessPath::PkLookup(_) => m.scan_pk.inc(),
+            AccessPath::IndexEq(..) => m.scan_index_eq.inc(),
+            AccessPath::IndexRange { .. } => m.scan_index_range.inc(),
+        }
+    }
     let project = |r: &Row| -> Row {
         match projection {
             None => r.clone(),
@@ -340,7 +623,7 @@ fn scan_table(
         }
     };
     let mut out = Vec::new();
-    match path {
+    match &path {
         AccessPath::SeqScan => {
             for (_, r) in table.scan() {
                 if passes(r)? {
@@ -349,7 +632,7 @@ fn scan_table(
             }
         }
         AccessPath::PkLookup(key) => {
-            if let Some(r) = table.get_by_pk(&key) {
+            if let Some(r) = table.get_by_pk(key) {
                 if passes(r)? {
                     out.push(project(r));
                 }
@@ -357,9 +640,9 @@ fn scan_table(
         }
         AccessPath::IndexEq(name, key) => {
             let idx = table
-                .index(&name)
+                .index(name)
                 .ok_or_else(|| RelError::UnknownIndex(name.clone()))?;
-            if let Some(rids) = idx.get(&key) {
+            if let Some(rids) = idx.get(key) {
                 for &rid in rids {
                     if let Some(r) = table.get(rid) {
                         if passes(r)? {
@@ -375,7 +658,7 @@ fn scan_table(
             upper,
         } => {
             let idx = table
-                .index(&index)
+                .index(index)
                 .ok_or_else(|| RelError::UnknownIndex(index.clone()))?;
             let lo_key = match &lower {
                 Bound::Included(v) => Bound::Included(vec![v.clone()]),
@@ -406,7 +689,7 @@ fn scan_table(
             }
         }
     }
-    Ok(out)
+    Ok((out, path))
 }
 
 // ---------------------------------------------------------------------
@@ -446,17 +729,20 @@ fn extract_equi_keys(on: &Expr, left_width: usize) -> (Vec<usize>, Vec<usize>, V
     (lk, rk, residual)
 }
 
-fn run_join(
-    left: &LogicalPlan,
-    right: &LogicalPlan,
+/// Which algorithm a join used (EXPLAIN ANALYZE annotation).
+struct JoinInfo {
+    hash: bool,
+    keys: usize,
+}
+
+fn join_rows(
+    left_rows: Vec<Row>,
+    right_rows: Vec<Row>,
+    left_width: usize,
+    right_width: usize,
     kind: JoinKind,
     on: &Expr,
-    catalog: &Catalog,
-) -> RelResult<Vec<Row>> {
-    let left_rows = run(left, catalog)?;
-    let right_rows = run(right, catalog)?;
-    let left_width = left.schema().len();
-    let right_width = right.schema().len();
+) -> RelResult<(Vec<Row>, JoinInfo)> {
     let (lk, rk, residual) = extract_equi_keys(on, left_width);
     let residual = if residual.is_empty() {
         None
@@ -487,8 +773,7 @@ fn run_join(
         }
     } else {
         // Hash join: build on the right, probe from the left.
-        let mut build: HashMap<Vec<Value>, Vec<usize>> =
-            HashMap::with_capacity(right_rows.len());
+        let mut build: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(right_rows.len());
         for (i, r) in right_rows.iter().enumerate() {
             let key: Vec<Value> = rk.iter().map(|&k| r[k].clone()).collect();
             if key.iter().any(Value::is_null) {
@@ -524,7 +809,13 @@ fn run_join(
             }
         }
     }
-    Ok(out)
+    Ok((
+        out,
+        JoinInfo {
+            hash: !lk.is_empty(),
+            keys: lk.len(),
+        },
+    ))
 }
 
 // ---------------------------------------------------------------------
@@ -534,8 +825,15 @@ fn run_join(
 #[derive(Debug, Clone)]
 enum AggState {
     Count(i64),
-    Sum { total: f64, any: bool, int: bool },
-    Avg { total: f64, n: i64 },
+    Sum {
+        total: f64,
+        any: bool,
+        int: bool,
+    },
+    Avg {
+        total: f64,
+        n: i64,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
     /// DISTINCT wrapper: collected values, finished by the inner fn.
@@ -639,17 +937,11 @@ impl AggState {
     }
 }
 
-fn run_aggregate(
-    input: &LogicalPlan,
-    group_by: &[Expr],
-    aggs: &[AggExpr],
-    catalog: &Catalog,
-) -> RelResult<Vec<Row>> {
-    let rows = run(input, catalog)?;
+fn aggregate_rows(rows: &[Row], group_by: &[Expr], aggs: &[AggExpr]) -> RelResult<Vec<Row>> {
     let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
     // Preserve first-seen group order for deterministic output.
     let mut order: Vec<Vec<Value>> = Vec::new();
-    for r in &rows {
+    for r in rows {
         let mut key = Vec::with_capacity(group_by.len());
         for g in group_by {
             key.push(g.eval(r)?);
@@ -745,10 +1037,8 @@ mod tests {
         .unwrap();
         db.execute_sql("CREATE TABLE comments (cid INT PRIMARY KEY, course_id INT, text TEXT)")
             .unwrap();
-        db.execute_sql(
-            "INSERT INTO comments VALUES (10,1,'great'),(11,1,'hard'),(12,3,'fun')",
-        )
-        .unwrap();
+        db.execute_sql("INSERT INTO comments VALUES (10,1,'great'),(11,1,'hard'),(12,3,'fun')")
+            .unwrap();
         db
     }
 
@@ -777,7 +1067,8 @@ mod tests {
     #[test]
     fn secondary_index_path_chosen_and_correct() {
         let db = db();
-        db.create_index("courses", "by_dep", &["dep"], false).unwrap();
+        db.create_index("courses", "by_dep", &["dep"], false)
+            .unwrap();
         db.catalog()
             .with_table("courses", |t| {
                 let filter = Some(Expr::col_idx(1).eq(Expr::lit("CS")));
@@ -851,9 +1142,7 @@ mod tests {
     fn nested_loop_for_non_equi_join() {
         let db = db();
         let rs = db
-            .query_sql(
-                "SELECT a.id, b.id FROM courses a JOIN courses b ON a.units < b.units",
-            )
+            .query_sql("SELECT a.id, b.id FROM courses a JOIN courses b ON a.units < b.units")
             .unwrap();
         // pairs with strictly smaller units: units are [5,3,4,4,3]
         // 3<4 (2 with id3), 3<4(id4), 3<5; two rows with units 3 → 2*3=6, 4<5 ×2 → 8
@@ -972,15 +1261,50 @@ mod tests {
     }
 
     #[test]
+    fn instrumented_matches_plain_and_annotates() {
+        let db = db();
+        let sql = "SELECT courses.id, comments.text FROM courses \
+                   JOIN comments ON courses.id = comments.course_id \
+                   WHERE courses.units >= 3 ORDER BY courses.id";
+        let plain = db.query_sql(sql).unwrap();
+        let (rs, profile) = db.explain_analyze_sql(sql).unwrap();
+        assert_eq!(rs.rows, plain.rows);
+        // Root operator's row count equals the result set's.
+        assert_eq!(profile.rows_out, rs.rows.len());
+        // The join and both scans are in the tree, scans annotated with
+        // their access path.
+        let join = profile.find("HashJoin").expect("join profiled");
+        assert_eq!(join.children.len(), 2);
+        let scan = profile.find("Scan courses").expect("scan profiled");
+        assert!(scan.detail.iter().any(|d| d.starts_with("access=")));
+        let text = profile.render();
+        assert!(text.contains("rows="));
+        assert!(text.contains("time="));
+    }
+
+    #[test]
+    fn instrumented_reports_pk_lookup_access_path() {
+        let db = db();
+        let (rs, profile) = db
+            .explain_analyze_sql("SELECT id FROM courses WHERE id = 3")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        let scan = profile.find("Scan courses").expect("scan profiled");
+        assert!(
+            scan.detail.iter().any(|d| d.contains("PkLookup")),
+            "detail: {:?}",
+            scan.detail
+        );
+    }
+
+    #[test]
     fn join_null_keys_never_match() {
         let db = Database::new();
         db.execute_sql("CREATE TABLE a (x INT)").unwrap();
         db.execute_sql("CREATE TABLE b (y INT)").unwrap();
         db.execute_sql("INSERT INTO a VALUES (NULL),(1)").unwrap();
         db.execute_sql("INSERT INTO b VALUES (NULL),(1)").unwrap();
-        let rs = db
-            .query_sql("SELECT * FROM a JOIN b ON a.x = b.y")
-            .unwrap();
+        let rs = db.query_sql("SELECT * FROM a JOIN b ON a.x = b.y").unwrap();
         assert_eq!(rs.rows.len(), 1);
     }
 }

@@ -317,7 +317,10 @@ impl Expr {
                 negated,
             } => Expr::InList {
                 expr: Box::new(expr.bind(schema)?),
-                list: list.iter().map(|e| e.bind(schema)).collect::<RelResult<_>>()?,
+                list: list
+                    .iter()
+                    .map(|e| e.bind(schema))
+                    .collect::<RelResult<_>>()?,
                 negated: *negated,
             },
             Expr::Between {
@@ -333,7 +336,10 @@ impl Expr {
             },
             Expr::Func { func, args } => Expr::Func {
                 func: *func,
-                args: args.iter().map(|e| e.bind(schema)).collect::<RelResult<_>>()?,
+                args: args
+                    .iter()
+                    .map(|e| e.bind(schema))
+                    .collect::<RelResult<_>>()?,
             },
         })
     }
@@ -399,9 +405,7 @@ impl Expr {
             }
             Expr::Between {
                 expr, low, high, ..
-            } => {
-                expr.has_unbound_names() || low.has_unbound_names() || high.has_unbound_names()
-            }
+            } => expr.has_unbound_names() || low.has_unbound_names() || high.has_unbound_names(),
             Expr::Func { args, .. } => args.iter().any(Expr::has_unbound_names),
         }
     }
@@ -477,9 +481,10 @@ impl Expr {
     pub fn eval(&self, row: &Row) -> RelResult<Value> {
         match self {
             Expr::Literal(v) => Ok(v.clone()),
-            Expr::Column(i) => row.get(*i).cloned().ok_or_else(|| {
-                RelError::Invalid(format!("row too short for column index {i}"))
-            }),
+            Expr::Column(i) => row
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| RelError::Invalid(format!("row too short for column index {i}"))),
             Expr::ColumnName { qualifier, name } => Err(RelError::Invalid(format!(
                 "unbound column reference {}{name} at eval time",
                 qualifier
@@ -999,7 +1004,11 @@ mod tests {
     }
 
     fn row() -> Row {
-        vec![Value::Int(10), Value::text("Greek Science"), Value::Float(2.5)]
+        vec![
+            Value::Int(10),
+            Value::text("Greek Science"),
+            Value::Float(2.5),
+        ]
     }
 
     #[test]
@@ -1130,7 +1139,9 @@ mod tests {
 
     #[test]
     fn display_roundtrips_readably() {
-        let e = Expr::col("a").gt_eq(Expr::lit(5i64)).and(Expr::col("b").like("%x%"));
+        let e = Expr::col("a")
+            .gt_eq(Expr::lit(5i64))
+            .and(Expr::col("b").like("%x%"));
         assert_eq!(e.to_string(), "((a >= 5) AND (b LIKE '%x%'))");
     }
 

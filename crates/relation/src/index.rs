@@ -44,7 +44,12 @@ enum IndexStorage {
 }
 
 impl Index {
-    pub fn new(name: impl Into<String>, columns: Vec<usize>, kind: IndexKind, unique: bool) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<usize>,
+        kind: IndexKind,
+        unique: bool,
+    ) -> Self {
         let storage = match kind {
             IndexKind::Hash => IndexStorage::Hash(HashMap::new()),
             IndexKind::BTree => IndexStorage::BTree(BTreeMap::new()),
@@ -112,11 +117,7 @@ impl Index {
     }
 
     /// Range scan (BTree only; returns empty for hash indexes).
-    pub fn range(
-        &self,
-        lower: Bound<&IndexKey>,
-        upper: Bound<&IndexKey>,
-    ) -> Vec<RowId> {
+    pub fn range(&self, lower: Bound<&IndexKey>, upper: Bound<&IndexKey>) -> Vec<RowId> {
         match &self.storage {
             IndexStorage::Hash(_) => Vec::new(),
             IndexStorage::BTree(m) => m
@@ -172,10 +173,7 @@ mod tests {
         for v in 0..10 {
             idx.insert(key(v), RowId(v as u64));
         }
-        let got = idx.range(
-            Bound::Included(&key(3)),
-            Bound::Excluded(&key(7)),
-        );
+        let got = idx.range(Bound::Included(&key(3)), Bound::Excluded(&key(7)));
         assert_eq!(got, vec![RowId(3), RowId(4), RowId(5), RowId(6)]);
     }
 
@@ -183,9 +181,7 @@ mod tests {
     fn hash_range_is_empty() {
         let mut idx = Index::new("i", vec![0], IndexKind::Hash, false);
         idx.insert(key(1), RowId(1));
-        assert!(idx
-            .range(Bound::Unbounded, Bound::Unbounded)
-            .is_empty());
+        assert!(idx.range(Bound::Unbounded, Bound::Unbounded).is_empty());
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod exec;
 pub mod expr;
 pub mod index;
 pub mod plan;
+pub mod profile;
 pub mod row;
 pub mod schema;
 pub mod sql;
@@ -52,9 +53,10 @@ pub mod value;
 
 pub use catalog::{Catalog, Database};
 pub use error::{RelError, RelResult};
-pub use exec::ResultSet;
+pub use exec::{execute_instrumented, AccessPath, ResultSet};
 pub use expr::Expr;
 pub use plan::{LogicalPlan, PlanBuilder};
+pub use profile::OpProfile;
 pub use row::Row;
 pub use schema::{Column, DataType, Schema};
 pub use value::Value;

@@ -191,7 +191,11 @@ impl PlanBuilder {
                     input_schema.column(*idx).data_type,
                     input_schema.qualifier(*idx).map(str::to_owned),
                 ),
-                other => (format!("group_{i}"), infer_expr_type(other, &input_schema), None),
+                other => (
+                    format!("group_{i}"),
+                    infer_expr_type(other, &input_schema),
+                    None,
+                ),
             };
             schema.push(Column::new(name, dt), qual);
             bound_groups.push(bg);
@@ -312,7 +316,10 @@ pub fn infer_expr_type(e: &Expr, schema: &Schema) -> DataType {
                 }
             }
         }
-        Expr::Not(_) | Expr::IsNull { .. } | Expr::Like { .. } | Expr::InList { .. }
+        Expr::Not(_)
+        | Expr::IsNull { .. }
+        | Expr::Like { .. }
+        | Expr::InList { .. }
         | Expr::Between { .. } => DataType::Bool,
         Expr::Neg(inner) => infer_expr_type(inner, schema),
         Expr::Func { func, args } => match func {
@@ -320,11 +327,9 @@ pub fn infer_expr_type(e: &Expr, schema: &Schema) -> DataType {
                 DataType::Text
             }
             ScalarFn::Length => DataType::Int,
-            ScalarFn::Round
-            | ScalarFn::Sqrt
-            | ScalarFn::Pow
-            | ScalarFn::Ln
-            | ScalarFn::Exp => DataType::Float,
+            ScalarFn::Round | ScalarFn::Sqrt | ScalarFn::Pow | ScalarFn::Ln | ScalarFn::Exp => {
+                DataType::Float
+            }
             ScalarFn::Abs | ScalarFn::Coalesce => args
                 .first()
                 .map(|a| infer_expr_type(a, schema))

@@ -202,10 +202,7 @@ impl LogicalPlan {
                 input.explain_into(depth + 1, out);
             }
             LogicalPlan::Project { input, exprs, .. } => {
-                let cols: Vec<String> = exprs
-                    .iter()
-                    .map(|(e, n)| format!("{e} AS {n}"))
-                    .collect();
+                let cols: Vec<String> = exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
                 let _ = writeln!(out, "{pad}Project {}", cols.join(", "));
                 input.explain_into(depth + 1, out);
             }

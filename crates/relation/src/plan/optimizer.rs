@@ -373,7 +373,9 @@ mod tests {
             .build();
         let opt = optimize(plan);
         match &opt {
-            LogicalPlan::Scan { filter: Some(f), .. } => {
+            LogicalPlan::Scan {
+                filter: Some(f), ..
+            } => {
                 assert_eq!(f.split_conjunction().len(), 2);
             }
             other => panic!("expected Scan with merged filter, got {}", other.explain()),
@@ -403,8 +405,20 @@ mod tests {
         // Both conjuncts should have sunk into the scans.
         match &opt {
             LogicalPlan::Join { left, right, .. } => {
-                assert!(matches!(**left, LogicalPlan::Scan { filter: Some(_), .. }));
-                assert!(matches!(**right, LogicalPlan::Scan { filter: Some(_), .. }));
+                assert!(matches!(
+                    **left,
+                    LogicalPlan::Scan {
+                        filter: Some(_),
+                        ..
+                    }
+                ));
+                assert!(matches!(
+                    **right,
+                    LogicalPlan::Scan {
+                        filter: Some(_),
+                        ..
+                    }
+                ));
             }
             other => panic!("expected Join at root, got {}", other.explain()),
         }

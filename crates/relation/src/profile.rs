@@ -1,0 +1,181 @@
+//! Per-operator execution profiles — the `EXPLAIN ANALYZE` substrate.
+//!
+//! [`crate::exec::execute_instrumented`] returns an [`OpProfile`] tree
+//! mirroring the plan: one node per physical operator, annotated with
+//! the rows it produced, its wall-clock time (inclusive of children),
+//! and operator-specific detail such as the access path a scan chose or
+//! the algorithm a join used. [`OpProfile::render`] prints the familiar
+//! annotated tree.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One operator's measured execution, with its children beneath it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpProfile {
+    /// Operator name, e.g. `"Scan courses"`, `"HashJoin"`.
+    pub op: String,
+    /// Operator-specific annotations, e.g. `"access=SeqScan"`.
+    pub detail: Vec<String>,
+    /// Rows this operator emitted.
+    pub rows_out: usize,
+    /// Wall-clock time, inclusive of children.
+    pub elapsed: Duration,
+    pub children: Vec<OpProfile>,
+}
+
+impl OpProfile {
+    /// Rows flowing into this operator (sum of children's output).
+    pub fn rows_in(&self) -> usize {
+        self.children.iter().map(|c| c.rows_out).sum()
+    }
+
+    /// Time spent in this operator excluding its children.
+    pub fn self_time(&self) -> Duration {
+        let child: Duration = self.children.iter().map(|c| c.elapsed).sum();
+        self.elapsed.saturating_sub(child)
+    }
+
+    /// Total number of operators in the tree.
+    pub fn operator_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(OpProfile::operator_count)
+            .sum::<usize>()
+    }
+
+    /// Depth-first search for an operator whose name starts with `prefix`.
+    pub fn find(&self, prefix: &str) -> Option<&OpProfile> {
+        if self.op.starts_with(prefix) {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(prefix))
+    }
+
+    /// Render the annotated plan tree:
+    ///
+    /// ```text
+    /// Sort (rows=6 time=18.2µs self=3.1µs) [keys=1]
+    ///   -> HashJoin (rows=6 time=12.0µs self=7.9µs) [kind=Inner keys=1]
+    ///        -> Scan courses (rows=5 time=2.1µs) [access=SeqScan]
+    ///        -> Scan comments (rows=3 time=2.0µs) [access=SeqScan]
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(0, &mut out);
+        out
+    }
+
+    fn render_into(&self, depth: usize, out: &mut String) {
+        if depth == 0 {
+            let _ = write!(out, "{}", self.line(true));
+        } else {
+            let _ = write!(
+                out,
+                "{}-> {}",
+                "     ".repeat(depth - 1).as_str(),
+                self.line(false)
+            );
+        }
+        out.push('\n');
+        for c in &self.children {
+            c.render_into(depth + 1, out);
+        }
+    }
+
+    fn line(&self, root: bool) -> String {
+        let mut s = format!(
+            "{} (rows={} time={}",
+            self.op,
+            self.rows_out,
+            fmt_duration(self.elapsed)
+        );
+        if !self.children.is_empty() {
+            let _ = write!(s, " self={}", fmt_duration(self.self_time()));
+        }
+        s.push(')');
+        if !self.detail.is_empty() {
+            let _ = write!(s, " [{}]", self.detail.join(" "));
+        }
+        let _ = root; // same format at every depth; kept for future totals line
+        s
+    }
+}
+
+/// Human-scale duration: ns below 1µs, µs below 1ms, then ms.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(op: &str, rows: usize, us: u64) -> OpProfile {
+        OpProfile {
+            op: op.into(),
+            detail: vec!["access=SeqScan".into()],
+            rows_out: rows,
+            elapsed: Duration::from_micros(us),
+            children: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn tree_arithmetic() {
+        let join = OpProfile {
+            op: "HashJoin".into(),
+            detail: vec!["kind=Inner".into()],
+            rows_out: 6,
+            elapsed: Duration::from_micros(12),
+            children: vec![leaf("Scan a", 5, 2), leaf("Scan b", 3, 2)],
+        };
+        assert_eq!(join.rows_in(), 8);
+        assert_eq!(join.self_time(), Duration::from_micros(8));
+        assert_eq!(join.operator_count(), 3);
+        assert_eq!(join.find("Scan b").unwrap().rows_out, 3);
+        assert!(join.find("Sort").is_none());
+    }
+
+    #[test]
+    fn render_shape() {
+        let root = OpProfile {
+            op: "Sort".into(),
+            detail: vec!["keys=1".into()],
+            rows_out: 6,
+            elapsed: Duration::from_micros(20),
+            children: vec![OpProfile {
+                op: "HashJoin".into(),
+                detail: Vec::new(),
+                rows_out: 6,
+                elapsed: Duration::from_micros(12),
+                children: vec![leaf("Scan a", 5, 2)],
+            }],
+        };
+        let text = root.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("Sort (rows=6"));
+        assert!(lines[0].contains("[keys=1]"));
+        assert!(lines[1].starts_with("-> HashJoin"));
+        assert!(lines[2].starts_with("     -> Scan a"));
+        assert!(lines[2].contains("[access=SeqScan]"));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(750)), "750ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.5ms");
+        assert_eq!(fmt_duration(Duration::from_nanos(2_500)), "2.5µs");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+    }
+}

@@ -7,7 +7,9 @@ use crate::value::Value;
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     CreateTable(CreateTable),
-    DropTable { name: String },
+    DropTable {
+        name: String,
+    },
     CreateIndex(CreateIndex),
     Insert(Insert),
     Select(Select),
@@ -88,7 +90,10 @@ pub enum SelectItem {
     /// `alias.*`
     QualifiedWildcard(String),
     /// `expr [AS name]`
-    Expr { expr: SqlExpr, alias: Option<String> },
+    Expr {
+        expr: SqlExpr,
+        alias: Option<String>,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -201,11 +206,7 @@ impl SqlExpr {
             }
             SqlExpr::Between {
                 expr, low, high, ..
-            } => {
-                expr.contains_aggregate()
-                    || low.contains_aggregate()
-                    || high.contains_aggregate()
-            }
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             _ => false,
         }
     }

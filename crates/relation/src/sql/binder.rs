@@ -8,8 +8,8 @@ use crate::plan::{optimizer, AggExpr, AggFn, JoinKind, LogicalPlan, SortKey};
 use crate::schema::{Column, Schema};
 use crate::value::Value;
 
-use super::ast::*;
 use super::affected;
+use super::ast::*;
 
 /// Execute a single statement.
 pub fn execute_statement(stmt: &Statement, catalog: &Catalog) -> RelResult<ResultSet> {
@@ -40,10 +40,7 @@ fn exec_explain(stmt: &Statement, catalog: &Catalog) -> RelResult<ResultSet> {
         }
         other => format!("{other:#?}\n"),
     };
-    let rows = text
-        .lines()
-        .map(|l| vec![Value::text(l)])
-        .collect();
+    let rows = text.lines().map(|l| vec![Value::text(l)]).collect();
     Ok(ResultSet {
         schema: Schema::new(vec![Column::new("plan", crate::schema::DataType::Text)]),
         rows,
@@ -155,9 +152,7 @@ fn exec_update(u: &Update, catalog: &Catalog) -> RelResult<ResultSet> {
             let assignments: Vec<(usize, Expr)> = u
                 .assignments
                 .iter()
-                .map(|(col, e)| {
-                    Ok((schema.index_of(col)?, convert_scalar(e)?.bind(&schema)?))
-                })
+                .map(|(col, e)| Ok((schema.index_of(col)?, convert_scalar(e)?.bind(&schema)?)))
                 .collect::<RelResult<_>>()?;
             let mut updates = Vec::new();
             for (rid, row) in t.scan() {
@@ -385,7 +380,10 @@ fn bind_single_select(q: &Select, catalog: &Catalog) -> RelResult<LogicalPlan> {
                 } else {
                     convert_scalar(&o.expr)?.bind(&pre_schema)?
                 };
-                sort_before.push(SortKey { expr: e, desc: o.desc });
+                sort_before.push(SortKey {
+                    expr: e,
+                    desc: o.desc,
+                });
             }
         }
     }
@@ -512,9 +510,8 @@ fn bind_aggregate_pipeline(
     // Collect distinct aggregate calls across SELECT items + HAVING +
     // ORDER BY (order keys may be aggregates not in the select list).
     let mut agg_calls: Vec<(AggFn, Expr, bool)> = Vec::new();
-    let mut collect = |e: &SqlExpr| -> RelResult<()> {
-        collect_aggregates(e, input_schema, &mut agg_calls)
-    };
+    let mut collect =
+        |e: &SqlExpr| -> RelResult<()> { collect_aggregates(e, input_schema, &mut agg_calls) };
     for (e, _) in items {
         collect(e)?;
     }
@@ -549,7 +546,10 @@ fn bind_aggregate_pipeline(
         .enumerate()
         .map(|(i, (func, arg, distinct))| {
             let in_dt = crate::plan::infer_expr_type(arg, input_schema);
-            agg_schema.push(Column::new(format!("agg_{i}"), func.output_type(in_dt)), None);
+            agg_schema.push(
+                Column::new(format!("agg_{i}"), func.output_type(in_dt)),
+                None,
+            );
             AggExpr {
                 func: *func,
                 arg: arg.clone(),
@@ -721,7 +721,12 @@ fn rewrite_over_aggregate(
     match e {
         SqlExpr::Binary { op, left, right } => Ok(Expr::Binary {
             op: convert_binop(*op),
-            left: Box::new(rewrite_over_aggregate(left, input_schema, group_bound, agg_calls)?),
+            left: Box::new(rewrite_over_aggregate(
+                left,
+                input_schema,
+                group_bound,
+                agg_calls,
+            )?),
             right: Box::new(rewrite_over_aggregate(
                 right,
                 input_schema,
@@ -792,7 +797,12 @@ fn rewrite_over_aggregate(
                 group_bound,
                 agg_calls,
             )?),
-            low: Box::new(rewrite_over_aggregate(low, input_schema, group_bound, agg_calls)?),
+            low: Box::new(rewrite_over_aggregate(
+                low,
+                input_schema,
+                group_bound,
+                agg_calls,
+            )?),
             high: Box::new(rewrite_over_aggregate(
                 high,
                 input_schema,
@@ -1102,7 +1112,9 @@ mod tests {
     fn multi_statement_execute_returns_last() {
         let db = Database::new();
         let rs = db
-            .execute_sql("CREATE TABLE t (x INT); INSERT INTO t VALUES (1),(2); SELECT COUNT(*) AS n FROM t")
+            .execute_sql(
+                "CREATE TABLE t (x INT); INSERT INTO t VALUES (1),(2); SELECT COUNT(*) AS n FROM t",
+            )
             .unwrap();
         assert_eq!(rs.scalar(), Some(&Value::Int(2)));
     }

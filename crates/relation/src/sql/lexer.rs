@@ -153,14 +153,12 @@ pub fn lex(text: &str) -> RelResult<Vec<Token>> {
                     } else {
                         // advance over a full UTF-8 char
                         let ch_len = utf8_len(bytes[i]);
-                        s.push_str(
-                            std::str::from_utf8(&bytes[i..i + ch_len]).map_err(|_| {
-                                RelError::Lex {
-                                    pos: i,
-                                    message: "invalid UTF-8 in string".into(),
-                                }
-                            })?,
-                        );
+                        s.push_str(std::str::from_utf8(&bytes[i..i + ch_len]).map_err(|_| {
+                            RelError::Lex {
+                                pos: i,
+                                message: "invalid UTF-8 in string".into(),
+                            }
+                        })?);
                         i += ch_len;
                     }
                 }

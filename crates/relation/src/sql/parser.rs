@@ -92,7 +92,10 @@ impl Parser {
     }
 
     fn parse_statement(&mut self) -> RelResult<Statement> {
-        let t = self.peek().cloned().ok_or_else(|| self.err("empty input"))?;
+        let t = self
+            .peek()
+            .cloned()
+            .ok_or_else(|| self.err("empty input"))?;
         if t.is_kw("CREATE") {
             self.pos += 1;
             if self.eat_kw("TABLE") {
@@ -531,9 +534,10 @@ impl Parser {
         let negated = if self.peek().is_some_and(|t| t.is_kw("NOT")) {
             let saved = self.pos;
             self.pos += 1;
-            if self.peek().is_some_and(|t| {
-                t.is_kw("LIKE") || t.is_kw("IN") || t.is_kw("BETWEEN")
-            }) {
+            if self
+                .peek()
+                .is_some_and(|t| t.is_kw("LIKE") || t.is_kw("IN") || t.is_kw("BETWEEN"))
+            {
                 true
             } else {
                 self.pos = saved;
@@ -734,9 +738,8 @@ mod tests {
 
     #[test]
     fn parse_create_table_with_constraints() {
-        let s = parse_one(
-            "CREATE TABLE courses (id INT PRIMARY KEY, title TEXT NOT NULL, units INT)",
-        );
+        let s =
+            parse_one("CREATE TABLE courses (id INT PRIMARY KEY, title TEXT NOT NULL, units INT)");
         match s {
             Statement::CreateTable(ct) => {
                 assert_eq!(ct.name, "courses");

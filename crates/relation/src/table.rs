@@ -96,7 +96,10 @@ impl Table {
             if idx.unique {
                 let key = idx.key_of(&row);
                 if idx.would_conflict(&key) {
-                    return Err(RelError::DuplicateKey(format!("{}:{}", self.name, idx.name)));
+                    return Err(RelError::DuplicateKey(format!(
+                        "{}:{}",
+                        self.name, idx.name
+                    )));
                 }
             }
         }
@@ -267,10 +270,7 @@ mod tests {
         let rid = t.insert(row![1i64, "Intro", 5i64]).unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.get(rid).unwrap()[1], Value::text("Intro"));
-        assert_eq!(
-            t.get_by_pk(&vec![Value::Int(1)]).unwrap()[2],
-            Value::Int(5)
-        );
+        assert_eq!(t.get_by_pk(&vec![Value::Int(1)]).unwrap()[2], Value::Int(5));
     }
 
     #[test]
@@ -286,7 +286,9 @@ mod tests {
     fn null_pk_rejected() {
         let mut t = courses();
         // id is NOT NULL so validate_row catches it first.
-        assert!(t.insert(vec![Value::Null, Value::Null, Value::Null]).is_err());
+        assert!(t
+            .insert(vec![Value::Null, Value::Null, Value::Null])
+            .is_err());
     }
 
     #[test]

@@ -146,20 +146,22 @@ impl Value {
             }
             (Value::Date(d), DataType::Int) => Ok(Value::Int(*d as i64)),
             (Value::Text(s), DataType::Int) => {
-                s.trim().parse::<i64>().map(Value::Int).map_err(|_| {
-                    RelError::TypeMismatch {
+                s.trim()
+                    .parse::<i64>()
+                    .map(Value::Int)
+                    .map_err(|_| RelError::TypeMismatch {
                         expected: "Int".into(),
                         found: format!("Text({s:?})"),
-                    }
-                })
+                    })
             }
             (Value::Text(s), DataType::Float) => {
-                s.trim().parse::<f64>().map(Value::float).map_err(|_| {
-                    RelError::TypeMismatch {
+                s.trim()
+                    .parse::<f64>()
+                    .map(Value::float)
+                    .map_err(|_| RelError::TypeMismatch {
                         expected: "Float".into(),
                         found: format!("Text({s:?})"),
-                    }
-                })
+                    })
             }
             (v, t) => Err(RelError::TypeMismatch {
                 expected: format!("{t:?}"),

@@ -12,17 +12,94 @@ pub const STOPWORDS: &[&str] = &[
     // Sorted — the analyzer binary-searches this list. Includes catalog
     // noise words ("course", "students") that would otherwise dominate
     // every cloud.
-    "a", "also", "an", "and", "are", "as", "at", "be", "been", "but", "by",
-    "class", "classes", "course", "courses", "for", "from", "had", "has",
-    "have", "he", "her", "his", "i", "if", "in", "into", "introduction",
-    "is", "it", "its", "lecture", "lectures", "may", "more", "most", "no",
-    "not", "of", "on", "or", "our", "prerequisite", "prerequisites",
-    "professor", "quarter", "really", "she", "so", "some", "student",
-    "students", "studies", "study", "such", "take", "taken", "taking",
-    "than", "that", "the", "their", "them", "then", "there", "these",
-    "they", "this", "those", "to", "topic", "topics", "unit", "units",
-    "up", "very", "was", "we", "were", "what", "when", "which", "who",
-    "will", "with", "would", "you", "your",
+    "a",
+    "also",
+    "an",
+    "and",
+    "are",
+    "as",
+    "at",
+    "be",
+    "been",
+    "but",
+    "by",
+    "class",
+    "classes",
+    "course",
+    "courses",
+    "for",
+    "from",
+    "had",
+    "has",
+    "have",
+    "he",
+    "her",
+    "his",
+    "i",
+    "if",
+    "in",
+    "into",
+    "introduction",
+    "is",
+    "it",
+    "its",
+    "lecture",
+    "lectures",
+    "may",
+    "more",
+    "most",
+    "no",
+    "not",
+    "of",
+    "on",
+    "or",
+    "our",
+    "prerequisite",
+    "prerequisites",
+    "professor",
+    "quarter",
+    "really",
+    "she",
+    "so",
+    "some",
+    "student",
+    "students",
+    "studies",
+    "study",
+    "such",
+    "take",
+    "taken",
+    "taking",
+    "than",
+    "that",
+    "the",
+    "their",
+    "them",
+    "then",
+    "there",
+    "these",
+    "they",
+    "this",
+    "those",
+    "to",
+    "topic",
+    "topics",
+    "unit",
+    "units",
+    "up",
+    "very",
+    "was",
+    "we",
+    "were",
+    "what",
+    "when",
+    "which",
+    "who",
+    "will",
+    "with",
+    "would",
+    "you",
+    "your",
 ];
 
 /// A produced token: the (possibly stemmed) term, the lowercase surface
@@ -93,7 +170,11 @@ impl Analyzer {
             if self.remove_stopwords && STOPWORDS.binary_search(&lower.as_str()).is_ok() {
                 continue;
             }
-            let term = if self.stem { stem(&lower) } else { lower.clone() };
+            let term = if self.stem {
+                stem(&lower)
+            } else {
+                lower.clone()
+            };
             if term.len() < self.min_len {
                 continue;
             }
@@ -135,7 +216,10 @@ pub fn stem(word: &str) -> String {
     }
     if let Some(base) = w.strip_suffix("es") {
         // matches "classes"→"class", "boxes"→"box"; guard "species"
-        if base.ends_with("ss") || base.ends_with('x') || base.ends_with("ch") || base.ends_with("sh")
+        if base.ends_with("ss")
+            || base.ends_with('x')
+            || base.ends_with("ch")
+            || base.ends_with("sh")
         {
             return base.to_owned();
         }

@@ -139,10 +139,7 @@ pub fn compute_cloud(
     // Degenerate case: the result set ≈ the whole corpus, so nothing is
     // *over*represented and LLR yields an empty cloud. Fall back to
     // TF-IDF, which still ranks the set's frequent-but-rare terms.
-    if cloud.terms.is_empty()
-        && !results.is_empty()
-        && config.scorer == TermScorer::LogLikelihood
-    {
+    if cloud.terms.is_empty() && !results.is_empty() && config.scorer == TermScorer::LogLikelihood {
         return compute_cloud_inner(
             index,
             results,
@@ -194,9 +191,7 @@ fn compute_cloud_inner(
         if *df < config.min_doc_freq {
             continue;
         }
-        if excluded.contains(term)
-            || term.split(' ').all(|part| excluded.contains(&part))
-        {
+        if excluded.contains(term) || term.split(' ').all(|part| excluded.contains(&part)) {
             continue;
         }
         let corpus_df = index.doc_freq(term);
@@ -382,9 +377,7 @@ mod tests {
         let mut american = Vec::new();
         // 10 "american" docs that also discuss politics.
         for i in 0..10 {
-            let text = format!(
-                "american politics and government debate {i} federal policy"
-            );
+            let text = format!("american politics and government debate {i} federal policy");
             american.push(ix.add_document(&[(b, text.as_str())]));
         }
         // 40 background docs about databases.
@@ -398,12 +391,7 @@ mod tests {
     #[test]
     fn cloud_surfaces_result_characteristic_terms() {
         let (ix, results) = build_corpus();
-        let cloud = compute_cloud(
-            &ix,
-            &results,
-            &["american".into()],
-            &CloudConfig::default(),
-        );
+        let cloud = compute_cloud(&ix, &results, &["american".into()], &CloudConfig::default());
         let terms = cloud.term_strings();
         assert!(
             terms.iter().any(|t| t.contains("politic")),
@@ -460,7 +448,11 @@ mod tests {
             .take(5)
             .filter(|t| top_exact.contains(t))
             .count();
-        assert!(overlap >= 2, "exact {top_exact:?} vs approx {:?}", approx.term_strings());
+        assert!(
+            overlap >= 2,
+            "exact {top_exact:?} vs approx {:?}",
+            approx.term_strings()
+        );
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! ("latin american") map to bigram terms.
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use cr_relation::Value;
 
@@ -14,6 +16,42 @@ use crate::cloud::{compute_cloud, CloudConfig, DataCloud};
 use crate::entity::EntityCorpus;
 use crate::index::DocId;
 use crate::score::{bm25f_term_score, idf, Bm25Params};
+
+// Handles resolved once; recording is relaxed atomics. All sites gate on
+// `cr_obs::enabled()` so the disabled cost is one atomic load per query.
+struct TsMetrics {
+    queries: Arc<cr_obs::Counter>,
+    query_ns: Arc<cr_obs::Histogram>,
+    postings_lookups: Arc<cr_obs::Counter>,
+    candidate_set: Arc<cr_obs::Histogram>,
+    clouds: Arc<cr_obs::Counter>,
+    cloud_ns: Arc<cr_obs::Histogram>,
+}
+
+fn metrics() -> &'static TsMetrics {
+    static M: OnceLock<TsMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = cr_obs::Registry::global();
+        TsMetrics {
+            queries: r.counter("textsearch.queries"),
+            query_ns: r.histogram("textsearch.query_ns"),
+            postings_lookups: r.counter("textsearch.postings_lookups"),
+            candidate_set: r.histogram("textsearch.candidate_set"),
+            clouds: r.counter("textsearch.clouds"),
+            cloud_ns: r.histogram("textsearch.cloud_ns"),
+        }
+    })
+}
+
+/// Per-query execution stats collected during [`SearchEngine::search`].
+#[derive(Debug, Default, Clone, Copy)]
+struct SearchStats {
+    /// `index.postings(term)` lookups performed.
+    postings_lookups: u64,
+    /// Docs that matched the first term (the candidate set the remaining
+    /// conjuncts filter down).
+    candidates: u64,
+}
 
 /// A parsed query: analyzed terms (unigrams or bigram phrases).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -132,8 +170,28 @@ impl SearchEngine {
     }
 
     /// Run a search: conjunctive over the query terms, BM25F-scored,
-    /// returning the top `k` hits and the full match list.
+    /// returning the top `k` hits and the full match list. Records
+    /// per-query metrics (index lookups, candidate-set size, latency)
+    /// when metrics collection is enabled.
     pub fn search(&self, query: &Query, k: usize) -> SearchResults {
+        let started = if cr_obs::enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let mut stats = SearchStats::default();
+        let results = self.search_inner(query, k, &mut stats);
+        if let Some(t0) = started {
+            let m = metrics();
+            m.queries.inc();
+            m.postings_lookups.add(stats.postings_lookups);
+            m.candidate_set.record(stats.candidates);
+            m.query_ns.record_duration(t0.elapsed());
+        }
+        results
+    }
+
+    fn search_inner(&self, query: &Query, k: usize, stats: &mut SearchStats) -> SearchResults {
         let index = &self.corpus.index;
         if query.terms.is_empty() {
             return SearchResults {
@@ -145,6 +203,7 @@ impl SearchEngine {
         let mut acc: HashMap<DocId, (f64, usize)> = HashMap::new();
         for (ti, term) in query.terms.iter().enumerate() {
             let postings = index.postings(term);
+            stats.postings_lookups += 1;
             let df = postings.iter().filter(|p| index.is_live(p.doc)).count();
             if df == 0 {
                 return SearchResults {
@@ -170,6 +229,10 @@ impl SearchEngine {
                 }
             }
         }
+        // Everything that matched the first term stays in `acc` (entries
+        // that missed a later term keep a stale seen-count), so its size
+        // is the candidate set the conjunction filtered.
+        stats.candidates = acc.len() as u64;
         let need = query.terms.len();
         let mut matched: Vec<(DocId, f64)> = acc
             .into_iter()
@@ -200,14 +263,26 @@ impl SearchEngine {
     }
 
     /// Compute the data cloud for a result set (excluding the query's own
-    /// terms, per Figure 3).
+    /// terms, per Figure 3). Cloud aggregation time is recorded in the
+    /// `textsearch.cloud_ns` histogram when metrics collection is enabled.
     pub fn cloud(&self, results: &SearchResults, config: &CloudConfig) -> DataCloud {
-        compute_cloud(
+        let started = if cr_obs::enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let cloud = compute_cloud(
             &self.corpus.index,
             &results.matched_docs,
             &results.query.terms,
             config,
-        )
+        );
+        if let Some(t0) = started {
+            let m = metrics();
+            m.clouds.inc();
+            m.cloud_ns.record_duration(t0.elapsed());
+        }
+        cloud
     }
 
     /// The full search-then-cloud step used by the examples.
@@ -242,17 +317,23 @@ mod tests {
         )
         .unwrap();
         let courses = [
-            (1, "American History", "political history of the united states"),
-            (2, "Latin American Studies", "culture politics of latin america"),
+            (
+                1,
+                "American History",
+                "political history of the united states",
+            ),
+            (
+                2,
+                "Latin American Studies",
+                "culture politics of latin america",
+            ),
             (3, "African American Literature", "novels and poetry"),
             (4, "Databases", "storage and queries"),
             (5, "American Politics", "government institutions elections"),
         ];
         for (id, t, d) in courses {
-            db.execute_sql(&format!(
-                "INSERT INTO Courses VALUES ({id}, '{t}', '{d}')"
-            ))
-            .unwrap();
+            db.execute_sql(&format!("INSERT INTO Courses VALUES ({id}, '{t}', '{d}')"))
+                .unwrap();
         }
         db.execute_sql(
             "INSERT INTO Comments VALUES (10, 4, 'american style grading easy'), (11, 3, 'moving african american voices')",
@@ -266,10 +347,7 @@ mod tests {
     fn query_parse_words_and_phrases() {
         let a = Analyzer::new();
         let q = Query::parse("american \"latin american\" history", &a);
-        assert_eq!(
-            q.terms,
-            vec!["american", "latin american", "history"]
-        );
+        assert_eq!(q.terms, vec!["american", "latin american", "history"]);
     }
 
     #[test]
@@ -351,7 +429,9 @@ mod tests {
         let terms = cloud.term_strings();
         assert!(!terms.contains(&"american"));
         assert!(
-            terms.iter().any(|t| t.contains("politic") || t.contains("history")),
+            terms
+                .iter()
+                .any(|t| t.contains("politic") || t.contains("history")),
             "{terms:?}"
         );
     }
@@ -363,6 +443,30 @@ mod tests {
         assert_eq!(r.hits.len(), 2);
         assert_eq!(r.total, 5);
         assert_eq!(r.matched_docs.len(), 5);
+    }
+
+    #[test]
+    fn search_records_metrics_when_enabled() {
+        let e = setup();
+        cr_obs::enable();
+        let snap_before = cr_obs::Registry::global().snapshot();
+        let before_q = snap_before.counter("textsearch.queries").unwrap_or(0);
+        let before_l = snap_before
+            .counter("textsearch.postings_lookups")
+            .unwrap_or(0);
+        let (r, _cloud) = e.search_with_cloud("american politics", 10, &CloudConfig::default());
+        assert_eq!(r.total, 2);
+        let snap = cr_obs::Registry::global().snapshot();
+        assert_eq!(snap.counter("textsearch.queries"), Some(before_q + 1));
+        // Two query terms → two postings lookups.
+        assert_eq!(
+            snap.counter("textsearch.postings_lookups"),
+            Some(before_l + 2)
+        );
+        assert!(snap.histogram("textsearch.query_ns").unwrap().count >= 1);
+        assert!(snap.histogram("textsearch.cloud_ns").unwrap().count >= 1);
+        // Candidate set (docs matching "american") is 5, filtered to 2.
+        assert!(snap.histogram("textsearch.candidate_set").unwrap().max >= 5);
     }
 
     #[test]

@@ -141,26 +141,27 @@ fn gather_texts(catalog: &Catalog, spec: &EntitySpec) -> RelResult<EntityTexts> 
                 text_column,
                 ..
             } => {
-                let map = catalog.with_table(table, |t| -> RelResult<HashMap<Value, String>> {
-                    let fk = t.schema().index_of(fk_column)?;
-                    let tx = t.schema().index_of(text_column)?;
-                    let mut m: HashMap<Value, String> = HashMap::with_capacity(t.len());
-                    for (_, row) in t.scan() {
-                        if row[fk].is_null() || row[tx].is_null() {
-                            continue;
+                let map =
+                    catalog.with_table(table, |t| -> RelResult<HashMap<Value, String>> {
+                        let fk = t.schema().index_of(fk_column)?;
+                        let tx = t.schema().index_of(text_column)?;
+                        let mut m: HashMap<Value, String> = HashMap::with_capacity(t.len());
+                        for (_, row) in t.scan() {
+                            if row[fk].is_null() || row[tx].is_null() {
+                                continue;
+                            }
+                            let text = match &row[tx] {
+                                Value::Text(s) => s.as_str(),
+                                _ => continue,
+                            };
+                            let slot = m.entry(row[fk].clone()).or_default();
+                            if !slot.is_empty() {
+                                slot.push(' ');
+                            }
+                            slot.push_str(text);
                         }
-                        let text = match &row[tx] {
-                            Value::Text(s) => s.as_str(),
-                            _ => continue,
-                        };
-                        let slot = m.entry(row[fk].clone()).or_default();
-                        if !slot.is_empty() {
-                            slot.push(' ');
-                        }
-                        slot.push_str(text);
-                    }
-                    Ok(m)
-                })??;
+                        Ok(m)
+                    })??;
                 related_maps.push(Some(map));
             }
         }
@@ -323,15 +324,16 @@ pub fn reindex_entity(
     };
     // Gather this one entity's texts.
     let mut per_field: Vec<String> = Vec::with_capacity(spec.fields.len());
-    let base_row = catalog.with_table(&spec.base_table, |t| -> RelResult<Option<Vec<Value>>> {
-        let id_idx = t.schema().index_of(&spec.id_column)?;
-        for (_, row) in t.scan() {
-            if row[id_idx] == *entity_id {
-                return Ok(Some(row.clone()));
+    let base_row =
+        catalog.with_table(&spec.base_table, |t| -> RelResult<Option<Vec<Value>>> {
+            let id_idx = t.schema().index_of(&spec.id_column)?;
+            for (_, row) in t.scan() {
+                if row[id_idx] == *entity_id {
+                    return Ok(Some(row.clone()));
+                }
             }
-        }
-        Ok(None)
-    })??;
+            Ok(None)
+        })??;
     let Some(base_row) = base_row else {
         // Entity deleted from the base table: remove from index.
         corpus.index.remove_document(old_doc);
@@ -341,7 +343,8 @@ pub fn reindex_entity(
     for (_, src) in &spec.fields {
         match src {
             FieldSource::Column { column, .. } => {
-                let ci = catalog.with_table(&spec.base_table, |t| t.schema().index_of(column))??;
+                let ci =
+                    catalog.with_table(&spec.base_table, |t| t.schema().index_of(column))??;
                 per_field.push(match &base_row[ci] {
                     Value::Text(s) => s.clone(),
                     Value::Null => String::new(),
@@ -491,7 +494,8 @@ mod tests {
     fn reindex_deleted_entity_removes_doc() {
         let db = setup();
         let mut corpus = build_index(&db.catalog(), &spec()).unwrap();
-        db.execute_sql("DELETE FROM Courses WHERE CourseID = 2").unwrap();
+        db.execute_sql("DELETE FROM Courses WHERE CourseID = 2")
+            .unwrap();
         assert!(reindex_entity(&mut corpus, &db.catalog(), &spec(), &Value::Int(2)).unwrap());
         assert_eq!(corpus.index.num_docs(), 2);
         assert_eq!(corpus.index.doc_freq("sql"), 0);

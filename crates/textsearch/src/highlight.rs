@@ -159,7 +159,13 @@ mod tests {
 
     #[test]
     fn no_match_no_snippet() {
-        assert!(snippet("nothing relevant here", &terms("quantum"), &Analyzer::new(), 5).is_none());
+        assert!(snippet(
+            "nothing relevant here",
+            &terms("quantum"),
+            &Analyzer::new(),
+            5
+        )
+        .is_none());
         assert!(snippet("", &terms("x"), &Analyzer::new(), 5).is_none());
         assert!(snippet("text", &[], &Analyzer::new(), 5).is_none());
     }

@@ -145,16 +145,12 @@ impl InvertedIndex {
 
     /// Is this doc id live?
     pub fn is_live(&self, doc: DocId) -> bool {
-        self.docs
-            .get(doc.0 as usize)
-            .is_some_and(|d| !d.deleted)
+        self.docs.get(doc.0 as usize).is_some_and(|d| !d.deleted)
     }
 
     /// Per-document entry (None if deleted/unknown).
     pub fn doc(&self, doc: DocId) -> Option<&DocEntry> {
-        self.docs
-            .get(doc.0 as usize)
-            .filter(|d| !d.deleted)
+        self.docs.get(doc.0 as usize).filter(|d| !d.deleted)
     }
 
     /// Total number of distinct indexed terms (unigrams + bigrams).
@@ -184,8 +180,7 @@ impl InvertedIndex {
                     if let Some(prev) = i.checked_sub(1).map(|j| &tokens[j]) {
                         if prev.position + 1 == tok.position {
                             let bigram = format!("{} {}", prev.term, tok.term);
-                            let bigram_surface =
-                                format!("{} {}", prev.surface, tok.surface);
+                            let bigram_surface = format!("{} {}", prev.surface, tok.surface);
                             record_surface(&mut self.surfaces, &bigram, &bigram_surface);
                             bump(&mut tf, &bigram, fi, self.fields.len());
                             *entry.term_freqs.entry(bigram).or_insert(0) += 1;

@@ -34,13 +34,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     let trainings = [
-        (1, "ENG", "Incident Response Fundamentals", "oncall paging runbooks postmortems escalation"),
-        (2, "ENG", "Advanced Incident Command", "major incident coordination communication escalation"),
-        (3, "ENG", "Rust for Services", "ownership borrowing async services deployment"),
-        (4, "SALES", "Enterprise Negotiation", "contracts pricing objections closing renewal"),
-        (5, "SALES", "Customer Discovery", "interviews pain points qualification pipeline"),
-        (6, "HR", "Interviewing Without Bias", "structured interviews rubrics calibration fairness"),
-        (7, "ENG", "Observability in Practice", "metrics traces logs dashboards alerting oncall"),
+        (
+            1,
+            "ENG",
+            "Incident Response Fundamentals",
+            "oncall paging runbooks postmortems escalation",
+        ),
+        (
+            2,
+            "ENG",
+            "Advanced Incident Command",
+            "major incident coordination communication escalation",
+        ),
+        (
+            3,
+            "ENG",
+            "Rust for Services",
+            "ownership borrowing async services deployment",
+        ),
+        (
+            4,
+            "SALES",
+            "Enterprise Negotiation",
+            "contracts pricing objections closing renewal",
+        ),
+        (
+            5,
+            "SALES",
+            "Customer Discovery",
+            "interviews pain points qualification pipeline",
+        ),
+        (
+            6,
+            "HR",
+            "Interviewing Without Bias",
+            "structured interviews rubrics calibration fairness",
+        ),
+        (
+            7,
+            "ENG",
+            "Observability in Practice",
+            "metrics traces logs dashboards alerting oncall",
+        ),
     ];
     for (id, team, title, abs) in trainings {
         db.execute_sql(&format!(
@@ -59,7 +94,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ))?;
     }
     let reviews = [
-        (1, 100, 1, "the paging walkthrough saved my first oncall week", 5.0),
+        (
+            1,
+            100,
+            1,
+            "the paging walkthrough saved my first oncall week",
+            5.0,
+        ),
         (2, 100, 3, "finally understood borrowing", 4.5),
         (3, 101, 1, "escalation tree was gold", 5.0),
         (4, 101, 7, "dashboards section is excellent for oncall", 4.5),
@@ -67,7 +108,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (6, 102, 1, "good but long", 3.5),
         (7, 102, 4, "surprisingly useful for vendor calls", 4.0),
         (8, 103, 4, "closed two renewals with these techniques", 5.0),
-        (9, 103, 5, "the qualification checklist alone is worth it", 4.5),
+        (
+            9,
+            103,
+            5,
+            "the qualification checklist alone is worth it",
+            4.5,
+        ),
     ];
     for (id, emp, tr, text, rating) in reviews {
         db.execute_sql(&format!(
@@ -113,7 +160,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..CloudConfig::default()
     };
     let (results, cloud) = engine.search_with_cloud("oncall", 10, &cfg);
-    println!("== corporate search: \"oncall\" → {} trainings ==", results.total);
+    println!(
+        "== corporate search: \"oncall\" → {} trainings ==",
+        results.total
+    );
     for h in &results.hits {
         println!("  training {} (score {:.2})", h.entity_id, h.score);
     }

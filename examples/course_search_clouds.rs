@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("top results:");
     for h in &hits {
-        println!("  [{:>5}] {:<45} {:>8}  score {:.2}", h.course, h.title, h.dep, h.score);
+        println!(
+            "  [{:>5}] {:<45} {:>8}  score {:.2}",
+            h.course, h.title, h.dep, h.score
+        );
         if let Some(snip) = &h.snippet {
             println!("          {snip}");
         }

@@ -6,7 +6,7 @@
 //! cargo run --example degree_planning
 //! ```
 
-use courserank::db::{CourseRankDb, Course, EnrollStatus, Enrollment, Offering, Student};
+use courserank::db::{Course, CourseRankDb, EnrollStatus, Enrollment, Offering, Student};
 use courserank::model::{Days, Grade, Quarter, Term};
 use courserank::services::planner::{Planner, PlannerConfig};
 use courserank::services::requirements::{Requirement, RequirementTracker};
@@ -81,8 +81,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Autoplace the rest of the core, respecting the prerequisite chain,
     // unit loads, offerings, and time conflicts.
     println!("== automatic four-year planning ==\n");
-    let (placed, unplaced) =
-        planner.autoplace(7, &[221, 161, 110, 103, 102], Quarter::new(2009, Term::Winter), 9)?;
+    let (placed, unplaced) = planner.autoplace(
+        7,
+        &[221, 161, 110, 103, 102],
+        Quarter::new(2009, Term::Winter),
+        9,
+    )?;
     for e in &placed {
         db.insert_enrollment(e)?;
     }
@@ -118,7 +122,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     for c in &report.conflicts {
-        println!("  ⚠ time conflict in {}: CS{} × CS{}", c.quarter, c.course_a, c.course_b);
+        println!(
+            "  ⚠ time conflict in {}: CS{} × CS{}",
+            c.quarter, c.course_a, c.course_b
+        );
     }
 
     // Requirement tracking.

@@ -48,9 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .as_float()
                 .map(|r| format!("{r:.2}"))
                 .unwrap_or_else(|_| "—".into());
-            println!(
-                "{year}-{month:02}    {n:>10} {cumulative:>12} {users:>14} {rating:>16}"
-            );
+            println!("{year}-{month:02}    {n:>10} {cumulative:>12} {users:>14} {rating:>16}");
         }
     }
 

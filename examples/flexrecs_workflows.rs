@@ -31,10 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Figure 5(a): related courses ===");
     println!("{}", wf_a.explain());
     let result = cr_flexrecs::execute(&wf_a, &catalog)?;
-    println!(
-        "courses with titles similar to {:?}:",
-        course.title
-    );
+    println!("courses with titles similar to {:?}:", course.title);
     for (id, score) in result.ranking("CourseID", "score")? {
         let title = app
             .db()
@@ -74,10 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- The personalization options of §3.2 --------------------------
     println!("\n=== personalization options ===");
     for (label, opts) in [
-        (
-            "ratings-similar students (Fig 5b)",
-            RecOptions::default(),
-        ),
+        ("ratings-similar students (Fig 5b)", RecOptions::default()),
         (
             "weighted by similarity",
             RecOptions {
@@ -112,7 +106,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // ---- Majors and quarters ------------------------------------------
-    let majors = app.recs().recommend_major(student, &RecOptions::default())?;
+    let majors = app
+        .recs()
+        .recommend_major(student, &RecOptions::default())?;
     println!("\nrecommended majors for student {student}:");
     for (dep, score) in majors.iter().take(5) {
         println!("  {score:.2}  {dep}");

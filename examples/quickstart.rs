@@ -65,9 +65,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let app = CourseRank::assemble(db)?;
 
     // 4. Closed-community auth with three constituencies.
-    app.auth().register(900_001, "sally", Role::Student, "Sally")?;
+    app.auth()
+        .register(900_001, "sally", Role::Student, "Sally")?;
     let session = app.auth().login("sally")?;
-    println!("logged in: {} (role {:?})\n", session.username, session.role);
+    println!(
+        "logged in: {} (role {:?})\n",
+        session.username, session.role
+    );
 
     // 5. Search with a data cloud (§3.1).
     let (hits, results, cloud) = app.search().search_with_cloud("american", None, 5)?;

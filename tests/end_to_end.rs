@@ -64,10 +64,7 @@ fn student_journey() {
 
     // 5. The planner reflects the new plan.
     let report = app.planner().report(me).unwrap();
-    assert!(report
-        .quarters
-        .iter()
-        .any(|q| q.courses.contains(&to_plan)));
+    assert!(report.quarters.iter().any(|q| q.courses.contains(&to_plan)));
 
     // 6. Requirements audit runs.
     let audit = app.requirements().audit(1, me).unwrap();
@@ -133,7 +130,10 @@ fn staff_journey_defines_program_students_audit_it() {
         .unwrap();
     let staff = app.auth().login("registrar").unwrap();
     app.auth()
-        .authorize(staff.token, courserank::auth::Capability::DefineRequirements)
+        .authorize(
+            staff.token,
+            courserank::auth::Capability::DefineRequirements,
+        )
         .unwrap();
 
     // Staff define a new interdisciplinary program.

@@ -67,7 +67,11 @@ fn e12_every_figure2_component_works_through_the_facade() {
         )
         .unwrap();
     let commented = rs.rows[0][0].as_int().unwrap();
-    assert!(!app.comments().ranked_for_course(commented).unwrap().is_empty());
+    assert!(!app
+        .comments()
+        .ranked_for_course(commented)
+        .unwrap()
+        .is_empty());
 
     // forum (seeded by the generator).
     assert!(!app.forum().unanswered().unwrap().is_empty());
@@ -75,7 +79,11 @@ fn e12_every_figure2_component_works_through_the_facade() {
     // incentives.
     assert_eq!(
         app.incentives()
-            .award(1, courserank::services::incentives::PointEvent::DailyLogin, 1)
+            .award(
+                1,
+                courserank::services::incentives::PointEvent::DailyLogin,
+                1
+            )
             .unwrap(),
         1
     );

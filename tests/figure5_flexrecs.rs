@@ -21,7 +21,11 @@ fn figure5a_related_courses_ranks_by_title_similarity() {
     let wf = templates::related_courses(&SchemaMap::default(), &course.title, None, 10);
     let result = cr_flexrecs::execute(&wf, &db.catalog()).unwrap();
     let ranking = result.ranking("CourseID", "score").unwrap();
-    assert!(!ranking.is_empty(), "no related courses for {:?}", course.title);
+    assert!(
+        !ranking.is_empty(),
+        "no related courses for {:?}",
+        course.title
+    );
     // The course itself is excluded by the target filter.
     assert!(ranking.iter().all(|(id, _)| *id != Value::Int(1)));
     // Scores descend and every recommended title shares a word.
@@ -145,7 +149,11 @@ fn recommender_facade_personalization_options() {
         .map(|e| e.course)
         .collect();
     for r in &plain {
-        assert!(!taken.contains(&r.course), "recommended already-taken {}", r.course);
+        assert!(
+            !taken.contains(&r.course),
+            "recommended already-taken {}",
+            r.course
+        );
     }
 }
 

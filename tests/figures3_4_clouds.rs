@@ -20,7 +20,10 @@ fn app() -> CourseRank {
 #[test]
 fn figure3_broad_search_with_cloud() {
     let app = app();
-    let (hits, results, cloud) = app.search().search_with_cloud("american", None, 10).unwrap();
+    let (hits, results, cloud) = app
+        .search()
+        .search_with_cloud("american", None, 10)
+        .unwrap();
     let corpus = app.db().count("Courses").unwrap() as usize;
 
     // A broad bridge term hits a noticeable but minority slice.
@@ -46,7 +49,10 @@ fn figure3_broad_search_with_cloud() {
 #[test]
 fn figure4_refinement_narrows_by_an_order_of_magnitude() {
     let app = app();
-    let (_, broad, cloud) = app.search().search_with_cloud("american", None, 10).unwrap();
+    let (_, broad, cloud) = app
+        .search()
+        .search_with_cloud("american", None, 10)
+        .unwrap();
     // Pick the paper's kind of refinement: a bigram if present, else the
     // top term.
     let refine = cloud
@@ -116,7 +122,10 @@ fn search_reaches_comment_only_matches() {
 #[test]
 fn clouds_display_surface_forms_not_stems() {
     let app = app();
-    let (_, _, cloud) = app.search().search_with_cloud("american", None, 10).unwrap();
+    let (_, _, cloud) = app
+        .search()
+        .search_with_cloud("american", None, 10)
+        .unwrap();
     for t in &cloud.terms {
         // display forms come from real tokens, so a stem like "politic"
         // must be shown as an actual word ("politics").

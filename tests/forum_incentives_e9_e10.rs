@@ -98,7 +98,11 @@ fn e9_seeded_faqs_fill_the_empty_forum() {
             .unwrap()
             .as_int()
             .unwrap();
-        assert!(n > 0, "routed to student {} without CS experience", r.student);
+        assert!(
+            n > 0,
+            "routed to student {} without CS experience",
+            r.student
+        );
     }
 }
 
@@ -117,7 +121,9 @@ fn e10_best_answer_flow_awards_points() {
             seeded: false,
         })
         .unwrap();
-    forum.answer(88_001, 77_001, 2, "curved generously").unwrap();
+    forum
+        .answer(88_001, 77_001, 2, "curved generously")
+        .unwrap();
     forum.mark_best(88_001).unwrap();
     let granted = incentives.award(2, PointEvent::BestAnswer, 700).unwrap();
     assert_eq!(granted, 10); // the Yahoo! Answers number the paper quotes
@@ -131,17 +137,21 @@ fn e10_gaming_is_capped_honest_use_is_not() {
     // 10 days of honest use vs 10 days of vote spam.
     for day in 0..10 {
         incentives.award(501, PointEvent::DailyLogin, day).unwrap();
-        incentives.award(501, PointEvent::PostedComment, day).unwrap();
+        incentives
+            .award(501, PointEvent::PostedComment, day)
+            .unwrap();
         for _ in 0..200 {
-            incentives.award(502, PointEvent::VotedForBest, day).unwrap();
+            incentives
+                .award(502, PointEvent::VotedForBest, day)
+                .unwrap();
         }
     }
     let honest = incentives.score(501).unwrap();
     let gamer = incentives.score(502).unwrap();
     assert_eq!(honest, 10 * (1 + 2));
     assert_eq!(gamer, 10 * 10); // 10 capped votes/day × 1 point
-    // 2000 attempted spam votes only tripled an honest user's score —
-    // "users often try to boost their reputation"; the caps bound it.
+                                // 2000 attempted spam votes only tripled an honest user's score —
+                                // "users often try to boost their reputation"; the caps bound it.
     assert!(gamer <= honest * 4);
 }
 

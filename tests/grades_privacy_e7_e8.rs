@@ -79,7 +79,10 @@ fn e7_inflated_reports_are_detectably_higher_but_close() {
     let mean_diff: f64 = diffs.iter().sum::<f64>() / diffs.len() as f64;
     // The bias pushes self-reports up — but by well under half a letter
     // grade (the paper's "very close" observation holds).
-    assert!(mean_diff > -0.1, "self-reports unexpectedly lower: {mean_diff}");
+    assert!(
+        mean_diff > -0.1,
+        "self-reports unexpectedly lower: {mean_diff}"
+    );
     assert!(mean_diff < 0.4, "bias too large to call close: {mean_diff}");
 }
 
@@ -128,7 +131,10 @@ fn e8_official_only_for_disclosing_school() {
         .query_sql("SELECT CourseID FROM Courses WHERE DepID = 'CS' LIMIT 1")
         .unwrap();
     let cs_course = rs.rows[0][0].as_int().unwrap();
-    assert!(privacy.check_official_disclosure(cs_course).unwrap().is_ok());
+    assert!(privacy
+        .check_official_disclosure(cs_course)
+        .unwrap()
+        .is_ok());
 }
 
 #[test]

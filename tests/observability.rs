@@ -1,0 +1,90 @@
+//! End-to-end observability: EXPLAIN ANALYZE agrees with actual results,
+//! and one pass through the assembled system leaves nonzero counters for
+//! every instrumented layer.
+
+use courserank::services::recs::{ExecMode, RecOptions};
+use courserank::CourseRank;
+use cr_datagen::ScaleConfig;
+use cr_flexrecs::compile_and_run;
+use cr_relation::row::row;
+use cr_relation::Database;
+
+fn ratings_db() -> Database {
+    let db = Database::new();
+    db.execute_sql("CREATE TABLE students (id INT PRIMARY KEY, name TEXT)")
+        .unwrap();
+    db.execute_sql("CREATE TABLE ratings (id INT PRIMARY KEY, student INT, score FLOAT)")
+        .unwrap();
+    let mut students = Vec::new();
+    let mut ratings = Vec::new();
+    for i in 0..200i64 {
+        students.push(row![i, format!("s{i}")]);
+    }
+    for i in 0..1_000i64 {
+        ratings.push(row![i, i % 200, ((i % 9) + 1) as f64 / 2.0]);
+    }
+    db.insert_many("students", students).unwrap();
+    db.insert_many("ratings", ratings).unwrap();
+    db
+}
+
+#[test]
+fn explain_analyze_row_counts_match_result_set() {
+    let db = ratings_db();
+    let sql = "SELECT s.name, AVG(r.score) AS avg_score FROM students s \
+               JOIN ratings r ON s.id = r.student \
+               WHERE r.score >= 2.0 GROUP BY s.name ORDER BY avg_score DESC LIMIT 25";
+    let (rs, profile) = db.explain_analyze_sql(sql).unwrap();
+    assert_eq!(rs.rows.len(), 25);
+    // The root operator's row count is the result-set cardinality.
+    assert_eq!(profile.rows_out, rs.rows.len());
+    // The plain path returns the same rows.
+    assert_eq!(db.query_sql(sql).unwrap().rows, rs.rows);
+    // The tree contains the join with both scans beneath it.
+    let join = profile.find("HashJoin").expect("hash join in plan");
+    assert_eq!(join.children.len(), 2);
+    let rendered = profile.render();
+    assert!(rendered.contains("rows="), "{rendered}");
+    assert!(rendered.contains("access="), "{rendered}");
+}
+
+#[test]
+fn one_pass_through_the_system_populates_every_layer() {
+    cr_obs::install();
+    let (db, _stats) = cr_datagen::generate(&ScaleConfig::scaled(0.02)).unwrap();
+    let app = CourseRank::assemble(db).unwrap();
+
+    let (_hits, _results, _cloud) = app.search().search_with_cloud("history", None, 10).unwrap();
+    let opts = RecOptions {
+        min_common: 1,
+        ..RecOptions::default()
+    };
+    let _recs = app
+        .recs()
+        .recommend_courses(1, &opts, ExecMode::CompiledSql)
+        .unwrap();
+    let _report = app.planner().report(1).unwrap();
+
+    let wf = app.recs().course_workflow(1, &opts);
+    let run = compile_and_run(&wf, &app.db().catalog()).unwrap();
+    assert!(!run.step_timings.is_empty());
+    assert_eq!(run.step_timings.len(), run.sql_log.len());
+
+    let snap = app.metrics_snapshot();
+    // Service layer.
+    assert!(snap.counter("courserank.search.requests").unwrap_or(0) >= 1);
+    assert!(snap.counter("courserank.recs.requests").unwrap_or(0) >= 1);
+    assert!(snap.counter("courserank.planner.requests").unwrap_or(0) >= 1);
+    // Substrates underneath.
+    assert!(snap.counter("textsearch.queries").unwrap_or(0) >= 1);
+    assert!(snap.counter("flexrecs.compiled_runs").unwrap_or(0) >= 1);
+    assert!(snap.counter("relation.queries").unwrap_or(0) >= 1);
+    assert!(snap
+        .histogram("courserank.search.request_ns")
+        .is_some_and(|h| h.count >= 1));
+    // Renders are well-formed.
+    let prom = snap.to_prometheus();
+    assert!(prom.contains("courserank_search_requests"));
+    assert!(prom.contains("quantile=\"0.99\""));
+    assert!(snap.to_json().starts_with('{'));
+}

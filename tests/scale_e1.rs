@@ -35,7 +35,10 @@ fn generated_relations_match_config() {
         .database()
         .query_sql("SELECT COUNT(Rating) AS n FROM Comments")
         .unwrap();
-    assert_eq!(rated.scalar().unwrap().as_int().unwrap() as usize, cfg.ratings);
+    assert_eq!(
+        rated.scalar().unwrap().as_int().unwrap() as usize,
+        cfg.ratings
+    );
     // Every supporting relation is populated.
     for table in [
         "Departments",
@@ -49,10 +52,7 @@ fn generated_relations_match_config() {
         "OfficialGradeDist",
         "Users",
     ] {
-        assert!(
-            db.count(table).unwrap() > 0,
-            "{table} should be populated"
-        );
+        assert!(db.count(table).unwrap() > 0, "{table} should be populated");
     }
 }
 

@@ -18,15 +18,18 @@ fn db_with_data(values: &[(i64, i64)]) -> Database {
 #[test]
 fn three_way_join_with_aggregation() {
     let db = Database::new();
-    db.execute_sql("CREATE TABLE s (sid INT PRIMARY KEY, name TEXT)").unwrap();
-    db.execute_sql("CREATE TABLE c (cid INT PRIMARY KEY, dep TEXT)").unwrap();
-    db.execute_sql("CREATE TABLE r (sid INT, cid INT, score FLOAT, PRIMARY KEY (sid, cid))").unwrap();
-    db.execute_sql("INSERT INTO s VALUES (1,'a'),(2,'b'),(3,'c')").unwrap();
-    db.execute_sql("INSERT INTO c VALUES (10,'CS'),(11,'CS'),(12,'HIST')").unwrap();
-    db.execute_sql(
-        "INSERT INTO r VALUES (1,10,4.0),(1,11,5.0),(2,10,3.0),(3,12,2.0),(2,12,4.0)",
-    )
-    .unwrap();
+    db.execute_sql("CREATE TABLE s (sid INT PRIMARY KEY, name TEXT)")
+        .unwrap();
+    db.execute_sql("CREATE TABLE c (cid INT PRIMARY KEY, dep TEXT)")
+        .unwrap();
+    db.execute_sql("CREATE TABLE r (sid INT, cid INT, score FLOAT, PRIMARY KEY (sid, cid))")
+        .unwrap();
+    db.execute_sql("INSERT INTO s VALUES (1,'a'),(2,'b'),(3,'c')")
+        .unwrap();
+    db.execute_sql("INSERT INTO c VALUES (10,'CS'),(11,'CS'),(12,'HIST')")
+        .unwrap();
+    db.execute_sql("INSERT INTO r VALUES (1,10,4.0),(1,11,5.0),(2,10,3.0),(3,12,2.0),(2,12,4.0)")
+        .unwrap();
     let rs = db
         .query_sql(
             "SELECT c.dep, COUNT(*) AS n, AVG(r.score) AS avg_score \
@@ -93,7 +96,8 @@ fn like_in_is_null_combinations() {
 fn update_delete_roundtrip_preserves_indexes() {
     let db = db_with_data(&[(1, 1), (2, 2), (3, 3), (4, 4)]);
     db.execute_sql("CREATE INDEX by_v ON t (v)").unwrap();
-    db.execute_sql("UPDATE t SET v = v * 10 WHERE id >= 3").unwrap();
+    db.execute_sql("UPDATE t SET v = v * 10 WHERE id >= 3")
+        .unwrap();
     let rs = db.query_sql("SELECT id FROM t WHERE v = 30").unwrap();
     assert_eq!(rs.rows.len(), 1);
     db.execute_sql("DELETE FROM t WHERE v > 25").unwrap();

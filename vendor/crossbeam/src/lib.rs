@@ -1,0 +1,78 @@
+//! Offline stand-in for the `crossbeam` crate (scoped threads only).
+//!
+//! The workspace uses `crossbeam::thread::scope` for sharded index
+//! builds; std has had structured scoped threads since 1.63, so this
+//! adapter maps crossbeam's API (scope returns `Result`, spawn closures
+//! take a `&Scope` argument, `join` returns `Result`) onto
+//! `std::thread::scope`.
+
+pub mod thread {
+    use std::thread as std_thread;
+
+    /// Mirrors `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// Mirrors `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// crossbeam's join returns the payload of a panicking thread as
+        /// an error value rather than propagating.
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: inner_scope.spawn(move || {
+                    let scope = Scope { inner: inner_scope };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Mirrors `crossbeam::thread::scope`: the `Err` arm (panicked child
+    /// threads) cannot occur here because `std::thread::scope` re-raises
+    /// child panics, so callers' `.expect(..)` is always satisfied.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| {
+            let scope = Scope { inner: s };
+            f(&scope)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_spawn_and_join() {
+        let data = [1, 2, 3, 4];
+        let sums = crate::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(2) {
+                handles.push(s.spawn(move |_| chunk.iter().sum::<i32>()));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect::<Vec<_>>()
+        })
+        .expect("scope");
+        assert_eq!(sums, vec![3, 7]);
+    }
+}

@@ -1,0 +1,318 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real serde serializes through a visitor API; this stub goes
+//! through a concrete JSON tree ([`json::Value`]) instead, which is all
+//! the workspace needs (its only serde consumer is `serde_json`
+//! round-tripping of FlexRecs workflows). `#[derive(Serialize,
+//! Deserialize)]` comes from the sibling `serde_derive` stub and targets
+//! these two traits:
+//!
+//! * [`Serialize::to_json_value`] — value → JSON tree
+//! * [`Deserialize::from_json_value`] — JSON tree → value
+//!
+//! Representations match serde's defaults: structs as objects, unit enum
+//! variants as strings, data-carrying variants as single-key objects
+//! (external tagging), newtype payloads unwrapped.
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use json::{Error, Value};
+
+/// Value → JSON tree.
+pub trait Serialize {
+    fn to_json_value(&self) -> Value;
+}
+
+/// JSON tree → value.
+pub trait Deserialize: Sized {
+    fn from_json_value(v: &Value) -> Result<Self, Error>;
+}
+
+fn type_err<T>(expected: &str, got: &Value) -> Result<T, Error> {
+    Err(Error::msg(format!("expected {expected}, got {got:?}")))
+}
+
+// ---------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => type_err("bool", other),
+        }
+    }
+}
+
+macro_rules! signed_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                let wide: i128 = match v {
+                    Value::Int(i) => *i as i128,
+                    Value::UInt(u) => *u as i128,
+                    other => return type_err(stringify!($t), other),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::msg(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+signed_impls!(i8, i16, i32, i64, isize);
+
+macro_rules! unsigned_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                let wide: i128 = match v {
+                    Value::Int(i) => *i as i128,
+                    Value::UInt(u) => *u as i128,
+                    other => return type_err(stringify!($t), other),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::msg(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+unsigned_impls!(u8, u16, u32, u64, usize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    other => type_err(stringify!($t), other),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => type_err("string", other),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("checked")),
+            other => type_err("single-char string", other),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => type_err("array", other),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        T::from_json_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                const LEN: usize = [$(stringify!($t)),+].len();
+                match v {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($t::from_json_value(&items[$idx])?,)+))
+                    }
+                    other => type_err("tuple array", other),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<K, V, S> Serialize for std::collections::HashMap<K, V, S>
+where
+    K: std::fmt::Display,
+    V: Serialize,
+{
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Serialize for std::collections::BTreeMap<K, V>
+where
+    K: std::fmt::Display,
+    V: Serialize,
+{
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::{parse, print, print_pretty};
+    use super::*;
+
+    #[test]
+    fn parse_print_roundtrip() {
+        let text = r#"{"a":[1,-2,3.5,null,true],"b":"hi\nthere","c":{"d":18446744073709551615}}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(parse(&print(&v)).unwrap(), v);
+        assert_eq!(parse(&print_pretty(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v = parse(r#""café 😀""#).unwrap();
+        assert_eq!(v, Value::String("café 😀".into()));
+    }
+
+    #[test]
+    fn container_roundtrip() {
+        let v: Vec<(String, f64)> = vec![("a".into(), 1.5), ("b".into(), -2.0)];
+        let tree = v.to_json_value();
+        let back: Vec<(String, f64)> = Deserialize::from_json_value(&tree).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn option_null() {
+        let none: Option<i64> = None;
+        assert_eq!(none.to_json_value(), Value::Null);
+        let got: Option<i64> = Deserialize::from_json_value(&Value::Null).unwrap();
+        assert_eq!(got, None);
+        let got: Option<i64> = Deserialize::from_json_value(&Value::Int(4)).unwrap();
+        assert_eq!(got, Some(4));
+    }
+}

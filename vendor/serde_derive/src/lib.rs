@@ -1,0 +1,458 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! syn/quote are unavailable offline, so this parses the derive input
+//! with the bare `proc_macro` API and emits impls of the stub serde's
+//! `Serialize`/`Deserialize` traits (JSON-tree based) as parsed source
+//! strings. Supports non-generic structs (named, tuple, unit) and enums
+//! (unit, tuple, struct variants) — exactly the shapes this workspace
+//! derives. `#[serde(...)]` attributes are not supported and reach a
+//! panic with a clear message rather than being silently ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn skip_attributes(&mut self) {
+        loop {
+            match (self.peek(), self.tokens.get(self.pos + 1)) {
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    let body = g.stream().to_string();
+                    if body.starts_with("serde") {
+                        panic!(
+                            "stub serde_derive does not support #[serde(...)] attributes: {body}"
+                        );
+                    }
+                    self.pos += 2;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("stub serde_derive: expected {what}, got {other:?}"),
+        }
+    }
+}
+
+/// Count top-level (angle-bracket-aware) comma-separated items in a
+/// type list like `String, Vec<(Value, f64)>, HashMap<K, V>`.
+fn count_tuple_fields(g: &proc_macro::Group) -> usize {
+    let mut angle_depth = 0i32;
+    let mut fields = 0usize;
+    let mut any = false;
+    for t in g.stream() {
+        match &t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => fields += 1,
+                _ => {}
+            },
+            _ => any = true,
+        }
+    }
+    if !any {
+        0
+    } else {
+        // Trailing comma produces an exact count; otherwise one more
+        // field than separators.
+        let trailing = matches!(
+            g.stream().into_iter().last(),
+            Some(TokenTree::Punct(p)) if p.as_char() == ','
+        );
+        if trailing {
+            fields
+        } else {
+            fields + 1
+        }
+    }
+}
+
+/// Parse `name: Type, ...` (named-field bodies of structs and struct
+/// variants), returning field names.
+fn parse_named_fields(g: &proc_macro::Group) -> Vec<String> {
+    let mut c = Cursor::new(g.stream());
+    let mut names = Vec::new();
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            break;
+        }
+        names.push(c.expect_ident("field name"));
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("stub serde_derive: expected `:` after field, got {other:?}"),
+        }
+        // Consume the type up to a top-level comma.
+        let mut angle_depth = 0i32;
+        loop {
+            match c.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let ch = p.as_char();
+                    c.pos += 1;
+                    match ch {
+                        '<' => angle_depth += 1,
+                        '>' => angle_depth -= 1,
+                        ',' if angle_depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                Some(_) => c.pos += 1,
+            }
+        }
+    }
+    names
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kind = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("type name");
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("stub serde_derive: generic type {name} not supported");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("stub serde_derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("stub serde_derive: expected enum body, got {other:?}"),
+            };
+            let mut vc = Cursor::new(body.stream());
+            let mut variants = Vec::new();
+            loop {
+                vc.skip_attributes();
+                if vc.peek().is_none() {
+                    break;
+                }
+                let vname = vc.expect_ident("variant name");
+                let fields = match vc.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let f = Fields::Named(parse_named_fields(g));
+                        vc.pos += 1;
+                        f
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let f = Fields::Tuple(count_tuple_fields(g));
+                        vc.pos += 1;
+                        f
+                    }
+                    _ => Fields::Unit,
+                };
+                // Skip an explicit discriminant, then the separator.
+                loop {
+                    match vc.next() {
+                        None => break,
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                        Some(_) => {}
+                    }
+                }
+                variants.push((vname, fields));
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("stub serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn ser_named_fields(prefix: &str, names: &[String]) -> String {
+    let pairs: Vec<String> = names
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_json_value(&{prefix}{f}))"
+            )
+        })
+        .collect();
+    format!(
+        "::serde::json::Value::Object(::std::vec![{}])",
+        pairs.join(", ")
+    )
+}
+
+fn de_named_fields(ty_label: &str, ctor: &str, names: &[String], obj_expr: &str) -> String {
+    let inits: Vec<String> = names
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_json_value(::serde::json::obj_get({obj_expr}, \"{f}\", \"{ty_label}\")?)?"
+            )
+        })
+        .collect();
+    format!("{ctor} {{ {} }}", inits.join(", "))
+}
+
+fn generate_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::json::Value::Null".to_owned(),
+                Fields::Tuple(1) => "::serde::Serialize::to_json_value(&self.0)".to_owned(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                        .collect();
+                    format!(
+                        "::serde::json::Value::Array(::std::vec![{}])",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(names) => ser_named_fields("self.", names),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::json::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = Vec::new();
+            for (v, fields) in variants {
+                let arm = match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => ::serde::json::Value::String(::std::string::String::from(\"{v}\")),"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "{name}::{v}(f0) => ::serde::json::Value::Object(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Serialize::to_json_value(f0))]),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let sers: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_json_value(f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::json::Value::Object(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::json::Value::Array(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            sers.join(", ")
+                        )
+                    }
+                    Fields::Named(field_names) => {
+                        let binds = field_names.join(", ");
+                        let payload = ser_named_fields("", field_names);
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::json::Value::Object(::std::vec![(::std::string::String::from(\"{v}\"), {payload})]),"
+                        )
+                    }
+                };
+                arms.push(arm);
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::json::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let err = |msg: &str| {
+        format!("::std::result::Result::Err(::serde::json::Error::msg(::std::format!(\"{msg}\")))")
+    };
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!(
+                    "match v {{ ::serde::json::Value::Null => ::std::result::Result::Ok({name}), _ => {} }}",
+                    err(&format!("expected null for unit struct {name}"))
+                ),
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_json_value(v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_json_value(&arr[{i}])?"))
+                        .collect();
+                    format!(
+                        "let arr = v.as_array().ok_or_else(|| ::serde::json::Error::msg(\"expected array for {name}\"))?;\n\
+                         if arr.len() != {n} {{ return {}; }}\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        err(&format!("wrong arity for {name}")),
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(names) => format!(
+                    "let obj = v.as_object().ok_or_else(|| ::serde::json::Error::msg(\"expected object for {name}\"))?;\n\
+                     ::std::result::Result::Ok({})",
+                    de_named_fields(name, name, names, "obj")
+                ),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json_value(v: &::serde::json::Value) -> ::std::result::Result<Self, ::serde::json::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = Vec::new();
+            let mut payload_arms = Vec::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => unit_arms.push(format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),"
+                    )),
+                    Fields::Tuple(1) => payload_arms.push(format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_json_value(payload)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::from_json_value(&arr[{i}])?")
+                            })
+                            .collect();
+                        payload_arms.push(format!(
+                            "\"{v}\" => {{\n\
+                                 let arr = payload.as_array().ok_or_else(|| ::serde::json::Error::msg(\"expected array for {name}::{v}\"))?;\n\
+                                 if arr.len() != {n} {{ return {}; }}\n\
+                                 ::std::result::Result::Ok({name}::{v}({}))\n\
+                             }}",
+                            err(&format!("wrong arity for {name}::{v}")),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(field_names) => {
+                        let label = format!("{name}::{v}");
+                        let ctor = format!("{name}::{v}");
+                        payload_arms.push(format!(
+                            "\"{v}\" => {{\n\
+                                 let obj = payload.as_object().ok_or_else(|| ::serde::json::Error::msg(\"expected object for {label}\"))?;\n\
+                                 ::std::result::Result::Ok({})\n\
+                             }}",
+                            de_named_fields(&label, &ctor, field_names, "obj")
+                        ));
+                    }
+                }
+            }
+            let unknown_unit = err(&format!("unknown unit variant {{s}} for {name}"));
+            let unknown_payload = err(&format!("unknown variant {{tag}} for {name}"));
+            let bad_shape = err(&format!("expected string or single-key object for {name}"));
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json_value(v: &::serde::json::Value) -> ::std::result::Result<Self, ::serde::json::Error> {{\n\
+                         match v {{\n\
+                             ::serde::json::Value::String(s) => match s.as_str() {{\n\
+                                 {}\n\
+                                 _ => {unknown_unit},\n\
+                             }},\n\
+                             ::serde::json::Value::Object(o) if o.len() == 1 => {{\n\
+                                 let (tag, payload) = &o[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {}\n\
+                                     _ => {unknown_payload},\n\
+                                 }}\n\
+                             }}\n\
+                             _ => {bad_shape},\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                payload_arms.join("\n")
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("stub serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("stub serde_derive: generated Deserialize impl failed to parse")
+}

@@ -1,0 +1,39 @@
+//! Offline stand-in for `serde_json`, backed by the stub serde's JSON
+//! tree (`serde::json`). Provides the `to_string`/`from_str` pair the
+//! workspace uses plus `Value` and pretty printing.
+
+pub use serde::json::{Error, Value};
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::print(&value.to_json_value()))
+}
+
+/// Serialize to indented JSON text.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::print_pretty(&value.to_json_value()))
+}
+
+/// Parse JSON text into any `Deserialize` type.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    T::from_json_value(&serde::json::parse(text)?)
+}
+
+/// Parse JSON text into a [`Value`] tree.
+pub fn from_str_value(text: &str) -> Result<Value, Error> {
+    serde::json::parse(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_via_text() {
+        let v: Vec<Option<i64>> = vec![Some(1), None, Some(-3)];
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "[1,null,-3]");
+        let back: Vec<Option<i64>> = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+}
