@@ -1,0 +1,119 @@
+//! PR2 — parallel hot-path benchmarks: partitioned scan/join/aggregation
+//! at parallelism 1/2/4/8, and pruned top-k search vs the exhaustive
+//! scorer. Custom harness (no criterion) so `scripts/bench_pr2.py` can
+//! parse the `[PR2] scenario=… median_ns=…` lines into BENCH_pr2.json.
+//!
+//! `--smoke` runs one iteration over a shrunken dataset — the CI
+//! regression canary, not a measurement.
+
+use std::time::Instant;
+
+use cr_relation::row::row;
+use cr_relation::{Database, ExecOptions};
+use cr_textsearch::engine::SearchEngine;
+use cr_textsearch::entity::{build_index, EntitySpec};
+
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn relational_db(n_rows: i64) -> Database {
+    let db = Database::new();
+    db.execute_sql(
+        "CREATE TABLE ratings (id INT PRIMARY KEY, student INT, course INT, score FLOAT)",
+    )
+    .unwrap();
+    db.execute_sql("CREATE TABLE courses (id INT PRIMARY KEY, dep INT, title TEXT)")
+        .unwrap();
+    let mut rows = Vec::with_capacity(n_rows as usize);
+    for i in 0..n_rows {
+        rows.push(row![
+            i,
+            i % 9_000,
+            (i * 7) % 18_605,
+            ((i % 9) + 1) as f64 / 2.0
+        ]);
+    }
+    db.insert_many("ratings", rows).unwrap();
+    let mut rows = Vec::with_capacity(18_605);
+    for i in 0..18_605i64 {
+        rows.push(row![i, i % 60, format!("Course {i}")]);
+    }
+    db.insert_many("courses", rows).unwrap();
+    db
+}
+
+/// A corpus whose vocabulary mixes a handful of very common words (the
+/// query terms) with a long tail, so top-k has many matches to prune.
+fn search_corpus(n_docs: i64) -> SearchEngine {
+    let db = Database::new();
+    db.execute_sql("CREATE TABLE Courses (CourseID INT PRIMARY KEY, Title TEXT, Description TEXT)")
+        .unwrap();
+    db.execute_sql("CREATE TABLE Comments (CommentID INT PRIMARY KEY, CourseID INT, Text TEXT)")
+        .unwrap();
+    let common = ["american", "history", "politics", "culture"];
+    let mut rows = Vec::with_capacity(n_docs as usize);
+    for i in 0..n_docs {
+        let a = common[(i % 4) as usize];
+        let b = common[((i / 4) % 4) as usize];
+        let title = format!("{a} seminar {}", i % 97);
+        let desc = format!("{b} topics {a} reading group week{} room{}", i % 11, i % 53);
+        rows.push(row![i, title, desc]);
+    }
+    db.insert_many("Courses", rows).unwrap();
+    let corpus = build_index(&db.catalog(), &EntitySpec::course_default()).unwrap();
+    SearchEngine::new(corpus)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let iters = if smoke { 1 } else { 9 };
+    let n_rows: i64 = if smoke { 20_000 } else { 200_000 };
+    let n_docs: i64 = if smoke { 2_000 } else { 40_000 };
+
+    let db = relational_db(n_rows);
+    let queries = [
+        ("scan_filter", "SELECT id, score FROM ratings WHERE score > 2.0"),
+        (
+            "hash_join",
+            "SELECT ratings.id, courses.title FROM ratings JOIN courses ON ratings.course = courses.id",
+        ),
+        (
+            "aggregate",
+            "SELECT course, COUNT(*) AS n, AVG(score) AS avg FROM ratings GROUP BY course",
+        ),
+    ];
+    for (name, sql) in queries {
+        for parallelism in [1usize, 2, 4, 8] {
+            let opts = ExecOptions {
+                parallelism,
+                min_partition_rows: 1024,
+            };
+            let ns = median_ns(iters, || {
+                db.query_sql_with(sql, &opts).unwrap();
+            });
+            println!("[PR2] scenario={name} parallelism={parallelism} median_ns={ns}");
+        }
+    }
+
+    let engine = search_corpus(n_docs);
+    let queries = ["american", "american history", "american history politics"];
+    for (qi, text) in queries.iter().enumerate() {
+        let q = engine.parse_query(text);
+        let ns = median_ns(iters, || {
+            std::hint::black_box(engine.search(&q, 10));
+        });
+        println!("[PR2] scenario=search_exhaustive_q{qi} k=10 median_ns={ns}");
+        let ns = median_ns(iters, || {
+            std::hint::black_box(engine.search_topk(&q, 10));
+        });
+        println!("[PR2] scenario=search_topk_q{qi} k=10 median_ns={ns}");
+    }
+}

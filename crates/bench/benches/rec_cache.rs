@@ -1,0 +1,86 @@
+//! PR2 — versioned recommendation-cache benchmark: cold compute (every
+//! request invalidated by a preceding base-table write) vs warm hits on
+//! an unchanged database. Emits `[PR2] scenario=… median_ns=…` lines for
+//! `scripts/bench_pr2.py`.
+
+use std::time::Instant;
+
+use courserank::db::Comment;
+use courserank::model::{Quarter, Term};
+use courserank::services::recs::{ExecMode, RecOptions};
+use cr_bench::fixtures::system;
+
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let iters = if smoke { 1 } else { 15 };
+    let fraction = if smoke { 0.02 } else { 0.1 };
+
+    let (app, stats) = system(fraction);
+    println!("[PR2] corpus {}", stats.summary());
+    let opts = RecOptions::default();
+    let student = 1;
+
+    // Cold: each request preceded by a comment insert, so the versioned
+    // cache invalidates and the full workflow re-runs.
+    let mut next_comment = 9_000_000i64;
+    let cold = median_ns(iters, || {
+        next_comment += 1;
+        app.db()
+            .insert_comment(&Comment {
+                id: next_comment,
+                student,
+                course: 1,
+                quarter: Quarter::new(2008, Term::Autumn),
+                text: "invalidating".into(),
+                rating: 3.0,
+                date: 0,
+            })
+            .unwrap();
+        app.recs()
+            .recommend_courses(student, &opts, ExecMode::Direct)
+            .unwrap();
+    });
+    println!("[PR2] scenario=recs_cold median_ns={cold}");
+
+    // Warm: prime once, then every request is a cache hit.
+    app.recs()
+        .recommend_courses(student, &opts, ExecMode::Direct)
+        .unwrap();
+    let warm = median_ns(iters, || {
+        app.recs()
+            .recommend_courses(student, &opts, ExecMode::Direct)
+            .unwrap();
+    });
+    println!("[PR2] scenario=recs_warm median_ns={warm}");
+
+    // Planner report, same shape: write-invalidated vs cached. The plan
+    // cache depends on Courses (among others), so touch a course row.
+    let mut tick = 0u64;
+    let cold_plan = median_ns(iters, || {
+        tick += 1;
+        app.db()
+            .database()
+            .execute_sql(&format!(
+                "UPDATE Courses SET Url = 'bench-{tick}' WHERE CourseID = 1"
+            ))
+            .unwrap();
+        app.planner().report(student).unwrap();
+    });
+    println!("[PR2] scenario=plan_cold median_ns={cold_plan}");
+    app.planner().report(student).unwrap();
+    let warm_plan = median_ns(iters, || {
+        app.planner().report(student).unwrap();
+    });
+    println!("[PR2] scenario=plan_warm median_ns={warm_plan}");
+}

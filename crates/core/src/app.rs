@@ -240,6 +240,59 @@ mod tests {
     }
 
     #[test]
+    fn parallel_and_cache_metrics_in_snapshot() {
+        use crate::services::recs::{ExecMode, RecOptions};
+        use cr_relation::ExecOptions;
+
+        cr_obs::install();
+        let app = CourseRank::assemble(small_campus()).unwrap();
+        let before = app.metrics_snapshot();
+        let b_hits = before.counter("courserank.reccache.hits").unwrap_or(0);
+        let b_misses = before.counter("courserank.reccache.misses").unwrap_or(0);
+        let b_parts = before
+            .counter("relation.parallel.partitions_spawned")
+            .unwrap_or(0);
+
+        // Miss then hit on the same recommendation request.
+        let opts = RecOptions::default();
+        let a = app
+            .recs()
+            .recommend_courses(444, &opts, ExecMode::Direct)
+            .unwrap();
+        let b = app
+            .recs()
+            .recommend_courses(444, &opts, ExecMode::Direct)
+            .unwrap();
+        assert_eq!(a, b, "cached result must match the computed one");
+
+        // A parallel scan spawns partitions.
+        let exec = ExecOptions {
+            parallelism: 2,
+            min_partition_rows: 1,
+        };
+        app.db()
+            .database()
+            .query_sql_with("SELECT * FROM Comments", &exec)
+            .unwrap();
+
+        let snap = app.metrics_snapshot();
+        assert!(
+            snap.counter("courserank.reccache.misses").unwrap_or(0) > b_misses,
+            "first request must miss"
+        );
+        assert!(
+            snap.counter("courserank.reccache.hits").unwrap_or(0) > b_hits,
+            "second request must hit"
+        );
+        assert!(
+            snap.counter("relation.parallel.partitions_spawned")
+                .unwrap_or(0)
+                >= b_parts + 2,
+            "parallel scan must record its partitions"
+        );
+    }
+
+    #[test]
     fn course_page_renders() {
         let app = CourseRank::assemble_with_threads(small_campus(), 1).unwrap();
         let page = app.course_page(101).unwrap();

@@ -1,0 +1,244 @@
+//! Versioned result cache for recommendation and planner output.
+//!
+//! Recommendations are expensive (workflow execution over several joins)
+//! but their inputs change rarely relative to how often students reload
+//! the page. The cache keys an entry by the full request (strategy,
+//! student, parameters) and tags it with the *versions* of every base
+//! table the computation reads. [`cr_relation::Table`] bumps a monotonic
+//! counter on every insert/update/delete, so an entry is served only
+//! while every dependency is still at the version it was computed
+//! against — one comment, enrollment, or course edit invalidates exactly
+//! the affected entries on their next lookup.
+//!
+//! Versions are captured *before* the compute runs. If a writer races the
+//! computation, the entry is tagged with the pre-write version and the
+//! next lookup sees a mismatch and recomputes — conservative, never
+//! stale.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use cr_relation::{Catalog, RelResult};
+use parking_lot::Mutex;
+
+struct CacheMetrics {
+    hits: Arc<cr_obs::Counter>,
+    misses: Arc<cr_obs::Counter>,
+    invalidations: Arc<cr_obs::Counter>,
+}
+
+fn metrics() -> &'static CacheMetrics {
+    static M: OnceLock<CacheMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = cr_obs::Registry::global();
+        CacheMetrics {
+            hits: r.counter("courserank.reccache.hits"),
+            misses: r.counter("courserank.reccache.misses"),
+            invalidations: r.counter("courserank.reccache.invalidations"),
+        }
+    })
+}
+
+struct Entry<V> {
+    /// (table, version) pairs captured before the value was computed.
+    deps: Vec<(String, u64)>,
+    value: V,
+}
+
+/// A keyed cache whose entries are validated against base-table versions
+/// on every lookup. Cloning (via `Arc`) shares the underlying store.
+pub struct VersionedCache<V> {
+    entries: Mutex<HashMap<String, Entry<V>>>,
+    /// When the store reaches this many entries it is cleared outright —
+    /// recommendation working sets are far smaller, so an eviction policy
+    /// would be dead weight.
+    capacity: usize,
+}
+
+impl<V> Default for VersionedCache<V> {
+    fn default() -> Self {
+        VersionedCache {
+            entries: Mutex::new(HashMap::new()),
+            capacity: 4096,
+        }
+    }
+}
+
+impl<V> std::fmt::Debug for VersionedCache<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VersionedCache")
+            .field("entries", &self.entries.lock().len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl<V: Clone> VersionedCache<V> {
+    /// Look up `key`; recompute via `f` when absent or when any
+    /// dependency table's version moved since the entry was stored.
+    /// A missing dependency table counts as version 0 (it springs to
+    /// life at version ≥ 1 on its first insert, which invalidates).
+    pub fn get_or_compute(
+        &self,
+        catalog: &Catalog,
+        key: &str,
+        deps: &[&str],
+        f: impl FnOnce() -> RelResult<V>,
+    ) -> RelResult<V> {
+        let versions: Vec<(String, u64)> = deps
+            .iter()
+            .map(|d| ((*d).to_string(), catalog.table_version(d).unwrap_or(0)))
+            .collect();
+        let recording = cr_obs::enabled();
+        {
+            let mut entries = self.entries.lock();
+            match entries.get(key) {
+                Some(e) if e.deps == versions => {
+                    if recording {
+                        metrics().hits.inc();
+                    }
+                    return Ok(e.value.clone());
+                }
+                Some(_) => {
+                    entries.remove(key);
+                    if recording {
+                        metrics().invalidations.inc();
+                    }
+                }
+                None => {}
+            }
+        }
+        // Compute outside the lock: concurrent misses may duplicate work
+        // but never block each other.
+        let value = f()?;
+        if recording {
+            metrics().misses.inc();
+        }
+        let mut entries = self.entries.lock();
+        if entries.len() >= self.capacity {
+            entries.clear();
+        }
+        entries.insert(
+            key.to_owned(),
+            Entry {
+                deps: versions,
+                value: value.clone(),
+            },
+        );
+        Ok(value)
+    }
+
+    /// Number of live entries (test/diagnostic hook).
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_relation::Database;
+
+    fn db_with_table() -> Database {
+        let db = Database::new();
+        db.execute_sql("CREATE TABLE T (Id INT PRIMARY KEY, X INT)")
+            .unwrap();
+        db.execute_sql("INSERT INTO T VALUES (1, 10)").unwrap();
+        db
+    }
+
+    #[test]
+    fn serves_cached_value_until_dependency_mutates() {
+        let db = db_with_table();
+        let cache: VersionedCache<i64> = VersionedCache::default();
+        let mut computes = 0;
+        for _ in 0..3 {
+            let v = cache
+                .get_or_compute(&db.catalog(), "k", &["T"], || {
+                    computes += 1;
+                    Ok(42)
+                })
+                .unwrap();
+            assert_eq!(v, 42);
+        }
+        assert_eq!(computes, 1, "second and third lookups must hit");
+
+        db.execute_sql("UPDATE T SET X = 11 WHERE Id = 1").unwrap();
+        cache
+            .get_or_compute(&db.catalog(), "k", &["T"], || {
+                computes += 1;
+                Ok(43)
+            })
+            .unwrap();
+        assert_eq!(computes, 2, "mutation must invalidate");
+        assert_eq!(
+            cache
+                .get_or_compute(&db.catalog(), "k", &["T"], || {
+                    computes += 1;
+                    Ok(0)
+                })
+                .unwrap(),
+            43
+        );
+        assert_eq!(computes, 2);
+    }
+
+    #[test]
+    fn missing_table_versions_as_zero_and_invalidates_on_creation() {
+        let db = db_with_table();
+        let cache: VersionedCache<i64> = VersionedCache::default();
+        cache
+            .get_or_compute(&db.catalog(), "k", &["Ghost"], || Ok(1))
+            .unwrap();
+        // Still absent → still version 0 → hit.
+        let v = cache
+            .get_or_compute(&db.catalog(), "k", &["Ghost"], || Ok(2))
+            .unwrap();
+        assert_eq!(v, 1);
+        db.execute_sql("CREATE TABLE Ghost (Id INT PRIMARY KEY)")
+            .unwrap();
+        db.execute_sql("INSERT INTO Ghost VALUES (7)").unwrap();
+        let v = cache
+            .get_or_compute(&db.catalog(), "k", &["Ghost"], || Ok(3))
+            .unwrap();
+        assert_eq!(v, 3, "first insert moves the version off 0");
+    }
+
+    #[test]
+    fn compute_errors_are_not_cached() {
+        let db = db_with_table();
+        let cache: VersionedCache<i64> = VersionedCache::default();
+        let r = cache.get_or_compute(&db.catalog(), "k", &["T"], || {
+            Err(cr_relation::RelError::Invalid("boom".into()))
+        });
+        assert!(r.is_err());
+        assert!(cache.is_empty());
+        let v = cache
+            .get_or_compute(&db.catalog(), "k", &["T"], || Ok(5))
+            .unwrap();
+        assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn distinct_keys_are_independent() {
+        let db = db_with_table();
+        let cache: VersionedCache<i64> = VersionedCache::default();
+        cache
+            .get_or_compute(&db.catalog(), "a", &["T"], || Ok(1))
+            .unwrap();
+        cache
+            .get_or_compute(&db.catalog(), "b", &["T"], || Ok(2))
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(
+            cache
+                .get_or_compute(&db.catalog(), "a", &["T"], || Ok(9))
+                .unwrap(),
+            1
+        );
+    }
+}

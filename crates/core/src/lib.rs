@@ -21,6 +21,7 @@
 
 pub mod app;
 pub mod auth;
+pub mod cache;
 pub mod db;
 pub mod model;
 pub(crate) mod obs;

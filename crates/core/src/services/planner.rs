@@ -9,10 +9,11 @@
 //! graduation, there is little reason to lie about courses taken".
 
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use cr_relation::RelResult;
 
+use crate::cache::VersionedCache;
 use crate::db::{CourseRankDb, EnrollStatus, Enrollment, Offering};
 use crate::model::{CourseId, Grade, Quarter, StudentId};
 use crate::obs::SvcMetrics;
@@ -21,6 +22,10 @@ fn metrics() -> &'static SvcMetrics {
     static M: OnceLock<SvcMetrics> = OnceLock::new();
     M.get_or_init(|| SvcMetrics::new("planner"))
 }
+
+/// Base tables a plan report reads (the student's enrollments, course
+/// units/titles, offering schedules, and prerequisite edges).
+const PLAN_DEPS: &[&str] = &["Enrollments", "Courses", "Offerings", "Prerequisites"];
 
 /// A detected schedule conflict between two offerings in the same quarter.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,6 +90,10 @@ impl Default for PlannerConfig {
 pub struct Planner {
     db: CourseRankDb,
     config: PlannerConfig,
+    /// Versioned cache of saved-plan reports; shared across clones.
+    /// What-if reports ([`Planner::report_for`]) take arbitrary
+    /// enrollment lists and bypass it.
+    report_cache: Arc<VersionedCache<PlanReport>>,
 }
 
 impl Planner {
@@ -92,6 +101,7 @@ impl Planner {
         Planner {
             db,
             config: PlannerConfig::default(),
+            report_cache: Arc::new(VersionedCache::default()),
         }
     }
 
@@ -103,8 +113,17 @@ impl Planner {
     /// Build the plan report for a student from their enrollments
     /// (taken + planned).
     pub fn report(&self, student: StudentId) -> RelResult<PlanReport> {
-        let enrollments = self.db.enrollments_of(student)?;
-        self.report_for(student, &enrollments)
+        metrics().observe(|| {
+            let key = format!(
+                "plan|{student}|{}|{}",
+                self.config.min_units, self.config.max_units
+            );
+            self.report_cache
+                .get_or_compute(&self.db.catalog(), &key, PLAN_DEPS, || {
+                    let enrollments = self.db.enrollments_of(student)?;
+                    self.report_for_inner(student, &enrollments)
+                })
+        })
     }
 
     /// Build a report from an explicit enrollment list (what-if planning:

@@ -12,13 +12,14 @@
 //! ablation.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use cr_flexrecs::compile::compile_and_run;
 use cr_flexrecs::templates::{self, SchemaMap};
 use cr_flexrecs::{execute, RecResult, Workflow};
 use cr_relation::{RelError, RelResult, Value};
 
+use crate::cache::VersionedCache;
 use crate::db::{CourseRankDb, EnrollStatus};
 use crate::model::{CourseId, StudentId};
 use crate::obs::SvcMetrics;
@@ -27,6 +28,20 @@ fn metrics() -> &'static SvcMetrics {
     static M: OnceLock<SvcMetrics> = OnceLock::new();
     M.get_or_init(|| SvcMetrics::new("recs"))
 }
+
+/// Base tables course/related recommendations read. `GradePoints` is
+/// deliberately absent: it is derived from Enrollments and rebuilt by the
+/// computation itself, so tracking Enrollments covers it.
+const REC_DEPS: &[&str] = &["Comments", "Enrollments", "Courses", "Students"];
+
+/// Major recommendations additionally join through Departments.
+const MAJOR_DEPS: &[&str] = &[
+    "Comments",
+    "Enrollments",
+    "Courses",
+    "Students",
+    "Departments",
+];
 
 /// How the student wants similarity computed (§3.2's "different options":
 /// "based on what 'similar' students have done or the grades they have
@@ -97,6 +112,10 @@ pub enum ExecMode {
 pub struct Recommender {
     db: CourseRankDb,
     map: SchemaMap,
+    /// Versioned cache for course/related recommendations; shared across
+    /// clones. See [`crate::cache`] for the invalidation rule.
+    course_cache: Arc<VersionedCache<Vec<CourseRec>>>,
+    major_cache: Arc<VersionedCache<Vec<(String, f64)>>>,
 }
 
 impl Recommender {
@@ -104,6 +123,8 @@ impl Recommender {
         Recommender {
             db,
             map: SchemaMap::default(),
+            course_cache: Arc::new(VersionedCache::default()),
+            major_cache: Arc::new(VersionedCache::default()),
         }
     }
 
@@ -210,14 +231,31 @@ impl Recommender {
         Ok(n)
     }
 
-    /// Recommend courses for a student.
+    /// Recommend courses for a student. Results are cached per
+    /// (strategy, student, options) and served until any base table the
+    /// computation reads is mutated.
     pub fn recommend_courses(
         &self,
         student: StudentId,
         opts: &RecOptions,
         mode: ExecMode,
     ) -> RelResult<Vec<CourseRec>> {
-        metrics().observe(|| self.recommend_courses_inner(student, opts, mode))
+        metrics().observe(|| {
+            let key = format!(
+                "courses|{:?}|{:?}|{student}|{}|{}|{}|{}|{}",
+                opts.basis,
+                mode,
+                opts.k_students,
+                opts.k_courses,
+                opts.min_common,
+                opts.weighted,
+                opts.exclude_taken,
+            );
+            self.course_cache
+                .get_or_compute(&self.db.catalog(), &key, REC_DEPS, || {
+                    self.recommend_courses_inner(student, opts, mode)
+                })
+        })
     }
 
     fn recommend_courses_inner(
@@ -298,7 +336,13 @@ impl Recommender {
 
     /// Figure 5(a): courses related to a given course by title.
     pub fn related_courses(&self, course: CourseId, k: usize) -> RelResult<Vec<CourseRec>> {
-        metrics().observe(|| self.related_courses_inner(course, k))
+        metrics().observe(|| {
+            let key = format!("related|{course}|{k}");
+            self.course_cache
+                .get_or_compute(&self.db.catalog(), &key, REC_DEPS, || {
+                    self.related_courses_inner(course, k)
+                })
+        })
     }
 
     fn related_courses_inner(&self, course: CourseId, k: usize) -> RelResult<Vec<CourseRec>> {
@@ -329,7 +373,13 @@ impl Recommender {
         student: StudentId,
         opts: &RecOptions,
     ) -> RelResult<Vec<(String, f64)>> {
-        metrics().observe(|| self.recommend_major_inner(student, opts))
+        metrics().observe(|| {
+            let key = format!("major|{student}|{}|{}", opts.k_students, opts.min_common);
+            self.major_cache
+                .get_or_compute(&self.db.catalog(), &key, MAJOR_DEPS, || {
+                    self.recommend_major_inner(student, opts)
+                })
+        })
     }
 
     fn recommend_major_inner(

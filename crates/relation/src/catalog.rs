@@ -92,6 +92,13 @@ impl Catalog {
         self.with_table(name, Table::len)
     }
 
+    /// Monotonic mutation counter for a table (see [`Table::version`]).
+    /// Result caches snapshot these per dependency and treat any change
+    /// as an invalidation.
+    pub fn table_version(&self, name: &str) -> RelResult<u64> {
+        self.with_table(name, Table::version)
+    }
+
     /// True if a table exists.
     pub fn has_table(&self, name: &str) -> bool {
         self.inner.read().contains_key(&name.to_ascii_lowercase())
@@ -116,11 +123,30 @@ impl Catalog {
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     catalog: Catalog,
+    exec_opts: exec::ExecOptions,
 }
 
 impl Database {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Builder-style: set the default [`exec::ExecOptions`] used by every
+    /// plan/query entry point on this handle. Clones made afterwards keep
+    /// the options; the shared catalog data is unaffected.
+    pub fn with_exec_options(mut self, opts: exec::ExecOptions) -> Self {
+        self.exec_opts = opts;
+        self
+    }
+
+    /// Set the default worker count for parallel operators (1 = serial).
+    pub fn set_parallelism(&mut self, parallelism: usize) {
+        self.exec_opts.parallelism = parallelism.max(1);
+    }
+
+    /// The execution options this handle applies by default.
+    pub fn exec_options(&self) -> exec::ExecOptions {
+        self.exec_opts
     }
 
     /// The underlying catalog (cheap clone; shares data).
@@ -136,13 +162,27 @@ impl Database {
 
     /// Execute a SQL query (errors if the statement is not a SELECT).
     pub fn query_sql(&self, text: &str) -> RelResult<ResultSet> {
-        sql::query(text, &self.catalog)
+        self.query_sql_with(text, &self.exec_opts)
+    }
+
+    /// [`Database::query_sql`] with explicit execution options.
+    pub fn query_sql_with(&self, text: &str, opts: &exec::ExecOptions) -> RelResult<ResultSet> {
+        sql::query_with(text, &self.catalog, opts)
     }
 
     /// Run a logical plan (optimizing first).
     pub fn run_plan(&self, plan: &LogicalPlan) -> RelResult<ResultSet> {
+        self.run_plan_with(plan, &self.exec_opts)
+    }
+
+    /// [`Database::run_plan`] with explicit execution options.
+    pub fn run_plan_with(
+        &self,
+        plan: &LogicalPlan,
+        opts: &exec::ExecOptions,
+    ) -> RelResult<ResultSet> {
         let optimized = optimizer::optimize(plan.clone());
-        exec::execute(&optimized, &self.catalog)
+        exec::execute_with(&optimized, &self.catalog, opts)
     }
 
     /// Run a logical plan (optimizing first) with per-operator profiling.
@@ -151,7 +191,7 @@ impl Database {
         plan: &LogicalPlan,
     ) -> RelResult<(ResultSet, crate::profile::OpProfile)> {
         let optimized = optimizer::optimize(plan.clone());
-        exec::execute_instrumented(&optimized, &self.catalog)
+        exec::execute_instrumented_with(&optimized, &self.catalog, &self.exec_opts)
     }
 
     /// `EXPLAIN ANALYZE` for a SQL query: executes it with per-operator
@@ -161,13 +201,23 @@ impl Database {
         &self,
         text: &str,
     ) -> RelResult<(ResultSet, crate::profile::OpProfile)> {
+        self.explain_analyze_sql_with(text, &self.exec_opts)
+    }
+
+    /// [`Database::explain_analyze_sql`] with explicit execution options:
+    /// parallel operators annotate `partitions=N` plus per-partition times.
+    pub fn explain_analyze_sql_with(
+        &self,
+        text: &str,
+        opts: &exec::ExecOptions,
+    ) -> RelResult<(ResultSet, crate::profile::OpProfile)> {
         let plan = sql::plan_query(text, &self.catalog)?;
-        exec::execute_instrumented(&plan, &self.catalog)
+        exec::execute_instrumented_with(&plan, &self.catalog, opts)
     }
 
     /// Run a logical plan exactly as given (for optimizer A/B tests).
     pub fn run_plan_unoptimized(&self, plan: &LogicalPlan) -> RelResult<ResultSet> {
-        exec::execute(plan, &self.catalog)
+        exec::execute_with(plan, &self.catalog, &self.exec_opts)
     }
 
     /// Insert a row programmatically.

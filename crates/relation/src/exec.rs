@@ -39,6 +39,8 @@ struct RelMetrics {
     scan_pk: Arc<cr_obs::Counter>,
     scan_index_eq: Arc<cr_obs::Counter>,
     scan_index_range: Arc<cr_obs::Counter>,
+    parallel_ops: Arc<cr_obs::Counter>,
+    partitions_spawned: Arc<cr_obs::Counter>,
 }
 
 fn metrics() -> &'static RelMetrics {
@@ -53,8 +55,150 @@ fn metrics() -> &'static RelMetrics {
             scan_pk: r.counter("relation.scan.pk_lookup"),
             scan_index_eq: r.counter("relation.scan.index_eq"),
             scan_index_range: r.counter("relation.scan.index_range"),
+            parallel_ops: r.counter("relation.parallel.ops"),
+            partitions_spawned: r.counter("relation.parallel.partitions_spawned"),
         }
     })
+}
+
+// ---------------------------------------------------------------------
+// Execution options + partition plumbing
+// ---------------------------------------------------------------------
+
+/// Knobs for physical execution.
+///
+/// With `parallelism > 1`, scans, filters, projections, hash joins, and
+/// aggregations split their input across up to that many scoped worker
+/// threads (the vendored `crossbeam::thread::scope`). Every parallel
+/// operator reassembles its partitions deterministically, so output row
+/// order is identical to the serial path; the only permitted divergence
+/// is last-ulp float summation order in SUM/AVG partials (see DESIGN.md).
+///
+/// `min_partition_rows` is the per-worker input floor: an operator stays
+/// serial unless each spawned partition would receive at least this many
+/// rows, so thread spawn cost never dominates small operators. Tests can
+/// set it to 1 to force parallel execution on tiny inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    pub parallelism: usize,
+    pub min_partition_rows: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            parallelism: 1,
+            min_partition_rows: 2048,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Options with the given worker count and the default partition floor.
+    pub fn with_parallelism(parallelism: usize) -> Self {
+        ExecOptions {
+            parallelism: parallelism.max(1),
+            ..ExecOptions::default()
+        }
+    }
+
+    /// Worker count for an operator over `rows` input rows: capped so each
+    /// partition gets at least `min_partition_rows`. 1 means "stay serial".
+    fn threads_for(&self, rows: usize) -> usize {
+        if self.parallelism <= 1 {
+            return 1;
+        }
+        self.parallelism
+            .min(rows / self.min_partition_rows.max(1))
+            .max(1)
+    }
+}
+
+/// Per-partition accounting from one parallel operator, surfaced in
+/// EXPLAIN ANALYZE (`partitions=N` + per-partition wall times) and in the
+/// `relation.parallel.*` counters.
+struct ParInfo {
+    partition_ns: Vec<u64>,
+}
+
+impl ParInfo {
+    fn record(partition_ns: Vec<u64>) -> ParInfo {
+        if cr_obs::enabled() {
+            let m = metrics();
+            m.parallel_ops.inc();
+            m.partitions_spawned.add(partition_ns.len() as u64);
+        }
+        ParInfo { partition_ns }
+    }
+
+    fn detail(&self) -> Vec<String> {
+        let times: Vec<String> = self
+            .partition_ns
+            .iter()
+            .map(|ns| format!("{:.3}ms", *ns as f64 / 1e6))
+            .collect();
+        vec![
+            format!("partitions={}", self.partition_ns.len()),
+            format!("partition_times=[{}]", times.join(",")),
+        ]
+    }
+}
+
+fn push_par_detail(detail: &mut Vec<String>, info: &Option<ParInfo>) {
+    if let Some(info) = info {
+        detail.extend(info.detail());
+    }
+}
+
+/// Split an owned vec into `parts` contiguous chunks (sizes differ by at
+/// most one) using pointer-moving `split_off`s — no per-row copying.
+fn split_owned<T>(mut v: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let len = v.len();
+    let mut out = Vec::with_capacity(parts);
+    for p in (1..parts).rev() {
+        out.push(v.split_off(p * len / parts));
+    }
+    out.push(v);
+    out.reverse();
+    out
+}
+
+/// Run `work` over each chunk on its own scoped thread, timing each
+/// worker, and return the per-chunk results in chunk order (first error
+/// in chunk order wins) plus the recorded [`ParInfo`].
+fn run_partitioned<T, R>(
+    chunks: Vec<T>,
+    work: impl Fn(T) -> RelResult<R> + Sync,
+) -> RelResult<(Vec<R>, ParInfo)>
+where
+    T: Send,
+    R: Send,
+{
+    let work = &work;
+    let joined: Vec<(RelResult<R>, u64)> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move |_| {
+                    let t0 = Instant::now();
+                    let r = work(chunk);
+                    (r, t0.elapsed().as_nanos() as u64)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition worker panicked"))
+            .collect()
+    })
+    .expect("partition scope");
+    let mut results = Vec::with_capacity(joined.len());
+    let mut partition_ns = Vec::with_capacity(joined.len());
+    for (r, ns) in joined {
+        results.push(r?);
+        partition_ns.push(ns);
+    }
+    Ok((results, ParInfo::record(partition_ns)))
 }
 
 /// A fully materialized query result.
@@ -145,12 +289,23 @@ impl ResultSet {
 /// query counter and latency histogram; otherwise the only overhead over
 /// raw execution is one relaxed atomic load.
 pub fn execute(plan: &LogicalPlan, catalog: &Catalog) -> RelResult<ResultSet> {
+    execute_with(plan, catalog, &ExecOptions::default())
+}
+
+/// [`execute`] with explicit [`ExecOptions`] (parallel partitioned
+/// operators when `opts.parallelism > 1`). Results are row-for-row
+/// identical to the serial path regardless of the options.
+pub fn execute_with(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    opts: &ExecOptions,
+) -> RelResult<ResultSet> {
     let started = if cr_obs::enabled() {
         Some(Instant::now())
     } else {
         None
     };
-    let rows = run(plan, catalog)?;
+    let rows = run(plan, catalog, opts)?;
     if let Some(t0) = started {
         let m = metrics();
         m.queries.inc();
@@ -173,8 +328,19 @@ pub fn execute_instrumented(
     plan: &LogicalPlan,
     catalog: &Catalog,
 ) -> RelResult<(ResultSet, OpProfile)> {
+    execute_instrumented_with(plan, catalog, &ExecOptions::default())
+}
+
+/// [`execute_instrumented`] with explicit [`ExecOptions`]: parallel
+/// operators additionally annotate their profile node with
+/// `partitions=N` and per-partition wall times.
+pub fn execute_instrumented_with(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    opts: &ExecOptions,
+) -> RelResult<(ResultSet, OpProfile)> {
     let started = Instant::now();
-    let (rows, profile) = run_profiled(plan, catalog)?;
+    let (rows, profile) = run_profiled(plan, catalog, opts)?;
     if cr_obs::enabled() {
         let m = metrics();
         m.queries.inc();
@@ -190,7 +356,7 @@ pub fn execute_instrumented(
     ))
 }
 
-fn run(plan: &LogicalPlan, catalog: &Catalog) -> RelResult<Vec<Row>> {
+fn run(plan: &LogicalPlan, catalog: &Catalog, opts: &ExecOptions) -> RelResult<Vec<Row>> {
     match plan {
         LogicalPlan::Scan {
             table,
@@ -198,12 +364,16 @@ fn run(plan: &LogicalPlan, catalog: &Catalog) -> RelResult<Vec<Row>> {
             filter,
             ..
         } => Ok(catalog
-            .with_table(table, |t| scan_table(t, projection, filter))??
+            .with_table(table, |t| scan_table(t, projection, filter, opts))??
             .0),
 
-        LogicalPlan::Filter { input, predicate } => filter_rows(run(input, catalog)?, predicate),
+        LogicalPlan::Filter { input, predicate } => {
+            Ok(filter_rows_opt(run(input, catalog, opts)?, predicate, opts)?.0)
+        }
 
-        LogicalPlan::Project { input, exprs, .. } => project_rows(run(input, catalog)?, exprs),
+        LogicalPlan::Project { input, exprs, .. } => {
+            Ok(project_rows_opt(run(input, catalog, opts)?, exprs, opts)?.0)
+        }
 
         LogicalPlan::Join {
             left,
@@ -212,15 +382,16 @@ fn run(plan: &LogicalPlan, catalog: &Catalog) -> RelResult<Vec<Row>> {
             on,
             ..
         } => {
-            let left_rows = run(left, catalog)?;
-            let right_rows = run(right, catalog)?;
-            let (rows, _) = join_rows(
+            let left_rows = run(left, catalog, opts)?;
+            let right_rows = run(right, catalog, opts)?;
+            let (rows, _, _) = join_rows_opt(
                 left_rows,
                 right_rows,
                 left.schema().len(),
                 right.schema().len(),
                 *kind,
                 on,
+                opts,
             )?;
             Ok(rows)
         }
@@ -230,21 +401,21 @@ fn run(plan: &LogicalPlan, catalog: &Catalog) -> RelResult<Vec<Row>> {
             group_by,
             aggs,
             ..
-        } => aggregate_rows(&run(input, catalog)?, group_by, aggs),
+        } => Ok(aggregate_rows_opt(&run(input, catalog, opts)?, group_by, aggs, opts)?.0),
 
-        LogicalPlan::Sort { input, keys } => sort_rows(run(input, catalog)?, keys),
+        LogicalPlan::Sort { input, keys } => sort_rows(run(input, catalog, opts)?, keys),
 
         LogicalPlan::Limit {
             input,
             limit,
             offset,
-        } => Ok(limit_rows(run(input, catalog)?, *limit, *offset)),
+        } => Ok(limit_rows(run(input, catalog, opts)?, *limit, *offset)),
 
         LogicalPlan::Values { rows, .. } => Ok(rows.clone()),
 
         LogicalPlan::Union { left, right } => {
-            let mut rows = run(left, catalog)?;
-            rows.extend(run(right, catalog)?);
+            let mut rows = run(left, catalog, opts)?;
+            rows.extend(run(right, catalog, opts)?);
             Ok(rows)
         }
     }
@@ -252,7 +423,11 @@ fn run(plan: &LogicalPlan, catalog: &Catalog) -> RelResult<Vec<Row>> {
 
 /// Profiled twin of [`run`]: same operator implementations (the shared
 /// `*_rows` helpers), with each node timed and annotated.
-fn run_profiled(plan: &LogicalPlan, catalog: &Catalog) -> RelResult<(Vec<Row>, OpProfile)> {
+fn run_profiled(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    opts: &ExecOptions,
+) -> RelResult<(Vec<Row>, OpProfile)> {
     let t0 = Instant::now();
     let (rows, op, detail, children) = match plan {
         LogicalPlan::Scan {
@@ -262,12 +437,13 @@ fn run_profiled(plan: &LogicalPlan, catalog: &Catalog) -> RelResult<(Vec<Row>, O
             filter,
             ..
         } => {
-            let (rows, path) =
-                catalog.with_table(table, |t| scan_table(t, projection, filter))??;
+            let (rows, path, par) =
+                catalog.with_table(table, |t| scan_table(t, projection, filter, opts))??;
             let mut detail = vec![format!("access={path}")];
             if let Some(f) = filter {
                 detail.push(format!("filter={f}"));
             }
+            push_par_detail(&mut detail, &par);
             let op = match alias {
                 Some(a) if a != table => format!("Scan {table} AS {a}"),
                 _ => format!("Scan {table}"),
@@ -276,25 +452,19 @@ fn run_profiled(plan: &LogicalPlan, catalog: &Catalog) -> RelResult<(Vec<Row>, O
         }
 
         LogicalPlan::Filter { input, predicate } => {
-            let (rows, child) = run_profiled(input, catalog)?;
-            let rows = filter_rows(rows, predicate)?;
-            (
-                rows,
-                "Filter".to_owned(),
-                vec![format!("predicate={predicate}")],
-                vec![child],
-            )
+            let (rows, child) = run_profiled(input, catalog, opts)?;
+            let (rows, par) = filter_rows_opt(rows, predicate, opts)?;
+            let mut detail = vec![format!("predicate={predicate}")];
+            push_par_detail(&mut detail, &par);
+            (rows, "Filter".to_owned(), detail, vec![child])
         }
 
         LogicalPlan::Project { input, exprs, .. } => {
-            let (rows, child) = run_profiled(input, catalog)?;
-            let rows = project_rows(rows, exprs)?;
-            (
-                rows,
-                "Project".to_owned(),
-                vec![format!("exprs={}", exprs.len())],
-                vec![child],
-            )
+            let (rows, child) = run_profiled(input, catalog, opts)?;
+            let (rows, par) = project_rows_opt(rows, exprs, opts)?;
+            let mut detail = vec![format!("exprs={}", exprs.len())];
+            push_par_detail(&mut detail, &par);
+            (rows, "Project".to_owned(), detail, vec![child])
         }
 
         LogicalPlan::Join {
@@ -304,15 +474,16 @@ fn run_profiled(plan: &LogicalPlan, catalog: &Catalog) -> RelResult<(Vec<Row>, O
             on,
             ..
         } => {
-            let (left_rows, lchild) = run_profiled(left, catalog)?;
-            let (right_rows, rchild) = run_profiled(right, catalog)?;
-            let (rows, info) = join_rows(
+            let (left_rows, lchild) = run_profiled(left, catalog, opts)?;
+            let (right_rows, rchild) = run_profiled(right, catalog, opts)?;
+            let (rows, info, par) = join_rows_opt(
                 left_rows,
                 right_rows,
                 left.schema().len(),
                 right.schema().len(),
                 *kind,
                 on,
+                opts,
             )?;
             let op = if info.hash {
                 "HashJoin"
@@ -324,6 +495,7 @@ fn run_profiled(plan: &LogicalPlan, catalog: &Catalog) -> RelResult<(Vec<Row>, O
                 detail.push(format!("keys={}", info.keys));
                 detail.push("build=right".to_owned());
             }
+            push_par_detail(&mut detail, &par);
             (rows, op.to_owned(), detail, vec![lchild, rchild])
         }
 
@@ -333,21 +505,18 @@ fn run_profiled(plan: &LogicalPlan, catalog: &Catalog) -> RelResult<(Vec<Row>, O
             aggs,
             ..
         } => {
-            let (rows, child) = run_profiled(input, catalog)?;
-            let out = aggregate_rows(&rows, group_by, aggs)?;
-            (
-                out,
-                "Aggregate".to_owned(),
-                vec![
-                    format!("group_by={}", group_by.len()),
-                    format!("aggs={}", aggs.len()),
-                ],
-                vec![child],
-            )
+            let (rows, child) = run_profiled(input, catalog, opts)?;
+            let (out, par) = aggregate_rows_opt(&rows, group_by, aggs, opts)?;
+            let mut detail = vec![
+                format!("group_by={}", group_by.len()),
+                format!("aggs={}", aggs.len()),
+            ];
+            push_par_detail(&mut detail, &par);
+            (out, "Aggregate".to_owned(), detail, vec![child])
         }
 
         LogicalPlan::Sort { input, keys } => {
-            let (rows, child) = run_profiled(input, catalog)?;
+            let (rows, child) = run_profiled(input, catalog, opts)?;
             let rows = sort_rows(rows, keys)?;
             (
                 rows,
@@ -362,7 +531,7 @@ fn run_profiled(plan: &LogicalPlan, catalog: &Catalog) -> RelResult<(Vec<Row>, O
             limit,
             offset,
         } => {
-            let (rows, child) = run_profiled(input, catalog)?;
+            let (rows, child) = run_profiled(input, catalog, opts)?;
             let rows = limit_rows(rows, *limit, *offset);
             let mut detail = Vec::new();
             if let Some(n) = limit {
@@ -379,8 +548,8 @@ fn run_profiled(plan: &LogicalPlan, catalog: &Catalog) -> RelResult<(Vec<Row>, O
         }
 
         LogicalPlan::Union { left, right } => {
-            let (mut rows, lchild) = run_profiled(left, catalog)?;
-            let (right_rows, rchild) = run_profiled(right, catalog)?;
+            let (mut rows, lchild) = run_profiled(left, catalog, opts)?;
+            let (right_rows, rchild) = run_profiled(right, catalog, opts)?;
             rows.extend(right_rows);
             (rows, "Union".to_owned(), Vec::new(), vec![lchild, rchild])
         }
@@ -410,6 +579,23 @@ fn filter_rows(rows: Vec<Row>, predicate: &Expr) -> RelResult<Vec<Row>> {
     Ok(out)
 }
 
+/// [`filter_rows`], partition-parallel when the options allow. Chunks are
+/// contiguous and reassembled in order, so output order matches serial.
+fn filter_rows_opt(
+    rows: Vec<Row>,
+    predicate: &Expr,
+    opts: &ExecOptions,
+) -> RelResult<(Vec<Row>, Option<ParInfo>)> {
+    let threads = opts.threads_for(rows.len());
+    if threads <= 1 {
+        return Ok((filter_rows(rows, predicate)?, None));
+    }
+    let (parts, info) = run_partitioned(split_owned(rows, threads), |chunk| {
+        filter_rows(chunk, predicate)
+    })?;
+    Ok((parts.into_iter().flatten().collect(), Some(info)))
+}
+
 fn project_rows(rows: Vec<Row>, exprs: &[(Expr, String)]) -> RelResult<Vec<Row>> {
     let mut out = Vec::with_capacity(rows.len());
     for r in rows {
@@ -420,6 +606,22 @@ fn project_rows(rows: Vec<Row>, exprs: &[(Expr, String)]) -> RelResult<Vec<Row>>
         out.push(projected);
     }
     Ok(out)
+}
+
+/// [`project_rows`], partition-parallel when the options allow.
+fn project_rows_opt(
+    rows: Vec<Row>,
+    exprs: &[(Expr, String)],
+    opts: &ExecOptions,
+) -> RelResult<(Vec<Row>, Option<ParInfo>)> {
+    let threads = opts.threads_for(rows.len());
+    if threads <= 1 {
+        return Ok((project_rows(rows, exprs)?, None));
+    }
+    let (parts, info) = run_partitioned(split_owned(rows, threads), |chunk| {
+        project_rows(chunk, exprs)
+    })?;
+    Ok((parts.into_iter().flatten().collect(), Some(info)))
 }
 
 fn limit_rows(rows: Vec<Row>, limit: Option<usize>, offset: usize) -> Vec<Row> {
@@ -599,7 +801,8 @@ fn scan_table(
     table: &Table,
     projection: &Option<Vec<usize>>,
     filter: &Option<Expr>,
-) -> RelResult<(Vec<Row>, AccessPath)> {
+    opts: &ExecOptions,
+) -> RelResult<(Vec<Row>, AccessPath, Option<ParInfo>)> {
     let path = choose_access_path(table, filter);
     if cr_obs::enabled() {
         let m = metrics();
@@ -622,12 +825,35 @@ fn scan_table(
             None => Ok(true),
         }
     };
+    let mut par_info = None;
     let mut out = Vec::new();
     match &path {
         AccessPath::SeqScan => {
-            for (_, r) in table.scan() {
-                if passes(r)? {
-                    out.push(project(r));
+            let threads = opts.threads_for(table.len());
+            if threads > 1 {
+                // Contiguous slot ranges per worker; concatenating the
+                // partition outputs in range order reproduces the serial
+                // scan order exactly.
+                let slots = table.slot_count();
+                let ranges: Vec<std::ops::Range<usize>> = (0..threads)
+                    .map(|p| (p * slots / threads)..((p + 1) * slots / threads))
+                    .collect();
+                let (parts, info) = run_partitioned(ranges, |range| {
+                    let mut part = Vec::new();
+                    for (_, r) in table.scan_slots(range) {
+                        if passes(r)? {
+                            part.push(project(r));
+                        }
+                    }
+                    Ok(part)
+                })?;
+                out = parts.into_iter().flatten().collect();
+                par_info = Some(info);
+            } else {
+                for (_, r) in table.scan() {
+                    if passes(r)? {
+                        out.push(project(r));
+                    }
                 }
             }
         }
@@ -689,7 +915,7 @@ fn scan_table(
             }
         }
     }
-    Ok((out, path))
+    Ok((out, path, par_info))
 }
 
 // ---------------------------------------------------------------------
@@ -818,6 +1044,130 @@ fn join_rows(
     ))
 }
 
+/// Hash partition for a row's join key, or `None` if any key column is
+/// NULL (NULL keys never join). Both sides use the same function so
+/// matching keys always land in the same partition.
+fn key_partition(row: &Row, cols: &[usize], parts: usize) -> Option<usize> {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for &c in cols {
+        if row[c].is_null() {
+            return None;
+        }
+        row[c].hash(&mut h);
+    }
+    Some((h.finish() % parts as u64) as usize)
+}
+
+/// Hash-join one partition pair: build on the right rows, probe the left
+/// rows (tagged with their original position) in order. The right rows
+/// preserve their original relative order, so per-probe match order is
+/// identical to the serial join's.
+#[allow(clippy::too_many_arguments)]
+fn join_partition(
+    left: &[(usize, Row)],
+    right: &[Row],
+    left_width: usize,
+    right_width: usize,
+    kind: JoinKind,
+    lk: &[usize],
+    rk: &[usize],
+    residual: &Option<Expr>,
+) -> RelResult<Vec<(usize, Row)>> {
+    let mut build: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(right.len());
+    for (i, r) in right.iter().enumerate() {
+        let key: Vec<Value> = rk.iter().map(|&k| r[k].clone()).collect();
+        build.entry(key).or_default().push(i);
+    }
+    let mut out = Vec::new();
+    for (orig, l) in left {
+        let key: Vec<Value> = lk.iter().map(|&k| l[k].clone()).collect();
+        let mut matched = false;
+        if !key.iter().any(Value::is_null) {
+            if let Some(idxs) = build.get(&key) {
+                for &i in idxs {
+                    let mut combined = Vec::with_capacity(left_width + right_width);
+                    combined.extend_from_slice(l);
+                    combined.extend_from_slice(&right[i]);
+                    let ok = match residual {
+                        Some(p) => p.eval_predicate(&combined)?,
+                        None => true,
+                    };
+                    if ok {
+                        matched = true;
+                        out.push((*orig, combined));
+                    }
+                }
+            }
+        }
+        if !matched && kind == JoinKind::LeftOuter {
+            let mut combined = Vec::with_capacity(left_width + right_width);
+            combined.extend_from_slice(l);
+            combined.extend(std::iter::repeat_n(Value::Null, right_width));
+            out.push((*orig, combined));
+        }
+    }
+    Ok(out)
+}
+
+/// [`join_rows`], parallel for equi-joins when the options allow: both
+/// sides are hash-partitioned by join key, partition pairs join on worker
+/// threads, and the outputs merge by original left-row position — so the
+/// result is row-for-row identical to the serial probe order.
+fn join_rows_opt(
+    left_rows: Vec<Row>,
+    right_rows: Vec<Row>,
+    left_width: usize,
+    right_width: usize,
+    kind: JoinKind,
+    on: &Expr,
+    opts: &ExecOptions,
+) -> RelResult<(Vec<Row>, JoinInfo, Option<ParInfo>)> {
+    let threads = opts.threads_for(left_rows.len() + right_rows.len());
+    let (lk, rk, residual) = extract_equi_keys(on, left_width);
+    if lk.is_empty() || threads <= 1 {
+        let (rows, info) = join_rows(left_rows, right_rows, left_width, right_width, kind, on)?;
+        return Ok((rows, info, None));
+    }
+    let residual = if residual.is_empty() {
+        None
+    } else {
+        Some(Expr::conjoin(residual))
+    };
+    // NULL-keyed left rows can never match but still null-extend under
+    // LEFT JOIN; spread them round-robin so no partition is starved.
+    // NULL-keyed right rows are dropped, exactly like the serial build.
+    let mut lparts: Vec<Vec<(usize, Row)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, l) in left_rows.into_iter().enumerate() {
+        let p = key_partition(&l, &lk, threads).unwrap_or(i % threads);
+        lparts[p].push((i, l));
+    }
+    let mut rparts: Vec<Vec<Row>> = (0..threads).map(|_| Vec::new()).collect();
+    for r in right_rows {
+        if let Some(p) = key_partition(&r, &rk, threads) {
+            rparts[p].push(r);
+        }
+    }
+    let (lk, rk, residual) = (&lk, &rk, &residual);
+    let pairs: Vec<_> = lparts.into_iter().zip(rparts).collect();
+    let (parts, info) = run_partitioned(pairs, |(lp, rp)| {
+        join_partition(&lp, &rp, left_width, right_width, kind, lk, rk, residual)
+    })?;
+    let mut tagged: Vec<(usize, Row)> = parts.into_iter().flatten().collect();
+    // Stable: a left row's multiple matches stay in their within-partition
+    // (= serial probe) order.
+    tagged.sort_by_key(|(i, _)| *i);
+    let rows = tagged.into_iter().map(|(_, r)| r).collect();
+    Ok((
+        rows,
+        JoinInfo {
+            hash: true,
+            keys: lk.len(),
+        },
+        Some(info),
+    ))
+}
+
 // ---------------------------------------------------------------------
 // Aggregation
 // ---------------------------------------------------------------------
@@ -899,6 +1249,49 @@ impl AggState {
         Ok(())
     }
 
+    /// Fold another partial state (from a later input chunk) into this
+    /// one. Matches the serial `update` semantics: earlier-chunk values
+    /// win MIN/MAX ties, DISTINCT collections concatenate in chunk order.
+    fn merge(&mut self, other: AggState) {
+        match (self, other) {
+            (AggState::Count(n), AggState::Count(m)) => *n += m,
+            (
+                AggState::Sum { total, any, int },
+                AggState::Sum {
+                    total: t2,
+                    any: a2,
+                    int: i2,
+                },
+            ) => {
+                *total += t2;
+                *any |= a2;
+                *int &= i2;
+            }
+            (AggState::Avg { total, n }, AggState::Avg { total: t2, n: n2 }) => {
+                *total += t2;
+                *n += n2;
+            }
+            (AggState::Min(cur), AggState::Min(other)) => {
+                if let Some(v) = other {
+                    if cur.as_ref().is_none_or(|c| v < *c) {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            (AggState::Max(cur), AggState::Max(other)) => {
+                if let Some(v) = other {
+                    if cur.as_ref().is_none_or(|c| v > *c) {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            (AggState::Distinct(vals, _), AggState::Distinct(mut other, _)) => {
+                vals.append(&mut other);
+            }
+            _ => unreachable!("merging mismatched aggregate states"),
+        }
+    }
+
     fn finish(self) -> RelResult<Value> {
         Ok(match self {
             AggState::Count(n) => Value::Int(n),
@@ -937,7 +1330,12 @@ impl AggState {
     }
 }
 
-fn aggregate_rows(rows: &[Row], group_by: &[Expr], aggs: &[AggExpr]) -> RelResult<Vec<Row>> {
+/// Per-chunk grouped partial states plus the chunk's first-seen group
+/// order (the unit merged across parallel aggregation workers).
+type AggPartial = (HashMap<Vec<Value>, Vec<AggState>>, Vec<Vec<Value>>);
+
+/// One accumulation pass over a row chunk.
+fn aggregate_partial(rows: &[Row], group_by: &[Expr], aggs: &[AggExpr]) -> RelResult<AggPartial> {
     let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
     // Preserve first-seen group order for deterministic output.
     let mut order: Vec<Vec<Value>> = Vec::new();
@@ -965,6 +1363,16 @@ fn aggregate_rows(rows: &[Row], group_by: &[Expr], aggs: &[AggExpr]) -> RelResul
             state.update(v, is_star)?;
         }
     }
+    Ok((groups, order))
+}
+
+/// Finish accumulated groups into output rows (first-seen group order).
+fn aggregate_finish(
+    mut groups: HashMap<Vec<Value>, Vec<AggState>>,
+    order: Vec<Vec<Value>>,
+    group_by: &[Expr],
+    aggs: &[AggExpr],
+) -> RelResult<Vec<Row>> {
     // Global aggregate over empty input still yields one row.
     if groups.is_empty() && group_by.is_empty() {
         let states: Vec<AggState> = aggs.iter().map(AggState::new).collect();
@@ -984,6 +1392,50 @@ fn aggregate_rows(rows: &[Row], group_by: &[Expr], aggs: &[AggExpr]) -> RelResul
         out.push(row);
     }
     Ok(out)
+}
+
+fn aggregate_rows(rows: &[Row], group_by: &[Expr], aggs: &[AggExpr]) -> RelResult<Vec<Row>> {
+    let (groups, order) = aggregate_partial(rows, group_by, aggs)?;
+    aggregate_finish(groups, order, group_by, aggs)
+}
+
+/// [`aggregate_rows`], parallel when the options allow: each worker
+/// accumulates partial states over a contiguous chunk, and partials merge
+/// in chunk order — so first-seen group order (and therefore output
+/// order) matches the serial pass.
+fn aggregate_rows_opt(
+    rows: &[Row],
+    group_by: &[Expr],
+    aggs: &[AggExpr],
+    opts: &ExecOptions,
+) -> RelResult<(Vec<Row>, Option<ParInfo>)> {
+    let threads = opts.threads_for(rows.len());
+    if threads <= 1 {
+        return Ok((aggregate_rows(rows, group_by, aggs)?, None));
+    }
+    let chunks: Vec<&[Row]> = (0..threads)
+        .map(|p| &rows[(p * rows.len() / threads)..((p + 1) * rows.len() / threads)])
+        .collect();
+    let (parts, info) = run_partitioned(chunks, |chunk| aggregate_partial(chunk, group_by, aggs))?;
+    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for (mut part_groups, part_order) in parts {
+        for key in part_order {
+            let states = part_groups.remove(&key).expect("group recorded in order");
+            match groups.get_mut(&key) {
+                Some(existing) => {
+                    for (cur, other) in existing.iter_mut().zip(states) {
+                        cur.merge(other);
+                    }
+                }
+                None => {
+                    order.push(key.clone());
+                    groups.insert(key, states);
+                }
+            }
+        }
+    }
+    Ok((aggregate_finish(groups, order, group_by, aggs)?, Some(info)))
 }
 
 // ---------------------------------------------------------------------
@@ -1306,5 +1758,122 @@ mod tests {
         db.execute_sql("INSERT INTO b VALUES (NULL),(1)").unwrap();
         let rs = db.query_sql("SELECT * FROM a JOIN b ON a.x = b.y").unwrap();
         assert_eq!(rs.rows.len(), 1);
+    }
+
+    /// Options that force every parallelizable operator to split, even on
+    /// tiny test tables.
+    fn par(n: usize) -> ExecOptions {
+        ExecOptions {
+            parallelism: n,
+            min_partition_rows: 1,
+        }
+    }
+
+    #[test]
+    fn parallel_results_match_serial() {
+        let db = db();
+        let queries = [
+            "SELECT * FROM courses",
+            "SELECT id, units FROM courses WHERE units >= 3 AND dep <> 'MATH'",
+            "SELECT courses.id, comments.text FROM courses \
+             JOIN comments ON courses.id = comments.course_id",
+            "SELECT courses.id, comments.text FROM courses \
+             LEFT JOIN comments ON courses.id = comments.course_id",
+            "SELECT dep, COUNT(*) AS n, SUM(units) AS su, MIN(units) AS mn, \
+             MAX(units) AS mx, COUNT(DISTINCT units) AS d \
+             FROM courses GROUP BY dep",
+            "SELECT COUNT(*) AS c, MAX(units) AS m FROM courses WHERE id > 999",
+            "SELECT id FROM courses ORDER BY id LIMIT 2 OFFSET 1",
+        ];
+        for sql in queries {
+            let serial = db.query_sql(sql).unwrap();
+            for n in [2, 3, 8] {
+                let parallel = db.query_sql_with(sql, &par(n)).unwrap();
+                assert_eq!(parallel, serial, "parallelism={n} sql={sql}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_join_null_keys_match_serial() {
+        let db = Database::new();
+        db.execute_sql("CREATE TABLE a (x INT)").unwrap();
+        db.execute_sql("CREATE TABLE b (y INT)").unwrap();
+        db.execute_sql("INSERT INTO a VALUES (NULL),(1),(2),(NULL),(2)")
+            .unwrap();
+        db.execute_sql("INSERT INTO b VALUES (NULL),(1),(2),(2)")
+            .unwrap();
+        for sql in [
+            "SELECT * FROM a JOIN b ON a.x = b.y",
+            "SELECT * FROM a LEFT JOIN b ON a.x = b.y",
+        ] {
+            let serial = db.query_sql(sql).unwrap();
+            let parallel = db.query_sql_with(sql, &par(4)).unwrap();
+            assert_eq!(parallel, serial, "sql={sql}");
+        }
+    }
+
+    #[test]
+    fn parallel_profile_reports_partitions() {
+        let db = db();
+        let (rs, profile) = db
+            .explain_analyze_sql_with("SELECT * FROM courses", &par(2))
+            .unwrap();
+        assert_eq!(rs.rows.len(), 5);
+        let scan = profile.find("Scan courses").expect("scan profiled");
+        assert!(
+            scan.detail.iter().any(|d| d == "partitions=2"),
+            "detail: {:?}",
+            scan.detail
+        );
+        assert!(
+            scan.detail
+                .iter()
+                .any(|d| d.starts_with("partition_times=")),
+            "detail: {:?}",
+            scan.detail
+        );
+    }
+
+    #[test]
+    fn parallel_metrics_count_partitions() {
+        cr_obs::install();
+        let db = db();
+        let before = cr_obs::Registry::global()
+            .snapshot()
+            .counter("relation.parallel.partitions_spawned")
+            .unwrap_or(0);
+        db.query_sql_with("SELECT * FROM courses", &par(3)).unwrap();
+        let after = cr_obs::Registry::global()
+            .snapshot()
+            .counter("relation.parallel.partitions_spawned")
+            .unwrap_or(0);
+        assert!(after >= before + 3, "before={before} after={after}");
+    }
+
+    #[test]
+    fn database_default_options_apply() {
+        let db = db().with_exec_options(par(4));
+        assert_eq!(db.exec_options().parallelism, 4);
+        let rs = db.query_sql("SELECT * FROM courses").unwrap();
+        assert_eq!(rs.rows.len(), 5);
+        let serial = Database::clone(&db)
+            .with_exec_options(ExecOptions::default())
+            .query_sql("SELECT * FROM courses")
+            .unwrap();
+        assert_eq!(rs, serial);
+    }
+
+    #[test]
+    fn split_owned_is_contiguous_and_complete() {
+        for len in [0usize, 1, 5, 10, 17] {
+            for parts in 1..=6 {
+                let v: Vec<usize> = (0..len).collect();
+                let chunks = split_owned(v, parts);
+                assert_eq!(chunks.len(), parts);
+                let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+                assert_eq!(flat, (0..len).collect::<Vec<_>>(), "{len}/{parts}");
+            }
+        }
     }
 }

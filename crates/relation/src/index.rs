@@ -116,14 +116,19 @@ impl Index {
         }
     }
 
-    /// Range scan (BTree only; returns empty for hash indexes).
-    pub fn range(&self, lower: Bound<&IndexKey>, upper: Bound<&IndexKey>) -> Vec<RowId> {
-        match &self.storage {
-            IndexStorage::Hash(_) => Vec::new(),
-            IndexStorage::BTree(m) => m
-                .range::<IndexKey, _>((lower, upper))
-                .flat_map(|(_, ids)| ids.iter().copied())
-                .collect(),
+    /// Range scan (BTree only; yields nothing for hash indexes).
+    ///
+    /// Returns a lazy [`RangeIds`] iterator over the matching row ids, so
+    /// the executor's access path streams ids straight off the tree
+    /// instead of allocating a fresh `Vec<RowId>` per lookup.
+    pub fn range<'a>(&'a self, lower: Bound<&IndexKey>, upper: Bound<&IndexKey>) -> RangeIds<'a> {
+        let buckets = match &self.storage {
+            IndexStorage::Hash(_) => None,
+            IndexStorage::BTree(m) => Some(m.range::<IndexKey, _>((lower, upper))),
+        };
+        RangeIds {
+            buckets,
+            bucket: [].iter(),
         }
     }
 
@@ -140,6 +145,28 @@ impl Index {
         match &self.storage {
             IndexStorage::Hash(m) => m.values().map(Vec::len).sum(),
             IndexStorage::BTree(m) => m.values().map(Vec::len).sum(),
+        }
+    }
+}
+
+/// Lazy row-id stream produced by [`Index::range`]: walks the BTree's
+/// key buckets in key order, yielding each bucket's ids in insertion
+/// order. `buckets` is `None` for hash indexes (always empty).
+pub struct RangeIds<'a> {
+    buckets: Option<std::collections::btree_map::Range<'a, IndexKey, Vec<RowId>>>,
+    bucket: std::slice::Iter<'a, RowId>,
+}
+
+impl<'a> Iterator for RangeIds<'a> {
+    type Item = RowId;
+
+    fn next(&mut self) -> Option<RowId> {
+        loop {
+            if let Some(&rid) = self.bucket.next() {
+                return Some(rid);
+            }
+            let (_, ids) = self.buckets.as_mut()?.next()?;
+            self.bucket = ids.iter();
         }
     }
 }
@@ -173,15 +200,30 @@ mod tests {
         for v in 0..10 {
             idx.insert(key(v), RowId(v as u64));
         }
-        let got = idx.range(Bound::Included(&key(3)), Bound::Excluded(&key(7)));
+        let got: Vec<RowId> = idx
+            .range(Bound::Included(&key(3)), Bound::Excluded(&key(7)))
+            .collect();
         assert_eq!(got, vec![RowId(3), RowId(4), RowId(5), RowId(6)]);
+    }
+
+    #[test]
+    fn btree_range_streams_multi_id_buckets() {
+        let mut idx = Index::new("i", vec![0], IndexKind::BTree, false);
+        idx.insert(key(1), RowId(10));
+        idx.insert(key(1), RowId(11));
+        idx.insert(key(2), RowId(12));
+        let got: Vec<RowId> = idx.range(Bound::Unbounded, Bound::Unbounded).collect();
+        assert_eq!(got, vec![RowId(10), RowId(11), RowId(12)]);
     }
 
     #[test]
     fn hash_range_is_empty() {
         let mut idx = Index::new("i", vec![0], IndexKind::Hash, false);
         idx.insert(key(1), RowId(1));
-        assert!(idx.range(Bound::Unbounded, Bound::Unbounded).is_empty());
+        assert!(idx
+            .range(Bound::Unbounded, Bound::Unbounded)
+            .next()
+            .is_none());
     }
 
     #[test]

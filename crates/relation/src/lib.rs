@@ -53,7 +53,10 @@ pub mod value;
 
 pub use catalog::{Catalog, Database};
 pub use error::{RelError, RelResult};
-pub use exec::{execute_instrumented, AccessPath, ResultSet};
+pub use exec::{
+    execute, execute_instrumented, execute_instrumented_with, execute_with, AccessPath,
+    ExecOptions, ResultSet,
+};
 pub use expr::Expr;
 pub use plan::{LogicalPlan, PlanBuilder};
 pub use profile::OpProfile;

@@ -62,8 +62,19 @@ pub fn execute(text: &str, catalog: &Catalog) -> RelResult<ResultSet> {
 
 /// Execute a query (SELECT only).
 pub fn query(text: &str, catalog: &Catalog) -> RelResult<ResultSet> {
+    query_with(text, catalog, &crate::exec::ExecOptions::default())
+}
+
+/// Execute a query (SELECT only) with explicit execution options —
+/// `opts.parallelism > 1` partitions scans/filters/joins/aggregations
+/// across worker threads without changing the result.
+pub fn query_with(
+    text: &str,
+    catalog: &Catalog,
+    opts: &crate::exec::ExecOptions,
+) -> RelResult<ResultSet> {
     let plan = plan_query(text, catalog)?;
-    crate::exec::execute(&plan, catalog)
+    crate::exec::execute_with(&plan, catalog, opts)
 }
 
 /// Build the one-row "N rows affected" result used by DML statements.

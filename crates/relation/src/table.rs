@@ -27,6 +27,10 @@ pub struct Table {
     pk_index: HashMap<IndexKey, RowId>,
     /// Secondary indexes by name.
     indexes: Vec<Index>,
+    /// Monotonic mutation counter: bumped on every successful insert,
+    /// delete, or update. Result caches (e.g. the courserank `RecCache`)
+    /// snapshot dependency versions and stay valid until any bump.
+    version: u64,
 }
 
 impl Table {
@@ -40,7 +44,13 @@ impl Table {
             pk_columns,
             pk_index: HashMap::new(),
             indexes: Vec::new(),
+            version: 0,
         }
+    }
+
+    /// Monotonic mutation counter (see the field docs).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     pub fn name(&self) -> &str {
@@ -113,6 +123,7 @@ impl Table {
         }
         self.rows.push(Some(row));
         self.live += 1;
+        self.version += 1;
         Ok(rid)
     }
 
@@ -148,6 +159,7 @@ impl Table {
             idx.remove(&key, rid);
         }
         self.live -= 1;
+        self.version += 1;
         true
     }
 
@@ -179,6 +191,7 @@ impl Table {
             }
         }
         self.rows[rid.0 as usize] = Some(new_row);
+        self.version += 1;
         Ok(())
     }
 
@@ -188,6 +201,25 @@ impl Table {
             .iter()
             .enumerate()
             .filter_map(|(i, slot)| slot.as_ref().map(|r| (RowId(i as u64), r)))
+    }
+
+    /// Number of physical slots (live rows + tombstones). Parallel scans
+    /// partition `0..slot_count()` into contiguous ranges.
+    pub fn slot_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Iterate live rows within a contiguous slot range. Concatenating
+    /// the outputs of adjacent ranges reproduces [`Table::scan`] exactly.
+    pub fn scan_slots(
+        &self,
+        slots: std::ops::Range<usize>,
+    ) -> impl Iterator<Item = (RowId, &Row)> + '_ {
+        let start = slots.start;
+        self.rows[slots]
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, slot)| slot.as_ref().map(|r| (RowId((start + i) as u64), r)))
     }
 
     /// Create a secondary index over `columns` and backfill it.
@@ -352,6 +384,44 @@ mod tests {
             t.insert(row![2i64, "A", 4i64]),
             Err(RelError::DuplicateKey(_))
         ));
+    }
+
+    #[test]
+    fn version_bumps_on_mutations_only() {
+        let mut t = courses();
+        assert_eq!(t.version(), 0);
+        let r1 = t.insert(row![1i64, "A", 3i64]).unwrap();
+        assert_eq!(t.version(), 1);
+        t.insert(row![1i64, "B", 4i64]).unwrap_err(); // duplicate PK: no bump
+        assert_eq!(t.version(), 1);
+        t.update(r1, row![1i64, "A", 4i64]).unwrap();
+        assert_eq!(t.version(), 2);
+        assert!(t.delete(r1));
+        assert_eq!(t.version(), 3);
+        assert!(!t.delete(r1)); // tombstoned already: no bump
+        assert_eq!(t.version(), 3);
+        t.scan().count(); // reads never bump
+        assert_eq!(t.version(), 3);
+    }
+
+    #[test]
+    fn scan_slots_partitions_reassemble_to_scan() {
+        let mut t = courses();
+        for id in 0..10i64 {
+            t.insert(row![id, "t", id % 3]).unwrap();
+        }
+        t.delete(RowId(4));
+        t.delete(RowId(7));
+        let serial: Vec<_> = t.scan().map(|(rid, r)| (rid, r.clone())).collect();
+        let n = t.slot_count();
+        for parts in 1..=5 {
+            let mut stitched = Vec::new();
+            for p in 0..parts {
+                let (lo, hi) = (p * n / parts, (p + 1) * n / parts);
+                stitched.extend(t.scan_slots(lo..hi).map(|(rid, r)| (rid, r.clone())));
+            }
+            assert_eq!(stitched, serial, "parts={parts}");
+        }
     }
 
     proptest! {

@@ -20,9 +20,22 @@
 //!   trade-off).
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 use crate::index::{DocId, InvertedIndex};
 use crate::score::idf;
+
+/// Below this many result docs, sharded aggregation is pure overhead.
+const PARALLEL_CLOUD_MIN_DOCS: usize = 256;
+
+/// One aggregation shard's output: term → (tf, df), plus the shard's
+/// total token count.
+type TermAgg<'a> = (HashMap<&'a str, (u64, usize)>, u64);
+
+fn cloud_shard_counter() -> &'static Arc<cr_obs::Counter> {
+    static C: OnceLock<Arc<cr_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| cr_obs::Registry::global().counter("textsearch.shards_spawned"))
+}
 
 /// Which statistic ranks cloud terms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -63,6 +76,10 @@ pub struct CloudConfig {
     /// bigrams exist), displacing the lowest-scored unigrams — Figure 3's
     /// cloud always shows phrases ("Latin American", "African American").
     pub min_bigrams: usize,
+    /// Worker threads for sharding term aggregation over large result
+    /// sets (1 = serial). Per-shard tallies merge with integer adds, so
+    /// the cloud is identical either way.
+    pub parallelism: usize,
 }
 
 impl Default for CloudConfig {
@@ -76,6 +93,7 @@ impl Default for CloudConfig {
             bigram_cohesion: 0.03,
             bigram_boost: 2.0,
             min_bigrams: 4,
+            parallelism: 1,
         }
     }
 }
@@ -168,19 +186,45 @@ fn compute_cloud_inner(
     }
 
     // Aggregate term frequencies across the (sampled) result set from the
-    // forward index.
-    let mut agg: HashMap<&str, (u64, usize)> = HashMap::new(); // term → (tf, df)
-    let mut result_token_total: u64 = 0;
-    for &d in docs {
-        if let Some(entry) = index.doc(d) {
-            for (term, tf) in &entry.term_freqs {
-                let slot = agg.entry(term.as_str()).or_insert((0, 0));
-                slot.0 += *tf as u64;
-                slot.1 += 1;
-                result_token_total += *tf as u64;
+    // forward index, sharding large result sets across worker threads.
+    let shards = if config.parallelism > 1 && docs.len() >= PARALLEL_CLOUD_MIN_DOCS {
+        config.parallelism
+    } else {
+        1
+    };
+    let (agg, result_token_total) = if shards > 1 {
+        let parts: Vec<TermAgg> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..shards)
+                .map(|p| {
+                    let lo = p * docs.len() / shards;
+                    let hi = (p + 1) * docs.len() / shards;
+                    let chunk = &docs[lo..hi];
+                    s.spawn(move |_| aggregate_terms(index, chunk))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("cloud shard panicked"))
+                .collect()
+        })
+        .expect("cloud shard scope");
+        if cr_obs::enabled() {
+            cloud_shard_counter().add(shards as u64);
+        }
+        let mut it = parts.into_iter();
+        let (mut agg, mut total) = it.next().expect("at least one shard");
+        for (part, part_total) in it {
+            total += part_total;
+            for (term, (tf, df)) in part {
+                let slot = agg.entry(term).or_insert((0, 0));
+                slot.0 += tf;
+                slot.1 += df;
             }
         }
-    }
+        (agg, total)
+    } else {
+        aggregate_terms(index, docs)
+    };
 
     let corpus_docs = index.num_docs().max(1);
     let corpus_token_total = (index.corpus_tokens() as f64).max(result_token_total as f64 + 1.0);
@@ -281,6 +325,24 @@ fn compute_cloud_inner(
         terms: scored,
         docs_aggregated: docs.len(),
     }
+}
+
+/// Tally term → (tf, df) plus the total token count over `docs` from the
+/// forward index.
+fn aggregate_terms<'a>(index: &'a InvertedIndex, docs: &[DocId]) -> TermAgg<'a> {
+    let mut agg: HashMap<&str, (u64, usize)> = HashMap::new();
+    let mut token_total: u64 = 0;
+    for &d in docs {
+        if let Some(entry) = index.doc(d) {
+            for (term, tf) in &entry.term_freqs {
+                let slot = agg.entry(term.as_str()).or_insert((0, 0));
+                slot.0 += *tf as u64;
+                slot.1 += 1;
+                token_total += *tf as u64;
+            }
+        }
+    }
+    (agg, token_total)
 }
 
 /// Dunning's G² statistic for a 2×2 contingency of term occurrence inside
@@ -507,6 +569,45 @@ mod tests {
             },
         );
         assert!(!cloud.terms.is_empty());
+    }
+
+    #[test]
+    fn sharded_aggregation_matches_serial() {
+        let mut ix = InvertedIndex::new(
+            Analyzer::new(),
+            vec![FieldSpec {
+                name: "body".into(),
+                weight: 1.0,
+            }],
+        );
+        let b = ix.field_id("body").unwrap();
+        let mut results = Vec::new();
+        for i in 0..400 {
+            let text = format!(
+                "american politics seminar {} federal policy topic{}",
+                i,
+                i % 7
+            );
+            results.push(ix.add_document(&[(b, text.as_str())]));
+        }
+        let serial = compute_cloud(&ix, &results, &[], &CloudConfig::default());
+        let sharded = compute_cloud(
+            &ix,
+            &results,
+            &[],
+            &CloudConfig {
+                parallelism: 4,
+                ..CloudConfig::default()
+            },
+        );
+        assert_eq!(serial.docs_aggregated, sharded.docs_aggregated);
+        assert_eq!(serial.terms.len(), sharded.terms.len());
+        for (a, b) in serial.terms.iter().zip(&sharded.terms) {
+            assert_eq!(a.term, b.term);
+            assert_eq!(a.result_tf, b.result_tf);
+            assert_eq!(a.result_doc_freq, b.result_doc_freq);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! are analyzed with the same analyzer as the index, and quoted phrases
 //! ("latin american") map to bigram terms.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -14,7 +15,7 @@ use cr_relation::Value;
 
 use crate::cloud::{compute_cloud, CloudConfig, DataCloud};
 use crate::entity::EntityCorpus;
-use crate::index::DocId;
+use crate::index::{DocId, Posting};
 use crate::score::{bm25f_term_score, idf, Bm25Params};
 
 // Handles resolved once; recording is relaxed atomics. All sites gate on
@@ -26,6 +27,9 @@ struct TsMetrics {
     candidate_set: Arc<cr_obs::Histogram>,
     clouds: Arc<cr_obs::Counter>,
     cloud_ns: Arc<cr_obs::Histogram>,
+    heap_prunes: Arc<cr_obs::Counter>,
+    docs_skipped: Arc<cr_obs::Counter>,
+    shards: Arc<cr_obs::Counter>,
 }
 
 fn metrics() -> &'static TsMetrics {
@@ -39,6 +43,9 @@ fn metrics() -> &'static TsMetrics {
             candidate_set: r.histogram("textsearch.candidate_set"),
             clouds: r.counter("textsearch.clouds"),
             cloud_ns: r.histogram("textsearch.cloud_ns"),
+            heap_prunes: r.counter("textsearch.topk.heap_prunes"),
+            docs_skipped: r.counter("textsearch.topk.docs_skipped"),
+            shards: r.counter("textsearch.shards_spawned"),
         }
     })
 }
@@ -51,6 +58,53 @@ struct SearchStats {
     /// Docs that matched the first term (the candidate set the remaining
     /// conjuncts filter down).
     candidates: u64,
+    /// Top-k heap evictions (a better doc displaced the current k-th).
+    heap_prunes: u64,
+    /// Matching docs whose scoring was abandoned early because their
+    /// upper bound could not reach the current k-th score.
+    docs_skipped: u64,
+    /// Worker threads spawned for sharded per-term scoring.
+    shards: u64,
+}
+
+fn record_query_metrics(stats: &SearchStats, t0: Instant) {
+    let m = metrics();
+    m.queries.inc();
+    m.postings_lookups.add(stats.postings_lookups);
+    m.candidate_set.record(stats.candidates);
+    m.heap_prunes.add(stats.heap_prunes);
+    m.docs_skipped.add(stats.docs_skipped);
+    m.shards.add(stats.shards);
+    m.query_ns.record_duration(t0.elapsed());
+}
+
+/// One term's scoring output: live doc frequency plus per-doc BM25F
+/// contributions in posting order.
+type TermScores = (usize, Vec<(DocId, f64)>);
+
+/// Heap entry for top-k search. Ordering: higher score is greater; on a
+/// score tie the *lower* doc id is greater (it wins), matching the
+/// exhaustive sort (score desc, doc asc).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TopkEntry {
+    score: f64,
+    doc: DocId,
+}
+
+impl Eq for TopkEntry {}
+
+impl Ord for TopkEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| other.doc.cmp(&self.doc))
+    }
+}
+
+impl PartialOrd for TopkEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 /// A parsed query: analyzed terms (unigrams or bigram phrases).
@@ -141,6 +195,9 @@ pub struct SearchResults {
 pub struct SearchEngine {
     corpus: EntityCorpus,
     params: Bm25Params,
+    /// Worker threads for sharding per-term scoring across multi-term
+    /// queries (1 = serial). Results are identical either way.
+    parallelism: usize,
 }
 
 impl SearchEngine {
@@ -148,11 +205,19 @@ impl SearchEngine {
         SearchEngine {
             corpus,
             params: Bm25Params::default(),
+            parallelism: 1,
         }
     }
 
     pub fn with_params(mut self, params: Bm25Params) -> Self {
         self.params = params;
+        self
+    }
+
+    /// Builder-style: shard per-term postings scoring across up to
+    /// `parallelism` scoped threads for multi-term queries.
+    pub fn with_search_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
         self
     }
 
@@ -182,48 +247,98 @@ impl SearchEngine {
         let mut stats = SearchStats::default();
         let results = self.search_inner(query, k, &mut stats);
         if let Some(t0) = started {
-            let m = metrics();
-            m.queries.inc();
-            m.postings_lookups.add(stats.postings_lookups);
-            m.candidate_set.record(stats.candidates);
-            m.query_ns.record_duration(t0.elapsed());
+            record_query_metrics(&stats, t0);
         }
         results
     }
 
-    fn search_inner(&self, query: &Query, k: usize, stats: &mut SearchStats) -> SearchResults {
+    /// Score one term's postings over live docs. Returns the live doc
+    /// frequency and the per-doc BM25F contributions in posting
+    /// (ascending doc) order; df == 0 yields an empty score list.
+    fn score_term(&self, term: &str) -> (usize, Vec<(DocId, f64)>) {
         let index = &self.corpus.index;
+        let postings = index.postings(term);
+        let df = postings.iter().filter(|p| index.is_live(p.doc)).count();
+        if df == 0 {
+            return (0, Vec::new());
+        }
+        let term_idf = idf(index.num_docs(), df);
+        let scored = postings
+            .iter()
+            .filter(|p| index.is_live(p.doc))
+            .map(|p| (p.doc, bm25f_term_score(index, p, term_idf, self.params)))
+            .collect();
+        (df, scored)
+    }
+
+    /// Score every term concurrently: terms split into contiguous shards,
+    /// one scoped thread each. One postings lookup per term, same as the
+    /// serial pass.
+    fn score_terms_sharded(&self, terms: &[String], stats: &mut SearchStats) -> Vec<TermScores> {
+        let shards = self.parallelism.min(terms.len());
+        stats.postings_lookups += terms.len() as u64;
+        stats.shards += shards as u64;
+        let per_shard: Vec<Vec<TermScores>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..shards)
+                .map(|p| {
+                    let lo = p * terms.len() / shards;
+                    let hi = (p + 1) * terms.len() / shards;
+                    let shard = &terms[lo..hi];
+                    s.spawn(move |_| shard.iter().map(|t| self.score_term(t)).collect())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
+        .expect("shard scope");
+        per_shard.into_iter().flatten().collect()
+    }
+
+    fn search_inner(&self, query: &Query, k: usize, stats: &mut SearchStats) -> SearchResults {
         if query.terms.is_empty() {
             return SearchResults {
                 query: query.clone(),
                 ..SearchResults::default()
             };
         }
-        // Accumulate per-doc scores; docs must match every term.
-        let mut acc: HashMap<DocId, (f64, usize)> = HashMap::new();
-        for (ti, term) in query.terms.iter().enumerate() {
-            let postings = index.postings(term);
-            stats.postings_lookups += 1;
-            let df = postings.iter().filter(|p| index.is_live(p.doc)).count();
-            if df == 0 {
-                return SearchResults {
-                    query: query.clone(),
-                    ..SearchResults::default()
-                };
-            }
-            let term_idf = idf(index.num_docs(), df);
-            for p in postings {
-                if !index.is_live(p.doc) {
-                    continue;
+        // Per-term (df, scored postings), computed serially term-by-term
+        // (with early exit on a dead term) or sharded across threads.
+        let per_term: Vec<TermScores> = if self.parallelism > 1 && query.terms.len() > 1 {
+            self.score_terms_sharded(&query.terms, stats)
+        } else {
+            let mut per_term = Vec::with_capacity(query.terms.len());
+            for term in &query.terms {
+                stats.postings_lookups += 1;
+                let scored = self.score_term(term);
+                let dead = scored.0 == 0;
+                per_term.push(scored);
+                if dead {
+                    break;
                 }
-                let s = bm25f_term_score(index, p, term_idf, self.params);
-                match acc.get_mut(&p.doc) {
+            }
+            per_term
+        };
+        if per_term.len() < query.terms.len() || per_term.iter().any(|(df, _)| *df == 0) {
+            return SearchResults {
+                query: query.clone(),
+                ..SearchResults::default()
+            };
+        }
+        // Accumulate per-doc scores in term order — float-add order is
+        // identical to a single interleaved pass; docs must match every
+        // term.
+        let mut acc: HashMap<DocId, (f64, usize)> = HashMap::new();
+        for (ti, (_, scored)) in per_term.iter().enumerate() {
+            for &(doc, s) in scored {
+                match acc.get_mut(&doc) {
                     Some(slot) if slot.1 == ti => {
                         slot.0 += s;
                         slot.1 = ti + 1;
                     }
                     None if ti == 0 => {
-                        acc.insert(p.doc, (s, 1));
+                        acc.insert(doc, (s, 1));
                     }
                     _ => {} // missed an earlier term → cannot match all
                 }
@@ -259,6 +374,150 @@ impl SearchEngine {
             total,
             hits,
             matched_docs: matched.into_iter().map(|(d, _)| d).collect(),
+        }
+    }
+
+    /// Top-k search: same `hits` (docs, scores, order) and `total` as
+    /// [`SearchEngine::search`], computed with a bounded binary heap and
+    /// a per-term max-impact bound that abandons scoring any doc whose
+    /// upper bound cannot reach the current k-th score.
+    ///
+    /// `matched_docs` carries only the returned hits — use [`search`]
+    /// (exhaustive) when feeding cloud aggregation, which samples the
+    /// full score-ordered match list.
+    ///
+    /// [`search`]: SearchEngine::search
+    pub fn search_topk(&self, query: &Query, k: usize) -> SearchResults {
+        let started = if cr_obs::enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let mut stats = SearchStats::default();
+        let results = self.search_topk_inner(query, k, &mut stats);
+        if let Some(t0) = started {
+            record_query_metrics(&stats, t0);
+        }
+        results
+    }
+
+    fn search_topk_inner(&self, query: &Query, k: usize, stats: &mut SearchStats) -> SearchResults {
+        let index = &self.corpus.index;
+        let nterms = query.terms.len();
+        if nterms == 0 {
+            return SearchResults {
+                query: query.clone(),
+                ..SearchResults::default()
+            };
+        }
+        let mut lists: Vec<&[Posting]> = Vec::with_capacity(nterms);
+        let mut idfs: Vec<f64> = Vec::with_capacity(nterms);
+        for term in &query.terms {
+            let postings = index.postings(term);
+            stats.postings_lookups += 1;
+            let df = postings.iter().filter(|p| index.is_live(p.doc)).count();
+            if df == 0 {
+                return SearchResults {
+                    query: query.clone(),
+                    ..SearchResults::default()
+                };
+            }
+            idfs.push(idf(index.num_docs(), df));
+            lists.push(postings);
+        }
+        // Max impact per term: BM25F's tf factor wtf·(k1+1)/(wtf+norm) is
+        // strictly below k1+1 (norm > 0), so idf·(k1+1) is a strict
+        // supremum of any single posting's contribution.
+        let mut suffix_ub = vec![0.0f64; nterms + 1];
+        for t in (0..nterms).rev() {
+            suffix_ub[t] = suffix_ub[t + 1] + idfs[t] * (self.params.k1 + 1.0);
+        }
+        // Drive the conjunctive intersection from the sparsest list;
+        // postings are sorted by doc id, so the other lists advance with
+        // monotone cursors.
+        let driver = (0..nterms)
+            .min_by_key(|&t| lists[t].len())
+            .expect("terms checked non-empty");
+        let mut cursors = vec![0usize; nterms];
+        let mut heap: BinaryHeap<Reverse<TopkEntry>> = BinaryHeap::with_capacity(k + 1);
+        let mut total = 0usize;
+        'docs: for p in lists[driver] {
+            let doc = p.doc;
+            if !index.is_live(doc) {
+                continue;
+            }
+            for t in 0..nterms {
+                if t == driver {
+                    continue;
+                }
+                let list = lists[t];
+                cursors[t] += list[cursors[t]..].partition_point(|q| q.doc < doc);
+                if cursors[t] >= list.len() {
+                    break 'docs; // this list is exhausted: nothing later matches
+                }
+                if list[cursors[t]].doc != doc {
+                    continue 'docs;
+                }
+            }
+            total += 1;
+            stats.candidates += 1;
+            if k == 0 {
+                continue;
+            }
+            // Score in term order (same float-add order as the exhaustive
+            // path), abandoning once even the residual strict upper bound
+            // cannot reach the current k-th score.
+            let threshold = if heap.len() == k {
+                Some(heap.peek().expect("k > 0").0)
+            } else {
+                None
+            };
+            let mut score = 0.0f64;
+            let mut abandoned = false;
+            for t in 0..nterms {
+                if let Some(th) = threshold {
+                    // The bound is strict, so `<=` can never drop a doc
+                    // that would have tied and won on doc order.
+                    if score + suffix_ub[t] <= th.score {
+                        stats.docs_skipped += 1;
+                        abandoned = true;
+                        break;
+                    }
+                }
+                let posting = if t == driver {
+                    p
+                } else {
+                    &lists[t][cursors[t]]
+                };
+                score += bm25f_term_score(index, posting, idfs[t], self.params);
+            }
+            if abandoned {
+                continue;
+            }
+            let entry = TopkEntry { score, doc };
+            if heap.len() < k {
+                heap.push(Reverse(entry));
+            } else if entry > heap.peek().expect("heap full").0 {
+                heap.pop();
+                heap.push(Reverse(entry));
+                stats.heap_prunes += 1;
+            }
+        }
+        let mut top: Vec<TopkEntry> = heap.into_iter().map(|r| r.0).collect();
+        top.sort_by(|a, b| b.cmp(a)); // best (highest score, lowest doc) first
+        let hits: Vec<SearchHit> = top
+            .iter()
+            .map(|e| SearchHit {
+                doc: e.doc,
+                entity_id: self.corpus.doc_to_id[e.doc.0 as usize].clone(),
+                score: e.score,
+            })
+            .collect();
+        SearchResults {
+            query: query.clone(),
+            total,
+            matched_docs: hits.iter().map(|h| h.doc).collect(),
+            hits,
         }
     }
 
@@ -476,5 +735,80 @@ mod tests {
         for w in r.hits.windows(2) {
             assert!(w[0].score >= w[1].score);
         }
+    }
+
+    fn assert_same_hits(a: &SearchResults, b: &SearchResults) {
+        assert_eq!(a.total, b.total);
+        assert_eq!(a.hits.len(), b.hits.len());
+        for (x, y) in a.hits.iter().zip(&b.hits) {
+            assert_eq!(x.doc, y.doc);
+            assert_eq!(x.entity_id, y.entity_id);
+            assert_eq!(
+                x.score.to_bits(),
+                y.score.to_bits(),
+                "scores differ for {:?}: {} vs {}",
+                x.doc,
+                x.score,
+                y.score
+            );
+        }
+    }
+
+    #[test]
+    fn topk_matches_exhaustive_search() {
+        let e = setup();
+        for query in ["american", "american politics", "latin america", "zorblatt"] {
+            let q = e.parse_query(query);
+            for k in [0, 1, 2, 5, 10] {
+                let full = e.search(&q, k);
+                let topk = e.search_topk(&q, k);
+                assert_same_hits(&full, &topk);
+            }
+        }
+    }
+
+    #[test]
+    fn topk_matched_docs_are_hits_only() {
+        let e = setup();
+        let r = e.search_topk(&e.parse_query("american"), 2);
+        assert_eq!(r.total, 5);
+        assert_eq!(r.hits.len(), 2);
+        assert_eq!(
+            r.matched_docs,
+            r.hits.iter().map(|h| h.doc).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn sharded_search_matches_serial() {
+        let serial = setup();
+        let sharded = setup().with_search_parallelism(3);
+        for query in ["american", "american politics", "american history states"] {
+            let q = serial.parse_query(query);
+            let a = serial.search(&q, 10);
+            let b = sharded.search(&q, 10);
+            assert_same_hits(&a, &b);
+            assert_eq!(a.matched_docs, b.matched_docs);
+        }
+    }
+
+    #[test]
+    fn topk_records_prune_metrics() {
+        let e = setup();
+        cr_obs::enable();
+        let before = cr_obs::Registry::global().snapshot();
+        // k=1 over a 5-match query forces heap evictions and/or bound
+        // skips once the heap is full.
+        let r = e.search_topk(&e.parse_query("american"), 1);
+        assert_eq!(r.total, 5);
+        let snap = cr_obs::Registry::global().snapshot();
+        let pruned = snap.counter("textsearch.topk.heap_prunes").unwrap_or(0)
+            - before.counter("textsearch.topk.heap_prunes").unwrap_or(0);
+        let skipped = snap.counter("textsearch.topk.docs_skipped").unwrap_or(0)
+            - before.counter("textsearch.topk.docs_skipped").unwrap_or(0);
+        assert!(
+            pruned + skipped >= 1,
+            "expected at least one heap eviction or bound skip"
+        );
     }
 }

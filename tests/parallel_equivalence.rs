@@ -1,0 +1,172 @@
+//! PR2 equivalence properties: the parallel execution paths and the
+//! top-k pruned search are *optimizations*, not approximations. For any
+//! generated database and query shape, the partitioned scan / hash join /
+//! aggregation pipeline must return byte-identical results to the serial
+//! executor, and `search_topk` must return the same hits (docs, scores,
+//! order) as the exhaustive `search`.
+//!
+//! Aggregation inputs are integers only: per-partition partial sums are
+//! f64 additions of integer values well below 2^53, so chunked summation
+//! is exact and merge order cannot perturb the result.
+
+use cr_relation::{Database, ExecOptions};
+use cr_textsearch::engine::SearchEngine;
+use cr_textsearch::entity::{build_index, EntitySpec};
+use proptest::prelude::*;
+
+fn par(n: usize) -> ExecOptions {
+    ExecOptions {
+        parallelism: n,
+        // Force partitioning even on tiny generated tables.
+        min_partition_rows: 1,
+    }
+}
+
+/// Build a two-table database from compact random descriptions.
+/// `rows1[i] = (g, v)` with `g` used as a join/group key (g == 0 becomes
+/// NULL); `rows2[i] = (k, w)` likewise.
+fn build_db(rows1: &[(i64, i64)], rows2: &[(i64, i64)]) -> Database {
+    let db = Database::new();
+    db.execute_sql("CREATE TABLE T1 (Id INT PRIMARY KEY, G INT, V INT)")
+        .unwrap();
+    db.execute_sql("CREATE TABLE T2 (Id INT PRIMARY KEY, K INT, W INT)")
+        .unwrap();
+    let null_or = |x: i64| {
+        if x == 0 {
+            "NULL".to_owned()
+        } else {
+            x.to_string()
+        }
+    };
+    for (i, &(g, v)) in rows1.iter().enumerate() {
+        db.execute_sql(&format!("INSERT INTO T1 VALUES ({i}, {}, {v})", null_or(g)))
+            .unwrap();
+    }
+    for (i, &(k, w)) in rows2.iter().enumerate() {
+        db.execute_sql(&format!("INSERT INTO T2 VALUES ({i}, {}, {w})", null_or(k)))
+            .unwrap();
+    }
+    // Tombstones so partitions straddle deleted slots.
+    db.execute_sql("DELETE FROM T1 WHERE V = 3").unwrap();
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_queries_match_serial(
+        rows1 in proptest::collection::vec((0i64..6, -20i64..20), 0..120),
+        rows2 in proptest::collection::vec((0i64..6, -20i64..20), 0..80),
+        parallelism in 2usize..6,
+    ) {
+        let db = build_db(&rows1, &rows2);
+        let queries = [
+            "SELECT * FROM T1",
+            "SELECT Id, V FROM T1 WHERE V > 0",
+            "SELECT T1.Id, T1.V, T2.W FROM T1 JOIN T2 ON T1.G = T2.K",
+            "SELECT T1.Id, T2.Id FROM T1 LEFT JOIN T2 ON T1.G = T2.K",
+            "SELECT G, COUNT(*) AS n, SUM(V) AS s, MIN(V) AS lo, MAX(V) AS hi, AVG(V) AS m \
+             FROM T1 GROUP BY G",
+            "SELECT COUNT(*) AS n, SUM(W) AS s FROM T2",
+        ];
+        let opts = par(parallelism);
+        for q in queries {
+            let serial = db.query_sql(q).unwrap();
+            let parallel = db.query_sql_with(q, &opts).unwrap();
+            prop_assert_eq!(serial, parallel, "query {} diverged at parallelism {}", q, parallelism);
+        }
+    }
+}
+
+/// Random corpus from a small vocabulary so queries actually hit.
+const WORDS: &[&str] = &[
+    "american",
+    "history",
+    "politics",
+    "database",
+    "systems",
+    "latin",
+    "culture",
+    "novels",
+    "storage",
+    "elections",
+];
+
+fn build_engine(docs: &[Vec<usize>]) -> SearchEngine {
+    let db = Database::new();
+    db.execute_sql("CREATE TABLE Courses (CourseID INT PRIMARY KEY, Title TEXT, Description TEXT)")
+        .unwrap();
+    db.execute_sql("CREATE TABLE Comments (CommentID INT PRIMARY KEY, CourseID INT, Text TEXT)")
+        .unwrap();
+    for (i, words) in docs.iter().enumerate() {
+        let mid = words.len() / 2;
+        let title: Vec<&str> = words[..mid]
+            .iter()
+            .map(|&w| WORDS[w % WORDS.len()])
+            .collect();
+        let desc: Vec<&str> = words[mid..]
+            .iter()
+            .map(|&w| WORDS[w % WORDS.len()])
+            .collect();
+        db.execute_sql(&format!(
+            "INSERT INTO Courses VALUES ({i}, '{}', '{}')",
+            title.join(" "),
+            desc.join(" ")
+        ))
+        .unwrap();
+    }
+    let corpus = build_index(&db.catalog(), &EntitySpec::course_default()).unwrap();
+    SearchEngine::new(corpus)
+}
+
+fn assert_hits_identical(a: &cr_textsearch::SearchResults, b: &cr_textsearch::SearchResults) {
+    assert_eq!(a.total, b.total);
+    assert_eq!(a.hits.len(), b.hits.len());
+    for (x, y) in a.hits.iter().zip(&b.hits) {
+        assert_eq!(x.doc, y.doc);
+        assert_eq!(
+            x.score.to_bits(),
+            y.score.to_bits(),
+            "score mismatch on {:?}: {} vs {}",
+            x.doc,
+            x.score,
+            y.score
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn topk_matches_exhaustive_on_random_corpora(
+        docs in proptest::collection::vec(
+            proptest::collection::vec(0usize..10, 2..10), 1..40),
+        query in proptest::collection::vec(0usize..10, 1..4),
+        k in 0usize..12,
+    ) {
+        let engine = build_engine(&docs);
+        let text: Vec<&str> = query.iter().map(|&w| WORDS[w]).collect();
+        let q = engine.parse_query(&text.join(" "));
+        let exhaustive = engine.search(&q, k);
+        let topk = engine.search_topk(&q, k);
+        assert_hits_identical(&exhaustive, &topk);
+    }
+
+    #[test]
+    fn sharded_search_matches_serial_on_random_corpora(
+        docs in proptest::collection::vec(
+            proptest::collection::vec(0usize..10, 2..10), 1..40),
+        query in proptest::collection::vec(0usize..10, 1..4),
+    ) {
+        let serial = build_engine(&docs);
+        let sharded = build_engine(&docs).with_search_parallelism(3);
+        let text: Vec<&str> = query.iter().map(|&w| WORDS[w]).collect();
+        let q = serial.parse_query(&text.join(" "));
+        let a = serial.search(&q, 10);
+        let b = sharded.search(&q, 10);
+        assert_hits_identical(&a, &b);
+        prop_assert_eq!(a.matched_docs, b.matched_docs);
+    }
+}
