@@ -1,0 +1,82 @@
+//! PR3 — crash-recovery latency vs WAL length: how long `Storage::open`
+//! takes to replay N logged mutations, with and without a snapshot
+//! absorbing most of them. Recovery cost should scale with the WAL
+//! *tail*, not total history — the snapshot rows make that visible.
+//! Emits `[PR3] scenario=… median_ns=…` lines for `scripts/bench_pr3.py`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cr_storage::{MemBackend, Storage, StorageConfig};
+
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Rows live in the table at any point — the workload keeps state small
+/// while history grows, which is what makes a snapshot pay: the WAL
+/// holds every overwritten version, the snapshot only the final rows.
+const LIVE_ROWS: usize = 100;
+
+/// Build a durable database with `n` mutations (inserts, then updates
+/// cycling over [`LIVE_ROWS`] keys). When `checkpoint_at` is set, a
+/// snapshot is taken after that many mutations, so recovery only
+/// replays the remaining tail.
+fn build(n: usize, checkpoint_at: Option<usize>) -> MemBackend {
+    let backend = MemBackend::new();
+    let (storage, db, _) =
+        Storage::open(Arc::new(backend.clone()), StorageConfig::default()).unwrap();
+    db.execute_sql("CREATE TABLE t (id INT PRIMARY KEY, body TEXT, score FLOAT)")
+        .unwrap();
+    for i in 0..n {
+        let k = i % LIVE_ROWS;
+        if i < LIVE_ROWS.min(n) {
+            db.execute_sql(&format!(
+                "INSERT INTO t VALUES ({k}, 'comment body text number {i}', {}.5)",
+                i % 5
+            ))
+        } else {
+            db.execute_sql(&format!(
+                "UPDATE t SET body = 'revised comment text number {i}' WHERE id = {k}"
+            ))
+        }
+        .unwrap();
+        if checkpoint_at == Some(i + 1) {
+            storage.checkpoint().unwrap();
+        }
+    }
+    backend
+}
+
+fn bench_recover(label: &str, backend: &MemBackend, iters: usize) {
+    let ns = median_ns(iters, || {
+        let (_, db, report) =
+            Storage::open(Arc::new(backend.clone()), StorageConfig::default()).unwrap();
+        assert!(db.catalog().has_table("t"));
+        std::hint::black_box(report);
+    });
+    println!("[PR3] scenario=recovery_{label} median_ns={ns}");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let iters = if smoke { 2 } else { 11 };
+    let sizes: &[usize] = if smoke { &[50] } else { &[100, 1_000, 5_000] };
+
+    for &n in sizes {
+        // Pure WAL replay of all n mutations.
+        let wal_only = build(n, None);
+        bench_recover(&format!("wal_n{n}"), &wal_only, iters);
+
+        // Snapshot absorbs 90% of history; replay only the last 10%.
+        let snapshotted = build(n, Some(n * 9 / 10));
+        bench_recover(&format!("snap_n{n}"), &snapshotted, iters);
+    }
+}

@@ -1,0 +1,91 @@
+//! PR3 — WAL append throughput by fsync policy: how much durability
+//! costs per mutation. Each iteration appends a batch of insert records
+//! and flushes; the policy decides how often the backend syncs. Emits
+//! `[PR3] scenario=… median_ns=…` lines for `scripts/bench_pr3.py`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cr_relation::value::Value;
+use cr_storage::{FsBackend, FsyncPolicy, MemBackend, StorageBackend, WalConfig, WalRecord};
+
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn record(i: i64) -> WalRecord {
+    WalRecord::Insert {
+        table: "bench".into(),
+        rid: i as u64,
+        row: vec![
+            Value::Int(i),
+            Value::Text(format!(
+                "payload for record {i}, realistic comment-sized text"
+            )),
+            Value::Float(i as f64 * 0.25),
+        ],
+    }
+}
+
+fn bench_policy(
+    label: &str,
+    backend: Arc<dyn StorageBackend>,
+    policy: FsyncPolicy,
+    group_commit: usize,
+    iters: usize,
+    batch: usize,
+) {
+    let cfg = WalConfig {
+        fsync: policy,
+        group_commit,
+    };
+    let mut wal = cr_storage::wal::Wal::new(backend, 0, 0, cfg);
+    let mut next = 0i64;
+    let ns = median_ns(iters, || {
+        for _ in 0..batch {
+            next += 1;
+            wal.append(&record(next)).unwrap();
+        }
+        wal.flush().unwrap();
+    });
+    // Per-record cost so policies compare directly.
+    let per_record = ns / batch as u128;
+    println!("[PR3] scenario=wal_append_{label} median_ns={per_record}");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let iters = if smoke { 2 } else { 25 };
+    let batch = if smoke { 16 } else { 256 };
+
+    // In-memory backend: isolates framing + CRC + buffering cost.
+    for (label, policy, gc) in [
+        ("mem_always", FsyncPolicy::Always, 1),
+        ("mem_batch8", FsyncPolicy::Batch, 8),
+        ("mem_batch64", FsyncPolicy::Batch, 64),
+        ("mem_never", FsyncPolicy::Never, 1),
+    ] {
+        bench_policy(label, Arc::new(MemBackend::new()), policy, gc, iters, batch);
+    }
+
+    // Filesystem backend: real write+fsync cost per policy.
+    let dir = std::env::temp_dir().join(format!("cr-wal-bench-{}", std::process::id()));
+    for (label, policy, gc) in [
+        ("fs_always", FsyncPolicy::Always, 1),
+        ("fs_batch64", FsyncPolicy::Batch, 64),
+        ("fs_never", FsyncPolicy::Never, 1),
+    ] {
+        let sub = dir.join(label);
+        std::fs::create_dir_all(&sub).unwrap();
+        let backend = FsBackend::open(&sub).unwrap();
+        bench_policy(label, Arc::new(backend), policy, gc, iters, batch);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -7,6 +7,7 @@
 use std::sync::Arc;
 
 use cr_relation::RelResult;
+use cr_storage::{RecoveryReport, StorageResult};
 
 use crate::auth::Auth;
 use crate::db::CourseRankDb;
@@ -45,11 +46,35 @@ pub struct CourseRank {
 
 impl CourseRank {
     /// Assemble the system over a populated database, building the search
-    /// index sequentially. (The A4 ablation found the parallel sharded
-    /// build is merge-dominated and does not pay even at the paper's
-    /// 18,605-course scale; `assemble_with_threads` exposes it anyway.)
+    /// index sequentially (see DESIGN.md §indexing for why sequential is
+    /// the default; `assemble_with_threads` exposes the parallel build).
     pub fn assemble(db: CourseRankDb) -> RelResult<Self> {
         Self::assemble_with_threads(db, 1)
+    }
+
+    /// Open (or create) a durable CourseRank instance in `dir`: recover
+    /// the relational state from snapshot + WAL via `cr-storage`, then
+    /// assemble — the text-search index and every derived cache are
+    /// rebuilt from the recovered tables, so they are exactly what a
+    /// fresh [`CourseRank::assemble`] over that state would produce.
+    pub fn open(dir: impl AsRef<std::path::Path>) -> StorageResult<(Self, RecoveryReport)> {
+        let (db, report) = CourseRankDb::open(dir)?;
+        Ok((Self::assemble(db)?, report))
+    }
+
+    /// [`CourseRank::open`] over any storage backend (tests inject
+    /// in-memory and faulty ones) with explicit storage tuning.
+    pub fn open_with_backend(
+        backend: std::sync::Arc<dyn cr_storage::StorageBackend>,
+        cfg: cr_storage::StorageConfig,
+    ) -> StorageResult<(Self, RecoveryReport)> {
+        let (db, report) = CourseRankDb::open_with_backend(backend, cfg)?;
+        Ok((Self::assemble(db)?, report))
+    }
+
+    /// Snapshot + WAL rotation (no-op `None` for in-memory instances).
+    pub fn checkpoint(&self) -> StorageResult<Option<u64>> {
+        self.db.checkpoint()
     }
 
     /// Assemble with an explicit indexing thread count.
@@ -139,7 +164,7 @@ impl CourseRank {
 
     /// A snapshot of every process-wide metric: per-service request/error
     /// counters and latency histograms, plus the substrate metrics
-    /// (`relation.*`, `textsearch.*`, `flexrecs.*`). JSON via
+    /// (`relation.*`, `textsearch.*`, `flexrecs.*`, `storage.*`). JSON via
     /// [`cr_obs::MetricsSnapshot::to_json`]; requires
     /// [`cr_obs::install`] (or `enable`) to have been called, otherwise
     /// all counters stay zero.

@@ -16,8 +16,14 @@
 //! helpfulness votes ("rank the accuracy of each others' comments"), and
 //! the incentive-point ledger.
 
+use std::path::Path;
+use std::sync::Arc;
+
 use cr_relation::row::row;
-use cr_relation::{Database, RelResult, Value};
+use cr_relation::{Database, RelError, RelResult, Value};
+use cr_storage::{
+    FsBackend, RecoveryReport, Storage, StorageBackend, StorageConfig, StorageResult,
+};
 
 use crate::model::{CourseId, Days, Grade, Quarter, StudentId, Term, UserId};
 
@@ -107,9 +113,16 @@ pub struct Comment {
 
 /// The CourseRank database: schema + typed mutators/accessors over the
 /// relational engine. Cloning shares the underlying data.
+///
+/// Two flavors: [`CourseRankDb::new`] is purely in-memory (tests,
+/// benchmarks, `cr-datagen` loads); [`CourseRankDb::open`] is durable —
+/// state recovers from snapshot + WAL and every subsequent mutation is
+/// write-ahead logged via `cr-storage`.
 #[derive(Debug, Clone)]
 pub struct CourseRankDb {
     db: Database,
+    /// Present on durable databases; `None` for in-memory ones.
+    storage: Option<Arc<Storage>>,
 }
 
 /// DDL for every relation, in dependency order.
@@ -183,7 +196,56 @@ impl CourseRankDb {
         for ddl in INDEX_SQL {
             db.execute_sql(ddl).expect("index DDL is valid");
         }
-        CourseRankDb { db }
+        CourseRankDb { db, storage: None }
+    }
+
+    /// Open (or create) a durable CourseRank database in `dir`. State is
+    /// recovered from the latest snapshot plus the WAL tail; from then
+    /// on every mutation is write-ahead logged before the caller sees
+    /// success. The report says what recovery found.
+    pub fn open(dir: impl AsRef<Path>) -> StorageResult<(Self, RecoveryReport)> {
+        Self::open_with_backend(Arc::new(FsBackend::open(dir)?), StorageConfig::default())
+    }
+
+    /// [`CourseRankDb::open`] over any [`StorageBackend`] (tests use the
+    /// in-memory and fault-injecting ones) with explicit tuning.
+    pub fn open_with_backend(
+        backend: Arc<dyn StorageBackend>,
+        cfg: StorageConfig,
+    ) -> StorageResult<(Self, RecoveryReport)> {
+        let (storage, db, report) = Storage::open(backend, cfg)?;
+        // Bring the schema up to date. On a fresh store this logs the
+        // full DDL to the WAL (so a pre-first-snapshot crash still
+        // recovers); after recovery it only fills gaps — e.g. a crash
+        // that tore the log mid-bootstrap — and existing objects are
+        // left untouched.
+        for ddl in SCHEMA_SQL.iter().chain(INDEX_SQL) {
+            match db.execute_sql(ddl) {
+                Ok(_) | Err(RelError::TableExists(_) | RelError::IndexExists(_)) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok((
+            CourseRankDb {
+                db,
+                storage: Some(storage),
+            },
+            report,
+        ))
+    }
+
+    /// The storage engine behind a durable database (`None` in-memory).
+    pub fn storage(&self) -> Option<&Arc<Storage>> {
+        self.storage.as_ref()
+    }
+
+    /// Write a snapshot and rotate/prune the WAL. Returns the snapshot
+    /// sequence, or `None` for an in-memory database.
+    pub fn checkpoint(&self) -> StorageResult<Option<u64>> {
+        match &self.storage {
+            Some(s) => s.checkpoint().map(Some),
+            None => Ok(None),
+        }
     }
 
     /// The underlying engine (for SQL, plans, FlexRecs, search indexing).
@@ -754,6 +816,44 @@ mod tests {
             status: EnrollStatus::Taken,
         };
         assert!(db.insert_enrollment(&dup).is_err());
+    }
+
+    #[test]
+    fn durable_open_bootstraps_recovers_and_checkpoints() {
+        let backend = cr_storage::MemBackend::new();
+        let cfg = StorageConfig::default();
+        {
+            let (db, report) =
+                CourseRankDb::open_with_backend(Arc::new(backend.clone()), cfg).unwrap();
+            assert_eq!(report, RecoveryReport::default(), "fresh store");
+            db.insert_department("CS", "Computer Science", "Engineering")
+                .unwrap();
+            db.insert_course(&Course {
+                id: 101,
+                dep: "CS".into(),
+                title: "Intro".into(),
+                description: "basics".into(),
+                units: 5,
+                url: String::new(),
+            })
+            .unwrap();
+        }
+        // Crash-restart before any snapshot: WAL-only recovery.
+        let (db, report) = CourseRankDb::open_with_backend(Arc::new(backend.clone()), cfg).unwrap();
+        assert!(report.replayed_records > 0);
+        assert_eq!(db.course(101).unwrap().unwrap().title, "Intro");
+        assert_eq!(db.count("Departments").unwrap(), 1);
+        let snap_seq = db.checkpoint().unwrap();
+        assert_eq!(snap_seq, Some(0));
+        drop(db);
+        // Restart again: snapshot restore, nothing to replay.
+        let (db, report) = CourseRankDb::open_with_backend(Arc::new(backend.clone()), cfg).unwrap();
+        assert_eq!(report.snapshot_seq, Some(0));
+        assert_eq!(report.replayed_records, 0);
+        assert_eq!(db.course(101).unwrap().unwrap().units, 5);
+        // In-memory databases report no storage.
+        assert!(CourseRankDb::new().storage().is_none());
+        assert_eq!(CourseRankDb::new().checkpoint().unwrap(), None);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::error::{RelError, RelResult};
 use crate::exec::{self, ResultSet};
 use crate::expr::Expr;
 use crate::index::IndexKind;
+use crate::mutation::{MutationObserver, ObserverSlot};
 use crate::plan::{optimizer, LogicalPlan};
 use crate::row::{Row, RowId};
 use crate::schema::Schema;
@@ -25,11 +26,24 @@ use crate::table::Table;
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     inner: Arc<RwLock<BTreeMap<String, Arc<RwLock<Table>>>>>,
+    /// Durability hook, shared by all clones; propagated to every table
+    /// (existing and future) by [`Catalog::set_observer`].
+    observer: Arc<RwLock<ObserverSlot>>,
 }
 
 impl Catalog {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attach a [`MutationObserver`] (e.g. `cr-storage`'s WAL writer) to
+    /// every current and future table. Table DDL (create/drop/index) and
+    /// every successful row mutation are reported to it.
+    pub fn set_observer(&self, observer: Arc<dyn MutationObserver>) {
+        *self.observer.write() = ObserverSlot(Some(observer.clone()));
+        for handle in self.inner.read().values() {
+            handle.write().set_observer(Some(observer.clone()));
+        }
     }
 
     /// Create a table. `pk_columns` are positions into `schema`.
@@ -44,20 +58,46 @@ impl Catalog {
         if tables.contains_key(&key) {
             return Err(RelError::TableExists(name.to_owned()));
         }
-        tables.insert(
-            key,
-            Arc::new(RwLock::new(Table::new(name, schema, pk_columns))),
-        );
+        let mut table = Table::new(name, schema.clone(), pk_columns.clone());
+        let observer = self.observer.read().get().cloned();
+        if let Some(obs) = &observer {
+            table.set_observer(Some(obs.clone()));
+        }
+        tables.insert(key, Arc::new(RwLock::new(table)));
+        drop(tables);
+        if let Some(obs) = observer {
+            obs.on_create_table(name, &schema, &pk_columns);
+        }
+        Ok(())
+    }
+
+    /// Install a fully-built table (crash recovery: snapshots restore
+    /// tables wholesale). No DDL event is emitted and no observer is
+    /// attached — the recovery driver attaches it once replay finishes.
+    pub fn install_table(&self, table: Table) -> RelResult<()> {
+        let mut tables = self.inner.write();
+        let key = table.name().to_ascii_lowercase();
+        if tables.contains_key(&key) {
+            return Err(RelError::TableExists(table.name().to_owned()));
+        }
+        tables.insert(key, Arc::new(RwLock::new(table)));
         Ok(())
     }
 
     /// Drop a table.
     pub fn drop_table(&self, name: &str) -> RelResult<()> {
         let mut tables = self.inner.write();
-        tables
-            .remove(&name.to_ascii_lowercase())
-            .map(|_| ())
-            .ok_or_else(|| RelError::UnknownTable(name.to_owned()))
+        let removed = tables.remove(&name.to_ascii_lowercase());
+        drop(tables);
+        match removed {
+            Some(_) => {
+                if let Some(obs) = self.observer.read().get() {
+                    obs.on_drop_table(name);
+                }
+                Ok(())
+            }
+            None => Err(RelError::UnknownTable(name.to_owned())),
+        }
     }
 
     fn handle(&self, name: &str) -> RelResult<Arc<RwLock<Table>>> {
@@ -129,6 +169,15 @@ pub struct Database {
 impl Database {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Wrap an existing catalog (crash recovery hands back a catalog
+    /// rebuilt from snapshot + WAL; this puts the SQL/plan facade on it).
+    pub fn from_catalog(catalog: Catalog) -> Self {
+        Database {
+            catalog,
+            exec_opts: exec::ExecOptions::default(),
+        }
     }
 
     /// Builder-style: set the default [`exec::ExecOptions`] used by every

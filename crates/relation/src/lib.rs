@@ -39,10 +39,12 @@
 //! ```
 
 pub mod catalog;
+pub mod codec;
 pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod index;
+pub mod mutation;
 pub mod plan;
 pub mod profile;
 pub mod row;
@@ -58,6 +60,7 @@ pub use exec::{
     ExecOptions, ResultSet,
 };
 pub use expr::Expr;
+pub use mutation::{Mutation, MutationObserver};
 pub use plan::{LogicalPlan, PlanBuilder};
 pub use profile::OpProfile;
 pub use row::Row;

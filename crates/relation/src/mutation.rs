@@ -1,0 +1,80 @@
+//! Logical mutation records and the observer hook.
+//!
+//! Durability lives outside this crate (`cr-storage`), but the engine is
+//! the only place that sees every successful mutation — DML through the
+//! SQL front end, programmatic inserts, index DDL — so tables and the
+//! catalog emit a [`Mutation`] to an attached [`MutationObserver`] after
+//! each one commits in memory. The observer is invoked while the table's
+//! write lock is held, which gives the write-ahead log a per-table order
+//! identical to the in-memory apply order.
+//!
+//! Observers are infallible by design: a durability layer that hits an
+//! I/O error records it on its side (sticky error + metrics) rather than
+//! unwinding a mutation that already happened.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::index::IndexKind;
+use crate::row::{Row, RowId};
+use crate::schema::Schema;
+
+/// One successful logical mutation, borrowed from the table that applied
+/// it. Row payloads are redo images: replaying inserts/updates/deletes in
+/// emission order onto the same starting state reproduces the table
+/// byte-for-byte (row ids included).
+pub enum Mutation<'a> {
+    /// A row was inserted at `rid`.
+    Insert { rid: RowId, row: &'a Row },
+    /// The row at `rid` was replaced with `row`.
+    Update { rid: RowId, row: &'a Row },
+    /// The row at `rid` was tombstoned.
+    Delete { rid: RowId },
+    /// A secondary index was created (and backfilled).
+    CreateIndex {
+        name: &'a str,
+        columns: &'a [usize],
+        kind: IndexKind,
+        unique: bool,
+    },
+}
+
+/// Receiver for logical mutations. Implemented by `cr-storage`'s WAL
+/// writer; attach with [`crate::Catalog::set_observer`].
+pub trait MutationObserver: Send + Sync {
+    /// Called after a mutation commits in memory, under the table lock.
+    fn on_mutation(&self, table: &str, mutation: &Mutation<'_>);
+
+    /// Called after a table is created (DDL is logged too, so recovery
+    /// can rebuild a store that never reached its first snapshot).
+    fn on_create_table(&self, name: &str, schema: &Schema, pk_columns: &[usize]) {
+        let _ = (name, schema, pk_columns);
+    }
+
+    /// Called after a table is dropped.
+    fn on_drop_table(&self, name: &str) {
+        let _ = name;
+    }
+}
+
+/// Holder for an optional observer that keeps `#[derive(Debug)]` usable
+/// on the structs embedding it (trait objects have no `Debug`).
+#[derive(Clone, Default)]
+pub(crate) struct ObserverSlot(pub(crate) Option<Arc<dyn MutationObserver>>);
+
+impl ObserverSlot {
+    #[inline]
+    pub(crate) fn get(&self) -> Option<&Arc<dyn MutationObserver>> {
+        self.0.as_ref()
+    }
+}
+
+impl fmt::Debug for ObserverSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "ObserverSlot(attached)"
+        } else {
+            "ObserverSlot(none)"
+        })
+    }
+}

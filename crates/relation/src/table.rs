@@ -5,9 +5,11 @@
 //! secondary [`Index`]es which are maintained eagerly on every mutation.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::error::{RelError, RelResult};
 use crate::index::{Index, IndexKey, IndexKind};
+use crate::mutation::{Mutation, MutationObserver, ObserverSlot};
 use crate::row::{Row, RowId};
 use crate::schema::Schema;
 use crate::value::Value;
@@ -31,6 +33,8 @@ pub struct Table {
     /// delete, or update. Result caches (e.g. the courserank `RecCache`)
     /// snapshot dependency versions and stay valid until any bump.
     version: u64,
+    /// Optional durability hook; notified after each successful mutation.
+    observer: ObserverSlot,
 }
 
 impl Table {
@@ -45,6 +49,56 @@ impl Table {
             pk_index: HashMap::new(),
             indexes: Vec::new(),
             version: 0,
+            observer: ObserverSlot::default(),
+        }
+    }
+
+    /// Rebuild a table from recovered state: the raw slot array (with
+    /// `None` tombstones preserved so row ids keep their meaning) and the
+    /// mutation counter as of the snapshot. The primary-key index is
+    /// rebuilt here; secondary indexes are re-created (and backfilled) by
+    /// the caller via [`Table::create_index`]. Rows are trusted — they
+    /// were validated when first inserted and are CRC-protected on disk.
+    pub fn restore(
+        name: impl Into<String>,
+        schema: Schema,
+        pk_columns: Vec<usize>,
+        slots: Vec<Option<Row>>,
+        version: u64,
+    ) -> Self {
+        let mut table = Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            live: 0,
+            pk_columns,
+            pk_index: HashMap::new(),
+            indexes: Vec::new(),
+            version,
+            observer: ObserverSlot::default(),
+        };
+        for (i, slot) in slots.iter().enumerate() {
+            if let Some(row) = slot {
+                table.live += 1;
+                if let Some(key) = table.pk_key(row) {
+                    table.pk_index.insert(key, RowId(i as u64));
+                }
+            }
+        }
+        table.rows = slots;
+        table
+    }
+
+    /// Attach (or detach) the durability observer. Set by the catalog so
+    /// every handle to this table shares it.
+    pub(crate) fn set_observer(&mut self, observer: Option<Arc<dyn MutationObserver>>) {
+        self.observer = ObserverSlot(observer);
+    }
+
+    #[inline]
+    fn emit(&self, mutation: &Mutation<'_>) {
+        if let Some(obs) = self.observer.get() {
+            obs.on_mutation(&self.name, mutation);
         }
     }
 
@@ -124,6 +178,10 @@ impl Table {
         self.rows.push(Some(row));
         self.live += 1;
         self.version += 1;
+        if self.observer.get().is_some() {
+            let row = self.rows[rid.0 as usize].as_ref().expect("just inserted");
+            self.emit(&Mutation::Insert { rid, row });
+        }
         Ok(rid)
     }
 
@@ -160,6 +218,7 @@ impl Table {
         }
         self.live -= 1;
         self.version += 1;
+        self.emit(&Mutation::Delete { rid });
         true
     }
 
@@ -192,7 +251,94 @@ impl Table {
         }
         self.rows[rid.0 as usize] = Some(new_row);
         self.version += 1;
+        if self.observer.get().is_some() {
+            let row = self.rows[rid.0 as usize].as_ref().expect("just updated");
+            self.emit(&Mutation::Update { rid, row });
+        }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // WAL replay
+    //
+    // The `replay_*` methods re-apply logged mutations during crash
+    // recovery. They differ from the public mutators in three ways: the
+    // row id is dictated by the log instead of assigned, rows are trusted
+    // (validated at original insert time, CRC-checked on read), and no
+    // observer events are emitted (recovery must not re-log itself).
+    // Replaying a mutation that the starting snapshot already reflects is
+    // a no-op, which makes replay safe when a checkpoint raced a writer.
+    // ------------------------------------------------------------------
+
+    /// Re-apply a logged insert at its original row id, extending the
+    /// slot array with tombstones if the id is past the end (possible
+    /// when a checkpoint raced a writer and part of the tail is already
+    /// reflected by the snapshot).
+    pub fn replay_insert(&mut self, rid: RowId, row: Row) -> RelResult<()> {
+        let slot = rid.0 as usize;
+        if slot >= self.rows.len() {
+            self.rows.resize(slot + 1, None);
+        }
+        if self.rows[slot].is_some() {
+            return Ok(()); // already reflected by the snapshot
+        }
+        if let Some(key) = self.pk_key(&row) {
+            self.pk_index.insert(key, rid);
+        }
+        for idx in &mut self.indexes {
+            let key = idx.key_of(&row);
+            idx.insert(key, rid);
+        }
+        self.rows[slot] = Some(row);
+        self.live += 1;
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Re-apply a logged update (replace the row image at `rid`).
+    pub fn replay_update(&mut self, rid: RowId, new_row: Row) -> RelResult<()> {
+        let Some(old_row) = self.get(rid).cloned() else {
+            return Err(RelError::Invalid(format!(
+                "replay: no row {rid:?} in {}",
+                self.name
+            )));
+        };
+        if let (Some(old_key), Some(new_key)) = (self.pk_key(&old_row), self.pk_key(&new_row)) {
+            if old_key != new_key {
+                self.pk_index.remove(&old_key);
+                self.pk_index.insert(new_key, rid);
+            }
+        }
+        for idx in &mut self.indexes {
+            let old_key = idx.key_of(&old_row);
+            let new_key = idx.key_of(&new_row);
+            if old_key != new_key {
+                idx.remove(&old_key, rid);
+                idx.insert(new_key, rid);
+            }
+        }
+        self.rows[rid.0 as usize] = Some(new_row);
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Re-apply a logged delete (no-op if the slot is already empty).
+    pub fn replay_delete(&mut self, rid: RowId) {
+        let Some(slot) = self.rows.get_mut(rid.0 as usize) else {
+            return;
+        };
+        let Some(row) = slot.take() else {
+            return;
+        };
+        if let Some(key) = self.pk_key(&row) {
+            self.pk_index.remove(&key);
+        }
+        for idx in &mut self.indexes {
+            let key = idx.key_of(&row);
+            idx.remove(&key, rid);
+        }
+        self.live -= 1;
+        self.version += 1;
     }
 
     /// Iterate live rows with their ids.
@@ -250,6 +396,12 @@ impl Table {
             }
             idx.insert(key, rid);
         }
+        self.emit(&Mutation::CreateIndex {
+            name: &idx.name,
+            columns: &idx.columns,
+            kind: idx.kind(),
+            unique: idx.unique,
+        });
         self.indexes.push(idx);
         Ok(())
     }

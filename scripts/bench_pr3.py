@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Run the PR3 storage benchmarks and emit BENCH_pr3.json.
+
+Runs `cargo bench -p cr-bench --bench wal_append --bench recovery`,
+parses the `[PR3] scenario=... median_ns=...` lines, and writes a JSON
+report with raw medians plus derived ratios:
+
+* per-record append cost by fsync policy (Always / Batch / Never) on
+  in-memory and filesystem backends, with the durability-tax ratio
+  (always vs never) and the group-commit amortization (always vs batch),
+* recovery latency vs WAL length, and the snapshot payoff (pure WAL
+  replay vs snapshot + 10% tail) at each size.
+
+Pass --smoke to run single iterations over shrunken data (CI canary).
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+
+LINE = re.compile(r"\[PR3\] scenario=(\S+)\s+median_ns=(\d+)")
+
+
+def run_bench(name, smoke):
+    cmd = ["cargo", "bench", "-q", "-p", "cr-bench", "--bench", name, "--"]
+    if smoke:
+        cmd.append("--smoke")
+    out = subprocess.run(cmd, capture_output=True, text=True, check=True).stdout
+    sys.stdout.write(out)
+    return {m.group(1): int(m.group(2)) for m in LINE.finditer(out)}
+
+
+def ratio(results, num, den):
+    if num in results and den in results and results[den] > 0:
+        return round(results[num] / results[den], 2)
+    return None
+
+
+def main():
+    smoke = "--smoke" in sys.argv[1:]
+    results = run_bench("wal_append", smoke)
+    results.update(run_bench("recovery", smoke))
+
+    ratios = {}
+    for backend in ("mem", "fs"):
+        r = ratio(results, f"wal_append_{backend}_always", f"wal_append_{backend}_never")
+        if r is not None:
+            ratios[f"{backend}_durability_tax_always_vs_never"] = r
+        r = ratio(results, f"wal_append_{backend}_always", f"wal_append_{backend}_batch64")
+        if r is not None:
+            ratios[f"{backend}_group_commit_payoff_always_vs_batch64"] = r
+    for key in list(results):
+        m = re.fullmatch(r"recovery_wal_n(\d+)", key)
+        if m:
+            n = m.group(1)
+            r = ratio(results, f"recovery_wal_n{n}", f"recovery_snap_n{n}")
+            if r is not None:
+                ratios[f"snapshot_payoff_n{n}"] = r
+
+    report = {
+        "smoke": smoke,
+        "host_cpus": os.cpu_count(),
+        "median_ns": results,
+        "ratios": ratios,
+    }
+    out_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_pr3.json")
+    with open(os.path.abspath(out_path), "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {os.path.abspath(out_path)}")
+
+    tax = ratios.get("fs_durability_tax_always_vs_never")
+    if tax is not None:
+        print(f"fsync durability tax (fs, per record): {tax}x")
+
+
+if __name__ == "__main__":
+    main()

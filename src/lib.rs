@@ -5,6 +5,7 @@
 //! one dependency) can reach the whole stack:
 //!
 //! * [`cr_relation`] — the in-memory relational engine + SQL subset;
+//! * [`cr_storage`] — WAL + snapshot durability and crash recovery;
 //! * [`cr_textsearch`] — entity search and Data Clouds (§3.1);
 //! * [`cr_flexrecs`] — the FlexRecs workflow algebra + SQL compiler (§3.2);
 //! * [`courserank`] — the assembled CourseRank social system (§2);
@@ -23,4 +24,5 @@ pub use courserank;
 pub use cr_datagen;
 pub use cr_flexrecs;
 pub use cr_relation;
+pub use cr_storage;
 pub use cr_textsearch;
