@@ -3,7 +3,7 @@
 //! self-reported-vs-official comparison at scale.
 
 use courserank::services::forum::Question;
-use courserank::services::recs::{ExecMode, RecOptions};
+use courserank::services::recs::RecOptions;
 use cr_bench::fixtures::{observe, system};
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -101,19 +101,12 @@ fn bench_services(c: &mut Criterion) {
         b.iter(|| app.forum().route(std::hint::black_box(&q)).unwrap())
     });
 
-    // End-to-end recommendation through the facade (both exec modes).
+    // End-to-end recommendation through the facade (plan pipeline).
     let opts = RecOptions::default();
-    group.bench_function("recommend_courses_direct", |b| {
+    group.bench_function("recommend_courses", |b| {
         b.iter(|| {
             app.recs()
-                .recommend_courses(std::hint::black_box(1), &opts, ExecMode::Direct)
-                .unwrap()
-        })
-    });
-    group.bench_function("recommend_courses_compiled_sql", |b| {
-        b.iter(|| {
-            app.recs()
-                .recommend_courses(std::hint::black_box(1), &opts, ExecMode::CompiledSql)
+                .recommend_courses(std::hint::black_box(1), &opts)
                 .unwrap()
         })
     });

@@ -1,9 +1,11 @@
 //! E4/E5/A2 — Figure 5 workflows: related-courses and collaborative
-//! filtering, direct executor vs compiled SQL.
+//! filtering, direct interpreter vs the unified LogicalPlan pipeline
+//! (serial and parallel).
 
 use cr_bench::fixtures::{campus, observe};
-use cr_flexrecs::compile::compile_and_run;
+use cr_flexrecs::compile::{compile, compile_and_run, compile_and_run_with};
 use cr_flexrecs::templates::{self, SchemaMap};
+use cr_relation::ExecOptions;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_flexrecs(c: &mut Criterion) {
@@ -11,6 +13,10 @@ fn bench_flexrecs(c: &mut Criterion) {
     observe("E4/E5", &format!("corpus: {}", stats.summary()));
     let catalog = db.catalog();
     let map = SchemaMap::default();
+    let par = ExecOptions {
+        parallelism: 4,
+        min_partition_rows: 64,
+    };
 
     // ---- E4: Figure 5(a) ----------------------------------------------
     let title = db.course(1).unwrap().unwrap().title;
@@ -33,13 +39,11 @@ fn bench_flexrecs(c: &mut Criterion) {
     let mut group = c.benchmark_group("flexrecs");
     group.sample_size(10);
 
-    group.bench_function("fig5a_related_courses_direct", |b| {
+    group.bench_function("fig5a_related_courses_interpreter", |b| {
         b.iter(|| cr_flexrecs::execute(std::hint::black_box(&wf_a), &catalog).unwrap())
     });
 
-    // Figure 5(a) hybrid-compiled (text similarity runs as an external
-    // function over SQL-materialized inputs).
-    group.bench_function("fig5a_related_courses_compiled", |b| {
+    group.bench_function("fig5a_related_courses_plan", |b| {
         b.iter(|| compile_and_run(std::hint::black_box(&wf_a), &catalog).unwrap())
     });
 
@@ -47,33 +51,55 @@ fn bench_flexrecs(c: &mut Criterion) {
     let wf_b = templates::user_cf(&map, 1, 20, 10, 2, false);
     let direct = cr_flexrecs::execute(&wf_b, &catalog).unwrap();
     let compiled = compile_and_run(&wf_b, &catalog).unwrap();
+    assert_eq!(direct, compiled.result, "plan/interpreter divergence");
     observe(
         "E5",
         &format!(
-            "user_cf(student 1): direct {} courses, compiled {} courses, {} SQL stmts, fallback={:?}",
+            "user_cf(student 1): {} courses; plan = interpreter; plan:\n{}",
             direct.tuples.len(),
-            compiled.result.tuples.len(),
-            compiled.sql_log.len(),
-            compiled.fallback_reason
+            compiled.plan.explain()
         ),
     );
 
-    group.bench_function("fig5b_user_cf_direct", |b| {
+    // Lowering + optimization alone (no execution).
+    group.bench_function("fig5b_user_cf_compile", |b| {
+        b.iter(|| {
+            let plan = compile(std::hint::black_box(&wf_b), &catalog).unwrap();
+            cr_relation::plan::optimizer::optimize(plan)
+        })
+    });
+
+    group.bench_function("fig5b_user_cf_interpreter", |b| {
         b.iter(|| cr_flexrecs::execute(std::hint::black_box(&wf_b), &catalog).unwrap())
     });
 
-    group.bench_function("fig5b_user_cf_compiled_sql", |b| {
+    group.bench_function("fig5b_user_cf_plan", |b| {
         b.iter(|| compile_and_run(std::hint::black_box(&wf_b), &catalog).unwrap())
     });
 
+    group.bench_function("fig5b_user_cf_plan_par4", |b| {
+        b.iter(|| compile_and_run_with(std::hint::black_box(&wf_b), &catalog, &par).unwrap())
+    });
+
     let wf_w = templates::user_cf_weighted(&map, 1, 20, 10, 2);
-    group.bench_function("user_cf_weighted_direct", |b| {
-        b.iter(|| cr_flexrecs::execute(std::hint::black_box(&wf_w), &catalog).unwrap())
+    group.bench_function("user_cf_weighted_plan", |b| {
+        b.iter(|| compile_and_run(std::hint::black_box(&wf_w), &catalog).unwrap())
     });
 
     let wf_i = templates::item_item_cf(&map, 1, 10);
-    group.bench_function("item_item_cf_direct", |b| {
-        b.iter(|| cr_flexrecs::execute(std::hint::black_box(&wf_i), &catalog).unwrap())
+    group.bench_function("item_item_cf_plan", |b| {
+        b.iter(|| compile_and_run(std::hint::black_box(&wf_i), &catalog).unwrap())
+    });
+
+    let wf_r = templates::item_item_cf_ratings(&map, 1, 10);
+    group.bench_function("item_item_cf_ratings_interpreter", |b| {
+        b.iter(|| cr_flexrecs::execute(std::hint::black_box(&wf_r), &catalog).unwrap())
+    });
+    group.bench_function("item_item_cf_ratings_plan", |b| {
+        b.iter(|| compile_and_run(std::hint::black_box(&wf_r), &catalog).unwrap())
+    });
+    group.bench_function("item_item_cf_ratings_plan_par4", |b| {
+        b.iter(|| compile_and_run_with(std::hint::black_box(&wf_r), &catalog, &par).unwrap())
     });
 
     let sql = templates::quarter_recommendation_sql(&map, 1);

@@ -7,7 +7,7 @@ use std::time::Instant;
 
 use courserank::db::Comment;
 use courserank::model::{Quarter, Term};
-use courserank::services::recs::{ExecMode, RecOptions};
+use courserank::services::recs::RecOptions;
 use cr_bench::fixtures::system;
 
 fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
@@ -47,20 +47,14 @@ fn main() {
                 date: 0,
             })
             .unwrap();
-        app.recs()
-            .recommend_courses(student, &opts, ExecMode::Direct)
-            .unwrap();
+        app.recs().recommend_courses(student, &opts).unwrap();
     });
     println!("[PR2] scenario=recs_cold median_ns={cold}");
 
     // Warm: prime once, then every request is a cache hit.
-    app.recs()
-        .recommend_courses(student, &opts, ExecMode::Direct)
-        .unwrap();
+    app.recs().recommend_courses(student, &opts).unwrap();
     let warm = median_ns(iters, || {
-        app.recs()
-            .recommend_courses(student, &opts, ExecMode::Direct)
-            .unwrap();
+        app.recs().recommend_courses(student, &opts).unwrap();
     });
     println!("[PR2] scenario=recs_warm median_ns={warm}");
 

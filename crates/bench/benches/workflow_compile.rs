@@ -1,0 +1,66 @@
+//! PR4 — workflow compilation cost: lowering a FlexRecs workflow to a
+//! `LogicalPlan` and optimizing it, per built-in strategy. This is the
+//! overhead the unified IR adds over interpreting the workflow tree
+//! directly; it must stay microscopic next to execution. Emits
+//! `[PR4] scenario=… median_ns=…` lines for `scripts/bench_pr4.py`.
+
+use std::time::Instant;
+
+use cr_bench::fixtures::campus;
+use cr_flexrecs::compile::compile;
+use cr_flexrecs::templates::{self, SchemaMap};
+
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let iters = if smoke { 1 } else { 400 };
+
+    let (db, stats) = campus(if smoke { 0.02 } else { 0.1 });
+    println!("[PR4] corpus {}", stats.summary());
+    let catalog = db.catalog();
+    let map = SchemaMap::default();
+
+    let title = db.course(1).unwrap().unwrap().title;
+    let workflows = [
+        (
+            "related_courses",
+            templates::related_courses(&map, &title, None, 10),
+        ),
+        ("user_cf", templates::user_cf(&map, 1, 10, 20, 2, true)),
+        (
+            "user_cf_weighted",
+            templates::user_cf_weighted(&map, 1, 10, 20, 2),
+        ),
+        (
+            "item_item_cf_ratings",
+            templates::item_item_cf_ratings(&map, 1, 10),
+        ),
+        (
+            "major_recommendation",
+            templates::major_recommendation(&map, 1, 10, 5),
+        ),
+    ];
+
+    for (name, wf) in &workflows {
+        let plan = compile(wf, &catalog).unwrap();
+        let ns = median_ns(iters, || {
+            std::hint::black_box(compile(std::hint::black_box(wf), &catalog).unwrap());
+        });
+        println!("[PR4] scenario=workflow_compile_{name} median_ns={ns}");
+        println!(
+            "[PR4] workflow_compile_{name}: fingerprint {:016x}, {} plan lines",
+            plan.fingerprint(),
+            plan.explain().lines().count()
+        );
+    }
+}

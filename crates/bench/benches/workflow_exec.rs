@@ -1,0 +1,75 @@
+//! PR4 — workflow execution: the reference interpreter vs the compiled
+//! `LogicalPlan` pipeline, serial and at parallelism 4, per built-in
+//! strategy. Results are asserted byte-identical before timing, so the
+//! numbers compare equivalent work. Emits `[PR4] scenario=…
+//! median_ns=…` lines for `scripts/bench_pr4.py`.
+
+use std::time::Instant;
+
+use cr_bench::fixtures::campus;
+use cr_flexrecs::compile::{compile_and_run, compile_and_run_with};
+use cr_flexrecs::templates::{self, SchemaMap};
+use cr_relation::ExecOptions;
+
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let iters = if smoke { 1 } else { 9 };
+
+    let (db, stats) = campus(if smoke { 0.02 } else { 0.1 });
+    println!("[PR4] corpus {}", stats.summary());
+    let catalog = db.catalog();
+    let map = SchemaMap::default();
+    let par = ExecOptions {
+        parallelism: 4,
+        min_partition_rows: 64,
+    };
+
+    let workflows = [
+        ("user_cf", templates::user_cf(&map, 1, 10, 20, 2, true)),
+        (
+            "user_cf_weighted",
+            templates::user_cf_weighted(&map, 1, 10, 20, 2),
+        ),
+        (
+            "item_item_cf_ratings",
+            templates::item_item_cf_ratings(&map, 1, 10),
+        ),
+    ];
+
+    for (name, wf) in &workflows {
+        let direct = cr_flexrecs::execute(wf, &catalog).unwrap();
+        let compiled = compile_and_run(wf, &catalog).unwrap();
+        assert_eq!(
+            compiled.result, direct,
+            "{name}: plan and interpreter must agree before timing"
+        );
+
+        let ns = median_ns(iters, || {
+            std::hint::black_box(cr_flexrecs::execute(std::hint::black_box(wf), &catalog).unwrap());
+        });
+        println!("[PR4] scenario=workflow_exec_{name}_interpreter median_ns={ns}");
+
+        let ns = median_ns(iters, || {
+            std::hint::black_box(compile_and_run(std::hint::black_box(wf), &catalog).unwrap());
+        });
+        println!("[PR4] scenario=workflow_exec_{name}_plan median_ns={ns}");
+
+        let ns = median_ns(iters, || {
+            std::hint::black_box(
+                compile_and_run_with(std::hint::black_box(wf), &catalog, &par).unwrap(),
+            );
+        });
+        println!("[PR4] scenario=workflow_exec_{name}_plan_par4 median_ns={ns}");
+    }
+}

@@ -266,7 +266,7 @@ mod tests {
 
     #[test]
     fn parallel_and_cache_metrics_in_snapshot() {
-        use crate::services::recs::{ExecMode, RecOptions};
+        use crate::services::recs::RecOptions;
         use cr_relation::ExecOptions;
 
         cr_obs::install();
@@ -280,14 +280,8 @@ mod tests {
 
         // Miss then hit on the same recommendation request.
         let opts = RecOptions::default();
-        let a = app
-            .recs()
-            .recommend_courses(444, &opts, ExecMode::Direct)
-            .unwrap();
-        let b = app
-            .recs()
-            .recommend_courses(444, &opts, ExecMode::Direct)
-            .unwrap();
+        let a = app.recs().recommend_courses(444, &opts).unwrap();
+        let b = app.recs().recommend_courses(444, &opts).unwrap();
         assert_eq!(a, b, "cached result must match the computed one");
 
         // A parallel scan spawns partitions.

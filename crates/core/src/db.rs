@@ -19,8 +19,9 @@
 use std::path::Path;
 use std::sync::Arc;
 
+use cr_relation::plan::{JoinKind, PlanBuilder};
 use cr_relation::row::row;
-use cr_relation::{Database, RelError, RelResult, Value};
+use cr_relation::{Database, Expr, RelError, RelResult, Value};
 use cr_storage::{
     FsBackend, RecoveryReport, Storage, StorageBackend, StorageConfig, StorageResult,
 };
@@ -436,11 +437,17 @@ impl CourseRankDb {
     }
 
     /// All enrollments for a student (taken and planned), via the
-    /// secondary index.
+    /// secondary index. Built as a [`LogicalPlan`] directly — the typed
+    /// readers share the SQL front-end's optimizer and executor without
+    /// re-parsing a statement per call.
+    ///
+    /// [`LogicalPlan`]: cr_relation::plan::LogicalPlan
     pub fn enrollments_of(&self, student: StudentId) -> RelResult<Vec<Enrollment>> {
-        let rs = self.db.query_sql(&format!(
-            "SELECT CourseID, Year, Term, Grade, Status FROM Enrollments WHERE SuID = {student}"
-        ))?;
+        let plan = PlanBuilder::scan(&self.catalog(), "Enrollments")?
+            .filter(Expr::col("SuID").eq(Expr::lit(student)))?
+            .select_columns(&["CourseID", "Year", "Term", "Grade", "Status"])?
+            .build();
+        let rs = self.db.run_plan(&plan)?;
         Ok(rs
             .rows
             .iter()
@@ -461,10 +468,19 @@ impl CourseRankDb {
 
     /// Offerings of a course.
     pub fn offerings_of(&self, course: CourseId) -> RelResult<Vec<Offering>> {
-        let rs = self.db.query_sql(&format!(
-            "SELECT OfferingID, Year, Term, InstructorID, Days, StartMin, EndMin \
-             FROM Offerings WHERE CourseID = {course}"
-        ))?;
+        let plan = PlanBuilder::scan(&self.catalog(), "Offerings")?
+            .filter(Expr::col("CourseID").eq(Expr::lit(course)))?
+            .select_columns(&[
+                "OfferingID",
+                "Year",
+                "Term",
+                "InstructorID",
+                "Days",
+                "StartMin",
+                "EndMin",
+            ])?
+            .build();
+        let rs = self.db.run_plan(&plan)?;
         Ok(rs
             .rows
             .iter()
@@ -487,19 +503,34 @@ impl CourseRankDb {
 
     /// Direct prerequisites of a course.
     pub fn prerequisites_of(&self, course: CourseId) -> RelResult<Vec<CourseId>> {
-        let rs = self.db.query_sql(&format!(
-            "SELECT PrereqID FROM Prerequisites WHERE CourseID = {course}"
-        ))?;
+        let plan = PlanBuilder::scan(&self.catalog(), "Prerequisites")?
+            .filter(Expr::col("CourseID").eq(Expr::lit(course)))?
+            .select_columns(&["PrereqID"])?
+            .build();
+        let rs = self.db.run_plan(&plan)?;
         Ok(rs.rows.iter().filter_map(|r| r[0].as_int().ok()).collect())
     }
 
     /// Students who plan to take a course and share their plans (§2.2 "we
     /// allowed students to see who is planning to take a class").
     pub fn planned_by(&self, course: CourseId) -> RelResult<Vec<StudentId>> {
-        let rs = self.db.query_sql(&format!(
-            "SELECT e.SuID FROM Enrollments e JOIN Students s ON e.SuID = s.SuID \
-             WHERE e.CourseID = {course} AND e.Status = 'planned' AND s.SharePlans = TRUE"
-        ))?;
+        let catalog = self.catalog();
+        let plan = PlanBuilder::scan_as(&catalog, "Enrollments", Some("e"))?
+            .filter(
+                Expr::col("CourseID")
+                    .eq(Expr::lit(course))
+                    .and(Expr::col("Status").eq(Expr::lit("planned"))),
+            )?
+            .join_on(
+                PlanBuilder::scan_as(&catalog, "Students", Some("s"))?,
+                JoinKind::Inner,
+                "e.SuID",
+                "s.SuID",
+            )?
+            .filter(Expr::col("SharePlans").eq(Expr::lit(true)))?
+            .select_columns(&["e.SuID"])?
+            .build();
+        let rs = self.db.run_plan(&plan)?;
         Ok(rs.rows.iter().filter_map(|r| r[0].as_int().ok()).collect())
     }
 

@@ -7,16 +7,19 @@
 //! students have done or the grades they have taken)."
 //!
 //! The admin defines strategies (workflow templates); the student picks
-//! one and sets options. Execution can go through the direct executor or
-//! the SQL compiler (the paper's model) — both are exposed for the A2
-//! ablation.
+//! one and sets options. Every workflow executes on the unified
+//! [`LogicalPlan`] pipeline — compiled, optimized, and run by the same
+//! engine as SQL queries. Debug builds cross-check the plan's output
+//! against the reference interpreter in `cr_flexrecs::exec`.
+//!
+//! [`LogicalPlan`]: cr_relation::plan::LogicalPlan
 
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, OnceLock};
 
-use cr_flexrecs::compile::compile_and_run;
+use cr_flexrecs::compile::{compile, compile_and_run};
 use cr_flexrecs::templates::{self, SchemaMap};
-use cr_flexrecs::{execute, RecResult, Workflow};
+use cr_flexrecs::{RecResult, Workflow};
 use cr_relation::{RelError, RelResult, Value};
 
 use crate::cache::VersionedCache;
@@ -94,17 +97,6 @@ pub struct CourseRec {
     pub course: CourseId,
     pub title: String,
     pub score: f64,
-}
-
-/// Which execution path to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ExecMode {
-    /// Direct workflow executor.
-    #[default]
-    Direct,
-    /// Compile to SQL (the paper's execution model), with automatic
-    /// fallback for non-compilable workflows.
-    CompiledSql,
 }
 
 /// The recommendation service.
@@ -231,38 +223,46 @@ impl Recommender {
         Ok(n)
     }
 
-    /// Recommend courses for a student. Results are cached per
-    /// (strategy, student, options) and served until any base table the
-    /// computation reads is mutated.
+    /// Recommend courses for a student. Results are cached by the compiled
+    /// plan's fingerprint (which captures the strategy, student, and every
+    /// workflow-level option) plus the post-processing knobs, and served
+    /// until any base table the computation reads is mutated.
     pub fn recommend_courses(
         &self,
         student: StudentId,
         opts: &RecOptions,
-        mode: ExecMode,
     ) -> RelResult<Vec<CourseRec>> {
         metrics().observe(|| {
-            let key = format!(
-                "courses|{:?}|{:?}|{student}|{}|{}|{}|{}|{}",
-                opts.basis,
-                mode,
-                opts.k_students,
-                opts.k_courses,
-                opts.min_common,
-                opts.weighted,
-                opts.exclude_taken,
-            );
+            let key = self.course_cache_key(student, opts)?;
             self.course_cache
                 .get_or_compute(&self.db.catalog(), &key, REC_DEPS, || {
-                    self.recommend_courses_inner(student, opts, mode)
+                    self.recommend_courses_inner(student, opts)
                 })
         })
+    }
+
+    /// Cache key for a course-recommendation request: the fingerprint of
+    /// the plan the request compiles to, plus the knobs applied after
+    /// execution (result count, exclude-taken). Two option sets that lower
+    /// to the same plan share one entry.
+    fn course_cache_key(&self, student: StudentId, opts: &RecOptions) -> RelResult<String> {
+        if opts.basis == SimilarityBasis::Grades && !self.db.catalog().has_table("GradePoints") {
+            // The grade workflow's plan scans GradePoints; materialize it
+            // before lowering. Refreshes happen on cache misses below.
+            self.ensure_grade_points()?;
+        }
+        let wf = self.course_workflow(student, opts);
+        let fp = compile(&wf, &self.db.catalog())?.fingerprint();
+        Ok(format!(
+            "courses|{fp:016x}|{}|{}",
+            opts.k_courses, opts.exclude_taken
+        ))
     }
 
     fn recommend_courses_inner(
         &self,
         student: StudentId,
         opts: &RecOptions,
-        mode: ExecMode,
     ) -> RelResult<Vec<CourseRec>> {
         if opts.basis == SimilarityBasis::Grades {
             self.ensure_grade_points()?;
@@ -270,7 +270,7 @@ impl Recommender {
         let ranking: Vec<(Value, f64)> = match opts.basis {
             SimilarityBasis::Ratings | SimilarityBasis::Grades => {
                 let wf = self.course_workflow(student, opts);
-                let result = self.run(&wf, mode)?;
+                let result = self.run_workflow(&wf)?;
                 result.ranking("CourseID", "score")?
             }
             SimilarityBasis::CoursesTaken => {
@@ -278,7 +278,7 @@ impl Recommender {
                 // courses by rating (via SQL over the neighbor set).
                 let wf =
                     templates::similar_students_by_courses(&self.map, student, opts.k_students);
-                let neighbors = self.run(&wf, mode)?;
+                let neighbors = self.run_workflow(&wf)?;
                 let ids: Vec<String> = neighbors
                     .ranking("SuID", "sim")?
                     .into_iter()
@@ -351,7 +351,7 @@ impl Recommender {
             .course(course)?
             .ok_or_else(|| RelError::Invalid(format!("no course {course}")))?;
         let wf = templates::related_courses(&self.map, &c.title, None, k);
-        let result = execute(&wf, &self.db.catalog())?;
+        let result = self.run_workflow(&wf)?;
         result
             .ranking("CourseID", "score")?
             .into_iter()
@@ -389,7 +389,7 @@ impl Recommender {
     ) -> RelResult<Vec<(String, f64)>> {
         let wf =
             templates::major_recommendation(&self.map, student, opts.k_students, opts.min_common);
-        let result = execute(&wf, &self.db.catalog())?;
+        let result = self.run_workflow(&wf)?;
         let dep_idx = result
             .column_index("DepID")
             .ok_or_else(|| RelError::UnknownColumn("DepID".into()))?;
@@ -441,11 +441,38 @@ impl Recommender {
             .collect())
     }
 
-    fn run(&self, wf: &Workflow, mode: ExecMode) -> RelResult<RecResult> {
-        match mode {
-            ExecMode::Direct => execute(wf, &self.db.catalog()),
-            ExecMode::CompiledSql => Ok(compile_and_run(wf, &self.db.catalog())?.result),
+    /// Execute a workflow on the unified plan pipeline. Debug builds also
+    /// run the reference interpreter and assert the outputs are identical
+    /// — the interpreter's only remaining production role is as this
+    /// differential oracle.
+    fn run_workflow(&self, wf: &Workflow) -> RelResult<RecResult> {
+        let run = compile_and_run(wf, &self.db.catalog())?;
+        #[cfg(debug_assertions)]
+        {
+            let oracle = cr_flexrecs::execute(wf, &self.db.catalog())?;
+            debug_assert_eq!(
+                run.result, oracle,
+                "plan/interpreter divergence for workflow {}",
+                wf.name
+            );
         }
+        Ok(run.result)
+    }
+
+    /// The optimized plan a workflow executes as, one operator per line —
+    /// the admin UI's "what will this strategy do" view.
+    pub fn explain_workflow(&self, wf: &Workflow) -> RelResult<Vec<String>> {
+        cr_flexrecs::compile::explain_sql(wf, &self.db.catalog())
+    }
+
+    /// `EXPLAIN ANALYZE` for a workflow: executes it with per-operator
+    /// profiling and renders the same annotated tree (rows, elapsed time,
+    /// access paths) the SQL front-end produces — one renderer for both
+    /// query languages.
+    pub fn explain_analyze_workflow(&self, wf: &Workflow) -> RelResult<String> {
+        let plan = compile(wf, &self.db.catalog())?;
+        let (_, profile) = self.db.database().run_plan_instrumented(&plan)?;
+        Ok(profile.render())
     }
 }
 
@@ -486,9 +513,7 @@ mod tests {
     fn cf_recommends_unseen_courses() {
         let db = campus_with_ratings();
         let r = Recommender::new(db);
-        let recs = r
-            .recommend_courses(444, &RecOptions::default(), ExecMode::Direct)
-            .unwrap();
+        let recs = r.recommend_courses(444, &RecOptions::default()).unwrap();
         assert!(!recs.is_empty());
         // Sally took 101 and 202 — they must not appear.
         assert!(recs.iter().all(|x| x.course != 101 && x.course != 202));
@@ -504,26 +529,42 @@ mod tests {
             exclude_taken: false,
             ..RecOptions::default()
         };
-        let recs = r.recommend_courses(444, &opts, ExecMode::Direct).unwrap();
+        let recs = r.recommend_courses(444, &opts).unwrap();
         assert!(recs.iter().any(|x| x.course == 101));
     }
 
     #[test]
-    fn compiled_mode_matches_direct() {
+    fn plan_path_matches_interpreter_oracle() {
         let db = campus_with_ratings();
-        let r = Recommender::new(db);
-        let a = r
-            .recommend_courses(444, &RecOptions::default(), ExecMode::Direct)
+        let r = Recommender::new(db.clone());
+        let wf = r.course_workflow(444, &RecOptions::default());
+        let oracle = cr_flexrecs::execute(&wf, &db.catalog()).unwrap();
+        let plan = cr_flexrecs::compile::compile_and_run(&wf, &db.catalog()).unwrap();
+        assert_eq!(plan.result, oracle);
+    }
+
+    #[test]
+    fn explain_analyze_uses_the_sql_renderer() {
+        let db = campus_with_ratings();
+        let r = Recommender::new(db.clone());
+        let wf = r.course_workflow(444, &RecOptions::default());
+        let rendered = r.explain_analyze_workflow(&wf).unwrap();
+        // Same annotated tree shape as SQL EXPLAIN ANALYZE...
+        assert!(rendered.contains("rows="), "{rendered}");
+        assert!(rendered.contains("time="), "{rendered}");
+        // ...including the workflow-specific operators.
+        assert!(rendered.contains("Recommend"), "{rendered}");
+        assert!(rendered.contains("Extend"), "{rendered}");
+        let (_, sql_profile) = db
+            .database()
+            .explain_analyze_sql("SELECT * FROM Students")
             .unwrap();
-        let b = r
-            .recommend_courses(444, &RecOptions::default(), ExecMode::CompiledSql)
-            .unwrap();
-        let am: HashMap<i64, f64> = a.iter().map(|x| (x.course, x.score)).collect();
-        let bm: HashMap<i64, f64> = b.iter().map(|x| (x.course, x.score)).collect();
-        assert_eq!(am.len(), bm.len());
-        for (k, v) in &am {
-            assert!((bm[k] - v).abs() < 1e-9, "course {k}");
-        }
+        assert!(sql_profile.render().contains("rows="));
+        // And the plan view is available to the admin UI.
+        let lines = r.explain_workflow(&wf).unwrap();
+        assert!(lines
+            .iter()
+            .any(|l| l.trim_start().starts_with("Recommend")));
     }
 
     #[test]
@@ -535,7 +576,7 @@ mod tests {
             min_common: 1,
             ..RecOptions::default()
         };
-        let recs = r.recommend_courses(444, &opts, ExecMode::Direct).unwrap();
+        let recs = r.recommend_courses(444, &opts).unwrap();
         assert!(!recs.is_empty());
     }
 
@@ -557,7 +598,7 @@ mod tests {
             exclude_taken: false,
             ..RecOptions::default()
         };
-        let recs = r.recommend_courses(444, &opts, ExecMode::Direct).unwrap();
+        let recs = r.recommend_courses(444, &opts).unwrap();
         // Sally (A in 101) resembles Bob (A-) and Tim (B) via course 101;
         // their graded courses surface, scored by grade points.
         assert!(!recs.is_empty(), "{recs:?}");

@@ -93,6 +93,19 @@ impl Strategies {
         })
     }
 
+    /// Select a strategy and execute it for a student on the unified
+    /// plan pipeline (compile → optimize → shared executor).
+    pub fn run(&self, name: &str, student: StudentId) -> RelResult<cr_flexrecs::RecResult> {
+        let wf = self.select(name, student)?;
+        Ok(cr_flexrecs::compile::compile_and_run(&wf, &self.db.catalog())?.result)
+    }
+
+    /// The optimized plan a stored strategy executes as for a student.
+    pub fn explain(&self, name: &str, student: StudentId) -> RelResult<Vec<String>> {
+        let wf = self.select(name, student)?;
+        cr_flexrecs::compile::explain_sql(&wf, &self.db.catalog())
+    }
+
     /// Remove a strategy.
     pub fn remove(&self, name: &str) -> RelResult<bool> {
         let rs = self.db.database().execute_sql(&format!(
@@ -244,13 +257,23 @@ mod tests {
         let text = wf.explain();
         assert!(!text.contains("-1"), "{text}");
         assert!(text.contains("444"), "{text}");
-        // And the personalized workflow actually runs.
+        // And the personalized workflow actually runs — on the plan
+        // pipeline, agreeing with the reference interpreter.
         let db = small_campus();
         let reg2 = Strategies::new(db.clone());
         reg2.define("cf-default", "", &cf_template()).unwrap();
+        let result = reg2.run("cf-default", 444).unwrap();
         let wf = reg2.select("cf-default", 444).unwrap();
-        let result = cr_flexrecs::execute(&wf, &db.catalog()).unwrap();
-        let _ = result; // small fixture may yield few/no recs; executing is the point
+        let oracle = cr_flexrecs::execute(&wf, &db.catalog()).unwrap();
+        assert_eq!(result, oracle);
+        // The stored strategy's plan renders with the workflow operators.
+        let lines = reg2.explain("cf-default", 444).unwrap();
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.trim_start().starts_with("Recommend")),
+            "{lines:?}"
+        );
     }
 
     #[test]

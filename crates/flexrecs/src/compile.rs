@@ -1,44 +1,44 @@
-//! Workflow → SQL compilation.
+//! Workflow → logical-plan compilation.
 //!
 //! §3.2: "The engine executes a workflow by 'compiling' it into a sequence
-//! of SQL calls, which are executed by a conventional DBMS. When possible,
-//! library functions are compiled into the SQL statements themselves; in
-//! other cases we can rely on external functions that are called by the
-//! SQL statements."
+//! of SQL calls, which are executed by a conventional DBMS." Our engine
+//! *is* the DBMS, so compilation targets its query IR directly: every
+//! workflow operator lowers to a [`LogicalPlan`] node — relational
+//! operators to scans/filters/projections/joins, the ε extend and ▷
+//! recommend operators to the plan's first-class `Extend`/`Recommend`
+//! nodes — and the whole plan then flows through the same optimizer and
+//! (parallel) executor as SQL queries. One IR, one optimizer, one
+//! executor.
 //!
-//! Concretely:
+//! The direct interpreter in [`crate::exec`] survives as the reference
+//! semantics; `tests/flexrecs_plan_equivalence.rs` property-tests that the
+//! compiled plan returns byte-identical results.
 //!
-//! * relational operators (source, select, project, join, limit, union)
-//!   compile to `SELECT`s whose results materialize into temp tables —
-//!   the "sequence of SQL calls";
-//! * a recommend with [`RecMethod::RatingLookup`] compiles to a
-//!   join + `GROUP BY` aggregation (`AVG`/`SUM`/`MAX`/weighted average);
-//! * a recommend with inverse-Euclidean ratings similarity against a
-//!   *single* comparator compiles to a self-join with
-//!   `1/(1+SQRT(SUM((ra−rb)²)))` — the library function *in* the SQL;
-//! * text-similarity recommends run as **external functions** over
-//!   SQL-materialized inputs (the paper's fallback);
-//! * anything else (multi-comparator similarity, `exclude_seen`, joins
-//!   over set-valued inputs) falls back to the direct executor for the
-//!   whole workflow — reported in [`CompiledRun::fallback_reason`].
+//! Lowering is purely structural:
 //!
-//! The A2 ablation benchmarks compiled vs. direct execution, and
-//! `tests/flexrecs_equivalence.rs` checks they return the same rankings.
+//! * names resolve positionally, first case-insensitive match — the same
+//!   rule as the interpreter's `WfSchema::index_of`;
+//! * predicates lower to two-valued expressions
+//!   (`col IS NOT NULL AND col op lit`) so NULL comparisons behave as
+//!   `false` inside `OR`, exactly like the interpreter;
+//! * the extend operator's related table becomes a projected sub-plan
+//!   `[fk, key(, rating)]`, so the optimizer can treat it like any other
+//!   input.
 
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-use cr_relation::{Catalog, RelError, RelResult, ResultSet, Value};
-
-use crate::datum::{Datum, WfSchema, WfType};
-use crate::exec::{self, RecResult};
-use crate::workflow::{
-    infer_schema, Node, RecAgg, RecMethod, RecommendSpec, WfPredicate, Workflow,
+use cr_relation::plan::{optimizer, JoinKind, LogicalPlan, RecAggPlan, RecSpec};
+use cr_relation::{
+    Catalog, Column, DataType, ExecOptions, Expr, RelError, RelResult, Schema, Value,
 };
+
+use crate::datum::Datum;
+use crate::exec::RecResult;
+use crate::workflow::{infer_schema, CmpOp, Node, RecAgg, WfPredicate, Workflow};
 
 struct FrMetrics {
     compiled_runs: Arc<cr_obs::Counter>,
-    fallbacks: Arc<cr_obs::Counter>,
     run_ns: Arc<cr_obs::Histogram>,
     step_ns: Arc<cr_obs::Histogram>,
 }
@@ -49,21 +49,19 @@ fn metrics() -> &'static FrMetrics {
         let r = cr_obs::Registry::global();
         FrMetrics {
             compiled_runs: r.counter("flexrecs.compiled_runs"),
-            fallbacks: r.counter("flexrecs.fallbacks"),
             run_ns: r.histogram("flexrecs.run_ns"),
             step_ns: r.histogram("flexrecs.step_ns"),
         }
     })
 }
 
-/// One timed step of a compiled run: a SQL call or an external function,
-/// in execution order. The per-step wall-clock times are what let a
+/// One timed phase of a compiled run, in execution order — what lets a
 /// recommendation's latency be broken down step by step.
 #[derive(Debug, Clone)]
 pub struct StepTiming {
-    /// Which operator produced the step, e.g. `"Select"`, `"RatingLookup"`.
+    /// Phase name: `"Lower"`, `"Optimize"`, or `"Execute"`.
     pub label: String,
-    /// Rows the step produced (0 for external steps with no row output).
+    /// Rows the phase produced (0 for the plan-only phases).
     pub rows: usize,
     pub elapsed: Duration,
 }
@@ -72,19 +70,16 @@ pub struct StepTiming {
 #[derive(Debug, Clone)]
 pub struct CompiledRun {
     pub result: RecResult,
-    /// Every SQL statement executed, in order.
-    pub sql_log: Vec<String>,
-    /// Human description of external (non-SQL) steps.
-    pub external_steps: Vec<String>,
-    /// Wall-clock timing per step (SQL calls and external functions).
+    /// The optimized plan that was executed.
+    pub plan: LogicalPlan,
+    /// Fingerprint of the optimized plan (cache key material).
+    pub fingerprint: u64,
+    /// Wall-clock timing per phase (lower, optimize, execute).
     pub step_timings: Vec<StepTiming>,
-    /// Set when the workflow could not be compiled at all and ran on the
-    /// direct executor instead.
-    pub fallback_reason: Option<String>,
 }
 
 impl CompiledRun {
-    /// Render the step-by-step timing breakdown as an aligned table.
+    /// Render the phase-by-phase timing breakdown as an aligned table.
     pub fn timing_breakdown(&self) -> String {
         use cr_relation::profile::fmt_duration;
         use std::fmt::Write as _;
@@ -105,294 +100,144 @@ impl CompiledRun {
     }
 }
 
-/// A compiled relation: a (temp or base) table plus bookkeeping.
-#[derive(Debug, Clone)]
-struct Rel {
-    table: String,
-    /// Scalar column names, in order, as stored in `table`.
-    columns: Vec<String>,
-    /// Pending ε-extension (set-valued attribute not materialized in SQL).
-    extend: Option<ExtendInfo>,
+/// Compile a workflow to an (unoptimized) logical plan, validating it
+/// first. Feed the result through the shared optimizer before execution —
+/// [`compile_and_run`] does both.
+pub fn compile(workflow: &Workflow, catalog: &Catalog) -> RelResult<LogicalPlan> {
+    // Full workflow validation (attribute existence, recommend type
+    // discipline) before lowering, so errors carry workflow-level names.
+    infer_schema(&workflow.root, catalog)?;
+    lower(&workflow.root, catalog)
 }
 
-#[derive(Debug, Clone)]
-struct ExtendInfo {
-    related_table: String,
-    fk_column: String,
-    /// Column *in the compiled relation* holding the join key.
-    local_key: String,
-    key_column: String,
-    rating_column: Option<String>,
-    as_name: String,
+/// Compile and run a workflow on the plan pipeline with default execution
+/// options.
+pub fn compile_and_run(workflow: &Workflow, catalog: &Catalog) -> RelResult<CompiledRun> {
+    compile_and_run_with(workflow, catalog, &ExecOptions::default())
 }
 
-/// Process-wide temp-table counter: concurrent compiled runs over the
-/// same catalog must not collide on temp names.
-static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-
-struct Ctx<'a> {
-    catalog: &'a Catalog,
-    sql_log: Vec<String>,
-    external: Vec<String>,
-    steps: Vec<StepTiming>,
-    temps: Vec<String>,
-}
-
-/// Raised internally to trigger whole-workflow fallback.
-struct Unsupported(String);
-
-impl<'a> Ctx<'a> {
-    /// Run one compiled SQL step, recording it in the log and its timing
-    /// (and the `flexrecs.step_ns` histogram when metrics are enabled)
-    /// under `label`.
-    fn run_sql(&mut self, label: &str, sql: &str) -> RelResult<ResultSet> {
-        self.sql_log.push(sql.to_owned());
-        let t0 = Instant::now();
-        let result = cr_relation::sql::query(sql, self.catalog);
-        let elapsed = t0.elapsed();
+/// [`compile_and_run`] with explicit execution options (parallelism).
+pub fn compile_and_run_with(
+    workflow: &Workflow,
+    catalog: &Catalog,
+    opts: &ExecOptions,
+) -> RelResult<CompiledRun> {
+    let started = Instant::now();
+    let mut steps = Vec::with_capacity(3);
+    let mut phase = |label: &str, rows: usize, elapsed: Duration| {
         if cr_obs::enabled() {
             metrics().step_ns.record_duration(elapsed);
         }
-        self.steps.push(StepTiming {
+        steps.push(StepTiming {
             label: label.to_owned(),
-            rows: result.as_ref().map(|rs| rs.rows.len()).unwrap_or(0),
+            rows,
             elapsed,
         });
-        result
-    }
+    };
 
-    /// Materialize a result set into a fresh temp table; returns its name.
-    fn materialize(&mut self, rs: &ResultSet, columns: &[String]) -> RelResult<String> {
-        let id = TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let name = format!("flexrecs_tmp_{id}");
-        let mut cols = Vec::with_capacity(columns.len());
-        for (i, c) in columns.iter().enumerate() {
-            cols.push(cr_relation::Column::new(
-                c.clone(),
-                rs.schema.column(i).data_type,
-            ));
-        }
-        self.catalog
-            .create_table(&name, cr_relation::Schema::qualified(&name, cols), vec![])?;
-        self.catalog.with_table_mut(&name, |t| -> RelResult<()> {
-            for row in &rs.rows {
-                t.insert(row.clone())?;
-            }
-            Ok(())
-        })??;
-        self.temps.push(name.clone());
-        Ok(name)
-    }
+    let t0 = Instant::now();
+    let out_schema = infer_schema(&workflow.root, catalog)?;
+    let plan = lower(&workflow.root, catalog)?;
+    phase("Lower", 0, t0.elapsed());
 
-    fn cleanup(&mut self) {
-        for t in self.temps.drain(..) {
-            let _ = self.catalog.drop_table(&t);
-        }
-    }
-}
+    let t0 = Instant::now();
+    let plan = optimizer::optimize(plan);
+    phase("Optimize", 0, t0.elapsed());
 
-/// Compile and run a workflow; falls back to direct execution when the
-/// workflow uses constructs outside the compilable subset.
-pub fn compile_and_run(workflow: &Workflow, catalog: &Catalog) -> RelResult<CompiledRun> {
-    let started = Instant::now();
-    let run = compile_and_run_inner(workflow, catalog);
+    let t0 = Instant::now();
+    let rs = cr_relation::exec::execute_with(&plan, catalog, opts)?;
+    phase("Execute", rs.rows.len(), t0.elapsed());
+
+    let tuples = rs
+        .rows
+        .into_iter()
+        .map(|r| r.into_iter().map(value_to_datum).collect())
+        .collect();
     if cr_obs::enabled() {
         let m = metrics();
         m.compiled_runs.inc();
-        if let Ok(r) = &run {
-            if r.fallback_reason.is_some() {
-                m.fallbacks.inc();
-            }
-        }
         m.run_ns.record_duration(started.elapsed());
     }
-    run
-}
-
-fn compile_and_run_inner(workflow: &Workflow, catalog: &Catalog) -> RelResult<CompiledRun> {
-    let mut ctx = Ctx {
-        catalog,
-        sql_log: Vec::new(),
-        external: Vec::new(),
-        steps: Vec::new(),
-        temps: Vec::new(),
-    };
-    let schema = infer_schema(&workflow.root, catalog)?;
-    let outcome = compile_node(&workflow.root, &mut ctx);
-    match outcome {
-        Ok(rel) => {
-            // Read the final relation back out as workflow tuples. Only
-            // scalar columns are materialized; a pending extend at the
-            // root would mean the schema has a set attribute we cannot
-            // reproduce — fall back in that case.
-            if schema.columns.iter().any(|(_, t)| *t != WfType::Scalar) {
-                ctx.cleanup();
-                return fallback(
-                    workflow,
-                    catalog,
-                    ctx,
-                    "root schema has set-valued attributes",
-                );
-            }
-            let sql = format!("SELECT * FROM {}", rel.table);
-            let rs = ctx.run_sql("ReadBack", &sql)?;
-            let tuples = rs
-                .rows
-                .into_iter()
-                .map(|r| r.into_iter().map(Datum::Scalar).collect())
-                .collect();
-            let out_schema = WfSchema {
-                columns: rel
-                    .columns
-                    .iter()
-                    .map(|c| (c.clone(), WfType::Scalar))
-                    .collect(),
-            };
-            let (sql_log, external_steps, step_timings) =
-                (ctx.sql_log.clone(), ctx.external.clone(), ctx.steps.clone());
-            ctx.cleanup();
-            Ok(CompiledRun {
-                result: RecResult {
-                    schema: out_schema,
-                    tuples,
-                },
-                sql_log,
-                external_steps,
-                step_timings,
-                fallback_reason: None,
-            })
-        }
-        Err(CompileError::Rel(e)) => {
-            ctx.cleanup();
-            Err(e)
-        }
-        Err(CompileError::Unsupported(Unsupported(reason))) => {
-            ctx.cleanup();
-            fallback(workflow, catalog, ctx, &reason)
-        }
-    }
-}
-
-fn fallback(
-    workflow: &Workflow,
-    catalog: &Catalog,
-    mut ctx: Ctx<'_>,
-    reason: &str,
-) -> RelResult<CompiledRun> {
-    let t0 = Instant::now();
-    let result = exec::execute(workflow, catalog)?;
-    ctx.steps.push(StepTiming {
-        label: "DirectFallback".to_owned(),
-        rows: result.tuples.len(),
-        elapsed: t0.elapsed(),
-    });
+    let fingerprint = plan.fingerprint();
     Ok(CompiledRun {
-        result,
-        sql_log: ctx.sql_log,
-        external_steps: ctx.external,
-        step_timings: ctx.steps,
-        fallback_reason: Some(reason.to_owned()),
+        result: RecResult {
+            schema: out_schema,
+            tuples,
+        },
+        plan,
+        fingerprint,
+        step_timings: steps,
     })
 }
 
-enum CompileError {
-    Rel(RelError),
-    Unsupported(Unsupported),
+/// Pretty-print the optimized plan a workflow compiles to, one operator
+/// per line (indented children). Historically this returned the compiled
+/// SQL step list; it now renders the plan the unified pipeline executes.
+pub fn explain_sql(workflow: &Workflow, catalog: &Catalog) -> RelResult<Vec<String>> {
+    let plan = optimizer::optimize(compile(workflow, catalog)?);
+    Ok(plan.explain().lines().map(str::to_owned).collect())
 }
 
-impl From<RelError> for CompileError {
-    fn from(e: RelError) -> Self {
-        CompileError::Rel(e)
-    }
-}
-
-impl From<Unsupported> for CompileError {
-    fn from(u: Unsupported) -> Self {
-        CompileError::Unsupported(u)
-    }
-}
-
-type CResult<T> = Result<T, CompileError>;
-
-fn unsupported<T>(msg: impl Into<String>) -> CResult<T> {
-    Err(CompileError::Unsupported(Unsupported(msg.into())))
-}
-
-fn quote_value(v: &Value) -> String {
+fn value_to_datum(v: Value) -> Datum {
     match v {
-        Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
-        other => other.to_string(),
+        Value::Set(items) => Datum::Set(items),
+        Value::Ratings(r) => Datum::Ratings(r),
+        other => Datum::Scalar(other),
     }
 }
 
-fn predicate_sql(p: &WfPredicate) -> String {
-    match p {
-        WfPredicate::Cmp { column, op, value } => {
-            format!("{column} {} {}", op.sql(), quote_value(value))
-        }
-        WfPredicate::And(ps) => {
-            let parts: Vec<String> = ps.iter().map(predicate_sql).collect();
-            format!("({})", parts.join(" AND "))
-        }
-        WfPredicate::Or(ps) => {
-            let parts: Vec<String> = ps.iter().map(predicate_sql).collect();
-            format!("({})", parts.join(" OR "))
-        }
-    }
+/// Positional name resolution: first case-insensitive match, qualifiers
+/// ignored — the workflow layer's `WfSchema::index_of` rule (NOT the SQL
+/// binder's ambiguity-rejecting `Schema::resolve`).
+fn resolve(schema: &Schema, name: &str) -> RelResult<usize> {
+    (0..schema.len())
+        .find(|&i| schema.column(i).name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| RelError::UnknownColumn(name.to_owned()))
 }
 
-fn compile_node(node: &Node, ctx: &mut Ctx<'_>) -> CResult<Rel> {
+fn lower(node: &Node, catalog: &Catalog) -> RelResult<LogicalPlan> {
     match node {
         Node::Source { table } => {
-            let schema = ctx.catalog.table_schema(table)?;
-            Ok(Rel {
+            let schema = catalog.table_schema(table)?;
+            Ok(LogicalPlan::Scan {
                 table: table.clone(),
-                columns: schema.columns().iter().map(|c| c.name.clone()).collect(),
-                extend: None,
+                alias: None,
+                projection: None,
+                filter: None,
+                schema,
             })
         }
 
         Node::Select { input, predicate } => {
-            let rel = compile_node(input, ctx)?;
-            let sql = format!(
-                "SELECT * FROM {} WHERE {}",
-                rel.table,
-                predicate_sql(predicate)
-            );
-            let rs = ctx.run_sql("Select", &sql)?;
-            let table = ctx.materialize(&rs, &rel.columns)?;
-            Ok(Rel {
-                table,
-                columns: rel.columns,
-                extend: rel.extend,
+            let input = lower(input, catalog)?;
+            let predicate = lower_predicate(predicate, input.schema())?;
+            Ok(LogicalPlan::Filter {
+                input: Box::new(input),
+                predicate,
             })
         }
 
         Node::Project { input, columns } => {
-            let rel = compile_node(input, ctx)?;
-            // Virtual (extended) attributes survive only if both the key
-            // and the attribute name are kept.
-            let scalar_cols: Vec<String> = columns
-                .iter()
-                .filter(|c| rel.columns.iter().any(|rc| rc.eq_ignore_ascii_case(c)))
-                .cloned()
-                .collect();
-            let keep_extend = match &rel.extend {
-                Some(e) => {
-                    columns.iter().any(|c| c.eq_ignore_ascii_case(&e.as_name))
-                        && scalar_cols
-                            .iter()
-                            .any(|c| c.eq_ignore_ascii_case(&e.local_key))
-                }
-                None => false,
-            };
-            let sql = format!("SELECT {} FROM {}", scalar_cols.join(", "), rel.table);
-            let rs = ctx.run_sql("Project", &sql)?;
-            let table = ctx.materialize(&rs, &scalar_cols)?;
-            Ok(Rel {
-                table,
-                columns: scalar_cols,
-                extend: if keep_extend { rel.extend } else { None },
+            let input = lower(input, catalog)?;
+            let mut exprs = Vec::with_capacity(columns.len());
+            let mut schema = Schema::default();
+            for c in columns {
+                let i = resolve(input.schema(), c)?;
+                let col = input.schema().column(i);
+                schema.push(
+                    Column {
+                        name: c.clone(),
+                        data_type: col.data_type,
+                        nullable: col.nullable,
+                    },
+                    None,
+                );
+                exprs.push((Expr::col_idx(i), c.clone()));
+            }
+            Ok(LogicalPlan::Project {
+                input: Box::new(input),
+                exprs,
+                schema,
             })
         }
 
@@ -402,42 +247,28 @@ fn compile_node(node: &Node, ctx: &mut Ctx<'_>) -> CResult<Rel> {
             left_col,
             right_col,
         } => {
-            let l = compile_node(left, ctx)?;
-            let r = compile_node(right, ctx)?;
-            if l.extend.is_some() || r.extend.is_some() {
-                return unsupported("join over set-valued inputs");
-            }
-            // Dedup output column names.
-            let mut out_cols: Vec<String> = Vec::with_capacity(l.columns.len() + r.columns.len());
-            let mut select_items: Vec<String> = Vec::new();
-            for c in &l.columns {
-                out_cols.push(c.clone());
-                select_items.push(format!("a.{c} AS {c}"));
-            }
-            for c in &r.columns {
-                let mut name = c.clone();
-                let mut suffix = 2;
-                while out_cols.iter().any(|o| o.eq_ignore_ascii_case(&name)) {
-                    name = format!("{c}_{suffix}");
-                    suffix += 1;
+            let l = lower(left, catalog)?;
+            let r = lower(right, catalog)?;
+            let li = resolve(l.schema(), left_col)?;
+            let ri = resolve(r.schema(), right_col)?;
+            for (schema, idx, name) in [(l.schema(), li, left_col), (r.schema(), ri, right_col)] {
+                if matches!(
+                    schema.column(idx).data_type,
+                    DataType::Set | DataType::Ratings
+                ) {
+                    return Err(RelError::Invalid(format!(
+                        "join column {name} is not scalar"
+                    )));
                 }
-                select_items.push(format!("b.{c} AS {name}"));
-                out_cols.push(name);
             }
-            let sql = format!(
-                "SELECT {} FROM {} a JOIN {} b ON a.{} = b.{}",
-                select_items.join(", "),
-                l.table,
-                r.table,
-                left_col,
-                right_col
-            );
-            let rs = ctx.run_sql("Join", &sql)?;
-            let table = ctx.materialize(&rs, &out_cols)?;
-            Ok(Rel {
-                table,
-                columns: out_cols,
-                extend: None,
+            let left_w = l.schema().len();
+            let schema = l.schema().join(r.schema());
+            Ok(LogicalPlan::Join {
+                left: Box::new(l),
+                right: Box::new(r),
+                kind: JoinKind::Inner,
+                on: Expr::col_idx(li).eq(Expr::col_idx(left_w + ri)),
+                schema,
             })
         }
 
@@ -450,70 +281,44 @@ fn compile_node(node: &Node, ctx: &mut Ctx<'_>) -> CResult<Rel> {
             rating_column,
             as_name,
         } => {
-            let rel = compile_node(input, ctx)?;
-            if rel.extend.is_some() {
-                return unsupported("multiple pending extends");
+            let input = lower(input, catalog)?;
+            let key_col = resolve(input.schema(), local_key)?;
+            let rel_schema = catalog.table_schema(related_table)?;
+            let mut proj = vec![
+                rel_schema.index_of(fk_column)?,
+                rel_schema.index_of(key_column)?,
+            ];
+            let rating = rating_column.is_some();
+            if let Some(rc) = rating_column {
+                proj.push(rel_schema.index_of(rc)?);
             }
-            // Pre-aggregate the related table to one (mean) rating per
-            // (fk, key) — the extend operator's set semantics — so the
-            // downstream similarity/lookup SQL matches the direct
-            // executor exactly.
-            let related = match rating_column {
-                Some(rc) => {
-                    let sql = format!(
-                        "SELECT {fk} AS {fk}, {key} AS {key}, AVG({rc}) AS {rc} \
-                         FROM {tbl} WHERE {rc} IS NOT NULL GROUP BY {fk}, {key}",
-                        fk = fk_column,
-                        key = key_column,
-                        rc = rc,
-                        tbl = related_table,
-                    );
-                    let rs = ctx.run_sql("Extend", &sql)?;
-                    ctx.materialize(&rs, &[fk_column.clone(), key_column.clone(), rc.clone()])?
-                }
-                None => related_table.clone(),
+            let related_out = LogicalPlan::scan_output_schema(&rel_schema, &Some(proj.clone()));
+            let related = LogicalPlan::Scan {
+                table: related_table.clone(),
+                alias: None,
+                projection: Some(proj),
+                filter: None,
+                schema: related_out,
             };
-            Ok(Rel {
-                extend: Some(ExtendInfo {
-                    related_table: related,
-                    fk_column: fk_column.clone(),
-                    local_key: local_key.clone(),
-                    key_column: key_column.clone(),
-                    rating_column: rating_column.clone(),
-                    as_name: as_name.clone(),
-                }),
-                ..rel
-            })
-        }
-
-        Node::Limit { input, k } => {
-            let rel = compile_node(input, ctx)?;
-            let sql = format!("SELECT * FROM {} LIMIT {k}", rel.table);
-            let rs = ctx.run_sql("Limit", &sql)?;
-            let table = ctx.materialize(&rs, &rel.columns)?;
-            Ok(Rel {
-                table,
-                columns: rel.columns,
-                extend: rel.extend,
-            })
-        }
-
-        Node::Union { left, right } => {
-            let l = compile_node(left, ctx)?;
-            let r = compile_node(right, ctx)?;
-            if l.extend.is_some() || r.extend.is_some() {
-                return unsupported("union over set-valued inputs");
-            }
-            let sql = format!(
-                "SELECT * FROM {} UNION ALL SELECT * FROM {}",
-                l.table, r.table
+            let mut schema = input.schema().clone();
+            schema.push(
+                Column::new(
+                    as_name,
+                    if rating {
+                        DataType::Ratings
+                    } else {
+                        DataType::Set
+                    },
+                ),
+                None,
             );
-            let rs = ctx.run_sql("Union", &sql)?;
-            let table = ctx.materialize(&rs, &l.columns)?;
-            Ok(Rel {
-                table,
-                columns: l.columns,
-                extend: None,
+            Ok(LogicalPlan::Extend {
+                input: Box::new(input),
+                related: Box::new(related),
+                key_col,
+                rating,
+                as_name: as_name.clone(),
+                schema,
             })
         }
 
@@ -521,255 +326,111 @@ fn compile_node(node: &Node, ctx: &mut Ctx<'_>) -> CResult<Rel> {
             target,
             comparator,
             spec,
-        } => compile_recommend(target, comparator, spec, ctx),
+        } => {
+            let t = lower(target, catalog)?;
+            let c = lower(comparator, catalog)?;
+            let target_col = resolve(t.schema(), &spec.target_attr)?;
+            let comparator_col = resolve(c.schema(), &spec.comparator_attr)?;
+            let agg = match &spec.agg {
+                RecAgg::Avg => RecAggPlan::Avg,
+                RecAgg::Sum => RecAggPlan::Sum,
+                RecAgg::Max => RecAggPlan::Max,
+                RecAgg::WeightedAvg { weight_attr } => RecAggPlan::WeightedAvg {
+                    weight_col: resolve(c.schema(), weight_attr)?,
+                },
+            };
+            let exclude_seen = match &spec.exclude_seen {
+                Some((ta, ca)) => Some((resolve(t.schema(), ta)?, resolve(c.schema(), ca)?)),
+                None => None,
+            };
+            let plan_spec = RecSpec {
+                target_col,
+                comparator_col,
+                method: spec.method.clone(),
+                agg,
+                k: spec.k,
+                score_name: spec.score_name.clone(),
+                exclude_seen,
+            };
+            let mut schema = t.schema().clone();
+            schema.push(Column::new(&spec.score_name, DataType::Float), None);
+            Ok(LogicalPlan::Recommend {
+                target: Box::new(t),
+                comparator: Box::new(c),
+                spec: plan_spec,
+                schema,
+            })
+        }
+
+        Node::Limit { input, k } => Ok(LogicalPlan::Limit {
+            input: Box::new(lower(input, catalog)?),
+            limit: Some(*k),
+            offset: 0,
+        }),
+
+        Node::Union { left, right } => Ok(LogicalPlan::Union {
+            left: Box::new(lower(left, catalog)?),
+            right: Box::new(lower(right, catalog)?),
+        }),
     }
 }
 
-fn compile_recommend(
-    target: &Node,
-    comparator: &Node,
-    spec: &RecommendSpec,
-    ctx: &mut Ctx<'_>,
-) -> CResult<Rel> {
-    if spec.exclude_seen.is_some() {
-        return unsupported("exclude_seen requires anti-join support");
-    }
-    let t = compile_node(target, ctx)?;
-    let c = compile_node(comparator, ctx)?;
-
-    match &spec.method {
-        RecMethod::RatingLookup => {
-            let Some(ce) = &c.extend else {
-                return unsupported("rating lookup needs a ratings-extended comparator");
-            };
-            let Some(rating_col) = &ce.rating_column else {
-                return unsupported("rating lookup needs a ratings (not set) extension");
-            };
-            if t.extend.is_some() {
-                return unsupported("rating-lookup target with pending extend");
+/// Lower a workflow predicate to a **two-valued** expression. The
+/// interpreter treats a NULL comparison as plain `false` (so `NULL > 3 OR
+/// x = 1` can still pass); SQL three-valued logic would yield NULL. Guard
+/// every comparison with `IS NOT NULL` so both paths agree.
+fn lower_predicate(p: &WfPredicate, schema: &Schema) -> RelResult<Expr> {
+    Ok(match p {
+        WfPredicate::Cmp { column, op, value } => {
+            let i = resolve(schema, column)?;
+            if value.is_null() {
+                // The interpreter's NULL-literal comparison is always false.
+                return Ok(Expr::lit(false));
             }
-            let group_cols: Vec<String> = t.columns.iter().map(|col| format!("t.{col}")).collect();
-            let select_cols: Vec<String> = t
-                .columns
-                .iter()
-                .map(|col| format!("t.{col} AS {col}"))
-                .collect();
-            let score_expr = match &spec.agg {
-                RecAgg::Avg => format!("AVG(r.{rating_col})"),
-                RecAgg::Sum => format!("SUM(r.{rating_col})"),
-                RecAgg::Max => format!("MAX(r.{rating_col})"),
-                RecAgg::WeightedAvg { weight_attr } => {
-                    format!("SUM(r.{rating_col} * c.{weight_attr}) / SUM(c.{weight_attr})")
+            let cmp = {
+                let col = Expr::col_idx(i);
+                let lit = Expr::lit(value.clone());
+                match op {
+                    CmpOp::Eq => col.eq(lit),
+                    CmpOp::NotEq => col.not_eq(lit),
+                    CmpOp::Lt => col.lt(lit),
+                    CmpOp::LtEq => col.lt_eq(lit),
+                    CmpOp::Gt => col.gt(lit),
+                    CmpOp::GtEq => col.gt_eq(lit),
                 }
             };
-            let limit = spec.k.map(|k| format!(" LIMIT {k}")).unwrap_or_default();
-            let sql = format!(
-                "SELECT {}, {} AS {} FROM {} t \
-                 JOIN {} r ON r.{} = t.{} \
-                 JOIN {} c ON r.{} = c.{} \
-                 GROUP BY {} HAVING {} > 0 ORDER BY {} DESC, {}{}",
-                select_cols.join(", "),
-                score_expr,
-                spec.score_name,
-                t.table,
-                ce.related_table,
-                ce.key_column,
-                spec.target_attr,
-                c.table,
-                ce.fk_column,
-                ce.local_key,
-                group_cols.join(", "),
-                score_expr,
-                spec.score_name,
-                t.columns[0],
-                limit,
-            );
-            let rs = ctx.run_sql("RatingLookup", &sql)?;
-            let mut out_cols = t.columns.clone();
-            out_cols.push(spec.score_name.clone());
-            let table = ctx.materialize(&rs, &out_cols)?;
-            Ok(Rel {
-                table,
-                columns: out_cols,
-                extend: None, // lookup targets are plain relations
-            })
+            Expr::IsNull {
+                expr: Box::new(Expr::col_idx(i)),
+                negated: true,
+            }
+            .and(cmp)
         }
-
-        RecMethod::Ratings { sim, min_common } => {
-            use crate::similarity::RatingsSim;
-            if !matches!(sim, RatingsSim::InverseEuclidean) {
-                // Pearson in pure SQL needs correlated means — external.
-                return unsupported(format!("{} not compiled to SQL", sim.name()));
-            }
-            let (Some(te), Some(ce)) = (&t.extend, &c.extend) else {
-                return unsupported("ratings similarity needs extended inputs");
-            };
-            let (Some(t_rating), Some(c_rating)) = (&te.rating_column, &ce.rating_column) else {
-                return unsupported("ratings similarity over set extensions");
-            };
-            // Single-comparator restriction (the personalization case).
-            let c_count = ctx.catalog.table_len(&c.table)?;
-            if c_count != 1 {
-                return unsupported(format!(
-                    "SQL ratings similarity supports exactly one comparator tuple, got {c_count}"
-                ));
-            }
-            let select_cols: Vec<String> = t
-                .columns
+        WfPredicate::And(ps) => {
+            let parts = ps
                 .iter()
-                .map(|col| format!("t.{col} AS {col}"))
-                .collect();
-            let group_cols: Vec<String> = t.columns.iter().map(|col| format!("t.{col}")).collect();
-            let dist = format!(
-                "SQRT(SUM((rt.{t_rating} - rc.{c_rating}) * (rt.{t_rating} - rc.{c_rating})))"
-            );
-            let score_expr = format!("1.0 / (1.0 + {dist})");
-            let limit = spec.k.map(|k| format!(" LIMIT {k}")).unwrap_or_default();
-            let sql = format!(
-                "SELECT {}, {} AS {} FROM {} t \
-                 JOIN {} rt ON rt.{} = t.{} \
-                 JOIN {} c ON 1 = 1 \
-                 JOIN {} rc ON rc.{} = c.{} AND rc.{} = rt.{} \
-                 GROUP BY {} HAVING COUNT(*) >= {} ORDER BY {} DESC, {}{}",
-                select_cols.join(", "),
-                score_expr,
-                spec.score_name,
-                t.table,
-                te.related_table,
-                te.fk_column,
-                te.local_key,
-                c.table,
-                ce.related_table,
-                ce.fk_column,
-                ce.local_key,
-                ce.key_column,
-                te.key_column,
-                group_cols.join(", "),
-                min_common.max(&1),
-                spec.score_name,
-                t.columns[0],
-                limit,
-            );
-            let rs = ctx.run_sql("RatingsSim", &sql)?;
-            let mut out_cols = t.columns.clone();
-            out_cols.push(spec.score_name.clone());
-            let table = ctx.materialize(&rs, &out_cols)?;
-            // The target's ratings extension survives (re-keyed onto the
-            // materialized output) so an upper rating-lookup can use it.
-            Ok(Rel {
-                table,
-                columns: out_cols,
-                extend: Some(te.clone()),
-            })
+                .map(|p| lower_predicate(p, schema))
+                .collect::<RelResult<Vec<_>>>()?;
+            Expr::conjoin(parts)
         }
-
-        RecMethod::Text(text_sim) => {
-            // External function over SQL-materialized inputs.
-            if t.extend.is_some() || c.extend.is_some() {
-                return unsupported("text similarity over extended inputs");
-            }
-            ctx.external.push(format!(
-                "text similarity {} between {}.{} and {}.{}",
-                text_sim.name(),
-                t.table,
-                spec.target_attr,
-                c.table,
-                spec.comparator_attr
-            ));
-            let t_tuples = load_tuples(ctx, &t)?;
-            let c_tuples = load_tuples(ctx, &c)?;
-            let t_schema = WfSchema {
-                columns: t
-                    .columns
-                    .iter()
-                    .map(|n| (n.clone(), WfType::Scalar))
-                    .collect(),
-            };
-            let c_schema = WfSchema {
-                columns: c
-                    .columns
-                    .iter()
-                    .map(|n| (n.clone(), WfType::Scalar))
-                    .collect(),
-            };
-            let t0 = Instant::now();
-            let scored = exec::recommend(&t_schema, t_tuples, &c_schema, &c_tuples, spec)
-                .map_err(CompileError::Rel)?;
-            let elapsed = t0.elapsed();
-            if cr_obs::enabled() {
-                metrics().step_ns.record_duration(elapsed);
-            }
-            ctx.steps.push(StepTiming {
-                label: "TextSim(ext)".to_owned(),
-                rows: scored.len(),
-                elapsed,
-            });
-            // Materialize the external result so parents keep composing.
-            let mut out_cols = t.columns.clone();
-            out_cols.push(spec.score_name.clone());
-            let rows: Vec<Vec<Value>> = scored
+        WfPredicate::Or(ps) => {
+            let parts = ps
                 .iter()
-                .map(|tu| {
-                    tu.iter()
-                        .map(|d| d.as_scalar().cloned().unwrap_or(Value::Null))
-                        .collect()
-                })
-                .collect();
-            let rs = synthetic_result(&out_cols, rows);
-            let table = ctx.materialize(&rs, &out_cols)?;
-            Ok(Rel {
-                table,
-                columns: out_cols,
-                extend: None,
-            })
+                .map(|p| lower_predicate(p, schema))
+                .collect::<RelResult<Vec<_>>>()?;
+            parts
+                .into_iter()
+                .reduce(|a, b| a.or(b))
+                .unwrap_or_else(|| Expr::lit(false))
         }
-
-        RecMethod::Set(_) => unsupported("set similarity runs on the direct executor"),
-    }
-}
-
-fn load_tuples(ctx: &mut Ctx<'_>, rel: &Rel) -> CResult<Vec<crate::datum::Tuple>> {
-    let sql = format!("SELECT * FROM {}", rel.table);
-    let rs = ctx.run_sql("LoadInput", &sql)?;
-    Ok(rs
-        .rows
-        .into_iter()
-        .map(|r| r.into_iter().map(Datum::Scalar).collect())
-        .collect())
-}
-
-fn synthetic_result(columns: &[String], rows: Vec<Vec<Value>>) -> ResultSet {
-    let cols: Vec<cr_relation::Column> = columns
-        .iter()
-        .enumerate()
-        .map(|(i, name)| {
-            // Infer column type from the first non-null value.
-            let dt = rows
-                .iter()
-                .filter_map(|r| r[i].data_type())
-                .next()
-                .unwrap_or(cr_relation::DataType::Text);
-            cr_relation::Column::new(name.clone(), dt)
-        })
-        .collect();
-    ResultSet {
-        schema: cr_relation::Schema::new(cols),
-        rows,
-    }
-}
-
-/// Compile a workflow to its SQL step list without executing the final
-/// read-back (dry run): useful for EXPLAIN-style tooling and tests.
-pub fn explain_sql(workflow: &Workflow, catalog: &Catalog) -> RelResult<Vec<String>> {
-    let run = compile_and_run(workflow, catalog)?;
-    Ok(run.sql_log)
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec;
     use crate::similarity::{RatingsSim, TextSim};
-    use crate::workflow::CmpOp;
+    use crate::workflow::{RecMethod, RecommendSpec};
     use cr_relation::Database;
     use std::collections::HashMap;
 
@@ -855,105 +516,200 @@ mod tests {
     }
 
     #[test]
-    fn cf_workflow_compiles_fully_to_sql() {
+    fn cf_workflow_lowers_to_plan() {
         let db = db();
-        let wf = cf_workflow();
-        let run = compile_and_run(&wf, &db.catalog()).unwrap();
-        assert!(run.fallback_reason.is_none(), "{:?}", run.fallback_reason);
-        assert!(run.external_steps.is_empty());
-        // Both the similarity self-join and the lookup aggregation are in
-        // the log.
-        let joined = run.sql_log.join("\n");
-        assert!(joined.contains("SQRT(SUM("), "{joined}");
-        assert!(joined.contains("AVG(r.Rating)"), "{joined}");
-        assert!(joined.contains("HAVING COUNT(*) >= 2"), "{joined}");
+        let plan = compile(&cf_workflow(), &db.catalog()).unwrap();
+        let text = plan.explain();
+        // Two Recommend operators (Figure 5b) and two ratings extends.
+        assert_eq!(text.matches("Recommend").count(), 2, "{text}");
+        assert_eq!(text.matches("Extend ratings").count(), 2, "{text}");
+        assert!(text.contains("rating_lookup"), "{text}");
+        assert!(text.contains("inverse_euclidean"), "{text}");
     }
 
     #[test]
-    fn compiled_equals_direct_for_cf() {
+    fn compiled_matches_interpreter_for_cf() {
         let db = db();
         let wf = cf_workflow();
         let direct = exec::execute(&wf, &db.catalog()).unwrap();
         let compiled = compile_and_run(&wf, &db.catalog()).unwrap();
-        let d: HashMap<Value, f64> = direct
-            .ranking("CourseID", "score")
-            .unwrap()
-            .into_iter()
-            .collect();
-        let c: HashMap<Value, f64> = compiled
+        assert_eq!(compiled.result, direct);
+    }
+
+    #[test]
+    fn compiled_matches_interpreter_in_parallel() {
+        let db = db();
+        let wf = cf_workflow();
+        let direct = exec::execute(&wf, &db.catalog()).unwrap();
+        for n in [2, 4] {
+            let opts = ExecOptions {
+                parallelism: n,
+                min_partition_rows: 1,
+            };
+            let compiled = compile_and_run_with(&wf, &db.catalog(), &opts).unwrap();
+            assert_eq!(compiled.result, direct, "parallelism={n}");
+        }
+    }
+
+    #[test]
+    fn cf_scores_are_correct() {
+        let db = db();
+        let run = compile_and_run(&cf_workflow(), &db.catalog()).unwrap();
+        let m: HashMap<Value, f64> = run
             .result
             .ranking("CourseID", "score")
             .unwrap()
             .into_iter()
             .collect();
-        assert_eq!(d.len(), c.len(), "direct {d:?} vs compiled {c:?}");
-        for (k, v) in &d {
-            assert!((c[k] - v).abs() < 1e-9, "score mismatch for {k}");
-        }
+        // Similar students = Bob (identical on 1,3) and Tim.
+        // Course 1: Bob 5.0, Tim 4.5 → 4.75.
+        assert!((m[&Value::Int(1)] - 4.75).abs() < 1e-9, "{m:?}");
+        assert!((m[&Value::Int(5)] - 5.0).abs() < 1e-9, "{m:?}");
     }
 
     #[test]
-    fn step_timings_cover_every_sql_call() {
+    fn step_timings_cover_all_phases() {
         let db = db();
-        let wf = cf_workflow();
-        let run = compile_and_run(&wf, &db.catalog()).unwrap();
-        // One timed step per SQL call (no external steps in pure CF).
-        assert_eq!(run.step_timings.len(), run.sql_log.len());
+        let run = compile_and_run(&cf_workflow(), &db.catalog()).unwrap();
         let labels: Vec<&str> = run.step_timings.iter().map(|s| s.label.as_str()).collect();
-        assert!(labels.contains(&"RatingsSim"), "{labels:?}");
-        assert!(labels.contains(&"RatingLookup"), "{labels:?}");
-        assert!(labels.contains(&"ReadBack"), "{labels:?}");
-        // Read-back rows equal the result tuple count.
-        let readback = run
-            .step_timings
-            .iter()
-            .find(|s| s.label == "ReadBack")
-            .unwrap();
-        assert_eq!(readback.rows, run.result.tuples.len());
+        assert_eq!(labels, vec!["Lower", "Optimize", "Execute"]);
+        assert_eq!(run.step_timings[2].rows, run.result.tuples.len());
         let breakdown = run.timing_breakdown();
-        assert!(breakdown.contains("RatingLookup"));
+        assert!(breakdown.contains("Execute"));
         assert!(breakdown.contains("total"));
     }
 
     #[test]
-    fn external_text_step_is_timed() {
+    fn fingerprint_is_stable_and_structural() {
         let db = db();
-        let wf = Workflow::new(
-            "related",
-            Node::Recommend {
-                target: Box::new(Node::Source {
-                    table: "Courses".into(),
-                }),
-                comparator: Box::new(Node::Select {
-                    input: Box::new(Node::Source {
-                        table: "Courses".into(),
-                    }),
-                    predicate: WfPredicate::eq("CourseID", 1i64),
-                }),
-                spec: RecommendSpec::new("Title", "Title", RecMethod::Text(TextSim::WordJaccard)),
+        let a = compile_and_run(&cf_workflow(), &db.catalog()).unwrap();
+        let b = compile_and_run(&cf_workflow(), &db.catalog()).unwrap();
+        assert_eq!(a.fingerprint, b.fingerprint);
+        // A different workflow fingerprints differently.
+        let other = Workflow::new(
+            "src",
+            Node::Source {
+                table: "Courses".into(),
             },
         );
-        let run = compile_and_run(&wf, &db.catalog()).unwrap();
-        assert!(run.step_timings.iter().any(|s| s.label == "TextSim(ext)"));
+        let c = compile_and_run(&other, &db.catalog()).unwrap();
+        assert_ne!(a.fingerprint, c.fingerprint);
     }
 
     #[test]
-    fn temp_tables_are_dropped() {
+    fn explain_sql_renders_plan_lines() {
         let db = db();
-        let wf = cf_workflow();
-        compile_and_run(&wf, &db.catalog()).unwrap();
-        assert!(
-            !db.catalog()
-                .table_names()
-                .iter()
-                .any(|t| t.starts_with("flexrecs_tmp")),
-            "{:?}",
-            db.catalog().table_names()
-        );
+        let lines = explain_sql(&cf_workflow(), &db.catalog()).unwrap();
+        assert!(lines
+            .iter()
+            .any(|l| l.trim_start().starts_with("Recommend")));
+        assert!(lines.iter().any(|l| l.trim_start().starts_with("Scan")));
+        // Children are indented below their parents.
+        assert!(lines[1].starts_with("  "), "{lines:?}");
     }
 
     #[test]
-    fn text_recommend_is_hybrid() {
+    fn exclude_seen_compiles_and_matches() {
+        let db = db();
+        let mut wf = cf_workflow();
+        if let Node::Recommend { spec, .. } = &mut wf.root {
+            spec.exclude_seen = Some(("CourseID".into(), "ratings".into()));
+        }
+        let direct = exec::execute(&wf, &db.catalog()).unwrap();
+        let compiled = compile_and_run(&wf, &db.catalog()).unwrap();
+        assert_eq!(compiled.result, direct);
+    }
+
+    #[test]
+    fn null_comparison_in_or_matches_interpreter() {
+        let db = db();
+        db.execute_sql("CREATE TABLE n (id INT PRIMARY KEY, x INT)")
+            .unwrap();
+        db.execute_sql("INSERT INTO n VALUES (1, NULL), (2, 7), (3, 0)")
+            .unwrap();
+        // x > 5 is NULL-false for id=1, but id < 2 rescues it through OR.
+        let wf = Workflow::new(
+            "nulls",
+            Node::Select {
+                input: Box::new(Node::Source { table: "n".into() }),
+                predicate: WfPredicate::Or(vec![
+                    WfPredicate::cmp("x", CmpOp::Gt, 5i64),
+                    WfPredicate::cmp("id", CmpOp::Lt, 2i64),
+                ]),
+            },
+        );
+        let direct = exec::execute(&wf, &db.catalog()).unwrap();
+        let compiled = compile_and_run(&wf, &db.catalog()).unwrap();
+        assert_eq!(compiled.result, direct);
+        assert_eq!(compiled.result.tuples.len(), 2); // ids 1 and 2
+    }
+
+    #[test]
+    fn join_on_nested_column_rejected() {
+        let db = db();
+        let wf = Workflow::new(
+            "bad",
+            Node::Join {
+                left: Box::new(extend_students()),
+                right: Box::new(extend_students()),
+                left_col: "ratings".into(),
+                right_col: "SuID".into(),
+            },
+        );
+        let err = compile(&wf, &db.catalog()).unwrap_err();
+        assert!(err.to_string().contains("not scalar"), "{err}");
+    }
+
+    #[test]
+    fn relational_only_workflow_matches_interpreter() {
+        let db = db();
+        let wf = Workflow::new(
+            "rel",
+            Node::Limit {
+                input: Box::new(Node::Join {
+                    left: Box::new(Node::Source {
+                        table: "Comments".into(),
+                    }),
+                    right: Box::new(Node::Source {
+                        table: "Courses".into(),
+                    }),
+                    left_col: "CourseID".into(),
+                    right_col: "CourseID".into(),
+                }),
+                k: 5,
+            },
+        );
+        let direct = exec::execute(&wf, &db.catalog()).unwrap();
+        let compiled = compile_and_run(&wf, &db.catalog()).unwrap();
+        assert_eq!(compiled.result, direct);
+        assert_eq!(compiled.result.tuples.len(), 5);
+    }
+
+    #[test]
+    fn union_and_projection_match_interpreter() {
+        let db = db();
+        let wf = Workflow::new(
+            "u",
+            Node::Project {
+                input: Box::new(Node::Union {
+                    left: Box::new(Node::Source {
+                        table: "Courses".into(),
+                    }),
+                    right: Box::new(Node::Source {
+                        table: "Courses".into(),
+                    }),
+                }),
+                columns: vec!["Title".into()],
+            },
+        );
+        let direct = exec::execute(&wf, &db.catalog()).unwrap();
+        let compiled = compile_and_run(&wf, &db.catalog()).unwrap();
+        assert_eq!(compiled.result, direct);
+        assert_eq!(compiled.result.tuples.len(), 8);
+    }
+
+    #[test]
+    fn text_similarity_matches_interpreter() {
         let db = db();
         let wf = Workflow::new(
             "related",
@@ -974,78 +730,10 @@ mod tests {
                     .top_k(3),
             },
         );
-        let run = compile_and_run(&wf, &db.catalog()).unwrap();
-        assert!(run.fallback_reason.is_none());
-        assert_eq!(run.external_steps.len(), 1);
-        assert!(!run.sql_log.is_empty());
-        let ranking = run.result.ranking("CourseID", "score").unwrap();
-        assert_eq!(ranking[0].0, Value::Int(2));
-    }
-
-    #[test]
-    fn multi_comparator_similarity_falls_back() {
-        let db = db();
-        let wf = Workflow::new(
-            "multi",
-            Node::Recommend {
-                target: Box::new(extend_students()),
-                comparator: Box::new(extend_students()), // 4 comparators
-                spec: RecommendSpec::new(
-                    "ratings",
-                    "ratings",
-                    RecMethod::Ratings {
-                        sim: RatingsSim::InverseEuclidean,
-                        min_common: 1,
-                    },
-                ),
-            },
-        );
-        let run = compile_and_run(&wf, &db.catalog()).unwrap();
-        assert!(run.fallback_reason.is_some());
-        // Fallback still returns correct results.
         let direct = exec::execute(&wf, &db.catalog()).unwrap();
-        assert_eq!(run.result.tuples.len(), direct.tuples.len());
-    }
-
-    #[test]
-    fn exclude_seen_falls_back() {
-        let db = db();
-        let mut wf = cf_workflow();
-        if let Node::Recommend { spec, .. } = &mut wf.root {
-            spec.exclude_seen = Some(("CourseID".into(), "ratings".into()));
-        }
-        let run = compile_and_run(&wf, &db.catalog()).unwrap();
-        assert!(run.fallback_reason.is_some());
-    }
-
-    #[test]
-    fn relational_only_workflow_compiles() {
-        let db = db();
-        let wf = Workflow::new(
-            "rel",
-            Node::Limit {
-                input: Box::new(Node::Join {
-                    left: Box::new(Node::Source {
-                        table: "Comments".into(),
-                    }),
-                    right: Box::new(Node::Source {
-                        table: "Courses".into(),
-                    }),
-                    left_col: "CourseID".into(),
-                    right_col: "CourseID".into(),
-                }),
-                k: 5,
-            },
-        );
-        let run = compile_and_run(&wf, &db.catalog()).unwrap();
-        assert!(run.fallback_reason.is_none());
-        assert_eq!(run.result.tuples.len(), 5);
-        // Joined duplicate column got a suffix.
-        assert!(run
-            .result
-            .schema
-            .columns
-            .iter()
-            .any(|(n, _)| n == "CourseID_2"));
+        let compiled = compile_and_run(&wf, &db.catalog()).unwrap();
+        assert_eq!(compiled.result, direct);
+        let ranking = compiled.result.ranking("CourseID", "score").unwrap();
+        assert_eq!(ranking[0].0, Value::Int(2));
     }
 }

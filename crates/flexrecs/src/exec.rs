@@ -317,7 +317,14 @@ fn eval_predicate(p: &WfPredicate, schema: &WfSchema, t: &Tuple) -> RelResult<bo
             if v.is_null() || value.is_null() {
                 return Ok(false);
             }
-            Ok(op.eval(v.total_cmp(value)))
+            // DATE attributes compare against integer literals (days since
+            // epoch), same coercion as the relational engine's expressions.
+            let (a, b) = match (v, value) {
+                (Value::Date(_), Value::Int(i)) => (v.clone(), Value::Date(*i as i32)),
+                (Value::Int(i), Value::Date(_)) => (Value::Date(*i as i32), value.clone()),
+                _ => (v.clone(), value.clone()),
+            };
+            Ok(op.eval(a.total_cmp(&b)))
         }
         WfPredicate::And(ps) => {
             for p in ps {

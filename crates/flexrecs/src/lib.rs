@@ -32,9 +32,13 @@
 pub mod compile;
 pub mod datum;
 pub mod exec;
-pub mod similarity;
 pub mod templates;
 pub mod workflow;
+
+/// The similarity function library now lives in `cr_relation` (the plan's
+/// Recommend operator calls it directly); re-exported here so workflow
+/// authors keep one import root.
+pub use cr_relation::similarity;
 
 pub use compile::{compile_and_run, CompiledRun, StepTiming};
 pub use datum::{Datum, Tuple, WfSchema, WfType};

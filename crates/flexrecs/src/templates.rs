@@ -288,6 +288,54 @@ pub fn item_item_cf(map: &SchemaMap, course_id: i64, k: usize) -> Workflow {
     )
 }
 
+/// Ratings-weighted item-item CF (Ray & Sharma's item-based scheme): each
+/// course carries its *rating vector* keyed by student, and similarity is
+/// computed over co-raters' actual rating values (cosine), not mere
+/// co-occurrence. Distinguishes "everyone took both" from "everyone who
+/// liked one liked the other" — the set-based [`item_item_cf`] can't tell
+/// these apart. `min_common` guards against spurious similarity from tiny
+/// overlap.
+pub fn item_item_cf_ratings(map: &SchemaMap, course_id: i64, k: usize) -> Workflow {
+    let courses_with_ratings = |pred: WfPredicate| Node::Select {
+        input: Box::new(Node::Extend {
+            input: Box::new(Node::Source {
+                table: map.courses.clone(),
+            }),
+            related_table: map.ratings_table.clone(),
+            fk_column: map.rating_course.clone(),
+            local_key: map.course_id.clone(),
+            key_column: map.rating_student.clone(),
+            rating_column: Some(map.rating_value.clone()),
+            as_name: "ratings".into(),
+        }),
+        predicate: pred,
+    };
+    Workflow::new(
+        "item-item-cf-ratings",
+        Node::Recommend {
+            target: Box::new(courses_with_ratings(WfPredicate::cmp(
+                &map.course_id,
+                CmpOp::NotEq,
+                course_id,
+            ))),
+            comparator: Box::new(courses_with_ratings(WfPredicate::eq(
+                &map.course_id,
+                course_id,
+            ))),
+            spec: RecommendSpec::new(
+                "ratings",
+                "ratings",
+                RecMethod::Ratings {
+                    sim: RatingsSim::Cosine,
+                    min_common: 2,
+                },
+            )
+            .top_k(k)
+            .score_as("score"),
+        },
+    )
+}
+
 /// Recommend a quarter in which to take `course_id`: rank `(Year, Term)`
 /// combinations by the average rating students gave the course when taking
 /// it then. Expressed as pure relational algebra + recommend-free
@@ -448,6 +496,22 @@ mod tests {
     }
 
     #[test]
+    fn item_item_ratings_template() {
+        let db = db();
+        let wf = item_item_cf_ratings(&SchemaMap::default(), 1, 5);
+        let direct = execute(&wf, &db.catalog()).unwrap();
+        let ranking = direct.ranking("CourseID", "score").unwrap();
+        // Courses 1 and 3 share four raters but with *anti-correlated*
+        // ratings for Ann (1.0 vs 5.0); cosine still ranks 3 first on this
+        // tiny corpus, but the score is strictly below the set-based 1.0.
+        assert!(!ranking.is_empty());
+        assert!(ranking.iter().all(|(_, s)| *s > 0.0 && *s <= 1.0 + 1e-9));
+        // And the plan path agrees byte-for-byte.
+        let compiled = crate::compile::compile_and_run(&wf, &db.catalog()).unwrap();
+        assert_eq!(compiled.result, direct);
+    }
+
+    #[test]
     fn quarter_recommendation_runs_as_sql() {
         let db = db();
         let sql = quarter_recommendation_sql(&SchemaMap::default(), 1);
@@ -477,6 +541,7 @@ mod tests {
             user_cf_weighted(&m, 1, 5, 10, 2),
             similar_students_by_courses(&m, 1, 5),
             item_item_cf(&m, 1, 5),
+            item_item_cf_ratings(&m, 1, 5),
             major_recommendation(&m, 1, 5, 2),
         ] {
             let text = wf.explain();

@@ -24,7 +24,6 @@ use std::fmt;
 use cr_relation::Value;
 
 use crate::datum::{WfSchema, WfType};
-use crate::similarity::{RatingsSim, SetSim, TextSim};
 
 /// Comparison operators for workflow predicates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -124,33 +123,10 @@ impl fmt::Display for WfPredicate {
 }
 
 /// How the recommend operator scores a target tuple against one comparator
-/// tuple.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum RecMethod {
-    /// Similarity between two scalar text attributes (Figure 5a).
-    Text(TextSim),
-    /// Similarity between two set-valued attributes (e.g. courses taken).
-    Set(SetSim),
-    /// Similarity between two ratings attributes (Figure 5b, lower
-    /// operator). `min_common` gates spurious matches.
-    Ratings { sim: RatingsSim, min_common: usize },
-    /// The comparator tuple's ratings attribute is *looked up* at the
-    /// target's key attribute: score = comparator.ratings[target.key]
-    /// (Figure 5b, upper operator — "a course's score is the average of
-    /// the ratings given by the similar students").
-    RatingLookup,
-}
-
-impl RecMethod {
-    pub fn name(&self) -> String {
-        match self {
-            RecMethod::Text(t) => format!("text:{}", t.name()),
-            RecMethod::Set(s) => format!("set:{}", s.name()),
-            RecMethod::Ratings { sim, .. } => format!("ratings:{}", sim.name()),
-            RecMethod::RatingLookup => "rating_lookup".into(),
-        }
-    }
-}
+/// tuple. This is the plan layer's [`cr_relation::plan::RecMethod`] —
+/// workflows share the type with the plan's `Recommend` operator so
+/// compilation carries the method through unchanged.
+pub use cr_relation::plan::RecMethod;
 
 /// How per-comparator scores combine into the target's final score.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -534,6 +510,7 @@ pub fn infer_schema(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::similarity::{RatingsSim, TextSim};
     use cr_relation::Database;
 
     fn db() -> Database {

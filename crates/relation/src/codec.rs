@@ -23,6 +23,8 @@ const TAG_INT: u8 = 3;
 const TAG_FLOAT: u8 = 4;
 const TAG_TEXT: u8 = 5;
 const TAG_DATE: u8 = 6;
+const TAG_SET: u8 = 7;
+const TAG_RATINGS: u8 = 8;
 
 fn corrupt(what: &str) -> RelError {
     RelError::Invalid(format!("codec: {what}"))
@@ -113,6 +115,21 @@ pub fn write_value(v: &Value, out: &mut Vec<u8>) {
             out.push(TAG_DATE);
             write_i64(i64::from(*d), out);
         }
+        Value::Set(s) => {
+            out.push(TAG_SET);
+            write_u64(s.len() as u64, out);
+            for v in s {
+                write_value(v, out);
+            }
+        }
+        Value::Ratings(r) => {
+            out.push(TAG_RATINGS);
+            write_u64(r.len() as u64, out);
+            for (k, rating) in r {
+                write_value(k, out);
+                out.extend_from_slice(&rating.to_bits().to_le_bytes());
+            }
+        }
     }
 }
 
@@ -144,6 +161,36 @@ pub fn read_value(buf: &[u8], pos: &mut usize) -> RelResult<Value> {
             i32::try_from(d)
                 .map(Value::Date)
                 .map_err(|_| corrupt("date out of range"))
+        }
+        TAG_SET => {
+            let n = read_u64(buf, pos)? as usize;
+            if n > buf.len().saturating_sub(*pos) {
+                return Err(corrupt("set length exceeds buffer"));
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(read_value(buf, pos)?);
+            }
+            Ok(Value::Set(items))
+        }
+        TAG_RATINGS => {
+            let n = read_u64(buf, pos)? as usize;
+            if n > buf.len().saturating_sub(*pos) {
+                return Err(corrupt("ratings length exceeds buffer"));
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = read_value(buf, pos)?;
+                let end = pos
+                    .checked_add(8)
+                    .filter(|&e| e <= buf.len())
+                    .ok_or_else(|| corrupt("rating truncated"))?;
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&buf[*pos..end]);
+                *pos = end;
+                items.push((k, f64::from_bits(u64::from_le_bytes(bytes))));
+            }
+            Ok(Value::Ratings(items))
         }
         other => Err(corrupt(&format!("unknown value tag {other}"))),
     }

@@ -11,7 +11,7 @@
 //! residual predicate is evaluated per row. This is what makes FlexRecs'
 //! compiled per-user queries cheap on paper-scale data.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt::{self, Write as _};
 use std::ops::Bound;
 use std::sync::{Arc, OnceLock};
@@ -20,7 +20,7 @@ use std::time::Instant;
 use crate::catalog::Catalog;
 use crate::error::{RelError, RelResult};
 use crate::expr::{BinOp, Expr};
-use crate::plan::{AggExpr, AggFn, JoinKind, LogicalPlan, SortKey};
+use crate::plan::{AggExpr, AggFn, JoinKind, LogicalPlan, RecAggPlan, RecMethod, RecSpec, SortKey};
 use crate::profile::OpProfile;
 use crate::row::Row;
 use crate::schema::Schema;
@@ -418,6 +418,29 @@ fn run(plan: &LogicalPlan, catalog: &Catalog, opts: &ExecOptions) -> RelResult<V
             rows.extend(run(right, catalog, opts)?);
             Ok(rows)
         }
+
+        LogicalPlan::Extend {
+            input,
+            related,
+            key_col,
+            rating,
+            ..
+        } => {
+            let input_rows = run(input, catalog, opts)?;
+            let related_rows = run(related, catalog, opts)?;
+            Ok(extend_rows_opt(input_rows, &related_rows, *key_col, *rating, opts)?.0)
+        }
+
+        LogicalPlan::Recommend {
+            target,
+            comparator,
+            spec,
+            ..
+        } => {
+            let target_rows = run(target, catalog, opts)?;
+            let comparator_rows = run(comparator, catalog, opts)?;
+            Ok(recommend_rows_opt(target_rows, &comparator_rows, spec, opts)?.0)
+        }
     }
 }
 
@@ -553,6 +576,49 @@ fn run_profiled(
             rows.extend(right_rows);
             (rows, "Union".to_owned(), Vec::new(), vec![lchild, rchild])
         }
+
+        LogicalPlan::Extend {
+            input,
+            related,
+            key_col,
+            rating,
+            as_name,
+            ..
+        } => {
+            let (input_rows, ichild) = run_profiled(input, catalog, opts)?;
+            let (related_rows, rchild) = run_profiled(related, catalog, opts)?;
+            let (rows, par) = extend_rows_opt(input_rows, &related_rows, *key_col, *rating, opts)?;
+            let mut detail = vec![
+                format!("kind={}", if *rating { "ratings" } else { "set" }),
+                format!("key=#{key_col}"),
+                format!("as={as_name}"),
+            ];
+            push_par_detail(&mut detail, &par);
+            (rows, "Extend".to_owned(), detail, vec![ichild, rchild])
+        }
+
+        LogicalPlan::Recommend {
+            target,
+            comparator,
+            spec,
+            ..
+        } => {
+            let (target_rows, tchild) = run_profiled(target, catalog, opts)?;
+            let (comparator_rows, cchild) = run_profiled(comparator, catalog, opts)?;
+            let (rows, par) = recommend_rows_opt(target_rows, &comparator_rows, spec, opts)?;
+            let mut detail = vec![
+                format!("method={}", spec.method.name()),
+                format!("agg={}", spec.agg),
+            ];
+            if let Some(k) = spec.k {
+                detail.push(format!("top={k}"));
+            }
+            if spec.exclude_seen.is_some() {
+                detail.push("exclude_seen".to_owned());
+            }
+            push_par_detail(&mut detail, &par);
+            (rows, "Recommend".to_owned(), detail, vec![tchild, cchild])
+        }
     };
     let profile = OpProfile {
         op,
@@ -630,6 +696,309 @@ fn limit_rows(rows: Vec<Row>, limit: Option<usize>, offset: usize) -> Vec<Row> {
         Some(n) => it.take(n).collect(),
         None => it.collect(),
     }
+}
+
+// ---------------------------------------------------------------------
+// FlexRecs operators: Extend (ε) and Recommend (▷)
+// ---------------------------------------------------------------------
+
+/// Treat a value as a scalar for the FlexRecs operators: nested
+/// Set/Ratings values are not scalars; everything else (including NULL)
+/// is. Mirrors the workflow layer's `Datum::as_scalar`.
+fn as_rec_scalar(v: &Value) -> Option<&Value> {
+    if v.is_nested() {
+        None
+    } else {
+        Some(v)
+    }
+}
+
+/// Build the fk → nested-attribute map from the related side's rows
+/// (`[fk, key]` for Set, `[fk, key, rating]` for Ratings). Related rows
+/// are consumed in input order, so the float accumulation order of
+/// duplicate-key rating averages is deterministic; set elements are sorted
+/// and deduplicated, ratings sorted by key.
+fn build_nest_map(related_rows: &[Row], rating: bool) -> RelResult<HashMap<Value, Value>> {
+    let mut map: HashMap<Value, Value> = HashMap::new();
+    if rating {
+        let mut acc: HashMap<Value, HashMap<Value, (f64, usize)>> = HashMap::new();
+        for row in related_rows {
+            if row[0].is_null() || row[2].is_null() {
+                continue;
+            }
+            let r = row[2].as_float()?;
+            let e = acc
+                .entry(row[0].clone())
+                .or_default()
+                .entry(row[1].clone())
+                .or_insert((0.0, 0));
+            e.0 += r;
+            e.1 += 1;
+        }
+        for (fk, per_key) in acc {
+            let mut v: Vec<(Value, f64)> = per_key
+                .into_iter()
+                .map(|(k, (sum, n))| (k, sum / n as f64))
+                .collect();
+            v.sort_by(|a, b| a.0.total_cmp(&b.0));
+            map.insert(fk, Value::Ratings(v));
+        }
+    } else {
+        let mut acc: HashMap<Value, Vec<Value>> = HashMap::new();
+        for row in related_rows {
+            if row[0].is_null() {
+                continue;
+            }
+            acc.entry(row[0].clone()).or_default().push(row[1].clone());
+        }
+        for (fk, mut v) in acc {
+            v.sort();
+            v.dedup();
+            map.insert(fk, Value::Set(v));
+        }
+    }
+    Ok(map)
+}
+
+/// Append the nested attribute to each input row by probing the nest map.
+fn extend_probe(
+    rows: Vec<Row>,
+    key_col: usize,
+    rating: bool,
+    map: &HashMap<Value, Value>,
+) -> RelResult<Vec<Row>> {
+    let mut out = Vec::with_capacity(rows.len());
+    for mut row in rows {
+        let key = as_rec_scalar(&row[key_col])
+            .ok_or_else(|| RelError::Invalid("extend key not scalar".into()))?;
+        let nested = match map.get(key) {
+            Some(v) => v.clone(),
+            None if rating => Value::Ratings(Vec::new()),
+            None => Value::Set(Vec::new()),
+        };
+        row.push(nested);
+        out.push(row);
+    }
+    Ok(out)
+}
+
+fn extend_rows(
+    input_rows: Vec<Row>,
+    related_rows: &[Row],
+    key_col: usize,
+    rating: bool,
+) -> RelResult<Vec<Row>> {
+    let map = build_nest_map(related_rows, rating)?;
+    extend_probe(input_rows, key_col, rating, &map)
+}
+
+/// [`extend_rows`], with the probe side partition-parallel when the
+/// options allow. The nest map is always built serially (fixed float
+/// accumulation order); probing is per-row independent and chunks
+/// reassemble in order, so output is byte-identical to serial.
+fn extend_rows_opt(
+    input_rows: Vec<Row>,
+    related_rows: &[Row],
+    key_col: usize,
+    rating: bool,
+    opts: &ExecOptions,
+) -> RelResult<(Vec<Row>, Option<ParInfo>)> {
+    let threads = opts.threads_for(input_rows.len());
+    if threads <= 1 {
+        return Ok((
+            extend_rows(input_rows, related_rows, key_col, rating)?,
+            None,
+        ));
+    }
+    let map = build_nest_map(related_rows, rating)?;
+    let map = &map;
+    let (parts, info) = run_partitioned(split_owned(input_rows, threads), |chunk| {
+        extend_probe(chunk, key_col, rating, map)
+    })?;
+    Ok((parts.into_iter().flatten().collect(), Some(info)))
+}
+
+/// Precomputed per-run state for the recommend operator: the exclusion
+/// key set and (for `RatingLookup`) one key → rating map per comparator.
+struct RecContext<'a> {
+    seen: HashSet<&'a Value>,
+    lookup: Vec<HashMap<&'a Value, f64>>,
+}
+
+fn build_rec_context<'a>(comparator_rows: &'a [Row], spec: &RecSpec) -> RecContext<'a> {
+    let mut seen: HashSet<&Value> = HashSet::new();
+    if let Some((_, c_idx)) = spec.exclude_seen {
+        for c in comparator_rows {
+            match &c[c_idx] {
+                Value::Set(items) => seen.extend(items.iter()),
+                Value::Ratings(r) => seen.extend(r.iter().map(|(k, _)| k)),
+                _ => {}
+            }
+        }
+    }
+    let lookup = if matches!(spec.method, RecMethod::RatingLookup) {
+        comparator_rows
+            .iter()
+            .map(|c| {
+                c[spec.comparator_col]
+                    .as_ratings()
+                    .map(|r| r.iter().map(|(k, v)| (k, *v)).collect())
+                    .unwrap_or_default()
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    RecContext { seen, lookup }
+}
+
+/// Score one target row against every comparator row. Returns `None` when
+/// the target is excluded, matched no comparator, or scored ≤ 0. Pure per
+/// target, which is what makes the parallel path trivially deterministic.
+fn score_target(
+    mut t: Row,
+    comparator_rows: &[Row],
+    spec: &RecSpec,
+    ctx: &RecContext<'_>,
+) -> Option<(f64, Row)> {
+    if let Some((t_idx, _)) = spec.exclude_seen {
+        if let Some(v) = as_rec_scalar(&t[t_idx]) {
+            if ctx.seen.contains(v) {
+                return None;
+            }
+        }
+    }
+    let mut acc_sum = 0.0;
+    let mut acc_weight = 0.0;
+    let mut acc_n = 0usize;
+    let mut acc_max = f64::NEG_INFINITY;
+    for (i, c) in comparator_rows.iter().enumerate() {
+        let score: Option<f64> = match &spec.method {
+            RecMethod::Text(sim) => match (
+                as_rec_scalar(&t[spec.target_col]),
+                as_rec_scalar(&c[spec.comparator_col]),
+            ) {
+                (Some(Value::Text(a)), Some(Value::Text(b))) => Some(sim.score(a, b)),
+                _ => None,
+            },
+            RecMethod::Set(sim) => {
+                match (t[spec.target_col].as_set(), c[spec.comparator_col].as_set()) {
+                    (Some(a), Some(b)) => Some(sim.score(a, b)),
+                    _ => None,
+                }
+            }
+            RecMethod::Ratings { sim, min_common } => match (
+                t[spec.target_col].as_ratings(),
+                c[spec.comparator_col].as_ratings(),
+            ) {
+                (Some(a), Some(b)) => Some(sim.score(a, b, *min_common)),
+                _ => None,
+            },
+            RecMethod::RatingLookup => {
+                as_rec_scalar(&t[spec.target_col]).and_then(|key| ctx.lookup[i].get(key).copied())
+            }
+        };
+        let weight = match spec.agg {
+            RecAggPlan::WeightedAvg { weight_col } => match as_rec_scalar(&c[weight_col]) {
+                Some(Value::Float(f)) => *f,
+                Some(Value::Int(n)) => *n as f64,
+                _ => 0.0,
+            },
+            _ => 1.0,
+        };
+        if let Some(s) = score {
+            acc_sum += s * weight;
+            acc_weight += weight;
+            acc_n += 1;
+            acc_max = acc_max.max(s);
+        }
+    }
+    if acc_n == 0 {
+        return None;
+    }
+    let final_score = match spec.agg {
+        RecAggPlan::Avg => acc_sum / acc_n as f64,
+        RecAggPlan::Sum => acc_sum,
+        RecAggPlan::Max => acc_max,
+        RecAggPlan::WeightedAvg { .. } => {
+            if acc_weight <= 0.0 {
+                return None;
+            }
+            acc_sum / acc_weight
+        }
+    };
+    if final_score <= 0.0 {
+        return None;
+    }
+    t.push(Value::float(final_score));
+    Some((final_score, t))
+}
+
+/// Sort scored targets by score descending (stable; ties broken by the
+/// first column when scalar) and apply top-k.
+fn finish_recommend(mut scored: Vec<(f64, Row)>, spec: &RecSpec) -> Vec<Row> {
+    use std::cmp::Ordering;
+    scored.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| {
+                match (
+                    a.1.first().and_then(as_rec_scalar),
+                    b.1.first().and_then(as_rec_scalar),
+                ) {
+                    (Some(x), Some(y)) => x.total_cmp(y),
+                    _ => Ordering::Equal,
+                }
+            })
+    });
+    if let Some(k) = spec.k {
+        scored.truncate(k);
+    }
+    scored.into_iter().map(|(_, r)| r).collect()
+}
+
+fn recommend_rows(
+    target_rows: Vec<Row>,
+    comparator_rows: &[Row],
+    spec: &RecSpec,
+) -> RelResult<Vec<Row>> {
+    let ctx = build_rec_context(comparator_rows, spec);
+    let mut scored = Vec::new();
+    for t in target_rows {
+        if let Some(s) = score_target(t, comparator_rows, spec, &ctx) {
+            scored.push(s);
+        }
+    }
+    Ok(finish_recommend(scored, spec))
+}
+
+/// [`recommend_rows`], scoring targets partition-parallel when the options
+/// allow. Chunk outputs concatenate in order (preserving original target
+/// order) before the stable final sort, so output is byte-identical to
+/// serial.
+fn recommend_rows_opt(
+    target_rows: Vec<Row>,
+    comparator_rows: &[Row],
+    spec: &RecSpec,
+    opts: &ExecOptions,
+) -> RelResult<(Vec<Row>, Option<ParInfo>)> {
+    let threads = opts.threads_for(target_rows.len());
+    if threads <= 1 {
+        return Ok((recommend_rows(target_rows, comparator_rows, spec)?, None));
+    }
+    let ctx = build_rec_context(comparator_rows, spec);
+    let ctx = &ctx;
+    let (parts, info) = run_partitioned(split_owned(target_rows, threads), |chunk| {
+        let mut part = Vec::new();
+        for t in chunk {
+            if let Some(s) = score_target(t, comparator_rows, spec, ctx) {
+                part.push(s);
+            }
+        }
+        Ok(part)
+    })?;
+    let scored: Vec<(f64, Row)> = parts.into_iter().flatten().collect();
+    Ok((finish_recommend(scored, spec), Some(info)))
 }
 
 // ---------------------------------------------------------------------
@@ -1475,6 +1844,7 @@ mod tests {
     use super::*;
     use crate::catalog::Database;
     use crate::plan::PlanBuilder;
+    use crate::schema::DataType;
 
     fn db() -> Database {
         let db = Database::new();
@@ -1862,6 +2232,263 @@ mod tests {
             .query_sql("SELECT * FROM courses")
             .unwrap();
         assert_eq!(rs, serial);
+    }
+
+    /// Fixture for the FlexRecs operators: students and the courses they
+    /// took, with ratings (one NULL, one duplicate enrollment).
+    fn nest_db() -> Database {
+        let db = Database::new();
+        db.execute_sql("CREATE TABLE students (sid INT PRIMARY KEY, name TEXT)")
+            .unwrap();
+        db.execute_sql("INSERT INTO students VALUES (1,'ann'),(2,'bob'),(3,'cat')")
+            .unwrap();
+        db.execute_sql(
+            "CREATE TABLE taken (tid INT PRIMARY KEY, sid INT, course INT, rating FLOAT)",
+        )
+        .unwrap();
+        db.execute_sql(
+            "INSERT INTO taken VALUES \
+             (1,1,101,5.0),(2,1,102,3.0),(3,2,101,4.0),(4,2,103,2.0),\
+             (5,3,102,NULL),(6,1,101,3.0)",
+        )
+        .unwrap();
+        db
+    }
+
+    fn extend_students(db: &Database, rating: bool) -> crate::plan::LogicalPlan {
+        let cols: &[&str] = if rating {
+            &["sid", "course", "rating"]
+        } else {
+            &["sid", "course"]
+        };
+        let related = PlanBuilder::scan(&db.catalog(), "taken")
+            .unwrap()
+            .select_columns(cols)
+            .unwrap();
+        PlanBuilder::scan(&db.catalog(), "students")
+            .unwrap()
+            .extend(related, "sid", rating, "courses")
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn extend_set_nests_sorted_deduped() {
+        let db = nest_db();
+        let rs = db.run_plan(&extend_students(&db, false)).unwrap();
+        assert_eq!(rs.schema.column(2).name, "courses");
+        assert_eq!(rs.schema.column(2).data_type, DataType::Set);
+        // ann took 101 twice + 102 → deduped sorted {101, 102}.
+        assert_eq!(
+            rs.rows[0][2],
+            Value::Set(vec![Value::Int(101), Value::Int(102)])
+        );
+        assert_eq!(
+            rs.rows[1][2],
+            Value::Set(vec![Value::Int(101), Value::Int(103)])
+        );
+        // cat's only enrollment has NULL rating but the course id exists.
+        assert_eq!(rs.rows[2][2], Value::Set(vec![Value::Int(102)]));
+    }
+
+    #[test]
+    fn extend_ratings_averages_and_skips_nulls() {
+        let db = nest_db();
+        let rs = db.run_plan(&extend_students(&db, true)).unwrap();
+        assert_eq!(rs.schema.column(2).data_type, DataType::Ratings);
+        // ann rated 101 twice (5.0, 3.0) → avg 4.0.
+        assert_eq!(
+            rs.rows[0][2],
+            Value::Ratings(vec![(Value::Int(101), 4.0), (Value::Int(102), 3.0)])
+        );
+        // cat's single enrollment has a NULL rating → empty ratings.
+        assert_eq!(rs.rows[2][2], Value::Ratings(vec![]));
+    }
+
+    #[test]
+    fn recommend_set_similarity_ranks_peers() {
+        let db = nest_db();
+        let targets = PlanBuilder::from_plan(extend_students(&db, false));
+        let comparators = PlanBuilder::from_plan(extend_students(&db, false))
+            .filter(Expr::col("name").eq(Expr::lit("ann")))
+            .unwrap();
+        let spec = RecSpec {
+            target_col: 2,
+            comparator_col: 2,
+            method: RecMethod::Set(crate::similarity::SetSim::Jaccard),
+            agg: RecAggPlan::Max,
+            k: None,
+            score_name: "score".into(),
+            exclude_seen: None,
+        };
+        let plan = targets.recommend(comparators, spec).unwrap().build();
+        let rs = db.run_plan(&plan).unwrap();
+        assert_eq!(rs.schema.column(3).name, "score");
+        // ann vs ann: jaccard 1.0; bob {101,103} vs {101,102}: 1/3;
+        // cat {102}: 1/2. Sorted descending: ann, cat, bob.
+        let names: Vec<&str> = rs.rows.iter().map(|r| r[1].as_text().unwrap()).collect();
+        assert_eq!(names, vec!["ann", "cat", "bob"]);
+        assert_eq!(rs.rows[0][3], Value::Float(1.0));
+    }
+
+    #[test]
+    fn recommend_rating_lookup_with_exclude_seen() {
+        let db = nest_db();
+        // Targets: the courses themselves; comparators: ann's ratings row.
+        let targets = PlanBuilder::scan(&db.catalog(), "taken")
+            .unwrap()
+            .select_columns(&["course"])
+            .unwrap();
+        let ann = PlanBuilder::from_plan(extend_students(&db, true))
+            .filter(Expr::col("name").eq(Expr::lit("ann")))
+            .unwrap();
+        let spec = RecSpec {
+            target_col: 0,
+            comparator_col: 2,
+            method: RecMethod::RatingLookup,
+            agg: RecAggPlan::Avg,
+            k: Some(10),
+            score_name: "score".into(),
+            exclude_seen: None,
+        };
+        let rs = db
+            .run_plan(&targets.recommend(ann, spec).unwrap().build())
+            .unwrap();
+        // Courses ann rated: 101→4.0, 102→3.0; 103 has no lookup → dropped.
+        // Every `taken` row for 101/102 scores; 101 appears 3×, 102 2×.
+        assert_eq!(rs.rows.len(), 5);
+        assert_eq!(rs.rows[0][0], Value::Int(101));
+        assert_eq!(rs.rows[0][1], Value::Float(4.0));
+        // exclude_seen against ann's ratings drops 101 and 102 entirely.
+        let targets2 = PlanBuilder::scan(&db.catalog(), "taken")
+            .unwrap()
+            .select_columns(&["course"])
+            .unwrap();
+        let ann2 = PlanBuilder::from_plan(extend_students(&db, true))
+            .filter(Expr::col("name").eq(Expr::lit("ann")))
+            .unwrap();
+        let spec2 = RecSpec {
+            target_col: 0,
+            comparator_col: 2,
+            method: RecMethod::RatingLookup,
+            agg: RecAggPlan::Avg,
+            k: None,
+            score_name: "score".into(),
+            exclude_seen: Some((0, 2)),
+        };
+        let rs2 = db
+            .run_plan(&targets2.recommend(ann2, spec2).unwrap().build())
+            .unwrap();
+        assert!(rs2.rows.is_empty(), "all rated courses excluded: {rs2:?}");
+    }
+
+    #[test]
+    fn recommend_weighted_avg_and_nonpositive_dropped() {
+        let db = nest_db();
+        // Score students against each other by ratings similarity, weighting
+        // by sid (a stand-in for an upstream score column).
+        let targets = PlanBuilder::from_plan(extend_students(&db, true));
+        let comparators = PlanBuilder::from_plan(extend_students(&db, true));
+        let spec = RecSpec {
+            target_col: 2,
+            comparator_col: 2,
+            method: RecMethod::Ratings {
+                sim: crate::similarity::RatingsSim::InverseEuclidean,
+                min_common: 1,
+            },
+            agg: RecAggPlan::WeightedAvg { weight_col: 0 },
+            k: None,
+            score_name: "s".into(),
+            exclude_seen: None,
+        };
+        let rs = db
+            .run_plan(&targets.recommend(comparators, spec).unwrap().build())
+            .unwrap();
+        // cat has an empty ratings attr: inverse-euclidean with no common
+        // keys scores 0 against everyone → dropped (score <= 0).
+        assert!(rs.rows.iter().all(|r| r[1] != Value::text("cat")));
+        assert!(!rs.rows.is_empty());
+        for r in &rs.rows {
+            assert!(r[3].as_float().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn extend_recommend_parallel_match_serial() {
+        let db = nest_db();
+        let mk = || {
+            let targets = PlanBuilder::from_plan(extend_students(&db, false));
+            let comparators = PlanBuilder::from_plan(extend_students(&db, false));
+            let spec = RecSpec {
+                target_col: 2,
+                comparator_col: 2,
+                method: RecMethod::Set(crate::similarity::SetSim::Dice),
+                agg: RecAggPlan::Avg,
+                k: Some(2),
+                score_name: "score".into(),
+                exclude_seen: None,
+            };
+            targets.recommend(comparators, spec).unwrap().build()
+        };
+        let plan = mk();
+        let serial = db.run_plan(&plan).unwrap();
+        for n in [2, 3, 8] {
+            let parallel = db.run_plan_with(&plan, &par(n)).unwrap();
+            assert_eq!(parallel, serial, "parallelism={n}");
+        }
+    }
+
+    #[test]
+    fn extend_key_must_be_scalar() {
+        let db = nest_db();
+        // Extending on the nested column itself errors.
+        let base = PlanBuilder::from_plan(extend_students(&db, false));
+        let related = PlanBuilder::scan(&db.catalog(), "taken")
+            .unwrap()
+            .select_columns(&["sid", "course"])
+            .unwrap();
+        let plan = base
+            .extend(related, "courses", false, "again")
+            .unwrap()
+            .build();
+        let err = db.run_plan(&plan).unwrap_err();
+        assert!(err.to_string().contains("not scalar"), "{err}");
+    }
+
+    #[test]
+    fn extend_recommend_profiled_render() {
+        let db = nest_db();
+        let targets = PlanBuilder::from_plan(extend_students(&db, true));
+        let comparators = PlanBuilder::from_plan(extend_students(&db, true));
+        let spec = RecSpec {
+            target_col: 2,
+            comparator_col: 2,
+            method: RecMethod::Ratings {
+                sim: crate::similarity::RatingsSim::Pearson,
+                min_common: 2,
+            },
+            agg: RecAggPlan::Max,
+            k: Some(3),
+            score_name: "score".into(),
+            exclude_seen: None,
+        };
+        let plan = targets.recommend(comparators, spec).unwrap().build();
+        let (rs, profile) = db.run_plan_instrumented(&plan).unwrap();
+        assert_eq!(profile.rows_out, rs.rows.len());
+        let rec = profile.find("Recommend").expect("recommend profiled");
+        assert_eq!(rec.children.len(), 2);
+        assert!(
+            rec.detail.iter().any(|d| d.contains("ratings:pearson")),
+            "detail: {:?}",
+            rec.detail
+        );
+        assert!(rec.detail.iter().any(|d| d == "top=3"), "{:?}", rec.detail);
+        let ext = profile.find("Extend").expect("extend profiled");
+        assert!(
+            ext.detail.iter().any(|d| d == "kind=ratings"),
+            "detail: {:?}",
+            ext.detail
+        );
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod plan;
 pub mod profile;
 pub mod row;
 pub mod schema;
+pub mod similarity;
 pub mod sql;
 pub mod table;
 pub mod value;
@@ -65,4 +66,5 @@ pub use plan::{LogicalPlan, PlanBuilder};
 pub use profile::OpProfile;
 pub use row::Row;
 pub use schema::{Column, DataType, Schema};
+pub use similarity::{RatingsSim, SetSim, TextSim};
 pub use value::Value;

@@ -33,6 +33,7 @@ use crate::schema::{Column, DataType, Schema};
 #[cfg_attr(not(test), allow(unused_imports))]
 use super::logical::AggFn;
 use super::logical::{AggExpr, JoinKind, LogicalPlan, SortKey};
+use super::rec::{RecAggPlan, RecSpec};
 
 /// Fluent builder over [`LogicalPlan`].
 #[derive(Debug, Clone)]
@@ -267,6 +268,86 @@ impl PlanBuilder {
                 offset,
             },
         }
+    }
+
+    /// The FlexRecs ε operator: append a set/ratings attribute built from
+    /// `related`, whose rows must be `[fk, key]` (`rating = false`) or
+    /// `[fk, key, rating]` (`rating = true`). `key_col` names the input
+    /// column the related `fk` matches.
+    pub fn extend(
+        self,
+        related: PlanBuilder,
+        key_col: &str,
+        rating: bool,
+        as_name: &str,
+    ) -> RelResult<Self> {
+        let (q, n) = match key_col.split_once('.') {
+            Some((q, n)) => (Some(q), n),
+            None => (None, key_col),
+        };
+        let key_idx = self.plan.schema().resolve(q, n)?;
+        let want = if rating { 3 } else { 2 };
+        if related.plan.schema().len() != want {
+            return Err(RelError::Invalid(format!(
+                "extend related side must have {want} columns (fk, key{}), got {}",
+                if rating { ", rating" } else { "" },
+                related.plan.schema().len()
+            )));
+        }
+        let mut schema = self.plan.schema().clone();
+        let dt = if rating {
+            DataType::Ratings
+        } else {
+            DataType::Set
+        };
+        schema.push(Column::new(as_name, dt), None);
+        Ok(PlanBuilder {
+            plan: LogicalPlan::Extend {
+                input: Box::new(self.plan),
+                related: Box::new(related.plan),
+                key_col: key_idx,
+                rating,
+                as_name: as_name.to_owned(),
+                schema,
+            },
+        })
+    }
+
+    /// The FlexRecs ▷ operator: score this plan's rows (the targets)
+    /// against `comparator`'s rows and append a Float score column. The
+    /// spec's column positions must already be resolved against the two
+    /// input schemas.
+    pub fn recommend(self, comparator: PlanBuilder, spec: RecSpec) -> RelResult<Self> {
+        let t_len = self.plan.schema().len();
+        let c_len = comparator.plan.schema().len();
+        let check = |col: usize, len: usize, what: &str| {
+            if col >= len {
+                Err(RelError::Invalid(format!(
+                    "recommend {what} column #{col} out of range (width {len})"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        check(spec.target_col, t_len, "target")?;
+        check(spec.comparator_col, c_len, "comparator")?;
+        if let RecAggPlan::WeightedAvg { weight_col } = spec.agg {
+            check(weight_col, c_len, "weight")?;
+        }
+        if let Some((t, c)) = spec.exclude_seen {
+            check(t, t_len, "exclude_seen target")?;
+            check(c, c_len, "exclude_seen comparator")?;
+        }
+        let mut schema = self.plan.schema().clone();
+        schema.push(Column::new(&spec.score_name, DataType::Float), None);
+        Ok(PlanBuilder {
+            plan: LogicalPlan::Recommend {
+                target: Box::new(self.plan),
+                comparator: Box::new(comparator.plan),
+                spec,
+                schema,
+            },
+        })
     }
 
     /// Bag union with a compatible plan.

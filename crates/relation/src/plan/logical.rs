@@ -6,6 +6,8 @@ use crate::expr::Expr;
 use crate::row::Row;
 use crate::schema::{Column, DataType, Schema};
 
+use super::rec::RecSpec;
+
 /// Join kinds supported by the engine. `Inner` covers the FlexRecs compile
 /// target; `LeftOuter` is needed by CourseRank's requirement audit ("show
 /// each requirement, matched courses or NULL").
@@ -128,6 +130,34 @@ pub enum LogicalPlan {
         left: Box<LogicalPlan>,
         right: Box<LogicalPlan>,
     },
+    /// The FlexRecs ε operator: nest related tuples as a set/ratings
+    /// attribute appended to each input row. `related` produces rows of
+    /// shape `[fk, key]` (→ Set of keys) or `[fk, key, rating]` (→ Ratings
+    /// key → avg rating); for each input row, related rows whose `fk`
+    /// equals the input's `key_col` value are collected. Keeping the
+    /// related side a sub-plan lets the optimizer prune and push filters
+    /// into its scan like any other input.
+    Extend {
+        input: Box<LogicalPlan>,
+        related: Box<LogicalPlan>,
+        /// Column of `input` the related `fk` matches.
+        key_col: usize,
+        /// True → Ratings attribute, false → Set attribute.
+        rating: bool,
+        /// Name of the appended column.
+        as_name: String,
+        schema: Schema,
+    },
+    /// The FlexRecs ▷ operator: score each target row against all
+    /// comparator rows via a similarity method, blend the per-comparator
+    /// scores, drop non-positive scores, sort descending, and optionally
+    /// keep the top k. Appends the score as a Float column.
+    Recommend {
+        target: Box<LogicalPlan>,
+        comparator: Box<LogicalPlan>,
+        spec: RecSpec,
+        schema: Schema,
+    },
 }
 
 impl LogicalPlan {
@@ -143,6 +173,8 @@ impl LogicalPlan {
             LogicalPlan::Limit { input, .. } => input.schema(),
             LogicalPlan::Values { schema, .. } => schema,
             LogicalPlan::Union { left, .. } => left.schema(),
+            LogicalPlan::Extend { schema, .. } => schema,
+            LogicalPlan::Recommend { schema, .. } => schema,
         }
     }
 
@@ -165,6 +197,16 @@ impl LogicalPlan {
                 s
             }
         }
+    }
+
+    /// Stable-within-a-process fingerprint of the plan's structure, used as
+    /// a cache key (combined with table versions) by result caches. Two
+    /// structurally identical plans fingerprint identically.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        format!("{self:?}").hash(&mut h);
+        h.finish()
     }
 
     /// Pretty indented EXPLAIN-style rendering.
@@ -259,6 +301,29 @@ impl LogicalPlan {
                 let _ = writeln!(out, "{pad}Union");
                 left.explain_into(depth + 1, out);
                 right.explain_into(depth + 1, out);
+            }
+            LogicalPlan::Extend {
+                input,
+                related,
+                key_col,
+                rating,
+                as_name,
+                ..
+            } => {
+                let kind = if *rating { "ratings" } else { "set" };
+                let _ = writeln!(out, "{pad}Extend {kind} AS {as_name} key=#{key_col}");
+                input.explain_into(depth + 1, out);
+                related.explain_into(depth + 1, out);
+            }
+            LogicalPlan::Recommend {
+                target,
+                comparator,
+                spec,
+                ..
+            } => {
+                let _ = writeln!(out, "{pad}Recommend {}", spec.describe());
+                target.explain_into(depth + 1, out);
+                comparator.explain_into(depth + 1, out);
             }
         }
     }

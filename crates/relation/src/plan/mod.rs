@@ -9,6 +9,8 @@
 mod builder;
 mod logical;
 pub mod optimizer;
+pub mod rec;
 
 pub use builder::{infer_expr_type, PlanBuilder};
 pub use logical::{AggExpr, AggFn, JoinKind, LogicalPlan, SortKey};
+pub use rec::{RecAggPlan, RecMethod, RecSpec};

@@ -162,6 +162,95 @@ fn push_filter(input: LogicalPlan, predicate: Expr) -> LogicalPlan {
             }
         }
 
+        // Filter ∘ Extend → conjuncts that don't touch the appended nested
+        // column (always the last) filter the same rows whether they run
+        // before or after nesting, so they sink into the input side.
+        LogicalPlan::Extend {
+            input,
+            related,
+            key_col,
+            rating,
+            as_name,
+            schema,
+        } => {
+            let input_width = schema.len() - 1;
+            let mut below = Vec::new();
+            let mut keep = Vec::new();
+            for part in predicate.split_conjunction() {
+                let mut cols = Vec::new();
+                part.referenced_columns(&mut cols);
+                if cols.iter().all(|&c| c < input_width) {
+                    below.push(part);
+                } else {
+                    keep.push(part);
+                }
+            }
+            let new_input = if below.is_empty() {
+                *input
+            } else {
+                push_filter(*input, Expr::conjoin(below))
+            };
+            let extended = LogicalPlan::Extend {
+                input: Box::new(new_input),
+                related,
+                key_col,
+                rating,
+                as_name,
+                schema,
+            };
+            if keep.is_empty() {
+                extended
+            } else {
+                LogicalPlan::Filter {
+                    input: Box::new(extended),
+                    predicate: Expr::conjoin(keep),
+                }
+            }
+        }
+
+        // Filter ∘ Recommend → target-only conjuncts (not touching the
+        // appended score column) sink into the target side, but only when
+        // there is no top-k: with top-k, filtering before scoring changes
+        // *which* rows make the cut, not just which survive the filter.
+        LogicalPlan::Recommend {
+            target,
+            comparator,
+            spec,
+            schema,
+        } if spec.k.is_none() => {
+            let target_width = schema.len() - 1;
+            let mut below = Vec::new();
+            let mut keep = Vec::new();
+            for part in predicate.split_conjunction() {
+                let mut cols = Vec::new();
+                part.referenced_columns(&mut cols);
+                if cols.iter().all(|&c| c < target_width) {
+                    below.push(part);
+                } else {
+                    keep.push(part);
+                }
+            }
+            let new_target = if below.is_empty() {
+                *target
+            } else {
+                push_filter(*target, Expr::conjoin(below))
+            };
+            let rec = LogicalPlan::Recommend {
+                target: Box::new(new_target),
+                comparator,
+                spec,
+                schema,
+            };
+            if keep.is_empty() {
+                rec
+            } else {
+                LogicalPlan::Filter {
+                    input: Box::new(rec),
+                    predicate: Expr::conjoin(keep),
+                }
+            }
+        }
+
         // Anything else: leave the filter in place.
         other => LogicalPlan::Filter {
             input: Box::new(other),
@@ -182,6 +271,28 @@ fn prune_projections(plan: LogicalPlan) -> LogicalPlan {
             return p;
         };
         match *input {
+            // Project ∘ Extend where no expression reads the nested column
+            // (always the last): the whole Extend — nest-map build included —
+            // is dead work. Dropping it leaves column indices unchanged.
+            LogicalPlan::Extend {
+                input: ext_input,
+                schema: ext_schema,
+                ..
+            } if {
+                let nested_col = ext_schema.len() - 1;
+                let mut used = Vec::new();
+                for (e, _) in &exprs {
+                    e.referenced_columns(&mut used);
+                }
+                !used.contains(&nested_col)
+            } =>
+            {
+                LogicalPlan::Project {
+                    input: ext_input,
+                    exprs,
+                    schema,
+                }
+            }
             LogicalPlan::Scan {
                 table,
                 alias,
@@ -296,6 +407,32 @@ fn map_children(plan: LogicalPlan, f: &dyn Fn(LogicalPlan) -> LogicalPlan) -> Lo
         LogicalPlan::Union { left, right } => LogicalPlan::Union {
             left: Box::new(map_children(*left, f)),
             right: Box::new(map_children(*right, f)),
+        },
+        LogicalPlan::Extend {
+            input,
+            related,
+            key_col,
+            rating,
+            as_name,
+            schema,
+        } => LogicalPlan::Extend {
+            input: Box::new(map_children(*input, f)),
+            related: Box::new(map_children(*related, f)),
+            key_col,
+            rating,
+            as_name,
+            schema,
+        },
+        LogicalPlan::Recommend {
+            target,
+            comparator,
+            spec,
+            schema,
+        } => LogicalPlan::Recommend {
+            target: Box::new(map_children(*target, f)),
+            comparator: Box::new(map_children(*comparator, f)),
+            spec,
+            schema,
         },
         leaf => leaf,
     };
@@ -462,6 +599,172 @@ mod tests {
                 other => panic!("expected pruned Scan, got {}", other.explain()),
             },
             other => panic!("expected Project, got {}", other.explain()),
+        }
+    }
+
+    fn extend_setup() -> Catalog {
+        let c = setup();
+        c.create_table(
+            "taken",
+            Schema::qualified(
+                "taken",
+                vec![
+                    Column::not_null("sid", DataType::Int),
+                    Column::new("course", DataType::Int),
+                ],
+            ),
+            vec![0],
+        )
+        .unwrap();
+        c
+    }
+
+    fn extended(c: &Catalog) -> PlanBuilder {
+        let related = PlanBuilder::scan(c, "taken").unwrap();
+        PlanBuilder::scan(c, "t")
+            .unwrap()
+            .extend(related, "id", false, "nested")
+            .unwrap()
+    }
+
+    #[test]
+    fn filter_pushes_through_extend() {
+        let c = extend_setup();
+        let plan = extended(&c)
+            .filter(Expr::col("units").gt(Expr::lit(3i64)))
+            .unwrap()
+            .build();
+        let opt = optimize(plan);
+        // The predicate only touches input columns → sinks into the input
+        // scan; the Extend floats to the root.
+        match &opt {
+            LogicalPlan::Extend { input, .. } => assert!(matches!(
+                **input,
+                LogicalPlan::Scan {
+                    filter: Some(_),
+                    ..
+                }
+            )),
+            other => panic!("expected Extend at root, got {}", other.explain()),
+        }
+    }
+
+    #[test]
+    fn filter_on_nested_column_stays_above_extend() {
+        let c = extend_setup();
+        // Column #3 is the appended nested attribute.
+        let plan = extended(&c)
+            .filter(Expr::col_idx(3).eq(Expr::col_idx(3)))
+            .unwrap()
+            .build();
+        let opt = optimize(plan);
+        assert!(
+            matches!(opt, LogicalPlan::Filter { .. }),
+            "got {}",
+            opt.explain()
+        );
+    }
+
+    #[test]
+    fn filter_pushes_through_recommend_without_topk() {
+        use crate::plan::{RecAggPlan, RecMethod, RecSpec};
+        use crate::similarity::SetSim;
+        let c = extend_setup();
+        let mk_spec = |k| RecSpec {
+            target_col: 3,
+            comparator_col: 3,
+            method: RecMethod::Set(SetSim::Jaccard),
+            agg: RecAggPlan::Max,
+            k,
+            score_name: "score".into(),
+            exclude_seen: None,
+        };
+        let plan = extended(&c)
+            .recommend(extended(&c), mk_spec(None))
+            .unwrap()
+            .filter(Expr::col("units").gt(Expr::lit(3i64)))
+            .unwrap()
+            .build();
+        match optimize(plan) {
+            LogicalPlan::Recommend { target, .. } => assert!(
+                matches!(*target, LogicalPlan::Extend { .. }),
+                "target-only filter should have sunk below Recommend"
+            ),
+            other => panic!("expected Recommend at root, got {}", other.explain()),
+        }
+        // With top-k, pre-filtering would change which rows make the cut:
+        // the filter must stay above.
+        let plan = extended(&c)
+            .recommend(extended(&c), mk_spec(Some(5)))
+            .unwrap()
+            .filter(Expr::col("units").gt(Expr::lit(3i64)))
+            .unwrap()
+            .build();
+        let opt = optimize(plan);
+        assert!(
+            matches!(opt, LogicalPlan::Filter { .. }),
+            "got {}",
+            opt.explain()
+        );
+    }
+
+    #[test]
+    fn dead_extend_eliminated_under_projection() {
+        let c = extend_setup();
+        let plan = extended(&c)
+            .project(vec![(Expr::col("id"), "id"), (Expr::col("dep"), "dep")])
+            .unwrap()
+            .build();
+        let opt = optimize(plan);
+        // No projection expression reads the nested column → the Extend
+        // (and its nest-map build) disappears entirely.
+        fn has_extend(p: &LogicalPlan) -> bool {
+            match p {
+                LogicalPlan::Extend { .. } => true,
+                LogicalPlan::Project { input, .. }
+                | LogicalPlan::Filter { input, .. }
+                | LogicalPlan::Sort { input, .. }
+                | LogicalPlan::Limit { input, .. } => has_extend(input),
+                _ => false,
+            }
+        }
+        assert!(!has_extend(&opt), "got {}", opt.explain());
+        // But a projection that does read it keeps the Extend.
+        let plan = extended(&c)
+            .project(vec![(Expr::col("nested"), "nested")])
+            .unwrap()
+            .build();
+        let opt = optimize(plan);
+        assert!(has_extend(&opt), "got {}", opt.explain());
+    }
+
+    #[test]
+    fn optimizer_recurses_into_extend_subtrees() {
+        let c = extend_setup();
+        // A filter stacked inside the related side must still merge into
+        // its scan (regression guard: map_children must recurse into
+        // Extend/Recommend children, not treat them as leaves).
+        let related = PlanBuilder::scan(&c, "taken")
+            .unwrap()
+            .filter(Expr::col("course").gt(Expr::lit(0i64)))
+            .unwrap();
+        let plan = PlanBuilder::scan(&c, "t")
+            .unwrap()
+            .extend(related, "id", false, "nested")
+            .unwrap()
+            .build();
+        match optimize(plan) {
+            LogicalPlan::Extend { related, .. } => assert!(
+                matches!(
+                    *related,
+                    LogicalPlan::Scan {
+                        filter: Some(_),
+                        ..
+                    }
+                ),
+                "related-side filter should merge into its scan"
+            ),
+            other => panic!("expected Extend, got {}", other.explain()),
         }
     }
 

@@ -1,0 +1,112 @@
+//! Parameterization of the plan-level `Recommend` operator.
+//!
+//! The paper's recommend operator (▷ in Figure 5) "takes as input a set of
+//! tuples and ranks them by comparing them to another set of tuples",
+//! calling "functions in a library that implement common tasks for
+//! recommendations". [`RecMethod`] selects the library function;
+//! [`RecAggPlan`] says how per-comparator scores blend into one score per
+//! target. Unlike the FlexRecs workflow algebra (which names attributes),
+//! everything here is **positional** — plan expressions are bound.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::similarity::{RatingsSim, SetSim, TextSim};
+
+/// How the recommend operator scores a target tuple against one comparator
+/// tuple.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RecMethod {
+    /// Similarity between two scalar text attributes (Figure 5a).
+    Text(TextSim),
+    /// Similarity between two set-valued attributes (e.g. courses taken).
+    Set(SetSim),
+    /// Similarity between two ratings attributes (Figure 5b, lower
+    /// operator). `min_common` gates spurious matches.
+    Ratings { sim: RatingsSim, min_common: usize },
+    /// The comparator tuple's ratings attribute is *looked up* at the
+    /// target's key attribute: score = comparator.ratings[target.key]
+    /// (Figure 5b, upper operator — "a course's score is the average of
+    /// the ratings given by the similar students").
+    RatingLookup,
+}
+
+impl RecMethod {
+    pub fn name(&self) -> String {
+        match self {
+            RecMethod::Text(t) => format!("text:{}", t.name()),
+            RecMethod::Set(s) => format!("set:{}", s.name()),
+            RecMethod::Ratings { sim, .. } => format!("ratings:{}", sim.name()),
+            RecMethod::RatingLookup => "rating_lookup".into(),
+        }
+    }
+}
+
+/// How per-comparator scores combine into the target's final score.
+/// Positional twin of the workflow layer's named `RecAgg`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecAggPlan {
+    /// Average of non-missing per-comparator scores.
+    Avg,
+    Sum,
+    Max,
+    /// Weighted average, weights drawn from a comparator column (typically
+    /// the score column a lower recommend operator appended).
+    WeightedAvg {
+        weight_col: usize,
+    },
+}
+
+impl fmt::Display for RecAggPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecAggPlan::Avg => write!(f, "avg"),
+            RecAggPlan::Sum => write!(f, "sum"),
+            RecAggPlan::Max => write!(f, "max"),
+            RecAggPlan::WeightedAvg { weight_col } => write!(f, "wavg[#{weight_col}]"),
+        }
+    }
+}
+
+/// Full parameterization of a plan-level recommend operator. All column
+/// references are positions: `target_col`/`exclude_seen.0` into the target
+/// schema, `comparator_col`/`exclude_seen.1`/weights into the comparator
+/// schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecSpec {
+    /// Target column to compare (or the key column for
+    /// [`RecMethod::RatingLookup`]).
+    pub target_col: usize,
+    /// Comparator column.
+    pub comparator_col: usize,
+    pub method: RecMethod,
+    pub agg: RecAggPlan,
+    /// Keep only the top-k scored targets (None = all with score > 0).
+    pub k: Option<usize>,
+    /// Name of the appended score column.
+    pub score_name: String,
+    /// Drop targets whose `(target column)` value appears among the keys of
+    /// a comparator set/ratings column: `(target_col, comparator_col)`.
+    pub exclude_seen: Option<(usize, usize)>,
+}
+
+impl RecSpec {
+    /// Render for EXPLAIN output.
+    pub fn describe(&self) -> String {
+        let mut s = format!(
+            "#{} ~ #{} method={} agg={}",
+            self.target_col,
+            self.comparator_col,
+            self.method.name(),
+            self.agg
+        );
+        if let Some(k) = self.k {
+            s.push_str(&format!(" top={k}"));
+        }
+        if let Some((t, c)) = self.exclude_seen {
+            s.push_str(&format!(" exclude_seen=(#{t}, #{c})"));
+        }
+        s.push_str(&format!(" AS {}", self.score_name));
+        s
+    }
+}

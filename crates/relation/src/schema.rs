@@ -13,6 +13,12 @@ pub enum DataType {
     Float,
     Text,
     Date,
+    /// Set of scalar values (FlexRecs `Extend` output). Not creatable from
+    /// SQL DDL; exists only in plan-synthesized schemas.
+    Set,
+    /// Key → rating map (FlexRecs `Extend ... with rating` output). Not
+    /// creatable from SQL DDL; exists only in plan-synthesized schemas.
+    Ratings,
 }
 
 impl DataType {
@@ -24,6 +30,8 @@ impl DataType {
             DataType::Float => "FLOAT",
             DataType::Text => "TEXT",
             DataType::Date => "DATE",
+            DataType::Set => "SET",
+            DataType::Ratings => "RATINGS",
         }
     }
 }

@@ -13,7 +13,7 @@
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
-use cr_relation::Value;
+use crate::value::Value;
 
 /// Set similarities.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]

@@ -1,9 +1,13 @@
 //! Dynamically typed values.
 //!
 //! Every cell in the engine is a [`Value`]. The type lattice is small —
-//! `Null < Bool < Int < Float < Text < Date` — matching what CourseRank's
-//! schema (§3.2 of the paper) needs: ids, titles, free text, ratings,
-//! units, GPAs, terms and dates.
+//! `Null < Bool < Int < Float < Text < Date < Set < Ratings` — matching
+//! what CourseRank's schema (§3.2 of the paper) needs: ids, titles, free
+//! text, ratings, units, GPAs, terms and dates. The two nested types,
+//! [`Value::Set`] and [`Value::Ratings`], exist for the FlexRecs *extend*
+//! operator (§3.2), which views the related tuples of a row — e.g. the
+//! courses a student took, or the ratings they gave — as one set-valued
+//! attribute so the *recommend* operator can compare rows by similarity.
 
 use std::cmp::Ordering;
 use std::fmt;
@@ -33,6 +37,13 @@ pub enum Value {
     /// A calendar date stored as days since the (proleptic) epoch
     /// 1970-01-01. Date arithmetic in the social-site layer works on this.
     Date(i32),
+    /// A set of scalar values, produced by the FlexRecs `Extend` operator
+    /// (e.g. the set of CourseIDs a student has taken). Stored sorted and
+    /// deduplicated by the producer.
+    Set(Vec<Value>),
+    /// A key → rating map, produced by `Extend ... with rating` (e.g.
+    /// CourseID → the rating a student gave). Stored sorted by key.
+    Ratings(Vec<(Value, f64)>),
 }
 
 impl Value {
@@ -60,6 +71,8 @@ impl Value {
             Value::Float(_) => Some(DataType::Float),
             Value::Text(_) => Some(DataType::Text),
             Value::Date(_) => Some(DataType::Date),
+            Value::Set(_) => Some(DataType::Set),
+            Value::Ratings(_) => Some(DataType::Ratings),
         }
     }
 
@@ -114,6 +127,28 @@ impl Value {
         }
     }
 
+    /// Borrow the elements of a `Set` value, or `None` for anything else.
+    pub fn as_set(&self) -> Option<&[Value]> {
+        match self {
+            Value::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow the `(key, rating)` pairs of a `Ratings` value, or `None`.
+    pub fn as_ratings(&self) -> Option<&[(Value, f64)]> {
+        match self {
+            Value::Ratings(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// True for the nested (`Set`/`Ratings`) types; scalar comparison and
+    /// arithmetic reject these.
+    pub fn is_nested(&self) -> bool {
+        matches!(self, Value::Set(_) | Value::Ratings(_))
+    }
+
     /// Human-readable type name for error messages.
     pub fn type_name(&self) -> &'static str {
         match self {
@@ -123,6 +158,8 @@ impl Value {
             Value::Float(_) => "Float",
             Value::Text(_) => "Text",
             Value::Date(_) => "Date",
+            Value::Set(_) => "Set",
+            Value::Ratings(_) => "Ratings",
         }
     }
 
@@ -188,6 +225,28 @@ impl Value {
             (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Equal),
             (Text(a), Text(b)) => a.cmp(b),
             (Date(a), Date(b)) => a.cmp(b),
+            (Set(a), Set(b)) => {
+                // Lexicographic elementwise; shorter set sorts first on a tie.
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let o = x.total_cmp(y);
+                    if o != Ordering::Equal {
+                        return o;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Ratings(a), Ratings(b)) => {
+                // Lexicographic by key, then by rating.
+                for ((xk, xr), (yk, yr)) in a.iter().zip(b.iter()) {
+                    let o = xk
+                        .total_cmp(yk)
+                        .then_with(|| xr.partial_cmp(yr).unwrap_or(Ordering::Equal));
+                    if o != Ordering::Equal {
+                        return o;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
             (a, b) => a.type_rank().cmp(&b.type_rank()),
         }
     }
@@ -200,6 +259,8 @@ impl Value {
             Value::Float(_) => 2, // same rank: numerics compare by value
             Value::Text(_) => 3,
             Value::Date(_) => 4,
+            Value::Set(_) => 5,
+            Value::Ratings(_) => 6,
         }
     }
 
@@ -258,6 +319,23 @@ impl Hash for Value {
                 4u8.hash(state);
                 d.hash(state);
             }
+            Value::Set(s) => {
+                5u8.hash(state);
+                s.len().hash(state);
+                for v in s {
+                    v.hash(state);
+                }
+            }
+            Value::Ratings(r) => {
+                6u8.hash(state);
+                r.len().hash(state);
+                for (k, rating) in r {
+                    k.hash(state);
+                    // normalize -0.0 to 0.0, same as Float above
+                    let f = if *rating == 0.0 { 0.0 } else { *rating };
+                    f.to_bits().hash(state);
+                }
+            }
         }
     }
 }
@@ -279,6 +357,26 @@ impl fmt::Display for Value {
             Value::Date(d) => {
                 let (y, m, day) = days_to_ymd(*d);
                 write!(f, "{y:04}-{m:02}-{day:02}")
+            }
+            Value::Set(s) => {
+                write!(f, "{{")?;
+                for (i, v) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Ratings(r) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in r.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}:{v:.1}")?;
+                }
+                write!(f, "}}")
             }
         }
     }

@@ -111,6 +111,8 @@ fn dtype_tag(dt: DataType) -> u8 {
         DataType::Float => 2,
         DataType::Text => 3,
         DataType::Date => 4,
+        DataType::Set => 5,
+        DataType::Ratings => 6,
     }
 }
 
@@ -121,6 +123,8 @@ fn dtype_from_tag(tag: u8) -> StorageResult<DataType> {
         2 => DataType::Float,
         3 => DataType::Text,
         4 => DataType::Date,
+        5 => DataType::Set,
+        6 => DataType::Ratings,
         other => return Err(corrupt(format!("bad datatype tag {other}"))),
     })
 }

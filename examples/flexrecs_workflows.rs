@@ -1,17 +1,17 @@
 //! Reproduces Figure 5 of the paper: the two FlexRecs workflows —
 //! (a) related courses by title similarity, (b) two stacked recommend
-//! operators doing user-based collaborative filtering — plus the compiled
-//! SQL the engine actually runs ("compiling it into a sequence of SQL
-//! calls", §3.2).
+//! operators doing user-based collaborative filtering — plus the logical
+//! plan the engine actually runs (the workflow is "just a query": it
+//! compiles onto the same IR, optimizer, and executor as SQL, §3.2).
 //!
 //! ```sh
 //! cargo run --release --example flexrecs_workflows
 //! ```
 
-use courserank::services::recs::{ExecMode, RecOptions, SimilarityBasis};
+use courserank::services::recs::{RecOptions, SimilarityBasis};
 use courserank::CourseRank;
 use cr_datagen::ScaleConfig;
-use cr_flexrecs::compile::compile_and_run;
+use cr_flexrecs::compile::{compile_and_run, explain_sql};
 use cr_flexrecs::templates::{self, SchemaMap};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -50,23 +50,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let direct = cr_flexrecs::execute(&wf_b, &catalog)?;
     println!("direct executor: {} scored courses", direct.tuples.len());
 
-    // Compiled execution — the paper's model. Print the SQL sequence.
+    // Plan execution — the workflow lowered onto the unified IR.
     let compiled = compile_and_run(&wf_b, &catalog)?;
     println!(
-        "compiled executor: {} scored courses, {} SQL statement(s), fallback: {:?}",
+        "plan executor: {} scored courses (plan fingerprint {:016x})",
         compiled.result.tuples.len(),
-        compiled.sql_log.len(),
-        compiled.fallback_reason
+        compiled.fingerprint,
     );
-    println!("\ncompiled SQL sequence:");
-    for (i, sql) in compiled.sql_log.iter().enumerate() {
-        let short = if sql.len() > 160 {
-            format!("{}…", &sql[..160])
-        } else {
-            sql.clone()
-        };
-        println!("  [{i}] {short}");
+    println!("\noptimized plan:");
+    for line in explain_sql(&wf_b, &catalog)? {
+        println!("  {line}");
     }
+    println!("\nphase timings:\n{}", compiled.timing_breakdown());
 
     // ---- The personalization options of §3.2 --------------------------
     println!("\n=== personalization options ===");
@@ -96,9 +91,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
         ),
     ] {
-        let recs = app
-            .recs()
-            .recommend_courses(student, &opts, ExecMode::Direct)?;
+        let recs = app.recs().recommend_courses(student, &opts)?;
         println!("{label}:");
         for r in recs.iter().take(3) {
             println!("  {:.2}  {}", r.score, r.title);

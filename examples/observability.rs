@@ -12,7 +12,7 @@
 //! cargo run --example observability
 //! ```
 
-use courserank::services::recs::{ExecMode, RecOptions};
+use courserank::services::recs::RecOptions;
 use courserank::CourseRank;
 use cr_datagen::ScaleConfig;
 use cr_flexrecs::compile_and_run;
@@ -39,26 +39,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         min_common: 1, // the 5% campus is ratings-sparse
         ..RecOptions::default()
     };
-    let recs = app
-        .recs()
-        .recommend_courses(1, &opts, ExecMode::CompiledSql)?;
+    let recs = app.recs().recommend_courses(1, &opts)?;
     println!("recommendations for student 1: {}", recs.len());
     let report = app.planner().report(1)?;
     println!("planner report: {} quarters\n", report.quarters.len());
 
-    // A FlexRecs workflow compiled to SQL, with one span per step.
+    // A FlexRecs workflow compiled onto the plan pipeline, with one span
+    // per phase.
     let wf = app.recs().course_workflow(1, &opts);
     let run = compile_and_run(&wf, &app.db().catalog())?;
-    println!("== compiled workflow `{}` step timings ==", wf.name);
+    println!("== compiled workflow `{}` phase timings ==", wf.name);
     println!("{}", run.timing_breakdown());
 
-    // EXPLAIN ANALYZE the first compiled SQL step (it references only
-    // base tables, so it re-runs against the live catalog).
-    let sql = &run.sql_log[0];
-    let (rs, profile) = app.db().database().explain_analyze_sql(sql)?;
-    println!("== EXPLAIN ANALYZE ({} rows) ==", rs.rows.len());
-    println!("-- {sql}");
-    println!("{}", profile.render());
+    // EXPLAIN ANALYZE the workflow — the same per-operator renderer SQL
+    // queries use, now over Extend/Recommend nodes too.
+    let rendered = app.recs().explain_analyze_workflow(&wf)?;
+    println!("== EXPLAIN ANALYZE (workflow) ==");
+    println!("{rendered}");
 
     // The process-wide snapshot: every service counter and histogram.
     let snap = app.metrics_snapshot();

@@ -8,7 +8,7 @@
 use courserank::auth::Role;
 use courserank::db::{Comment, Course, CourseRankDb, EnrollStatus, Enrollment, Student};
 use courserank::model::{Grade, Quarter, Term};
-use courserank::services::recs::{ExecMode, RecOptions};
+use courserank::services::recs::RecOptions;
 use courserank::CourseRank;
 use cr_datagen::ScaleConfig;
 
@@ -93,7 +93,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         min_common: 1, // the 5% campus is ratings-sparse
         ..RecOptions::default()
     };
-    let recs = app.recs().recommend_courses(1, &opts, ExecMode::Direct)?;
+    let recs = app.recs().recommend_courses(1, &opts)?;
     println!("recommended for student 1:");
     for r in recs.iter().take(5) {
         println!("  {:.2}  {}", r.score, r.title);

@@ -9,7 +9,7 @@ use std::thread;
 
 use courserank::db::Comment;
 use courserank::model::{Quarter, Term};
-use courserank::services::recs::{ExecMode, RecOptions};
+use courserank::services::recs::RecOptions;
 use courserank::CourseRank;
 use cr_datagen::ScaleConfig;
 
@@ -36,11 +36,6 @@ fn concurrent_reads_and_writes() {
                         &RecOptions {
                             min_common: 1,
                             ..RecOptions::default()
-                        },
-                        if i % 2 == 0 {
-                            ExecMode::Direct
-                        } else {
-                            ExecMode::CompiledSql
                         },
                     )
                     .unwrap();

@@ -8,7 +8,7 @@ use courserank::db::{Comment, EnrollStatus, Enrollment};
 use courserank::model::{Quarter, Term};
 use courserank::services::forum::Question;
 use courserank::services::incentives::PointEvent;
-use courserank::services::recs::{ExecMode, RecOptions};
+use courserank::services::recs::RecOptions;
 use courserank::CourseRank;
 use cr_datagen::ScaleConfig;
 
@@ -47,7 +47,6 @@ fn student_journey() {
                 min_common: 1,
                 ..RecOptions::default()
             },
-            ExecMode::CompiledSql,
         )
         .unwrap();
     assert!(!recs.is_empty());

@@ -2,7 +2,7 @@
 //! architecture): every component exercised end-to-end through the facade.
 
 use courserank::auth::{Capability, Role};
-use courserank::services::recs::{ExecMode, RecOptions};
+use courserank::services::recs::RecOptions;
 use courserank::CourseRank;
 use cr_datagen::ScaleConfig;
 
@@ -36,7 +36,6 @@ fn e12_every_figure2_component_works_through_the_facade() {
                 min_common: 1,
                 ..RecOptions::default()
             },
-            ExecMode::Direct,
         )
         .unwrap();
     assert!(!recs.is_empty());

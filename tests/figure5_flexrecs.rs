@@ -1,11 +1,11 @@
-//! E4/E5/A2 — Figure 5: the two FlexRecs workflows, plus compiled-SQL vs
-//! direct-executor equivalence.
+//! E4/E5/A2 — Figure 5: the two FlexRecs workflows, plus plan-pipeline vs
+//! interpreter equivalence.
 
 use std::collections::HashMap;
 
-use courserank::services::recs::{ExecMode, RecOptions, Recommender};
+use courserank::services::recs::{RecOptions, Recommender};
 use cr_datagen::ScaleConfig;
-use cr_flexrecs::compile::compile_and_run;
+use cr_flexrecs::compile::{compile_and_run, explain_sql};
 use cr_flexrecs::templates::{self, SchemaMap};
 use cr_relation::Value;
 
@@ -72,17 +72,12 @@ fn figure5b_cf_structure_and_execution() {
 }
 
 #[test]
-fn a2_compiled_sql_equals_direct_execution() {
+fn a2_plan_pipeline_equals_interpreter() {
     let db = campus();
     for student in [1i64, 5, 17] {
         let wf = templates::user_cf(&SchemaMap::default(), student, 10, 50, 2, false);
         let direct = cr_flexrecs::execute(&wf, &db.catalog()).unwrap();
         let compiled = compile_and_run(&wf, &db.catalog()).unwrap();
-        assert!(
-            compiled.fallback_reason.is_none(),
-            "CF must compile fully: {:?}",
-            compiled.fallback_reason
-        );
         let d: HashMap<Value, f64> = direct
             .ranking("CourseID", "score")
             .unwrap()
@@ -102,21 +97,29 @@ fn a2_compiled_sql_equals_direct_execution() {
                 c[k]
             );
         }
+        // Byte-identical, not just score-equal.
+        assert_eq!(compiled.result, direct, "student {student}");
     }
 }
 
 #[test]
-fn compiled_sql_log_shows_the_paper_model() {
+fn compiled_plan_shows_the_unified_model() {
     let db = campus();
     let wf = templates::user_cf(&SchemaMap::default(), 1, 5, 10, 2, false);
+    // The workflow compiles onto the engine's one query IR: the explain
+    // output is the optimized LogicalPlan the SQL front-end also targets.
+    let lines = explain_sql(&wf, &db.catalog()).unwrap();
+    let all = lines.join("\n");
+    assert_eq!(all.matches("Recommend").count(), 2, "{all}");
+    assert!(all.contains("Extend"), "{all}");
+    assert!(all.contains("Scan"), "{all}");
+    // The optimizer ran: the target-student selection was pushed into the
+    // scans, so no bare Filter node survives above them.
+    assert!(all.contains("filter="), "{all}");
+    // And the compiled run reports its phase timings.
     let run = compile_and_run(&wf, &db.catalog()).unwrap();
-    // "compiling it into a sequence of SQL calls"
-    assert!(run.sql_log.len() >= 3, "{:?}", run.sql_log);
-    let all = run.sql_log.join("\n");
-    // The similarity function compiled *into* the SQL:
-    assert!(all.contains("SQRT(SUM("), "{all}");
-    // The rating-lookup aggregation:
-    assert!(all.contains("AVG("), "{all}");
+    let labels: Vec<&str> = run.step_timings.iter().map(|s| s.label.as_str()).collect();
+    assert_eq!(labels, ["Lower", "Optimize", "Execute"]);
 }
 
 #[test]
@@ -127,7 +130,7 @@ fn recommender_facade_personalization_options() {
         min_common: 1,
         ..RecOptions::default()
     };
-    let plain = rec.recommend_courses(1, &base, ExecMode::Direct).unwrap();
+    let plain = rec.recommend_courses(1, &base).unwrap();
     let weighted = rec
         .recommend_courses(
             1,
@@ -135,7 +138,6 @@ fn recommender_facade_personalization_options() {
                 weighted: true,
                 ..base.clone()
             },
-            ExecMode::Direct,
         )
         .unwrap();
     assert!(!plain.is_empty());
@@ -173,5 +175,23 @@ fn item_item_cf_finds_co_rated_courses() {
     let result = cr_flexrecs::execute(&wf, &db.catalog()).unwrap();
     let ranking = result.ranking("CourseID", "score").unwrap();
     assert!(!ranking.is_empty());
+    assert!(ranking.iter().all(|(id, _)| *id != Value::Int(popular)));
+}
+
+#[test]
+fn item_item_cf_ratings_agrees_across_paths() {
+    let db = campus();
+    let rs = db
+        .database()
+        .query_sql(
+            "SELECT CourseID, COUNT(*) AS n FROM Comments GROUP BY CourseID ORDER BY n DESC LIMIT 1",
+        )
+        .unwrap();
+    let popular = rs.rows[0][0].as_int().unwrap();
+    let wf = templates::item_item_cf_ratings(&SchemaMap::default(), popular, 5);
+    let direct = cr_flexrecs::execute(&wf, &db.catalog()).unwrap();
+    let compiled = compile_and_run(&wf, &db.catalog()).unwrap();
+    assert_eq!(compiled.result, direct);
+    let ranking = compiled.result.ranking("CourseID", "score").unwrap();
     assert!(ranking.iter().all(|(id, _)| *id != Value::Int(popular)));
 }

@@ -2,7 +2,7 @@
 //! and one pass through the assembled system leaves nonzero counters for
 //! every instrumented layer.
 
-use courserank::services::recs::{ExecMode, RecOptions};
+use courserank::services::recs::RecOptions;
 use courserank::CourseRank;
 use cr_datagen::ScaleConfig;
 use cr_flexrecs::compile_and_run;
@@ -59,16 +59,14 @@ fn one_pass_through_the_system_populates_every_layer() {
         min_common: 1,
         ..RecOptions::default()
     };
-    let _recs = app
-        .recs()
-        .recommend_courses(1, &opts, ExecMode::CompiledSql)
-        .unwrap();
+    let _recs = app.recs().recommend_courses(1, &opts).unwrap();
     let _report = app.planner().report(1).unwrap();
 
     let wf = app.recs().course_workflow(1, &opts);
     let run = compile_and_run(&wf, &app.db().catalog()).unwrap();
     assert!(!run.step_timings.is_empty());
-    assert_eq!(run.step_timings.len(), run.sql_log.len());
+    let labels: Vec<&str> = run.step_timings.iter().map(|s| s.label.as_str()).collect();
+    assert_eq!(labels, ["Lower", "Optimize", "Execute"]);
 
     let snap = app.metrics_snapshot();
     // Service layer.

@@ -1,0 +1,161 @@
+//! Golden plans: every built-in strategy template compiles to a known
+//! optimized `LogicalPlan`. A diff here means the compiler's lowering or
+//! the optimizer's rewrites changed — intentional improvements update the
+//! goldens, regressions (a filter no longer pushed into its scan, a
+//! projection no longer pruning the related-table read) show up as
+//! reviewable text.
+
+use cr_datagen::ScaleConfig;
+use cr_flexrecs::compile::explain_sql;
+use cr_flexrecs::templates::{self, SchemaMap};
+use cr_flexrecs::Workflow;
+
+fn assert_plan(wf: &Workflow, golden: &str) {
+    let (db, _) = cr_datagen::generate(&ScaleConfig::tiny()).unwrap();
+    let lines = explain_sql(wf, &db.catalog()).unwrap();
+    assert_eq!(
+        lines.join("\n"),
+        golden.trim_matches('\n'),
+        "optimized plan for {:?} drifted from its golden",
+        wf.name
+    );
+}
+
+#[test]
+fn related_courses_plan() {
+    let wf = templates::related_courses(
+        &SchemaMap::default(),
+        "Introduction to Programming",
+        None,
+        10,
+    );
+    // Both selections are pushed into the Courses scans, null-guarded.
+    assert_plan(
+        &wf,
+        r#"
+Recommend #2 ~ #2 method=text:word_jaccard agg=max top=10 AS score
+  Scan Courses filter=((#2 IS NOT NULL) AND (#2 <> 'Introduction to Programming'))
+  Scan Courses filter=((#2 IS NOT NULL) AND (#2 = 'Introduction to Programming'))
+"#,
+    );
+}
+
+#[test]
+fn user_cf_plan() {
+    let wf = templates::user_cf(&SchemaMap::default(), 444, 10, 20, 2, true);
+    // Figure 5(b): the lower ratings-similarity recommend feeds the upper
+    // rating-lookup; the Comments read is pruned to the three columns the
+    // ε-extend needs (student, course, rating).
+    assert_plan(
+        &wf,
+        r#"
+Recommend #0 ~ #6 method=rating_lookup agg=avg top=20 AS score
+  Scan Courses
+  Recommend #6 ~ #6 method=ratings:inverse_euclidean agg=max top=10 AS sim
+    Extend ratings AS ratings key=#0
+      Scan Students filter=((#0 IS NOT NULL) AND (#0 <> 444))
+      Scan Comments cols=[1, 2, 6]
+    Extend ratings AS ratings key=#0
+      Scan Students filter=((#0 IS NOT NULL) AND (#0 = 444))
+      Scan Comments cols=[1, 2, 6]
+"#,
+    );
+}
+
+#[test]
+fn user_cf_weighted_plan() {
+    let wf = templates::user_cf_weighted(&SchemaMap::default(), 444, 10, 20, 2);
+    // Same shape as user_cf, but the upper aggregate weights each rating
+    // by the lower operator's similarity score (#7 = appended "sim").
+    assert_plan(
+        &wf,
+        r#"
+Recommend #0 ~ #6 method=rating_lookup agg=wavg[#7] top=20 AS score
+  Scan Courses
+  Recommend #6 ~ #6 method=ratings:inverse_euclidean agg=max top=10 AS sim
+    Extend ratings AS ratings key=#0
+      Scan Students filter=((#0 IS NOT NULL) AND (#0 <> 444))
+      Scan Comments cols=[1, 2, 6]
+    Extend ratings AS ratings key=#0
+      Scan Students filter=((#0 IS NOT NULL) AND (#0 = 444))
+      Scan Comments cols=[1, 2, 6]
+"#,
+    );
+}
+
+#[test]
+fn similar_students_by_courses_plan() {
+    let wf = templates::similar_students_by_courses(&SchemaMap::default(), 444, 10);
+    assert_plan(
+        &wf,
+        r#"
+Recommend #6 ~ #6 method=set:jaccard agg=max top=10 AS sim
+  Extend set AS courses key=#0
+    Scan Students filter=((#0 IS NOT NULL) AND (#0 <> 444))
+    Scan Comments cols=[1, 2]
+  Extend set AS courses key=#0
+    Scan Students filter=((#0 IS NOT NULL) AND (#0 = 444))
+    Scan Comments cols=[1, 2]
+"#,
+    );
+}
+
+#[test]
+fn item_item_cf_plan() {
+    let wf = templates::item_item_cf(&SchemaMap::default(), 1, 10);
+    // Courses extended with their rater sets; the target course is the
+    // comparator, every other course is scored against it.
+    assert_plan(
+        &wf,
+        r#"
+Recommend #6 ~ #6 method=set:cosine agg=max top=10 AS score
+  Extend set AS raters key=#0
+    Scan Courses filter=((#0 IS NOT NULL) AND (#0 <> 1))
+    Scan Comments cols=[2, 1]
+  Extend set AS raters key=#0
+    Scan Courses filter=((#0 IS NOT NULL) AND (#0 = 1))
+    Scan Comments cols=[2, 1]
+"#,
+    );
+}
+
+#[test]
+fn item_item_cf_ratings_plan() {
+    let wf = templates::item_item_cf_ratings(&SchemaMap::default(), 1, 10);
+    // The ratings variant keeps who-rated-what-how-much, so the Comments
+    // read keeps the rating column too.
+    assert_plan(
+        &wf,
+        r#"
+Recommend #6 ~ #6 method=ratings:cosine agg=max top=10 AS score
+  Extend ratings AS ratings key=#0
+    Scan Courses filter=((#0 IS NOT NULL) AND (#0 <> 1))
+    Scan Comments cols=[2, 1, 6]
+  Extend ratings AS ratings key=#0
+    Scan Courses filter=((#0 IS NOT NULL) AND (#0 = 1))
+    Scan Comments cols=[2, 1, 6]
+"#,
+    );
+}
+
+#[test]
+fn major_recommendation_plan() {
+    let wf = templates::major_recommendation(&SchemaMap::default(), 444, 10, 5);
+    // The projection to (CourseID, DepID) survives above the Courses scan
+    // and prunes it to two columns.
+    assert_plan(
+        &wf,
+        r#"
+Recommend #0 ~ #6 method=rating_lookup agg=avg AS score
+  Project #0 AS CourseID, #1 AS DepID
+    Scan Courses cols=[0, 1]
+  Recommend #6 ~ #6 method=ratings:inverse_euclidean agg=max top=10 AS sim
+    Extend ratings AS ratings key=#0
+      Scan Students filter=((#0 IS NOT NULL) AND (#0 <> 444))
+      Scan Comments cols=[1, 2, 6]
+    Extend ratings AS ratings key=#0
+      Scan Students filter=((#0 IS NOT NULL) AND (#0 = 444))
+      Scan Comments cols=[1, 2, 6]
+"#,
+    );
+}

@@ -314,14 +314,14 @@ fn courserank_crash_recovery_end_to_end() {
             assert_eq!(hits_r, hits_e, "cut={cut}: search({query}) diverges");
         }
         {
-            use courserank::services::recs::{ExecMode, RecOptions};
+            use courserank::services::recs::RecOptions;
             let recs_r = app_recovered
                 .recs()
-                .recommend_courses(1, &RecOptions::default(), ExecMode::Direct)
+                .recommend_courses(1, &RecOptions::default())
                 .unwrap();
             let recs_e = app_expected
                 .recs()
-                .recommend_courses(1, &RecOptions::default(), ExecMode::Direct)
+                .recommend_courses(1, &RecOptions::default())
                 .unwrap();
             assert_eq!(recs_r, recs_e, "cut={cut}: recommendations diverge");
         }

@@ -4,7 +4,8 @@
 //! `proptest!` macro (with optional `#![proptest_config(..)]`), numeric
 //! range strategies, simple `[class]{m,n}` string patterns, tuples,
 //! `collection::vec`, `any::<T>()`, `Just`, `prop_oneof!`, `prop_map`,
-//! and `prop_assert!`/`prop_assert_eq!`. Cases are generated from a
+//! `prop_recursive`, `option::of`, `sample::{select, subsequence}`, and
+//! `prop_assert!`/`prop_assert_eq!`. Cases are generated from a
 //! deterministic per-test seed; there is no shrinking — a failing case
 //! panics with the generated inputs left to the assertion message.
 
@@ -13,6 +14,7 @@ pub mod strategy {
     use rand::Rng;
     use std::marker::PhantomData;
     use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
 
     /// A value generator. `Value` is the generated type.
     pub trait Strategy {
@@ -31,7 +33,31 @@ pub mod strategy {
         where
             Self: Sized + 'static,
         {
-            BoxedStrategy(Box::new(self))
+            BoxedStrategy(Rc::new(self))
+        }
+
+        /// Recursive strategies: `leaf.prop_recursive(depth, _, _, |inner| ..)`.
+        /// The stub ignores the size hints and simply stacks `depth`
+        /// applications of `recurse`, so generated trees are depth-bounded;
+        /// termination below that bound comes from the caller's own
+        /// base-case arms (e.g. empty collections).
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut cur = self.boxed();
+            for _ in 0..depth {
+                cur = recurse(cur).boxed();
+            }
+            cur
         }
     }
 
@@ -46,7 +72,13 @@ pub mod strategy {
         }
     }
 
-    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
 
     impl<T> Strategy for BoxedStrategy<T> {
         type Value = T;
@@ -56,6 +88,7 @@ pub mod strategy {
     }
 
     /// `Strategy::prop_map` output.
+    #[derive(Clone)]
     pub struct Map<S, F> {
         inner: S,
         f: F,
@@ -69,6 +102,7 @@ pub mod strategy {
     }
 
     /// Constant strategy.
+    #[derive(Clone)]
     pub struct Just<T: Clone>(pub T);
 
     impl<T: Clone> Strategy for Just<T> {
@@ -80,6 +114,12 @@ pub mod strategy {
 
     /// `prop_oneof!` output: uniform choice between boxed strategies.
     pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union(self.0.clone())
+        }
+    }
 
     impl<T> Strategy for Union<T> {
         type Value = T;
@@ -247,6 +287,89 @@ pub mod strategy {
         (A.0, B.1)
         (A.0, B.1, C.2)
         (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// `option::of(s)`: `None` a quarter of the time, like upstream's
+    /// default `Probability`.
+    #[derive(Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_bool(0.75) {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+}
+
+pub mod sample {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Uniform choice of one element.
+    #[derive(Clone)]
+    pub struct SelectStrategy<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for SelectStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            assert!(!self.0.is_empty(), "sample::select needs elements");
+            self.0[rng.gen_range(0..self.0.len())].clone()
+        }
+    }
+
+    pub fn select<T: Clone>(items: impl Into<Vec<T>>) -> SelectStrategy<T> {
+        SelectStrategy(items.into())
+    }
+
+    /// An order-preserving random subsequence with length in `sizes`
+    /// (clamped to the number of elements).
+    #[derive(Clone)]
+    pub struct SubsequenceStrategy<T: Clone, R> {
+        items: Vec<T>,
+        sizes: R,
+    }
+
+    impl<T: Clone, R: super::collection::SizeRange> Strategy for SubsequenceStrategy<T, R> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<T> {
+            let n = self.sizes.pick(rng).min(self.items.len());
+            let mut picked: Vec<usize> = (0..self.items.len()).collect();
+            // Partial Fisher–Yates, then restore order.
+            for i in 0..n {
+                let j = rng.gen_range(i..picked.len());
+                picked.swap(i, j);
+            }
+            let mut idx: Vec<usize> = picked[..n].to_vec();
+            idx.sort_unstable();
+            idx.into_iter().map(|i| self.items[i].clone()).collect()
+        }
+    }
+
+    pub fn subsequence<T: Clone, R: super::collection::SizeRange>(
+        items: Vec<T>,
+        sizes: R,
+    ) -> SubsequenceStrategy<T, R> {
+        SubsequenceStrategy { items, sizes }
     }
 }
 
