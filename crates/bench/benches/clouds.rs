@@ -5,6 +5,10 @@
 //! `[E2]`/`[E3]` lines plus Criterion timings for: broad search, exact
 //! cloud computation, sampled cloud computation (A1), and refined search.
 
+// Benches are measurement harnesses, not library code: aborting on a
+// broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use cr_bench::fixtures::{observe, system};
 use cr_textsearch::cloud::{compute_cloud, CloudConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -2,6 +2,10 @@
 //! distributions, comment ranking, question routing, and the E7
 //! self-reported-vs-official comparison at scale.
 
+// Benches are measurement harnesses, not library code: aborting on a
+// broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use courserank::services::forum::Question;
 use courserank::services::recs::RecOptions;
 use cr_bench::fixtures::{observe, system};

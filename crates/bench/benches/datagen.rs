@@ -2,6 +2,10 @@
 //! paper's scale, and a one-shot full paper-scale generation whose stats
 //! are the §2 numbers.
 
+// Benches are measurement harnesses, not library code: aborting on a
+// broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use cr_bench::fixtures::observe;
 use cr_datagen::{generate, ScaleConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

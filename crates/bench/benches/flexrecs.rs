@@ -2,6 +2,10 @@
 //! filtering, direct interpreter vs the unified LogicalPlan pipeline
 //! (serial and parallel).
 
+// Benches are measurement harnesses, not library code: aborting on a
+// broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use cr_bench::fixtures::{campus, observe};
 use cr_flexrecs::compile::{compile, compile_and_run, compile_and_run_with};
 use cr_flexrecs::templates::{self, SchemaMap};

@@ -1,6 +1,10 @@
 //! E9/E10 — routing accuracy and incentive-scheme simulation, reported as
 //! observations plus timings for the ledger hot paths.
 
+// Benches are measurement harnesses, not library code: aborting on a
+// broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use courserank::services::forum::{Forum, Question, RoutingConfig};
 use courserank::services::incentives::{Incentives, PointEvent};
 use cr_bench::fixtures::{campus, observe};

@@ -9,6 +9,10 @@
 //!
 //! Acceptance: enabled within 5% of disabled on this workload.
 
+// Benches are measurement harnesses, not library code: aborting on a
+// broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use cr_bench::fixtures::observe;
 use cr_relation::row::row;
 use cr_relation::Database;

@@ -6,6 +6,10 @@
 //! `--smoke` runs one iteration over a shrunken dataset — the CI
 //! regression canary, not a measurement.
 
+// Benches are measurement harnesses, not library code: aborting on a
+// broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use std::time::Instant;
 
 use cr_relation::row::row;

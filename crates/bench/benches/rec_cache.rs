@@ -3,6 +3,10 @@
 //! an unchanged database. Emits `[PR2] scenario=… median_ns=…` lines for
 //! `scripts/bench_pr2.py`.
 
+// Benches are measurement harnesses, not library code: aborting on a
+// broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use std::time::Instant;
 
 use courserank::db::Comment;

@@ -2,6 +2,10 @@
 //! primary key vs secondary index vs B-tree range) and join strategies
 //! (hash vs nested loop).
 
+// Benches are measurement harnesses, not library code: aborting on a
+// broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use cr_bench::fixtures::observe;
 use cr_relation::row::row;
 use cr_relation::Database;

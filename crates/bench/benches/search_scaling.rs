@@ -1,6 +1,10 @@
 //! A4 — search scaling: index build (sequential vs parallel shards) and
 //! query latency as the corpus grows toward the paper's 18,605 courses.
 
+// Benches are measurement harnesses, not library code: aborting on a
+// broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use cr_bench::fixtures::{campus, observe};
 use cr_textsearch::entity::{build_index, build_index_parallel};
 use cr_textsearch::SearchEngine;

@@ -3,6 +3,10 @@
 //! and flushes; the policy decides how often the backend syncs. Emits
 //! `[PR3] scenario=… median_ns=…` lines for `scripts/bench_pr3.py`.
 
+// Benches are measurement harnesses, not library code: aborting on a
+// broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use std::sync::Arc;
 use std::time::Instant;
 

@@ -4,6 +4,10 @@
 //! directly; it must stay microscopic next to execution. Emits
 //! `[PR4] scenario=… median_ns=…` lines for `scripts/bench_pr4.py`.
 
+// Benches are measurement harnesses, not library code: aborting on a
+// broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use std::time::Instant;
 
 use cr_bench::fixtures::campus;
@@ -62,5 +66,33 @@ fn main() {
             plan.fingerprint(),
             plan.explain().lines().count()
         );
+        // PR5: the static-analysis pass compile() now runs on every lowered
+        // plan, measured standalone so its share of compile time (< 5%
+        // budget) stays observable. compile() runs the catalog-free
+        // validator (lowering just resolved every table itself); the
+        // catalog-backed analyze() is the lint path, measured separately.
+        // A single validation is ~100ns, the same order as the timer
+        // overhead, so it is measured in batches.
+        const BATCH: u128 = 32;
+        let vns = median_ns(iters, || {
+            for _ in 0..BATCH {
+                std::hint::black_box(cr_relation::plan::validate::validate(std::hint::black_box(
+                    &plan,
+                )));
+            }
+        }) / BATCH;
+        let pct = if ns > 0 {
+            vns as f64 / ns as f64 * 100.0
+        } else {
+            0.0
+        };
+        println!("[PR5] scenario=plan_validate_{name} median_ns={vns} pct_of_compile={pct:.2}");
+        let lns = median_ns(iters, || {
+            std::hint::black_box(cr_relation::plan::validate::analyze(
+                std::hint::black_box(&plan),
+                Some(&catalog),
+            ));
+        });
+        println!("[PR5] scenario=plan_analyze_{name} median_ns={lns}");
     }
 }

@@ -4,6 +4,10 @@
 //! numbers compare equivalent work. Emits `[PR4] scenario=…
 //! median_ns=…` lines for `scripts/bench_pr4.py`.
 
+// Benches are measurement harnesses, not library code: aborting on a
+// broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use std::time::Instant;
 
 use cr_bench::fixtures::campus;

@@ -265,6 +265,32 @@ mod tests {
     }
 
     #[test]
+    fn plan_validate_counters_in_snapshot() {
+        cr_obs::install();
+        let app = CourseRank::assemble(small_campus()).unwrap();
+        let reg = app.strategies();
+        let wf = cr_flexrecs::templates::user_cf(
+            &cr_flexrecs::templates::SchemaMap::default(),
+            crate::services::strategies::STUDENT_PLACEHOLDER,
+            10,
+            10,
+            1,
+            false,
+        );
+        let before = app
+            .metrics_snapshot()
+            .counter("plan.validate.runs")
+            .unwrap_or(0);
+        reg.define("cf", "", &wf).unwrap();
+        reg.lint("cf", 444).unwrap();
+        let snap = app.metrics_snapshot();
+        assert!(
+            snap.counter("plan.validate.runs").unwrap_or(0) > before,
+            "validation cost must be observable in the metrics snapshot"
+        );
+    }
+
+    #[test]
     fn parallel_and_cache_metrics_in_snapshot() {
         use crate::services::recs::RecOptions;
         use cr_relation::ExecOptions;

@@ -19,6 +19,8 @@
 //!   [`services::privacy`];
 //! * [`app`] — the [`app::CourseRank`] facade tying them together.
 
+#![forbid(unsafe_code)]
+
 pub mod app;
 pub mod auth;
 pub mod cache;

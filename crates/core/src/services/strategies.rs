@@ -39,6 +39,15 @@ impl Strategies {
     /// Persist a strategy (admin interface). The workflow may reference
     /// [`STUDENT_PLACEHOLDER`] wherever the target student's id belongs.
     pub fn define(&self, name: &str, description: &str, workflow: &Workflow) -> RelResult<()> {
+        // Lint at definition time — a strategy that cannot compile onto
+        // the plan IR must never reach the picker. Warnings are allowed
+        // (admins can inspect them via [`Strategies::lint`]).
+        let report = workflow.lint(&self.db.catalog());
+        if let Some(first) = report.errors().next() {
+            return Err(RelError::Invalid(format!(
+                "strategy `{name}` failed lint: {first}"
+            )));
+        }
         let json = serde_json::to_string(workflow)
             .map_err(|e| RelError::Invalid(format!("strategy serialization: {e}")))?;
         // Upsert: replace an existing definition of the same name.
@@ -100,10 +109,20 @@ impl Strategies {
         Ok(cr_flexrecs::compile::compile_and_run(&wf, &self.db.catalog())?.result)
     }
 
-    /// The optimized plan a stored strategy executes as for a student.
+    /// The optimized plan a stored strategy executes as for a student,
+    /// followed by one `-- lint:` line per linter warning.
     pub fn explain(&self, name: &str, student: StudentId) -> RelResult<Vec<String>> {
         let wf = self.select(name, student)?;
-        cr_flexrecs::compile::explain_sql(&wf, &self.db.catalog())
+        let mut lines = cr_flexrecs::compile::explain_sql(&wf, &self.db.catalog())?;
+        let report = wf.lint(&self.db.catalog());
+        lines.extend(report.warnings().map(|d| format!("-- lint: {d}")));
+        Ok(lines)
+    }
+
+    /// Lint a stored strategy as it would run for a student.
+    pub fn lint(&self, name: &str, student: StudentId) -> RelResult<cr_flexrecs::LintReport> {
+        let wf = self.select(name, student)?;
+        Ok(wf.lint(&self.db.catalog()))
     }
 
     /// Remove a strategy.
@@ -292,5 +311,36 @@ mod tests {
         reg.define("o'brien", "quoted", &cf_template()).unwrap();
         assert_eq!(reg.list().unwrap().len(), 1);
         assert!(reg.load("o'brien").is_ok());
+    }
+
+    #[test]
+    fn define_rejects_uncompilable_workflow() {
+        let reg = registry();
+        let bad = Workflow::new(
+            "bad",
+            Node::Source {
+                table: "NoSuchTable".into(),
+            },
+        );
+        let err = reg.define("bad", "", &bad).unwrap_err();
+        assert!(err.to_string().contains("failed lint"), "{err}");
+        assert!(reg.list().unwrap().is_empty());
+    }
+
+    #[test]
+    fn lint_reports_warnings_and_explain_carries_them() {
+        let reg = registry();
+        // major_recommendation's upper recommend has no top-k bound, so
+        // it lints clean (no errors) but warns W106.
+        let wf = templates::major_recommendation(&SchemaMap::default(), STUDENT_PLACEHOLDER, 10, 1);
+        reg.define("majors", "", &wf).unwrap();
+        let report = reg.lint("majors", 444).unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert!(report.has_code("W106"), "{report}");
+        let lines = reg.explain("majors", 444).unwrap();
+        assert!(
+            lines.iter().any(|l| l.starts_with("-- lint: W106")),
+            "{lines:?}"
+        );
     }
 }

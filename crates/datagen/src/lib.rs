@@ -20,6 +20,8 @@
 //! Everything is driven by a single RNG seed: the same
 //! [`ScaleConfig`] always produces the same database.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod gen;
 pub mod words;

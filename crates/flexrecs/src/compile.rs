@@ -107,7 +107,22 @@ pub fn compile(workflow: &Workflow, catalog: &Catalog) -> RelResult<LogicalPlan>
     // Full workflow validation (attribute existence, recommend type
     // discipline) before lowering, so errors carry workflow-level names.
     infer_schema(&workflow.root, catalog)?;
-    lower(&workflow.root, catalog)
+    let plan = lower(&workflow.root, catalog)?;
+    // The plan validator re-checks the lowered output (single tree walk,
+    // well under the 5% compile budget): any error here is a lowering bug,
+    // not a user mistake — surface it before it becomes a wrong answer.
+    // Catalog-backed scan checks are skipped on this hot path: lowering
+    // itself just resolved every table against the same catalog, so they
+    // cannot fail here. The lint entry points run the full catalog-backed
+    // analysis.
+    let report = cr_relation::plan::validate::validate(&plan);
+    if let Some(first) = report.first_error() {
+        return Err(RelError::Invalid(format!(
+            "internal: lowering produced an invalid plan for workflow `{}`: {first}",
+            workflow.name
+        )));
+    }
+    Ok(plan)
 }
 
 /// Compile and run a workflow on the plan pipeline with default execution

@@ -29,9 +29,12 @@
 //! * [`templates`] — the paper's two Figure 5 workflows plus the
 //!   course/major/quarter recommenders §3.2 describes CourseRank shipping.
 
+#![forbid(unsafe_code)]
+
 pub mod compile;
 pub mod datum;
 pub mod exec;
+pub mod lint;
 pub mod templates;
 pub mod workflow;
 
@@ -43,5 +46,6 @@ pub use cr_relation::similarity;
 pub use compile::{compile_and_run, CompiledRun, StepTiming};
 pub use datum::{Datum, Tuple, WfSchema, WfType};
 pub use exec::{execute, RecResult};
+pub use lint::{lint, LintReport};
 pub use similarity::{RatingsSim, SetSim, TextSim};
 pub use workflow::{CmpOp, Node, RecAgg, RecMethod, RecommendSpec, WfPredicate, Workflow};

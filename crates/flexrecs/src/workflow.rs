@@ -279,6 +279,13 @@ impl Workflow {
         explain_node(&self.root, 1, &mut out);
         out
     }
+
+    /// Statically check this workflow against a catalog: compile it onto
+    /// the plan IR and run the plan validator plus dataflow analyses.
+    /// Infallible — see [`crate::lint::lint`].
+    pub fn lint(&self, catalog: &cr_relation::catalog::Catalog) -> crate::lint::LintReport {
+        crate::lint::lint(self, catalog)
+    }
 }
 
 fn explain_node(node: &Node, depth: usize, out: &mut String) {

@@ -28,6 +28,8 @@
 //! assert!(snap.histogram("demo.work_ns").unwrap().count >= 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod histogram;
 pub mod registry;
 pub mod snapshot;

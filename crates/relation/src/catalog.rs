@@ -15,7 +15,7 @@ use crate::exec::{self, ResultSet};
 use crate::expr::Expr;
 use crate::index::IndexKind;
 use crate::mutation::{MutationObserver, ObserverSlot};
-use crate::plan::{optimizer, LogicalPlan};
+use crate::plan::{self, optimizer, LogicalPlan};
 use crate::row::{Row, RowId};
 use crate::schema::Schema;
 use crate::sql;
@@ -101,9 +101,20 @@ impl Catalog {
     }
 
     fn handle(&self, name: &str) -> RelResult<Arc<RwLock<Table>>> {
-        self.inner
-            .read()
-            .get(&name.to_ascii_lowercase())
+        let tables = self.inner.read();
+        // Table resolution sits on hot paths (execution, plan validation);
+        // lowercase the lookup key on the stack instead of allocating a
+        // String per call when the name fits.
+        let mut buf = [0u8; 64];
+        let found = if name.is_ascii() && name.len() <= buf.len() {
+            let key = &mut buf[..name.len()];
+            key.copy_from_slice(name.as_bytes());
+            key.make_ascii_lowercase();
+            std::str::from_utf8(key).ok().and_then(|k| tables.get(k))
+        } else {
+            tables.get(&name.to_ascii_lowercase())
+        };
+        found
             .cloned()
             .ok_or_else(|| RelError::UnknownTable(name.to_owned()))
     }
@@ -217,6 +228,13 @@ impl Database {
     /// [`Database::query_sql`] with explicit execution options.
     pub fn query_sql_with(&self, text: &str, opts: &exec::ExecOptions) -> RelResult<ResultSet> {
         sql::query_with(text, &self.catalog, opts)
+    }
+
+    /// Statically check a plan against this database's catalog: structural
+    /// and type invariants plus dataflow warnings (contradictory filters,
+    /// unused extends, cartesian joins, …). Never executes anything.
+    pub fn validate_plan(&self, plan: &LogicalPlan) -> plan::ValidationReport {
+        plan::analyze(plan, Some(&self.catalog))
     }
 
     /// Run a logical plan (optimizing first).

@@ -381,6 +381,56 @@ impl Expr {
         }
     }
 
+    /// One-pass binding profile: the highest positional column referenced
+    /// (if any) and whether any unbound [`Expr::ColumnName`] remains. The
+    /// plan validator runs this on every expression of every plan, so it
+    /// must not allocate.
+    pub fn binding_profile(&self) -> (Option<usize>, bool) {
+        fn walk(e: &Expr, max: &mut Option<usize>, unbound: &mut bool) {
+            match e {
+                Expr::Literal(_) => {}
+                Expr::ColumnName { .. } => *unbound = true,
+                Expr::Column(i) => {
+                    if max.is_none_or(|m| *i > m) {
+                        *max = Some(*i);
+                    }
+                }
+                Expr::Binary { left, right, .. } => {
+                    walk(left, max, unbound);
+                    walk(right, max, unbound);
+                }
+                Expr::Not(e) | Expr::Neg(e) => walk(e, max, unbound),
+                Expr::IsNull { expr, .. } => walk(expr, max, unbound),
+                Expr::Like { expr, pattern, .. } => {
+                    walk(expr, max, unbound);
+                    walk(pattern, max, unbound);
+                }
+                Expr::InList { expr, list, .. } => {
+                    walk(expr, max, unbound);
+                    for e in list {
+                        walk(e, max, unbound);
+                    }
+                }
+                Expr::Between {
+                    expr, low, high, ..
+                } => {
+                    walk(expr, max, unbound);
+                    walk(low, max, unbound);
+                    walk(high, max, unbound);
+                }
+                Expr::Func { args, .. } => {
+                    for e in args {
+                        walk(e, max, unbound);
+                    }
+                }
+            }
+        }
+        let mut max = None;
+        let mut unbound = false;
+        walk(self, &mut max, &mut unbound);
+        (max, unbound)
+    }
+
     /// True if the expression contains no column references (constant).
     pub fn is_constant(&self) -> bool {
         let mut cols = Vec::new();
@@ -388,7 +438,9 @@ impl Expr {
         cols.is_empty() && !self.has_unbound_names()
     }
 
-    fn has_unbound_names(&self) -> bool {
+    /// True if any [`Expr::ColumnName`] remains — i.e. the expression has
+    /// not been fully bound to column positions.
+    pub fn has_unbound_names(&self) -> bool {
         match self {
             Expr::ColumnName { .. } => true,
             Expr::Literal(_) | Expr::Column(_) => false,

@@ -38,6 +38,8 @@
 //! assert_eq!(rows.rows[0][0], Value::text("Intro to Programming"));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod codec;
 pub mod error;

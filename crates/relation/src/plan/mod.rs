@@ -10,7 +10,9 @@ mod builder;
 mod logical;
 pub mod optimizer;
 pub mod rec;
+pub mod validate;
 
 pub use builder::{infer_expr_type, PlanBuilder};
 pub use logical::{AggExpr, AggFn, JoinKind, LogicalPlan, SortKey};
 pub use rec::{RecAggPlan, RecMethod, RecSpec};
+pub use validate::{analyze, provenance, Diagnostic, Severity, ValidationReport};

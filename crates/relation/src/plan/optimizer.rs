@@ -14,11 +14,61 @@ use crate::expr::Expr;
 
 use super::logical::{JoinKind, LogicalPlan};
 
+/// A named rewrite rule: a whole-plan transformation.
+type Rule = (&'static str, fn(LogicalPlan) -> LogicalPlan);
+
+/// The rewrite rules, in application order. Naming each rule lets the
+/// debug-build soundness harness attribute a violation to the rule that
+/// introduced it.
+const RULES: &[Rule] = &[
+    ("fold_constants", fold_constants),
+    ("push_down_predicates", push_down_predicates),
+    ("prune_projections", prune_projections),
+];
+
 /// Optimize a plan. Idempotent.
+///
+/// In debug builds, the plan validator and a root-schema equality check run
+/// after *every* rule; a rule that produces an ill-formed plan or changes
+/// the output schema panics with the rule's name, the diagnostics, and the
+/// offending plan — so optimizer bugs surface at the rewrite that caused
+/// them instead of as wrong results downstream.
 pub fn optimize(plan: LogicalPlan) -> LogicalPlan {
-    let plan = fold_constants(plan);
-    let plan = push_down_predicates(plan);
-    prune_projections(plan)
+    #[cfg(debug_assertions)]
+    let schema_before = plan.schema().clone();
+    // A plan that is invalid on entry is not an optimizer bug — skip the
+    // harness and let downstream validation or execution report it.
+    #[cfg(debug_assertions)]
+    let input_valid = !super::validate::validate(&plan).has_errors();
+    let mut plan = plan;
+    for (_name, rule) in RULES {
+        plan = rule(plan);
+        #[cfg(debug_assertions)]
+        if input_valid {
+            assert_rule_sound(_name, &plan, &schema_before);
+        }
+    }
+    plan
+}
+
+/// Debug-build soundness check: every rewrite must keep the plan valid and
+/// preserve the root output schema.
+#[cfg(debug_assertions)]
+fn assert_rule_sound(rule: &str, plan: &LogicalPlan, schema_before: &crate::schema::Schema) {
+    let report = super::validate::validate(plan);
+    if report.has_errors() {
+        panic!(
+            "optimizer rule `{rule}` produced an invalid plan:\n{report}\nplan:\n{}",
+            plan.explain()
+        );
+    }
+    if plan.schema() != schema_before {
+        panic!(
+            "optimizer rule `{rule}` changed the root output schema:\nbefore: {schema_before:?}\nafter:  {:?}\nplan:\n{}",
+            plan.schema(),
+            plan.explain()
+        );
+    }
 }
 
 /// Fold constant subexpressions everywhere.
@@ -797,5 +847,49 @@ mod tests {
         b.sort();
         assert_eq!(a, b);
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "produced an invalid plan")]
+    fn soundness_harness_catches_invalid_plans() {
+        // Simulate a rule that emitted an ill-formed plan (predicate
+        // references a column that does not exist); the post-rule check
+        // must trip and name the rule.
+        let c = setup();
+        let scan = PlanBuilder::scan(&c, "t").unwrap().build();
+        let schema = scan.schema().clone();
+        let bad = LogicalPlan::Filter {
+            input: Box::new(scan),
+            predicate: Expr::col_idx(99).eq(Expr::lit(1i64)),
+        };
+        assert_rule_sound("buggy_rule", &bad, &schema);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "changed the root output schema")]
+    fn soundness_harness_catches_schema_drift() {
+        let c = setup();
+        let narrowed = PlanBuilder::scan(&c, "t")
+            .unwrap()
+            .select_columns(&["id"])
+            .unwrap()
+            .build();
+        let wide = PlanBuilder::scan(&c, "t").unwrap().build();
+        assert_rule_sound("buggy_rule", &narrowed, wide.schema());
+    }
+
+    #[test]
+    fn invalid_input_plans_pass_through_without_panicking() {
+        // optimize() must not panic on a plan that was already invalid —
+        // that is the caller's bug, reported downstream, not a rule's.
+        let c = setup();
+        let scan = PlanBuilder::scan(&c, "t").unwrap().build();
+        let bad = LogicalPlan::Filter {
+            input: Box::new(scan),
+            predicate: Expr::col_idx(99).eq(Expr::lit(1i64)),
+        };
+        let _ = optimize(bad);
     }
 }

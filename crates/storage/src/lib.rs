@@ -32,6 +32,8 @@
 //!
 //! Zero external dependencies beyond the workspace's own crates.
 
+#![forbid(unsafe_code)]
+
 pub mod backend;
 pub mod crc32;
 pub mod snapshot;

@@ -119,7 +119,7 @@ fn checked_body(data: &[u8]) -> StorageResult<&[u8]> {
     if &data[..MAGIC.len()] != MAGIC {
         return Err(corrupt("bad snapshot magic"));
     }
-    let crc = u32::from_le_bytes(data[8..12].try_into().unwrap());
+    let crc = u32::from_le_bytes(data[8..12].try_into().expect("4-byte slice"));
     let body = &data[12..];
     if crc32(body) != crc {
         return Err(corrupt("snapshot crc mismatch"));

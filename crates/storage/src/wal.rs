@@ -361,8 +361,8 @@ pub fn scan(data: &[u8], start: usize) -> WalScan {
 /// Try to decode the frame at `pos`; `None` on any corruption.
 fn try_frame(data: &[u8], pos: usize) -> Option<(WalRecord, usize)> {
     let header = data.get(pos..pos + FRAME_HEADER)?;
-    let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as u64;
-    let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4-byte slice")) as u64;
+    let crc = u32::from_le_bytes(header[4..8].try_into().expect("4-byte slice"));
     if len > MAX_PAYLOAD {
         return None;
     }

@@ -23,6 +23,8 @@
 //!   exact and sampled variants;
 //! * [`engine`] — the search-refine loop of Figures 3 and 4.
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod cloud;
 pub mod engine;

@@ -1,0 +1,137 @@
+//! `crlint` — lint every built-in recommendation strategy.
+//!
+//! Registers each FlexRecs template as a strategy over a synthetic campus
+//! (definition itself rejects anything that fails to compile), then runs
+//! the workflow linter on every registered strategy and prints the coded
+//! diagnostics. Exit status 1 when any strategy has lint errors (or, with
+//! `--strict`, any warnings).
+//!
+//! ```text
+//! crlint            # lint all built-in strategies
+//! crlint --strict   # warnings are fatal too
+//! crlint --codes    # print the diagnostic code table
+//! ```
+
+use std::process::ExitCode;
+
+use courserank::services::strategies::STUDENT_PLACEHOLDER;
+use courserank::CourseRank;
+use cr_flexrecs::templates::{self, SchemaMap};
+use cr_flexrecs::Workflow;
+use cr_relation::plan::validate;
+
+fn builtin_strategies(map: &SchemaMap) -> Vec<(&'static str, &'static str, Workflow)> {
+    let s = STUDENT_PLACEHOLDER;
+    vec![
+        (
+            "related-courses",
+            "courses with similar titles (Figure 5a)",
+            templates::related_courses(map, "Introduction to Programming", None, 10),
+        ),
+        (
+            "user-cf",
+            "user-based collaborative filtering (Figure 5b)",
+            templates::user_cf(map, s, 10, 20, 2, true),
+        ),
+        (
+            "user-cf-weighted",
+            "user CF, similarity-weighted scores",
+            templates::user_cf_weighted(map, s, 10, 20, 2),
+        ),
+        (
+            "similar-students",
+            "students with overlapping course sets",
+            templates::similar_students_by_courses(map, s, 10),
+        ),
+        (
+            "item-item-cf",
+            "courses taken by the same students",
+            templates::item_item_cf(map, 1, 10),
+        ),
+        (
+            "item-item-cf-ratings",
+            "courses rated alike",
+            templates::item_item_cf_ratings(map, 1, 10),
+        ),
+        (
+            "major-recommendation",
+            "what students with many shared courses rated highly",
+            templates::major_recommendation(map, s, 10, 2),
+        ),
+    ]
+}
+
+fn run(strict: bool) -> Result<ExitCode, String> {
+    let (db, _) = cr_datagen::generate(&cr_datagen::ScaleConfig::tiny())
+        .map_err(|e| format!("datagen: {e}"))?;
+    let app = CourseRank::assemble(db).map_err(|e| format!("assemble: {e}"))?;
+    let reg = app.strategies();
+    for (name, desc, wf) in builtin_strategies(&SchemaMap::default()) {
+        reg.define(name, desc, &wf)
+            .map_err(|e| format!("define {name}: {e}"))?;
+    }
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let listed = reg.list().map_err(|e| format!("list: {e}"))?;
+    for info in &listed {
+        let report = reg
+            .lint(&info.name, 444)
+            .map_err(|e| format!("lint {}: {e}", info.name))?;
+        errors += report.errors().count();
+        warnings += report.warnings().count();
+        if report.diagnostics.is_empty() {
+            println!("{:<24} OK", info.name);
+        } else {
+            println!(
+                "{:<24} {}",
+                info.name,
+                if report.is_clean() { "OK" } else { "FAIL" }
+            );
+            for line in report.lines() {
+                println!("    {line}");
+            }
+        }
+    }
+    println!(
+        "\n{} strategies checked: {errors} error(s), {warnings} warning(s)",
+        listed.len()
+    );
+    let failed = errors > 0 || (strict && warnings > 0);
+    Ok(if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn print_codes() {
+    println!("{:<6} description", "code");
+    for (code, desc) in validate::code_table() {
+        println!("{code:<6} {desc}");
+    }
+    println!(
+        "{:<6} workflow failed to compile",
+        cr_flexrecs::lint::E_COMPILE
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: crlint [--strict] [--codes]");
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--codes") {
+        print_codes();
+        return ExitCode::SUCCESS;
+    }
+    let strict = args.iter().any(|a| a == "--strict");
+    match run(strict) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("crlint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

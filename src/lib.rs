@@ -20,6 +20,8 @@
 //! # let _ = stats;
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use courserank;
 pub use cr_datagen;
 pub use cr_flexrecs;

@@ -3,6 +3,9 @@
 //! in. The catalog takes per-table reader-writer locks; these tests drive
 //! the assembled system from many threads at once.
 
+// Test code: panicking on a broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use std::thread;

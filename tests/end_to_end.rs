@@ -3,6 +3,9 @@
 //! reads a course page, gets recommendations, plans a quarter, audits
 //! requirements, asks a question, answers arrive, votes and points flow.
 
+// Test code: panicking on a broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use courserank::auth::Role;
 use courserank::db::{Comment, EnrollStatus, Enrollment};
 use courserank::model::{Quarter, Term};

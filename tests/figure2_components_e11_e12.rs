@@ -1,6 +1,9 @@
 //! E11/E12 — Figure 1 (course page, planner grid) and Figure 2 (system
 //! architecture): every component exercised end-to-end through the facade.
 
+// Test code: panicking on a broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use courserank::auth::{Capability, Role};
 use courserank::services::recs::RecOptions;
 use courserank::CourseRank;

@@ -1,6 +1,9 @@
 //! E4/E5/A2 — Figure 5: the two FlexRecs workflows, plus plan-pipeline vs
 //! interpreter equivalence.
 
+// Test code: panicking on a broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use std::collections::HashMap;
 
 use courserank::services::recs::{RecOptions, Recommender};

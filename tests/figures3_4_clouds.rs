@@ -9,6 +9,9 @@
 //! background noise), and cloud-term refinement narrows results by an
 //! order of magnitude.
 
+// Test code: panicking on a broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use courserank::CourseRank;
 use cr_datagen::ScaleConfig;
 

@@ -10,6 +10,9 @@
 //! artifact. Ratings are integers so weighted aggregates are exact f64
 //! sums and merge order cannot perturb them.
 
+// Test code: panicking on a broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use cr_flexrecs::compile::{compile_and_run, compile_and_run_with};
 use cr_flexrecs::{execute, CmpOp, Node, RecAgg, RecMethod, RecommendSpec, WfPredicate, Workflow};
 use cr_relation::{Database, ExecOptions, RatingsSim, SetSim, TextSim, Value};
@@ -405,6 +408,73 @@ proptest! {
                 wf.explain()
             ),
         }
+    }
+
+    /// Linting is total: every random workflow either lints clean (no
+    /// errors) and compiles, or yields a structured E-coded diagnostic —
+    /// never a panic. Lint verdict and compile outcome must agree.
+    #[test]
+    fn lint_is_total_and_agrees_with_compile(
+        users in proptest::collection::vec(0i64..7, 0..16),
+        ratings in proptest::collection::vec((0i64..20, 0i64..6, 0i64..6), 0..48),
+        wf in arb_workflow(),
+    ) {
+        let db = build_db(&users, &ratings);
+        let catalog = db.catalog();
+        let report = wf.lint(&catalog);
+        let compiled = cr_flexrecs::compile::compile(&wf, &catalog);
+        match (report.is_clean(), &compiled) {
+            (true, Ok(_)) | (false, Err(_)) => {}
+            (clean, _) => prop_assert!(
+                false,
+                "lint ({}) and compile ({:?}) disagree\n{report}\n{}",
+                if clean { "clean" } else { "errors" },
+                compiled.as_ref().err(),
+                wf.explain()
+            ),
+        }
+        for d in &report.diagnostics {
+            prop_assert!(
+                d.code.starts_with('E') || d.code.starts_with('W'),
+                "malformed diagnostic code {:?}", d.code
+            );
+        }
+    }
+}
+
+/// Every built-in strategy template lints clean (warnings allowed, no
+/// errors) against a representative campus schema.
+#[test]
+fn builtin_templates_lint_clean() {
+    use cr_flexrecs::templates::{self, SchemaMap};
+    let db = {
+        let d = cr_relation::Database::new();
+        d.execute_sql(
+            "CREATE TABLE Courses (CourseID INT PRIMARY KEY, Title TEXT, DepID INT, Year INT)",
+        )
+        .unwrap();
+        d.execute_sql("CREATE TABLE Students (SuID INT PRIMARY KEY, Name TEXT)")
+            .unwrap();
+        d.execute_sql(
+            "CREATE TABLE Comments (SuID INT, CourseID INT, Rating FLOAT, \
+             PRIMARY KEY (SuID, CourseID))",
+        )
+        .unwrap();
+        d
+    };
+    let m = SchemaMap::default();
+    let wfs = vec![
+        templates::related_courses(&m, "Databases", None, 5),
+        templates::user_cf(&m, 1, 5, 5, 1, true),
+        templates::user_cf_weighted(&m, 1, 5, 5, 1),
+        templates::similar_students_by_courses(&m, 1, 5),
+        templates::item_item_cf(&m, 1, 5),
+        templates::item_item_cf_ratings(&m, 1, 5),
+        templates::major_recommendation(&m, 1, 5, 1),
+    ];
+    for wf in wfs {
+        let report = wf.lint(&db.catalog());
+        assert!(report.is_clean(), "{report}");
     }
 }
 

@@ -7,6 +7,9 @@
 //!
 //! E10: the Yahoo! Answers-style point scheme plus anti-gaming caps.
 
+// Test code: panicking on a broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use courserank::services::forum::{Forum, Question, RoutingConfig};
 use courserank::services::incentives::{Incentives, PointEvent};
 use cr_datagen::ScaleConfig;

@@ -10,6 +10,9 @@
 //! E8: "we do not show distributions for classes with very few students" +
 //! plan-sharing opt-out.
 
+// Test code: panicking on a broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use courserank::services::grades::{total_variation, Grades};
 use courserank::services::privacy::{Privacy, Withheld};
 use courserank::CourseRank;

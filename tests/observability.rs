@@ -2,6 +2,9 @@
 //! and one pass through the assembled system leaves nonzero counters for
 //! every instrumented layer.
 
+// Test code: panicking on a broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use courserank::services::recs::RecOptions;
 use courserank::CourseRank;
 use cr_datagen::ScaleConfig;

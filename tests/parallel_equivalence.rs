@@ -9,6 +9,9 @@
 //! f64 additions of integer values well below 2^53, so chunked summation
 //! is exact and merge order cannot perturb the result.
 
+// Test code: panicking on a broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use cr_relation::{Database, ExecOptions};
 use cr_textsearch::engine::SearchEngine;
 use cr_textsearch::entity::{build_index, EntitySpec};

@@ -1,0 +1,505 @@
+//! Plan-mutation corpus: systematically corrupt well-formed plans (derived
+//! from the golden strategy templates of `plan_snapshots.rs` plus
+//! hand-built ones) and assert the validator flags every corruption with
+//! the *right* diagnostic code. This is the validator's own test of
+//! coverage: a corruption that slips through here would reach the executor
+//! as a wrong answer or a panic.
+
+// Test code: panicking on a broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
+use cr_datagen::ScaleConfig;
+use cr_flexrecs::templates::{self, SchemaMap};
+use cr_relation::plan::validate::{self, ValidationReport};
+use cr_relation::plan::{JoinKind, LogicalPlan, RecMethod, RecSpec};
+use cr_relation::schema::{Column, DataType, Schema};
+use cr_relation::value::Value;
+use cr_relation::{Database, Expr, PlanBuilder};
+
+fn campus() -> Database {
+    let (db, _) = cr_datagen::generate(&ScaleConfig::tiny()).unwrap();
+    db.database().clone()
+}
+
+/// Compile a strategy template to its (unoptimized, known-valid) plan.
+fn user_cf_plan(db: &Database) -> LogicalPlan {
+    let wf = templates::user_cf(&SchemaMap::default(), 444, 10, 20, 2, true);
+    cr_flexrecs::compile::compile(&wf, &db.catalog()).unwrap()
+}
+
+/// Drop the last column from a schema.
+fn drop_last(schema: &Schema) -> Schema {
+    let mut cols = schema.columns().to_vec();
+    cols.pop();
+    Schema::new(cols)
+}
+
+/// Retype one column of a schema.
+fn retype(schema: &Schema, i: usize, dt: DataType) -> Schema {
+    let mut cols = schema.columns().to_vec();
+    cols[i].data_type = dt;
+    Schema::new(cols)
+}
+
+fn assert_flags(report: &ValidationReport, code: &str) {
+    assert!(report.has_code(code), "expected {code}, got: {report}");
+}
+
+#[test]
+fn baseline_template_plan_is_valid() {
+    let db = campus();
+    let plan = user_cf_plan(&db);
+    let report = validate::validate_against(&plan, &db.catalog());
+    assert!(report.is_empty(), "{report}");
+}
+
+// --- E001: column reference out of range ----------------------------------
+
+#[test]
+fn mutation_filter_column_out_of_range() {
+    let db = campus();
+    let scan = PlanBuilder::scan(&db.catalog(), "Students")
+        .unwrap()
+        .build();
+    let bad = LogicalPlan::Filter {
+        input: Box::new(scan),
+        predicate: Expr::col_idx(99).eq(Expr::lit(1i64)),
+    };
+    assert_flags(&validate::validate(&bad), "E001");
+}
+
+#[test]
+fn mutation_extend_key_out_of_range() {
+    let db = campus();
+    let plan = user_cf_plan(&db);
+    // The comparator side of the outer Recommend is the inner Recommend,
+    // whose target is the ε-Extend — point its key at a ghost column.
+    let bad = map_first_extend(plan, |mut e| {
+        if let LogicalPlan::Extend { key_col, .. } = &mut e {
+            *key_col = 99;
+        }
+        e
+    });
+    assert_flags(&validate::validate(&bad), "E001");
+}
+
+// --- E002: unbound column name --------------------------------------------
+
+#[test]
+fn mutation_unbound_name_in_predicate() {
+    let db = campus();
+    let scan = PlanBuilder::scan(&db.catalog(), "Students")
+        .unwrap()
+        .build();
+    let bad = LogicalPlan::Filter {
+        input: Box::new(scan),
+        predicate: Expr::col("no_such_column").eq(Expr::lit(1i64)),
+    };
+    assert_flags(&validate::validate(&bad), "E002");
+}
+
+// --- E003: retyped predicate ----------------------------------------------
+
+#[test]
+fn mutation_nonboolean_predicate() {
+    let db = campus();
+    let scan = PlanBuilder::scan(&db.catalog(), "Students")
+        .unwrap()
+        .build();
+    // A bare Int column where a boolean belongs.
+    let bad = LogicalPlan::Filter {
+        input: Box::new(scan),
+        predicate: Expr::col_idx(0),
+    };
+    assert_flags(&validate::validate(&bad), "E003");
+}
+
+// --- E004: schema arity drift ---------------------------------------------
+
+#[test]
+fn mutation_dropped_output_column() {
+    let db = campus();
+    let plan = user_cf_plan(&db);
+    let bad = match plan {
+        LogicalPlan::Recommend {
+            target,
+            comparator,
+            spec,
+            schema,
+        } => LogicalPlan::Recommend {
+            target,
+            comparator,
+            spec,
+            schema: drop_last(&schema),
+        },
+        other => panic!("expected Recommend root, got {}", other.explain()),
+    };
+    assert_flags(&validate::validate(&bad), "E004");
+}
+
+// --- E005: schema type drift ----------------------------------------------
+
+#[test]
+fn mutation_retyped_join_output() {
+    let db = campus();
+    let c = db.catalog();
+    let left = PlanBuilder::scan(&c, "Students").unwrap();
+    let right = PlanBuilder::scan(&c, "Courses").unwrap();
+    let plan = left
+        .join_on(right, JoinKind::Inner, "Students.SuID", "Courses.CourseID")
+        .unwrap()
+        .build();
+    let bad = match plan {
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            schema,
+        } => LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            schema: retype(&schema, 0, DataType::Text),
+        },
+        other => panic!("expected Join, got {}", other.explain()),
+    };
+    assert_flags(&validate::validate(&bad), "E005");
+}
+
+// --- E006: join key swapped onto a nested column --------------------------
+
+#[test]
+fn mutation_join_on_nested_column() {
+    let db = campus();
+    let plan = user_cf_plan(&db);
+    // Steal the valid ε-Extend from the template plan and join its output
+    // (which ends in a Ratings column) against a plain scan, keyed on the
+    // nested column.
+    let ext = extract_first_extend(&plan).expect("template plan contains an Extend");
+    let nested_idx = ext.schema().len() - 1;
+    let right = PlanBuilder::scan(&db.catalog(), "Courses").unwrap().build();
+    let schema = ext.schema().join(right.schema());
+    let bad = LogicalPlan::Join {
+        left: Box::new(ext.clone()),
+        right: Box::new(right),
+        kind: JoinKind::Inner,
+        on: Expr::col_idx(nested_idx).eq(Expr::col_idx(nested_idx + 1)),
+        schema,
+    };
+    assert_flags(&validate::validate(&bad), "E006");
+}
+
+// --- E007: orphaned Extend (related side wrong arity) ---------------------
+
+#[test]
+fn mutation_extend_related_arity() {
+    let db = campus();
+    let plan = user_cf_plan(&db);
+    let bad = map_first_extend(plan, |mut e| {
+        if let LogicalPlan::Extend { related, .. } = &mut e {
+            // Narrow the related side to a single column.
+            let narrowed = match (**related).clone() {
+                LogicalPlan::Scan {
+                    table,
+                    alias,
+                    projection: Some(p),
+                    filter,
+                    schema,
+                } => LogicalPlan::Scan {
+                    table,
+                    alias,
+                    projection: Some(p[..1].to_vec()),
+                    filter,
+                    schema: Schema::new(schema.columns()[..1].to_vec()),
+                },
+                other => panic!("expected projected Scan, got {}", other.explain()),
+            };
+            **related = narrowed;
+        }
+        e
+    });
+    assert_flags(&validate::validate(&bad), "E007");
+}
+
+// --- E008: extend key not scalar ------------------------------------------
+
+#[test]
+fn mutation_extend_key_nested() {
+    let db = campus();
+    let plan = user_cf_plan(&db);
+    let ext = extract_first_extend(&plan).expect("template plan contains an Extend");
+    let nested_idx = ext.schema().len() - 1;
+    // Extend the already-extended input again, keyed on its nested column.
+    let mut schema = ext.schema().clone();
+    schema = {
+        let mut cols = schema.columns().to_vec();
+        cols.push(Column::new("again", DataType::Ratings));
+        Schema::new(cols)
+    };
+    let related = extract_first_related(&plan).expect("template plan contains a related side");
+    let bad = LogicalPlan::Extend {
+        input: Box::new(ext.clone()),
+        related: Box::new(related),
+        key_col: nested_idx,
+        rating: true,
+        as_name: "again".into(),
+        schema,
+    };
+    assert_flags(&validate::validate(&bad), "E008");
+}
+
+// --- E009: extend output column retyped -----------------------------------
+
+#[test]
+fn mutation_extend_output_retyped() {
+    let db = campus();
+    let plan = user_cf_plan(&db);
+    let bad = map_first_extend(plan, |mut e| {
+        if let LogicalPlan::Extend { schema, .. } = &mut e {
+            *schema = retype(schema, schema.len() - 1, DataType::Int);
+        }
+        e
+    });
+    assert_flags(&validate::validate(&bad), "E009");
+}
+
+// --- E010: recommend spec column out of range -----------------------------
+
+#[test]
+fn mutation_recommend_spec_out_of_range() {
+    let db = campus();
+    let plan = user_cf_plan(&db);
+    let bad = match plan {
+        LogicalPlan::Recommend {
+            target,
+            comparator,
+            mut spec,
+            schema,
+        } => {
+            spec.target_col = 42;
+            LogicalPlan::Recommend {
+                target,
+                comparator,
+                spec,
+                schema,
+            }
+        }
+        other => panic!("expected Recommend root, got {}", other.explain()),
+    };
+    assert_flags(&validate::validate(&bad), "E010");
+}
+
+// --- E011: recommend method type discipline -------------------------------
+
+#[test]
+fn mutation_recommend_method_swapped() {
+    let db = campus();
+    let plan = user_cf_plan(&db);
+    // The inner recommend compares Ratings ~ Ratings; force a Set method.
+    let bad = map_first_inner_recommend(plan, |mut spec: RecSpec| {
+        spec.method = RecMethod::Set(cr_relation::similarity::SetSim::Jaccard);
+        spec
+    });
+    assert_flags(&validate::validate(&bad), "E011");
+}
+
+// --- E012: recommend score column corrupted -------------------------------
+
+#[test]
+fn mutation_recommend_score_retyped() {
+    let db = campus();
+    let plan = user_cf_plan(&db);
+    let bad = match plan {
+        LogicalPlan::Recommend {
+            target,
+            comparator,
+            spec,
+            schema,
+        } => {
+            let last = schema.len() - 1;
+            LogicalPlan::Recommend {
+                target,
+                comparator,
+                spec,
+                schema: retype(&schema, last, DataType::Int),
+            }
+        }
+        other => panic!("expected Recommend root, got {}", other.explain()),
+    };
+    assert_flags(&validate::validate(&bad), "E012");
+}
+
+// --- E013: union arms drift apart -----------------------------------------
+
+#[test]
+fn mutation_union_mismatch() {
+    let db = campus();
+    let c = db.catalog();
+    let left = PlanBuilder::scan(&c, "Students").unwrap().build();
+    let right = PlanBuilder::scan(&c, "Courses").unwrap().build();
+    let bad = LogicalPlan::Union {
+        left: Box::new(left),
+        right: Box::new(right),
+    };
+    assert_flags(&validate::validate(&bad), "E013");
+}
+
+// --- E014: scan projection out of range (catalog mode) --------------------
+
+#[test]
+fn mutation_scan_projection_out_of_range() {
+    let db = campus();
+    let c = db.catalog();
+    let full = c.table_schema("Students").unwrap();
+    let bad = LogicalPlan::Scan {
+        table: "Students".into(),
+        alias: None,
+        projection: Some(vec![0, 99]),
+        filter: None,
+        schema: Schema::new(vec![
+            full.columns()[0].clone(),
+            Column::new("ghost", DataType::Int),
+        ]),
+    };
+    assert_flags(&validate::validate_against(&bad, &c), "E014");
+}
+
+// --- E015: values row arity -----------------------------------------------
+
+#[test]
+fn mutation_values_row_arity() {
+    let bad = LogicalPlan::Values {
+        schema: Schema::new(vec![Column::new("x", DataType::Int)]),
+        rows: vec![vec![Value::Int(1), Value::Int(2)]],
+    };
+    assert_flags(&validate::validate(&bad), "E015");
+}
+
+// --- E016: unknown table (catalog mode) -----------------------------------
+
+#[test]
+fn mutation_scan_unknown_table() {
+    let db = campus();
+    let bad = LogicalPlan::Scan {
+        table: "NoSuchTable".into(),
+        alias: None,
+        projection: None,
+        filter: None,
+        schema: Schema::default(),
+    };
+    assert_flags(&validate::validate_against(&bad, &db.catalog()), "E016");
+}
+
+// --- corruption coverage --------------------------------------------------
+
+#[test]
+fn corpus_covers_at_least_ten_distinct_codes() {
+    // Every distinct code exercised above; keep this list in sync so the
+    // acceptance bar (>= 10 distinct seeded corruptions) stays visible.
+    let covered = [
+        "E001", "E002", "E003", "E004", "E005", "E006", "E007", "E008", "E009", "E010", "E011",
+        "E012", "E013", "E014", "E015", "E016",
+    ];
+    assert!(covered.len() >= 10);
+    let table: Vec<&str> = validate::code_table().iter().map(|(c, _)| *c).collect();
+    for code in covered {
+        assert!(table.contains(&code), "{code} missing from code_table()");
+    }
+}
+
+// --- helpers ---------------------------------------------------------------
+
+/// Apply `f` to the first Extend node found (preorder), rebuilding the
+/// tree.
+fn map_first_extend(plan: LogicalPlan, f: impl Fn(LogicalPlan) -> LogicalPlan) -> LogicalPlan {
+    fn go(
+        plan: LogicalPlan,
+        done: &mut bool,
+        f: &dyn Fn(LogicalPlan) -> LogicalPlan,
+    ) -> LogicalPlan {
+        if *done {
+            return plan;
+        }
+        if matches!(plan, LogicalPlan::Extend { .. }) {
+            *done = true;
+            return f(plan);
+        }
+        match plan {
+            LogicalPlan::Recommend {
+                target,
+                comparator,
+                spec,
+                schema,
+            } => LogicalPlan::Recommend {
+                target: Box::new(go(*target, done, f)),
+                comparator: Box::new(go(*comparator, done, f)),
+                spec,
+                schema,
+            },
+            LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+                input: Box::new(go(*input, done, f)),
+                predicate,
+            },
+            other => other,
+        }
+    }
+    let mut done = false;
+    go(plan, &mut done, &f)
+}
+
+/// Find the first Extend node (preorder).
+fn extract_first_extend(plan: &LogicalPlan) -> Option<LogicalPlan> {
+    match plan {
+        LogicalPlan::Extend { .. } => Some(plan.clone()),
+        LogicalPlan::Recommend {
+            target, comparator, ..
+        } => extract_first_extend(target).or_else(|| extract_first_extend(comparator)),
+        LogicalPlan::Filter { input, .. } => extract_first_extend(input),
+        _ => None,
+    }
+}
+
+/// Find the related side of the first Extend node.
+fn extract_first_related(plan: &LogicalPlan) -> Option<LogicalPlan> {
+    match extract_first_extend(plan)? {
+        LogicalPlan::Extend { related, .. } => Some(*related),
+        _ => None,
+    }
+}
+
+/// Apply `f` to the spec of the first *nested* Recommend (the comparator
+/// side of the root).
+fn map_first_inner_recommend(plan: LogicalPlan, f: impl Fn(RecSpec) -> RecSpec) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Recommend {
+            target,
+            comparator,
+            spec,
+            schema,
+        } => {
+            let comparator = match *comparator {
+                LogicalPlan::Recommend {
+                    target: t2,
+                    comparator: c2,
+                    spec: s2,
+                    schema: sch2,
+                } => LogicalPlan::Recommend {
+                    target: t2,
+                    comparator: c2,
+                    spec: f(s2),
+                    schema: sch2,
+                },
+                other => panic!("expected nested Recommend, got {}", other.explain()),
+            };
+            LogicalPlan::Recommend {
+                target,
+                comparator: Box::new(comparator),
+                spec,
+                schema,
+            }
+        }
+        other => panic!("expected Recommend root, got {}", other.explain()),
+    }
+}

@@ -5,6 +5,9 @@
 //! projection no longer pruning the related-table read) show up as
 //! reviewable text.
 
+// Test code: panicking on a broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use cr_datagen::ScaleConfig;
 use cr_flexrecs::compile::explain_sql;
 use cr_flexrecs::templates::{self, SchemaMap};

@@ -2,6 +2,9 @@
 //! place, the resulting plan is always valid — no prerequisite violations,
 //! no time conflicts, no overloaded quarters.
 
+// Test code: panicking on a broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use courserank::db::{Course, CourseRankDb, EnrollStatus, Enrollment, Offering};
 use courserank::model::{CourseId, Days, Quarter, Term};
 use courserank::services::planner::{Planner, PlannerConfig};

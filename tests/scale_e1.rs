@@ -7,6 +7,9 @@
 //! verify the preset and, at reduced scale, that the generated database's
 //! relation counts match the generator's claims.
 
+// Test code: panicking on a broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use cr_datagen::ScaleConfig;
 
 #[test]

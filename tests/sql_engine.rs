@@ -1,6 +1,9 @@
 //! Cross-crate SQL conformance: the engine subset FlexRecs compiles onto,
 //! exercised through the public `Database` API with property tests.
 
+// Test code: panicking on a broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use cr_relation::{Database, Value};
 use proptest::prelude::*;
 

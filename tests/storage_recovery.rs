@@ -10,6 +10,9 @@
 //! (including physical row ids), search hits, and recommendations all
 //! match, and `storage.replay.*` metrics land in `metrics_snapshot()`.
 
+// Test code: panicking on a broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use std::sync::Arc;
 
 use courserank::db::{Comment, Course, CourseRankDb, Student};

@@ -14,6 +14,9 @@
 //! | users: authorized, real ids          | session carries directory id     |
 //! | users: community-shaped interests    | majors skew enrollment           |
 
+// Test code: panicking on a broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
 use courserank::auth::Role;
 use courserank::CourseRank;
 use cr_datagen::ScaleConfig;
