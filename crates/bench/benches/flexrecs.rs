@@ -20,6 +20,7 @@ fn bench_flexrecs(c: &mut Criterion) {
     let par = ExecOptions {
         parallelism: 4,
         min_partition_rows: 64,
+        ..ExecOptions::default()
     };
 
     // ---- E4: Figure 5(a) ----------------------------------------------

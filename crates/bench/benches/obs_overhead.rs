@@ -5,7 +5,9 @@
 //!   one relaxed atomic load per query;
 //! * `execute_enabled`  — counters + latency histograms recording;
 //! * `explain_analyze`  — full per-operator profiling (one clock read per
-//!   plan node, not per row).
+//!   plan node, not per row);
+//! * `execute_traced`   — flight recorder on: a span per plan operator
+//!   recorded into the ring (see `tracing_overhead` for the PR6 gate).
 //!
 //! Acceptance: enabled within 5% of disabled on this workload.
 
@@ -73,6 +75,12 @@ fn bench_obs_overhead(c: &mut Criterion) {
     group.bench_function("explain_analyze", |b| {
         b.iter(|| db.explain_analyze_sql(QUERY).unwrap())
     });
+
+    cr_obs::trace::enable();
+    group.bench_function("execute_traced", |b| {
+        b.iter(|| db.query_sql(QUERY).unwrap())
+    });
+    cr_obs::trace::disable();
     cr_obs::disable();
 
     group.finish();

@@ -99,6 +99,7 @@ fn main() {
             let opts = ExecOptions {
                 parallelism,
                 min_partition_rows: 1024,
+                ..ExecOptions::default()
             };
             let ns = median_ns(iters, || {
                 db.query_sql_with(sql, &opts).unwrap();

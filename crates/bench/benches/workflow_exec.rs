@@ -37,6 +37,7 @@ fn main() {
     let par = ExecOptions {
         parallelism: 4,
         min_partition_rows: 64,
+        ..ExecOptions::default()
     };
 
     let workflows = [

@@ -314,6 +314,7 @@ mod tests {
         let exec = ExecOptions {
             parallelism: 2,
             min_partition_rows: 1,
+            adaptive: false,
         };
         app.db()
             .database()

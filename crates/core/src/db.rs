@@ -197,6 +197,8 @@ impl CourseRankDb {
         for ddl in INDEX_SQL {
             db.execute_sql(ddl).expect("index DDL is valid");
         }
+        cr_relation::telemetry::register_system_tables(&db.catalog())
+            .expect("system tables never collide with the app schema");
         CourseRankDb { db, storage: None }
     }
 
@@ -226,6 +228,9 @@ impl CourseRankDb {
                 Err(e) => return Err(e.into()),
             }
         }
+        // Virtual tables only — table_names() (and thus snapshots) never
+        // see them, so telemetry is queryable but never persisted.
+        cr_relation::telemetry::register_system_tables(&db.catalog())?;
         Ok((
             CourseRankDb {
                 db,

@@ -137,6 +137,10 @@ pub fn compile_and_run_with(
     catalog: &Catalog,
     opts: &ExecOptions,
 ) -> RelResult<CompiledRun> {
+    let mut run_span = cr_obs::trace::TraceSpan::child("flexrecs.run");
+    if run_span.is_recording() {
+        run_span.attr("workflow", workflow.name.to_string());
+    }
     let started = Instant::now();
     let mut steps = Vec::with_capacity(3);
     let mut phase = |label: &str, rows: usize, elapsed: Duration| {
@@ -151,16 +155,25 @@ pub fn compile_and_run_with(
     };
 
     let t0 = Instant::now();
-    let out_schema = infer_schema(&workflow.root, catalog)?;
-    let plan = lower(&workflow.root, catalog)?;
+    let (out_schema, plan) = {
+        let _stage = cr_obs::trace::TraceSpan::child("flexrecs.lower");
+        let out_schema = infer_schema(&workflow.root, catalog)?;
+        (out_schema, lower(&workflow.root, catalog)?)
+    };
     phase("Lower", 0, t0.elapsed());
 
     let t0 = Instant::now();
-    let plan = optimizer::optimize(plan);
+    let plan = {
+        let _stage = cr_obs::trace::TraceSpan::child("flexrecs.optimize");
+        optimizer::optimize(plan)
+    };
     phase("Optimize", 0, t0.elapsed());
 
     let t0 = Instant::now();
-    let rs = cr_relation::exec::execute_with(&plan, catalog, opts)?;
+    let rs = {
+        let _stage = cr_obs::trace::TraceSpan::child("flexrecs.execute");
+        cr_relation::exec::execute_with(&plan, catalog, opts)?
+    };
     phase("Execute", rs.rows.len(), t0.elapsed());
 
     let tuples = rs
@@ -560,6 +573,7 @@ mod tests {
             let opts = ExecOptions {
                 parallelism: n,
                 min_partition_rows: 1,
+                adaptive: false,
             };
             let compiled = compile_and_run_with(&wf, &db.catalog(), &opts).unwrap();
             assert_eq!(compiled.result, direct, "parallelism={n}");

@@ -11,7 +11,10 @@
 //!   sections into histograms and compiles down to "one relaxed load,
 //!   then nothing" when collection is disabled;
 //! * **snapshot rendering** ([`MetricsSnapshot`]) as hand-rolled JSON,
-//!   Prometheus text exposition, or a human-readable table.
+//!   Prometheus text exposition, or a human-readable table;
+//! * a **flight recorder** ([`trace`]) of hierarchical trace spans in
+//!   a lock-free bounded ring, with a Chrome trace-event exporter and
+//!   a slow-request log — individually gated, also off by default.
 //!
 //! Collection is **off by default**. Call [`install`] (or [`enable`])
 //! once at startup; every instrumentation site in the workspace guards
@@ -34,8 +37,10 @@ pub mod histogram;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
 pub use histogram::{Histogram, HistogramSnapshot, QUANTILE_RELATIVE_ERROR};
 pub use registry::{disable, enable, enabled, install, Counter, Gauge, Registry};
 pub use snapshot::MetricsSnapshot;
 pub use span::{timed, Span};
+pub use trace::{FlightRecorder, SlowQuery, SpanContext, SpanId, SpanRecord, TraceId, TraceSpan};

@@ -6,6 +6,7 @@
 //! inserts take short write locks on a single table.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -16,6 +17,7 @@ use crate::expr::Expr;
 use crate::index::IndexKind;
 use crate::mutation::{MutationObserver, ObserverSlot};
 use crate::plan::{self, optimizer, LogicalPlan};
+use crate::provider::ScanProvider;
 use crate::row::{Row, RowId};
 use crate::schema::Schema;
 use crate::sql;
@@ -23,12 +25,27 @@ use crate::table::Table;
 
 /// The set of tables. Cloning a `Catalog` is cheap (it is an `Arc` inside);
 /// clones see the same data.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct Catalog {
     inner: Arc<RwLock<BTreeMap<String, Arc<RwLock<Table>>>>>,
     /// Durability hook, shared by all clones; propagated to every table
     /// (existing and future) by [`Catalog::set_observer`].
     observer: Arc<RwLock<ObserverSlot>>,
+    /// Virtual tables ([`ScanProvider`]s) by lowercase name. Read-only,
+    /// never persisted, resolved after base tables.
+    providers: Arc<RwLock<BTreeMap<String, Arc<dyn ScanProvider>>>>,
+    /// Monotone counter handed out as the "version" of every virtual
+    /// table scan, so result caches treat telemetry as always-stale.
+    virtual_tick: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Catalog")
+            .field("tables", &self.table_names())
+            .field("virtual", &self.virtual_table_names())
+            .finish()
+    }
 }
 
 impl Catalog {
@@ -53,8 +70,11 @@ impl Catalog {
         schema: Schema,
         pk_columns: Vec<usize>,
     ) -> RelResult<()> {
-        let mut tables = self.inner.write();
         let key = name.to_ascii_lowercase();
+        if self.providers.read().contains_key(&key) {
+            return Err(RelError::TableExists(name.to_owned()));
+        }
+        let mut tables = self.inner.write();
         if tables.contains_key(&key) {
             return Err(RelError::TableExists(name.to_owned()));
         }
@@ -84,8 +104,60 @@ impl Catalog {
         Ok(())
     }
 
+    /// Register a virtual table: a [`ScanProvider`] whose rows are
+    /// computed at scan time. Reads resolve it like a base table (the
+    /// standard plan path applies); writes and DROP are rejected, and
+    /// it never appears in [`Catalog::table_names`], so persistence
+    /// layers never try to snapshot it.
+    pub fn register_scan_provider(
+        &self,
+        name: &str,
+        provider: Arc<dyn ScanProvider>,
+    ) -> RelResult<()> {
+        let key = name.to_ascii_lowercase();
+        if self.inner.read().contains_key(&key) {
+            return Err(RelError::TableExists(name.to_owned()));
+        }
+        let mut providers = self.providers.write();
+        if providers.contains_key(&key) {
+            return Err(RelError::TableExists(name.to_owned()));
+        }
+        providers.insert(key, provider);
+        Ok(())
+    }
+
+    fn provider(&self, name: &str) -> Option<Arc<dyn ScanProvider>> {
+        let providers = self.providers.read();
+        if providers.is_empty() {
+            return None; // common case: no virtual tables registered
+        }
+        providers.get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    /// Materialize a provider's current rows as a transient read-only
+    /// [`Table`] (no observer, no secondary indexes). The version is a
+    /// fresh [`Catalog::virtual_tick`] so dependent caches always see
+    /// a change.
+    fn materialize(&self, name: &str, provider: &dyn ScanProvider) -> RelResult<Table> {
+        let rows = provider.rows()?;
+        let slots = rows.into_iter().map(Some).collect();
+        let version = self.virtual_tick.fetch_add(1, Ordering::Relaxed) + 1;
+        Ok(Table::restore(
+            name,
+            provider.schema(),
+            vec![],
+            slots,
+            version,
+        ))
+    }
+
     /// Drop a table.
     pub fn drop_table(&self, name: &str) -> RelResult<()> {
+        if self.provider(name).is_some() {
+            return Err(RelError::Invalid(format!(
+                "system table {name} cannot be dropped"
+            )));
+        }
         let mut tables = self.inner.write();
         let removed = tables.remove(&name.to_ascii_lowercase());
         drop(tables);
@@ -119,23 +191,49 @@ impl Catalog {
             .ok_or_else(|| RelError::UnknownTable(name.to_owned()))
     }
 
-    /// Run a closure with read access to a table.
+    /// Run a closure with read access to a table. A virtual table is
+    /// materialized from its provider for the duration of the call.
     pub fn with_table<R>(&self, name: &str, f: impl FnOnce(&Table) -> R) -> RelResult<R> {
-        let h = self.handle(name)?;
-        let guard = h.read();
-        Ok(f(&guard))
+        match self.handle(name) {
+            Ok(h) => {
+                let guard = h.read();
+                Ok(f(&guard))
+            }
+            Err(unknown) => match self.provider(name) {
+                Some(p) => Ok(f(&self.materialize(name, p.as_ref())?)),
+                None => Err(unknown),
+            },
+        }
     }
 
-    /// Run a closure with write access to a table.
+    /// Run a closure with write access to a table. Virtual tables are
+    /// read-only and reject this.
     pub fn with_table_mut<R>(&self, name: &str, f: impl FnOnce(&mut Table) -> R) -> RelResult<R> {
-        let h = self.handle(name)?;
-        let mut guard = h.write();
-        Ok(f(&mut guard))
+        match self.handle(name) {
+            Ok(h) => {
+                let mut guard = h.write();
+                Ok(f(&mut guard))
+            }
+            Err(unknown) => match self.provider(name) {
+                Some(_) => Err(RelError::Invalid(format!(
+                    "system table {name} is read-only"
+                ))),
+                None => Err(unknown),
+            },
+        }
     }
 
-    /// Schema of a table (cloned).
+    /// Schema of a table (cloned). Virtual tables answer from their
+    /// provider without materializing any rows (binders and validators
+    /// call this on every scan).
     pub fn table_schema(&self, name: &str) -> RelResult<Schema> {
-        self.with_table(name, |t| t.schema().clone())
+        match self.handle(name) {
+            Ok(h) => Ok(h.read().schema().clone()),
+            Err(unknown) => match self.provider(name) {
+                Some(p) => Ok(p.schema()),
+                None => Err(unknown),
+            },
+        }
     }
 
     /// Live row count.
@@ -145,19 +243,34 @@ impl Catalog {
 
     /// Monotonic mutation counter for a table (see [`Table::version`]).
     /// Result caches snapshot these per dependency and treat any change
-    /// as an invalidation.
+    /// as an invalidation. Virtual tables answer with a fresh tick on
+    /// every call — telemetry is never cacheable.
     pub fn table_version(&self, name: &str) -> RelResult<u64> {
-        self.with_table(name, Table::version)
+        match self.handle(name) {
+            Ok(h) => Ok(h.read().version()),
+            Err(unknown) => match self.provider(name) {
+                Some(_) => Ok(self.virtual_tick.fetch_add(1, Ordering::Relaxed) + 1),
+                None => Err(unknown),
+            },
+        }
     }
 
-    /// True if a table exists.
+    /// True if a table (base or virtual) exists.
     pub fn has_table(&self, name: &str) -> bool {
-        self.inner.read().contains_key(&name.to_ascii_lowercase())
+        let key = name.to_ascii_lowercase();
+        self.inner.read().contains_key(&key) || self.providers.read().contains_key(&key)
     }
 
-    /// All table names, sorted.
+    /// All **base** table names, sorted. Virtual tables are deliberately
+    /// excluded: persistence (snapshots) iterates this list, and
+    /// telemetry must never be written to disk as data.
     pub fn table_names(&self) -> Vec<String> {
         self.inner.read().keys().cloned().collect()
+    }
+
+    /// All virtual (scan-provider) table names, sorted.
+    pub fn virtual_table_names(&self) -> Vec<String> {
+        self.providers.read().keys().cloned().collect()
     }
 }
 

@@ -41,6 +41,41 @@ struct RelMetrics {
     scan_index_range: Arc<cr_obs::Counter>,
     parallel_ops: Arc<cr_obs::Counter>,
     partitions_spawned: Arc<cr_obs::Counter>,
+    adaptive_fallbacks: Arc<cr_obs::Counter>,
+    // Per-operator-kind latency histograms (`relation.op.<kind>_ns`),
+    // pre-resolved so the profiled executor never takes the registry
+    // lock per node — it already measured the elapsed time, recording
+    // is one atomic bump.
+    op_scan_ns: Arc<cr_obs::Histogram>,
+    op_filter_ns: Arc<cr_obs::Histogram>,
+    op_project_ns: Arc<cr_obs::Histogram>,
+    op_join_ns: Arc<cr_obs::Histogram>,
+    op_aggregate_ns: Arc<cr_obs::Histogram>,
+    op_sort_ns: Arc<cr_obs::Histogram>,
+    op_limit_ns: Arc<cr_obs::Histogram>,
+    op_values_ns: Arc<cr_obs::Histogram>,
+    op_union_ns: Arc<cr_obs::Histogram>,
+    op_extend_ns: Arc<cr_obs::Histogram>,
+    op_recommend_ns: Arc<cr_obs::Histogram>,
+}
+
+impl RelMetrics {
+    /// The pre-resolved histogram for one plan operator.
+    fn op_hist(&self, plan: &LogicalPlan) -> &Arc<cr_obs::Histogram> {
+        match plan {
+            LogicalPlan::Scan { .. } => &self.op_scan_ns,
+            LogicalPlan::Filter { .. } => &self.op_filter_ns,
+            LogicalPlan::Project { .. } => &self.op_project_ns,
+            LogicalPlan::Join { .. } => &self.op_join_ns,
+            LogicalPlan::Aggregate { .. } => &self.op_aggregate_ns,
+            LogicalPlan::Sort { .. } => &self.op_sort_ns,
+            LogicalPlan::Limit { .. } => &self.op_limit_ns,
+            LogicalPlan::Values { .. } => &self.op_values_ns,
+            LogicalPlan::Union { .. } => &self.op_union_ns,
+            LogicalPlan::Extend { .. } => &self.op_extend_ns,
+            LogicalPlan::Recommend { .. } => &self.op_recommend_ns,
+        }
+    }
 }
 
 fn metrics() -> &'static RelMetrics {
@@ -57,6 +92,18 @@ fn metrics() -> &'static RelMetrics {
             scan_index_range: r.counter("relation.scan.index_range"),
             parallel_ops: r.counter("relation.parallel.ops"),
             partitions_spawned: r.counter("relation.parallel.partitions_spawned"),
+            adaptive_fallbacks: r.counter("relation.parallel.adaptive_fallbacks"),
+            op_scan_ns: r.histogram("relation.op.scan_ns"),
+            op_filter_ns: r.histogram("relation.op.filter_ns"),
+            op_project_ns: r.histogram("relation.op.project_ns"),
+            op_join_ns: r.histogram("relation.op.join_ns"),
+            op_aggregate_ns: r.histogram("relation.op.aggregate_ns"),
+            op_sort_ns: r.histogram("relation.op.sort_ns"),
+            op_limit_ns: r.histogram("relation.op.limit_ns"),
+            op_values_ns: r.histogram("relation.op.values_ns"),
+            op_union_ns: r.histogram("relation.op.union_ns"),
+            op_extend_ns: r.histogram("relation.op.extend_ns"),
+            op_recommend_ns: r.histogram("relation.op.recommend_ns"),
         }
     })
 }
@@ -78,10 +125,20 @@ fn metrics() -> &'static RelMetrics {
 /// serial unless each spawned partition would receive at least this many
 /// rows, so thread spawn cost never dominates small operators. Tests can
 /// set it to 1 to force parallel execution on tiny inputs.
+///
+/// With `adaptive` on (the default), an operator also stays serial when
+/// the host has a single CPU — partitioning there is pure overhead (the
+/// partitions time-slice one core), observed as parallel "speedups" of
+/// 0.4–0.8× on 1-CPU machines. Tests that assert on partitioned
+/// execution regardless of the host set `adaptive: false`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecOptions {
     pub parallelism: usize,
     pub min_partition_rows: usize,
+    /// Fall back to serial execution when parallelism cannot pay off
+    /// (single-CPU host, sub-floor input). The decision is surfaced in
+    /// EXPLAIN ANALYZE and as a span attribute.
+    pub adaptive: bool,
 }
 
 impl Default for ExecOptions {
@@ -89,8 +146,19 @@ impl Default for ExecOptions {
         ExecOptions {
             parallelism: 1,
             min_partition_rows: 2048,
+            adaptive: true,
         }
     }
+}
+
+/// Cached `std::thread::available_parallelism()` (1 when unknown).
+pub fn host_parallelism() -> usize {
+    static H: OnceLock<usize> = OnceLock::new();
+    *H.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 impl ExecOptions {
@@ -103,14 +171,31 @@ impl ExecOptions {
     }
 
     /// Worker count for an operator over `rows` input rows: capped so each
-    /// partition gets at least `min_partition_rows`. 1 means "stay serial".
+    /// partition gets at least `min_partition_rows`, and forced to 1 by
+    /// the adaptive guard on single-CPU hosts. 1 means "stay serial".
     fn threads_for(&self, rows: usize) -> usize {
-        if self.parallelism <= 1 {
+        if self.parallelism <= 1 || (self.adaptive && host_parallelism() == 1) {
             return 1;
         }
         self.parallelism
             .min(rows / self.min_partition_rows.max(1))
             .max(1)
+    }
+
+    /// Why a parallel-eligible operator over `rows` input rows will stay
+    /// serial under these options, if it will. `None` either means "it
+    /// parallelizes" or "the caller asked for serial" (not a fallback).
+    pub fn fallback_reason(&self, rows: usize) -> Option<&'static str> {
+        if self.parallelism <= 1 {
+            return None;
+        }
+        if self.adaptive && host_parallelism() == 1 {
+            return Some("parallel=skipped(single_cpu)");
+        }
+        if self.parallelism.min(rows / self.min_partition_rows.max(1)) <= 1 {
+            return Some("parallel=skipped(small_input)");
+        }
+        None
     }
 }
 
@@ -150,6 +235,24 @@ fn push_par_detail(detail: &mut Vec<String>, info: &Option<ParInfo>) {
     }
 }
 
+/// EXPLAIN / span note when a parallel-eligible operator stayed serial
+/// under the adaptive guard (single-CPU host or sub-floor input).
+fn push_adaptive_detail(
+    detail: &mut Vec<String>,
+    opts: &ExecOptions,
+    rows_in: usize,
+    par: &Option<ParInfo>,
+) {
+    if par.is_none() {
+        if let Some(reason) = opts.fallback_reason(rows_in) {
+            if cr_obs::enabled() {
+                metrics().adaptive_fallbacks.inc();
+            }
+            detail.push(reason.to_owned());
+        }
+    }
+}
+
 /// Split an owned vec into `parts` contiguous chunks (sizes differ by at
 /// most one) using pointer-moving `split_off`s — no per-row copying.
 fn split_owned<T>(mut v: Vec<T>, parts: usize) -> Vec<Vec<T>> {
@@ -166,6 +269,10 @@ fn split_owned<T>(mut v: Vec<T>, parts: usize) -> Vec<Vec<T>> {
 /// Run `work` over each chunk on its own scoped thread, timing each
 /// worker, and return the per-chunk results in chunk order (first error
 /// in chunk order wins) plus the recorded [`ParInfo`].
+///
+/// This is the single choke point for every parallel operator, so it is
+/// also where cross-thread trace linkage happens: the spawning thread's
+/// current span becomes the parent of one `partition` span per worker.
 fn run_partitioned<T, R>(
     chunks: Vec<T>,
     work: impl Fn(T) -> RelResult<R> + Sync,
@@ -175,11 +282,24 @@ where
     R: Send,
 {
     let work = &work;
+    let parent = if cr_obs::trace::enabled() {
+        cr_obs::trace::current_context()
+    } else {
+        None
+    };
     let joined: Vec<(RelResult<R>, u64)> = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = chunks
             .into_iter()
-            .map(|chunk| {
+            .enumerate()
+            .map(|(i, chunk)| {
                 s.spawn(move |_| {
+                    let mut span = match parent {
+                        Some(ctx) => cr_obs::trace::TraceSpan::child_of(ctx, "partition"),
+                        None => cr_obs::trace::TraceSpan::noop(),
+                    };
+                    if span.is_recording() {
+                        span.attr("partition", i.to_string());
+                    }
                     let t0 = Instant::now();
                     let r = work(chunk);
                     (r, t0.elapsed().as_nanos() as u64)
@@ -300,6 +420,12 @@ pub fn execute_with(
     catalog: &Catalog,
     opts: &ExecOptions,
 ) -> RelResult<ResultSet> {
+    // Tracing and slow-query capture need the profiled executor (spans
+    // and EXPLAIN ANALYZE trees are per-node); route through it when
+    // either is armed. Both checks are one relaxed load.
+    if cr_obs::trace::enabled() || cr_obs::trace::slow_query_threshold_ns().is_some() {
+        return execute_traced_with(plan, catalog, opts);
+    }
     let started = if cr_obs::enabled() {
         Some(Instant::now())
     } else {
@@ -312,6 +438,48 @@ pub fn execute_with(
         m.rows_out.add(rows.len() as u64);
         m.query_ns.record_duration(t0.elapsed());
     }
+    Ok(ResultSet {
+        schema: plan.schema().clone(),
+        rows,
+    })
+}
+
+/// Capture a slow request into the flight recorder's slow-query log if
+/// the configured threshold is set and exceeded.
+fn maybe_capture_slow(label: &str, fingerprint: u64, elapsed_ns: u64, profile: &OpProfile) {
+    if let Some(threshold) = cr_obs::trace::slow_query_threshold_ns() {
+        if elapsed_ns >= threshold {
+            cr_obs::trace::capture_slow_query(label, fingerprint, elapsed_ns, profile.render());
+        }
+    }
+}
+
+/// [`execute_with`] under tracing: one `relation.query` span over the
+/// whole request (operator and partition spans nest below it via
+/// [`run_profiled`]), plus slow-query capture with the plan fingerprint
+/// and the full EXPLAIN ANALYZE tree.
+fn execute_traced_with(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    opts: &ExecOptions,
+) -> RelResult<ResultSet> {
+    let mut span = cr_obs::trace::TraceSpan::child("relation.query");
+    let t0 = Instant::now();
+    let (rows, profile) = run_profiled(plan, catalog, opts)?;
+    let elapsed = t0.elapsed();
+    if cr_obs::enabled() {
+        let m = metrics();
+        m.queries.inc();
+        m.rows_out.add(rows.len() as u64);
+        m.query_ns.record_duration(elapsed);
+    }
+    let fingerprint = plan.fingerprint();
+    let elapsed_ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+    if span.is_recording() {
+        span.attr("rows_out", rows.len().to_string());
+        span.attr("fingerprint", format!("{fingerprint:016x}"));
+    }
+    maybe_capture_slow("relation.query", fingerprint, elapsed_ns, &profile);
     Ok(ResultSet {
         schema: plan.schema().clone(),
         rows,
@@ -339,14 +507,27 @@ pub fn execute_instrumented_with(
     catalog: &Catalog,
     opts: &ExecOptions,
 ) -> RelResult<(ResultSet, OpProfile)> {
+    let mut span = cr_obs::trace::TraceSpan::child("relation.query");
     let started = Instant::now();
     let (rows, profile) = run_profiled(plan, catalog, opts)?;
+    let elapsed = started.elapsed();
     if cr_obs::enabled() {
         let m = metrics();
         m.queries.inc();
         m.rows_out.add(rows.len() as u64);
-        m.query_ns.record_duration(started.elapsed());
+        m.query_ns.record_duration(elapsed);
     }
+    let fingerprint = plan.fingerprint();
+    if span.is_recording() {
+        span.attr("rows_out", rows.len().to_string());
+        span.attr("fingerprint", format!("{fingerprint:016x}"));
+    }
+    maybe_capture_slow(
+        "relation.query",
+        fingerprint,
+        elapsed.as_nanos().min(u64::MAX as u128) as u64,
+        &profile,
+    );
     Ok((
         ResultSet {
             schema: plan.schema().clone(),
@@ -451,6 +632,10 @@ fn run_profiled(
     catalog: &Catalog,
     opts: &ExecOptions,
 ) -> RelResult<(Vec<Row>, OpProfile)> {
+    // Opened before recursing so child operators (and partition workers)
+    // nest under this node in the trace; the operator name is only known
+    // after the match, hence the rename below.
+    let mut span = cr_obs::trace::TraceSpan::child("op");
     let t0 = Instant::now();
     let (rows, op, detail, children) = match plan {
         LogicalPlan::Scan {
@@ -460,13 +645,18 @@ fn run_profiled(
             filter,
             ..
         } => {
-            let (rows, path, par) =
-                catalog.with_table(table, |t| scan_table(t, projection, filter, opts))??;
+            let (scanned, table_len) = catalog.with_table(table, |t| {
+                (scan_table(t, projection, filter, opts), t.len())
+            })?;
+            let (rows, path, par) = scanned?;
             let mut detail = vec![format!("access={path}")];
             if let Some(f) = filter {
                 detail.push(format!("filter={f}"));
             }
             push_par_detail(&mut detail, &par);
+            if matches!(path, AccessPath::SeqScan) {
+                push_adaptive_detail(&mut detail, opts, table_len, &par);
+            }
             let op = match alias {
                 Some(a) if a != table => format!("Scan {table} AS {a}"),
                 _ => format!("Scan {table}"),
@@ -476,17 +666,21 @@ fn run_profiled(
 
         LogicalPlan::Filter { input, predicate } => {
             let (rows, child) = run_profiled(input, catalog, opts)?;
+            let rows_in = rows.len();
             let (rows, par) = filter_rows_opt(rows, predicate, opts)?;
             let mut detail = vec![format!("predicate={predicate}")];
             push_par_detail(&mut detail, &par);
+            push_adaptive_detail(&mut detail, opts, rows_in, &par);
             (rows, "Filter".to_owned(), detail, vec![child])
         }
 
         LogicalPlan::Project { input, exprs, .. } => {
             let (rows, child) = run_profiled(input, catalog, opts)?;
+            let rows_in = rows.len();
             let (rows, par) = project_rows_opt(rows, exprs, opts)?;
             let mut detail = vec![format!("exprs={}", exprs.len())];
             push_par_detail(&mut detail, &par);
+            push_adaptive_detail(&mut detail, opts, rows_in, &par);
             (rows, "Project".to_owned(), detail, vec![child])
         }
 
@@ -499,6 +693,7 @@ fn run_profiled(
         } => {
             let (left_rows, lchild) = run_profiled(left, catalog, opts)?;
             let (right_rows, rchild) = run_profiled(right, catalog, opts)?;
+            let rows_in = left_rows.len();
             let (rows, info, par) = join_rows_opt(
                 left_rows,
                 right_rows,
@@ -519,6 +714,9 @@ fn run_profiled(
                 detail.push("build=right".to_owned());
             }
             push_par_detail(&mut detail, &par);
+            if info.hash {
+                push_adaptive_detail(&mut detail, opts, rows_in, &par);
+            }
             (rows, op.to_owned(), detail, vec![lchild, rchild])
         }
 
@@ -535,6 +733,7 @@ fn run_profiled(
                 format!("aggs={}", aggs.len()),
             ];
             push_par_detail(&mut detail, &par);
+            push_adaptive_detail(&mut detail, opts, rows.len(), &par);
             (out, "Aggregate".to_owned(), detail, vec![child])
         }
 
@@ -587,6 +786,7 @@ fn run_profiled(
         } => {
             let (input_rows, ichild) = run_profiled(input, catalog, opts)?;
             let (related_rows, rchild) = run_profiled(related, catalog, opts)?;
+            let rows_in = input_rows.len();
             let (rows, par) = extend_rows_opt(input_rows, &related_rows, *key_col, *rating, opts)?;
             let mut detail = vec![
                 format!("kind={}", if *rating { "ratings" } else { "set" }),
@@ -594,6 +794,7 @@ fn run_profiled(
                 format!("as={as_name}"),
             ];
             push_par_detail(&mut detail, &par);
+            push_adaptive_detail(&mut detail, opts, rows_in, &par);
             (rows, "Extend".to_owned(), detail, vec![ichild, rchild])
         }
 
@@ -605,6 +806,7 @@ fn run_profiled(
         } => {
             let (target_rows, tchild) = run_profiled(target, catalog, opts)?;
             let (comparator_rows, cchild) = run_profiled(comparator, catalog, opts)?;
+            let rows_in = target_rows.len();
             let (rows, par) = recommend_rows_opt(target_rows, &comparator_rows, spec, opts)?;
             let mut detail = vec![
                 format!("method={}", spec.method.name()),
@@ -617,14 +819,28 @@ fn run_profiled(
                 detail.push("exclude_seen".to_owned());
             }
             push_par_detail(&mut detail, &par);
+            push_adaptive_detail(&mut detail, opts, rows_in, &par);
             (rows, "Recommend".to_owned(), detail, vec![tchild, cchild])
         }
     };
+    let elapsed = t0.elapsed();
+    if cr_obs::enabled() {
+        // Pre-resolved per-kind histogram: elapsed is already measured,
+        // recording is one atomic bump (no Span, no registry lock).
+        metrics().op_hist(plan).record_duration(elapsed);
+    }
+    if span.is_recording() {
+        span.set_name(&op);
+        span.attr("rows_out", rows.len().to_string());
+        if !detail.is_empty() {
+            span.attr("detail", detail.join(" "));
+        }
+    }
     let profile = OpProfile {
         op,
         detail,
         rows_out: rows.len(),
-        elapsed: t0.elapsed(),
+        elapsed,
         children,
     };
     Ok((rows, profile))
@@ -2131,11 +2347,12 @@ mod tests {
     }
 
     /// Options that force every parallelizable operator to split, even on
-    /// tiny test tables.
+    /// tiny test tables and single-CPU hosts.
     fn par(n: usize) -> ExecOptions {
         ExecOptions {
             parallelism: n,
             min_partition_rows: 1,
+            adaptive: false,
         }
     }
 

@@ -49,11 +49,13 @@ pub mod index;
 pub mod mutation;
 pub mod plan;
 pub mod profile;
+pub mod provider;
 pub mod row;
 pub mod schema;
 pub mod similarity;
 pub mod sql;
 pub mod table;
+pub mod telemetry;
 pub mod value;
 
 pub use catalog::{Catalog, Database};
@@ -66,7 +68,9 @@ pub use expr::Expr;
 pub use mutation::{Mutation, MutationObserver};
 pub use plan::{LogicalPlan, PlanBuilder};
 pub use profile::OpProfile;
+pub use provider::ScanProvider;
 pub use row::Row;
 pub use schema::{Column, DataType, Schema};
 pub use similarity::{RatingsSim, SetSim, TextSim};
+pub use telemetry::register_system_tables;
 pub use value::Value;

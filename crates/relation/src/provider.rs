@@ -1,0 +1,129 @@
+//! Virtual tables: scan providers registered in the catalog.
+//!
+//! A [`ScanProvider`] is a read-only table whose rows are computed at
+//! scan time instead of stored — the mechanism behind the `cr_stat_*`
+//! telemetry tables ([`crate::telemetry`]). The catalog resolves a
+//! provider exactly like a base table for reads ([`Catalog::with_table`]
+//! materializes a transient [`crate::table::Table`] from the provider's
+//! rows), so the whole plan path — binder, validator, optimizer,
+//! executor, EXPLAIN — works over virtual tables unchanged. Writes,
+//! DDL, and persistence treat them differently: mutation is rejected,
+//! [`Catalog::table_names`] stays base-only (snapshots never persist
+//! telemetry), and versions always advance so result caches never
+//! serve stale telemetry.
+//!
+//! [`Catalog::with_table`]: crate::catalog::Catalog::with_table
+//! [`Catalog::table_names`]: crate::catalog::Catalog::table_names
+
+use crate::error::RelResult;
+use crate::row::Row;
+use crate::schema::Schema;
+
+/// A source of rows materialized on demand under a table name.
+///
+/// Implementations must be cheap to `schema()` (called during binding
+/// and validation) and must produce rows that match that schema —
+/// providers are trusted the way recovered snapshots are, and rows are
+/// not re-validated per scan.
+pub trait ScanProvider: Send + Sync {
+    /// The virtual table's schema.
+    fn schema(&self) -> Schema;
+
+    /// Compute the current rows. Called once per scan.
+    fn rows(&self) -> RelResult<Vec<Row>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::error::RelError;
+    use crate::row::row;
+    use crate::schema::{Column, DataType};
+    use crate::value::Value;
+    use std::sync::Arc;
+
+    struct Numbers;
+
+    impl ScanProvider for Numbers {
+        fn schema(&self) -> Schema {
+            Schema::new(vec![Column::new("n", DataType::Int)])
+        }
+
+        fn rows(&self) -> RelResult<Vec<Row>> {
+            Ok(vec![row![1i64], row![2i64], row![3i64]])
+        }
+    }
+
+    #[test]
+    fn provider_reads_like_a_table() {
+        let c = Catalog::new();
+        c.register_scan_provider("v_numbers", Arc::new(Numbers))
+            .unwrap();
+        assert!(c.has_table("v_numbers"));
+        assert!(c.has_table("V_NUMBERS")); // case-insensitive like base tables
+        assert_eq!(c.table_len("v_numbers").unwrap(), 3);
+        let total = c
+            .with_table("v_numbers", |t| {
+                t.scan()
+                    .map(|(_, r)| match r.first() {
+                        Some(Value::Int(n)) => *n,
+                        _ => 0,
+                    })
+                    .sum::<i64>()
+            })
+            .unwrap();
+        assert_eq!(total, 6);
+        // Versions always move: caches can never hold telemetry.
+        let v1 = c.table_version("v_numbers").unwrap();
+        let v2 = c.table_version("v_numbers").unwrap();
+        assert!(v2 > v1);
+    }
+
+    #[test]
+    fn provider_is_read_only_and_undroppable() {
+        let c = Catalog::new();
+        c.register_scan_provider("v_numbers", Arc::new(Numbers))
+            .unwrap();
+        let err = c
+            .with_table_mut("v_numbers", |_| ())
+            .expect_err("writes must be rejected");
+        assert!(matches!(err, RelError::Invalid(_)));
+        assert!(matches!(
+            c.drop_table("v_numbers"),
+            Err(RelError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn provider_names_stay_out_of_base_listing() {
+        let c = Catalog::new();
+        c.create_table(
+            "base",
+            Schema::new(vec![Column::new("x", DataType::Int)]),
+            vec![],
+        )
+        .unwrap();
+        c.register_scan_provider("v_numbers", Arc::new(Numbers))
+            .unwrap();
+        assert_eq!(c.table_names(), vec!["base".to_owned()]);
+        assert_eq!(c.virtual_table_names(), vec!["v_numbers".to_owned()]);
+        // Name collisions are rejected in both directions.
+        assert!(matches!(
+            c.register_scan_provider("BASE", Arc::new(Numbers)),
+            Err(RelError::TableExists(_))
+        ));
+        assert!(matches!(
+            c.register_scan_provider("v_numbers", Arc::new(Numbers)),
+            Err(RelError::TableExists(_))
+        ));
+        assert!(matches!(
+            c.create_table(
+                "V_NUMBERS",
+                Schema::new(vec![Column::new("x", DataType::Int)]),
+                vec![]
+            ),
+            Err(RelError::TableExists(_))
+        ));
+    }
+}

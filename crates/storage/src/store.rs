@@ -153,6 +153,7 @@ impl Storage {
         cfg: StorageConfig,
     ) -> StorageResult<(Arc<Storage>, Database, RecoveryReport)> {
         let metrics = StoreMetrics::new();
+        let mut span = cr_obs::trace::TraceSpan::child("storage.recover");
         let observing = cr_obs::enabled();
         let t0 = observing.then(Instant::now);
         let mut report = RecoveryReport::default();
@@ -248,6 +249,13 @@ impl Storage {
                 metrics.recovery_ns.record_duration(t0.elapsed());
             }
         }
+        if span.is_recording() {
+            span.attr("snapshot_seq", format!("{:?}", report.snapshot_seq));
+            span.attr("replayed_records", report.replayed_records.to_string());
+            span.attr("replayed_bytes", report.replayed_bytes.to_string());
+            span.attr("truncated_bytes", report.truncated_bytes.to_string());
+        }
+        span.finish();
 
         let wal = Wal::new(backend.clone(), resume_seq, resume_offset, cfg.wal);
         let storage = Arc::new(Storage {
@@ -292,6 +300,7 @@ impl Storage {
     /// files only they referenced. Returns the new snapshot's sequence.
     pub fn checkpoint(&self) -> StorageResult<u64> {
         let _guard = self.checkpoint_lock.lock();
+        let mut span = cr_obs::trace::TraceSpan::child("storage.checkpoint");
         let observing = cr_obs::enabled();
         let t0 = observing.then(Instant::now);
         // Capture a flushed position, then RELEASE the wal mutex before
@@ -313,6 +322,10 @@ impl Storage {
             if let Some(t0) = t0 {
                 self.metrics.snapshot_ns.record_duration(t0.elapsed());
             }
+        }
+        if span.is_recording() {
+            span.attr("snapshot_seq", snap_seq.to_string());
+            span.attr("bytes", data.len().to_string());
         }
         Ok(snap_seq)
     }

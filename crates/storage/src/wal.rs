@@ -475,6 +475,7 @@ impl Wal {
 
     /// Frame and buffer one record; flushes per config.
     pub fn append(&mut self, rec: &WalRecord) -> StorageResult<()> {
+        let _span = cr_obs::trace::TraceSpan::child("storage.wal.append");
         let start = self.buf.len();
         self.buf.extend_from_slice(&[0u8; FRAME_HEADER]);
         encode_record(rec, &mut self.buf);
@@ -497,8 +498,13 @@ impl Wal {
         if self.buf.is_empty() {
             return Ok(());
         }
+        let mut span = cr_obs::trace::TraceSpan::child("storage.wal.flush");
         let file = wal_file_name(self.seq);
         let len = self.buf.len() as u64;
+        if span.is_recording() {
+            span.attr("bytes", len.to_string());
+            span.attr("records", self.buffered.to_string());
+        }
         self.backend.append(&file, &self.buf)?;
         // Only clear after a fully-successful append; on error the
         // backend may hold a torn prefix and the caller sees the error.
@@ -511,6 +517,7 @@ impl Wal {
             self.metrics.bytes.add(len);
         }
         if self.cfg.fsync != FsyncPolicy::Never {
+            let _fsync_span = cr_obs::trace::TraceSpan::child("storage.wal.fsync");
             let t0 = observing.then(Instant::now);
             self.backend.sync(&file)?;
             if let Some(t0) = t0 {

@@ -20,8 +20,9 @@ use proptest::prelude::*;
 fn par(n: usize) -> ExecOptions {
     ExecOptions {
         parallelism: n,
-        // Force partitioning even on tiny generated tables.
+        // Force partitioning even on tiny generated tables and 1-CPU hosts.
         min_partition_rows: 1,
+        adaptive: false,
     }
 }
 
