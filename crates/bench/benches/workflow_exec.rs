@@ -1,8 +1,10 @@
-//! PR4 — workflow execution: the reference interpreter vs the compiled
-//! `LogicalPlan` pipeline, serial and at parallelism 4, per built-in
-//! strategy. Results are asserted byte-identical before timing, so the
-//! numbers compare equivalent work. Emits `[PR4] scenario=…
-//! median_ns=…` lines for `scripts/bench_pr4.py`.
+//! PR4/PR7 — workflow execution: the reference interpreter vs the
+//! compiled `LogicalPlan` pipeline, serial and at parallelism 4, per
+//! built-in strategy. Results are asserted byte-identical before timing,
+//! so the numbers compare equivalent work. Emits `[PR4] scenario=…
+//! median_ns=…` lines for `scripts/bench_pr4.py` and `[PR7] …` lines
+//! (vectorized default vs the `batch_size: 0` row oracle) for
+//! `scripts/bench_pr7.py`.
 
 // Benches are measurement harnesses, not library code: aborting on a
 // broken fixture is the right behavior.
@@ -52,6 +54,12 @@ fn main() {
         ),
     ];
 
+    // The row-at-a-time oracle: the pre-PR7 execution path.
+    let row = ExecOptions {
+        batch_size: 0,
+        ..ExecOptions::default()
+    };
+
     for (name, wf) in &workflows {
         let direct = cr_flexrecs::execute(wf, &catalog).unwrap();
         let compiled = compile_and_run(wf, &catalog).unwrap();
@@ -59,16 +67,22 @@ fn main() {
             compiled.result, direct,
             "{name}: plan and interpreter must agree before timing"
         );
+        let row_run = compile_and_run_with(wf, &catalog, &row).unwrap();
+        assert_eq!(
+            compiled.result, row_run.result,
+            "{name}: batched and row executors must agree before timing"
+        );
 
-        let ns = median_ns(iters, || {
+        let interp_ns = median_ns(iters, || {
             std::hint::black_box(cr_flexrecs::execute(std::hint::black_box(wf), &catalog).unwrap());
         });
-        println!("[PR4] scenario=workflow_exec_{name}_interpreter median_ns={ns}");
+        println!("[PR4] scenario=workflow_exec_{name}_interpreter median_ns={interp_ns}");
 
-        let ns = median_ns(iters, || {
+        // compile_and_run uses default options: the vectorized executor.
+        let batch_ns = median_ns(iters, || {
             std::hint::black_box(compile_and_run(std::hint::black_box(wf), &catalog).unwrap());
         });
-        println!("[PR4] scenario=workflow_exec_{name}_plan median_ns={ns}");
+        println!("[PR4] scenario=workflow_exec_{name}_plan median_ns={batch_ns}");
 
         let ns = median_ns(iters, || {
             std::hint::black_box(
@@ -76,5 +90,14 @@ fn main() {
             );
         });
         println!("[PR4] scenario=workflow_exec_{name}_plan_par4 median_ns={ns}");
+
+        let row_ns = median_ns(iters, || {
+            std::hint::black_box(
+                compile_and_run_with(std::hint::black_box(wf), &catalog, &row).unwrap(),
+            );
+        });
+        println!("[PR7] scenario=workflow_exec_{name}_interpreter median_ns={interp_ns}");
+        println!("[PR7] scenario=workflow_exec_{name}_plan_batch median_ns={batch_ns}");
+        println!("[PR7] scenario=workflow_exec_{name}_plan_row median_ns={row_ns}");
     }
 }

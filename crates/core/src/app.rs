@@ -315,6 +315,7 @@ mod tests {
             parallelism: 2,
             min_partition_rows: 1,
             adaptive: false,
+            batch_size: 0,
         };
         app.db()
             .database()

@@ -9,8 +9,9 @@
 //! The admin defines strategies (workflow templates); the student picks
 //! one and sets options. Every workflow executes on the unified
 //! [`LogicalPlan`] pipeline — compiled, optimized, and run by the same
-//! engine as SQL queries. Debug builds cross-check the plan's output
-//! against the reference interpreter in `cr_flexrecs::exec`.
+//! engine as SQL queries. Under the `oracle-checks` feature (and in this
+//! crate's own tests) every run is cross-checked against the reference
+//! interpreter in `cr_flexrecs::exec`.
 //!
 //! [`LogicalPlan`]: cr_relation::plan::LogicalPlan
 
@@ -441,16 +442,17 @@ impl Recommender {
             .collect())
     }
 
-    /// Execute a workflow on the unified plan pipeline. Debug builds also
-    /// run the reference interpreter and assert the outputs are identical
-    /// — the interpreter's only remaining production role is as this
-    /// differential oracle.
+    /// Execute a workflow on the unified plan pipeline. With the
+    /// `oracle-checks` feature (or under `cfg(test)`), the reference
+    /// interpreter also runs and the outputs are asserted identical —
+    /// the interpreter's only remaining role is as that differential
+    /// oracle; production builds never pay for the second run.
     fn run_workflow(&self, wf: &Workflow) -> RelResult<RecResult> {
         let run = compile_and_run(wf, &self.db.catalog())?;
-        #[cfg(debug_assertions)]
+        #[cfg(any(test, feature = "oracle-checks"))]
         {
             let oracle = cr_flexrecs::execute(wf, &self.db.catalog())?;
-            debug_assert_eq!(
+            assert_eq!(
                 run.result, oracle,
                 "plan/interpreter divergence for workflow {}",
                 wf.name

@@ -574,6 +574,7 @@ mod tests {
                 parallelism: n,
                 min_partition_rows: 1,
                 adaptive: false,
+                batch_size: 0,
             };
             let compiled = compile_and_run_with(&wf, &db.catalog(), &opts).unwrap();
             assert_eq!(compiled.result, direct, "parallelism={n}");

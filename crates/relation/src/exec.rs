@@ -1,22 +1,38 @@
 //! Physical execution.
 //!
-//! Plans execute as a pipeline of row iterators. Scans clone only the rows
-//! (and columns) that survive their pushed-down filter and projection;
-//! operators above stream owned rows. Pipeline breakers (hash join build
-//! side, aggregation, sort) materialize as usual.
+//! Two executors share this module:
 //!
-//! Scans pick an **access path** at runtime: if the pushed-down predicate
-//! contains an equality (or range) conjunct on the primary key or an
-//! indexed column, the matching index serves the lookup and only the
-//! residual predicate is evaluated per row. This is what makes FlexRecs'
-//! compiled per-user queries cheap on paper-scale data.
+//! * The **vectorized executor** (`batch_size > 0`, the default): operators
+//!   exchange columnar [`Batch`]es. Scans hand out the table's cached
+//!   columnar image ([`Table::columnar`], `Arc`-shared, rebuilt only after
+//!   a mutation), pushed-down filters set the batch's *selection vector*
+//!   instead of copying rows, and projections evaluate expression kernels
+//!   ([`Expr::eval_batch`]) only over selected slots — so a
+//!   scan→filter→project chain is one fused pass with no per-row
+//!   dispatch. Joins build/probe over column views, aggregation feeds
+//!   column slices into the shared [`AggState`] machinery, sort and limit
+//!   permute/truncate the selection vector.
+//!
+//! * The **row executor** (`batch_size == 0`): the original pull pipeline
+//!   of `Vec<Row>` operators. It is retained as the differential oracle
+//!   (see `tests/batch_differential.rs`) and as the only path with
+//!   partition-parallel operators.
+//!
+//! Both paths produce byte-identical results. Scans pick an **access
+//! path** at runtime: if the pushed-down predicate contains an equality
+//! (or range) conjunct on the primary key or an indexed column, the
+//! matching index serves the lookup and only the residual predicate is
+//! evaluated per row. This is what makes FlexRecs' compiled per-user
+//! queries cheap on paper-scale data.
 
+use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
 use std::fmt::{self, Write as _};
 use std::ops::Bound;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
+use crate::batch::{Batch, Column as BatchColumn, ColumnBuilder, EvalCol};
 use crate::catalog::Catalog;
 use crate::error::{RelError, RelResult};
 use crate::expr::{BinOp, Expr};
@@ -139,6 +155,13 @@ pub struct ExecOptions {
     /// (single-CPU host, sub-floor input). The decision is surfaced in
     /// EXPLAIN ANALYZE and as a span attribute.
     pub adaptive: bool,
+    /// Rows per expression-kernel invocation on the vectorized executor
+    /// (the default path). `0` selects the row-at-a-time executor — the
+    /// differential oracle, and the only path that honors partitioned
+    /// parallelism (`parallelism`/`min_partition_rows` apply there;
+    /// the vectorized path runs each operator serially and records the
+    /// adaptive decision instead).
+    pub batch_size: usize,
 }
 
 impl Default for ExecOptions {
@@ -147,6 +170,7 @@ impl Default for ExecOptions {
             parallelism: 1,
             min_partition_rows: 2048,
             adaptive: true,
+            batch_size: 1024,
         }
     }
 }
@@ -431,7 +455,11 @@ pub fn execute_with(
     } else {
         None
     };
-    let rows = run(plan, catalog, opts)?;
+    let rows = if opts.batch_size > 0 {
+        run_batched(plan, catalog, opts)?.to_rows()
+    } else {
+        run(plan, catalog, opts)?.into_owned()
+    };
     if let Some(t0) = started {
         let m = metrics();
         m.queries.inc();
@@ -465,7 +493,13 @@ fn execute_traced_with(
 ) -> RelResult<ResultSet> {
     let mut span = cr_obs::trace::TraceSpan::child("relation.query");
     let t0 = Instant::now();
-    let (rows, profile) = run_profiled(plan, catalog, opts)?;
+    let (rows, profile) = if opts.batch_size > 0 {
+        let (batch, profile) = run_batched_profiled(plan, catalog, opts)?;
+        (batch.to_rows(), profile)
+    } else {
+        let (rows, profile) = run_profiled(plan, catalog, opts)?;
+        (rows.into_owned(), profile)
+    };
     let elapsed = t0.elapsed();
     if cr_obs::enabled() {
         let m = metrics();
@@ -509,7 +543,13 @@ pub fn execute_instrumented_with(
 ) -> RelResult<(ResultSet, OpProfile)> {
     let mut span = cr_obs::trace::TraceSpan::child("relation.query");
     let started = Instant::now();
-    let (rows, profile) = run_profiled(plan, catalog, opts)?;
+    let (rows, profile) = if opts.batch_size > 0 {
+        let (batch, profile) = run_batched_profiled(plan, catalog, opts)?;
+        (batch.to_rows(), profile)
+    } else {
+        let (rows, profile) = run_profiled(plan, catalog, opts)?;
+        (rows.into_owned(), profile)
+    };
     let elapsed = started.elapsed();
     if cr_obs::enabled() {
         let m = metrics();
@@ -537,24 +577,33 @@ pub fn execute_instrumented_with(
     ))
 }
 
-fn run(plan: &LogicalPlan, catalog: &Catalog, opts: &ExecOptions) -> RelResult<Vec<Row>> {
+/// The row-at-a-time walker. Returns `Cow` so `LogicalPlan::Values`
+/// lends its literal rows instead of cloning them on every run — copies
+/// happen only when an ancestor operator actually consumes owned rows.
+fn run<'p>(
+    plan: &'p LogicalPlan,
+    catalog: &Catalog,
+    opts: &ExecOptions,
+) -> RelResult<Cow<'p, [Row]>> {
     match plan {
         LogicalPlan::Scan {
             table,
             projection,
             filter,
             ..
-        } => Ok(catalog
-            .with_table(table, |t| scan_table(t, projection, filter, opts))??
-            .0),
+        } => Ok(Cow::Owned(
+            catalog
+                .with_table(table, |t| scan_table(t, projection, filter, opts))??
+                .0,
+        )),
 
-        LogicalPlan::Filter { input, predicate } => {
-            Ok(filter_rows_opt(run(input, catalog, opts)?, predicate, opts)?.0)
-        }
+        LogicalPlan::Filter { input, predicate } => Ok(Cow::Owned(
+            filter_rows_opt(run(input, catalog, opts)?.into_owned(), predicate, opts)?.0,
+        )),
 
-        LogicalPlan::Project { input, exprs, .. } => {
-            Ok(project_rows_opt(run(input, catalog, opts)?, exprs, opts)?.0)
-        }
+        LogicalPlan::Project { input, exprs, .. } => Ok(Cow::Owned(
+            project_rows_opt(run(input, catalog, opts)?.into_owned(), exprs, opts)?.0,
+        )),
 
         LogicalPlan::Join {
             left,
@@ -563,8 +612,8 @@ fn run(plan: &LogicalPlan, catalog: &Catalog, opts: &ExecOptions) -> RelResult<V
             on,
             ..
         } => {
-            let left_rows = run(left, catalog, opts)?;
-            let right_rows = run(right, catalog, opts)?;
+            let left_rows = run(left, catalog, opts)?.into_owned();
+            let right_rows = run(right, catalog, opts)?.into_owned();
             let (rows, _, _) = join_rows_opt(
                 left_rows,
                 right_rows,
@@ -574,7 +623,7 @@ fn run(plan: &LogicalPlan, catalog: &Catalog, opts: &ExecOptions) -> RelResult<V
                 on,
                 opts,
             )?;
-            Ok(rows)
+            Ok(Cow::Owned(rows))
         }
 
         LogicalPlan::Aggregate {
@@ -582,22 +631,34 @@ fn run(plan: &LogicalPlan, catalog: &Catalog, opts: &ExecOptions) -> RelResult<V
             group_by,
             aggs,
             ..
-        } => Ok(aggregate_rows_opt(&run(input, catalog, opts)?, group_by, aggs, opts)?.0),
+        } => Ok(Cow::Owned(
+            aggregate_rows_opt(&run(input, catalog, opts)?, group_by, aggs, opts)?.0,
+        )),
 
-        LogicalPlan::Sort { input, keys } => sort_rows(run(input, catalog, opts)?, keys),
+        LogicalPlan::Sort { input, keys } => Ok(Cow::Owned(sort_rows(
+            run(input, catalog, opts)?.into_owned(),
+            keys,
+        )?)),
 
         LogicalPlan::Limit {
             input,
             limit,
             offset,
-        } => Ok(limit_rows(run(input, catalog, opts)?, *limit, *offset)),
+        } => Ok(Cow::Owned(limit_rows(
+            run(input, catalog, opts)?.into_owned(),
+            *limit,
+            *offset,
+        ))),
 
-        LogicalPlan::Values { rows, .. } => Ok(rows.clone()),
+        LogicalPlan::Values { rows, .. } => Ok(Cow::Borrowed(rows.as_slice())),
 
         LogicalPlan::Union { left, right } => {
-            let mut rows = run(left, catalog, opts)?;
-            rows.extend(run(right, catalog, opts)?);
-            Ok(rows)
+            let mut rows = run(left, catalog, opts)?.into_owned();
+            match run(right, catalog, opts)? {
+                Cow::Owned(mut r) => rows.append(&mut r),
+                Cow::Borrowed(r) => rows.extend_from_slice(r),
+            }
+            Ok(Cow::Owned(rows))
         }
 
         LogicalPlan::Extend {
@@ -607,9 +668,11 @@ fn run(plan: &LogicalPlan, catalog: &Catalog, opts: &ExecOptions) -> RelResult<V
             rating,
             ..
         } => {
-            let input_rows = run(input, catalog, opts)?;
+            let input_rows = run(input, catalog, opts)?.into_owned();
             let related_rows = run(related, catalog, opts)?;
-            Ok(extend_rows_opt(input_rows, &related_rows, *key_col, *rating, opts)?.0)
+            Ok(Cow::Owned(
+                extend_rows_opt(input_rows, &related_rows, *key_col, *rating, opts)?.0,
+            ))
         }
 
         LogicalPlan::Recommend {
@@ -618,20 +681,22 @@ fn run(plan: &LogicalPlan, catalog: &Catalog, opts: &ExecOptions) -> RelResult<V
             spec,
             ..
         } => {
-            let target_rows = run(target, catalog, opts)?;
+            let target_rows = run(target, catalog, opts)?.into_owned();
             let comparator_rows = run(comparator, catalog, opts)?;
-            Ok(recommend_rows_opt(target_rows, &comparator_rows, spec, opts)?.0)
+            Ok(Cow::Owned(
+                recommend_rows_opt(target_rows, &comparator_rows, spec, opts)?.0,
+            ))
         }
     }
 }
 
 /// Profiled twin of [`run`]: same operator implementations (the shared
 /// `*_rows` helpers), with each node timed and annotated.
-fn run_profiled(
-    plan: &LogicalPlan,
+fn run_profiled<'p>(
+    plan: &'p LogicalPlan,
     catalog: &Catalog,
     opts: &ExecOptions,
-) -> RelResult<(Vec<Row>, OpProfile)> {
+) -> RelResult<(Cow<'p, [Row]>, OpProfile)> {
     // Opened before recursing so child operators (and partition workers)
     // nest under this node in the trace; the operator name is only known
     // after the match, hence the rename below.
@@ -661,27 +726,27 @@ fn run_profiled(
                 Some(a) if a != table => format!("Scan {table} AS {a}"),
                 _ => format!("Scan {table}"),
             };
-            (rows, op, detail, Vec::new())
+            (Cow::Owned(rows), op, detail, Vec::new())
         }
 
         LogicalPlan::Filter { input, predicate } => {
             let (rows, child) = run_profiled(input, catalog, opts)?;
             let rows_in = rows.len();
-            let (rows, par) = filter_rows_opt(rows, predicate, opts)?;
+            let (rows, par) = filter_rows_opt(rows.into_owned(), predicate, opts)?;
             let mut detail = vec![format!("predicate={predicate}")];
             push_par_detail(&mut detail, &par);
             push_adaptive_detail(&mut detail, opts, rows_in, &par);
-            (rows, "Filter".to_owned(), detail, vec![child])
+            (Cow::Owned(rows), "Filter".to_owned(), detail, vec![child])
         }
 
         LogicalPlan::Project { input, exprs, .. } => {
             let (rows, child) = run_profiled(input, catalog, opts)?;
             let rows_in = rows.len();
-            let (rows, par) = project_rows_opt(rows, exprs, opts)?;
+            let (rows, par) = project_rows_opt(rows.into_owned(), exprs, opts)?;
             let mut detail = vec![format!("exprs={}", exprs.len())];
             push_par_detail(&mut detail, &par);
             push_adaptive_detail(&mut detail, opts, rows_in, &par);
-            (rows, "Project".to_owned(), detail, vec![child])
+            (Cow::Owned(rows), "Project".to_owned(), detail, vec![child])
         }
 
         LogicalPlan::Join {
@@ -695,8 +760,8 @@ fn run_profiled(
             let (right_rows, rchild) = run_profiled(right, catalog, opts)?;
             let rows_in = left_rows.len();
             let (rows, info, par) = join_rows_opt(
-                left_rows,
-                right_rows,
+                left_rows.into_owned(),
+                right_rows.into_owned(),
                 left.schema().len(),
                 right.schema().len(),
                 *kind,
@@ -717,7 +782,12 @@ fn run_profiled(
             if info.hash {
                 push_adaptive_detail(&mut detail, opts, rows_in, &par);
             }
-            (rows, op.to_owned(), detail, vec![lchild, rchild])
+            (
+                Cow::Owned(rows),
+                op.to_owned(),
+                detail,
+                vec![lchild, rchild],
+            )
         }
 
         LogicalPlan::Aggregate {
@@ -734,14 +804,14 @@ fn run_profiled(
             ];
             push_par_detail(&mut detail, &par);
             push_adaptive_detail(&mut detail, opts, rows.len(), &par);
-            (out, "Aggregate".to_owned(), detail, vec![child])
+            (Cow::Owned(out), "Aggregate".to_owned(), detail, vec![child])
         }
 
         LogicalPlan::Sort { input, keys } => {
             let (rows, child) = run_profiled(input, catalog, opts)?;
-            let rows = sort_rows(rows, keys)?;
+            let rows = sort_rows(rows.into_owned(), keys)?;
             (
-                rows,
+                Cow::Owned(rows),
                 "Sort".to_owned(),
                 vec![format!("keys={}", keys.len())],
                 vec![child],
@@ -754,7 +824,7 @@ fn run_profiled(
             offset,
         } => {
             let (rows, child) = run_profiled(input, catalog, opts)?;
-            let rows = limit_rows(rows, *limit, *offset);
+            let rows = limit_rows(rows.into_owned(), *limit, *offset);
             let mut detail = Vec::new();
             if let Some(n) = limit {
                 detail.push(format!("limit={n}"));
@@ -762,18 +832,30 @@ fn run_profiled(
             if *offset > 0 {
                 detail.push(format!("offset={offset}"));
             }
-            (rows, "Limit".to_owned(), detail, vec![child])
+            (Cow::Owned(rows), "Limit".to_owned(), detail, vec![child])
         }
 
-        LogicalPlan::Values { rows, .. } => {
-            (rows.clone(), "Values".to_owned(), Vec::new(), Vec::new())
-        }
+        LogicalPlan::Values { rows, .. } => (
+            Cow::Borrowed(rows.as_slice()),
+            "Values".to_owned(),
+            Vec::new(),
+            Vec::new(),
+        ),
 
         LogicalPlan::Union { left, right } => {
-            let (mut rows, lchild) = run_profiled(left, catalog, opts)?;
+            let (rows, lchild) = run_profiled(left, catalog, opts)?;
             let (right_rows, rchild) = run_profiled(right, catalog, opts)?;
-            rows.extend(right_rows);
-            (rows, "Union".to_owned(), Vec::new(), vec![lchild, rchild])
+            let mut rows = rows.into_owned();
+            match right_rows {
+                Cow::Owned(mut r) => rows.append(&mut r),
+                Cow::Borrowed(r) => rows.extend_from_slice(r),
+            }
+            (
+                Cow::Owned(rows),
+                "Union".to_owned(),
+                Vec::new(),
+                vec![lchild, rchild],
+            )
         }
 
         LogicalPlan::Extend {
@@ -787,7 +869,13 @@ fn run_profiled(
             let (input_rows, ichild) = run_profiled(input, catalog, opts)?;
             let (related_rows, rchild) = run_profiled(related, catalog, opts)?;
             let rows_in = input_rows.len();
-            let (rows, par) = extend_rows_opt(input_rows, &related_rows, *key_col, *rating, opts)?;
+            let (rows, par) = extend_rows_opt(
+                input_rows.into_owned(),
+                &related_rows,
+                *key_col,
+                *rating,
+                opts,
+            )?;
             let mut detail = vec![
                 format!("kind={}", if *rating { "ratings" } else { "set" }),
                 format!("key=#{key_col}"),
@@ -795,7 +883,12 @@ fn run_profiled(
             ];
             push_par_detail(&mut detail, &par);
             push_adaptive_detail(&mut detail, opts, rows_in, &par);
-            (rows, "Extend".to_owned(), detail, vec![ichild, rchild])
+            (
+                Cow::Owned(rows),
+                "Extend".to_owned(),
+                detail,
+                vec![ichild, rchild],
+            )
         }
 
         LogicalPlan::Recommend {
@@ -807,7 +900,8 @@ fn run_profiled(
             let (target_rows, tchild) = run_profiled(target, catalog, opts)?;
             let (comparator_rows, cchild) = run_profiled(comparator, catalog, opts)?;
             let rows_in = target_rows.len();
-            let (rows, par) = recommend_rows_opt(target_rows, &comparator_rows, spec, opts)?;
+            let (rows, par) =
+                recommend_rows_opt(target_rows.into_owned(), &comparator_rows, spec, opts)?;
             let mut detail = vec![
                 format!("method={}", spec.method.name()),
                 format!("agg={}", spec.agg),
@@ -820,7 +914,12 @@ fn run_profiled(
             }
             push_par_detail(&mut detail, &par);
             push_adaptive_detail(&mut detail, opts, rows_in, &par);
-            (rows, "Recommend".to_owned(), detail, vec![tchild, cchild])
+            (
+                Cow::Owned(rows),
+                "Recommend".to_owned(),
+                detail,
+                vec![tchild, cchild],
+            )
         }
     };
     let elapsed = t0.elapsed();
@@ -929,25 +1028,26 @@ fn as_rec_scalar(v: &Value) -> Option<&Value> {
     }
 }
 
-/// Build the fk → nested-attribute map from the related side's rows
-/// (`[fk, key]` for Set, `[fk, key, rating]` for Ratings). Related rows
-/// are consumed in input order, so the float accumulation order of
-/// duplicate-key rating averages is deterministic; set elements are sorted
-/// and deduplicated, ratings sorted by key.
-fn build_nest_map(related_rows: &[Row], rating: bool) -> RelResult<HashMap<Value, Value>> {
+/// Build the fk → nested-attribute map from an iterator of related-side
+/// triples `(fk, key, rating)` — `rating` is `None` in Set mode. The
+/// shared core of the row and batched Extend implementations: related
+/// entries are consumed in input order, so the float accumulation order of
+/// duplicate-key rating averages is deterministic on both paths; set
+/// elements are sorted and deduplicated, ratings sorted by key.
+fn build_nest_map_core(
+    related: impl Iterator<Item = (Value, Value, Option<Value>)>,
+    rating: bool,
+) -> RelResult<HashMap<Value, Value>> {
     let mut map: HashMap<Value, Value> = HashMap::new();
     if rating {
         let mut acc: HashMap<Value, HashMap<Value, (f64, usize)>> = HashMap::new();
-        for row in related_rows {
-            if row[0].is_null() || row[2].is_null() {
+        for (fk, key, rv) in related {
+            let rv = rv.unwrap_or(Value::Null);
+            if fk.is_null() || rv.is_null() {
                 continue;
             }
-            let r = row[2].as_float()?;
-            let e = acc
-                .entry(row[0].clone())
-                .or_default()
-                .entry(row[1].clone())
-                .or_insert((0.0, 0));
+            let r = rv.as_float()?;
+            let e = acc.entry(fk).or_default().entry(key).or_insert((0.0, 0));
             e.0 += r;
             e.1 += 1;
         }
@@ -961,11 +1061,11 @@ fn build_nest_map(related_rows: &[Row], rating: bool) -> RelResult<HashMap<Value
         }
     } else {
         let mut acc: HashMap<Value, Vec<Value>> = HashMap::new();
-        for row in related_rows {
-            if row[0].is_null() {
+        for (fk, key, _) in related {
+            if fk.is_null() {
                 continue;
             }
-            acc.entry(row[0].clone()).or_default().push(row[1].clone());
+            acc.entry(fk).or_default().push(key);
         }
         for (fk, mut v) in acc {
             v.sort();
@@ -974,6 +1074,21 @@ fn build_nest_map(related_rows: &[Row], rating: bool) -> RelResult<HashMap<Value
         }
     }
     Ok(map)
+}
+
+/// [`build_nest_map_core`] over materialized rows (`[fk, key]` for Set,
+/// `[fk, key, rating]` for Ratings).
+fn build_nest_map(related_rows: &[Row], rating: bool) -> RelResult<HashMap<Value, Value>> {
+    build_nest_map_core(
+        related_rows.iter().map(|row| {
+            (
+                row[0].clone(),
+                row[1].clone(),
+                if rating { Some(row[2].clone()) } else { None },
+            )
+        }),
+        rating,
+    )
 }
 
 /// Append the nested attribute to each input row by probing the nest map.
@@ -2055,6 +2170,692 @@ fn sort_rows(mut rows: Vec<Row>, keys: &[SortKey]) -> RelResult<Vec<Row>> {
     Ok(out)
 }
 
+// ---------------------------------------------------------------------
+// Vectorized (batch-at-a-time) operators
+//
+// Operators exchange `Batch`es: `Arc`-shared typed columns plus a
+// selection vector. Filters narrow the selection instead of copying
+// rows; projections run `Expr::eval_batch` kernels over the selected
+// slots only. Row materialization happens once, at the `ResultSet`
+// boundary. Results are byte-identical to the row executor above (the
+// differential oracle) — `tests/batch_differential.rs` holds the line.
+// ---------------------------------------------------------------------
+
+/// Evaluate `predicate` over the batch's live rows in `batch_size`-row
+/// chunks; returns the surviving *view* positions plus the chunk count.
+/// SQL WHERE semantics: NULL and false both drop the row, a non-boolean
+/// result is a type error (exactly [`Expr::eval_predicate`]).
+fn filter_selection(
+    batch: &Batch,
+    predicate: &Expr,
+    batch_size: usize,
+) -> RelResult<(Vec<u32>, usize)> {
+    let sel = batch.selection();
+    let cols = batch.columns();
+    let chunk = batch_size.max(1);
+    let mut keep = Vec::new();
+    let mut batches = 0usize;
+    for part in sel.chunks(chunk) {
+        let base = batches * chunk;
+        batches += 1;
+        let ec = predicate.eval_batch(cols, part)?;
+        for k in 0..part.len() {
+            match ec.value_at(k) {
+                Value::Bool(true) => keep.push((base + k) as u32),
+                Value::Bool(false) | Value::Null => {}
+                other => {
+                    return Err(RelError::TypeMismatch {
+                        expected: "Bool".into(),
+                        found: other.type_name().into(),
+                    })
+                }
+            }
+        }
+    }
+    Ok((keep, batches))
+}
+
+/// Evaluate the projection kernels over the selected slots, producing a
+/// dense batch. Column-picking projections over a dense input reuse the
+/// input column `Arc` outright.
+fn project_batched(
+    batch: &Batch,
+    exprs: &[(Expr, String)],
+    batch_size: usize,
+) -> RelResult<(Batch, usize)> {
+    let sel = batch.selection();
+    let n = sel.len();
+    let cols = batch.columns();
+    let chunk = batch_size.max(1);
+    let batches = n.div_ceil(chunk);
+    let mut out: Vec<Arc<BatchColumn>> = Vec::with_capacity(exprs.len());
+    for (e, _) in exprs {
+        if let Expr::Column(i) = e {
+            if *i < cols.len() && !batch.has_selection() {
+                out.push(Arc::clone(&cols[*i]));
+                continue;
+            }
+        }
+        if n <= chunk {
+            out.push(Arc::new(e.eval_batch(cols, &sel)?.into_column(n)));
+        } else {
+            let mut b = ColumnBuilder::with_capacity(n);
+            for part in sel.chunks(chunk) {
+                let ec = e.eval_batch(cols, part)?;
+                for k in 0..part.len() {
+                    b.push(ec.value_at(k));
+                }
+            }
+            out.push(Arc::new(b.finish()));
+        }
+    }
+    Ok((Batch::new(out, n), batches))
+}
+
+/// Batched scan. Sequential scans serve the table's cached columnar image
+/// ([`Table::columnar`]) and fuse the pushed-down filter (selection
+/// vector) and projection (column picking) into it without copying a
+/// single row. Index-served paths touch few rows, so they reuse the row
+/// machinery and transpose.
+fn scan_batched(
+    t: &Table,
+    projection: &Option<Vec<usize>>,
+    filter: &Option<Expr>,
+    opts: &ExecOptions,
+) -> RelResult<(Batch, AccessPath, usize)> {
+    let path = choose_access_path(t, filter);
+    if matches!(path, AccessPath::SeqScan) {
+        if cr_obs::enabled() {
+            metrics().scan_seq.inc();
+        }
+        let cols = t.columnar();
+        let mut batch = Batch::new((*cols).clone(), t.len());
+        let mut batches = 1;
+        if let Some(f) = filter {
+            let (keep, nb) = filter_selection(&batch, f, opts.batch_size)?;
+            batches = nb;
+            batch = batch.select(keep);
+        }
+        if let Some(idx) = projection {
+            let projected = idx.iter().map(|&i| Arc::clone(batch.column(i))).collect();
+            batch = batch.with_columns(projected);
+        }
+        Ok((batch, path, batches))
+    } else {
+        let (rows, path, _) = scan_table(t, projection, filter, opts)?;
+        let width = projection
+            .as_ref()
+            .map_or(t.schema().columns().len(), Vec::len);
+        Ok((Batch::from_rows(&rows, width), path, 1))
+    }
+}
+
+/// Batched hash join: build over the right columns, probe the left view
+/// in order, then gather both sides' output columns by match index (typed
+/// gathers; NULL-extension for LEFT OUTER falls back to a builder).
+/// Non-equi predicates use the row nested-loop join and transpose.
+fn join_batched(
+    left: &Batch,
+    right: &Batch,
+    kind: JoinKind,
+    on: &Expr,
+) -> RelResult<(Batch, JoinInfo)> {
+    let (left_width, right_width) = (left.width(), right.width());
+    let (lk, rk, residual) = extract_equi_keys(on, left_width);
+    if lk.is_empty() {
+        let (rows, info) = join_rows(
+            left.to_rows(),
+            right.to_rows(),
+            left_width,
+            right_width,
+            kind,
+            on,
+        )?;
+        return Ok((Batch::from_rows(&rows, left_width + right_width), info));
+    }
+    let residual = if residual.is_empty() {
+        None
+    } else {
+        Some(Expr::conjoin(residual))
+    };
+    let mut build: HashMap<Vec<Value>, Vec<u32>> = HashMap::with_capacity(right.len());
+    for j in 0..right.len() {
+        let key: Vec<Value> = rk.iter().map(|&k| right.value(k, j)).collect();
+        if key.iter().any(Value::is_null) {
+            continue; // NULL keys never join
+        }
+        build.entry(key).or_default().push(j as u32);
+    }
+    let mut pairs: Vec<(u32, Option<u32>)> = Vec::new();
+    for j in 0..left.len() {
+        let key: Vec<Value> = lk.iter().map(|&k| left.value(k, j)).collect();
+        let mut matched = false;
+        if !key.iter().any(Value::is_null) {
+            if let Some(idxs) = build.get(&key) {
+                for &i in idxs {
+                    let ok = match &residual {
+                        Some(p) => {
+                            let mut combined = left.row(j);
+                            combined.extend(right.row(i as usize));
+                            p.eval_predicate(&combined)?
+                        }
+                        None => true,
+                    };
+                    if ok {
+                        matched = true;
+                        pairs.push((j as u32, Some(i)));
+                    }
+                }
+            }
+        }
+        if !matched && kind == JoinKind::LeftOuter {
+            pairs.push((j as u32, None));
+        }
+    }
+    let lidx: Vec<u32> = pairs
+        .iter()
+        .map(|&(j, _)| left.base_index(j as usize) as u32)
+        .collect();
+    let mut out: Vec<Arc<BatchColumn>> = Vec::with_capacity(left_width + right_width);
+    for c in 0..left_width {
+        out.push(Arc::new(left.column(c).gather(&lidx)));
+    }
+    if pairs.iter().all(|&(_, r)| r.is_some()) {
+        let ridx: Vec<u32> = pairs
+            .iter()
+            .filter_map(|&(_, r)| r.map(|i| right.base_index(i as usize) as u32))
+            .collect();
+        for c in 0..right_width {
+            out.push(Arc::new(right.column(c).gather(&ridx)));
+        }
+    } else {
+        for c in 0..right_width {
+            let col = right.column(c);
+            let mut b = ColumnBuilder::with_capacity(pairs.len());
+            for &(_, r) in &pairs {
+                match r {
+                    Some(i) => b.push(col.value(right.base_index(i as usize))),
+                    None => b.push(Value::Null),
+                }
+            }
+            out.push(Arc::new(b.finish()));
+        }
+    }
+    Ok((
+        Batch::new(out, pairs.len()),
+        JoinInfo {
+            hash: true,
+            keys: lk.len(),
+        },
+    ))
+}
+
+/// Batched aggregation: group keys and aggregate arguments evaluate as
+/// kernels over the full selection, then feed the shared [`AggState`]
+/// machinery — so grouping/accumulation semantics (including first-seen
+/// group order) are the row path's by construction.
+fn aggregate_batched(batch: &Batch, group_by: &[Expr], aggs: &[AggExpr]) -> RelResult<Vec<Row>> {
+    let sel = batch.selection();
+    let n = sel.len();
+    let cols = batch.columns();
+    let gcols: Vec<EvalCol> = group_by
+        .iter()
+        .map(|g| g.eval_batch(cols, &sel))
+        .collect::<RelResult<Vec<_>>>()?;
+    let acols: Vec<Option<EvalCol>> = aggs
+        .iter()
+        .map(|a| {
+            if a.func == AggFn::CountStar {
+                Ok(None) // COUNT(*): the argument is never evaluated
+            } else {
+                a.arg.eval_batch(cols, &sel).map(Some)
+            }
+        })
+        .collect::<RelResult<Vec<_>>>()?;
+    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for j in 0..n {
+        let key: Vec<Value> = gcols.iter().map(|g| g.value_at(j)).collect();
+        let states = match groups.get_mut(&key) {
+            Some(s) => s,
+            None => {
+                order.push(key.clone());
+                groups
+                    .entry(key.clone())
+                    .or_insert_with(|| aggs.iter().map(AggState::new).collect())
+            }
+        };
+        for ((state, a), ac) in states.iter_mut().zip(aggs).zip(&acols) {
+            let is_star = a.func == AggFn::CountStar;
+            let v = match ac {
+                None => Value::Int(1),
+                Some(c) => c.value_at(j),
+            };
+            state.update(v, is_star)?;
+        }
+    }
+    aggregate_finish(groups, order, group_by, aggs)
+}
+
+/// Batched sort: key expressions evaluate as kernels, then only the
+/// selection vector is permuted — column data never moves.
+fn sort_batched(batch: Batch, keys: &[SortKey]) -> RelResult<Batch> {
+    let n = batch.len();
+    let kcols: Vec<EvalCol> = {
+        let sel = batch.selection();
+        keys.iter()
+            .map(|sk| sk.expr.eval_batch(batch.columns(), &sel))
+            .collect::<RelResult<Vec<_>>>()?
+    };
+    let keyed: Vec<Vec<Value>> = (0..n)
+        .map(|j| kcols.iter().map(|k| k.value_at(j)).collect())
+        .collect();
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    idx.sort_by(|&a, &b| {
+        for (i, sk) in keys.iter().enumerate() {
+            let ord = keyed[a as usize][i].total_cmp(&keyed[b as usize][i]);
+            let ord = if sk.desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        a.cmp(&b) // stable tiebreak
+    });
+    Ok(batch.select(idx))
+}
+
+/// Batched limit/offset: a selection-vector slice; no data moves.
+fn limit_batched(batch: Batch, limit: Option<usize>, offset: usize) -> Batch {
+    let n = batch.len();
+    let start = offset.min(n);
+    let end = match limit {
+        Some(l) => start.saturating_add(l).min(n),
+        None => n,
+    };
+    if start == 0 && end == n {
+        return batch;
+    }
+    batch.select((start as u32..end as u32).collect())
+}
+
+/// Concatenate two batches (UNION ALL).
+fn union_batched(left: &Batch, right: &Batch) -> Batch {
+    let width = left.width();
+    let n = left.len() + right.len();
+    let mut cols = Vec::with_capacity(width);
+    for c in 0..width {
+        let mut b = ColumnBuilder::with_capacity(n);
+        for j in 0..left.len() {
+            b.push(left.value(c, j));
+        }
+        for j in 0..right.len() {
+            b.push(right.value(c, j));
+        }
+        cols.push(Arc::new(b.finish()));
+    }
+    Batch::new(cols, n)
+}
+
+/// Batched Extend: the nest map builds straight from the related batch's
+/// columns (shared [`build_nest_map_core`]), the probe appends one nested
+/// column to the compacted input.
+fn extend_batched(input: Batch, related: &Batch, key_col: usize, rating: bool) -> RelResult<Batch> {
+    let map = build_nest_map_core(
+        (0..related.len()).map(|j| {
+            (
+                related.value(0, j),
+                related.value(1, j),
+                if rating {
+                    Some(related.value(2, j))
+                } else {
+                    None
+                },
+            )
+        }),
+        rating,
+    )?;
+    let input = input.compact();
+    let n = input.len();
+    let mut b = ColumnBuilder::with_capacity(n);
+    for j in 0..n {
+        let keyv = input.value(key_col, j);
+        let key = as_rec_scalar(&keyv)
+            .ok_or_else(|| RelError::Invalid("extend key not scalar".into()))?;
+        let nested = match map.get(key) {
+            Some(v) => v.clone(),
+            None if rating => Value::Ratings(Vec::new()),
+            None => Value::Set(Vec::new()),
+        };
+        b.push(nested);
+    }
+    let mut cols = input.columns().to_vec();
+    cols.push(Arc::new(b.finish()));
+    Ok(Batch::new(cols, n))
+}
+
+/// Batched Recommend. Scoring is O(targets × comparators) over nested
+/// Set/Ratings values — compute-bound, not dispatch-bound — so both sides
+/// materialize once and the scoring core runs unchanged (shared with the
+/// oracle by construction).
+fn recommend_batched(target: &Batch, comparator: &Batch, spec: &RecSpec) -> RelResult<Batch> {
+    let width = target.width() + 1;
+    let rows = recommend_rows(target.to_rows(), &comparator.to_rows(), spec)?;
+    Ok(Batch::from_rows(&rows, width))
+}
+
+/// The vectorized walker (the default execution path).
+fn run_batched(plan: &LogicalPlan, catalog: &Catalog, opts: &ExecOptions) -> RelResult<Batch> {
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            projection,
+            filter,
+            ..
+        } => Ok(catalog
+            .with_table(table, |t| scan_batched(t, projection, filter, opts))??
+            .0),
+
+        LogicalPlan::Filter { input, predicate } => {
+            let batch = run_batched(input, catalog, opts)?;
+            let (keep, _) = filter_selection(&batch, predicate, opts.batch_size)?;
+            Ok(batch.select(keep))
+        }
+
+        LogicalPlan::Project { input, exprs, .. } => {
+            let batch = run_batched(input, catalog, opts)?;
+            Ok(project_batched(&batch, exprs, opts.batch_size)?.0)
+        }
+
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            ..
+        } => {
+            let l = run_batched(left, catalog, opts)?;
+            let r = run_batched(right, catalog, opts)?;
+            Ok(join_batched(&l, &r, *kind, on)?.0)
+        }
+
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            ..
+        } => {
+            let batch = run_batched(input, catalog, opts)?;
+            let rows = aggregate_batched(&batch, group_by, aggs)?;
+            Ok(Batch::from_rows(&rows, group_by.len() + aggs.len()))
+        }
+
+        LogicalPlan::Sort { input, keys } => sort_batched(run_batched(input, catalog, opts)?, keys),
+
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => Ok(limit_batched(
+            run_batched(input, catalog, opts)?,
+            *limit,
+            *offset,
+        )),
+
+        LogicalPlan::Values { rows, .. } => Ok(Batch::from_rows(rows, plan.schema().len())),
+
+        LogicalPlan::Union { left, right } => {
+            let l = run_batched(left, catalog, opts)?;
+            let r = run_batched(right, catalog, opts)?;
+            Ok(union_batched(&l, &r))
+        }
+
+        LogicalPlan::Extend {
+            input,
+            related,
+            key_col,
+            rating,
+            ..
+        } => {
+            let i = run_batched(input, catalog, opts)?;
+            let r = run_batched(related, catalog, opts)?;
+            extend_batched(i, &r, *key_col, *rating)
+        }
+
+        LogicalPlan::Recommend {
+            target,
+            comparator,
+            spec,
+            ..
+        } => {
+            let t = run_batched(target, catalog, opts)?;
+            let c = run_batched(comparator, catalog, opts)?;
+            recommend_batched(&t, &c, spec)
+        }
+    }
+}
+
+/// Profiled twin of [`run_batched`]: same batched operator
+/// implementations, with each node timed and annotated. Spans and
+/// EXPLAIN ANALYZE keep the row path's operator names and fields, plus
+/// the new `batches=`/`selected=` detail. The batched path runs each
+/// operator serially; when the options asked for parallelism the adaptive
+/// decision is still recorded on the span.
+fn run_batched_profiled(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    opts: &ExecOptions,
+) -> RelResult<(Batch, OpProfile)> {
+    let mut span = cr_obs::trace::TraceSpan::child("op");
+    let t0 = Instant::now();
+    let (batch, op, detail, children) = match plan {
+        LogicalPlan::Scan {
+            table,
+            alias,
+            projection,
+            filter,
+            ..
+        } => {
+            let (scanned, table_len) = catalog.with_table(table, |t| {
+                (scan_batched(t, projection, filter, opts), t.len())
+            })?;
+            let (batch, path, batches) = scanned?;
+            let mut detail = vec![format!("access={path}")];
+            if let Some(f) = filter {
+                detail.push(format!("filter={f}"));
+            }
+            detail.push(format!("batches={batches}"));
+            detail.push(format!("selected={}", batch.len()));
+            if matches!(path, AccessPath::SeqScan) {
+                push_adaptive_detail(&mut detail, opts, table_len, &None);
+            }
+            let op = match alias {
+                Some(a) if a != table => format!("Scan {table} AS {a}"),
+                _ => format!("Scan {table}"),
+            };
+            (batch, op, detail, Vec::new())
+        }
+
+        LogicalPlan::Filter { input, predicate } => {
+            let (batch, child) = run_batched_profiled(input, catalog, opts)?;
+            let rows_in = batch.len();
+            let (keep, batches) = filter_selection(&batch, predicate, opts.batch_size)?;
+            let batch = batch.select(keep);
+            let mut detail = vec![
+                format!("predicate={predicate}"),
+                format!("batches={batches}"),
+                format!("selected={}", batch.len()),
+            ];
+            push_adaptive_detail(&mut detail, opts, rows_in, &None);
+            (batch, "Filter".to_owned(), detail, vec![child])
+        }
+
+        LogicalPlan::Project { input, exprs, .. } => {
+            let (batch, child) = run_batched_profiled(input, catalog, opts)?;
+            let rows_in = batch.len();
+            let (batch, batches) = project_batched(&batch, exprs, opts.batch_size)?;
+            let mut detail = vec![
+                format!("exprs={}", exprs.len()),
+                format!("batches={batches}"),
+            ];
+            push_adaptive_detail(&mut detail, opts, rows_in, &None);
+            (batch, "Project".to_owned(), detail, vec![child])
+        }
+
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            ..
+        } => {
+            let (l, lchild) = run_batched_profiled(left, catalog, opts)?;
+            let (r, rchild) = run_batched_profiled(right, catalog, opts)?;
+            let rows_in = l.len();
+            let (batch, info) = join_batched(&l, &r, *kind, on)?;
+            let op = if info.hash {
+                "HashJoin"
+            } else {
+                "NestedLoopJoin"
+            };
+            let mut detail = vec![format!("kind={kind:?}")];
+            if info.hash {
+                detail.push(format!("keys={}", info.keys));
+                detail.push("build=right".to_owned());
+                push_adaptive_detail(&mut detail, opts, rows_in, &None);
+            }
+            (batch, op.to_owned(), detail, vec![lchild, rchild])
+        }
+
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            ..
+        } => {
+            let (batch, child) = run_batched_profiled(input, catalog, opts)?;
+            let rows_in = batch.len();
+            let rows = aggregate_batched(&batch, group_by, aggs)?;
+            let out = Batch::from_rows(&rows, group_by.len() + aggs.len());
+            let mut detail = vec![
+                format!("group_by={}", group_by.len()),
+                format!("aggs={}", aggs.len()),
+            ];
+            push_adaptive_detail(&mut detail, opts, rows_in, &None);
+            (out, "Aggregate".to_owned(), detail, vec![child])
+        }
+
+        LogicalPlan::Sort { input, keys } => {
+            let (batch, child) = run_batched_profiled(input, catalog, opts)?;
+            let batch = sort_batched(batch, keys)?;
+            (
+                batch,
+                "Sort".to_owned(),
+                vec![format!("keys={}", keys.len())],
+                vec![child],
+            )
+        }
+
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            let (batch, child) = run_batched_profiled(input, catalog, opts)?;
+            let batch = limit_batched(batch, *limit, *offset);
+            let mut detail = Vec::new();
+            if let Some(n) = limit {
+                detail.push(format!("limit={n}"));
+            }
+            if *offset > 0 {
+                detail.push(format!("offset={offset}"));
+            }
+            (batch, "Limit".to_owned(), detail, vec![child])
+        }
+
+        LogicalPlan::Values { rows, .. } => (
+            Batch::from_rows(rows, plan.schema().len()),
+            "Values".to_owned(),
+            Vec::new(),
+            Vec::new(),
+        ),
+
+        LogicalPlan::Union { left, right } => {
+            let (l, lchild) = run_batched_profiled(left, catalog, opts)?;
+            let (r, rchild) = run_batched_profiled(right, catalog, opts)?;
+            (
+                union_batched(&l, &r),
+                "Union".to_owned(),
+                Vec::new(),
+                vec![lchild, rchild],
+            )
+        }
+
+        LogicalPlan::Extend {
+            input,
+            related,
+            key_col,
+            rating,
+            as_name,
+            ..
+        } => {
+            let (i, ichild) = run_batched_profiled(input, catalog, opts)?;
+            let (r, rchild) = run_batched_profiled(related, catalog, opts)?;
+            let rows_in = i.len();
+            let batch = extend_batched(i, &r, *key_col, *rating)?;
+            let mut detail = vec![
+                format!("kind={}", if *rating { "ratings" } else { "set" }),
+                format!("key=#{key_col}"),
+                format!("as={as_name}"),
+            ];
+            push_adaptive_detail(&mut detail, opts, rows_in, &None);
+            (batch, "Extend".to_owned(), detail, vec![ichild, rchild])
+        }
+
+        LogicalPlan::Recommend {
+            target,
+            comparator,
+            spec,
+            ..
+        } => {
+            let (t, tchild) = run_batched_profiled(target, catalog, opts)?;
+            let (c, cchild) = run_batched_profiled(comparator, catalog, opts)?;
+            let rows_in = t.len();
+            let batch = recommend_batched(&t, &c, spec)?;
+            let mut detail = vec![
+                format!("method={}", spec.method.name()),
+                format!("agg={}", spec.agg),
+            ];
+            if let Some(k) = spec.k {
+                detail.push(format!("top={k}"));
+            }
+            if spec.exclude_seen.is_some() {
+                detail.push("exclude_seen".to_owned());
+            }
+            push_adaptive_detail(&mut detail, opts, rows_in, &None);
+            (batch, "Recommend".to_owned(), detail, vec![tchild, cchild])
+        }
+    };
+    let elapsed = t0.elapsed();
+    if cr_obs::enabled() {
+        metrics().op_hist(plan).record_duration(elapsed);
+    }
+    if span.is_recording() {
+        span.set_name(&op);
+        span.attr("rows_out", batch.len().to_string());
+        if !detail.is_empty() {
+            span.attr("detail", detail.join(" "));
+        }
+    }
+    let profile = OpProfile {
+        op,
+        detail,
+        rows_out: batch.len(),
+        elapsed,
+        children,
+    };
+    Ok((batch, profile))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2347,12 +3148,14 @@ mod tests {
     }
 
     /// Options that force every parallelizable operator to split, even on
-    /// tiny test tables and single-CPU hosts.
+    /// tiny test tables and single-CPU hosts. `batch_size: 0` pins the
+    /// row executor — the only path that partitions.
     fn par(n: usize) -> ExecOptions {
         ExecOptions {
             parallelism: n,
             min_partition_rows: 1,
             adaptive: false,
+            batch_size: 0,
         }
     }
 

@@ -7,7 +7,9 @@
 //! hot path runs on `&[Value]` with zero hashing.
 
 use std::fmt;
+use std::sync::Arc;
 
+use crate::batch::{self, ColumnBuilder, EvalCol, Vals};
 use crate::error::{RelError, RelResult};
 use crate::row::Row;
 use crate::schema::Schema;
@@ -545,19 +547,8 @@ impl Expr {
                     .unwrap_or_default()
             ))),
             Expr::Binary { op, left, right } => eval_binary(*op, left, right, row),
-            Expr::Not(e) => match e.eval(row)? {
-                Value::Null => Ok(Value::Null),
-                v => Ok(Value::Bool(!v.as_bool()?)),
-            },
-            Expr::Neg(e) => match e.eval(row)? {
-                Value::Null => Ok(Value::Null),
-                Value::Int(i) => Ok(Value::Int(-i)),
-                Value::Float(f) => Ok(Value::float(-f)),
-                v => Err(RelError::TypeMismatch {
-                    expected: "numeric".into(),
-                    found: v.type_name().into(),
-                }),
-            },
+            Expr::Not(e) => not_scalar(e.eval(row)?),
+            Expr::Neg(e) => neg_scalar(e.eval(row)?),
             Expr::IsNull { expr, negated } => {
                 let is_null = expr.eval(row)?.is_null();
                 Ok(Value::Bool(is_null != *negated))
@@ -626,18 +617,202 @@ impl Expr {
         }
     }
 
-    /// Constant-fold: evaluate constant subtrees down to literals.
+    // ------------------------------------------------------------------
+    // Vectorized evaluation
+    // ------------------------------------------------------------------
+
+    /// Evaluate vector-at-a-time: `cols` are the input columns and `sel`
+    /// names the base slots to evaluate, in output order. Returns a dense
+    /// column with one slot per selected row, or a broadcast constant.
+    ///
+    /// Semantics mirror [`Expr::eval`] row-for-row: typed fast-path
+    /// kernels are exact specializations of the scalar rules, and every
+    /// other case funnels through the same scalar cores
+    /// ([`binary_scalar`] & friends) the row evaluator uses. `AND`/`OR`/
+    /// `COALESCE` (and `ROUND`/`SUBSTR` extra arguments) keep their lazy
+    /// semantics by evaluating the deferred operand only over the
+    /// sub-selection of rows where the row evaluator would have reached
+    /// it — `a <> 0 AND b / a > 1` never divides by zero on either path.
+    pub fn eval_batch(&self, cols: &[Arc<batch::Column>], sel: &[u32]) -> RelResult<EvalCol> {
+        if sel.is_empty() {
+            // Zero rows: nothing to evaluate, and nothing may error.
+            return Ok(EvalCol::Col(batch::Column::empty()));
+        }
+        let n = sel.len();
+        match self {
+            Expr::Literal(v) => Ok(EvalCol::Const(v.clone())),
+            Expr::Column(i) => match cols.get(*i) {
+                Some(c) => Ok(EvalCol::Col(c.gather(sel))),
+                None => Err(RelError::Invalid(format!(
+                    "row too short for column index {i}"
+                ))),
+            },
+            Expr::ColumnName { qualifier, name } => Err(RelError::Invalid(format!(
+                "unbound column reference {}{name} at eval time",
+                qualifier
+                    .as_deref()
+                    .map(|q| format!("{q}."))
+                    .unwrap_or_default()
+            ))),
+            Expr::Binary { op, left, right } => eval_binary_batch(*op, left, right, cols, sel),
+            Expr::Not(e) => {
+                let o = operand(e, cols, sel)?;
+                if let Operand::Const(c) = &o {
+                    return not_scalar(c.clone()).map(EvalCol::Const);
+                }
+                let v = o.vals(cols, sel);
+                let mut out = ColumnBuilder::with_capacity(n);
+                for j in 0..n {
+                    out.push(not_scalar(v.value_at(j))?);
+                }
+                Ok(EvalCol::Col(out.finish()))
+            }
+            Expr::Neg(e) => {
+                let o = operand(e, cols, sel)?;
+                if let Operand::Const(c) = &o {
+                    return neg_scalar(c.clone()).map(EvalCol::Const);
+                }
+                let v = o.vals(cols, sel);
+                let mut out = ColumnBuilder::with_capacity(n);
+                for j in 0..n {
+                    out.push(neg_scalar(v.value_at(j))?);
+                }
+                Ok(EvalCol::Col(out.finish()))
+            }
+            Expr::IsNull { expr, negated } => {
+                let o = operand(expr, cols, sel)?;
+                if let Operand::Const(c) = &o {
+                    return Ok(EvalCol::Const(Value::Bool(c.is_null() != *negated)));
+                }
+                let v = o.vals(cols, sel);
+                let mut out = ColumnBuilder::with_capacity(n);
+                for j in 0..n {
+                    out.push(Value::Bool(v.null_at(j) != *negated));
+                }
+                Ok(EvalCol::Col(out.finish()))
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let eo = operand(expr, cols, sel)?;
+                let po = operand(pattern, cols, sel)?;
+                let ev = eo.vals(cols, sel);
+                let pv = po.vals(cols, sel);
+                let mut out = ColumnBuilder::with_capacity(n);
+                if let (Some(a), Some(b)) = (ev.texts(), pv.texts()) {
+                    for j in 0..n {
+                        out.push(match (a.get(j), b.get(j)) {
+                            (Some(s), Some(p)) => Value::Bool(like_match(s, p) != *negated),
+                            _ => Value::Null,
+                        });
+                    }
+                } else {
+                    for j in 0..n {
+                        let v = ev.value_at(j);
+                        let p = pv.value_at(j);
+                        out.push(if v.is_null() || p.is_null() {
+                            Value::Null
+                        } else {
+                            Value::Bool(like_match(v.as_text()?, p.as_text()?) != *negated)
+                        });
+                    }
+                }
+                Ok(EvalCol::Col(out.finish()))
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let eo = operand(expr, cols, sel)?;
+                let items: Vec<Operand> = list
+                    .iter()
+                    .map(|e| operand(e, cols, sel))
+                    .collect::<RelResult<_>>()?;
+                let ev = eo.vals(cols, sel);
+                let mut out = ColumnBuilder::with_capacity(n);
+                for j in 0..n {
+                    let v = ev.value_at(j);
+                    if v.is_null() {
+                        out.push(Value::Null);
+                        continue;
+                    }
+                    let mut found = false;
+                    for it in &items {
+                        let iv = it.vals(cols, sel);
+                        let eq = match iv.ref_at(j) {
+                            Some(rv) => rv.sql_eq(&v),
+                            None => iv.value_at(j).sql_eq(&v),
+                        };
+                        if eq {
+                            found = true;
+                            break;
+                        }
+                    }
+                    out.push(Value::Bool(found != *negated));
+                }
+                Ok(EvalCol::Col(out.finish()))
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let vo = operand(expr, cols, sel)?;
+                let lo_o = operand(low, cols, sel)?;
+                let hi_o = operand(high, cols, sel)?;
+                let vv = vo.vals(cols, sel);
+                let lv = lo_o.vals(cols, sel);
+                let hv = hi_o.vals(cols, sel);
+                let mut out = ColumnBuilder::with_capacity(n);
+                for j in 0..n {
+                    let v = vv.value_at(j);
+                    let lo = lv.value_at(j);
+                    let hi = hv.value_at(j);
+                    out.push(if v.is_null() || lo.is_null() || hi.is_null() {
+                        Value::Null
+                    } else {
+                        let within = lo.total_cmp(&v) != std::cmp::Ordering::Greater
+                            && v.total_cmp(&hi) != std::cmp::Ordering::Greater;
+                        Value::Bool(within != *negated)
+                    });
+                }
+                Ok(EvalCol::Col(out.finish()))
+            }
+            Expr::Func { func, args } => eval_func_batch(*func, args, cols, sel),
+        }
+    }
+
+    /// Constant-fold: evaluate constant subtrees down to literals (via the
+    /// row evaluator).
     pub fn fold(&self) -> Expr {
+        self.fold_with(false)
+    }
+
+    /// Constant-fold by running constant subtrees through the vectorized
+    /// kernel path ([`Expr::eval_batch`] over a single-slot batch) — the
+    /// optimizer uses this so that folding exercises exactly the code the
+    /// executor will run (the risinglight approach: build a one-element
+    /// array, apply the kernel, take element 0).
+    pub fn fold_kernel(&self) -> Expr {
+        self.fold_with(true)
+    }
+
+    fn fold_with(&self, kernel: bool) -> Expr {
+        let f = |e: &Expr| e.fold_with(kernel);
         let folded = match self {
             Expr::Binary { op, left, right } => Expr::Binary {
                 op: *op,
-                left: Box::new(left.fold()),
-                right: Box::new(right.fold()),
+                left: Box::new(f(left)),
+                right: Box::new(f(right)),
             },
-            Expr::Not(e) => Expr::Not(Box::new(e.fold())),
-            Expr::Neg(e) => Expr::Neg(Box::new(e.fold())),
+            Expr::Not(e) => Expr::Not(Box::new(f(e))),
+            Expr::Neg(e) => Expr::Neg(Box::new(f(e))),
             Expr::IsNull { expr, negated } => Expr::IsNull {
-                expr: Box::new(expr.fold()),
+                expr: Box::new(f(expr)),
                 negated: *negated,
             },
             Expr::Like {
@@ -645,8 +820,8 @@ impl Expr {
                 pattern,
                 negated,
             } => Expr::Like {
-                expr: Box::new(expr.fold()),
-                pattern: Box::new(pattern.fold()),
+                expr: Box::new(f(expr)),
+                pattern: Box::new(f(pattern)),
                 negated: *negated,
             },
             Expr::InList {
@@ -654,8 +829,8 @@ impl Expr {
                 list,
                 negated,
             } => Expr::InList {
-                expr: Box::new(expr.fold()),
-                list: list.iter().map(Expr::fold).collect(),
+                expr: Box::new(f(expr)),
+                list: list.iter().map(f).collect(),
                 negated: *negated,
             },
             Expr::Between {
@@ -664,23 +839,39 @@ impl Expr {
                 high,
                 negated,
             } => Expr::Between {
-                expr: Box::new(expr.fold()),
-                low: Box::new(low.fold()),
-                high: Box::new(high.fold()),
+                expr: Box::new(f(expr)),
+                low: Box::new(f(low)),
+                high: Box::new(f(high)),
                 negated: *negated,
             },
             Expr::Func { func, args } => Expr::Func {
                 func: *func,
-                args: args.iter().map(Expr::fold).collect(),
+                args: args.iter().map(f).collect(),
             },
             other => other.clone(),
         };
         if folded.is_constant() {
-            if let Ok(v) = folded.eval(&Vec::new()) {
+            let v = if kernel {
+                folded.eval_const_kernel()
+            } else {
+                folded.eval(&Vec::new()).ok()
+            };
+            if let Some(v) = v {
                 return Expr::Literal(v);
             }
         }
         folded
+    }
+
+    /// Evaluate a constant expression through the kernel path: a one-slot
+    /// batch with no columns, result taken from slot 0. `None` if
+    /// evaluation errors (the fold keeps the expression unfolded so the
+    /// error surfaces at execution time, same as [`Expr::fold`]).
+    fn eval_const_kernel(&self) -> Option<Value> {
+        match self.eval_batch(&[], &[0]) {
+            Ok(ec) => Some(ec.value_at(0)),
+            Err(_) => None,
+        }
     }
 
     /// Split a conjunctive predicate into its AND-ed parts.
@@ -715,24 +906,66 @@ fn eval_binary(op: BinOp, left: &Expr, right: &Expr, row: &Row) -> RelResult<Val
         return match (op, &l) {
             (BinOp::And, Value::Bool(false)) => Ok(Value::Bool(false)),
             (BinOp::Or, Value::Bool(true)) => Ok(Value::Bool(true)),
-            _ => {
-                let r = right.eval(row)?;
-                match (l, r) {
-                    (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
-                    (a, b) => {
-                        let (a, b) = (a.as_bool()?, b.as_bool()?);
-                        Ok(Value::Bool(match op {
-                            BinOp::And => a && b,
-                            _ => a || b,
-                        }))
-                    }
-                }
+            _ => binary_scalar(op, l, right.eval(row)?),
+        };
+    }
+    binary_scalar(op, left.eval(row)?, right.eval(row)?)
+}
+
+/// Resolve a comparison operator against an ordering.
+#[inline]
+fn cmp_result(op: BinOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        BinOp::Eq => ord == Equal,
+        BinOp::NotEq => ord != Equal,
+        BinOp::Lt => ord == Less,
+        BinOp::LtEq => ord != Greater,
+        BinOp::Gt => ord == Greater,
+        BinOp::GtEq => ord != Less,
+        _ => unreachable!(),
+    }
+}
+
+/// Logical NOT on an evaluated value (NULL propagates).
+pub(crate) fn not_scalar(v: Value) -> RelResult<Value> {
+    match v {
+        Value::Null => Ok(Value::Null),
+        v => Ok(Value::Bool(!v.as_bool()?)),
+    }
+}
+
+/// Arithmetic negation on an evaluated value (NULL propagates).
+pub(crate) fn neg_scalar(v: Value) -> RelResult<Value> {
+    match v {
+        Value::Null => Ok(Value::Null),
+        Value::Int(i) => Ok(Value::Int(-i)),
+        Value::Float(f) => Ok(Value::float(-f)),
+        v => Err(RelError::TypeMismatch {
+            expected: "numeric".into(),
+            found: v.type_name().into(),
+        }),
+    }
+}
+
+/// Apply a binary operator to two *evaluated* values. This is the single
+/// semantic core shared by the row evaluator and the vectorized kernels'
+/// generic fallback — both paths produce byte-identical results by
+/// construction. Short-circuiting is the caller's job; `And`/`Or` here are
+/// the non-short-circuit combine.
+pub(crate) fn binary_scalar(op: BinOp, l: Value, r: Value) -> RelResult<Value> {
+    if matches!(op, BinOp::And | BinOp::Or) {
+        return match (l, r) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            (a, b) => {
+                let (a, b) = (a.as_bool()?, b.as_bool()?);
+                Ok(Value::Bool(match op {
+                    BinOp::And => a && b,
+                    _ => a || b,
+                }))
             }
         };
     }
-
-    let l = left.eval(row)?;
-    let r = right.eval(row)?;
     if l.is_null() || r.is_null() {
         return Ok(Value::Null);
     }
@@ -744,18 +977,7 @@ fn eval_binary(op: BinOp, left: &Expr, right: &Expr, row: &Row) -> RelResult<Val
             (Value::Int(i), Value::Date(_)) => (Value::Date(*i as i32), r.clone()),
             _ => (l, r),
         };
-        let ord = l.total_cmp(&r);
-        use std::cmp::Ordering::*;
-        let b = match op {
-            BinOp::Eq => ord == Equal,
-            BinOp::NotEq => ord != Equal,
-            BinOp::Lt => ord == Less,
-            BinOp::LtEq => ord != Greater,
-            BinOp::Gt => ord == Greater,
-            BinOp::GtEq => ord != Less,
-            _ => unreachable!(),
-        };
-        return Ok(Value::Bool(b));
+        return Ok(Value::Bool(cmp_result(op, l.total_cmp(&r))));
     }
     // Arithmetic. Text + Text concatenates (convenience used by FlexRecs'
     // compiled SQL when labelling results).
@@ -766,55 +988,444 @@ fn eval_binary(op: BinOp, left: &Expr, right: &Expr, row: &Row) -> RelResult<Val
             s.push_str(b);
             Ok(Value::Text(s))
         }
-        (Value::Int(a), Value::Int(b)) => {
-            let a = *a;
-            let b = *b;
-            Ok(match op {
-                BinOp::Add => Value::Int(a.wrapping_add(b)),
-                BinOp::Sub => Value::Int(a.wrapping_sub(b)),
-                BinOp::Mul => Value::Int(a.wrapping_mul(b)),
-                BinOp::Div => {
-                    if b == 0 {
-                        return Err(RelError::Arithmetic("division by zero".into()));
-                    }
-                    // SQL-style: integer division yields a float when not
-                    // exact, matching how ratings averages must behave.
-                    if a % b == 0 {
-                        Value::Int(a / b)
-                    } else {
-                        Value::float(a as f64 / b as f64)
-                    }
-                }
-                BinOp::Mod => {
-                    if b == 0 {
-                        return Err(RelError::Arithmetic("modulo by zero".into()));
-                    }
-                    Value::Int(a % b)
-                }
-                _ => unreachable!(),
-            })
+        (Value::Int(a), Value::Int(b)) => int_arith(op, *a, *b),
+        _ => float_arith(op, l.as_float()?, r.as_float()?),
+    }
+}
+
+/// Integer arithmetic kernel (shared by the row evaluator and the
+/// vectorized `Int × Int` fast path). SQL-style: integer division yields a
+/// float when not exact, matching how ratings averages must behave.
+#[inline]
+fn int_arith(op: BinOp, a: i64, b: i64) -> RelResult<Value> {
+    Ok(match op {
+        BinOp::Add => Value::Int(a.wrapping_add(b)),
+        BinOp::Sub => Value::Int(a.wrapping_sub(b)),
+        BinOp::Mul => Value::Int(a.wrapping_mul(b)),
+        BinOp::Div => {
+            if b == 0 {
+                return Err(RelError::Arithmetic("division by zero".into()));
+            }
+            if a % b == 0 {
+                Value::Int(a / b)
+            } else {
+                Value::float(a as f64 / b as f64)
+            }
         }
-        _ => {
-            let a = l.as_float()?;
-            let b = r.as_float()?;
-            Ok(match op {
-                BinOp::Add => Value::float(a + b),
-                BinOp::Sub => Value::float(a - b),
-                BinOp::Mul => Value::float(a * b),
-                BinOp::Div => {
-                    if b == 0.0 {
-                        return Err(RelError::Arithmetic("division by zero".into()));
+        BinOp::Mod => {
+            if b == 0 {
+                return Err(RelError::Arithmetic("modulo by zero".into()));
+            }
+            Value::Int(a % b)
+        }
+        _ => unreachable!(),
+    })
+}
+
+/// Float arithmetic kernel (shared by the row evaluator's coercing arm and
+/// the vectorized numeric fast path). NaN results become NULL via
+/// [`Value::float`].
+#[inline]
+fn float_arith(op: BinOp, a: f64, b: f64) -> RelResult<Value> {
+    Ok(match op {
+        BinOp::Add => Value::float(a + b),
+        BinOp::Sub => Value::float(a - b),
+        BinOp::Mul => Value::float(a * b),
+        BinOp::Div => {
+            if b == 0.0 {
+                return Err(RelError::Arithmetic("division by zero".into()));
+            }
+            Value::float(a / b)
+        }
+        BinOp::Mod => {
+            if b == 0.0 {
+                return Err(RelError::Arithmetic("modulo by zero".into()));
+            }
+            Value::float(a % b)
+        }
+        _ => unreachable!(),
+    })
+}
+
+/// A kernel operand: a view of an input column through the selection, a
+/// dense computed column, or a broadcast constant. Leaf column references
+/// stay views so comparison/arithmetic kernels read table storage directly
+/// instead of gathering first.
+enum Operand {
+    ColRef(usize),
+    Owned(batch::Column),
+    Const(Value),
+}
+
+impl Operand {
+    fn vals<'a>(&'a self, cols: &'a [Arc<batch::Column>], sel: &'a [u32]) -> Vals<'a> {
+        match self {
+            Operand::ColRef(i) => Vals::View {
+                col: &cols[*i],
+                sel: Some(sel),
+            },
+            Operand::Owned(c) => Vals::View { col: c, sel: None },
+            Operand::Const(v) => Vals::Const { v },
+        }
+    }
+}
+
+fn operand(e: &Expr, cols: &[Arc<batch::Column>], sel: &[u32]) -> RelResult<Operand> {
+    match e {
+        Expr::Literal(v) => Ok(Operand::Const(v.clone())),
+        Expr::Column(i) if *i < cols.len() => Ok(Operand::ColRef(*i)),
+        _ => match e.eval_batch(cols, sel)? {
+            EvalCol::Col(c) => Ok(Operand::Owned(c)),
+            EvalCol::Const(v) => Ok(Operand::Const(v)),
+        },
+    }
+}
+
+fn eval_binary_batch(
+    op: BinOp,
+    left: &Expr,
+    right: &Expr,
+    cols: &[Arc<batch::Column>],
+    sel: &[u32],
+) -> RelResult<EvalCol> {
+    if matches!(op, BinOp::And | BinOp::Or) {
+        return eval_logic_batch(op, left, right, cols, sel);
+    }
+    let n = sel.len();
+    let lo = operand(left, cols, sel)?;
+    let ro = operand(right, cols, sel)?;
+    if let (Operand::Const(a), Operand::Const(b)) = (&lo, &ro) {
+        return binary_scalar(op, a.clone(), b.clone()).map(EvalCol::Const);
+    }
+    let l = lo.vals(cols, sel);
+    let r = ro.vals(cols, sel);
+    let mut out = ColumnBuilder::with_capacity(n);
+    if op.is_comparison() {
+        if let (Some(a), Some(b)) = (l.ints(), r.ints()) {
+            for j in 0..n {
+                out.push(match (a.get(j), b.get(j)) {
+                    (Some(x), Some(y)) => Value::Bool(cmp_result(op, x.cmp(&y))),
+                    _ => Value::Null,
+                });
+            }
+        } else if let (Some(a), Some(b)) = (l.nums(), r.nums()) {
+            for j in 0..n {
+                out.push(match (a.get(j), b.get(j)) {
+                    (Some(x), Some(y)) => Value::Bool(cmp_result(
+                        op,
+                        x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+                    )),
+                    _ => Value::Null,
+                });
+            }
+        } else if let (Some(a), Some(b)) = (l.texts(), r.texts()) {
+            for j in 0..n {
+                out.push(match (a.get(j), b.get(j)) {
+                    (Some(x), Some(y)) => Value::Bool(cmp_result(op, x.cmp(y))),
+                    _ => Value::Null,
+                });
+            }
+        } else {
+            for j in 0..n {
+                out.push(binary_scalar(op, l.value_at(j), r.value_at(j))?);
+            }
+        }
+        return Ok(EvalCol::Col(out.finish()));
+    }
+    // Arithmetic kernels.
+    if let (Some(a), Some(b)) = (l.ints(), r.ints()) {
+        for j in 0..n {
+            out.push(match (a.get(j), b.get(j)) {
+                (Some(x), Some(y)) => int_arith(op, x, y)?,
+                _ => Value::Null,
+            });
+        }
+        return Ok(EvalCol::Col(out.finish()));
+    }
+    if let (Some(a), Some(b)) = (l.nums(), r.nums()) {
+        for j in 0..n {
+            out.push(match (a.get(j), b.get(j)) {
+                (Some(x), Some(y)) => float_arith(op, x, y)?,
+                _ => Value::Null,
+            });
+        }
+        return Ok(EvalCol::Col(out.finish()));
+    }
+    if op == BinOp::Add {
+        if let (Some(a), Some(b)) = (l.texts(), r.texts()) {
+            for j in 0..n {
+                out.push(match (a.get(j), b.get(j)) {
+                    (Some(x), Some(y)) => {
+                        let mut s = String::with_capacity(x.len() + y.len());
+                        s.push_str(x);
+                        s.push_str(y);
+                        Value::Text(s)
                     }
-                    Value::float(a / b)
+                    _ => Value::Null,
+                });
+            }
+            return Ok(EvalCol::Col(out.finish()));
+        }
+    }
+    for j in 0..n {
+        out.push(binary_scalar(op, l.value_at(j), r.value_at(j))?);
+    }
+    Ok(EvalCol::Col(out.finish()))
+}
+
+fn eval_logic_batch(
+    op: BinOp,
+    left: &Expr,
+    right: &Expr,
+    cols: &[Arc<batch::Column>],
+    sel: &[u32],
+) -> RelResult<EvalCol> {
+    let n = sel.len();
+    // The left-side value that short-circuits this operator.
+    let sc = matches!(op, BinOp::Or);
+    let l = left.eval_batch(cols, sel)?;
+    if let EvalCol::Const(lv) = &l {
+        if *lv == Value::Bool(sc) {
+            return Ok(EvalCol::Const(Value::Bool(sc)));
+        }
+        let lv = lv.clone();
+        return match right.eval_batch(cols, sel)? {
+            EvalCol::Const(rv) => binary_scalar(op, lv, rv).map(EvalCol::Const),
+            EvalCol::Col(rc) => {
+                let mut out = ColumnBuilder::with_capacity(n);
+                for j in 0..n {
+                    out.push(binary_scalar(op, lv.clone(), rc.value(j))?);
                 }
-                BinOp::Mod => {
-                    if b == 0.0 {
-                        return Err(RelError::Arithmetic("modulo by zero".into()));
+                Ok(EvalCol::Col(out.finish()))
+            }
+        };
+    }
+    let EvalCol::Col(lc) = l else { unreachable!() };
+    // Rows where the left side does not short-circuit still need the right
+    // side — evaluate it only over that sub-selection, preserving the row
+    // evaluator's lazy error semantics.
+    let mut sub_sel = Vec::new();
+    for (j, &slot) in sel.iter().enumerate().take(n) {
+        if lc.value(j) != Value::Bool(sc) {
+            sub_sel.push(slot);
+        }
+    }
+    if sub_sel.is_empty() {
+        return Ok(EvalCol::Const(Value::Bool(sc)));
+    }
+    let r = right.eval_batch(cols, &sub_sel)?;
+    let mut out = ColumnBuilder::with_capacity(n);
+    let mut k = 0usize;
+    for j in 0..n {
+        let lv = lc.value(j);
+        if lv == Value::Bool(sc) {
+            out.push(Value::Bool(sc));
+        } else {
+            out.push(binary_scalar(op, lv, r.value_at(k))?);
+            k += 1;
+        }
+    }
+    Ok(EvalCol::Col(out.finish()))
+}
+
+fn eval_func_batch(
+    func: ScalarFn,
+    args: &[Expr],
+    cols: &[Arc<batch::Column>],
+    sel: &[u32],
+) -> RelResult<EvalCol> {
+    let n = sel.len();
+    let arity_err = |expected: usize| {
+        Err(RelError::Invalid(format!(
+            "{} expects {expected} argument(s), got {}",
+            func.sql(),
+            args.len()
+        )))
+    };
+    match func {
+        ScalarFn::Lower | ScalarFn::Upper | ScalarFn::Length => {
+            if args.len() != 1 {
+                return arity_err(1);
+            }
+            let o = operand(&args[0], cols, sel)?;
+            let v = o.vals(cols, sel);
+            let mut out = ColumnBuilder::with_capacity(n);
+            if let Some(a) = v.texts() {
+                for j in 0..n {
+                    out.push(match a.get(j) {
+                        Some(s) => text_case_scalar(func, s),
+                        None => Value::Null,
+                    });
+                }
+            } else {
+                for j in 0..n {
+                    let v = v.value_at(j);
+                    out.push(if v.is_null() {
+                        Value::Null
+                    } else {
+                        text_case_scalar(func, v.as_text()?)
+                    });
+                }
+            }
+            Ok(EvalCol::Col(out.finish()))
+        }
+        ScalarFn::Abs => {
+            if args.len() != 1 {
+                return arity_err(1);
+            }
+            let o = operand(&args[0], cols, sel)?;
+            let v = o.vals(cols, sel);
+            let mut out = ColumnBuilder::with_capacity(n);
+            for j in 0..n {
+                out.push(abs_scalar(v.value_at(j))?);
+            }
+            Ok(EvalCol::Col(out.finish()))
+        }
+        ScalarFn::Round => {
+            if args.is_empty() || args.len() > 2 {
+                return arity_err(1);
+            }
+            let v0 = args[0].eval_batch(cols, sel)?;
+            // The digits argument is only evaluated for rows whose value
+            // is non-NULL, mirroring the row evaluator's laziness.
+            let mut sub_sel = Vec::with_capacity(n);
+            for (j, &slot) in sel.iter().enumerate().take(n) {
+                if !v0.is_null_at(j) {
+                    sub_sel.push(slot);
+                }
+            }
+            let digits = match args.get(1) {
+                Some(d) => Some(d.eval_batch(cols, &sub_sel)?),
+                None => None,
+            };
+            let mut out = ColumnBuilder::with_capacity(n);
+            let mut k = 0usize;
+            for j in 0..n {
+                let v = v0.value_at(j);
+                if v.is_null() {
+                    out.push(Value::Null);
+                    continue;
+                }
+                let d = match &digits {
+                    Some(dc) => dc.value_at(k).as_int()?,
+                    None => 0,
+                };
+                k += 1;
+                out.push(round_scalar(&v, d)?);
+            }
+            Ok(EvalCol::Col(out.finish()))
+        }
+        ScalarFn::Coalesce => {
+            // Lazy cascade: each argument is evaluated only over the rows
+            // still NULL after the previous ones.
+            let mut out: Vec<Option<Value>> = vec![None; n];
+            let mut pending: Vec<u32> = (0..n as u32).collect();
+            for a in args {
+                if pending.is_empty() {
+                    break;
+                }
+                let base: Vec<u32> = pending.iter().map(|&p| sel[p as usize]).collect();
+                let ec = a.eval_batch(cols, &base)?;
+                let mut still = Vec::new();
+                for (k, &p) in pending.iter().enumerate() {
+                    let v = ec.value_at(k);
+                    if v.is_null() {
+                        still.push(p);
+                    } else {
+                        out[p as usize] = Some(v);
                     }
-                    Value::float(a % b)
                 }
-                _ => unreachable!(),
-            })
+                pending = still;
+            }
+            let mut b = ColumnBuilder::with_capacity(n);
+            for v in out {
+                b.push(v.unwrap_or(Value::Null));
+            }
+            Ok(EvalCol::Col(b.finish()))
+        }
+        ScalarFn::Concat => {
+            let items: Vec<Operand> = args
+                .iter()
+                .map(|e| operand(e, cols, sel))
+                .collect::<RelResult<_>>()?;
+            let mut out = ColumnBuilder::with_capacity(n);
+            for j in 0..n {
+                let mut s = String::new();
+                for it in &items {
+                    let v = it.vals(cols, sel).value_at(j);
+                    if !v.is_null() {
+                        s.push_str(&v.to_string());
+                    }
+                }
+                out.push(Value::Text(s));
+            }
+            Ok(EvalCol::Col(out.finish()))
+        }
+        ScalarFn::Sqrt | ScalarFn::Ln | ScalarFn::Exp => {
+            if args.len() != 1 {
+                return arity_err(1);
+            }
+            let o = operand(&args[0], cols, sel)?;
+            let v = o.vals(cols, sel);
+            let mut out = ColumnBuilder::with_capacity(n);
+            for j in 0..n {
+                let v = v.value_at(j);
+                out.push(if v.is_null() {
+                    Value::Null
+                } else {
+                    math1_scalar(func, &v)?
+                });
+            }
+            Ok(EvalCol::Col(out.finish()))
+        }
+        ScalarFn::Pow => {
+            if args.len() != 2 {
+                return arity_err(2);
+            }
+            let ao = operand(&args[0], cols, sel)?;
+            let bo = operand(&args[1], cols, sel)?;
+            let av = ao.vals(cols, sel);
+            let bv = bo.vals(cols, sel);
+            let mut out = ColumnBuilder::with_capacity(n);
+            for j in 0..n {
+                let a = av.value_at(j);
+                let b = bv.value_at(j);
+                out.push(if a.is_null() || b.is_null() {
+                    Value::Null
+                } else {
+                    pow_scalar(&a, &b)?
+                });
+            }
+            Ok(EvalCol::Col(out.finish()))
+        }
+        ScalarFn::Substr => {
+            if args.len() != 3 {
+                return arity_err(3);
+            }
+            let v0 = args[0].eval_batch(cols, sel)?;
+            let mut sub_sel = Vec::with_capacity(n);
+            for (j, &slot) in sel.iter().enumerate().take(n) {
+                if !v0.is_null_at(j) {
+                    sub_sel.push(slot);
+                }
+            }
+            let starts = args[1].eval_batch(cols, &sub_sel)?;
+            let lens = args[2].eval_batch(cols, &sub_sel)?;
+            let mut out = ColumnBuilder::with_capacity(n);
+            let mut k = 0usize;
+            for j in 0..n {
+                let v = v0.value_at(j);
+                if v.is_null() {
+                    out.push(Value::Null);
+                    continue;
+                }
+                let s = v.as_text()?;
+                let start = starts.value_at(k).as_int()?;
+                let len = lens.value_at(k).as_int()?;
+                k += 1;
+                out.push(substr_scalar(s, start, len));
+            }
+            Ok(EvalCol::Col(out.finish()))
         }
     }
 }
@@ -836,27 +1447,13 @@ fn eval_func(func: ScalarFn, args: &[Expr], row: &Row) -> RelResult<Value> {
             if v.is_null() {
                 return Ok(Value::Null);
             }
-            let s = v.as_text()?;
-            Ok(match func {
-                ScalarFn::Lower => Value::Text(s.to_lowercase()),
-                ScalarFn::Upper => Value::Text(s.to_uppercase()),
-                ScalarFn::Length => Value::Int(s.chars().count() as i64),
-                _ => unreachable!(),
-            })
+            Ok(text_case_scalar(func, v.as_text()?))
         }
         ScalarFn::Abs => {
             if args.len() != 1 {
                 return arity_err(1);
             }
-            match args[0].eval(row)? {
-                Value::Null => Ok(Value::Null),
-                Value::Int(i) => Ok(Value::Int(i.abs())),
-                Value::Float(f) => Ok(Value::float(f.abs())),
-                v => Err(RelError::TypeMismatch {
-                    expected: "numeric".into(),
-                    found: v.type_name().into(),
-                }),
-            }
+            abs_scalar(args[0].eval(row)?)
         }
         ScalarFn::Round => {
             if args.is_empty() || args.len() > 2 {
@@ -871,9 +1468,7 @@ fn eval_func(func: ScalarFn, args: &[Expr], row: &Row) -> RelResult<Value> {
             } else {
                 0
             };
-            let f = v.as_float()?;
-            let scale = 10f64.powi(digits as i32);
-            Ok(Value::float((f * scale).round() / scale))
+            round_scalar(&v, digits)
         }
         ScalarFn::Coalesce => {
             for a in args {
@@ -902,24 +1497,7 @@ fn eval_func(func: ScalarFn, args: &[Expr], row: &Row) -> RelResult<Value> {
             if v.is_null() {
                 return Ok(Value::Null);
             }
-            let f = v.as_float()?;
-            Ok(match func {
-                ScalarFn::Sqrt => {
-                    if f < 0.0 {
-                        Value::Null
-                    } else {
-                        Value::float(f.sqrt())
-                    }
-                }
-                ScalarFn::Ln => {
-                    if f <= 0.0 {
-                        Value::Null
-                    } else {
-                        Value::float(f.ln())
-                    }
-                }
-                _ => Value::float(f.exp()),
-            })
+            math1_scalar(func, &v)
         }
         ScalarFn::Pow => {
             if args.len() != 2 {
@@ -930,7 +1508,7 @@ fn eval_func(func: ScalarFn, args: &[Expr], row: &Row) -> RelResult<Value> {
             if a.is_null() || b.is_null() {
                 return Ok(Value::Null);
             }
-            Ok(Value::float(a.as_float()?.powf(b.as_float()?)))
+            pow_scalar(&a, &b)
         }
         ScalarFn::Substr => {
             if args.len() != 3 {
@@ -941,11 +1519,74 @@ fn eval_func(func: ScalarFn, args: &[Expr], row: &Row) -> RelResult<Value> {
                 return Ok(Value::Null);
             }
             let s = v.as_text()?;
-            let start = args[1].eval(row)?.as_int()?.max(1) as usize - 1;
-            let len = args[2].eval(row)?.as_int()?.max(0) as usize;
-            Ok(Value::Text(s.chars().skip(start).take(len).collect()))
+            let start = args[1].eval(row)?.as_int()?;
+            let len = args[2].eval(row)?.as_int()?;
+            Ok(substr_scalar(s, start, len))
         }
     }
+}
+
+/// `LOWER`/`UPPER`/`LENGTH` on a non-NULL text value.
+fn text_case_scalar(func: ScalarFn, s: &str) -> Value {
+    match func {
+        ScalarFn::Lower => Value::Text(s.to_lowercase()),
+        ScalarFn::Upper => Value::Text(s.to_uppercase()),
+        _ => Value::Int(s.chars().count() as i64),
+    }
+}
+
+/// `ABS` on an evaluated value (NULL propagates).
+fn abs_scalar(v: Value) -> RelResult<Value> {
+    match v {
+        Value::Null => Ok(Value::Null),
+        Value::Int(i) => Ok(Value::Int(i.abs())),
+        Value::Float(f) => Ok(Value::float(f.abs())),
+        v => Err(RelError::TypeMismatch {
+            expected: "numeric".into(),
+            found: v.type_name().into(),
+        }),
+    }
+}
+
+/// `ROUND` on a non-NULL value.
+fn round_scalar(v: &Value, digits: i64) -> RelResult<Value> {
+    let f = v.as_float()?;
+    let scale = 10f64.powi(digits as i32);
+    Ok(Value::float((f * scale).round() / scale))
+}
+
+/// `SQRT`/`LN`/`EXP` on a non-NULL value.
+fn math1_scalar(func: ScalarFn, v: &Value) -> RelResult<Value> {
+    let f = v.as_float()?;
+    Ok(match func {
+        ScalarFn::Sqrt => {
+            if f < 0.0 {
+                Value::Null
+            } else {
+                Value::float(f.sqrt())
+            }
+        }
+        ScalarFn::Ln => {
+            if f <= 0.0 {
+                Value::Null
+            } else {
+                Value::float(f.ln())
+            }
+        }
+        _ => Value::float(f.exp()),
+    })
+}
+
+/// `POW` on two non-NULL values.
+fn pow_scalar(a: &Value, b: &Value) -> RelResult<Value> {
+    Ok(Value::float(a.as_float()?.powf(b.as_float()?)))
+}
+
+/// `SUBSTR` on a non-NULL text value (1-based SQL start).
+fn substr_scalar(s: &str, start: i64, len: i64) -> Value {
+    let start = start.max(1) as usize - 1;
+    let len = len.max(0) as usize;
+    Value::Text(s.chars().skip(start).take(len).collect())
 }
 
 /// SQL LIKE matching with `%` (any run) and `_` (any one char),
@@ -1169,6 +1810,115 @@ mod tests {
         match folded {
             Expr::Binary { right, .. } => assert_eq!(*right, Expr::Literal(Value::Int(5))),
             other => panic!("unexpected fold result {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_kernels_match_row_eval() {
+        use crate::batch::Batch;
+        // Mixed NULLs, negatives, and empty strings across typed columns:
+        // col0 Int, col1 Text, col2 Float.
+        let rows: Vec<Row> = vec![
+            vec![
+                Value::Int(3),
+                Value::text("Greek Science"),
+                Value::Float(2.5),
+            ],
+            vec![Value::Null, Value::text(""), Value::Float(-1.25)],
+            vec![Value::Int(-7), Value::Null, Value::Null],
+            vec![Value::Int(0), Value::text("abc"), Value::Float(9.0)],
+        ];
+        let exprs: Vec<Expr> = vec![
+            Expr::col_idx(0).add(Expr::lit(2i64)).mul(Expr::col_idx(0)),
+            Expr::col_idx(2).sub(Expr::lit(0.5f64)),
+            Expr::col_idx(0).gt(Expr::lit(1i64)),
+            Expr::col_idx(1).eq(Expr::lit("abc")),
+            Expr::col_idx(0)
+                .gt(Expr::lit(0i64))
+                .and(Expr::col_idx(2).lt(Expr::lit(5.0f64))),
+            Expr::col_idx(0)
+                .lt(Expr::lit(0i64))
+                .or(Expr::col_idx(1).eq(Expr::lit(""))),
+            Expr::Not(Box::new(Expr::col_idx(0).gt_eq(Expr::lit(0i64)))),
+            Expr::Neg(Box::new(Expr::col_idx(2))),
+            Expr::IsNull {
+                expr: Box::new(Expr::col_idx(1)),
+                negated: false,
+            },
+            Expr::col_idx(1).like("%c%"),
+            Expr::InList {
+                expr: Box::new(Expr::col_idx(0)),
+                list: vec![Expr::lit(3i64), Expr::lit(0i64), Expr::lit(Value::Null)],
+                negated: false,
+            },
+            Expr::Between {
+                expr: Box::new(Expr::col_idx(2)),
+                low: Box::new(Expr::lit(-2.0f64)),
+                high: Box::new(Expr::lit(3.0f64)),
+                negated: false,
+            },
+            Expr::Func {
+                func: ScalarFn::Lower,
+                args: vec![Expr::col_idx(1)],
+            },
+            Expr::Func {
+                func: ScalarFn::Coalesce,
+                args: vec![Expr::col_idx(0), Expr::col_idx(2), Expr::lit(99i64)],
+            },
+            Expr::Func {
+                func: ScalarFn::Round,
+                args: vec![Expr::col_idx(2), Expr::lit(1i64)],
+            },
+            Expr::Func {
+                func: ScalarFn::Substr,
+                args: vec![Expr::col_idx(1), Expr::lit(2i64), Expr::lit(4i64)],
+            },
+            Expr::Func {
+                func: ScalarFn::Concat,
+                args: vec![Expr::col_idx(1), Expr::lit("-"), Expr::col_idx(0)],
+            },
+            Expr::Func {
+                func: ScalarFn::Abs,
+                args: vec![Expr::col_idx(0)],
+            },
+        ];
+        let b = Batch::from_rows(&rows, 3);
+        let sel: Vec<u32> = (0..rows.len() as u32).collect();
+        for e in &exprs {
+            let ec = e.eval_batch(b.columns(), &sel).unwrap();
+            for (j, r) in rows.iter().enumerate() {
+                assert_eq!(ec.value_at(j), e.eval(r).unwrap(), "expr {e} row {j}");
+            }
+        }
+        // A sub-selection evaluates only the selected slots, in order.
+        let sub: Vec<u32> = vec![3, 0];
+        for e in &exprs {
+            let ec = e.eval_batch(b.columns(), &sub).unwrap();
+            for (k, &j) in sub.iter().enumerate() {
+                assert_eq!(
+                    ec.value_at(k),
+                    e.eval(&rows[j as usize]).unwrap(),
+                    "expr {e} slot {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fold_kernel_matches_fold() {
+        let exprs = vec![
+            Expr::lit(2i64).add(Expr::lit(3i64)).mul(Expr::lit(4i64)),
+            Expr::col_idx(0).add(Expr::lit(2i64).add(Expr::lit(3i64))),
+            Expr::lit(1i64).gt(Expr::lit(2i64)).or(Expr::lit(true)),
+            Expr::Func {
+                func: ScalarFn::Round,
+                args: vec![Expr::lit(2.567f64), Expr::lit(1i64)],
+            },
+            // Errors must survive folding for runtime reporting, not panic.
+            Expr::lit(1i64).div(Expr::lit(0i64)),
+        ];
+        for e in exprs {
+            assert_eq!(e.fold(), e.fold_kernel(), "kernel fold diverged on {e}");
         }
     }
 

@@ -15,8 +15,11 @@
 //! * a [`plan`] layer: logical plans, a builder, and an optimizer
 //!   (predicate pushdown, projection pruning, constant folding, index
 //!   selection),
-//! * a pull-based [`exec`]ution engine (seq/index scan, filter, project,
-//!   nested-loop and hash joins, hash aggregation, sort, limit, union),
+//! * a vectorized [`exec`]ution engine (seq/index scan, filter, project,
+//!   nested-loop and hash joins, hash aggregation, sort, limit, union)
+//!   running batch-at-a-time over [`batch`] columns with selection
+//!   vectors; the row-at-a-time executor remains selectable
+//!   (`ExecOptions { batch_size: 0, .. }`) as the differential oracle,
 //! * a [`sql`] front end (lexer → parser → binder) for the subset needed by
 //!   the paper's workloads: `CREATE TABLE`, `INSERT`, `SELECT` with joins /
 //!   `WHERE` / `GROUP BY` / `HAVING` / `ORDER BY` / `LIMIT`, `UPDATE`,
@@ -40,6 +43,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod catalog;
 pub mod codec;
 pub mod error;
@@ -58,6 +62,7 @@ pub mod table;
 pub mod telemetry;
 pub mod value;
 
+pub use batch::{Batch, Column as BatchColumn, ColumnBuilder, EvalCol};
 pub use catalog::{Catalog, Database};
 pub use error::{RelError, RelResult};
 pub use exec::{

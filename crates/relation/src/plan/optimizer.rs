@@ -72,11 +72,17 @@ fn assert_rule_sound(rule: &str, plan: &LogicalPlan, schema_before: &crate::sche
 }
 
 /// Fold constant subexpressions everywhere.
+///
+/// Folding runs through the vectorized kernel path ([`Expr::fold_kernel`]):
+/// a literal-only subtree is evaluated as a one-row batch, so the optimizer
+/// exercises exactly the kernels the executor will run — any row-vs-batch
+/// divergence in folding shows up under the debug-build soundness harness
+/// instead of at execution time.
 fn fold_constants(plan: LogicalPlan) -> LogicalPlan {
     map_children(plan, &|p| match p {
         LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
             input,
-            predicate: predicate.fold(),
+            predicate: predicate.fold_kernel(),
         },
         LogicalPlan::Project {
             input,
@@ -84,7 +90,10 @@ fn fold_constants(plan: LogicalPlan) -> LogicalPlan {
             schema,
         } => LogicalPlan::Project {
             input,
-            exprs: exprs.into_iter().map(|(e, n)| (e.fold(), n)).collect(),
+            exprs: exprs
+                .into_iter()
+                .map(|(e, n)| (e.fold_kernel(), n))
+                .collect(),
             schema,
         },
         LogicalPlan::Join {
@@ -97,7 +106,7 @@ fn fold_constants(plan: LogicalPlan) -> LogicalPlan {
             left,
             right,
             kind,
-            on: on.fold(),
+            on: on.fold_kernel(),
             schema,
         },
         LogicalPlan::Scan {
@@ -110,7 +119,7 @@ fn fold_constants(plan: LogicalPlan) -> LogicalPlan {
             table,
             alias,
             projection,
-            filter: filter.map(|f| f.fold()),
+            filter: filter.map(|f| f.fold_kernel()),
             schema,
         },
         other => other,
@@ -531,6 +540,33 @@ mod tests {
         .unwrap()
         .unwrap();
         c
+    }
+
+    #[test]
+    fn constant_folding_runs_through_kernels() {
+        // The rule folds via Expr::fold_kernel (one-row batch evaluation);
+        // optimize() runs it under the debug-build soundness harness, so
+        // a kernel-vs-row folding divergence would panic here.
+        let c = setup();
+        let plan = PlanBuilder::scan(&c, "t")
+            .unwrap()
+            .filter(
+                Expr::col("units").gt(Expr::lit(1i64).add(Expr::lit(2i64).mul(Expr::lit(2i64)))),
+            )
+            .unwrap()
+            .project(vec![(Expr::lit(10i64).add(Expr::lit(32i64)), "x")])
+            .unwrap()
+            .build();
+        let opt = optimize(plan);
+        let rendered = opt.explain();
+        assert!(
+            rendered.contains('5') && !rendered.contains('*'),
+            "filter literals must fold to 5:\n{rendered}"
+        );
+        assert!(
+            rendered.contains("42"),
+            "projection must fold to 42:\n{rendered}"
+        );
     }
 
     #[test]

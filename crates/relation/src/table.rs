@@ -7,12 +7,32 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use parking_lot::Mutex;
+
+use crate::batch::{Column as BatchColumn, ColumnBuilder};
 use crate::error::{RelError, RelResult};
 use crate::index::{Index, IndexKey, IndexKind};
 use crate::mutation::{Mutation, MutationObserver, ObserverSlot};
 use crate::row::{Row, RowId};
 use crate::schema::Schema;
 use crate::value::Value;
+
+/// Cached columnar image of a table's live rows, keyed by the mutation
+/// [`Table::version`] it was built at. Built lazily on first batched scan
+/// and reused until the next mutation. Cloning a table copies the current
+/// snapshot (cheap — the columns are `Arc`-shared and immutable) into a
+/// fresh cell, so clones that later diverge can never see each other's
+/// rebuilds.
+type ColumnarSnapshot = (u64, Arc<Vec<Arc<BatchColumn>>>);
+
+#[derive(Debug, Default)]
+struct ColumnarCache(Mutex<Option<ColumnarSnapshot>>);
+
+impl Clone for ColumnarCache {
+    fn clone(&self) -> Self {
+        ColumnarCache(Mutex::new(self.0.lock().clone()))
+    }
+}
 
 /// An in-memory table.
 #[derive(Debug, Clone)]
@@ -35,6 +55,8 @@ pub struct Table {
     version: u64,
     /// Optional durability hook; notified after each successful mutation.
     observer: ObserverSlot,
+    /// Lazily built columnar image for batched scans (see [`ColumnarCache`]).
+    columnar: ColumnarCache,
 }
 
 impl Table {
@@ -50,6 +72,7 @@ impl Table {
             indexes: Vec::new(),
             version: 0,
             observer: ObserverSlot::default(),
+            columnar: ColumnarCache::default(),
         }
     }
 
@@ -76,6 +99,7 @@ impl Table {
             indexes: Vec::new(),
             version,
             observer: ObserverSlot::default(),
+            columnar: ColumnarCache::default(),
         };
         for (i, slot) in slots.iter().enumerate() {
             if let Some(row) = slot {
@@ -427,6 +451,34 @@ impl Table {
     pub fn all_rows(&self) -> Vec<Row> {
         self.scan().map(|(_, r)| r.clone()).collect()
     }
+
+    /// Columnar image of the live rows in [`Table::scan`] order, one
+    /// [`BatchColumn`] per schema column. Built on first call after a
+    /// mutation and cached against [`Table::version`], so steady-state
+    /// read traffic pays a pointer clone. Concurrent first calls may both
+    /// build; the result is identical either way.
+    pub fn columnar(&self) -> Arc<Vec<Arc<BatchColumn>>> {
+        if let Some((v, cols)) = &*self.columnar.0.lock() {
+            if *v == self.version {
+                return Arc::clone(cols);
+            }
+        }
+        let mut builders: Vec<ColumnBuilder> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| ColumnBuilder::for_type(c.data_type, self.live))
+            .collect();
+        for (_, row) in self.scan() {
+            for (b, v) in builders.iter_mut().zip(row.iter()) {
+                b.push(v.clone());
+            }
+        }
+        let cols: Arc<Vec<Arc<BatchColumn>>> =
+            Arc::new(builders.into_iter().map(|b| Arc::new(b.finish())).collect());
+        *self.columnar.0.lock() = Some((self.version, Arc::clone(&cols)));
+        cols
+    }
 }
 
 #[cfg(test)]
@@ -574,6 +626,29 @@ mod tests {
             }
             assert_eq!(stitched, serial, "parts={parts}");
         }
+    }
+
+    #[test]
+    fn columnar_cache_tracks_version_and_survives_clone() {
+        let mut t = courses();
+        t.insert(row![1i64, "A", 3i64]).unwrap();
+        t.insert(row![2i64, "B", 4i64]).unwrap();
+        let c1 = t.columnar();
+        assert_eq!(c1.len(), 3); // one column per schema column
+        assert_eq!(c1[0].value(1), Value::Int(2));
+        // Cached: same Arc while the version is unchanged.
+        assert!(Arc::ptr_eq(&t.columnar(), &c1));
+        // Clones keep the warm snapshot but get their own cell.
+        let mut u = t.clone();
+        assert!(Arc::ptr_eq(&u.columnar(), &c1));
+        u.insert(row![3i64, "C", 5i64]).unwrap();
+        assert_eq!(u.columnar()[0].value(2), Value::Int(3));
+        assert!(Arc::ptr_eq(&t.columnar(), &c1)); // original unaffected
+                                                  // Mutation invalidates: deleted row disappears from the image.
+        t.delete(RowId(0));
+        let c2 = t.columnar();
+        assert_eq!(c2[0].value(0), Value::Int(2));
+        assert_eq!(c2[1].value(0), Value::text("B"));
     }
 
     proptest! {

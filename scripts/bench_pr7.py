@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Run the PR7 vectorized-execution benchmarks and emit BENCH_pr7.json.
+
+Runs `cargo bench -p cr-bench --bench workflow_exec`, parses the
+`[PR7] scenario=... median_ns=...` lines, and writes a JSON report with
+raw medians plus derived ratios per built-in strategy:
+
+* plan_speedup = interpreter / plan_batch — the vectorized plan pipeline
+  against the PR4 reference interpreter. The PR7 success bar is >= 1.0
+  on every workflow: the unified plan path must be the fastest path.
+* batch_vs_row_speedup = plan_row / plan_batch — the vectorized executor
+  against the row-at-a-time oracle (`batch_size: 0`) on the same plans.
+
+Pass --smoke to run single iterations over shrunken data (CI canary).
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+
+LINE = re.compile(r"\[PR7\] scenario=(\S+)\s+median_ns=(\d+)")
+
+
+def run_bench(name, smoke):
+    cmd = ["cargo", "bench", "-q", "-p", "cr-bench", "--bench", name, "--"]
+    if smoke:
+        cmd.append("--smoke")
+    out = subprocess.run(cmd, capture_output=True, text=True, check=True).stdout
+    sys.stdout.write(out)
+    return {m.group(1): int(m.group(2)) for m in LINE.finditer(out)}
+
+
+def ratio(results, num, den):
+    if num in results and den in results and results[den] > 0:
+        return round(results[num] / results[den], 2)
+    return None
+
+
+def main():
+    smoke = "--smoke" in sys.argv[1:]
+    results = run_bench("workflow_exec", smoke)
+
+    ratios = {}
+    strategies = sorted(
+        m.group(1)
+        for key in results
+        if (m := re.fullmatch(r"workflow_exec_(\w+)_interpreter", key))
+    )
+    for s in strategies:
+        r = ratio(
+            results, f"workflow_exec_{s}_interpreter", f"workflow_exec_{s}_plan_batch"
+        )
+        if r is not None:
+            ratios[f"{s}_plan_speedup"] = r
+        r = ratio(
+            results, f"workflow_exec_{s}_plan_row", f"workflow_exec_{s}_plan_batch"
+        )
+        if r is not None:
+            ratios[f"{s}_batch_vs_row_speedup"] = r
+
+    report = {
+        "smoke": smoke,
+        "host_cpus": os.cpu_count(),
+        "median_ns": results,
+        "ratios": ratios,
+    }
+    out_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_pr7.json")
+    with open(os.path.abspath(out_path), "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {os.path.abspath(out_path)}")
+
+    ok = True
+    for s in strategies:
+        speedup = ratios.get(f"{s}_plan_speedup")
+        vs_row = ratios.get(f"{s}_batch_vs_row_speedup")
+        print(f"{s}: plan vs interpreter {speedup}x, batch vs row {vs_row}x")
+        if speedup is not None and speedup < 1.0:
+            ok = False
+    if not ok and not smoke:
+        print("FAIL: plan_speedup < 1.0 on at least one workflow", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

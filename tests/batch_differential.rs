@@ -1,0 +1,443 @@
+//! PR7 differential testing: the vectorized (batch-at-a-time) executor is
+//! an *optimization*, not an approximation. For any generated database,
+//! query, or FlexRecs workflow, the batched pipeline must return
+//! byte-identical results to the row-at-a-time oracle (`batch_size: 0`) —
+//! at every batch size, and whether the oracle runs serially or
+//! partitioned.
+//!
+//! Predicates and data are NULL-heavy on purpose: three-valued logic,
+//! null join keys, null ratings, and null function arguments are where a
+//! vectorized evaluator with validity bitmaps most easily diverges from a
+//! row interpreter.
+
+// Test code: panicking on a broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
+use cr_flexrecs::compile::compile_and_run_with;
+use cr_flexrecs::{CmpOp, Node, RecAgg, RecMethod, RecommendSpec, WfPredicate, Workflow};
+use cr_relation::{Database, ExecOptions, RatingsSim, SetSim, TextSim, Value};
+use proptest::prelude::*;
+
+/// The batch sizes under test: degenerate (1 row per kernel call), odd
+/// (chunk boundaries land mid-table), and the default.
+const BATCH_SIZES: &[usize] = &[1, 7, 1024];
+
+fn batched(b: usize) -> ExecOptions {
+    ExecOptions {
+        batch_size: b,
+        ..ExecOptions::default()
+    }
+}
+
+fn oracle() -> ExecOptions {
+    ExecOptions {
+        batch_size: 0,
+        ..ExecOptions::default()
+    }
+}
+
+/// The row oracle with forced partitioning (the only path that splits).
+fn oracle_par(n: usize) -> ExecOptions {
+    ExecOptions {
+        parallelism: n,
+        min_partition_rows: 1,
+        adaptive: false,
+        batch_size: 0,
+    }
+}
+
+// ---------------------------------------------------------------------
+// SQL: expression kernels, scans, joins, aggregation
+// ---------------------------------------------------------------------
+
+const STRINGS: &[&str] = &["alpha", "Beta", "GAMMA ray", "", "delta delta", "Epsilon"];
+
+/// Two tables with NULL-able columns (0 becomes NULL), a text column for
+/// the string kernels, and tombstones so scans straddle deleted slots.
+fn build_db(rows1: &[(i64, i64, usize)], rows2: &[(i64, i64)]) -> Database {
+    let db = Database::new();
+    db.execute_sql("CREATE TABLE T1 (Id INT PRIMARY KEY, G INT, V INT, S TEXT)")
+        .unwrap();
+    db.execute_sql("CREATE TABLE T2 (Id INT PRIMARY KEY, K INT, W INT)")
+        .unwrap();
+    let null_or = |x: i64| {
+        if x == 0 {
+            "NULL".to_owned()
+        } else {
+            x.to_string()
+        }
+    };
+    for (i, &(g, v, s)) in rows1.iter().enumerate() {
+        db.execute_sql(&format!(
+            "INSERT INTO T1 VALUES ({i}, {}, {v}, '{}')",
+            null_or(g),
+            STRINGS[s % STRINGS.len()]
+        ))
+        .unwrap();
+    }
+    for (i, &(k, w)) in rows2.iter().enumerate() {
+        db.execute_sql(&format!("INSERT INTO T2 VALUES ({i}, {}, {w})", null_or(k)))
+            .unwrap();
+    }
+    db.execute_sql("DELETE FROM T1 WHERE V = 3").unwrap();
+    db
+}
+
+/// Queries chosen to hit every kernel family: comparison, arithmetic,
+/// logic with NULLs, LIKE / IN / BETWEEN / IS NULL, string and math
+/// scalar functions, joins (equi and outer), aggregation, sort + limit.
+const QUERIES: &[&str] = &[
+    "SELECT * FROM T1",
+    "SELECT Id, V + G * 2, -V, ABS(V), ROUND(V / 3.0, 1) FROM T1",
+    "SELECT COALESCE(G, -1), G IS NULL, NOT (V > 0) FROM T1",
+    "SELECT LOWER(S), UPPER(S), LENGTH(S), SUBSTR(S, 2, 3), CONCAT(S, '-', G) FROM T1",
+    "SELECT Id FROM T1 WHERE S LIKE '%a%' OR G IN (1, 2, NULL) AND V BETWEEN -5 AND 5",
+    "SELECT Id FROM T1 WHERE G IS NULL OR (G >= 2 AND NOT (V < 0))",
+    "SELECT T1.Id, T1.V, T2.W FROM T1 JOIN T2 ON T1.G = T2.K",
+    "SELECT T1.Id, T2.Id FROM T1 LEFT JOIN T2 ON T1.G = T2.K WHERE T1.V <> 1",
+    "SELECT G, COUNT(*) AS n, SUM(V) AS s, MIN(V) AS lo, MAX(V) AS hi, AVG(V) AS m \
+     FROM T1 GROUP BY G HAVING COUNT(*) >= 1",
+    "SELECT Id, V FROM T1 ORDER BY V DESC, Id LIMIT 5",
+    "SELECT Id, V FROM T1 WHERE V > -100 ORDER BY G, Id LIMIT 4 OFFSET 2",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batched_sql_matches_row_oracle(
+        rows1 in proptest::collection::vec((0i64..6, -20i64..20, 0usize..6), 0..120),
+        rows2 in proptest::collection::vec((0i64..6, -20i64..20), 0..80),
+        parallelism in 2usize..6,
+    ) {
+        let db = build_db(&rows1, &rows2);
+        for q in QUERIES {
+            let row = db.query_sql_with(q, &oracle()).unwrap();
+            let row_par = db.query_sql_with(q, &oracle_par(parallelism)).unwrap();
+            prop_assert_eq!(&row, &row_par, "row oracle diverged under partitioning: {}", q);
+            for &b in BATCH_SIZES {
+                let vec = db.query_sql_with(q, &batched(b)).unwrap();
+                prop_assert_eq!(&row, &vec, "batch_size={} diverged on {}", b, q);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// FlexRecs workflows: Extend and every Recommend method
+// ---------------------------------------------------------------------
+
+const NAMES: &[&str] = &[
+    "intro to databases",
+    "advanced databases",
+    "american history",
+    "history of art",
+    "systems programming",
+    "intro to programming",
+];
+
+/// Users (nullable Age), fixed Items, and a ratings relation whose UIds
+/// may dangle and whose scores may be NULL.
+fn build_social_db(users: &[i64], ratings: &[(i64, i64, i64)]) -> Database {
+    let db = Database::new();
+    db.execute_sql("CREATE TABLE Users (UId INT PRIMARY KEY, Name TEXT, Age INT)")
+        .unwrap();
+    db.execute_sql("CREATE TABLE Items (IId INT PRIMARY KEY, Label TEXT)")
+        .unwrap();
+    db.execute_sql("CREATE TABLE Ratings (RId INT PRIMARY KEY, UId INT, IId INT, Score INT)")
+        .unwrap();
+    let null_or = |x: i64| {
+        if x == 0 {
+            "NULL".to_owned()
+        } else {
+            x.to_string()
+        }
+    };
+    for (i, &age) in users.iter().enumerate() {
+        db.execute_sql(&format!(
+            "INSERT INTO Users VALUES ({i}, '{}', {})",
+            NAMES[i % NAMES.len()],
+            null_or(age)
+        ))
+        .unwrap();
+    }
+    for (i, name) in NAMES.iter().enumerate() {
+        db.execute_sql(&format!("INSERT INTO Items VALUES ({i}, '{name}')"))
+            .unwrap();
+    }
+    for (i, &(uid, iid, score)) in ratings.iter().enumerate() {
+        db.execute_sql(&format!(
+            "INSERT INTO Ratings VALUES ({i}, {}, {iid}, {})",
+            null_or(uid),
+            null_or(score)
+        ))
+        .unwrap();
+    }
+    db
+}
+
+fn src(table: &str) -> Node {
+    Node::Source {
+        table: table.to_owned(),
+    }
+}
+
+fn maybe_select(input: Node, pred: Option<WfPredicate>) -> Node {
+    match pred {
+        Some(predicate) => Node::Select {
+            input: Box::new(input),
+            predicate,
+        },
+        None => input,
+    }
+}
+
+fn arb_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::NotEq),
+        Just(CmpOp::Lt),
+        Just(CmpOp::LtEq),
+        Just(CmpOp::Gt),
+        Just(CmpOp::GtEq),
+    ]
+}
+
+/// A predicate over the given scalar columns, with NULL literals mixed in
+/// to exercise the two-valued null-safe lowering, and And/Or nesting.
+fn arb_pred(columns: &'static [&'static str]) -> impl Strategy<Value = WfPredicate> {
+    let leaf = (
+        proptest::sample::select(columns),
+        arb_op(),
+        (-4i64..10).prop_map(|v| if v < -2 { Value::Null } else { Value::Int(v) }),
+    )
+        .prop_map(|(c, op, v)| WfPredicate::cmp(c, op, v));
+    leaf.prop_recursive(2, 12, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(WfPredicate::And),
+            proptest::collection::vec(inner, 0..3).prop_map(WfPredicate::Or),
+        ]
+    })
+}
+
+fn arb_users() -> impl Strategy<Value = Node> {
+    proptest::option::of(arb_pred(&["UId", "Age"])).prop_map(|p| maybe_select(src("Users"), p))
+}
+
+/// ε(Users): each user extended with the items they rated — a Set
+/// attribute, or a Ratings attribute when `rating` is set.
+fn arb_extended(rating: bool) -> impl Strategy<Value = Node> {
+    arb_users().prop_map(move |input| Node::Extend {
+        input: Box::new(input),
+        related_table: "Ratings".to_owned(),
+        fk_column: "UId".to_owned(),
+        local_key: "UId".to_owned(),
+        key_column: "IId".to_owned(),
+        rating_column: rating.then(|| "Score".to_owned()),
+        as_name: "R".to_owned(),
+    })
+}
+
+fn arb_scalar_agg() -> impl Strategy<Value = RecAgg> {
+    prop_oneof![
+        Just(RecAgg::Avg),
+        Just(RecAgg::Sum),
+        Just(RecAgg::Max),
+        Just(RecAgg::WeightedAvg {
+            weight_attr: "Age".to_owned(),
+        }),
+    ]
+}
+
+fn finish_spec(spec: RecommendSpec, agg: RecAgg, k: Option<usize>, excl: bool) -> RecommendSpec {
+    let spec = spec.with_agg(agg);
+    match k {
+        Some(k) => spec.top_k(k),
+        None => spec,
+    }
+    .pipe_excl(excl)
+}
+
+/// Small helper so the strategy maps stay readable.
+trait SpecExt {
+    fn pipe_excl(self, excl: bool) -> RecommendSpec;
+}
+impl SpecExt for RecommendSpec {
+    fn pipe_excl(self, excl: bool) -> RecommendSpec {
+        if excl {
+            self.excluding_seen("UId", "R")
+        } else {
+            self
+        }
+    }
+}
+
+/// Relational shapes (project / join / union / limit) plus recommends over
+/// every method family: set similarity, ratings similarity, rating lookup,
+/// and text similarity.
+fn arb_workflow() -> impl Strategy<Value = Workflow> {
+    let project = (
+        arb_users(),
+        proptest::sample::subsequence(vec!["UId", "Name", "Age"], 1..=3),
+    )
+        .prop_map(|(input, cols)| Node::Project {
+            input: Box::new(input),
+            columns: cols.into_iter().map(str::to_owned).collect(),
+        });
+    let join = (
+        arb_users(),
+        proptest::option::of(arb_pred(&["IId", "Score"])),
+    )
+        .prop_map(|(left, rpred)| Node::Join {
+            left: Box::new(left),
+            right: Box::new(maybe_select(src("Ratings"), rpred)),
+            left_col: "UId".to_owned(),
+            right_col: "UId".to_owned(),
+        });
+    let union = (arb_users(), arb_users()).prop_map(|(left, right)| Node::Union {
+        left: Box::new(left),
+        right: Box::new(right),
+    });
+    let knobs = || {
+        (
+            arb_scalar_agg(),
+            proptest::option::of(1usize..6),
+            any::<bool>(),
+        )
+    };
+    let set_rec = (
+        arb_extended(false),
+        arb_extended(false),
+        prop_oneof![
+            Just(SetSim::Jaccard),
+            Just(SetSim::Dice),
+            Just(SetSim::Overlap),
+            Just(SetSim::Cosine),
+        ],
+        knobs(),
+    )
+        .prop_map(
+            |(target, comparator, sim, (agg, k, excl))| Node::Recommend {
+                target: Box::new(target),
+                comparator: Box::new(comparator),
+                spec: finish_spec(
+                    RecommendSpec::new("R", "R", RecMethod::Set(sim)),
+                    agg,
+                    k,
+                    excl,
+                ),
+            },
+        );
+    let ratings_rec = (
+        arb_extended(true),
+        arb_extended(true),
+        prop_oneof![
+            Just(RatingsSim::InverseEuclidean),
+            Just(RatingsSim::Pearson),
+            Just(RatingsSim::Cosine),
+        ],
+        1usize..3,
+        knobs(),
+    )
+        .prop_map(
+            |(target, comparator, sim, min_common, (agg, k, excl))| Node::Recommend {
+                target: Box::new(target),
+                comparator: Box::new(comparator),
+                spec: finish_spec(
+                    RecommendSpec::new("R", "R", RecMethod::Ratings { sim, min_common }),
+                    agg,
+                    k,
+                    excl,
+                ),
+            },
+        );
+    let lookup_rec = (
+        proptest::option::of(arb_pred(&["IId"])),
+        arb_extended(true),
+        knobs(),
+    )
+        .prop_map(|(tpred, comparator, (agg, k, _))| Node::Recommend {
+            target: Box::new(maybe_select(src("Items"), tpred)),
+            comparator: Box::new(comparator),
+            spec: finish_spec(
+                RecommendSpec::new("IId", "R", RecMethod::RatingLookup),
+                agg,
+                k,
+                false,
+            ),
+        });
+    let text_rec = (
+        arb_users(),
+        arb_users(),
+        prop_oneof![
+            Just(TextSim::WordJaccard),
+            Just(TextSim::TrigramJaccard),
+            Just(TextSim::Levenshtein),
+        ],
+        knobs(),
+    )
+        .prop_map(|(target, comparator, sim, (agg, k, _))| Node::Recommend {
+            target: Box::new(target),
+            comparator: Box::new(comparator),
+            spec: finish_spec(
+                RecommendSpec::new("Name", "Name", RecMethod::Text(sim)),
+                agg,
+                k,
+                false,
+            ),
+        });
+    prop_oneof![
+        project,
+        join,
+        union,
+        set_rec,
+        ratings_rec,
+        lookup_rec,
+        text_rec
+    ]
+    .prop_map(|root| Workflow::new("prop", root))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn batched_workflows_match_row_oracle(
+        users in proptest::collection::vec(0i64..7, 0..14),
+        ratings in proptest::collection::vec((0i64..18, 0i64..6, 0i64..6), 0..40),
+        wf in arb_workflow(),
+        parallelism in 2usize..6,
+    ) {
+        let db = build_social_db(&users, &ratings);
+        let catalog = db.catalog();
+        let row = compile_and_run_with(&wf, &catalog, &oracle());
+        let row_par = compile_and_run_with(&wf, &catalog, &oracle_par(parallelism));
+        match (&row, &row_par) {
+            (Ok(r), Ok(p)) => prop_assert_eq!(
+                &r.result, &p.result,
+                "row oracle diverged under partitioning\n{}", wf.explain()
+            ),
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "serial/parallel oracle error disagreement\n{}", wf.explain()),
+        }
+        for &b in BATCH_SIZES {
+            let vec = compile_and_run_with(&wf, &catalog, &batched(b));
+            match (&row, &vec) {
+                (Ok(r), Ok(v)) => prop_assert_eq!(
+                    &r.result, &v.result,
+                    "batch_size={} diverged\n{}", b, wf.explain()
+                ),
+                // Both executors must agree on rejection too.
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(
+                    false,
+                    "one path errored at batch_size={}: row {:?}, batched {:?}\n{}",
+                    b,
+                    row.as_ref().err(),
+                    vec.as_ref().err(),
+                    wf.explain()
+                ),
+            }
+        }
+    }
+}

@@ -21,9 +21,11 @@ use proptest::prelude::*;
 fn par(n: usize) -> ExecOptions {
     ExecOptions {
         parallelism: n,
-        // Force partitioning even on tiny generated tables and 1-CPU hosts.
+        // Force partitioning even on tiny generated tables and 1-CPU hosts;
+        // batch_size: 0 pins the row executor, the only path that partitions.
         min_partition_rows: 1,
         adaptive: false,
+        batch_size: 0,
     }
 }
 

@@ -62,6 +62,7 @@ fn span_tree_nests_across_parallel_partitions() {
         parallelism: 4,
         min_partition_rows: 1,
         adaptive: false,
+        batch_size: 0,
     };
     db.query_sql_with("SELECT * FROM ratings WHERE score >= 1.0", &opts)
         .unwrap();
