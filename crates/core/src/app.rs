@@ -99,6 +99,51 @@ impl CourseRank {
         })
     }
 
+    /// Pin a snapshot-bound view of the whole application: one atomic
+    /// catalog cut ([`CourseRankDb::snapshot`]) with every service rebound
+    /// over it. Reads through the view proceed concurrently with writers
+    /// on the live instance — no torn multi-table reads, no blocking —
+    /// and any mutation through it fails with "catalog snapshot is
+    /// read-only". This is what cr-server takes per read request.
+    ///
+    /// Shared with the live instance: the auth session store (logins stay
+    /// valid across views), the incentives entry-id allocator, the built
+    /// search index (`Arc`; live reindexing copies-on-write), and the
+    /// versioned rec/planner caches — cache keys are table-version
+    /// vectors, so snapshot hits are exactly what a live request at those
+    /// versions would compute. The returned [`CatalogSnapshot`] exposes
+    /// the pinned version vector for cache stamps and assertions.
+    ///
+    /// [`CatalogSnapshot`]: cr_relation::CatalogSnapshot
+    pub fn read_view(&self) -> (CourseRank, cr_relation::CatalogSnapshot) {
+        let (db, cut) = self.db.snapshot();
+        let privacy = self.privacy.rebind(db.clone());
+        (
+            CourseRank {
+                auth: Arc::clone(&self.auth),
+                search: Arc::new(self.search.rebind(db.clone())),
+                recs: self.recs.rebind(db.clone()),
+                planner: self.planner.rebind(db.clone()),
+                requirements: self.requirements.rebind(db.clone()),
+                grades: self.grades.rebind(db.clone()),
+                comments: self.comments.rebind(db.clone()),
+                faculty: self.faculty.rebind(db.clone()),
+                forum: self.forum.rebind(db.clone()),
+                incentives: Arc::new(self.incentives.rebind(db.clone())),
+                privacy,
+                strategies: self.strategies.rebind(db.clone()),
+                textbooks: self.textbooks.rebind(db.clone()),
+                db,
+            },
+            cut,
+        )
+    }
+
+    /// True for handles produced by [`CourseRank::read_view`].
+    pub fn is_read_view(&self) -> bool {
+        self.db.is_snapshot()
+    }
+
     pub fn db(&self) -> &CourseRankDb {
         &self.db
     }
@@ -217,6 +262,17 @@ impl CourseRank {
         Ok(out)
     }
 }
+
+// Compile-time proof that the assembled handle crosses threads: cr-server
+// shares one `CourseRank` across every session thread with no `unsafe`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CourseRank>();
+    assert_send_sync::<CourseRankDb>();
+    assert_send_sync::<cr_relation::Catalog>();
+    assert_send_sync::<cr_relation::CatalogSnapshot>();
+    assert_send_sync::<cr_relation::Database>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -337,6 +393,46 @@ mod tests {
                 >= b_parts + 2,
             "parallel scan must record its partitions"
         );
+    }
+
+    #[test]
+    fn read_view_pins_state_and_rejects_writes() {
+        use crate::db::Comment;
+        use crate::model::{Quarter, Term};
+
+        let app = CourseRank::assemble(small_campus()).unwrap();
+        assert!(!app.is_read_view());
+        let (view, cut) = app.read_view();
+        assert!(view.is_read_view());
+        assert_eq!(cut.version_of("Comments"), Some(5));
+
+        // Live writer proceeds; the view keeps its cut.
+        app.db()
+            .insert_comment(&Comment {
+                id: 99,
+                student: 2,
+                course: 103,
+                quarter: Quarter::new(2009, Term::Spring),
+                text: "late-breaking".into(),
+                rating: 4.0,
+                date: 0,
+            })
+            .unwrap();
+        assert_eq!(app.db().count("Comments").unwrap(), 6);
+        assert_eq!(view.db().count("Comments").unwrap(), 5);
+
+        // Every service reads the pinned cut.
+        assert_eq!(view.comments().ranked_for_course(103).unwrap().len(), 0);
+        let (hits, _) = view.search().search("programming", 10).unwrap();
+        assert!(!hits.is_empty());
+        assert!(view.course_page(101).unwrap().contains("Introduction"));
+
+        // Mutations through the view fail loudly.
+        let err = view
+            .db()
+            .insert_department("EE", "Electrical Engineering", "Engineering")
+            .unwrap_err();
+        assert!(err.to_string().contains("read-only"), "{err}");
     }
 
     #[test]

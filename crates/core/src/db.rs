@@ -245,6 +245,23 @@ impl CourseRankDb {
         self.storage.as_ref()
     }
 
+    /// Pin a read-only snapshot: an atomic cut across every table (see
+    /// [`cr_relation::Catalog::snapshot`]). The returned handle shares the
+    /// pinned table images by `Arc` — zero data copy — and proceeds
+    /// concurrently with writers on the live database, which copy-on-write
+    /// their tables instead of blocking. Every mutation through the
+    /// returned handle fails with "catalog snapshot is read-only", and it
+    /// carries no storage handle (checkpointing stays with the live db).
+    pub fn snapshot(&self) -> (CourseRankDb, cr_relation::CatalogSnapshot) {
+        let (db, cut) = self.db.snapshot();
+        (CourseRankDb { db, storage: None }, cut)
+    }
+
+    /// True for handles produced by [`CourseRankDb::snapshot`].
+    pub fn is_snapshot(&self) -> bool {
+        self.db.is_snapshot()
+    }
+
     /// Write a snapshot and rotate/prune the WAL. Returns the snapshot
     /// sequence, or `None` for an in-memory database.
     pub fn checkpoint(&self) -> StorageResult<Option<u64>> {

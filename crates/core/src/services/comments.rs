@@ -49,6 +49,11 @@ impl Comments {
         Comments { db }
     }
 
+    /// The same service over another database handle (snapshot read views).
+    pub(crate) fn rebind(&self, db: CourseRankDb) -> Self {
+        Comments { db }
+    }
+
     /// Record a helpfulness vote. One vote per (comment, voter) — a
     /// re-vote replaces the old one.
     pub fn vote(&self, comment: i64, voter: UserId, helpful: bool) -> RelResult<()> {

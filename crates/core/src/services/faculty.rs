@@ -47,6 +47,11 @@ impl Faculty {
         Faculty { db }
     }
 
+    /// The same service over another database handle (snapshot read views).
+    pub(crate) fn rebind(&self, db: CourseRankDb) -> Self {
+        Faculty { db }
+    }
+
     /// True if `instructor` teaches (an offering of) `course` — the
     /// ownership check behind "their own courses".
     pub fn teaches(&self, instructor: i64, course: CourseId) -> RelResult<bool> {

@@ -88,6 +88,15 @@ impl Forum {
         }
     }
 
+    /// The same service (same routing config) over another database
+    /// handle (snapshot read views).
+    pub(crate) fn rebind(&self, db: CourseRankDb) -> Self {
+        Forum {
+            db,
+            config: self.config,
+        }
+    }
+
     pub fn with_config(mut self, config: RoutingConfig) -> Self {
         self.config = config;
         self

@@ -104,6 +104,16 @@ impl Grades {
         Grades { db, privacy }
     }
 
+    /// The same service over another database handle (snapshot read
+    /// views); the embedded privacy service is rebound too so its
+    /// class-size checks read the same cut.
+    pub(crate) fn rebind(&self, db: CourseRankDb) -> Self {
+        Grades {
+            privacy: self.privacy.rebind(db.clone()),
+            db,
+        }
+    }
+
     /// Self-reported distribution from students' entered grades
     /// (taken enrollments with letter grades).
     pub fn self_reported(&self, course: CourseId) -> RelResult<GradeDistribution> {

@@ -87,6 +87,16 @@ impl Incentives {
         }
     }
 
+    /// The same ledger (shared entry-id allocator) over another database
+    /// handle. On a snapshot read view, point *reads* see the pinned cut
+    /// while awards fail like every other snapshot mutation.
+    pub(crate) fn rebind(&self, db: CourseRankDb) -> Self {
+        Incentives {
+            db,
+            next_entry: Arc::clone(&self.next_entry),
+        }
+    }
+
     /// Try to award points for an event on `day` (days since epoch).
     /// Returns the points granted (0 when the daily cap is hit).
     pub fn award(&self, user: UserId, event: PointEvent, day: i32) -> RelResult<i64> {

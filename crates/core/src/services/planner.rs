@@ -105,6 +105,18 @@ impl Planner {
         }
     }
 
+    /// The same service over another database handle (snapshot read
+    /// views). The report cache is *shared*: its keys are table-version
+    /// vectors, so an entry computed at a snapshot's versions is exactly
+    /// what a live request at those versions would compute.
+    pub(crate) fn rebind(&self, db: CourseRankDb) -> Self {
+        Planner {
+            db,
+            config: self.config,
+            report_cache: Arc::clone(&self.report_cache),
+        }
+    }
+
     pub fn with_config(mut self, config: PlannerConfig) -> Self {
         self.config = config;
         self

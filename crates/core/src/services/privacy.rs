@@ -71,6 +71,15 @@ impl Privacy {
         self
     }
 
+    /// The same service (same policy) over another database handle
+    /// (snapshot read views).
+    pub(crate) fn rebind(&self, db: CourseRankDb) -> Self {
+        Privacy {
+            db,
+            policy: self.policy.clone(),
+        }
+    }
+
     pub fn policy(&self) -> &PrivacyPolicy {
         &self.policy
     }

@@ -121,6 +121,20 @@ impl Recommender {
         }
     }
 
+    /// The same service over another database handle (snapshot read
+    /// views). Both versioned caches are *shared* with the live service:
+    /// keys are table-version vectors, so a snapshot request hits the
+    /// same entry a live request at those versions would, and entries
+    /// warmed by snapshots serve later live traffic.
+    pub(crate) fn rebind(&self, db: CourseRankDb) -> Self {
+        Recommender {
+            db,
+            map: self.map.clone(),
+            course_cache: Arc::clone(&self.course_cache),
+            major_cache: Arc::clone(&self.major_cache),
+        }
+    }
+
     /// The workflow a set of options denotes (visible to the admin UI —
     /// `workflow.explain()` renders Figure 5).
     pub fn course_workflow(&self, student: StudentId, opts: &RecOptions) -> Workflow {

@@ -176,6 +176,11 @@ impl RequirementTracker {
         RequirementTracker { db }
     }
 
+    /// The same service over another database handle (snapshot read views).
+    pub(crate) fn rebind(&self, db: CourseRankDb) -> Self {
+        RequirementTracker { db }
+    }
+
     /// Persist a program definition (staff interface). Returns program id.
     pub fn define_program(
         &self,

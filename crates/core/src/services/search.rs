@@ -13,7 +13,7 @@ use cr_textsearch::entity::{
 };
 use cr_textsearch::DataCloud;
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use crate::db::CourseRankDb;
 use crate::model::CourseId;
@@ -83,7 +83,11 @@ pub struct CourseHit {
 #[derive(Debug, Clone)]
 pub struct CourseCloud {
     db: CourseRankDb,
-    engine: SearchEngine,
+    /// The built index, `Arc`-shared so snapshot read views pin the same
+    /// immutable corpus; [`CourseCloud::reindex_course`] copies-on-write
+    /// when a pin is live (`Arc::make_mut`), so pinned readers keep the
+    /// corpus that matches their catalog cut.
+    engine: Arc<SearchEngine>,
     spec: EntitySpec,
     cloud_config: CloudConfig,
 }
@@ -95,7 +99,7 @@ impl CourseCloud {
         let corpus = build_index(&db.catalog(), &spec)?;
         Ok(CourseCloud {
             db,
-            engine: SearchEngine::new(corpus),
+            engine: Arc::new(SearchEngine::new(corpus)),
             spec,
             cloud_config: CloudConfig::default(),
         })
@@ -107,10 +111,22 @@ impl CourseCloud {
         let corpus = build_index_parallel(&db.catalog(), &spec, threads)?;
         Ok(CourseCloud {
             db,
-            engine: SearchEngine::new(corpus),
+            engine: Arc::new(SearchEngine::new(corpus)),
             spec,
             cloud_config: CloudConfig::default(),
         })
+    }
+
+    /// The same service (sharing the built index) over another database
+    /// handle — snapshot read views search the pinned corpus and enrich
+    /// hits from the pinned tables.
+    pub(crate) fn rebind(&self, db: CourseRankDb) -> Self {
+        CourseCloud {
+            db,
+            engine: Arc::clone(&self.engine),
+            spec: self.spec.clone(),
+            cloud_config: self.cloud_config.clone(),
+        }
     }
 
     pub fn with_cloud_config(mut self, config: CloudConfig) -> Self {
@@ -185,9 +201,11 @@ impl CourseCloud {
     }
 
     /// Reindex one course after new user content (a fresh comment).
+    /// Copy-on-write: if a snapshot read view shares the engine, it keeps
+    /// the old corpus and only this handle sees the new one.
     pub fn reindex_course(&mut self, course: CourseId) -> RelResult<bool> {
         reindex_entity(
-            self.engine.corpus_mut(),
+            Arc::make_mut(&mut self.engine).corpus_mut(),
             &self.db.catalog(),
             &self.spec,
             &Value::Int(course),

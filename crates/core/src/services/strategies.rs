@@ -36,6 +36,11 @@ impl Strategies {
         Strategies { db }
     }
 
+    /// The same service over another database handle (snapshot read views).
+    pub(crate) fn rebind(&self, db: CourseRankDb) -> Self {
+        Strategies { db }
+    }
+
     /// Persist a strategy (admin interface). The workflow may reference
     /// [`STUDENT_PLACEHOLDER`] wherever the target student's id belongs.
     pub fn define(&self, name: &str, description: &str, workflow: &Workflow) -> RelResult<()> {

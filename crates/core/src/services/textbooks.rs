@@ -55,6 +55,16 @@ impl Textbooks {
         Textbooks { db, incentives }
     }
 
+    /// The same service over another database handle (snapshot read
+    /// views); the embedded incentives ledger keeps its shared entry-id
+    /// allocator.
+    pub(crate) fn rebind(&self, db: CourseRankDb) -> Self {
+        Textbooks {
+            incentives: self.incentives.rebind(db.clone()),
+            db,
+        }
+    }
+
     /// Report a textbook for a course on `day` (days since epoch, for the
     /// incentive cap).
     pub fn report(

@@ -1,9 +1,24 @@
 //! The catalog and the [`Database`] facade.
 //!
-//! The [`Catalog`] owns every table behind a per-table
-//! [`parking_lot::RwLock`], so CourseRank's read-mostly workload (searches,
-//! recommendations, planner reads) proceeds concurrently while comment
-//! inserts take short write locks on a single table.
+//! The [`Catalog`] is a multi-version store: every table lives in a cell
+//! holding an immutable `Arc<Table>` image. Readers *pin* the current
+//! image (a pointer clone under a momentary lock) and then execute with
+//! **no lock held at all**, so CourseRank's read-mostly workload
+//! (searches, recommendations, planner reads) never blocks — and is
+//! never blocked by — comment and enrollment writes. Writers mutate
+//! copy-on-write via [`Arc::make_mut`]: while no reader pins the image
+//! the mutation is applied in place (the common, allocation-free case);
+//! while a snapshot is live the first write clones the table and later
+//! readers see the new image, earlier pins keep the old one.
+//!
+//! [`Catalog::snapshot`] extends per-table pinning to the whole catalog:
+//! it briefly excludes writers (the `publish` lock), pins every table at
+//! once, and hands back a frozen [`CatalogSnapshot`] — a read-only
+//! catalog whose tables can never change underneath a request. Mutation
+//! ordering vs. snapshot publication: observers (the WAL) are notified
+//! under the table's cell lock, inside the writer's shared `publish`
+//! hold, so any state a snapshot can observe is already a prefix of the
+//! write-ahead log.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,11 +38,15 @@ use crate::schema::Schema;
 use crate::sql;
 use crate::table::Table;
 
+/// A table cell: the current immutable image, swapped (or mutated in
+/// place when unshared) under the cell's write lock.
+type TableCell = Arc<RwLock<Arc<Table>>>;
+
 /// The set of tables. Cloning a `Catalog` is cheap (it is an `Arc` inside);
 /// clones see the same data.
 #[derive(Clone, Default)]
 pub struct Catalog {
-    inner: Arc<RwLock<BTreeMap<String, Arc<RwLock<Table>>>>>,
+    inner: Arc<RwLock<BTreeMap<String, TableCell>>>,
     /// Durability hook, shared by all clones; propagated to every table
     /// (existing and future) by [`Catalog::set_observer`].
     observer: Arc<RwLock<ObserverSlot>>,
@@ -37,6 +56,14 @@ pub struct Catalog {
     /// Monotone counter handed out as the "version" of every virtual
     /// table scan, so result caches treat telemetry as always-stale.
     virtual_tick: Arc<AtomicU64>,
+    /// Publication lock. Writers hold it *shared* across each mutation
+    /// (distinct tables still commit concurrently); [`Catalog::snapshot`]
+    /// holds it *exclusive* for the instant it pins every table, so a
+    /// snapshot is an atomic cut between whole mutations, never inside
+    /// one.
+    publish: Arc<RwLock<()>>,
+    /// Frozen handles ([`Catalog::snapshot`]) reject every mutation.
+    frozen: bool,
 }
 
 impl std::fmt::Debug for Catalog {
@@ -53,13 +80,31 @@ impl Catalog {
         Self::default()
     }
 
+    /// True for the frozen handle inside a [`CatalogSnapshot`]: reads
+    /// serve the pinned images forever, every mutation is rejected.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    fn reject_frozen(&self) -> RelResult<()> {
+        if self.frozen {
+            Err(RelError::Invalid(
+                "catalog snapshot is read-only".to_owned(),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
     /// Attach a [`MutationObserver`] (e.g. `cr-storage`'s WAL writer) to
     /// every current and future table. Table DDL (create/drop/index) and
     /// every successful row mutation are reported to it.
     pub fn set_observer(&self, observer: Arc<dyn MutationObserver>) {
         *self.observer.write() = ObserverSlot(Some(observer.clone()));
-        for handle in self.inner.read().values() {
-            handle.write().set_observer(Some(observer.clone()));
+        let _commit = self.publish.read();
+        for cell in self.inner.read().values() {
+            let mut image = cell.write();
+            Arc::make_mut(&mut image).set_observer(Some(observer.clone()));
         }
     }
 
@@ -70,10 +115,12 @@ impl Catalog {
         schema: Schema,
         pk_columns: Vec<usize>,
     ) -> RelResult<()> {
+        self.reject_frozen()?;
         let key = name.to_ascii_lowercase();
         if self.providers.read().contains_key(&key) {
             return Err(RelError::TableExists(name.to_owned()));
         }
+        let _commit = self.publish.read();
         let mut tables = self.inner.write();
         if tables.contains_key(&key) {
             return Err(RelError::TableExists(name.to_owned()));
@@ -83,7 +130,7 @@ impl Catalog {
         if let Some(obs) = &observer {
             table.set_observer(Some(obs.clone()));
         }
-        tables.insert(key, Arc::new(RwLock::new(table)));
+        tables.insert(key, Arc::new(RwLock::new(Arc::new(table))));
         drop(tables);
         if let Some(obs) = observer {
             obs.on_create_table(name, &schema, &pk_columns);
@@ -95,12 +142,14 @@ impl Catalog {
     /// tables wholesale). No DDL event is emitted and no observer is
     /// attached — the recovery driver attaches it once replay finishes.
     pub fn install_table(&self, table: Table) -> RelResult<()> {
+        self.reject_frozen()?;
+        let _commit = self.publish.read();
         let mut tables = self.inner.write();
         let key = table.name().to_ascii_lowercase();
         if tables.contains_key(&key) {
             return Err(RelError::TableExists(table.name().to_owned()));
         }
-        tables.insert(key, Arc::new(RwLock::new(table)));
+        tables.insert(key, Arc::new(RwLock::new(Arc::new(table))));
         Ok(())
     }
 
@@ -153,11 +202,13 @@ impl Catalog {
 
     /// Drop a table.
     pub fn drop_table(&self, name: &str) -> RelResult<()> {
+        self.reject_frozen()?;
         if self.provider(name).is_some() {
             return Err(RelError::Invalid(format!(
                 "system table {name} cannot be dropped"
             )));
         }
+        let _commit = self.publish.read();
         let mut tables = self.inner.write();
         let removed = tables.remove(&name.to_ascii_lowercase());
         drop(tables);
@@ -172,7 +223,7 @@ impl Catalog {
         }
     }
 
-    fn handle(&self, name: &str) -> RelResult<Arc<RwLock<Table>>> {
+    fn handle(&self, name: &str) -> RelResult<TableCell> {
         let tables = self.inner.read();
         // Table resolution sits on hot paths (execution, plan validation);
         // lowercase the lookup key on the stack instead of allocating a
@@ -191,14 +242,21 @@ impl Catalog {
             .ok_or_else(|| RelError::UnknownTable(name.to_owned()))
     }
 
-    /// Run a closure with read access to a table. A virtual table is
-    /// materialized from its provider for the duration of the call.
+    /// Pin the current immutable image of a base table. The cell lock is
+    /// held only for the pointer clone; the returned image can never
+    /// change (writers copy-on-write), so callers read without blocking
+    /// writers and without any torn state *within* the table.
+    pub fn pin_table(&self, name: &str) -> RelResult<Arc<Table>> {
+        self.handle(name).map(|cell| Arc::clone(&cell.read()))
+    }
+
+    /// Run a closure with read access to a table. The closure executes
+    /// against a pinned immutable image — no lock is held while it runs.
+    /// A virtual table is materialized from its provider for the
+    /// duration of the call.
     pub fn with_table<R>(&self, name: &str, f: impl FnOnce(&Table) -> R) -> RelResult<R> {
-        match self.handle(name) {
-            Ok(h) => {
-                let guard = h.read();
-                Ok(f(&guard))
-            }
+        match self.pin_table(name) {
+            Ok(image) => Ok(f(&image)),
             Err(unknown) => match self.provider(name) {
                 Some(p) => Ok(f(&self.materialize(name, p.as_ref())?)),
                 None => Err(unknown),
@@ -206,13 +264,22 @@ impl Catalog {
         }
     }
 
-    /// Run a closure with write access to a table. Virtual tables are
-    /// read-only and reject this.
+    /// Run a closure with write access to a table. The mutation is
+    /// copy-on-write: in place while the image is unshared (no live
+    /// snapshot pins it), against a private clone otherwise — pinned
+    /// readers keep the pre-write image either way. Virtual tables are
+    /// read-only and reject this; so do frozen snapshot handles.
     pub fn with_table_mut<R>(&self, name: &str, f: impl FnOnce(&mut Table) -> R) -> RelResult<R> {
+        self.reject_frozen()?;
         match self.handle(name) {
-            Ok(h) => {
-                let mut guard = h.write();
-                Ok(f(&mut guard))
+            Ok(cell) => {
+                // Shared hold on `publish`: concurrent writers on other
+                // tables proceed, but a snapshot (exclusive hold) can
+                // never cut between this mutation's WAL emission (inside
+                // `f`, under the cell lock) and its publication here.
+                let _commit = self.publish.read();
+                let mut image = cell.write();
+                Ok(f(Arc::make_mut(&mut image)))
             }
             Err(unknown) => match self.provider(name) {
                 Some(_) => Err(RelError::Invalid(format!(
@@ -223,12 +290,49 @@ impl Catalog {
         }
     }
 
+    /// Pin every base table at one instant and return a frozen, fully
+    /// read-only view of the catalog. Writers are excluded only while
+    /// the pointers are cloned (O(#tables), no data is copied); requests
+    /// then execute against the snapshot with no locks and observe a
+    /// single consistent cut across all tables, regardless of how many
+    /// mutations land meanwhile.
+    pub fn snapshot(&self) -> CatalogSnapshot {
+        let mut pinned = BTreeMap::new();
+        let mut versions = BTreeMap::new();
+        {
+            // Exclusive vs. writers' shared holds: no mutation is
+            // mid-flight while the cut is taken.
+            let _cut = self.publish.write();
+            for (name, cell) in self.inner.read().iter() {
+                let image = Arc::clone(&cell.read());
+                versions.insert(name.clone(), image.version());
+                pinned.insert(name.clone(), Arc::new(RwLock::new(image)));
+            }
+        }
+        let catalog = Catalog {
+            inner: Arc::new(RwLock::new(pinned)),
+            // Snapshot tables are never mutated, so no observer: even if
+            // one were attached later it could never fire.
+            observer: Arc::new(RwLock::new(ObserverSlot::default())),
+            // Virtual tables stay live: telemetry is explicitly
+            // point-in-time-of-scan, never part of the data cut.
+            providers: Arc::clone(&self.providers),
+            virtual_tick: Arc::clone(&self.virtual_tick),
+            publish: Arc::new(RwLock::new(())),
+            frozen: true,
+        };
+        CatalogSnapshot {
+            catalog,
+            versions: Arc::new(versions),
+        }
+    }
+
     /// Schema of a table (cloned). Virtual tables answer from their
     /// provider without materializing any rows (binders and validators
     /// call this on every scan).
     pub fn table_schema(&self, name: &str) -> RelResult<Schema> {
         match self.handle(name) {
-            Ok(h) => Ok(h.read().schema().clone()),
+            Ok(cell) => Ok(cell.read().schema().clone()),
             Err(unknown) => match self.provider(name) {
                 Some(p) => Ok(p.schema()),
                 None => Err(unknown),
@@ -247,7 +351,7 @@ impl Catalog {
     /// every call — telemetry is never cacheable.
     pub fn table_version(&self, name: &str) -> RelResult<u64> {
         match self.handle(name) {
-            Ok(h) => Ok(h.read().version()),
+            Ok(cell) => Ok(cell.read().version()),
             Err(unknown) => match self.provider(name) {
                 Some(_) => Ok(self.virtual_tick.fetch_add(1, Ordering::Relaxed) + 1),
                 None => Err(unknown),
@@ -271,6 +375,51 @@ impl Catalog {
     /// All virtual (scan-provider) table names, sorted.
     pub fn virtual_table_names(&self) -> Vec<String> {
         self.providers.read().keys().cloned().collect()
+    }
+}
+
+/// A pinned, immutable, cross-table-consistent view of a [`Catalog`].
+///
+/// Produced by [`Catalog::snapshot`]. The inner catalog handle answers
+/// every read API (`with_table`, plans, SQL) from the pinned images and
+/// rejects every mutation; [`CatalogSnapshot::versions`] is the version
+/// vector at the cut, which is exactly what version-keyed result caches
+/// use as their dependency stamp — a value computed against this
+/// snapshot may be cached under these versions.
+#[derive(Clone)]
+pub struct CatalogSnapshot {
+    catalog: Catalog,
+    versions: Arc<BTreeMap<String, u64>>,
+}
+
+impl std::fmt::Debug for CatalogSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CatalogSnapshot")
+            .field("versions", &self.versions)
+            .finish()
+    }
+}
+
+impl CatalogSnapshot {
+    /// The frozen catalog handle (cheap clone; read-only).
+    pub fn catalog(&self) -> Catalog {
+        self.catalog.clone()
+    }
+
+    /// Per-table mutation-counter versions at the instant of the cut.
+    pub fn versions(&self) -> &BTreeMap<String, u64> {
+        &self.versions
+    }
+
+    /// Version of one table at the cut (`None` if it did not exist).
+    pub fn version_of(&self, table: &str) -> Option<u64> {
+        self.versions.get(&table.to_ascii_lowercase()).copied()
+    }
+
+    /// A [`Database`] facade over the snapshot: the full read path (SQL,
+    /// plans, EXPLAIN) works; DML and DDL return an error.
+    pub fn database(&self) -> Database {
+        Database::from_catalog(self.catalog())
     }
 }
 
@@ -325,6 +474,23 @@ impl Database {
     /// The underlying catalog (cheap clone; shares data).
     pub fn catalog(&self) -> Catalog {
         self.catalog.clone()
+    }
+
+    /// Pin a cross-table-consistent snapshot and wrap it in a read-only
+    /// `Database` that keeps this handle's execution options. See
+    /// [`Catalog::snapshot`].
+    pub fn snapshot(&self) -> (Database, CatalogSnapshot) {
+        let snap = self.catalog.snapshot();
+        let db = Database {
+            catalog: snap.catalog(),
+            exec_opts: self.exec_opts,
+        };
+        (db, snap)
+    }
+
+    /// True if this handle wraps a frozen [`CatalogSnapshot`].
+    pub fn is_snapshot(&self) -> bool {
+        self.catalog.is_frozen()
     }
 
     /// Execute any SQL statement. For queries, returns the result set; for
@@ -552,6 +718,105 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().unwrap(), 100);
         }
+    }
+
+    #[test]
+    fn snapshot_pins_state_and_rejects_writes() {
+        let db = Database::new();
+        db.execute_sql("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+            .unwrap();
+        db.insert("t", row![1i64, 10i64]).unwrap();
+        let snap = db.catalog().snapshot();
+        assert_eq!(snap.version_of("t"), Some(1));
+        assert!(snap.catalog().is_frozen());
+
+        // Live catalog moves on; the snapshot does not.
+        db.insert("t", row![2i64, 20i64]).unwrap();
+        db.execute_sql("UPDATE t SET v = 99 WHERE id = 1").unwrap();
+        assert_eq!(db.catalog().table_len("t").unwrap(), 2);
+        assert_eq!(snap.catalog().table_len("t").unwrap(), 1);
+        let rs = snap
+            .database()
+            .query_sql("SELECT v FROM t WHERE id = 1")
+            .unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(10)));
+        assert_eq!(snap.catalog().table_version("t").unwrap(), 1);
+
+        // Every mutation path is rejected on the frozen handle.
+        let sdb = snap.database();
+        assert!(sdb.is_snapshot());
+        assert!(sdb.insert("t", row![3i64, 30i64]).is_err());
+        assert!(sdb.execute_sql("INSERT INTO t VALUES (3, 30)").is_err());
+        assert!(sdb.execute_sql("DELETE FROM t").is_err());
+        assert!(sdb.execute_sql("CREATE TABLE u (x INT)").is_err());
+        assert!(snap.catalog().drop_table("t").is_err());
+        // ... and the live data is untouched by the attempts.
+        assert_eq!(db.catalog().table_len("t").unwrap(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_a_consistent_cut_across_tables() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::thread;
+        let db = Database::new();
+        db.execute_sql("CREATE TABLE a (id INT PRIMARY KEY)")
+            .unwrap();
+        db.execute_sql("CREATE TABLE b (id INT PRIMARY KEY)")
+            .unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        // Writer invariant: a row lands in `b` strictly before its twin
+        // lands in `a`, so in any atomic cut len(b) >= len(a).
+        let writer = {
+            let db = db.clone();
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut i = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    db.insert("b", row![i]).unwrap();
+                    db.insert("a", row![i]).unwrap();
+                    i += 1;
+                }
+                i
+            })
+        };
+        for _ in 0..200 {
+            let snap = db.catalog().snapshot();
+            let a = snap.catalog().table_len("a").unwrap();
+            // Deliberately read the tables in the hazardous order.
+            let b = snap.catalog().table_len("b").unwrap();
+            assert!(b >= a, "torn snapshot: len(a)={a} > len(b)={b}");
+        }
+        stop.store(true, Ordering::Relaxed);
+        let n = writer.join().unwrap();
+        assert!(n > 0, "writer made progress under snapshotting");
+    }
+
+    #[test]
+    fn pinned_readers_keep_their_image_while_writers_proceed() {
+        let c = Catalog::new();
+        c.create_table(
+            "t",
+            Schema::new(vec![Column::new("x", DataType::Int)]),
+            vec![],
+        )
+        .unwrap();
+        c.with_table_mut("t", |t| t.insert(row![1i64]).unwrap())
+            .unwrap();
+        let pinned = c.pin_table("t").unwrap();
+        assert_eq!(pinned.len(), 1);
+        // COW: the write happens against a private clone because the pin
+        // shares the image; the pin is unaffected.
+        c.with_table_mut("t", |t| t.insert(row![2i64]).unwrap())
+            .unwrap();
+        assert_eq!(pinned.len(), 1);
+        assert_eq!(pinned.version(), 1);
+        assert_eq!(c.table_len("t").unwrap(), 2);
+        assert_eq!(c.table_version("t").unwrap(), 2);
+        // With the pin dropped, writes go back to mutating in place.
+        drop(pinned);
+        c.with_table_mut("t", |t| t.insert(row![3i64]).unwrap())
+            .unwrap();
+        assert_eq!(c.table_len("t").unwrap(), 3);
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod telemetry;
 pub mod value;
 
 pub use batch::{Batch, Column as BatchColumn, ColumnBuilder, EvalCol};
-pub use catalog::{Catalog, Database};
+pub use catalog::{Catalog, CatalogSnapshot, Database};
 pub use error::{RelError, RelResult};
 pub use exec::{
     execute, execute_instrumented, execute_instrumented_with, execute_with, AccessPath,

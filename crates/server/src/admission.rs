@@ -1,0 +1,246 @@
+//! Bounded admission control: per-class in-flight limits + one shared
+//! wait queue, shed with a typed response instead of unbounded queueing.
+//!
+//! The policy (DESIGN.md §13): each [`RequestClass`] has an in-flight
+//! budget. A request whose class is at budget waits — but only while the
+//! total number of waiters is under `max_queue` and only up to
+//! `queue_timeout`; past either bound it is *shed* and the client gets
+//! [`Response::Overloaded`](crate::protocol::Response::Overloaded)
+//! immediately. Under overload the server therefore degrades to fast,
+//! explicit rejections with bounded memory, never to a growing backlog
+//! (the classic accept-queue death spiral).
+//!
+//! Built on `std::sync::{Mutex, Condvar}` — the vendored parking_lot
+//! has no condvar. Poison is absorbed (`into_inner`): a panicking
+//! request thread must not wedge admission for the whole server.
+
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use crate::protocol::RequestClass;
+
+/// Tunables. Defaults suit tests; `crserve` scales them by thread count.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Max concurrently executing requests per class (read/write/admin).
+    pub max_in_flight: [u64; 3],
+    /// Max requests waiting for a slot, across all classes.
+    pub max_queue: u64,
+    /// Longest a request may wait before being shed.
+    pub queue_timeout: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_in_flight: [32, 4, 2],
+            max_queue: 64,
+            queue_timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    in_flight: [u64; 3],
+    queued: [u64; 3],
+    admitted: [u64; 3],
+    shed: [u64; 3],
+}
+
+/// Why a request was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shed {
+    pub class: RequestClass,
+    /// In-flight count of that class at shed time.
+    pub in_flight: u64,
+    /// Total waiters at shed time.
+    pub queued: u64,
+}
+
+/// Point-in-time counters for one class (what `cr_stat_admission` rows
+/// are made of).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassStats {
+    pub class: RequestClass,
+    pub limit: u64,
+    pub in_flight: u64,
+    pub queued: u64,
+    pub admitted: u64,
+    pub shed: u64,
+}
+
+/// The controller. One per server, shared by every session thread.
+#[derive(Debug)]
+pub struct Admission {
+    cfg: AdmissionConfig,
+    state: Mutex<State>,
+    slot_freed: Condvar,
+}
+
+/// An admitted request's slot. Releasing is RAII: dropping the permit
+/// frees the slot and wakes one waiter, so a panicking handler can never
+/// leak capacity.
+#[derive(Debug)]
+pub struct Permit {
+    admission: Arc<Admission>,
+    class: RequestClass,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut st = self.admission.lock();
+        st.in_flight[self.class.index()] = st.in_flight[self.class.index()].saturating_sub(1);
+        drop(st);
+        self.admission.slot_freed.notify_one();
+    }
+}
+
+impl Admission {
+    pub fn new(cfg: AdmissionConfig) -> Arc<Self> {
+        Arc::new(Admission {
+            cfg,
+            state: Mutex::new(State::default()),
+            slot_freed: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // Absorb poison: counters stay valid (they are plain integers),
+        // and admission must survive a panicking request thread.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Admit or shed a request of `class`. Blocks up to
+    /// `queue_timeout` while the class is at its in-flight budget.
+    pub fn admit(self: &Arc<Self>, class: RequestClass) -> Result<Permit, Shed> {
+        let i = class.index();
+        let deadline = Instant::now() + self.cfg.queue_timeout;
+        let mut st = self.lock();
+        loop {
+            if st.in_flight[i] < self.cfg.max_in_flight[i] {
+                st.in_flight[i] += 1;
+                st.admitted[i] += 1;
+                return Ok(Permit {
+                    admission: Arc::clone(self),
+                    class,
+                });
+            }
+            let queued_total: u64 = st.queued.iter().sum();
+            if queued_total >= self.cfg.max_queue {
+                st.shed[i] += 1;
+                return Err(Shed {
+                    class,
+                    in_flight: st.in_flight[i],
+                    queued: queued_total,
+                });
+            }
+            let remaining = match deadline.checked_duration_since(Instant::now()) {
+                Some(d) if !d.is_zero() => d,
+                _ => {
+                    st.shed[i] += 1;
+                    return Err(Shed {
+                        class,
+                        in_flight: st.in_flight[i],
+                        queued: queued_total,
+                    });
+                }
+            };
+            st.queued[i] += 1;
+            let (guard, _timeout) = self
+                .slot_freed
+                .wait_timeout(st, remaining)
+                .unwrap_or_else(|p| p.into_inner());
+            st = guard;
+            st.queued[i] -= 1;
+            // Loop: re-check the budget; shed on deadline via `remaining`.
+        }
+    }
+
+    /// Current counters for every class.
+    pub fn stats(&self) -> [ClassStats; 3] {
+        let st = self.lock();
+        RequestClass::ALL.map(|class| {
+            let i = class.index();
+            ClassStats {
+                class,
+                limit: self.cfg.max_in_flight[i],
+                in_flight: st.in_flight[i],
+                queued: st.queued[i],
+                admitted: st.admitted[i],
+                shed: st.shed[i],
+            }
+        })
+    }
+
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tight(reads: u64, queue: u64, timeout_ms: u64) -> Arc<Admission> {
+        Admission::new(AdmissionConfig {
+            max_in_flight: [reads, 1, 1],
+            max_queue: queue,
+            queue_timeout: Duration::from_millis(timeout_ms),
+        })
+    }
+
+    #[test]
+    fn admits_up_to_limit_then_sheds_on_full_queue() {
+        let adm = tight(2, 0, 10);
+        let p1 = adm.admit(RequestClass::Read).unwrap();
+        let p2 = adm.admit(RequestClass::Read).unwrap();
+        // Queue capacity 0: the third is shed immediately.
+        let shed = adm.admit(RequestClass::Read).unwrap_err();
+        assert_eq!(shed.class, RequestClass::Read);
+        assert_eq!(shed.in_flight, 2);
+        let s = adm.stats();
+        assert_eq!(s[0].admitted, 2);
+        assert_eq!(s[0].shed, 1);
+        drop(p1);
+        drop(p2);
+        let s = adm.stats();
+        assert_eq!(s[0].in_flight, 0);
+    }
+
+    #[test]
+    fn queued_request_proceeds_when_slot_frees() {
+        let adm = tight(1, 4, 5_000);
+        let p = adm.admit(RequestClass::Read).unwrap();
+        let adm2 = Arc::clone(&adm);
+        let waiter = std::thread::spawn(move || adm2.admit(RequestClass::Read).map(|_| ()));
+        // Give the waiter time to enqueue, then free the slot.
+        while adm.stats()[0].queued == 0 {
+            std::thread::yield_now();
+        }
+        drop(p);
+        waiter.join().unwrap().unwrap();
+        assert_eq!(adm.stats()[0].admitted, 2);
+    }
+
+    #[test]
+    fn queue_timeout_sheds() {
+        let adm = tight(1, 4, 30);
+        let _p = adm.admit(RequestClass::Read).unwrap();
+        let start = Instant::now();
+        let shed = adm.admit(RequestClass::Read).unwrap_err();
+        assert!(start.elapsed() >= Duration::from_millis(25), "waited first");
+        assert_eq!(shed.class, RequestClass::Read);
+        assert_eq!(adm.stats()[0].shed, 1);
+    }
+
+    #[test]
+    fn classes_have_independent_budgets() {
+        let adm = tight(1, 0, 10);
+        let _r = adm.admit(RequestClass::Read).unwrap();
+        // Write budget is separate — admitted even with reads saturated.
+        let _w = adm.admit(RequestClass::Write).unwrap();
+        let _a = adm.admit(RequestClass::Admin).unwrap();
+        assert_eq!(adm.stats().map(|s| s.in_flight), [1, 1, 1]);
+    }
+}

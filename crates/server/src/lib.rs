@@ -1,0 +1,238 @@
+//! # cr-server — the network service layer in front of CourseRank
+//!
+//! The paper runs CourseRank as a live multi-user site; this crate is
+//! that front: a small length-prefixed versioned wire protocol
+//! ([`protocol`]), per-connection sessions ([`session`]), bounded
+//! admission control with typed shedding ([`admission`]), and —
+//! the load-bearing piece — **snapshot-isolated reads**: every read
+//! request pins an immutable catalog cut
+//! ([`courserank::CourseRank::read_view`], built on cr-relation's MVCC
+//! `Arc`-shared tables) and proceeds concurrently with writers instead
+//! of serializing on the catalog.
+//!
+//! Two transports share one server core ([`server::Server`]): real TCP
+//! (the `crserve` bin) and an in-process duplex pipe
+//! ([`transport::pipe`]) that tests, CI, and benchmarks drive — same
+//! framing, same handshake, no sockets.
+//!
+//! Server state is queryable from inside: [`stats`] registers
+//! `cr_stat_sessions` and `cr_stat_admission` as virtual tables, so
+//! `SELECT * FROM cr_stat_admission` over any session shows live queue
+//! depth and shed counts through the standard plan path.
+//!
+//! ```
+//! use cr_server::{client::Client, protocol::Response, server::{Server, ServerConfig}, transport};
+//!
+//! let app = courserank::CourseRank::assemble(
+//!     cr_datagen::generate(&cr_datagen::ScaleConfig::tiny()).unwrap().0,
+//! ).unwrap();
+//! let server = Server::new(app, ServerConfig::default()).unwrap();
+//! let (local, remote) = transport::pipe();
+//! let srv = std::thread::spawn({
+//!     let server = std::sync::Arc::clone(&server);
+//!     move || server.handle_conn(remote)
+//! });
+//! let mut client = Client::handshake(local, "doc-test").unwrap();
+//! assert!(matches!(client.ping().unwrap(), Response::Pong));
+//! client.goodbye().unwrap();
+//! srv.join().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod admission;
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod session;
+pub mod stats;
+pub mod transport;
+
+pub use admission::{Admission, AdmissionConfig};
+pub use client::Client;
+pub use protocol::{Request, RequestClass, Response, PROTOCOL_VERSION};
+pub use server::{Server, ServerConfig};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use courserank::CourseRank;
+
+    fn tiny_server() -> std::sync::Arc<Server> {
+        let (db, _) = cr_datagen::generate(&cr_datagen::ScaleConfig::tiny()).unwrap();
+        let app = CourseRank::assemble(db).unwrap();
+        Server::new(app, ServerConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_over_pipe() {
+        let server = tiny_server();
+        let (local, remote) = transport::pipe();
+        let srv = std::thread::spawn({
+            let server = std::sync::Arc::clone(&server);
+            move || server.handle_conn(remote)
+        });
+        let mut c = Client::handshake(local, "unit").unwrap();
+        assert!(matches!(c.ping().unwrap(), Response::Pong));
+
+        // A read: search returns hits against the snapshot.
+        match c.search("theory", 5).unwrap() {
+            Response::SearchResults { hits, .. } => assert!(!hits.is_empty()),
+            other => panic!("unexpected: {other:?}"),
+        }
+
+        // A write then a read that observes it.
+        let id = match c
+            .add_comment(1, 1, 2009, "Aut", "served over the wire", 4.5)
+            .unwrap()
+        {
+            Response::CommentAdded { id } => id,
+            other => panic!("unexpected: {other:?}"),
+        };
+        match c
+            .sql(&format!("SELECT Text FROM Comments WHERE CommentID = {id}"))
+            .unwrap()
+        {
+            Response::Rows { rows, .. } => {
+                assert_eq!(rows.len(), 1);
+                assert_eq!(rows[0][0], cr_relation::Value::text("served over the wire"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+
+        // Mutating SQL is rejected: reads run on a frozen snapshot.
+        let resp = c.sql("DELETE FROM Comments").unwrap();
+        assert!(client::is_read_only_error(&resp), "{resp:?}");
+
+        // Server telemetry is queryable through the same protocol.
+        match c.sql("SELECT Client FROM cr_stat_sessions").unwrap() {
+            Response::Rows { rows, .. } => {
+                assert_eq!(rows.len(), 1);
+                assert_eq!(rows[0][0], cr_relation::Value::text("unit"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+
+        c.goodbye().unwrap();
+        srv.join().unwrap();
+        assert_eq!(server.sessions().active(), 0);
+    }
+
+    #[test]
+    fn publication_rules_bounded_staleness_and_read_your_writes() {
+        // Huge staleness bound: the shared view only republishes when a
+        // session's own write forces it, which makes the rules visible
+        // deterministically.
+        let (db, _) = cr_datagen::generate(&cr_datagen::ScaleConfig::tiny()).unwrap();
+        let app = CourseRank::assemble(db).unwrap();
+        let server = Server::new(
+            app,
+            ServerConfig {
+                snapshot_max_staleness: std::time::Duration::from_secs(3600),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let a = server.sessions().open("test", "reader");
+        let b = server.sessions().open("test", "writer");
+        let counts = |sid: u64| match server.dispatch(
+            sid,
+            &Request::Counts {
+                tables: vec!["Comments".to_owned()],
+            },
+        ) {
+            Response::CountsResult { counts, .. } => counts[0],
+            other => panic!("unexpected: {other:?}"),
+        };
+
+        let c0 = counts(a); // warms the shared view
+        let added = server.dispatch(
+            b,
+            &Request::AddComment {
+                student: 1,
+                course: 1,
+                year: 2009,
+                term: "Aut".to_owned(),
+                text: "causality probe".to_owned(),
+                rating: 4.0,
+            },
+        );
+        assert!(matches!(added, Response::CommentAdded { .. }), "{added:?}");
+
+        // Bounded staleness: a session that did not write may keep
+        // reading the published (pre-write) cut...
+        assert_eq!(counts(a), c0);
+        // ...read-your-writes: the writer immediately sees its own
+        // mutation, which republishes the shared view...
+        assert_eq!(counts(b), c0 + 1);
+        // ...and later readers pick up the republished cut.
+        assert_eq!(counts(a), c0 + 1);
+
+        server.sessions().close(a);
+        server.sessions().close(b);
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let server = tiny_server();
+        let (mut local, remote) = transport::pipe();
+        let srv = std::thread::spawn({
+            let server = std::sync::Arc::clone(&server);
+            move || server.handle_conn(remote)
+        });
+        protocol::write_frame(
+            &mut local,
+            &Request::Hello {
+                protocol_version: 999,
+                client: "time-traveler".into(),
+            },
+        )
+        .unwrap();
+        match protocol::read_frame::<_, Response>(&mut local).unwrap() {
+            Some(Response::Error { code, .. }) => {
+                assert_eq!(code, protocol::ErrorCode::VersionMismatch)
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        drop(local);
+        srv.join().unwrap();
+    }
+
+    #[test]
+    fn handshake_required_before_requests() {
+        let server = tiny_server();
+        let (mut local, remote) = transport::pipe();
+        let srv = std::thread::spawn({
+            let server = std::sync::Arc::clone(&server);
+            move || server.handle_conn(remote)
+        });
+        protocol::write_frame(&mut local, &Request::Ping).unwrap();
+        match protocol::read_frame::<_, Response>(&mut local).unwrap() {
+            Some(Response::Error { code, .. }) => {
+                assert_eq!(code, protocol::ErrorCode::BadRequest)
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        drop(local);
+        srv.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let server = tiny_server();
+        let handle = server.serve_tcp("127.0.0.1:0").unwrap();
+        let addr = handle.local_addr().to_string();
+        let mut c = Client::connect(&addr, "tcp-unit").unwrap();
+        assert!(matches!(c.ping().unwrap(), Response::Pong));
+        match c.counts(&["Courses", "Students"]).unwrap() {
+            Response::CountsResult { counts, versions } => {
+                assert_eq!(counts.len(), 2);
+                assert!(counts[0] > 0);
+                assert_eq!(versions.len(), 2);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        c.goodbye().unwrap();
+        handle.shutdown();
+    }
+}

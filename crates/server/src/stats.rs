@@ -1,0 +1,147 @@
+//! Server telemetry as `cr_stat_*` virtual tables.
+//!
+//! Same mechanism as the engine's own telemetry tables
+//! (`cr_relation::telemetry`): a [`ScanProvider`] computes rows at scan
+//! time, so `SELECT * FROM cr_stat_sessions` through any session shows
+//! the live server state — including from a snapshot read view, since
+//! providers are shared by snapshots rather than pinned (telemetry is
+//! never part of the data cut).
+
+use std::sync::Arc;
+
+use cr_relation::row::row;
+use cr_relation::{Catalog, Column, DataType, RelResult, Row, ScanProvider, Schema};
+
+use crate::admission::Admission;
+use crate::session::SessionRegistry;
+
+/// `cr_stat_sessions`: one row per live session.
+pub struct SessionsProvider {
+    pub(crate) sessions: Arc<SessionRegistry>,
+}
+
+impl ScanProvider for SessionsProvider {
+    fn schema(&self) -> Schema {
+        Schema::new(vec![
+            Column::new("SessionID", DataType::Int),
+            Column::new("Peer", DataType::Text),
+            Column::new("Client", DataType::Text),
+            Column::new("StartedUnix", DataType::Int),
+            Column::new("Requests", DataType::Int),
+            Column::new("Errors", DataType::Int),
+            Column::new("Shed", DataType::Int),
+            Column::new("LastRequest", DataType::Text),
+            Column::new("LastWriteSeq", DataType::Int),
+        ])
+    }
+
+    fn rows(&self) -> RelResult<Vec<Row>> {
+        Ok(self
+            .sessions
+            .snapshot()
+            .into_iter()
+            .map(|s| {
+                row![
+                    s.id as i64,
+                    s.peer.as_str(),
+                    s.client.as_str(),
+                    s.started_unix as i64,
+                    s.requests as i64,
+                    s.errors as i64,
+                    s.shed as i64,
+                    s.last_request.as_str(),
+                    s.last_write_seq as i64
+                ]
+            })
+            .collect())
+    }
+}
+
+/// `cr_stat_admission`: one row per request class.
+pub struct AdmissionProvider {
+    pub(crate) admission: Arc<Admission>,
+}
+
+impl ScanProvider for AdmissionProvider {
+    fn schema(&self) -> Schema {
+        Schema::new(vec![
+            Column::new("Class", DataType::Text),
+            Column::new("MaxInFlight", DataType::Int),
+            Column::new("InFlight", DataType::Int),
+            Column::new("Queued", DataType::Int),
+            Column::new("Admitted", DataType::Int),
+            Column::new("Shed", DataType::Int),
+        ])
+    }
+
+    fn rows(&self) -> RelResult<Vec<Row>> {
+        Ok(self
+            .admission
+            .stats()
+            .into_iter()
+            .map(|s| {
+                row![
+                    s.class.name(),
+                    s.limit as i64,
+                    s.in_flight as i64,
+                    s.queued as i64,
+                    s.admitted as i64,
+                    s.shed as i64
+                ]
+            })
+            .collect())
+    }
+}
+
+/// Register both server tables in `catalog`. Errors only on a name
+/// collision (i.e. registered twice on the same catalog).
+pub fn register_server_tables(
+    catalog: &Catalog,
+    sessions: Arc<SessionRegistry>,
+    admission: Arc<Admission>,
+) -> RelResult<()> {
+    catalog.register_scan_provider("cr_stat_sessions", Arc::new(SessionsProvider { sessions }))?;
+    catalog.register_scan_provider(
+        "cr_stat_admission",
+        Arc::new(AdmissionProvider { admission }),
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::AdmissionConfig;
+    use crate::protocol::RequestClass;
+
+    #[test]
+    fn tables_queryable_through_sql() {
+        let db = cr_relation::Database::new();
+        let sessions = SessionRegistry::new();
+        let admission = Admission::new(AdmissionConfig::default());
+        register_server_tables(&db.catalog(), Arc::clone(&sessions), Arc::clone(&admission))
+            .unwrap();
+
+        let sid = sessions.open("pipe", "unit");
+        sessions.record(sid, "search", false, false);
+        let _permit = admission.admit(RequestClass::Read).unwrap();
+
+        let rs = db
+            .query_sql("SELECT Client, Requests FROM cr_stat_sessions")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], cr_relation::Value::text("unit"));
+        assert_eq!(rs.rows[0][1], cr_relation::Value::Int(1));
+
+        let rs = db
+            .query_sql("SELECT Class, InFlight FROM cr_stat_admission ORDER BY Class")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 3);
+        let read_row = rs
+            .rows
+            .iter()
+            .find(|r| r[0] == cr_relation::Value::text("read"))
+            .unwrap();
+        assert_eq!(read_row[1], cr_relation::Value::Int(1));
+    }
+}

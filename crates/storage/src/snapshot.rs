@@ -68,12 +68,16 @@ pub fn encode_snapshot(catalog: &Catalog, wal_seq: u64, wal_offset: u64) -> Vec<
     let mut body = Vec::new();
     codec::write_u64(wal_seq, &mut body);
     codec::write_u64(wal_offset, &mut body);
-    let names = catalog.table_names(); // sorted (BTreeMap keys)
+    // Pin one atomic cut across every table (MVCC snapshot): the encoded
+    // image can never be torn across tables by a racing writer. The cut
+    // is taken *after* the WAL position above was captured, so anything
+    // the image reflects beyond that position sits in the WAL tail and
+    // replays as a no-op — recovered state is always a WAL prefix.
+    let pinned = catalog.snapshot().catalog();
+    let names = pinned.table_names(); // sorted (BTreeMap keys)
     codec::write_u64(names.len() as u64, &mut body);
     for name in &names {
-        // Table vanishing between table_names() and here is fine: the
-        // drop sits in the WAL after our captured position.
-        let _ = catalog.with_table(name, |t| encode_table(t, &mut body));
+        let _ = pinned.with_table(name, |t| encode_table(t, &mut body));
     }
     let mut out = Vec::with_capacity(MAGIC.len() + 4 + body.len());
     out.extend_from_slice(MAGIC);

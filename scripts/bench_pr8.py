@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Run the PR8 server load harness and emit BENCH_pr8.json.
+
+Runs `cargo bench -p cr-bench --bench server_load`, parses the
+`[PR8] scenario=... key=value ...` lines, and writes a JSON report with
+the raw metrics plus derived ratios:
+
+* concurrent_vs_serial = concurrent_r1 / serial_baseline — reads racing
+  one sustained writer against the fully serialized (pre-MVCC) loop.
+* reader_scaling = concurrent_r4 / concurrent_r1 — read throughput
+  going from 1 to 4 reader threads under the same write storm.
+
+Gates (skipped with --smoke, which runs a shrunken canary):
+
+* consistency violations must be 0 — every probe saw a consistent
+  snapshot (hazardous-order counts + monotonic versions).
+* concurrent_vs_serial >= 1.0 (>= 0.75 on a single-CPU host, where the
+  writer and the readers time-share one core).
+* reader_scaling >= 1.5 when the host has >= 4 CPUs; on smaller hosts
+  only a no-collapse floor of 0.5 applies (the value is still recorded).
+* day-in-the-life open-loop read p99 under 250 ms.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+
+LINE = re.compile(r"\[PR8\] scenario=(\S+)((?:\s+\w+=[0-9.]+)+)")
+PAIR = re.compile(r"(\w+)=([0-9.]+)")
+
+
+def run_bench(smoke):
+    cmd = ["cargo", "bench", "-q", "-p", "cr-bench", "--bench", "server_load", "--"]
+    if smoke:
+        cmd.append("--smoke")
+    out = subprocess.run(cmd, capture_output=True, text=True, check=True).stdout
+    sys.stdout.write(out)
+    metrics = {}
+    for m in LINE.finditer(out):
+        scenario = m.group(1)
+        for k, v in PAIR.findall(m.group(2)):
+            metrics[f"{scenario}.{k}"] = float(v) if "." in v else int(v)
+    return metrics
+
+
+def ratio(metrics, num, den):
+    if metrics.get(den):
+        return round(metrics[num] / metrics[den], 2)
+    return None
+
+
+def main():
+    smoke = "--smoke" in sys.argv[1:]
+    cpus = os.cpu_count() or 1
+    metrics = run_bench(smoke)
+
+    ratios = {
+        "concurrent_vs_serial": ratio(
+            metrics, "concurrent_r1.reads_per_sec", "serial_baseline.reads_per_sec"
+        ),
+        "reader_scaling_1_to_4": ratio(
+            metrics, "concurrent_r4.reads_per_sec", "concurrent_r1.reads_per_sec"
+        ),
+    }
+
+    gates = []
+
+    def gate(name, ok, detail):
+        gates.append({"name": name, "ok": bool(ok), "detail": detail})
+        print(f"{'PASS' if ok else 'FAIL'}: {name}: {detail}")
+        return ok
+
+    violations = metrics.get("consistency.violations")
+    ok = gate(
+        "snapshot_consistency",
+        violations == 0,
+        f"{metrics.get('consistency.probes')} probes, {violations} violations",
+    )
+
+    cvs = ratios["concurrent_vs_serial"]
+    floor = 1.0 if cpus >= 2 else 0.75
+    ok &= gate(
+        "concurrent_vs_serial",
+        cvs is not None and cvs >= floor,
+        f"{cvs}x vs floor {floor} ({cpus} cpus)",
+    )
+
+    scaling = ratios["reader_scaling_1_to_4"]
+    floor = 1.5 if cpus >= 4 else 0.5
+    ok &= gate(
+        "reader_scaling",
+        scaling is not None and scaling >= floor,
+        f"{scaling}x vs floor {floor} ({cpus} cpus)",
+    )
+
+    p99 = metrics.get("day_in_the_life.read_p99_ns")
+    budget_ns = 250_000_000
+    ok &= gate(
+        "open_loop_read_p99",
+        p99 is not None and p99 <= budget_ns,
+        f"{p99} ns vs budget {budget_ns} ns",
+    )
+
+    report = {
+        "smoke": smoke,
+        "host_cpus": cpus,
+        "metrics": metrics,
+        "ratios": ratios,
+        "gates": gates,
+    }
+    out_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_pr8.json")
+    with open(os.path.abspath(out_path), "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {os.path.abspath(out_path)}")
+
+    if not ok and not smoke:
+        print("FAIL: at least one PR8 gate failed", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

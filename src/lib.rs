@@ -26,5 +26,6 @@ pub use courserank;
 pub use cr_datagen;
 pub use cr_flexrecs;
 pub use cr_relation;
+pub use cr_server;
 pub use cr_storage;
 pub use cr_textsearch;
