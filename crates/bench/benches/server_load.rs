@@ -334,7 +334,11 @@ fn zipf_request(rng: &mut StdRng, zipf: &Zipf, courses: &[i64], students: i64) -
         55..=69 => Request::Counts {
             tables: vec!["CommentVotes".to_owned(), "Comments".to_owned()],
         },
-        70..=79 => Request::Recommend { student, limit: 5 },
+        70..=79 => Request::Recommend {
+            student,
+            limit: 5,
+            basis: None,
+        },
         80..=84 => Request::PlanReport { student },
         85..=92 => Request::AddComment {
             student,

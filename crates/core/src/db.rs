@@ -197,6 +197,15 @@ impl CourseRankDb {
         for ddl in INDEX_SQL {
             db.execute_sql(ddl).expect("index DDL is valid");
         }
+        // Richer per-entry cache stats first: register_system_tables
+        // skips names that already exist, so this view wins over the
+        // generic counters-only cr_stat_cache.
+        db.catalog()
+            .register_scan_provider(
+                "cr_stat_cache",
+                std::sync::Arc::new(crate::cache::CacheStatsProvider),
+            )
+            .expect("cr_stat_cache never collides with the app schema");
         cr_relation::telemetry::register_system_tables(&db.catalog())
             .expect("system tables never collide with the app schema");
         CourseRankDb { db, storage: None }
@@ -229,7 +238,14 @@ impl CourseRankDb {
             }
         }
         // Virtual tables only — table_names() (and thus snapshots) never
-        // see them, so telemetry is queryable but never persisted.
+        // see them, so telemetry is queryable but never persisted. The
+        // per-entry cache view registers first (first name wins).
+        if !db.catalog().has_table("cr_stat_cache") {
+            db.catalog().register_scan_provider(
+                "cr_stat_cache",
+                std::sync::Arc::new(crate::cache::CacheStatsProvider),
+            )?;
+        }
         cr_relation::telemetry::register_system_tables(&db.catalog())?;
         Ok((
             CourseRankDb {
@@ -792,6 +808,35 @@ mod tests {
         ] {
             assert!(names.contains(&t.to_string()), "missing table {t}");
         }
+    }
+
+    #[test]
+    fn cr_stat_cache_reports_per_entry_survival() {
+        struct Fixed;
+        impl crate::cache::CacheStats for Fixed {
+            fn entry_stats(&self) -> Vec<(String, usize, usize, u64, u64)> {
+                vec![("k1".into(), 2, 1, 7, 3)]
+            }
+        }
+        let db = small_campus();
+        let fixed: std::sync::Arc<dyn crate::cache::CacheStats> = std::sync::Arc::new(Fixed);
+        crate::cache::register_cache("test.dbstat", std::sync::Arc::downgrade(&fixed));
+        let rs = db
+            .database()
+            .query_sql(
+                "SELECT entry, deps, keyed_deps, spared, delta_applied \
+                 FROM cr_stat_cache WHERE cache = 'test.dbstat'",
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        let expect = [
+            cr_relation::Value::text("k1"),
+            cr_relation::Value::Int(2),
+            cr_relation::Value::Int(1),
+            cr_relation::Value::Int(7),
+            cr_relation::Value::Int(3),
+        ];
+        assert_eq!(rs.rows[0], expect);
     }
 
     #[test]

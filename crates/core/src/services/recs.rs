@@ -15,15 +15,16 @@
 //!
 //! [`LogicalPlan`]: cr_relation::plan::LogicalPlan
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::{Arc, OnceLock};
 
 use cr_flexrecs::compile::{compile, compile_and_run};
 use cr_flexrecs::templates::{self, SchemaMap};
 use cr_flexrecs::{RecResult, Workflow};
+use cr_relation::plan::{deps, optimizer};
 use cr_relation::{RelError, RelResult, Value};
 
-use crate::cache::VersionedCache;
+use crate::cache::{register_cache, CacheStats, DepSpec, MutationKind, VersionedCache};
 use crate::db::{CourseRankDb, EnrollStatus};
 use crate::model::{CourseId, StudentId};
 use crate::obs::SvcMetrics;
@@ -37,6 +38,10 @@ fn metrics() -> &'static SvcMetrics {
 /// deliberately absent: it is derived from Enrollments and rebuilt by the
 /// computation itself, so tracking Enrollments covers it.
 const REC_DEPS: &[&str] = &["Comments", "Enrollments", "Courses", "Students"];
+
+/// Tables the plan-level dependency extractor must ignore: derived
+/// relations rebuilt by the computation itself (see [`REC_DEPS`]).
+const DERIVED_TABLES: &[&str] = &["gradepoints"];
 
 /// Major recommendations additionally join through Departments.
 const MAJOR_DEPS: &[&str] = &[
@@ -100,6 +105,125 @@ pub struct CourseRec {
     pub score: f64,
 }
 
+/// Materialized state behind one transcript-similarity (CoursesTaken)
+/// recommendation: everything [`CtState::recs`] needs to re-rank without
+/// touching the catalog, so a one-comment delta can be folded in by the
+/// cache observer while the writer still holds the table lock.
+///
+/// The per-course sums are folded over Comments in row-id order; a
+/// delta-applied insert appends to that fold (row ids are assigned
+/// monotonically and never reused), so maintained aggregates are
+/// bit-identical to a cold recompute.
+#[derive(Debug, Clone, PartialEq)]
+struct CtState {
+    /// Transcript-similar students (the aggregate's key gate).
+    neighbors: BTreeSet<StudentId>,
+    /// Per course: (rating sum, rating count) over neighbor comments.
+    agg: BTreeMap<CourseId, (f64, u64)>,
+    /// Courses the requesting student already took.
+    taken: BTreeSet<CourseId>,
+    /// Every course title — prefetched so a delta about a course the
+    /// neighbors had not rated yet stays maintainable.
+    titles: BTreeMap<CourseId, String>,
+    k_courses: usize,
+    exclude_taken: bool,
+}
+
+impl CtState {
+    /// Rank from the aggregates: mean rating descending, course id as
+    /// the total tie-break.
+    fn recs(&self) -> Vec<CourseRec> {
+        let mut ranked: Vec<(CourseId, f64)> = self
+            .agg
+            .iter()
+            .filter(|(_, (_, n))| *n > 0)
+            .map(|(c, (sum, n))| (*c, sum / *n as f64))
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        let mut out = Vec::with_capacity(self.k_courses);
+        for (course, score) in ranked {
+            if self.exclude_taken && self.taken.contains(&course) {
+                continue;
+            }
+            out.push(CourseRec {
+                course,
+                title: self.titles.get(&course).cloned().unwrap_or_default(),
+                score,
+            });
+            if out.len() >= self.k_courses {
+                break;
+            }
+        }
+        out
+    }
+
+    /// The dependency footprint of this state. The Comments dependency
+    /// is the load-bearing one: keyed to the neighbor set and to the
+    /// three columns the aggregate reads, it lets the observer spare the
+    /// entry for every comment by a non-neighbor — the common case in a
+    /// write storm.
+    fn dep_specs(&self) -> Vec<DepSpec> {
+        vec![
+            DepSpec::table("Comments")
+                .with_columns(["suid", "courseid", "rating"])
+                .with_key("SuID", self.neighbors.iter().map(|s| Value::Int(*s))),
+            // Neighbor similarity reads every transcript; the taken set
+            // reads the student's own. Whole-table is the sound cover.
+            DepSpec::table("Enrollments"),
+            DepSpec::table("Courses").with_columns(["courseid", "title"]),
+            DepSpec::table("Students"),
+        ]
+    }
+}
+
+/// `Rating` as the aggregate reads it: float or int accepted, NULL (and
+/// anything else) contributes nothing. One helper shared by the cold
+/// fold and the delta fold so the two can never disagree.
+fn rating_of(v: &Value) -> Option<f64> {
+    match v {
+        Value::Float(f) => Some(*f),
+        Value::Int(i) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+/// The incremental-maintenance hook for [`CtState`]: fold a single
+/// neighbor comment INSERT into the aggregates. Anything else (updates,
+/// deletes, other tables) returns `None` → the entry drops and the next
+/// lookup recomputes. Pure over its inputs — it runs under the table
+/// write lock and must not call back into the catalog.
+fn ct_delta(state: &Arc<CtState>, event: &crate::cache::MutationEvent<'_>) -> Option<Arc<CtState>> {
+    if !event.table.eq_ignore_ascii_case("Comments") || event.kind != MutationKind::Insert {
+        return None;
+    }
+    let row = event.row?;
+    let col = |name: &str| {
+        event
+            .schema
+            .columns()
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    };
+    let suid = row.get(col("SuID")?)?.as_int().ok()?;
+    if !state.neighbors.contains(&suid) {
+        // The key gate normally spares these before the delta fn runs;
+        // answering conservatively keeps the hook correct on its own.
+        return None;
+    }
+    let course = row.get(col("CourseID")?)?.as_int().ok()?;
+    let mut next = (**state).clone();
+    if let Some(r) = rating_of(row.get(col("Rating")?)?) {
+        let slot = next.agg.entry(course).or_insert((0.0, 0));
+        slot.0 += r;
+        slot.1 += 1;
+    }
+    Some(Arc::new(next))
+}
+
 /// The recommendation service.
 #[derive(Debug, Clone)]
 pub struct Recommender {
@@ -109,30 +233,72 @@ pub struct Recommender {
     /// clones. See [`crate::cache`] for the invalidation rule.
     course_cache: Arc<VersionedCache<Vec<CourseRec>>>,
     major_cache: Arc<VersionedCache<Vec<(String, f64)>>>,
+    /// Transcript-similarity recommendations keep their full aggregate
+    /// state cached so the mutation observer can delta-maintain it.
+    ct_cache: Arc<VersionedCache<Arc<CtState>>>,
 }
 
 impl Recommender {
     pub fn new(db: CourseRankDb) -> Self {
+        let course_cache: Arc<VersionedCache<Vec<CourseRec>>> = Arc::new(VersionedCache::default());
+        let major_cache: Arc<VersionedCache<Vec<(String, f64)>>> =
+            Arc::new(VersionedCache::default());
+        let ct_cache: Arc<VersionedCache<Arc<CtState>>> = Arc::new(VersionedCache::default());
+        ct_cache.set_delta_fn(Arc::new(|_key, state, event| ct_delta(state, event)));
+        // Fan every cache into the catalog's mutation stream (next to
+        // the WAL observer on durable databases) so deltas advance or
+        // drop entries eagerly instead of rotting until lookup.
+        let catalog = db.catalog();
+        VersionedCache::subscribe(&course_cache, &catalog);
+        VersionedCache::subscribe(&major_cache, &catalog);
+        VersionedCache::subscribe(&ct_cache, &catalog);
+        for (name, stats) in [
+            (
+                "recs.courses",
+                Arc::clone(&course_cache) as Arc<dyn CacheStats>,
+            ),
+            (
+                "recs.majors",
+                Arc::clone(&major_cache) as Arc<dyn CacheStats>,
+            ),
+            (
+                "recs.courses_taken",
+                Arc::clone(&ct_cache) as Arc<dyn CacheStats>,
+            ),
+        ] {
+            register_cache(name, Arc::downgrade(&stats));
+        }
         Recommender {
             db,
             map: SchemaMap::default(),
-            course_cache: Arc::new(VersionedCache::default()),
-            major_cache: Arc::new(VersionedCache::default()),
+            course_cache,
+            major_cache,
+            ct_cache,
         }
     }
 
     /// The same service over another database handle (snapshot read
-    /// views). Both versioned caches are *shared* with the live service:
-    /// keys are table-version vectors, so a snapshot request hits the
-    /// same entry a live request at those versions would, and entries
-    /// warmed by snapshots serve later live traffic.
+    /// views). All versioned caches are *shared* with the live service:
+    /// entries are stamped with table versions, so a snapshot request
+    /// hits the same entry a live request at those versions would, and
+    /// entries warmed by snapshots serve later live traffic.
     pub(crate) fn rebind(&self, db: CourseRankDb) -> Self {
         Recommender {
             db,
             map: self.map.clone(),
             course_cache: Arc::clone(&self.course_cache),
             major_cache: Arc::clone(&self.major_cache),
+            ct_cache: Arc::clone(&self.ct_cache),
         }
+    }
+
+    /// Per-entry survival stats of the transcript-similarity cache —
+    /// `(key, deps, keyed deps, spared, delta_applied)` rows, the same
+    /// shape `cr_stat_cache` reports. Lets harnesses assert maintenance
+    /// behavior (spared vs delta vs dropped) without reaching into
+    /// private cache state.
+    pub fn ct_entry_stats(&self) -> Vec<(String, usize, usize, u64, u64)> {
+        self.ct_cache.entry_stats()
     }
 
     /// The workflow a set of options denotes (visible to the admin UI —
@@ -157,7 +323,11 @@ impl Recommender {
             ),
             (SimilarityBasis::CoursesTaken, _) => {
                 // Transcript-similarity neighborhood, then rating lookup.
-                templates::similar_students_by_courses(&self.map, student, opts.k_students)
+                templates::similar_students_by_courses(
+                    &self.transcript_map(),
+                    student,
+                    opts.k_students,
+                )
             }
             (SimilarityBasis::Grades, weighted) => {
                 // Same Figure 5(b) shape over the derived GradePoints
@@ -183,6 +353,19 @@ impl Recommender {
                     )
                 }
             }
+        }
+    }
+
+    /// The schema map pointing the transcript-similarity template at
+    /// Enrollments: "similar transcripts" means set overlap of courses
+    /// *enrolled in*, not courses rated. This is also what makes the CT
+    /// cache's key-gated Comments dependency sound — the neighbor set is
+    /// a function of Enrollments and Students only, so no comment can
+    /// ever move a student into or out of a cached neighborhood.
+    fn transcript_map(&self) -> SchemaMap {
+        SchemaMap {
+            ratings_table: "Enrollments".into(),
+            ..self.map.clone()
         }
     }
 
@@ -240,20 +423,154 @@ impl Recommender {
 
     /// Recommend courses for a student. Results are cached by the compiled
     /// plan's fingerprint (which captures the strategy, student, and every
-    /// workflow-level option) plus the post-processing knobs, and served
-    /// until any base table the computation reads is mutated.
+    /// workflow-level option) plus the post-processing knobs. Entries carry
+    /// a refined dependency footprint (tables → columns → key ranges)
+    /// extracted from the optimized plan, so only mutations that actually
+    /// intersect the computation invalidate them; the transcript-similarity
+    /// basis additionally delta-maintains its aggregate state in place.
     pub fn recommend_courses(
         &self,
         student: StudentId,
         opts: &RecOptions,
     ) -> RelResult<Vec<CourseRec>> {
         metrics().observe(|| {
+            if opts.basis == SimilarityBasis::CoursesTaken {
+                return self.recommend_courses_ct(student, opts);
+            }
             let key = self.course_cache_key(student, opts)?;
             self.course_cache
-                .get_or_compute(&self.db.catalog(), &key, REC_DEPS, || {
-                    self.recommend_courses_inner(student, opts)
+                .get_or_compute_refined(&self.db.catalog(), &key, REC_DEPS, || {
+                    let recs = self.recommend_courses_inner(student, opts)?;
+                    let specs = self.course_dep_specs(student, opts)?;
+                    Ok((recs, specs))
                 })
         })
+    }
+
+    /// Transcript-similarity (CoursesTaken) recommendations, served from
+    /// the delta-maintained [`CtState`] cache. Under `oracle-checks` (and
+    /// in tests) every served state is re-derived cold and asserted
+    /// identical — the differential proof that incremental maintenance
+    /// never drifts.
+    fn recommend_courses_ct(
+        &self,
+        student: StudentId,
+        opts: &RecOptions,
+    ) -> RelResult<Vec<CourseRec>> {
+        let key = format!(
+            "ct|{student}|{}|{}|{}",
+            opts.k_students, opts.k_courses, opts.exclude_taken
+        );
+        let state =
+            self.ct_cache
+                .get_or_compute_refined(&self.db.catalog(), &key, REC_DEPS, || {
+                    let state = self.compute_ct_state(student, opts)?;
+                    let specs = state.dep_specs();
+                    Ok((Arc::new(state), specs))
+                })?;
+        #[cfg(any(test, feature = "oracle-checks"))]
+        {
+            let cold = self.compute_ct_state(student, opts)?;
+            assert_eq!(
+                *state, cold,
+                "delta-maintained CT state diverged from cold recompute"
+            );
+        }
+        Ok(state.recs())
+    }
+
+    /// Cold (full) computation of the transcript-similarity state: the
+    /// neighbor set from the workflow engine, then one fold over Comments
+    /// in row order. The delta path appends to that fold (new rows get
+    /// the next row id), so the two stay bit-identical.
+    fn compute_ct_state(&self, student: StudentId, opts: &RecOptions) -> RelResult<CtState> {
+        let wf = templates::similar_students_by_courses(
+            &self.transcript_map(),
+            student,
+            opts.k_students,
+        );
+        let neighbors: BTreeSet<StudentId> = self
+            .run_workflow(&wf)?
+            .ranking("SuID", "sim")?
+            .into_iter()
+            .map(|(v, _)| v.as_int())
+            .collect::<RelResult<_>>()?;
+        let mut agg: BTreeMap<CourseId, (f64, u64)> = BTreeMap::new();
+        let rs = self
+            .db
+            .database()
+            .query_sql("SELECT SuID, CourseID, Rating FROM Comments")?;
+        for r in &rs.rows {
+            let Ok(suid) = r[0].as_int() else { continue };
+            if !neighbors.contains(&suid) {
+                continue;
+            }
+            let Ok(course) = r[1].as_int() else { continue };
+            if let Some(rating) = rating_of(&r[2]) {
+                let slot = agg.entry(course).or_insert((0.0, 0));
+                slot.0 += rating;
+                slot.1 += 1;
+            }
+        }
+        let taken: BTreeSet<CourseId> = if opts.exclude_taken {
+            self.db
+                .enrollments_of(student)?
+                .into_iter()
+                .filter(|e| e.status == EnrollStatus::Taken)
+                .map(|e| e.course)
+                .collect()
+        } else {
+            BTreeSet::new()
+        };
+        let titles: BTreeMap<CourseId, String> = self
+            .db
+            .database()
+            .query_sql("SELECT CourseID, Title FROM Courses")?
+            .rows
+            .iter()
+            .filter_map(|r| Some((r[0].as_int().ok()?, r[1].as_text().ok()?.to_owned())))
+            .collect();
+        Ok(CtState {
+            neighbors,
+            agg,
+            taken,
+            titles,
+            k_courses: opts.k_courses,
+            exclude_taken: opts.exclude_taken,
+        })
+    }
+
+    /// The refined dependency footprint of a Ratings/Grades request: the
+    /// optimized plan's extracted deps (minus derived relations the
+    /// computation rebuilds itself) unioned with what the post-processing
+    /// reads outside the plan.
+    fn course_dep_specs(&self, student: StudentId, opts: &RecOptions) -> RelResult<Vec<DepSpec>> {
+        let wf = self.course_workflow(student, opts);
+        let mut specs = self.plan_dep_specs(&wf)?;
+        // Titles for the result page.
+        specs.push(DepSpec::table("Courses").with_columns(["courseid", "title"]));
+        if opts.exclude_taken {
+            specs.push(DepSpec::table("Enrollments"));
+        }
+        if opts.basis == SimilarityBasis::Grades {
+            // The plan scans GradePoints, which is rebuilt from
+            // Enrollments on every recompute — Enrollments is the true
+            // base dependency.
+            specs.push(DepSpec::table("Enrollments"));
+        }
+        Ok(DepSpec::merge(specs))
+    }
+
+    /// Lower a workflow to its optimized plan and extract the base-table
+    /// footprint, dropping derived relations (see [`DERIVED_TABLES`]).
+    fn plan_dep_specs(&self, wf: &Workflow) -> RelResult<Vec<DepSpec>> {
+        let catalog = self.db.catalog();
+        let plan = optimizer::optimize(compile(wf, &catalog)?);
+        let pd = deps::extract_in(&plan, Some(&catalog));
+        Ok(DepSpec::from_plan_deps(&pd)
+            .into_iter()
+            .filter(|s| !DERIVED_TABLES.contains(&s.table.as_str()))
+            .collect())
     }
 
     /// Cache key for a course-recommendation request: the fingerprint of
@@ -282,42 +599,11 @@ impl Recommender {
         if opts.basis == SimilarityBasis::Grades {
             self.ensure_grade_points()?;
         }
-        let ranking: Vec<(Value, f64)> = match opts.basis {
-            SimilarityBasis::Ratings | SimilarityBasis::Grades => {
-                let wf = self.course_workflow(student, opts);
-                let result = self.run_workflow(&wf)?;
-                result.ranking("CourseID", "score")?
-            }
-            SimilarityBasis::CoursesTaken => {
-                // Two-phase: transcript-similar students, then their top
-                // courses by rating (via SQL over the neighbor set).
-                let wf =
-                    templates::similar_students_by_courses(&self.map, student, opts.k_students);
-                let neighbors = self.run_workflow(&wf)?;
-                let ids: Vec<String> = neighbors
-                    .ranking("SuID", "sim")?
-                    .into_iter()
-                    .map(|(v, _)| v.to_string())
-                    .collect();
-                if ids.is_empty() {
-                    return Ok(Vec::new());
-                }
-                let sql = format!(
-                    "SELECT CourseID, AVG(Rating) AS score FROM Comments \
-                     WHERE SuID IN ({}) AND Rating IS NOT NULL \
-                     GROUP BY CourseID ORDER BY score DESC",
-                    ids.join(", ")
-                );
-                let rs = self.db.database().query_sql(&sql)?;
-                rs.rows
-                    .iter()
-                    .filter_map(|r| {
-                        let score = r[1].as_float().ok()?;
-                        Some((r[0].clone(), score))
-                    })
-                    .collect()
-            }
-        };
+        // CoursesTaken is served by `recommend_courses_ct` and never
+        // reaches here.
+        let wf = self.course_workflow(student, opts);
+        let result = self.run_workflow(&wf)?;
+        let ranking: Vec<(Value, f64)> = result.ranking("CourseID", "score")?;
 
         let taken: HashSet<CourseId> = if opts.exclude_taken {
             self.db
@@ -354,8 +640,11 @@ impl Recommender {
         metrics().observe(|| {
             let key = format!("related|{course}|{k}");
             self.course_cache
-                .get_or_compute(&self.db.catalog(), &key, REC_DEPS, || {
-                    self.related_courses_inner(course, k)
+                .get_or_compute_refined(&self.db.catalog(), &key, REC_DEPS, || {
+                    let recs = self.related_courses_inner(course, k)?;
+                    // The whole computation (title match + result page)
+                    // reads only Courses.
+                    Ok((recs, vec![DepSpec::table("Courses")]))
                 })
         })
     }
@@ -594,6 +883,52 @@ mod tests {
         };
         let recs = r.recommend_courses(444, &opts).unwrap();
         assert!(!recs.is_empty());
+    }
+
+    /// The write-storm story end to end: a comment outside the neighbor
+    /// set leaves the CT entry untouched (spared), a neighbor's comment
+    /// is folded in place (delta-applied), and the oracle assert inside
+    /// `recommend_courses_ct` checks every served state against a cold
+    /// recompute.
+    #[test]
+    fn ct_cache_spares_disjoint_comments_and_delta_applies_neighbor_ones() {
+        let db = campus_with_ratings();
+        let r = Recommender::new(db.clone());
+        let opts = RecOptions {
+            basis: SimilarityBasis::CoursesTaken,
+            min_common: 1,
+            ..RecOptions::default()
+        };
+        let first = r.recommend_courses(444, &opts).unwrap();
+        assert!(!first.is_empty());
+        let comment = |id, student, course, rating| Comment {
+            id,
+            student,
+            course,
+            quarter: Quarter::new(2008, Term::Autumn),
+            text: "storm".into(),
+            rating,
+            date: 0,
+        };
+        // Sally is not her own neighbor: her comment misses the key gate.
+        db.insert_comment(&comment(900, 444, 101, 5.0)).unwrap();
+        assert_eq!(r.recommend_courses(444, &opts).unwrap(), first);
+        let stats = r.ct_cache.entry_stats();
+        assert_eq!(stats.len(), 1, "{stats:?}");
+        assert!(stats[0].3 >= 1, "expected a spared delta: {stats:?}");
+        // Bob is a neighbor: his rating is folded into the cached state.
+        db.insert_comment(&comment(901, 2, 103, 1.0)).unwrap();
+        let after = r.recommend_courses(444, &opts).unwrap();
+        let stats = r.ct_cache.entry_stats();
+        assert!(stats[0].4 >= 1, "expected an applied delta: {stats:?}");
+        // 103's mean dropped ((4.5 + 3.0 + 1.0) / 3 vs (4.5 + 3.0) / 2).
+        let score_of = |recs: &[CourseRec]| {
+            recs.iter()
+                .find(|x| x.course == 103)
+                .map(|x| x.score)
+                .unwrap()
+        };
+        assert!(score_of(&after) < score_of(&first), "{after:?}");
     }
 
     #[test]

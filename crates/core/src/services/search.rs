@@ -6,15 +6,19 @@
 //! highest — the §3.1 ranking answer.
 
 use cr_relation::{RelResult, Value};
-use cr_textsearch::cloud::CloudConfig;
+use cr_textsearch::cloud::{aggregate_cloud, cloud_from_agg, CloudAgg, CloudConfig};
 use cr_textsearch::engine::{SearchEngine, SearchResults};
 use cr_textsearch::entity::{
     build_index, build_index_parallel, reindex_entity, EntitySpec, FieldSource,
 };
-use cr_textsearch::DataCloud;
+use cr_textsearch::{DataCloud, DocId};
 
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, OnceLock};
 
+use parking_lot::Mutex;
+
+use crate::cache::{register_cache, CacheStats};
 use crate::db::CourseRankDb;
 use crate::model::CourseId;
 use crate::obs::SvcMetrics;
@@ -22,6 +26,159 @@ use crate::obs::SvcMetrics;
 fn metrics() -> &'static SvcMetrics {
     static M: OnceLock<SvcMetrics> = OnceLock::new();
     M.get_or_init(|| SvcMetrics::new("search"))
+}
+
+struct CloudCacheMetrics {
+    hits: Arc<cr_obs::Counter>,
+    misses: Arc<cr_obs::Counter>,
+    invalidations: Arc<cr_obs::Counter>,
+    spared: Arc<cr_obs::Counter>,
+    delta_applied: Arc<cr_obs::Counter>,
+}
+
+fn cloud_metrics() -> &'static CloudCacheMetrics {
+    static M: OnceLock<CloudCacheMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = cr_obs::Registry::global();
+        CloudCacheMetrics {
+            hits: r.counter("courserank.cloudcache.hits"),
+            misses: r.counter("courserank.cloudcache.misses"),
+            invalidations: r.counter("courserank.cloudcache.invalidations"),
+            spared: r.counter("courserank.cloudcache.spared"),
+            delta_applied: r.counter("courserank.cloudcache.delta_applied"),
+        }
+    })
+}
+
+/// Bound on cached cloud aggregates (FIFO beyond this).
+const CLOUD_CACHE_CAPACITY: usize = 256;
+
+#[derive(Debug)]
+struct CloudEntry {
+    /// Entity ids of the (sampled) result docs the aggregates cover, in
+    /// result order. Doc ids are NOT stored — reindexing reassigns them;
+    /// entity ids are the stable identity.
+    ids: Vec<Value>,
+    agg: CloudAgg,
+    /// Corpus generation the aggregates are current at (see
+    /// [`CourseCloud::reindex_course`]).
+    generation: u64,
+    spared: u64,
+    delta_applied: u64,
+}
+
+/// Cache of data-cloud term aggregates, incrementally maintained across
+/// [`CourseCloud::reindex_course`] calls. Unlike [`crate::cache::VersionedCache`]
+/// its validity authority is not the catalog version vector but the
+/// search corpus: an entry serves when its *generation* matches the
+/// handle's corpus generation and the fresh (cheap) search returned the
+/// same result entities its aggregates cover. Scoring always reruns
+/// against current corpus statistics — only the O(docs × terms)
+/// aggregation is cached.
+#[derive(Debug, Default)]
+struct CloudCache {
+    entries: Mutex<(HashMap<String, CloudEntry>, VecDeque<String>)>,
+}
+
+impl CloudCache {
+    fn lookup(&self, key: &str, generation: u64, ids: &[Value]) -> Option<CloudAgg> {
+        let mut guard = self.entries.lock();
+        let entry = guard.0.get_mut(key)?;
+        (entry.generation == generation && entry.ids == ids).then(|| entry.agg.clone())
+    }
+
+    fn insert(&self, key: String, ids: Vec<Value>, agg: CloudAgg, generation: u64) {
+        let mut guard = self.entries.lock();
+        let (map, order) = &mut *guard;
+        if map
+            .insert(
+                key.clone(),
+                CloudEntry {
+                    ids,
+                    agg,
+                    generation,
+                    spared: 0,
+                    delta_applied: 0,
+                },
+            )
+            .is_none()
+        {
+            order.push_back(key);
+        }
+        while map.len() > CLOUD_CACHE_CAPACITY {
+            match order.pop_front() {
+                Some(oldest) => {
+                    map.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Fold one entity's reindex into every entry: entries whose result
+    /// set does not contain the entity advance for free (spared), member
+    /// entries absorb the term-frequency diff (delta-applied), anything
+    /// unmaintainable — stale generation, a vanished document, an
+    /// inconsistent shift — drops. Returns (spared, applied, dropped).
+    fn maintain(
+        &self,
+        entity: &Value,
+        gen_from: u64,
+        gen_to: u64,
+        old_tf: Option<&HashMap<String, u32>>,
+        new_tf: Option<&HashMap<String, u32>>,
+    ) -> (u64, u64, u64) {
+        let mut guard = self.entries.lock();
+        let (map, order) = &mut *guard;
+        let (mut spared, mut applied, mut dropped) = (0u64, 0u64, 0u64);
+        map.retain(|_, entry| {
+            if entry.generation != gen_from {
+                dropped += 1;
+                return false;
+            }
+            if !entry.ids.contains(entity) {
+                entry.generation = gen_to;
+                entry.spared += 1;
+                spared += 1;
+                return true;
+            }
+            if let (Some(old), Some(new)) = (old_tf, new_tf) {
+                if entry.agg.apply_reindex_delta(old, new) {
+                    entry.generation = gen_to;
+                    entry.delta_applied += 1;
+                    applied += 1;
+                    return true;
+                }
+            }
+            dropped += 1;
+            false
+        });
+        order.retain(|k| map.contains_key(k));
+        (spared, applied, dropped)
+    }
+}
+
+impl CacheStats for CloudCache {
+    /// (key, docs covered, docs covered, spared, delta_applied) — the
+    /// "deps" of a cloud entry are the result documents it aggregates.
+    fn entry_stats(&self) -> Vec<(String, usize, usize, u64, u64)> {
+        let guard = self.entries.lock();
+        let mut out: Vec<_> = guard
+            .0
+            .iter()
+            .map(|(k, e)| {
+                (
+                    k.clone(),
+                    e.ids.len(),
+                    e.ids.len(),
+                    e.spared,
+                    e.delta_applied,
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    }
 }
 
 /// The CourseRank course-entity definition.
@@ -90,6 +247,13 @@ pub struct CourseCloud {
     engine: Arc<SearchEngine>,
     spec: EntitySpec,
     cloud_config: CloudConfig,
+    /// Cached cloud aggregates, shared across rebinds so snapshot views
+    /// warm the same cache (their generation pins which entries serve).
+    cloud_cache: Arc<CloudCache>,
+    /// Monotonic corpus version of THIS handle. Bumped by
+    /// [`CourseCloud::reindex_course`]; cache entries only serve when
+    /// their generation matches.
+    generation: u64,
 }
 
 impl CourseCloud {
@@ -97,24 +261,28 @@ impl CourseCloud {
     pub fn build(db: CourseRankDb) -> RelResult<Self> {
         let spec = course_entity_spec();
         let corpus = build_index(&db.catalog(), &spec)?;
-        Ok(CourseCloud {
-            db,
-            engine: Arc::new(SearchEngine::new(corpus)),
-            spec,
-            cloud_config: CloudConfig::default(),
-        })
+        Ok(Self::assemble(db, SearchEngine::new(corpus), spec))
     }
 
     /// Build the index with parallel sharding (paper-scale corpora).
     pub fn build_parallel(db: CourseRankDb, threads: usize) -> RelResult<Self> {
         let spec = course_entity_spec();
         let corpus = build_index_parallel(&db.catalog(), &spec, threads)?;
-        Ok(CourseCloud {
+        Ok(Self::assemble(db, SearchEngine::new(corpus), spec))
+    }
+
+    fn assemble(db: CourseRankDb, engine: SearchEngine, spec: EntitySpec) -> Self {
+        let cloud_cache = Arc::new(CloudCache::default());
+        let as_stats: Arc<dyn CacheStats> = cloud_cache.clone();
+        register_cache("search.cloud", Arc::downgrade(&as_stats));
+        CourseCloud {
             db,
-            engine: Arc::new(SearchEngine::new(corpus)),
+            engine: Arc::new(engine),
             spec,
             cloud_config: CloudConfig::default(),
-        })
+            cloud_cache,
+            generation: 0,
+        }
     }
 
     /// The same service (sharing the built index) over another database
@@ -126,6 +294,8 @@ impl CourseCloud {
             engine: Arc::clone(&self.engine),
             spec: self.spec.clone(),
             cloud_config: self.cloud_config.clone(),
+            cloud_cache: Arc::clone(&self.cloud_cache),
+            generation: self.generation,
         }
     }
 
@@ -175,9 +345,68 @@ impl CourseCloud {
         Ok(hits)
     }
 
-    /// The cloud for a result set.
+    /// The cloud for a result set, served from incrementally maintained
+    /// aggregates when possible.
     pub fn cloud(&self, results: &SearchResults) -> DataCloud {
-        self.engine.cloud(results, &self.cloud_config)
+        self.cloud_cached(results)
+    }
+
+    /// Sampled result prefix the cloud aggregates over (mirrors the
+    /// `sample_top_k` rule inside `compute_cloud`).
+    fn sampled_docs<'a>(&self, results: &'a SearchResults) -> &'a [DocId] {
+        let docs = &results.matched_docs;
+        match self.cloud_config.sample_top_k {
+            Some(k) => &docs[..k.min(docs.len())],
+            None => docs,
+        }
+    }
+
+    fn cloud_cached(&self, results: &SearchResults) -> DataCloud {
+        let docs = self.sampled_docs(results);
+        if docs.is_empty() {
+            return self.engine.cloud(results, &self.cloud_config);
+        }
+        let corpus = self.engine.corpus();
+        let ids: Vec<Value> = docs
+            .iter()
+            .map(|d| corpus.doc_to_id[d.0 as usize].clone())
+            .collect();
+        let key = results.query.terms.join("\u{1f}");
+        if let Some(agg) = self.cloud_cache.lookup(&key, self.generation, &ids) {
+            if cr_obs::enabled() {
+                cloud_metrics().hits.add(1);
+            }
+            // Differential oracle: maintained aggregates must be exactly
+            // what a cold aggregation produces.
+            #[cfg(any(test, feature = "oracle-checks"))]
+            {
+                let cold =
+                    aggregate_cloud(&corpus.index, &results.matched_docs, &self.cloud_config);
+                assert_eq!(
+                    cold, agg,
+                    "cloud cache divergence for query {:?}",
+                    results.query.terms
+                );
+            }
+            return cloud_from_agg(
+                &corpus.index,
+                &agg,
+                &results.query.terms,
+                &self.cloud_config,
+            );
+        }
+        if cr_obs::enabled() {
+            cloud_metrics().misses.add(1);
+        }
+        let agg = aggregate_cloud(&corpus.index, &results.matched_docs, &self.cloud_config);
+        let cloud = cloud_from_agg(
+            &corpus.index,
+            &agg,
+            &results.query.terms,
+            &self.cloud_config,
+        );
+        self.cloud_cache.insert(key, ids, agg, self.generation);
+        cloud
     }
 
     /// The Figure 3 → Figure 4 loop in one call: search, compute the
@@ -194,7 +423,7 @@ impl CourseCloud {
                 q = q.refine(t);
             }
             let results = self.engine.search(&q, k);
-            let cloud = self.engine.cloud(&results, &self.cloud_config);
+            let cloud = self.cloud_cached(&results);
             let hits = self.enrich(&results)?;
             Ok((hits, results, cloud))
         })
@@ -203,13 +432,44 @@ impl CourseCloud {
     /// Reindex one course after new user content (a fresh comment).
     /// Copy-on-write: if a snapshot read view shares the engine, it keeps
     /// the old corpus and only this handle sees the new one.
+    ///
+    /// Cached cloud aggregates are incrementally maintained across the
+    /// reindex: entries whose result set does not include the course are
+    /// spared (they advance to the new generation untouched), member
+    /// entries absorb the term-frequency delta, and anything
+    /// unmaintainable is dropped.
     pub fn reindex_course(&mut self, course: CourseId) -> RelResult<bool> {
-        reindex_entity(
-            Arc::make_mut(&mut self.engine).corpus_mut(),
-            &self.db.catalog(),
-            &self.spec,
-            &Value::Int(course),
-        )
+        let entity = Value::Int(course);
+        let term_freqs_of = |corpus: &cr_textsearch::entity::EntityCorpus| {
+            corpus
+                .id_to_doc
+                .get(&entity)
+                .and_then(|d| corpus.index.doc(*d))
+                .map(|e| e.term_freqs.clone())
+        };
+        let engine = Arc::make_mut(&mut self.engine);
+        let old_tf = term_freqs_of(engine.corpus());
+        let changed = reindex_entity(engine.corpus_mut(), &self.db.catalog(), &self.spec, &entity)?;
+        if !changed {
+            return Ok(false);
+        }
+        let gen_from = self.generation;
+        self.generation += 1;
+        let new_tf = term_freqs_of(engine.corpus());
+        let (spared, applied, dropped) = self.cloud_cache.maintain(
+            &entity,
+            gen_from,
+            self.generation,
+            old_tf.as_ref(),
+            new_tf.as_ref(),
+        );
+        if cr_obs::enabled() {
+            let m = cloud_metrics();
+            m.spared.add(spared);
+            m.delta_applied.add(applied);
+            m.invalidations.add(dropped);
+        }
+        Ok(true)
     }
 }
 
@@ -293,6 +553,55 @@ mod tests {
         let (a, _) = seq.search("programming", 10).unwrap();
         let (b, _) = par.search("programming", 10).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cloud_cache_spares_nonmember_reindex_and_deltas_member() {
+        let mut c = cloud();
+        // Warm the cache: "castles" matches only course 201.
+        let (_, r, _) = c.search_with_cloud("castles", None, 10).unwrap();
+        assert_eq!(r.total, 1);
+        assert_eq!(c.cloud_cache.entry_stats().len(), 1);
+
+        // Write storm on a course OUTSIDE the result set: the cached
+        // aggregates advance untouched.
+        c.db.insert_comment(&Comment {
+            id: 97,
+            student: 444,
+            course: 103,
+            quarter: Quarter::new(2009, Term::Spring),
+            text: "kernel hacking until sunrise".into(),
+            rating: 4.0,
+            date: 0,
+        })
+        .unwrap();
+        assert!(c.reindex_course(103).unwrap());
+        let stats = c.cloud_cache.entry_stats();
+        assert!(stats[0].3 >= 1, "expected spared entry: {stats:?}");
+        // Warm hit; the in-test oracle inside cloud_cached asserts the
+        // served aggregates match a cold aggregation bit for bit.
+        let (_, r, _) = c.search_with_cloud("castles", None, 10).unwrap();
+        assert_eq!(r.total, 1);
+
+        // A comment ON the member course: the entry absorbs the
+        // term-frequency delta instead of dropping.
+        c.db.insert_comment(&Comment {
+            id: 98,
+            student: 2,
+            course: 201,
+            quarter: Quarter::new(2009, Term::Spring),
+            text: "the castles lectures cover cathedrals too".into(),
+            rating: 5.0,
+            date: 0,
+        })
+        .unwrap();
+        assert!(c.reindex_course(201).unwrap());
+        let stats = c.cloud_cache.entry_stats();
+        assert!(stats[0].4 >= 1, "expected delta-applied entry: {stats:?}");
+        // Served-from-delta cloud still passes the oracle.
+        let (_, r, cloud) = c.search_with_cloud("castles", None, 10).unwrap();
+        assert_eq!(r.total, 1);
+        assert!(cloud.docs_aggregated >= 1);
     }
 
     #[test]

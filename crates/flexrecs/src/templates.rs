@@ -231,8 +231,11 @@ pub fn user_cf_weighted(
 }
 
 /// "People with similar *transcripts*": student similarity by Jaccard on
-/// the set of courses taken — the "based on what similar students have
-/// done" option, independent of rating values.
+/// each student's course set — the "based on what similar students have
+/// done" option, independent of rating values. The course set comes from
+/// the map's activity table (CourseRank remaps it onto Enrollments here,
+/// so the sets really are courses taken; under the default map they are
+/// the courses a student has commented on).
 pub fn similar_students_by_courses(map: &SchemaMap, student_id: i64, k: usize) -> Workflow {
     Workflow::new(
         "similar-students",

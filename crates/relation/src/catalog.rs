@@ -30,7 +30,7 @@ use crate::error::{RelError, RelResult};
 use crate::exec::{self, ResultSet};
 use crate::expr::Expr;
 use crate::index::IndexKind;
-use crate::mutation::{MutationObserver, ObserverSlot};
+use crate::mutation::{CompositeObserver, MutationObserver, ObserverSlot};
 use crate::plan::{self, optimizer, LogicalPlan};
 use crate::provider::ScanProvider;
 use crate::row::{Row, RowId};
@@ -101,6 +101,30 @@ impl Catalog {
     /// every successful row mutation are reported to it.
     pub fn set_observer(&self, observer: Arc<dyn MutationObserver>) {
         *self.observer.write() = ObserverSlot(Some(observer.clone()));
+        self.propagate_observer(observer);
+    }
+
+    /// Add a [`MutationObserver`] *alongside* any already attached one
+    /// (fan-out via [`CompositeObserver`], earlier observers notified
+    /// first). Storage attaches its WAL writer with
+    /// [`Catalog::set_observer`] before services subscribe caches here,
+    /// so durability always sees a mutation before any cache reacts.
+    pub fn add_observer(&self, observer: Arc<dyn MutationObserver>) {
+        let composed: Arc<dyn MutationObserver> = {
+            let mut slot = self.observer.write();
+            let composed: Arc<dyn MutationObserver> = match slot.get() {
+                Some(existing) => {
+                    Arc::new(CompositeObserver::new(vec![Arc::clone(existing), observer]))
+                }
+                None => observer,
+            };
+            *slot = ObserverSlot(Some(Arc::clone(&composed)));
+            composed
+        };
+        self.propagate_observer(composed);
+    }
+
+    fn propagate_observer(&self, observer: Arc<dyn MutationObserver>) {
         let _commit = self.publish.read();
         for cell in self.inner.read().values() {
             let mut image = cell.write();

@@ -70,7 +70,7 @@ pub use exec::{
     ExecOptions, ResultSet,
 };
 pub use expr::Expr;
-pub use mutation::{Mutation, MutationObserver};
+pub use mutation::{CompositeObserver, Mutation, MutationObserver};
 pub use plan::{LogicalPlan, PlanBuilder};
 pub use profile::OpProfile;
 pub use provider::ScanProvider;

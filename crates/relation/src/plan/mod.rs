@@ -7,12 +7,14 @@
 //! executed by [`crate::exec`].
 
 mod builder;
+pub mod deps;
 mod logical;
 pub mod optimizer;
 pub mod rec;
 pub mod validate;
 
 pub use builder::{infer_expr_type, PlanBuilder};
+pub use deps::{ColumnSet, KeySet, PlanDeps, TableDeps};
 pub use logical::{AggExpr, AggFn, JoinKind, LogicalPlan, SortKey};
 pub use rec::{RecAggPlan, RecMethod, RecSpec};
 pub use validate::{analyze, provenance, Diagnostic, Severity, ValidationReport};

@@ -122,7 +122,7 @@ impl Table {
     #[inline]
     fn emit(&self, mutation: &Mutation<'_>) {
         if let Some(obs) = self.observer.get() {
-            obs.on_mutation(&self.name, mutation);
+            obs.on_mutation(&self.name, &self.schema, mutation);
         }
     }
 
@@ -204,7 +204,11 @@ impl Table {
         self.version += 1;
         if self.observer.get().is_some() {
             let row = self.rows[rid.0 as usize].as_ref().expect("just inserted");
-            self.emit(&Mutation::Insert { rid, row });
+            self.emit(&Mutation::Insert {
+                rid,
+                row,
+                version: self.version,
+            });
         }
         Ok(rid)
     }
@@ -242,7 +246,11 @@ impl Table {
         }
         self.live -= 1;
         self.version += 1;
-        self.emit(&Mutation::Delete { rid });
+        self.emit(&Mutation::Delete {
+            rid,
+            row: &row,
+            version: self.version,
+        });
         true
     }
 
@@ -277,7 +285,12 @@ impl Table {
         self.version += 1;
         if self.observer.get().is_some() {
             let row = self.rows[rid.0 as usize].as_ref().expect("just updated");
-            self.emit(&Mutation::Update { rid, row });
+            self.emit(&Mutation::Update {
+                rid,
+                row,
+                old_row: &old_row,
+                version: self.version,
+            });
         }
         Ok(())
     }

@@ -13,8 +13,14 @@
 //! | `cr_stat_histograms`   | histogram (count/sum/min/max/mean/p50/95/99) |
 //! | `cr_stat_traces`       | span in the flight recorder                  |
 //! | `cr_stat_slow_queries` | captured slow request                        |
-//! | `cr_stat_cache`        | `courserank.reccache.*` counter              |
+//! | `cr_stat_cache`        | `courserank.reccache.*` counter (fallback)   |
 //! | `cr_stat_storage`      | `storage.*` metric (histograms expanded)     |
+//!
+//! `cr_stat_cache` here is the generic fallback view. Registration is
+//! first-wins (see [`register_system_tables`]), and `cr-core` registers
+//! a richer per-entry provider under the same name *before* calling
+//! this — one row per live cache entry with its dependency footprint
+//! and survival counters (spared / delta-applied).
 //!
 //! Values are snapshots at scan time; the catalog reports an
 //! always-fresh version for them, so nothing downstream caches

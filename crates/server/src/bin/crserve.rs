@@ -137,12 +137,70 @@ fn smoke(server: &Arc<Server>) -> Result<(), String> {
             }
             other => return Err(format!("counts: unexpected {other:?}")),
         }
+        // Warm the transcript-similarity recommendation cache: its
+        // Comments dependency is key-gated on the student's neighbors,
+        // so the comment below (by the requesting student, never their
+        // own neighbor) must be SPARED, not invalidated.
+        match c
+            .recommend_with_basis(1, 5, "taken")
+            .map_err(|e| e.to_string())?
+        {
+            Response::Recommendations { recs } => {
+                eprintln!("crserve-smoke: recommend ok ({} recs)", recs.len())
+            }
+            other => return Err(format!("recommend: unexpected {other:?}")),
+        }
         match c
             .add_comment(1, 1, 2009, "Aut", "smoke-test comment", 4.0)
             .map_err(|e| e.to_string())?
         {
             Response::CommentAdded { id } => eprintln!("crserve-smoke: write ok (comment {id})"),
             other => return Err(format!("add_comment: unexpected {other:?}")),
+        }
+        match c
+            .recommend_with_basis(1, 5, "taken")
+            .map_err(|e| e.to_string())?
+        {
+            Response::Recommendations { .. } => {}
+            other => return Err(format!("recommend (warm): unexpected {other:?}")),
+        }
+        match c
+            .sql(
+                "SELECT value FROM cr_stat_counters \
+                 WHERE name = 'courserank.reccache.spared'",
+            )
+            .map_err(|e| e.to_string())?
+        {
+            Response::Rows { rows, .. } => {
+                let spared = rows
+                    .first()
+                    .and_then(|r| r.first())
+                    .and_then(|v| v.as_int().ok())
+                    .unwrap_or(0);
+                if spared <= 0 {
+                    return Err(format!(
+                        "expected a spared (push-advanced) cache entry after the \
+                         disjoint write, got counter {spared}"
+                    ));
+                }
+                eprintln!("crserve-smoke: cache survival ok ({spared} spared)");
+            }
+            other => return Err(format!("cr_stat_counters: unexpected {other:?}")),
+        }
+        match c
+            .sql("SELECT cache, entry, deps, spared FROM cr_stat_cache WHERE spared > 0")
+            .map_err(|e| e.to_string())?
+        {
+            Response::Rows { rows, .. } => {
+                if rows.is_empty() {
+                    return Err("cr_stat_cache: no entry with spared > 0".to_owned());
+                }
+                eprintln!(
+                    "crserve-smoke: cr_stat_cache ok ({} surviving rows)",
+                    rows.len()
+                );
+            }
+            other => return Err(format!("cr_stat_cache: unexpected {other:?}")),
         }
         match c
             .sql("SELECT Class, Admitted FROM cr_stat_admission")

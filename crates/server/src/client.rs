@@ -69,7 +69,26 @@ impl<C: Read + Write> Client<C> {
     }
 
     pub fn recommend(&mut self, student: i64, limit: u32) -> io::Result<Response> {
-        self.call(&Request::Recommend { student, limit })
+        self.call(&Request::Recommend {
+            student,
+            limit,
+            basis: None,
+        })
+    }
+
+    /// Recommendations over an explicit similarity basis
+    /// (`"ratings"` / `"taken"` / `"grades"`).
+    pub fn recommend_with_basis(
+        &mut self,
+        student: i64,
+        limit: u32,
+        basis: &str,
+    ) -> io::Result<Response> {
+        self.call(&Request::Recommend {
+            student,
+            limit,
+            basis: Some(basis.to_owned()),
+        })
     }
 
     pub fn counts(&mut self, tables: &[&str]) -> io::Result<Response> {

@@ -20,7 +20,8 @@ use std::io::{self, Read, Write};
 use serde::{Deserialize, Serialize};
 
 /// Protocol revision spoken by this build. Bumped on any wire change.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// v2: `Recommend` gained an optional `basis` field.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on a single frame body; anything larger is a protocol
 /// error (protects the server from a bad length prefix).
@@ -76,8 +77,15 @@ pub enum Request {
     },
     /// The rendered course-descriptor page (Figure 1, left).
     CoursePage { course: i64 },
-    /// FlexRecs course recommendations for a student.
-    Recommend { student: i64, limit: u32 },
+    /// FlexRecs course recommendations for a student. `basis` picks the
+    /// similarity basis (`None`/`"ratings"` default, `"taken"`,
+    /// `"grades"`) — a protocol-2 addition; the handshake version gate
+    /// rejects older clients before it can matter mid-stream.
+    Recommend {
+        student: i64,
+        limit: u32,
+        basis: Option<String>,
+    },
     /// The planner report for a student's saved plan.
     PlanReport { student: i64 },
     /// Row counts of `tables`, read *in the given order* against one

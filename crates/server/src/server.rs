@@ -92,6 +92,12 @@ struct ServerMetrics {
     shed: Arc<cr_obs::Counter>,
     sessions_active: Arc<cr_obs::Gauge>,
     latency: [Arc<cr_obs::Histogram>; 3],
+    /// Shared read view republished (vs served from cache).
+    republished: Arc<cr_obs::Counter>,
+    /// Writes folded into one republication — the delta batch a cut
+    /// absorbs. Large values mean a write storm was amortized into a
+    /// single copy-on-write wave instead of one per read.
+    republish_batch: Arc<cr_obs::Histogram>,
 }
 
 impl ServerMetrics {
@@ -107,6 +113,8 @@ impl ServerMetrics {
                 reg.histogram("server.write.request_ns"),
                 reg.histogram("server.admin.request_ns"),
             ],
+            republished: reg.counter("server.snapshot.republished"),
+            republish_batch: reg.histogram("server.snapshot.delta_batch"),
         }
     }
 }
@@ -349,6 +357,11 @@ impl Server {
         // Load the sequence *before* cutting: the cut then includes at
         // least everything up to that sequence, never less.
         let as_of_seq = self.write_seq.load(Ordering::Acquire);
+        if cr_obs::enabled() {
+            self.metrics.republished.inc();
+            let folded = as_of_seq.saturating_sub(cache.as_ref().map_or(0, |c| c.as_of_seq));
+            self.metrics.republish_batch.record(folded);
+        }
         let (view, cut) = self.app.read_view();
         let fresh = Arc::new(CachedView {
             view,
@@ -431,8 +444,25 @@ impl Server {
                 Ok(text) => Response::Page { text },
                 Err(e) => error_response(&e),
             },
-            Request::Recommend { student, limit } => {
+            Request::Recommend {
+                student,
+                limit,
+                basis,
+            } => {
+                use courserank::services::recs::SimilarityBasis;
+                let basis = match basis.as_deref() {
+                    None | Some("ratings") => SimilarityBasis::Ratings,
+                    Some("taken") => SimilarityBasis::CoursesTaken,
+                    Some("grades") => SimilarityBasis::Grades,
+                    Some(other) => {
+                        return Response::Error {
+                            code: ErrorCode::BadRequest,
+                            message: format!("unknown basis {other:?} (ratings|taken|grades)"),
+                        }
+                    }
+                };
                 let opts = courserank::services::recs::RecOptions {
+                    basis,
                     k_courses: (*limit).clamp(1, 100) as usize,
                     ..Default::default()
                 };

@@ -378,21 +378,25 @@ impl Storage {
 }
 
 impl MutationObserver for Storage {
-    fn on_mutation(&self, table: &str, mutation: &Mutation<'_>) {
+    fn on_mutation(&self, table: &str, _schema: &Schema, mutation: &Mutation<'_>) {
         let rec = match mutation {
-            Mutation::Insert { rid, row } => WalRecord::Insert {
+            Mutation::Insert { rid, row, .. } => WalRecord::Insert {
                 table: table.to_owned(),
                 rid: rid.0,
                 row: (*row).clone(),
             },
-            Mutation::Update { rid, row } => WalRecord::Update {
+            Mutation::Update {
+                rid, row, old_row, ..
+            } => WalRecord::Update {
                 table: table.to_owned(),
                 rid: rid.0,
                 row: (*row).clone(),
+                old: Some((*old_row).clone()),
             },
-            Mutation::Delete { rid } => WalRecord::Delete {
+            Mutation::Delete { rid, row, .. } => WalRecord::Delete {
                 table: table.to_owned(),
                 rid: rid.0,
+                old: Some((*row).clone()),
             },
             Mutation::CreateIndex {
                 name,
@@ -462,10 +466,10 @@ fn apply_record(catalog: &Catalog, rec: WalRecord) -> StorageResult<bool> {
         WalRecord::Insert { table, rid, row } => {
             apply_dml(catalog, &table, |t| t.replay_insert(RowId(rid), row))
         }
-        WalRecord::Update { table, rid, row } => {
-            apply_dml(catalog, &table, |t| t.replay_update(RowId(rid), row))
-        }
-        WalRecord::Delete { table, rid } => apply_dml(catalog, &table, |t| {
+        WalRecord::Update {
+            table, rid, row, ..
+        } => apply_dml(catalog, &table, |t| t.replay_update(RowId(rid), row)),
+        WalRecord::Delete { table, rid, .. } => apply_dml(catalog, &table, |t| {
             t.replay_delete(RowId(rid));
             Ok(())
         }),

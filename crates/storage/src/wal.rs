@@ -63,10 +63,20 @@ const OP_DELETE: u8 = 3;
 const OP_CREATE_TABLE: u8 = 4;
 const OP_CREATE_INDEX: u8 = 5;
 const OP_DROP_TABLE: u8 = 6;
+// v2 records: updates/deletes that also carry the pre-mutation row image
+// (what delta-driven cache maintenance tests mutations against). Old
+// logs with tags 2/3 still decode — the old image is simply absent.
+const OP_UPDATE_V2: u8 = 7;
+const OP_DELETE_V2: u8 = 8;
 
 /// One logical WAL record. Row-bearing records carry redo images; DDL is
 /// logged too so a store that never reached its first snapshot still
-/// recovers (the schema itself replays).
+/// recovers (the schema itself replays). Updates and deletes may carry
+/// the pre-mutation image (`old`); replay ignores it (redo only), but it
+/// keeps the on-disk log rich enough to rebuild delta-maintained caches.
+/// Encoding is versioned: `old: Some` uses the v2 tags, `old: None`
+/// encodes byte-identically to the v1 format, and v1 logs decode with
+/// `old: None` — decode is fully backward compatible.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WalRecord {
     Insert {
@@ -78,10 +88,14 @@ pub enum WalRecord {
         table: String,
         rid: u64,
         row: Row,
+        /// Pre-update image (None when decoded from a v1 log).
+        old: Option<Row>,
     },
     Delete {
         table: String,
         rid: u64,
+        /// Deleted row image (None when decoded from a v1 log).
+        old: Option<Row>,
     },
     CreateTable {
         table: String,
@@ -221,16 +235,35 @@ pub fn encode_record(rec: &WalRecord, out: &mut Vec<u8>) {
             codec::write_u64(*rid, out);
             codec::write_row(row, out);
         }
-        WalRecord::Update { table, rid, row } => {
-            out.push(OP_UPDATE);
+        WalRecord::Update {
+            table,
+            rid,
+            row,
+            old,
+        } => {
+            out.push(if old.is_some() {
+                OP_UPDATE_V2
+            } else {
+                OP_UPDATE
+            });
             codec::write_str(table, out);
             codec::write_u64(*rid, out);
             codec::write_row(row, out);
+            if let Some(old) = old {
+                codec::write_row(old, out);
+            }
         }
-        WalRecord::Delete { table, rid } => {
-            out.push(OP_DELETE);
+        WalRecord::Delete { table, rid, old } => {
+            out.push(if old.is_some() {
+                OP_DELETE_V2
+            } else {
+                OP_DELETE
+            });
             codec::write_str(table, out);
             codec::write_u64(*rid, out);
+            if let Some(old) = old {
+                codec::write_row(old, out);
+            }
         }
         WalRecord::CreateTable {
             table,
@@ -268,20 +301,36 @@ pub fn decode_record(buf: &[u8]) -> StorageResult<WalRecord> {
     let pos = &mut 0usize;
     let op = read_byte(buf, pos)?;
     let rec = match op {
-        OP_INSERT | OP_UPDATE => {
+        OP_INSERT | OP_UPDATE | OP_UPDATE_V2 => {
             let table = codec::read_str(buf, pos)?;
             let rid = codec::read_u64(buf, pos)?;
             let row = codec::read_row(buf, pos)?;
-            if op == OP_INSERT {
-                WalRecord::Insert { table, rid, row }
-            } else {
-                WalRecord::Update { table, rid, row }
+            match op {
+                OP_INSERT => WalRecord::Insert { table, rid, row },
+                OP_UPDATE => WalRecord::Update {
+                    table,
+                    rid,
+                    row,
+                    old: None,
+                },
+                _ => WalRecord::Update {
+                    table,
+                    rid,
+                    row,
+                    old: Some(codec::read_row(buf, pos)?),
+                },
             }
         }
-        OP_DELETE => WalRecord::Delete {
-            table: codec::read_str(buf, pos)?,
-            rid: codec::read_u64(buf, pos)?,
-        },
+        OP_DELETE | OP_DELETE_V2 => {
+            let table = codec::read_str(buf, pos)?;
+            let rid = codec::read_u64(buf, pos)?;
+            let old = if op == OP_DELETE_V2 {
+                Some(codec::read_row(buf, pos)?)
+            } else {
+                None
+            };
+            WalRecord::Delete { table, rid, old }
+        }
         OP_CREATE_TABLE => {
             let table = codec::read_str(buf, pos)?;
             let schema = read_schema(buf, pos)?;
@@ -577,13 +626,67 @@ mod tests {
                 table: "T".into(),
                 rid: 0,
                 row: vec![Value::Int(1), Value::text("ann b.")],
+                old: None,
+            },
+            WalRecord::Update {
+                table: "T".into(),
+                rid: 0,
+                row: vec![Value::Int(1), Value::text("ann c.")],
+                old: Some(vec![Value::Int(1), Value::text("ann b.")]),
             },
             WalRecord::Delete {
                 table: "T".into(),
                 rid: 0,
+                old: Some(vec![Value::Int(1), Value::text("ann c.")]),
+            },
+            WalRecord::Delete {
+                table: "T".into(),
+                rid: 0,
+                old: None,
             },
             WalRecord::DropTable { table: "T".into() },
         ]
+    }
+
+    /// A v1 writer never emitted old images: tags 2/3 followed by
+    /// table/rid(/row) only. Hand-encode those payloads and check they
+    /// still decode (with `old: None`), and that `old: None` records
+    /// re-encode to the exact legacy bytes.
+    #[test]
+    fn legacy_v1_payloads_decode() {
+        let mut upd = vec![OP_UPDATE];
+        codec::write_str("T", &mut upd);
+        codec::write_u64(7, &mut upd);
+        codec::write_row(&[Value::Int(9)], &mut upd);
+        let decoded = decode_record(&upd).unwrap();
+        assert_eq!(
+            decoded,
+            WalRecord::Update {
+                table: "T".into(),
+                rid: 7,
+                row: vec![Value::Int(9)],
+                old: None,
+            }
+        );
+        let mut reencoded = Vec::new();
+        encode_record(&decoded, &mut reencoded);
+        assert_eq!(reencoded, upd);
+
+        let mut del = vec![OP_DELETE];
+        codec::write_str("T", &mut del);
+        codec::write_u64(7, &mut del);
+        let decoded = decode_record(&del).unwrap();
+        assert_eq!(
+            decoded,
+            WalRecord::Delete {
+                table: "T".into(),
+                rid: 7,
+                old: None,
+            }
+        );
+        let mut reencoded = Vec::new();
+        encode_record(&decoded, &mut reencoded);
+        assert_eq!(reencoded, del);
     }
 
     #[test]
@@ -631,6 +734,7 @@ mod tests {
         let rec = WalRecord::Delete {
             table: "T".into(),
             rid: 9,
+            old: None,
         };
         wal.append(&rec).unwrap();
         wal.append(&rec).unwrap();
@@ -689,6 +793,7 @@ mod tests {
         let rec = WalRecord::Delete {
             table: "T".into(),
             rid: 1,
+            old: None,
         };
         wal.append(&rec).unwrap();
         assert_eq!(wal.rotate().unwrap(), 1);

@@ -143,6 +143,164 @@ impl DataCloud {
     }
 }
 
+/// Owned term aggregates over a (sampled) result set: everything cloud
+/// scoring needs besides the corpus statistics. The counts are plain
+/// integers, so they can be maintained incrementally when one document is
+/// reindexed — [`CloudAgg::apply_reindex_delta`] — and the maintained
+/// aggregates are exactly equal to a recomputation (integer adds are
+/// order-independent); re-scoring from them via [`cloud_from_agg`]
+/// reproduces [`compute_cloud`] bit for bit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CloudAgg {
+    /// term → (tf across result docs, number of result docs containing it).
+    pub terms: HashMap<String, (u64, usize)>,
+    /// Σ tf — total tokens (incl. bigrams) across the aggregated docs.
+    pub token_total: u64,
+    /// How many documents were aggregated (≤ result size when sampling).
+    pub docs_aggregated: usize,
+}
+
+impl CloudAgg {
+    /// Fold one document's reindex into the aggregates: `old`/`new` are
+    /// the doc's term-frequency maps before and after. Returns `false`
+    /// when the shift is inconsistent with the stored counts (underflow)
+    /// — the caller must discard the aggregates and recompute.
+    pub fn apply_reindex_delta(
+        &mut self,
+        old: &HashMap<String, u32>,
+        new: &HashMap<String, u32>,
+    ) -> bool {
+        for (term, &otf) in old {
+            let ntf = new.get(term).copied().unwrap_or(0);
+            if !self.shift_term(term, otf, ntf) {
+                return false;
+            }
+        }
+        for (term, &ntf) in new {
+            if !old.contains_key(term) && !self.shift_term(term, 0, ntf) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn shift_term(&mut self, term: &str, old_tf: u32, new_tf: u32) -> bool {
+        if old_tf == new_tf {
+            return true;
+        }
+        let slot = self.terms.entry(term.to_owned()).or_insert((0, 0));
+        let shifted = slot
+            .0
+            .checked_add(new_tf as u64)
+            .and_then(|v| v.checked_sub(old_tf as u64));
+        let total = self
+            .token_total
+            .checked_add(new_tf as u64)
+            .and_then(|v| v.checked_sub(old_tf as u64));
+        let df = match (old_tf > 0, new_tf > 0) {
+            (false, true) => slot.1.checked_add(1),
+            (true, false) => slot.1.checked_sub(1),
+            _ => Some(slot.1),
+        };
+        match (shifted, total, df) {
+            (Some(tf), Some(tok), Some(df)) => {
+                slot.0 = tf;
+                slot.1 = df;
+                self.token_total = tok;
+                // A fresh aggregation has no zero entries; keep parity.
+                if tf == 0 && df == 0 {
+                    self.terms.remove(term);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Sample per config: cloud aggregation runs over the top-K scored docs
+/// when `sample_top_k` is set, else the whole result list.
+fn sample<'a>(results: &'a [DocId], config: &CloudConfig) -> &'a [DocId] {
+    match config.sample_top_k {
+        Some(k) if k < results.len() => &results[..k],
+        _ => results,
+    }
+}
+
+/// Aggregate term frequencies across `docs` from the forward index,
+/// sharding large sets across worker threads.
+fn aggregate<'a>(index: &'a InvertedIndex, docs: &[DocId], config: &CloudConfig) -> TermAgg<'a> {
+    let shards = if config.parallelism > 1 && docs.len() >= PARALLEL_CLOUD_MIN_DOCS {
+        config.parallelism
+    } else {
+        1
+    };
+    if shards <= 1 {
+        return aggregate_terms(index, docs);
+    }
+    let parts: Vec<TermAgg> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..shards)
+            .map(|p| {
+                let lo = p * docs.len() / shards;
+                let hi = (p + 1) * docs.len() / shards;
+                let chunk = &docs[lo..hi];
+                s.spawn(move |_| aggregate_terms(index, chunk))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("cloud shard panicked"))
+            .collect()
+    })
+    .expect("cloud shard scope");
+    if cr_obs::enabled() {
+        cloud_shard_counter().add(shards as u64);
+    }
+    let mut it = parts.into_iter();
+    let (mut agg, mut total) = it.next().expect("at least one shard");
+    for (part, part_total) in it {
+        total += part_total;
+        for (term, (tf, df)) in part {
+            let slot = agg.entry(term).or_insert((0, 0));
+            slot.0 += tf;
+            slot.1 += df;
+        }
+    }
+    (agg, total)
+}
+
+/// The aggregation half of [`compute_cloud`], with owned terms — the
+/// cacheable/maintainable intermediate.
+pub fn aggregate_cloud(index: &InvertedIndex, results: &[DocId], config: &CloudConfig) -> CloudAgg {
+    let docs = sample(results, config);
+    let (agg, token_total) = aggregate(index, docs, config);
+    CloudAgg {
+        terms: agg.into_iter().map(|(t, v)| (t.to_owned(), v)).collect(),
+        token_total,
+        docs_aggregated: docs.len(),
+    }
+}
+
+/// The scoring half of [`compute_cloud`]: rank a (possibly cached and
+/// delta-maintained) aggregate against the *current* corpus statistics.
+/// `compute_cloud(ix, r, x, c) == cloud_from_agg(ix, &aggregate_cloud(ix, r, c), x, c)`
+/// bit for bit.
+pub fn cloud_from_agg(
+    index: &InvertedIndex,
+    agg: &CloudAgg,
+    exclude_terms: &[String],
+    config: &CloudConfig,
+) -> DataCloud {
+    score_with_fallback(
+        index,
+        &agg.terms,
+        agg.token_total,
+        agg.docs_aggregated,
+        exclude_terms,
+        config,
+    )
+}
+
 /// Compute a data cloud over `results` (doc ids ordered by search score).
 ///
 /// `exclude_terms` removes the query's own terms — a cloud for the query
@@ -153,14 +311,48 @@ pub fn compute_cloud(
     exclude_terms: &[String],
     config: &CloudConfig,
 ) -> DataCloud {
-    let cloud = compute_cloud_inner(index, results, exclude_terms, config);
-    // Degenerate case: the result set ≈ the whole corpus, so nothing is
-    // *over*represented and LLR yields an empty cloud. Fall back to
-    // TF-IDF, which still ranks the set's frequent-but-rare terms.
-    if cloud.terms.is_empty() && !results.is_empty() && config.scorer == TermScorer::LogLikelihood {
-        return compute_cloud_inner(
+    let docs = sample(results, config);
+    if docs.is_empty() {
+        return DataCloud::default();
+    }
+    let (agg, result_token_total) = aggregate(index, docs, config);
+    score_with_fallback(
+        index,
+        &agg,
+        result_token_total,
+        docs.len(),
+        exclude_terms,
+        config,
+    )
+}
+
+/// Score with the configured scorer; on a degenerate LLR outcome (the
+/// result set ≈ the whole corpus, so nothing is *over*represented and the
+/// cloud comes out empty) fall back to TF-IDF, which still ranks the
+/// set's frequent-but-rare terms. Aggregation is scorer-independent, so
+/// the fallback reuses the aggregates.
+fn score_with_fallback<K: std::borrow::Borrow<str> + Eq + std::hash::Hash>(
+    index: &InvertedIndex,
+    agg: &HashMap<K, (u64, usize)>,
+    result_token_total: u64,
+    docs_aggregated: usize,
+    exclude_terms: &[String],
+    config: &CloudConfig,
+) -> DataCloud {
+    let cloud = score_cloud(
+        index,
+        agg,
+        result_token_total,
+        docs_aggregated,
+        exclude_terms,
+        config,
+    );
+    if cloud.terms.is_empty() && docs_aggregated > 0 && config.scorer == TermScorer::LogLikelihood {
+        return score_cloud(
             index,
-            results,
+            agg,
+            result_token_total,
+            docs_aggregated,
             exclude_terms,
             &CloudConfig {
                 scorer: TermScorer::TfIdf,
@@ -171,71 +363,28 @@ pub fn compute_cloud(
     cloud
 }
 
-fn compute_cloud_inner(
+fn score_cloud<K: std::borrow::Borrow<str> + Eq + std::hash::Hash>(
     index: &InvertedIndex,
-    results: &[DocId],
+    agg: &HashMap<K, (u64, usize)>,
+    result_token_total: u64,
+    docs_aggregated: usize,
     exclude_terms: &[String],
     config: &CloudConfig,
 ) -> DataCloud {
-    let docs: &[DocId] = match config.sample_top_k {
-        Some(k) if k < results.len() => &results[..k],
-        _ => results,
-    };
-    if docs.is_empty() {
+    if docs_aggregated == 0 {
         return DataCloud::default();
     }
-
-    // Aggregate term frequencies across the (sampled) result set from the
-    // forward index, sharding large result sets across worker threads.
-    let shards = if config.parallelism > 1 && docs.len() >= PARALLEL_CLOUD_MIN_DOCS {
-        config.parallelism
-    } else {
-        1
-    };
-    let (agg, result_token_total) = if shards > 1 {
-        let parts: Vec<TermAgg> = crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = (0..shards)
-                .map(|p| {
-                    let lo = p * docs.len() / shards;
-                    let hi = (p + 1) * docs.len() / shards;
-                    let chunk = &docs[lo..hi];
-                    s.spawn(move |_| aggregate_terms(index, chunk))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("cloud shard panicked"))
-                .collect()
-        })
-        .expect("cloud shard scope");
-        if cr_obs::enabled() {
-            cloud_shard_counter().add(shards as u64);
-        }
-        let mut it = parts.into_iter();
-        let (mut agg, mut total) = it.next().expect("at least one shard");
-        for (part, part_total) in it {
-            total += part_total;
-            for (term, (tf, df)) in part {
-                let slot = agg.entry(term).or_insert((0, 0));
-                slot.0 += tf;
-                slot.1 += df;
-            }
-        }
-        (agg, total)
-    } else {
-        aggregate_terms(index, docs)
-    };
-
     let corpus_docs = index.num_docs().max(1);
     let corpus_token_total = (index.corpus_tokens() as f64).max(result_token_total as f64 + 1.0);
 
     let excluded: Vec<&str> = exclude_terms.iter().map(String::as_str).collect();
     let mut scored: Vec<CloudTerm> = Vec::with_capacity(agg.len() / 4);
-    for (term, (tf, df)) in &agg {
+    for (term, (tf, df)) in agg {
+        let term: &str = term.borrow();
         if *df < config.min_doc_freq {
             continue;
         }
-        if excluded.contains(term) || term.split(' ').all(|part| excluded.contains(&part)) {
+        if excluded.contains(&term) || term.split(' ').all(|part| excluded.contains(&part)) {
             continue;
         }
         let corpus_df = index.doc_freq(term);
@@ -323,7 +472,7 @@ fn compute_cloud_inner(
     assign_buckets(&mut scored);
     DataCloud {
         terms: scored,
-        docs_aggregated: docs.len(),
+        docs_aggregated,
     }
 }
 
@@ -608,6 +757,73 @@ mod tests {
             assert_eq!(a.result_doc_freq, b.result_doc_freq);
             assert_eq!(a.score.to_bits(), b.score.to_bits());
         }
+    }
+
+    #[test]
+    fn aggregate_then_score_equals_compute_cloud() {
+        let (ix, results) = build_corpus();
+        let cfg = CloudConfig {
+            min_doc_freq: 1,
+            ..CloudConfig::default()
+        };
+        let exclude = vec!["american".to_owned()];
+        let direct = compute_cloud(&ix, &results, &exclude, &cfg);
+        let agg = aggregate_cloud(&ix, &results, &cfg);
+        let split = cloud_from_agg(&ix, &agg, &exclude, &cfg);
+        assert_eq!(direct.docs_aggregated, split.docs_aggregated);
+        assert_eq!(direct.terms.len(), split.terms.len());
+        for (a, b) in direct.terms.iter().zip(&split.terms) {
+            assert_eq!(a.term, b.term);
+            assert_eq!(a.result_tf, b.result_tf);
+            assert_eq!(a.result_doc_freq, b.result_doc_freq);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn reindex_delta_matches_recomputed_aggregates() {
+        let (mut ix, mut results) = build_corpus();
+        let cfg = CloudConfig::default();
+        let mut maintained = aggregate_cloud(&ix, &results, &cfg);
+        // Reindex the first result doc with changed text (remove + re-add,
+        // as the entity layer does): some terms vanish, some appear, some
+        // change frequency.
+        let victim = results[0];
+        let old_tf = ix.doc(victim).unwrap().term_freqs.clone();
+        ix.remove_document(victim);
+        let b = ix.field_id("body").unwrap();
+        let fresh_doc = ix.add_document(&[(b, "american climate debate debate seminar")]);
+        let new_tf = ix.doc(fresh_doc).unwrap().term_freqs.clone();
+        assert!(maintained.apply_reindex_delta(&old_tf, &new_tf));
+        results[0] = fresh_doc;
+        let recomputed = aggregate_cloud(&ix, &results, &cfg);
+        assert_eq!(maintained, recomputed);
+        // And scoring the maintained aggregates equals a cold cloud.
+        let cold = compute_cloud(&ix, &results, &[], &cfg);
+        let warm = cloud_from_agg(&ix, &maintained, &[], &cfg);
+        assert_eq!(cold.terms.len(), warm.terms.len());
+        for (a, w) in cold.terms.iter().zip(&warm.terms) {
+            assert_eq!(a.term, w.term);
+            assert_eq!(a.score.to_bits(), w.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn reindex_delta_underflow_reports_unmaintainable() {
+        let mut agg = CloudAgg::default();
+        let mut old = HashMap::new();
+        old.insert("ghost".to_owned(), 3u32);
+        let new = HashMap::new();
+        // The aggregates never saw "ghost": subtracting must fail loudly
+        // rather than wrap.
+        assert!(!agg.clone().apply_reindex_delta(&old, &new));
+        // Consistent shifts still work on the same starting point.
+        old.clear();
+        let mut added = HashMap::new();
+        added.insert("new term".to_owned(), 2u32);
+        assert!(agg.apply_reindex_delta(&old, &added));
+        assert_eq!(agg.terms.get("new term"), Some(&(2, 1)));
+        assert_eq!(agg.token_total, 2);
     }
 
     #[test]

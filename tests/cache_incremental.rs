@@ -1,0 +1,296 @@
+//! Differential test for delta-driven cache maintenance.
+//!
+//! A warm [`Recommender`] (subscribed to the catalog's mutation stream,
+//! push-advancing / delta-applying / dropping entries as writes land) is
+//! driven through randomized mutation streams — comment inserts, rating
+//! updates, comment deletes, enrollments — interleaved with lookups.
+//! After every lookup the warm result is compared against a cold
+//! recompute from a fresh recommender with empty caches. The two must be
+//! *bit-identical* (scores compared via `f64::to_bits`), which is the
+//! contract that lets the cache serve maintained entries at all.
+
+// Test code: panicking on a broken fixture is the right behavior.
+#![allow(clippy::unwrap_used)]
+
+use courserank::db::{Comment, Course, CourseRankDb, EnrollStatus, Enrollment, Student};
+use courserank::model::{Quarter, Term};
+use courserank::services::recs::{CourseRec, RecOptions, Recommender, SimilarityBasis};
+use proptest::prelude::*;
+
+const STUDENTS: [i64; 5] = [1, 2, 3, 4, 5];
+const COURSES: [i64; 5] = [101, 102, 103, 201, 202];
+
+/// A campus rich enough that every strategy has neighbors and ratings to
+/// work with (built through the public API — the crate's internal test
+/// fixture is not visible to integration tests).
+fn campus() -> CourseRankDb {
+    let db = CourseRankDb::new();
+    db.insert_department("CS", "Computer Science", "Engineering")
+        .unwrap();
+    db.insert_department("HIST", "History", "Humanities")
+        .unwrap();
+    for (id, dep, title) in [
+        (101, "CS", "Intro Programming"),
+        (102, "CS", "Data Structures"),
+        (103, "CS", "Operating Systems"),
+        (201, "HIST", "Medieval Europe"),
+        (202, "HIST", "History of Science"),
+    ] {
+        db.insert_course(&Course {
+            id,
+            dep: dep.into(),
+            title: title.into(),
+            description: "description".into(),
+            units: 4,
+            url: format!("https://courses.example/{id}"),
+        })
+        .unwrap();
+    }
+    for id in STUDENTS {
+        db.insert_student(&Student {
+            id,
+            name: format!("Student {id}"),
+            class: "2011".into(),
+            major: Some(if id % 2 == 0 { "CS" } else { "HIST" }.into()),
+            gpa: None,
+            share_plans: true,
+        })
+        .unwrap();
+    }
+    // Overlapping transcripts so transcript similarity finds neighbors.
+    for (student, course) in [
+        (1, 101),
+        (1, 102),
+        (2, 101),
+        (2, 102),
+        (2, 103),
+        (3, 101),
+        (3, 201),
+        (4, 201),
+        (4, 202),
+        (5, 102),
+        (5, 202),
+    ] {
+        db.insert_enrollment(&Enrollment {
+            student,
+            course,
+            quarter: Quarter::new(2008, Term::Autumn),
+            grade: None,
+            status: EnrollStatus::Taken,
+        })
+        .unwrap();
+    }
+    // Seed ratings so the Ratings basis has common ground too.
+    for (id, (student, course, rating)) in [
+        (1, 101, 4.5),
+        (1, 102, 3.0),
+        (2, 101, 4.0),
+        (2, 103, 5.0),
+        (3, 201, 4.5),
+        (4, 201, 3.5),
+        (4, 202, 4.0),
+        (5, 202, 2.5),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        db.insert_comment(&Comment {
+            id: id as i64 + 1,
+            student,
+            course,
+            quarter: Quarter::new(2008, Term::Autumn),
+            text: "seed comment".into(),
+            rating,
+            date: 0,
+        })
+        .unwrap();
+    }
+    db
+}
+
+fn assert_bit_identical(warm: &[CourseRec], cold: &[CourseRec], ctx: &str) {
+    assert_eq!(warm.len(), cold.len(), "{ctx}: lengths differ");
+    for (w, c) in warm.iter().zip(cold) {
+        assert_eq!(w.course, c.course, "{ctx}: course order differs");
+        assert_eq!(w.title, c.title, "{ctx}: title differs");
+        assert_eq!(
+            w.score.to_bits(),
+            c.score.to_bits(),
+            "{ctx}: score bits differ for course {} ({} vs {})",
+            w.course,
+            w.score,
+            c.score
+        );
+    }
+}
+
+/// One lookup on the warm (maintained) recommender, checked against a
+/// cold recompute through a fresh recommender over the same live tables.
+fn check(warm: &Recommender, db: &CourseRankDb, student: i64, basis: SimilarityBasis) {
+    let opts = RecOptions {
+        basis,
+        min_common: 1,
+        ..Default::default()
+    };
+    let got = warm.recommend_courses(student, &opts).unwrap();
+    let cold = Recommender::new(db.clone())
+        .recommend_courses(student, &opts)
+        .unwrap();
+    assert_bit_identical(&got, &cold, &format!("student {student} basis {basis:?}"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn delta_maintained_results_match_cold_recompute(
+        ops in proptest::collection::vec(
+            (0u8..6, 0usize..5, 0usize..5, 0u8..9), 5..50)
+    ) {
+        let db = campus();
+        let warm = Recommender::new(db.clone());
+        let mut next_comment: i64 = 1000;
+        let mut live_comments: Vec<i64> = Vec::new();
+        let mut quarter_bump = 0i32;
+        for (op, si, ci, r) in ops {
+            let student = STUDENTS[si];
+            let course = COURSES[ci];
+            let rating = 1.0 + f64::from(r) * 0.5;
+            match op {
+                0 => {
+                    next_comment += 1;
+                    live_comments.push(next_comment);
+                    db.insert_comment(&Comment {
+                        id: next_comment,
+                        student,
+                        course,
+                        quarter: Quarter::new(2009, Term::Spring),
+                        text: "write storm".into(),
+                        rating,
+                        date: 0,
+                    })
+                    .unwrap();
+                }
+                1 => {
+                    // Distinct quarters keep the (student, course,
+                    // quarter) key fresh; duplicates are simply skipped.
+                    quarter_bump += 1;
+                    let _ = db.insert_enrollment(&Enrollment {
+                        student,
+                        course,
+                        quarter: Quarter::new(2010 + quarter_bump, Term::Winter),
+                        grade: None,
+                        status: EnrollStatus::Taken,
+                    });
+                }
+                2 => {
+                    // Rating update: an old-image-bearing Update event.
+                    if let Some(&id) = live_comments.get(si) {
+                        db.database()
+                            .execute_sql(&format!(
+                                "UPDATE Comments SET Rating = {rating} \
+                                 WHERE CommentID = {id}"
+                            ))
+                            .unwrap();
+                    }
+                }
+                3 => {
+                    // Comment delete: a Delete event with an old image.
+                    if let Some(pos) = live_comments.iter().position(|&id| id % 5 == i64::from(r) % 5) {
+                        let id = live_comments.swap_remove(pos);
+                        db.database()
+                            .execute_sql(&format!(
+                                "DELETE FROM Comments WHERE CommentID = {id}"
+                            ))
+                            .unwrap();
+                    }
+                }
+                4 => check(&warm, &db, student, SimilarityBasis::CoursesTaken),
+                _ => check(&warm, &db, student, SimilarityBasis::Ratings),
+            }
+        }
+        // Final sweep: every student, both cached strategies, after the
+        // full mutation stream has been absorbed.
+        for student in STUDENTS {
+            check(&warm, &db, student, SimilarityBasis::CoursesTaken);
+            check(&warm, &db, student, SimilarityBasis::Ratings);
+        }
+    }
+}
+
+/// The deterministic regression companion to the property test: one
+/// scripted storm that must exercise all three maintenance outcomes
+/// (spared, delta-applied, dropped) and still match cold recomputes.
+#[test]
+fn scripted_storm_spares_deltas_and_drops() {
+    let db = campus();
+    let warm = Recommender::new(db.clone());
+    let opts = RecOptions {
+        basis: SimilarityBasis::CoursesTaken,
+        min_common: 1,
+        ..Default::default()
+    };
+    let first = warm.recommend_courses(1, &opts).unwrap();
+
+    // Student 1 is never their own neighbor: their comment is spared.
+    db.insert_comment(&Comment {
+        id: 900,
+        student: 1,
+        course: 103,
+        quarter: Quarter::new(2009, Term::Spring),
+        text: "own comment".into(),
+        rating: 5.0,
+        date: 0,
+    })
+    .unwrap();
+    let after_spare = warm.recommend_courses(1, &opts).unwrap();
+    assert_bit_identical(&after_spare, &first, "spared entry must not change");
+    let stats = warm.ct_entry_stats();
+    assert!(
+        stats.iter().any(|e| e.3 >= 1),
+        "expected a spared advance, stats: {stats:?}"
+    );
+
+    // Student 2 shares courses with 1 (a neighbor): delta-applied.
+    db.insert_comment(&Comment {
+        id: 901,
+        student: 2,
+        course: 103,
+        quarter: Quarter::new(2009, Term::Spring),
+        text: "neighbor comment".into(),
+        rating: 1.0,
+        date: 0,
+    })
+    .unwrap();
+    let after_delta = warm.recommend_courses(1, &opts).unwrap();
+    let cold = Recommender::new(db.clone())
+        .recommend_courses(1, &opts)
+        .unwrap();
+    assert_bit_identical(&after_delta, &cold, "delta-applied entry");
+    let stats = warm.ct_entry_stats();
+    assert!(
+        stats.iter().any(|e| e.4 >= 1),
+        "expected a delta apply, stats: {stats:?}"
+    );
+
+    // A new enrollment invalidates (Enrollments is a whole-table dep)
+    // and the next lookup recomputes — still identical to cold. The
+    // recomputed entry is fresh, so its per-entry counters restart.
+    db.insert_enrollment(&Enrollment {
+        student: 1,
+        course: 202,
+        quarter: Quarter::new(2009, Term::Spring),
+        grade: None,
+        status: EnrollStatus::Taken,
+    })
+    .unwrap();
+    let after_drop = warm.recommend_courses(1, &opts).unwrap();
+    let cold = Recommender::new(db.clone())
+        .recommend_courses(1, &opts)
+        .unwrap();
+    assert_bit_identical(&after_drop, &cold, "recomputed-after-drop entry");
+    let stats = warm.ct_entry_stats();
+    assert!(
+        stats.iter().all(|e| e.3 == 0 && e.4 == 0),
+        "recomputed entry must start with fresh counters, stats: {stats:?}"
+    );
+}
