@@ -237,7 +237,9 @@ struct ScalingResult {
 
 /// The pre-MVCC world: one thread, reads queue behind writes.
 fn serial_baseline(server: &Arc<Server>, courses: &[i64], window: Duration) -> ScalingResult {
-    let session = server.sessions().open("bench", "serial");
+    let session = server
+        .sessions()
+        .open("bench", "serial", cr_relation::plan::Principal::Staff);
     let mut rng = StdRng::seed_from_u64(11);
     let zipf = Zipf::new(courses.len(), 1.0);
     let mut probe = ProbeState::new();
@@ -275,7 +277,10 @@ fn concurrent_reads(
         s.spawn(|| {
             // Sustained write storm until the readers are done. Ids
             // continue across scenario runs via the shared counter.
-            let session = server.sessions().open("bench", "storm");
+            let session =
+                server
+                    .sessions()
+                    .open("bench", "storm", cr_relation::plan::Principal::Staff);
             while !stop.load(Ordering::Relaxed) {
                 let n = storm_n.fetch_add(1, Ordering::Relaxed);
                 storm_pair(server, session, n as i64);
@@ -286,7 +291,10 @@ fn concurrent_reads(
             let (total_reads, total_probes, total_violations) =
                 (&total_reads, &total_probes, &total_violations);
             s.spawn(move || {
-                let session = server.sessions().open("bench", "reader");
+                let session =
+                    server
+                        .sessions()
+                        .open("bench", "reader", cr_relation::plan::Principal::Staff);
                 let mut rng = StdRng::seed_from_u64(100 + r as u64);
                 let zipf = Zipf::new(courses.len(), 1.0);
                 let mut probe = ProbeState::new();
@@ -385,7 +393,10 @@ fn day_in_the_life(
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 s.spawn(move || {
-                    let session = server.sessions().open("bench", "day");
+                    let session =
+                        server
+                            .sessions()
+                            .open("bench", "day", cr_relation::plan::Principal::Staff);
                     let mut rng = StdRng::seed_from_u64(7_000 + t as u64);
                     let zipf = Zipf::new(courses.len(), 1.0);
                     let mut out = DayResult {
@@ -464,7 +475,10 @@ fn main() {
 
     let server = build_server();
     seed_invariant(&server);
-    let setup_session = server.sessions().open("bench", "setup");
+    let setup_session =
+        server
+            .sessions()
+            .open("bench", "setup", cr_relation::plan::Principal::Staff);
     let courses = course_ids(&server, setup_session);
     server.sessions().close(setup_session);
 

@@ -94,5 +94,84 @@ fn main() {
             ));
         });
         println!("[PR5] scenario=plan_analyze_{name} median_ns={lns}");
+        // PR10: the information-flow disclosure check, which define() and
+        // the server's SqlRead path now run on every plan. Same ≤5%-of-
+        // compile budget as validation; batched for the same reason.
+        let principal = cr_relation::plan::flow::Principal::Student(None);
+        let fns = median_ns(iters, || {
+            for _ in 0..BATCH {
+                std::hint::black_box(cr_relation::plan::flow::check_disclosure(
+                    std::hint::black_box(&plan),
+                    &catalog,
+                    &principal,
+                ));
+            }
+        }) / BATCH;
+        let fpct = if ns > 0 {
+            fns as f64 / ns as f64 * 100.0
+        } else {
+            0.0
+        };
+        println!("[PR10] scenario=flow_check_{name} median_ns={fns} pct_of_compile={fpct:.2}");
+    }
+
+    // PR10, server-path shape: disclosure checks over ad-hoc SQL plans
+    // (the shapes the live SqlRead gate sees), including one that denies.
+    let sql_scenarios = [
+        (
+            "grade_scan",
+            "SELECT SuID, Grade FROM Enrollments",
+            cr_relation::plan::flow::Principal::Staff,
+        ),
+        (
+            "grade_scan_denied",
+            "SELECT SuID, Grade FROM Enrollments",
+            cr_relation::plan::flow::Principal::Student(Some(1)),
+        ),
+        (
+            "k_aggregate",
+            "SELECT Grade, COUNT(DISTINCT SuID) AS n FROM Enrollments \
+             GROUP BY Grade HAVING COUNT(DISTINCT SuID) >= 5",
+            cr_relation::plan::flow::Principal::Student(Some(1)),
+        ),
+    ];
+    for (name, sql, principal) in &sql_scenarios {
+        let plan = cr_relation::sql::plan_query(sql, &catalog).unwrap();
+        const BATCH: u128 = 32;
+        let cns = median_ns(iters, || {
+            std::hint::black_box(
+                cr_relation::sql::plan_query(std::hint::black_box(sql), &catalog).unwrap(),
+            );
+        });
+        println!("[PR10] scenario=sql_compile_{name} median_ns={cns}");
+        let fns = median_ns(iters, || {
+            for _ in 0..BATCH {
+                std::hint::black_box(cr_relation::plan::flow::check_disclosure(
+                    std::hint::black_box(&plan),
+                    &catalog,
+                    principal,
+                ));
+            }
+        }) / BATCH;
+        println!("[PR10] scenario=flow_check_sql_{name} median_ns={fns}");
+        // The server's actual per-request path: the memoized decision
+        // (`check_disclosure_sql`), steady-state. This is the gated
+        // ≤5%-of-compile number — a hit replaces plan+walk with one map
+        // lookup, with generation-stamped invalidation keeping it sound.
+        let gns = median_ns(iters, || {
+            for _ in 0..BATCH {
+                std::hint::black_box(cr_relation::plan::flow::check_disclosure_sql(
+                    std::hint::black_box(sql),
+                    &catalog,
+                    principal,
+                ));
+            }
+        }) / BATCH;
+        let gpct = if cns > 0 {
+            gns as f64 / cns as f64 * 100.0
+        } else {
+            0.0
+        };
+        println!("[PR10] scenario=flow_gate_sql_{name} median_ns={gns} pct_of_compile={gpct:.2}");
     }
 }

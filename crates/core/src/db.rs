@@ -19,7 +19,7 @@
 use std::path::Path;
 use std::sync::Arc;
 
-use cr_relation::plan::{JoinKind, PlanBuilder};
+use cr_relation::plan::{JoinKind, PlanBuilder, TablePolicy};
 use cr_relation::row::row;
 use cr_relation::{Database, Expr, RelError, RelResult, Value};
 use cr_storage::{
@@ -181,6 +181,79 @@ const INDEX_SQL: &[&str] = &[
     "CREATE INDEX notes_by_course ON FacultyNotes (CourseID)",
 ];
 
+/// Register the sensitivity labels that make the paper's §2.2 policies
+/// checkable by `cr_relation::plan::flow`:
+///
+/// * catalog data (courses, departments, offerings, …) is `Public`;
+/// * campus contributions (comments, Q&A, points) are `Community`, with
+///   the authoring student as the owner column (contributions are signed,
+///   so the id itself is community-visible);
+/// * `Students.GPA` and `Enrollments.Grade` are `PerUser` — grade data
+///   reaches other students only through k-guarded aggregates;
+/// * plan rows (`Enrollments` course/term columns) are *gated* by
+///   `Students.SharePlans`, the paper's opt-out sharing switch.
+///
+/// Tables created later (tests, ad-hoc DDL) default to `Public`.
+pub fn apply_flow_policies(db: &Database) {
+    use cr_relation::plan::flow::Sensitivity::{Community, PerUser, Public};
+
+    let catalog = db.catalog();
+    for table in [
+        "Departments",
+        "Courses",
+        "Prerequisites",
+        "Instructors",
+        "Offerings",
+        "Textbooks",
+        "Programs",
+        "Requirements",
+        "FacultyNotes",
+    ] {
+        catalog.set_table_policy(table, TablePolicy::new(Public));
+    }
+    catalog.set_table_policy(
+        "Students",
+        TablePolicy::new(Community)
+            .owner("SuID", Community)
+            .column("GPA", PerUser)
+            .gate("SharePlans", Community),
+    );
+    catalog.set_table_policy(
+        "Enrollments",
+        TablePolicy::new(Community)
+            .owner("SuID", Community)
+            .column("Grade", PerUser)
+            .gated("CourseID")
+            .gated("Year")
+            .gated("Term")
+            .gated("Status"),
+    );
+    catalog.set_table_policy(
+        "Comments",
+        TablePolicy::new(Community).owner("SuID", Community),
+    );
+    catalog.set_table_policy(
+        "Questions",
+        TablePolicy::new(Community).owner("SuID", Community),
+    );
+    catalog.set_table_policy(
+        "Answers",
+        TablePolicy::new(Community).owner("SuID", Community),
+    );
+    catalog.set_table_policy(
+        "Points",
+        TablePolicy::new(Community).owner("UserID", Community),
+    );
+    for table in [
+        "Users",
+        "CommentVotes",
+        "OfficialGradeDist",
+        "RecStrategies",
+    ] {
+        catalog.set_table_policy(table, TablePolicy::new(Community));
+    }
+}
+
 impl Default for CourseRankDb {
     fn default() -> Self {
         Self::new()
@@ -208,6 +281,7 @@ impl CourseRankDb {
             .expect("cr_stat_cache never collides with the app schema");
         cr_relation::telemetry::register_system_tables(&db.catalog())
             .expect("system tables never collide with the app schema");
+        apply_flow_policies(&db);
         CourseRankDb { db, storage: None }
     }
 
@@ -247,6 +321,7 @@ impl CourseRankDb {
             )?;
         }
         cr_relation::telemetry::register_system_tables(&db.catalog())?;
+        apply_flow_policies(&db);
         Ok((
             CourseRankDb {
                 db,

@@ -12,6 +12,7 @@
 
 use std::collections::HashSet;
 
+use cr_relation::plan::flow::{self, GateDecision, Principal};
 use cr_relation::RelResult;
 
 use crate::auth::Role;
@@ -59,14 +60,29 @@ pub struct Privacy {
 }
 
 impl Privacy {
+    /// The k-threshold comes from the catalog's flow policy
+    /// (`Catalog::flow_k`), so the runtime service and the static
+    /// disclosure analysis (`cr_relation::plan::flow`) enforce the same
+    /// number by construction.
     pub fn new(db: CourseRankDb) -> Self {
+        let min_class_size = db.database().catalog().flow_k();
         Privacy {
             db,
-            policy: PrivacyPolicy::default(),
+            policy: PrivacyPolicy {
+                min_class_size,
+                ..PrivacyPolicy::default()
+            },
         }
     }
 
+    /// Override the policy. The k-threshold is written back to the
+    /// catalog's flow policy so static plan checks stay in lockstep with
+    /// this service.
     pub fn with_policy(mut self, policy: PrivacyPolicy) -> Self {
+        self.db
+            .database()
+            .catalog()
+            .set_flow_k(policy.min_class_size);
         self.policy = policy;
         self
     }
@@ -125,6 +141,10 @@ impl Privacy {
     /// May `viewer` see `owner`'s course plans? Owners always see their
     /// own; students see each other's *if* the owner shares; staff
     /// (advisors) see everything; faculty see nothing student-specific.
+    ///
+    /// The decision is the flow analysis's opt-out gate rule
+    /// ([`flow::gate_decision`]) evaluated row-by-row: the same matrix
+    /// the static checker proves over plans, applied to live data.
     pub fn can_view_plans(
         &self,
         viewer: UserId,
@@ -134,22 +154,22 @@ impl Privacy {
         if viewer == owner {
             return Ok(Ok(()));
         }
-        match viewer_role {
-            Role::Staff | Role::Admin => Ok(Ok(())),
-            Role::Faculty => Ok(Err(Withheld::RoleForbidden)),
-            Role::Student => {
-                let shares = self
-                    .db
-                    .student(owner)?
-                    .map(|s| s.share_plans)
-                    .unwrap_or(false);
-                Ok(if shares {
-                    Ok(())
-                } else {
-                    Err(Withheld::OptedOut)
-                })
-            }
-        }
+        let principal = match viewer_role {
+            Role::Student => Principal::Student(Some(viewer)),
+            Role::Faculty => Principal::Faculty,
+            Role::Staff => Principal::Staff,
+            Role::Admin => Principal::Admin,
+        };
+        let gate_open = self
+            .db
+            .student(owner)?
+            .map(|s| s.share_plans)
+            .unwrap_or(false);
+        Ok(match flow::gate_decision(&principal, owner, gate_open) {
+            GateDecision::Allow => Ok(()),
+            GateDecision::DeniedOptOut => Err(Withheld::OptedOut),
+            GateDecision::DeniedRole => Err(Withheld::RoleForbidden),
+        })
     }
 }
 

@@ -130,6 +130,18 @@ impl Strategies {
         Ok(wf.lint(&self.db.catalog()))
     }
 
+    /// Lint a stored strategy as it would run for a student, checking
+    /// disclosure against an explicit principal (`crlint --principal`).
+    pub fn lint_as(
+        &self,
+        name: &str,
+        student: StudentId,
+        principal: &cr_relation::plan::flow::Principal,
+    ) -> RelResult<cr_flexrecs::LintReport> {
+        let wf = self.select(name, student)?;
+        Ok(wf.lint_for(&self.db.catalog(), principal))
+    }
+
     /// Remove a strategy.
     pub fn remove(&self, name: &str) -> RelResult<bool> {
         let rs = self.db.database().execute_sql(&format!(
@@ -333,16 +345,88 @@ mod tests {
     }
 
     #[test]
+    fn builtin_templates_are_policy_clean_at_define_time() {
+        // Define-time lint now includes the disclosure check for the
+        // template student; every built-in template must pass it against
+        // the real labeled CourseRank catalog.
+        let reg = registry();
+        let m = SchemaMap::default();
+        for (name, wf) in [
+            (
+                "related",
+                templates::related_courses(&m, "Systems", None, 5),
+            ),
+            (
+                "cf",
+                templates::user_cf(&m, STUDENT_PLACEHOLDER, 10, 10, 1, false),
+            ),
+            (
+                "cf-weighted",
+                templates::user_cf_weighted(&m, STUDENT_PLACEHOLDER, 10, 10, 1),
+            ),
+            (
+                "similar",
+                templates::similar_students_by_courses(&m, STUDENT_PLACEHOLDER, 5),
+            ),
+            ("item-item", templates::item_item_cf(&m, 1, 5)),
+            (
+                "item-item-ratings",
+                templates::item_item_cf_ratings(&m, 1, 5),
+            ),
+            (
+                "majors",
+                templates::major_recommendation(&m, STUDENT_PLACEHOLDER, 10, 1),
+            ),
+        ] {
+            reg.define(name, "", &wf)
+                .unwrap_or_else(|e| panic!("template {name} rejected at define time: {e}"));
+        }
+    }
+
+    #[test]
+    fn define_rejects_policy_violating_workflow() {
+        // A workflow projecting another student's GPA must be rejected:
+        // Students.GPA is per-user and a student principal runs it.
+        let reg = registry();
+        let leak = Workflow::new(
+            "gpa-leak",
+            Node::Project {
+                input: Box::new(Node::Source {
+                    table: "Students".into(),
+                }),
+                columns: vec!["SuID".into(), "GPA".into()],
+            },
+        );
+        let err = reg.define("gpa-leak", "", &leak).unwrap_err();
+        assert!(err.to_string().contains("P001"), "{err}");
+        assert!(reg.list().unwrap().is_empty());
+    }
+
+    #[test]
     fn lint_reports_warnings_and_explain_carries_them() {
         let reg = registry();
-        // major_recommendation's upper recommend has no top-k bound, so
-        // it lints clean (no errors) but warns W106.
+        // major_recommendation's upper recommend is unbounded on purpose
+        // and vouches for it via expect_unbounded(), so it lints fully
+        // clean: no errors, and no W106 either.
         let wf = templates::major_recommendation(&SchemaMap::default(), STUDENT_PLACEHOLDER, 10, 1);
         reg.define("majors", "", &wf).unwrap();
         let report = reg.lint("majors", 444).unwrap();
         assert!(report.is_clean(), "{report}");
+        assert!(!report.has_code("W106"), "{report}");
+
+        // Strip the acknowledgment and the same workflow warns again:
+        // an unbounded recommend nobody vouched for is still suspect.
+        let mut noisy =
+            templates::major_recommendation(&SchemaMap::default(), STUDENT_PLACEHOLDER, 10, 1);
+        match &mut noisy.root {
+            Node::Recommend { spec, .. } => spec.unbounded_ok = false,
+            other => panic!("expected Recommend root, got {other:?}"),
+        }
+        reg.define("majors-noisy", "", &noisy).unwrap();
+        let report = reg.lint("majors-noisy", 444).unwrap();
+        assert!(report.is_clean(), "{report}");
         assert!(report.has_code("W106"), "{report}");
-        let lines = reg.explain("majors", 444).unwrap();
+        let lines = reg.explain("majors-noisy", 444).unwrap();
         assert!(
             lines.iter().any(|l| l.starts_with("-- lint: W106")),
             "{lines:?}"

@@ -377,6 +377,7 @@ fn lower(node: &Node, catalog: &Catalog) -> RelResult<LogicalPlan> {
                 method: spec.method.clone(),
                 agg,
                 k: spec.k,
+                unbounded_ok: spec.unbounded_ok,
                 score_name: spec.score_name.clone(),
                 exclude_seen,
             };

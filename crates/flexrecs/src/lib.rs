@@ -46,6 +46,6 @@ pub use cr_relation::similarity;
 pub use compile::{compile_and_run, CompiledRun, StepTiming};
 pub use datum::{Datum, Tuple, WfSchema, WfType};
 pub use exec::{execute, RecResult};
-pub use lint::{lint, LintReport};
+pub use lint::{lint, lint_for, LintReport};
 pub use similarity::{RatingsSim, SetSim, TextSim};
 pub use workflow::{CmpOp, Node, RecAgg, RecMethod, RecommendSpec, WfPredicate, Workflow};

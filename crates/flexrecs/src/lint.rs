@@ -18,6 +18,7 @@
 use std::fmt;
 
 use cr_relation::catalog::Catalog;
+use cr_relation::plan::flow::{self, Principal};
 use cr_relation::plan::validate::{self, Diagnostic};
 
 use crate::compile::compile;
@@ -83,13 +84,29 @@ impl fmt::Display for LintReport {
 
 /// Lint a workflow against a catalog. Infallible: compile failures become
 /// an [`E_COMPILE`] diagnostic, not an error.
+///
+/// Disclosure is checked for the *template student* ([`Principal::Student`]
+/// `(None)`): workflows are defined once and then selected by arbitrary
+/// student sessions, so define-time lint must prove the plan safe for the
+/// least-privileged principal that will run it. Use [`lint_for`] to lint
+/// for a different principal (e.g. a staff-only reporting workflow).
 pub fn lint(workflow: &Workflow, catalog: &Catalog) -> LintReport {
+    lint_for(workflow, catalog, &Principal::Student(None))
+}
+
+/// [`lint`] for an explicit principal: structural analysis plus
+/// [`flow::check_disclosure`] against `principal`'s clearance.
+pub fn lint_for(workflow: &Workflow, catalog: &Catalog, principal: &Principal) -> LintReport {
     let diagnostics = match compile(workflow, catalog) {
         // Analyze the *unoptimized* lowered plan: operator paths then map
         // 1:1 onto the workflow the author wrote, and warnings the
         // optimizer would mask (e.g. a contradictory filter folded away)
         // still surface.
-        Ok(plan) => validate::analyze(&plan, Some(catalog)).diagnostics,
+        Ok(plan) => {
+            let mut diags = validate::analyze(&plan, Some(catalog)).diagnostics;
+            diags.extend(flow::check_disclosure(&plan, catalog, principal).diagnostics);
+            diags
+        }
         Err(e) => vec![Diagnostic::error(
             E_COMPILE,
             "workflow",

@@ -239,18 +239,25 @@ pub fn user_cf_weighted(
 pub fn similar_students_by_courses(map: &SchemaMap, student_id: i64, k: usize) -> Workflow {
     Workflow::new(
         "similar-students",
-        Node::Recommend {
-            target: Box::new(Node::Select {
-                input: Box::new(map.students_with_course_sets()),
-                predicate: WfPredicate::cmp(&map.student_id, CmpOp::NotEq, student_id),
+        // Only the id and the similarity score leave the workflow: the
+        // ranked students' other attributes (notably GPA, which is
+        // per-user) stay inside, so the template passes disclosure lint
+        // for a student principal.
+        Node::Project {
+            input: Box::new(Node::Recommend {
+                target: Box::new(Node::Select {
+                    input: Box::new(map.students_with_course_sets()),
+                    predicate: WfPredicate::cmp(&map.student_id, CmpOp::NotEq, student_id),
+                }),
+                comparator: Box::new(Node::Select {
+                    input: Box::new(map.students_with_course_sets()),
+                    predicate: WfPredicate::eq(&map.student_id, student_id),
+                }),
+                spec: RecommendSpec::new("courses", "courses", RecMethod::Set(SetSim::Jaccard))
+                    .top_k(k)
+                    .score_as("sim"),
             }),
-            comparator: Box::new(Node::Select {
-                input: Box::new(map.students_with_course_sets()),
-                predicate: WfPredicate::eq(&map.student_id, student_id),
-            }),
-            spec: RecommendSpec::new("courses", "courses", RecMethod::Set(SetSim::Jaccard))
-                .top_k(k)
-                .score_as("sim"),
+            columns: vec![map.student_id.clone(), "sim".into()],
         },
     )
 }
@@ -399,8 +406,12 @@ pub fn major_recommendation(
                 columns: vec![map.course_id.clone(), map.course_dep.clone()],
             }),
             comparator: Box::new(lower),
+            // Unbounded on purpose: every course must keep its score so
+            // the application can average them per department; truncating
+            // here would bias the rollup.
             spec: RecommendSpec::new(&map.course_id, "ratings", RecMethod::RatingLookup)
-                .with_agg(RecAgg::Avg),
+                .with_agg(RecAgg::Avg)
+                .expect_unbounded(),
         },
     )
 }

@@ -166,6 +166,9 @@ pub struct RecommendSpec {
     pub agg: RecAgg,
     /// Keep only the top-k scored targets (None = all with score > 0).
     pub k: Option<usize>,
+    /// Acknowledge an unbounded output (see
+    /// [`RecommendSpec::expect_unbounded`]); suppresses lint W106.
+    pub unbounded_ok: bool,
     /// Name of the appended score column.
     pub score_name: String,
     /// Drop targets whose key equals a comparator key attribute value
@@ -182,6 +185,7 @@ impl RecommendSpec {
             method,
             agg: RecAgg::Max,
             k: None,
+            unbounded_ok: false,
             score_name: "score".to_owned(),
             exclude_seen: None,
         }
@@ -194,6 +198,15 @@ impl RecommendSpec {
 
     pub fn top_k(mut self, k: usize) -> Self {
         self.k = Some(k);
+        self
+    }
+
+    /// Vouch that an unbounded recommend (no [`RecommendSpec::top_k`]) is
+    /// intentional — the consumer aggregates or truncates the scored rows
+    /// downstream (e.g. the department rollup over per-course scores).
+    /// Suppresses the linter's W106 warning for this operator only.
+    pub fn expect_unbounded(mut self) -> Self {
+        self.unbounded_ok = true;
         self
     }
 
@@ -285,6 +298,16 @@ impl Workflow {
     /// Infallible — see [`crate::lint::lint`].
     pub fn lint(&self, catalog: &cr_relation::catalog::Catalog) -> crate::lint::LintReport {
         crate::lint::lint(self, catalog)
+    }
+
+    /// [`Workflow::lint`] for an explicit principal (disclosure is checked
+    /// against that principal's clearance instead of the template student).
+    pub fn lint_for(
+        &self,
+        catalog: &cr_relation::catalog::Catalog,
+        principal: &cr_relation::plan::flow::Principal,
+    ) -> crate::lint::LintReport {
+        crate::lint::lint_for(self, catalog, principal)
     }
 }
 

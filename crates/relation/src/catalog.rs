@@ -31,6 +31,7 @@ use crate::exec::{self, ResultSet};
 use crate::expr::Expr;
 use crate::index::IndexKind;
 use crate::mutation::{CompositeObserver, MutationObserver, ObserverSlot};
+use crate::plan::flow::{FlowPolicy, Principal, TablePolicy};
 use crate::plan::{self, optimizer, LogicalPlan};
 use crate::provider::ScanProvider;
 use crate::row::{Row, RowId};
@@ -41,6 +42,11 @@ use crate::table::Table;
 /// A table cell: the current immutable image, swapped (or mutated in
 /// place when unshared) under the cell's write lock.
 type TableCell = Arc<RwLock<Arc<Table>>>;
+
+/// Generation-stamped flow caches (see [`Catalog::flow_gen`]): each entry
+/// records the schema generation it was built under.
+type FlowTemplateCache = BTreeMap<String, (u64, Arc<plan::flow::ScanTemplate>)>;
+type FlowDecisionCache = BTreeMap<String, (u64, Arc<plan::ValidationReport>)>;
 
 /// The set of tables. Cloning a `Catalog` is cheap (it is an `Arc` inside);
 /// clones see the same data.
@@ -62,6 +68,32 @@ pub struct Catalog {
     /// snapshot is an atomic cut between whole mutations, never inside
     /// one.
     publish: Arc<RwLock<()>>,
+    /// Information-flow policy: per-table sensitivity labels plus the
+    /// k-anonymity threshold (see [`crate::plan::flow`]). Shared by all
+    /// clones and by snapshots, so frozen read views enforce the same
+    /// labels as the live catalog.
+    flow: Arc<RwLock<FlowPolicy>>,
+    /// Memoized per-table scan templates for the flow checker (resolved
+    /// labels per column), each stamped with the [`Catalog::flow_gen`]
+    /// it was built under. Cleared whenever a policy changes; a stamp
+    /// mismatch is a miss, so sharing the cache across clones and
+    /// snapshots is safe even across DDL.
+    flow_cache: Arc<RwLock<FlowTemplateCache>>,
+    /// Memoized disclosure decisions for the SQL read path, keyed by
+    /// `principal\x1fquery` and stamped like [`Catalog::flow_cache`].
+    /// Decisions depend only on schema + policy (never data), so the
+    /// stamp plus the policy-change clear is a sound invalidation.
+    flow_decisions: Arc<RwLock<FlowDecisionCache>>,
+    /// Schema-identity generation: bumped by create/drop/install/
+    /// register-provider, i.e. any event that can change which schema a
+    /// table name resolves to. Flow caches are stamped with it.
+    flow_gen: Arc<AtomicU64>,
+    /// Snapshots pin the generation at the cut: their pinned schemas
+    /// never change, so entries stamped at the cut stay valid for them
+    /// even while the live catalog moves on. (Policy is deliberately
+    /// *not* pinned — label changes clear the shared caches, so frozen
+    /// views enforce the live policy, matching `flow` being shared.)
+    flow_gen_pin: Option<u64>,
     /// Frozen handles ([`Catalog::snapshot`]) reject every mutation.
     frozen: bool,
 }
@@ -156,6 +188,7 @@ impl Catalog {
         }
         tables.insert(key, Arc::new(RwLock::new(Arc::new(table))));
         drop(tables);
+        self.bump_flow_gen();
         if let Some(obs) = observer {
             obs.on_create_table(name, &schema, &pk_columns);
         }
@@ -174,6 +207,7 @@ impl Catalog {
             return Err(RelError::TableExists(table.name().to_owned()));
         }
         tables.insert(key, Arc::new(RwLock::new(Arc::new(table))));
+        self.bump_flow_gen();
         Ok(())
     }
 
@@ -196,6 +230,8 @@ impl Catalog {
             return Err(RelError::TableExists(name.to_owned()));
         }
         providers.insert(key, provider);
+        drop(providers);
+        self.bump_flow_gen();
         Ok(())
     }
 
@@ -238,6 +274,7 @@ impl Catalog {
         drop(tables);
         match removed {
             Some(_) => {
+                self.bump_flow_gen();
                 if let Some(obs) = self.observer.read().get() {
                     obs.on_drop_table(name);
                 }
@@ -343,6 +380,15 @@ impl Catalog {
             providers: Arc::clone(&self.providers),
             virtual_tick: Arc::clone(&self.virtual_tick),
             publish: Arc::new(RwLock::new(())),
+            // Labels travel with the data: a frozen read view enforces
+            // exactly the live catalog's flow policy. The flow caches
+            // travel too; the snapshot pins the generation at the cut,
+            // so entries stamped now stay valid for its frozen schemas.
+            flow: Arc::clone(&self.flow),
+            flow_cache: Arc::clone(&self.flow_cache),
+            flow_decisions: Arc::clone(&self.flow_decisions),
+            flow_gen: Arc::clone(&self.flow_gen),
+            flow_gen_pin: Some(self.flow_gen_now()),
             frozen: true,
         };
         CatalogSnapshot {
@@ -399,6 +445,125 @@ impl Catalog {
     /// All virtual (scan-provider) table names, sorted.
     pub fn virtual_table_names(&self) -> Vec<String> {
         self.providers.read().keys().cloned().collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Information-flow policy (see `plan::flow`)
+    // ------------------------------------------------------------------
+
+    /// Register (or replace) a table's sensitivity-label policy. Tables
+    /// without a policy are `Public`. Shared by clones and snapshots.
+    pub fn set_table_policy(&self, table: &str, policy: TablePolicy) {
+        self.flow.write().set_table(table, policy);
+        self.flow_cache.write().clear();
+        self.flow_decisions.write().clear();
+    }
+
+    /// The flow policy of one table, if registered.
+    pub fn table_policy(&self, table: &str) -> Option<TablePolicy> {
+        self.flow.read().table(table).cloned()
+    }
+
+    /// Set the k-anonymity threshold for aggregate declassification.
+    pub fn set_flow_k(&self, k: i64) {
+        self.flow.write().k = k;
+        // Cached decisions baked the old threshold into their verdicts.
+        self.flow_decisions.write().clear();
+    }
+
+    /// The k-anonymity threshold (default: [`plan::flow::DEFAULT_K`]).
+    pub fn flow_k(&self) -> i64 {
+        self.flow.read().k
+    }
+
+    /// A point-in-time copy of the whole flow policy.
+    pub fn flow_policy(&self) -> FlowPolicy {
+        self.flow.read().clone()
+    }
+
+    /// The current flow-cache generation: the snapshot pin when frozen,
+    /// the live counter otherwise. Builders must capture it *before*
+    /// reading the schema they build from, so a concurrent DDL leaves
+    /// their entry stamped stale (a miss), never stale-but-fresh.
+    pub(crate) fn flow_gen_now(&self) -> u64 {
+        self.flow_gen_pin
+            .unwrap_or_else(|| self.flow_gen.load(Ordering::Relaxed))
+    }
+
+    fn bump_flow_gen(&self) {
+        self.flow_gen.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cached flow scan template for `table`, if stamped at the current
+    /// generation (anything else is a miss and will be rebuilt).
+    pub(crate) fn flow_template(&self, table: &str) -> Option<Arc<plan::flow::ScanTemplate>> {
+        let gen = self.flow_gen_now();
+        let cache = self.flow_cache.read();
+        // Same stack-lowercasing trick as `handle`: this sits on the
+        // per-query disclosure-check path.
+        let mut buf = [0u8; 64];
+        let hit = if table.is_ascii() && table.len() <= buf.len() {
+            let key = &mut buf[..table.len()];
+            key.copy_from_slice(table.as_bytes());
+            key.make_ascii_lowercase();
+            std::str::from_utf8(key).ok().and_then(|k| cache.get(k))
+        } else {
+            cache.get(&table.to_ascii_lowercase())
+        };
+        match hit {
+            Some((g, t)) if *g == gen => Some(Arc::clone(t)),
+            _ => None,
+        }
+    }
+
+    /// Memoize a flow scan template (key already lowercased) built under
+    /// generation `gen` (captured before the schema read).
+    pub(crate) fn store_flow_template(
+        &self,
+        key: String,
+        gen: u64,
+        t: Arc<plan::flow::ScanTemplate>,
+    ) {
+        self.flow_cache.write().insert(key, (gen, t));
+    }
+
+    /// Cached disclosure decision for `(principal, sql)`, if stamped at
+    /// the current generation.
+    pub(crate) fn flow_decision(&self, gen: u64, key: &str) -> Option<Arc<plan::ValidationReport>> {
+        match self.flow_decisions.read().get(key) {
+            Some((g, r)) if *g == gen => Some(Arc::clone(r)),
+            _ => None,
+        }
+    }
+
+    /// Memoize a disclosure decision. The map is bounded: a pathological
+    /// stream of distinct query texts clears it rather than growing it.
+    pub(crate) fn store_flow_decision(
+        &self,
+        key: String,
+        gen: u64,
+        report: Arc<plan::ValidationReport>,
+    ) {
+        let mut map = self.flow_decisions.write();
+        if map.len() >= 1024 {
+            map.clear();
+        }
+        map.insert(key, (gen, report));
+    }
+
+    /// Run a closure against a table's schema without cloning it (base
+    /// tables; provider schemas are still built on demand).
+    pub fn with_table_schema<R>(&self, name: &str, f: impl FnOnce(&Schema) -> R) -> RelResult<R> {
+        match self.handle(name) {
+            Ok(cell) => {
+                let image = cell.read();
+                Ok(f(image.schema()))
+            }
+            Err(unknown) => match self.provider(name) {
+                Some(p) => Ok(f(&p.schema())),
+                None => Err(unknown),
+            },
+        }
     }
 }
 
@@ -536,8 +701,37 @@ impl Database {
     /// Statically check a plan against this database's catalog: structural
     /// and type invariants plus dataflow warnings (contradictory filters,
     /// unused extends, cartesian joins, …). Never executes anything.
+    /// Equivalent to [`Database::validate_plan_for`] with a full-clearance
+    /// principal (no disclosure findings are possible).
     pub fn validate_plan(&self, plan: &LogicalPlan) -> plan::ValidationReport {
         plan::analyze(plan, Some(&self.catalog))
+    }
+
+    /// [`Database::validate_plan`] plus the information-flow disclosure
+    /// check for a concrete principal: structural diagnostics (E/W codes)
+    /// followed by policy diagnostics (P codes). Never executes anything.
+    pub fn validate_plan_for(
+        &self,
+        plan: &LogicalPlan,
+        principal: &Principal,
+    ) -> plan::ValidationReport {
+        let mut report = plan::analyze(plan, Some(&self.catalog));
+        report
+            .diagnostics
+            .extend(self.check_disclosure(plan, principal).diagnostics);
+        report
+    }
+
+    /// Statically prove (or refute) that the plan's output may be shown to
+    /// `principal` under the catalog's sensitivity labels. An empty report
+    /// is the proof; violations carry stable P-codes. Never executes
+    /// anything. See [`plan::flow::check_disclosure`].
+    pub fn check_disclosure(
+        &self,
+        plan: &LogicalPlan,
+        principal: &Principal,
+    ) -> plan::ValidationReport {
+        plan::flow::check_disclosure(plan, &self.catalog, principal)
     }
 
     /// Run a logical plan (optimizing first).

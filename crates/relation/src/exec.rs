@@ -3338,6 +3338,7 @@ mod tests {
             method: RecMethod::Set(crate::similarity::SetSim::Jaccard),
             agg: RecAggPlan::Max,
             k: None,
+            unbounded_ok: false,
             score_name: "score".into(),
             exclude_seen: None,
         };
@@ -3368,6 +3369,7 @@ mod tests {
             method: RecMethod::RatingLookup,
             agg: RecAggPlan::Avg,
             k: Some(10),
+            unbounded_ok: false,
             score_name: "score".into(),
             exclude_seen: None,
         };
@@ -3393,6 +3395,7 @@ mod tests {
             method: RecMethod::RatingLookup,
             agg: RecAggPlan::Avg,
             k: None,
+            unbounded_ok: false,
             score_name: "score".into(),
             exclude_seen: Some((0, 2)),
         };
@@ -3418,6 +3421,7 @@ mod tests {
             },
             agg: RecAggPlan::WeightedAvg { weight_col: 0 },
             k: None,
+            unbounded_ok: false,
             score_name: "s".into(),
             exclude_seen: None,
         };
@@ -3445,6 +3449,7 @@ mod tests {
                 method: RecMethod::Set(crate::similarity::SetSim::Dice),
                 agg: RecAggPlan::Avg,
                 k: Some(2),
+                unbounded_ok: false,
                 score_name: "score".into(),
                 exclude_seen: None,
             };
@@ -3489,6 +3494,7 @@ mod tests {
             },
             agg: RecAggPlan::Max,
             k: Some(3),
+            unbounded_ok: false,
             score_name: "score".into(),
             exclude_seen: None,
         };

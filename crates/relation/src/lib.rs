@@ -71,7 +71,7 @@ pub use exec::{
 };
 pub use expr::Expr;
 pub use mutation::{CompositeObserver, Mutation, MutationObserver};
-pub use plan::{LogicalPlan, PlanBuilder};
+pub use plan::{LogicalPlan, PlanBuilder, Principal, Sensitivity, TablePolicy};
 pub use profile::OpProfile;
 pub use provider::ScanProvider;
 pub use row::Row;

@@ -8,6 +8,7 @@
 
 mod builder;
 pub mod deps;
+pub mod flow;
 mod logical;
 pub mod optimizer;
 pub mod rec;
@@ -15,6 +16,10 @@ pub mod validate;
 
 pub use builder::{infer_expr_type, PlanBuilder};
 pub use deps::{ColumnSet, KeySet, PlanDeps, TableDeps};
+pub use flow::{
+    check_disclosure, flow_code_table, gate_decision, ColumnPolicy, ColumnRole, FlowPolicy,
+    GateDecision, Principal, Sensitivity, TablePolicy,
+};
 pub use logical::{AggExpr, AggFn, JoinKind, LogicalPlan, SortKey};
 pub use rec::{RecAggPlan, RecMethod, RecSpec};
 pub use validate::{analyze, provenance, Diagnostic, Severity, ValidationReport};

@@ -762,6 +762,7 @@ mod tests {
             method: RecMethod::Set(SetSim::Jaccard),
             agg: RecAggPlan::Max,
             k,
+            unbounded_ok: false,
             score_name: "score".into(),
             exclude_seen: None,
         };

@@ -83,6 +83,10 @@ pub struct RecSpec {
     pub agg: RecAggPlan,
     /// Keep only the top-k scored targets (None = all with score > 0).
     pub k: Option<usize>,
+    /// The author vouches for an unbounded output (`k: None`): the
+    /// consumer aggregates or truncates downstream, so the linter's
+    /// W106 unbounded-recommend warning is acknowledged and suppressed.
+    pub unbounded_ok: bool,
     /// Name of the appended score column.
     pub score_name: String,
     /// Drop targets whose `(target column)` value appears among the keys of

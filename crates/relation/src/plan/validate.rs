@@ -1006,7 +1006,7 @@ impl Checker<'_> {
                         ),
                     );
                 }
-                if spec.k.is_none() {
+                if spec.k.is_none() && !spec.unbounded_ok {
                     self.warning(
                         W_UNBOUNDED_REC,
                         "recommend has no top-k bound; it scores and returns every target row"

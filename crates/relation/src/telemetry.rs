@@ -33,6 +33,7 @@ use cr_obs::Registry;
 
 use crate::catalog::Catalog;
 use crate::error::RelResult;
+use crate::plan::flow::{Sensitivity, TablePolicy};
 use crate::provider::ScanProvider;
 use crate::row::Row;
 use crate::schema::{Column, DataType, Schema};
@@ -333,6 +334,20 @@ pub fn register_system_tables(catalog: &Catalog) -> RelResult<()> {
         }
         catalog.register_scan_provider(name, provider)?;
     }
+    // Sensitivity labels apply even when another component registered the
+    // provider first (e.g. cr-core's richer cr_stat_cache): traces and the
+    // slow-query log embed query text and plan trees, so they are
+    // operator-only; aggregate counters/histograms are community-visible.
+    for (table, label) in [
+        ("cr_stat_counters", Sensitivity::Community),
+        ("cr_stat_histograms", Sensitivity::Community),
+        ("cr_stat_traces", Sensitivity::Restricted),
+        ("cr_stat_slow_queries", Sensitivity::Restricted),
+        ("cr_stat_cache", Sensitivity::Community),
+        ("cr_stat_storage", Sensitivity::Community),
+    ] {
+        catalog.set_table_policy(table, TablePolicy::new(label));
+    }
     Ok(())
 }
 
@@ -381,6 +396,28 @@ mod tests {
                 .unwrap_or_else(|e| panic!("SELECT over {t}: {e}"));
             assert_eq!(rs.rows.len(), 1, "{t}");
         }
+    }
+
+    #[test]
+    fn telemetry_tables_are_labeled() {
+        use crate::plan::flow::{check_disclosure, Principal, P_RESTRICTED_SOURCE};
+
+        let db = db_with_system_tables();
+        let catalog = db.catalog();
+        let plan = crate::sql::plan_query("SELECT label FROM cr_stat_slow_queries", &catalog)
+            .expect("plan");
+        let student = check_disclosure(&plan, &catalog, &Principal::Student(Some(1)));
+        assert!(student.has_code(P_RESTRICTED_SOURCE), "{student}");
+        let faculty = check_disclosure(&plan, &catalog, &Principal::Faculty);
+        assert!(faculty.has_errors(), "{faculty}");
+        let staff = check_disclosure(&plan, &catalog, &Principal::Staff);
+        assert!(staff.is_empty(), "{staff}");
+
+        // Aggregate counters are community-visible but not anonymous.
+        let counters = crate::sql::plan_query("SELECT name, value FROM cr_stat_counters", &catalog)
+            .expect("plan");
+        assert!(check_disclosure(&counters, &catalog, &Principal::Student(Some(1))).is_empty());
+        assert!(check_disclosure(&counters, &catalog, &Principal::Anonymous).has_errors());
     }
 
     #[test]

@@ -21,13 +21,23 @@ fn proto_err(msg: impl Into<String>) -> io::Error {
 }
 
 impl<C: Read + Write> Client<C> {
-    /// Perform the handshake over an established transport.
-    pub fn handshake(mut conn: C, client_name: &str) -> io::Result<Self> {
+    /// Perform the handshake over an established transport as `staff`
+    /// (full clearance — the pre-v3 behavior). Use
+    /// [`Client::handshake_as`] to open a principal-scoped session.
+    pub fn handshake(conn: C, client_name: &str) -> io::Result<Self> {
+        Self::handshake_as(conn, client_name, "staff")
+    }
+
+    /// Handshake with an explicit principal (`"student:444"`,
+    /// `"faculty"`, …); every query on the session is disclosure-checked
+    /// against it.
+    pub fn handshake_as(mut conn: C, client_name: &str, principal: &str) -> io::Result<Self> {
         write_frame(
             &mut conn,
             &Request::Hello {
                 protocol_version: PROTOCOL_VERSION,
                 client: client_name.to_owned(),
+                principal: principal.to_owned(),
             },
         )?;
         match read_frame::<_, Response>(&mut conn)? {
@@ -151,6 +161,18 @@ impl Client<TcpStream> {
 /// Branch helper: did the server shed this request?
 pub fn is_overloaded(resp: &Response) -> bool {
     matches!(resp, Response::Overloaded { .. })
+}
+
+/// Branch helper: the flow analysis denied this query for the session's
+/// principal.
+pub fn is_policy_denied(resp: &Response) -> bool {
+    matches!(
+        resp,
+        Response::Error {
+            code: ErrorCode::PolicyDenied,
+            ..
+        }
+    )
 }
 
 /// Branch helper: a read-only violation (mutation through a snapshot).

@@ -133,8 +133,12 @@ mod tests {
             },
         )
         .unwrap();
-        let a = server.sessions().open("test", "reader");
-        let b = server.sessions().open("test", "writer");
+        let a = server
+            .sessions()
+            .open("test", "reader", cr_relation::plan::Principal::Staff);
+        let b = server
+            .sessions()
+            .open("test", "writer", cr_relation::plan::Principal::Staff);
         let counts = |sid: u64| match server.dispatch(
             sid,
             &Request::Counts {
@@ -185,6 +189,7 @@ mod tests {
             &Request::Hello {
                 protocol_version: 999,
                 client: "time-traveler".into(),
+                principal: "staff".into(),
             },
         )
         .unwrap();

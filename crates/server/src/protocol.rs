@@ -21,7 +21,10 @@ use serde::{Deserialize, Serialize};
 
 /// Protocol revision spoken by this build. Bumped on any wire change.
 /// v2: `Recommend` gained an optional `basis` field.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// v3: `Hello` carries a `principal` (student/faculty/staff/…); queries
+/// are disclosure-checked against it before execution and denied with
+/// [`ErrorCode::PolicyDenied`].
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Upper bound on a single frame body; anything larger is a protocol
 /// error (protects the server from a bad length prefix).
@@ -62,10 +65,17 @@ impl RequestClass {
 /// other variant may repeat for the life of the session.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
-    /// Session open: version negotiation + client identification.
+    /// Session open: version negotiation + client identification. The
+    /// `principal` ("anonymous" / "student" / "student:444" / "faculty" /
+    /// "staff" / "admin") is the clearance every subsequent query is
+    /// disclosure-checked against; an unparseable principal is rejected
+    /// at handshake with [`ErrorCode::BadRequest`]. Required as of v3 —
+    /// the strict version gate turns away older clients before the
+    /// missing field could matter.
     Hello {
         protocol_version: u32,
         client: String,
+        principal: String,
     },
     /// Liveness check (read class, bypasses the catalog entirely).
     Ping,
@@ -180,6 +190,9 @@ pub enum ErrorCode {
     ReadOnly,
     /// Referenced entity does not exist.
     NotFound,
+    /// The information-flow check rejected the query for this session's
+    /// principal (P-codes from `cr_relation::plan::flow`).
+    PolicyDenied,
     /// Anything else the engine reported.
     Internal,
 }
@@ -342,6 +355,7 @@ mod tests {
             Request::Hello {
                 protocol_version: PROTOCOL_VERSION,
                 client: "test".into(),
+                principal: "student:444".into(),
             },
             Request::Search {
                 query: "compilers".into(),
@@ -362,6 +376,14 @@ mod tests {
             out.push(r);
         }
         assert_eq!(out, reqs);
+    }
+
+    #[test]
+    fn hello_requires_principal_in_v3() {
+        // A pre-v3 Hello frame (no principal) no longer parses; the
+        // handshake's version gate would have rejected the client anyway.
+        let json = r#"{"Hello":{"protocol_version":3,"client":"old"}}"#;
+        assert!(serde_json::from_str::<Request>(json).is_err());
     }
 
     #[test]

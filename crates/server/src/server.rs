@@ -44,6 +44,7 @@ use std::time::{Duration, Instant};
 use courserank::db::{Comment, EnrollStatus, Enrollment};
 use courserank::model::{Quarter, Term};
 use courserank::CourseRank;
+use cr_relation::plan::flow::{check_disclosure_sql, Principal};
 use cr_relation::{RelError, RelResult};
 
 use crate::admission::{Admission, AdmissionConfig};
@@ -94,6 +95,10 @@ struct ServerMetrics {
     latency: [Arc<cr_obs::Histogram>; 3],
     /// Shared read view republished (vs served from cache).
     republished: Arc<cr_obs::Counter>,
+    /// SQL reads that went through the disclosure check.
+    flow_checked: Arc<cr_obs::Counter>,
+    /// SQL reads the disclosure check denied (PolicyDenied on the wire).
+    flow_denied: Arc<cr_obs::Counter>,
     /// Writes folded into one republication — the delta batch a cut
     /// absorbs. Large values mean a write storm was amortized into a
     /// single copy-on-write wave instead of one per read.
@@ -114,6 +119,8 @@ impl ServerMetrics {
                 reg.histogram("server.admin.request_ns"),
             ],
             republished: reg.counter("server.snapshot.republished"),
+            flow_checked: reg.counter("plan.flow.checked"),
+            flow_denied: reg.counter("plan.flow.denied"),
             republish_batch: reg.histogram("server.snapshot.delta_batch"),
         }
     }
@@ -236,6 +243,7 @@ impl Server {
             Ok(Some(Request::Hello {
                 protocol_version,
                 client,
+                principal,
             })) => {
                 if protocol_version != PROTOCOL_VERSION {
                     let _ = write_frame(
@@ -249,7 +257,20 @@ impl Server {
                     );
                     return;
                 }
-                let id = self.sessions.open(peer, &client);
+                let Some(principal) = Principal::parse(&principal) else {
+                    let _ = write_frame(
+                        &mut conn,
+                        &Response::Error {
+                            code: ErrorCode::BadRequest,
+                            message: format!(
+                                "unknown principal {principal:?} \
+                                 (anonymous|student|student:<id>|faculty|staff|admin)"
+                            ),
+                        },
+                    );
+                    return;
+                };
+                let id = self.sessions.open(peer, &client, principal);
                 self.metrics
                     .sessions_active
                     .set(self.sessions.active() as i64);
@@ -379,7 +400,8 @@ impl Server {
                 // One atomic cut per request: every table the request
                 // touches comes from the same snapshot.
                 let pinned = self.pinned_view(session);
-                self.execute_read(&pinned.view, &pinned.cut, req)
+                let principal = self.sessions.principal(session);
+                self.execute_read(&pinned.view, &pinned.cut, &principal, req)
             }
             RequestClass::Write => {
                 let resp = self.execute_write(req);
@@ -399,6 +421,7 @@ impl Server {
         &self,
         view: &CourseRank,
         cut: &cr_relation::CatalogSnapshot,
+        principal: &Principal,
         req: &Request,
     ) -> Response {
         match req {
@@ -506,13 +529,37 @@ impl Server {
             // `execute_sql` (not `query_sql`): read-only enforcement is
             // the snapshot's frozen-catalog guard, not statement-kind
             // parsing — DML fails with the typed ReadOnly error.
-            Request::SqlRead { query } => match view.db().database().execute_sql(query) {
-                Ok(rs) => Response::Rows {
-                    columns: rs.schema.columns().iter().map(|c| c.name.clone()).collect(),
-                    rows: rs.rows,
-                },
-                Err(e) => error_response(&e),
-            },
+            Request::SqlRead { query } => {
+                // Disclosure check before execution: if the query plans
+                // as a SELECT, its information flow must clear this
+                // session's principal. Statements that do not plan
+                // (DML, DDL) fall through — the snapshot's read-only
+                // guard rejects them with its own typed error. The
+                // decision is memoized per (principal, text) on the
+                // catalog, so repeated queries pay one map lookup, not
+                // a plan + flow walk.
+                let catalog = view.db().catalog();
+                if let Some(report) = check_disclosure_sql(query, &catalog, principal) {
+                    self.metrics.flow_checked.inc();
+                    if report.has_errors() {
+                        self.metrics.flow_denied.inc();
+                        let first = report
+                            .first_error()
+                            .map_or_else(|| "policy violation".to_owned(), ToString::to_string);
+                        return Response::Error {
+                            code: ErrorCode::PolicyDenied,
+                            message: format!("disclosure check failed for {principal}: {first}"),
+                        };
+                    }
+                }
+                match view.db().database().execute_sql(query) {
+                    Ok(rs) => Response::Rows {
+                        columns: rs.schema.columns().iter().map(|c| c.name.clone()).collect(),
+                        rows: rs.rows,
+                    },
+                    Err(e) => error_response(&e),
+                }
+            }
             other => Response::Error {
                 code: ErrorCode::BadRequest,
                 message: format!("{} is not a read request", other.kind()),

@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{SystemTime, UNIX_EPOCH};
 
+use cr_relation::plan::flow::Principal;
 use parking_lot::Mutex;
 
 /// A row of session state (cloned out for telemetry snapshots).
@@ -20,6 +21,9 @@ pub struct SessionInfo {
     pub peer: String,
     /// Client-announced name from the handshake.
     pub client: String,
+    /// The clearance this session's queries are disclosure-checked
+    /// against (protocol v3 handshake).
+    pub principal: Principal,
     /// Unix seconds at handshake.
     pub started_unix: u64,
     pub requests: u64,
@@ -49,7 +53,7 @@ impl SessionRegistry {
     }
 
     /// Open a session at handshake time; returns its id.
-    pub fn open(&self, peer: &str, client: &str) -> u64 {
+    pub fn open(&self, peer: &str, client: &str, principal: Principal) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let started_unix = SystemTime::now()
             .duration_since(UNIX_EPOCH)
@@ -61,6 +65,7 @@ impl SessionRegistry {
                 id,
                 peer: peer.to_owned(),
                 client: client.to_owned(),
+                principal,
                 started_unix,
                 requests: 0,
                 errors: 0,
@@ -110,6 +115,16 @@ impl SessionRegistry {
             .map_or(0, |s| s.last_write_seq)
     }
 
+    /// The session's clearance ([`Principal::Staff`] for an unknown id:
+    /// internal callers — harness dispatch without a handshake — keep
+    /// the pre-principal behavior).
+    pub fn principal(&self, id: u64) -> Principal {
+        self.sessions
+            .lock()
+            .get(&id)
+            .map_or(Principal::Staff, |s| s.principal.clone())
+    }
+
     pub fn active(&self) -> usize {
         self.sessions.lock().len()
     }
@@ -129,10 +144,14 @@ mod tests {
     #[test]
     fn lifecycle_and_counters() {
         let reg = SessionRegistry::new();
-        let a = reg.open("pipe", "test-a");
-        let b = reg.open("127.0.0.1:9", "test-b");
+        let a = reg.open("pipe", "test-a", Principal::Staff);
+        let b = reg.open("127.0.0.1:9", "test-b", Principal::Student(Some(7)));
         assert_ne!(a, b);
         assert_eq!(reg.active(), 2);
+        assert_eq!(reg.principal(a), Principal::Staff);
+        assert_eq!(reg.principal(b), Principal::Student(Some(7)));
+        // Unknown ids fall back to staff (internal dispatch paths).
+        assert_eq!(reg.principal(999), Principal::Staff);
 
         reg.record(a, "search", false, false);
         reg.record(a, "vote", true, false);

@@ -26,6 +26,7 @@ impl ScanProvider for SessionsProvider {
             Column::new("SessionID", DataType::Int),
             Column::new("Peer", DataType::Text),
             Column::new("Client", DataType::Text),
+            Column::new("Principal", DataType::Text),
             Column::new("StartedUnix", DataType::Int),
             Column::new("Requests", DataType::Int),
             Column::new("Errors", DataType::Int),
@@ -45,6 +46,7 @@ impl ScanProvider for SessionsProvider {
                     s.id as i64,
                     s.peer.as_str(),
                     s.client.as_str(),
+                    s.principal.to_string().as_str(),
                     s.started_unix as i64,
                     s.requests as i64,
                     s.errors as i64,
@@ -105,6 +107,16 @@ pub fn register_server_tables(
         "cr_stat_admission",
         Arc::new(AdmissionProvider { admission }),
     )?;
+    // Who-is-connected (peers, principals) is operator telemetry;
+    // admission counters are aggregate and community-visible.
+    catalog.set_table_policy(
+        "cr_stat_sessions",
+        cr_relation::plan::TablePolicy::new(cr_relation::plan::Sensitivity::Restricted),
+    );
+    catalog.set_table_policy(
+        "cr_stat_admission",
+        cr_relation::plan::TablePolicy::new(cr_relation::plan::Sensitivity::Community),
+    );
     Ok(())
 }
 
@@ -122,7 +134,7 @@ mod tests {
         register_server_tables(&db.catalog(), Arc::clone(&sessions), Arc::clone(&admission))
             .unwrap();
 
-        let sid = sessions.open("pipe", "unit");
+        let sid = sessions.open("pipe", "unit", cr_relation::plan::Principal::Staff);
         sessions.record(sid, "search", false, false);
         let _permit = admission.admit(RequestClass::Read).unwrap();
 

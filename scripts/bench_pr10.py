@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Run the PR10 flow-analysis scenarios and emit BENCH_pr10.json.
+
+Runs `cargo bench -p cr-bench --bench workflow_compile`, parses the
+`[PR10] scenario=... key=value ...` lines, and writes a JSON report.
+
+Two cost shapes are measured:
+
+* flow_gate_sql_* — the server's per-request path: the memoized
+  disclosure decision (`check_disclosure_sql`), steady-state. A hit is
+  one generation-stamped map lookup; DDL and policy changes invalidate.
+  This is the number the ≤5%-of-compile budget applies to (the same
+  discipline PR 5 held: the per-query gate is budgeted, the cold
+  analysis is measured and reported).
+* flow_check_* — the cold, unmemoized label walk (what a first-seen
+  query or a workflow define pays, once per text/template). Reported
+  with its pct_of_compile and sanity-gated well below compile cost, but
+  not held to the 5% budget — it runs once, not per request.
+
+Gates (recorded always; only fatal without --smoke):
+
+* flow_gate_budget: every flow_gate_sql_* scenario ≤ 5% of its query's
+  compile (plan_query) cost.
+* cold_walk_sane: every cold flow_check_* scenario stays under 60% of
+  compile — the walk must remain clearly cheaper than planning itself.
+* staff_fast_path: the full-clearance check (flow_check_sql_grade_scan,
+  a staff principal) costs ≤ 100ns — the lattice-top short-circuit must
+  keep the default session free.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+
+LINE = re.compile(r"\[PR10\] scenario=(\S+)((?:\s+\w+=[0-9.]+)+)")
+PAIR = re.compile(r"(\w+)=([0-9.]+)")
+
+
+def run_bench(smoke):
+    cmd = ["cargo", "bench", "-q", "-p", "cr-bench", "--bench", "workflow_compile", "--"]
+    if smoke:
+        cmd.append("--smoke")
+    out = subprocess.run(cmd, capture_output=True, text=True, check=True).stdout
+    sys.stdout.write(out)
+    metrics = {}
+    for m in LINE.finditer(out):
+        scenario = m.group(1)
+        for k, v in PAIR.findall(m.group(2)):
+            metrics[f"{scenario}.{k}"] = float(v) if "." in v else int(v)
+    return metrics
+
+
+def main():
+    smoke = "--smoke" in sys.argv[1:]
+    metrics = run_bench(smoke)
+
+    gates = []
+    ok = True
+
+    def gate(name, cond, detail):
+        nonlocal ok
+        gates.append({"name": name, "ok": bool(cond), "detail": detail})
+        print(f"{'PASS' if cond else 'FAIL'}: {name}: {detail}")
+        ok &= bool(cond)
+
+    gated = {
+        k: v for k, v in metrics.items()
+        if k.startswith("flow_gate_sql_") and k.endswith(".pct_of_compile")
+    }
+    gate(
+        "flow_gate_budget",
+        bool(gated) and all(v <= 5.0 for v in gated.values()),
+        "memoized per-request gate vs 5% budget: "
+        + ", ".join(f"{k.split('.')[0]}={v}%" for k, v in sorted(gated.items())),
+    )
+
+    cold = {
+        k: v for k, v in metrics.items()
+        if k.startswith("flow_check_") and k.endswith(".pct_of_compile")
+    }
+    gate(
+        "cold_walk_sane",
+        bool(cold) and all(v <= 60.0 for v in cold.values()),
+        "cold label walk vs 60% sanity ceiling: "
+        + ", ".join(f"{k.split('.')[0]}={v}%" for k, v in sorted(cold.items())),
+    )
+
+    staff_ns = metrics.get("flow_check_sql_grade_scan.median_ns")
+    gate(
+        "staff_fast_path",
+        staff_ns is not None and staff_ns <= 100,
+        f"full-clearance check {staff_ns}ns vs 100ns ceiling",
+    )
+
+    report = {
+        "smoke": smoke,
+        "host_cpus": os.cpu_count() or 1,
+        "metrics": metrics,
+        "gates": gates,
+    }
+    out_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_pr10.json")
+    with open(os.path.abspath(out_path), "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {os.path.abspath(out_path)}")
+
+    if not ok and not smoke:
+        print("FAIL: at least one PR10 gate failed", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

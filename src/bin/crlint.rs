@@ -7,10 +7,16 @@
 //! `--strict`, any warnings).
 //!
 //! ```text
-//! crlint            # lint all built-in strategies
-//! crlint --strict   # warnings are fatal too
-//! crlint --codes    # print the diagnostic code table
+//! crlint                       # lint all built-in strategies
+//! crlint --strict              # warnings are fatal too
+//! crlint --principal student   # disclosure-check as that principal
+//! crlint --codes               # print the diagnostic code table
 //! ```
+//!
+//! Without `--principal`, disclosure is checked for the template student
+//! (the least-privileged principal a stored strategy runs as). With it,
+//! the flow analysis (P-codes) runs against the named principal —
+//! `anonymous`, `student`, `student:<id>`, `faculty`, `staff`, `admin`.
 
 use std::process::ExitCode;
 
@@ -18,7 +24,7 @@ use courserank::services::strategies::STUDENT_PLACEHOLDER;
 use courserank::CourseRank;
 use cr_flexrecs::templates::{self, SchemaMap};
 use cr_flexrecs::Workflow;
-use cr_relation::plan::validate;
+use cr_relation::plan::{flow, validate};
 
 fn builtin_strategies(map: &SchemaMap) -> Vec<(&'static str, &'static str, Workflow)> {
     let s = STUDENT_PLACEHOLDER;
@@ -61,7 +67,7 @@ fn builtin_strategies(map: &SchemaMap) -> Vec<(&'static str, &'static str, Workf
     ]
 }
 
-fn run(strict: bool) -> Result<ExitCode, String> {
+fn run(strict: bool, principal: Option<&flow::Principal>) -> Result<ExitCode, String> {
     let (db, _) = cr_datagen::generate(&cr_datagen::ScaleConfig::tiny())
         .map_err(|e| format!("datagen: {e}"))?;
     let app = CourseRank::assemble(db).map_err(|e| format!("assemble: {e}"))?;
@@ -71,13 +77,25 @@ fn run(strict: bool) -> Result<ExitCode, String> {
             .map_err(|e| format!("define {name}: {e}"))?;
     }
 
+    // Concrete session id the placeholder is substituted with; a
+    // `student:<id>` principal lints as that student's own session.
+    let student = match principal {
+        Some(flow::Principal::Student(Some(id))) => *id,
+        _ => 444,
+    };
+    if let Some(p) = principal {
+        println!("disclosure checked for principal: {p}\n");
+    }
+
     let mut errors = 0usize;
     let mut warnings = 0usize;
     let listed = reg.list().map_err(|e| format!("list: {e}"))?;
     for info in &listed {
-        let report = reg
-            .lint(&info.name, 444)
-            .map_err(|e| format!("lint {}: {e}", info.name))?;
+        let report = match principal {
+            Some(p) => reg.lint_as(&info.name, student, p),
+            None => reg.lint(&info.name, student),
+        }
+        .map_err(|e| format!("lint {}: {e}", info.name))?;
         errors += report.errors().count();
         warnings += report.warnings().count();
         if report.diagnostics.is_empty() {
@@ -114,12 +132,15 @@ fn print_codes() {
         "{:<6} workflow failed to compile",
         cr_flexrecs::lint::E_COMPILE
     );
+    for (code, desc) in flow::flow_code_table() {
+        println!("{code:<6} {desc}");
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: crlint [--strict] [--codes]");
+        println!("usage: crlint [--strict] [--principal P] [--codes]");
         return ExitCode::SUCCESS;
     }
     if args.iter().any(|a| a == "--codes") {
@@ -127,7 +148,20 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let strict = args.iter().any(|a| a == "--strict");
-    match run(strict) {
+    let principal = match args.iter().position(|a| a == "--principal") {
+        Some(i) => match args.get(i + 1).map(|s| flow::Principal::parse(s)) {
+            Some(Some(p)) => Some(p),
+            _ => {
+                eprintln!(
+                    "crlint: --principal needs one of: anonymous, student, \
+                     student:<id>, faculty, staff, admin"
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    match run(strict, principal.as_ref()) {
         Ok(code) => code,
         Err(e) => {
             eprintln!("crlint: {e}");

@@ -176,6 +176,79 @@ fn e8_plan_sharing_opt_out_respected_end_to_end() {
     }
 }
 
+/// PR10 differential check: the flow-derived enforcement
+/// (`cr_relation::plan::flow::gate_decision` + `Catalog::flow_k`) must be
+/// byte-identical to the legacy role-matrix behavior of the `Privacy`
+/// service, across every (role × sharing × self/other) combination on
+/// real generated students.
+#[test]
+fn flow_derived_privacy_matches_legacy_matrix() {
+    use courserank::auth::Role;
+
+    let (db, _) = cr_datagen::generate(&ScaleConfig::tiny()).unwrap();
+    let privacy = Privacy::new(db.clone());
+
+    // The k-threshold is one number, owned by the catalog's flow policy.
+    assert_eq!(
+        privacy.policy().min_class_size,
+        db.database().catalog().flow_k()
+    );
+    assert_eq!(db.database().catalog().flow_k(), 5);
+
+    // The legacy matrix, restated verbatim as the oracle.
+    let legacy = |viewer: i64, role: Role, owner: i64, shares: bool| -> Result<(), Withheld> {
+        if viewer == owner {
+            return Ok(());
+        }
+        match role {
+            Role::Staff | Role::Admin => Ok(()),
+            Role::Faculty => Err(Withheld::RoleForbidden),
+            Role::Student => {
+                if shares {
+                    Ok(())
+                } else {
+                    Err(Withheld::OptedOut)
+                }
+            }
+        }
+    };
+
+    // One sharing and one opted-out student from the generated data.
+    let rs = db
+        .database()
+        .query_sql("SELECT SuID, SharePlans FROM Students")
+        .unwrap();
+    let mut sharer = None;
+    let mut opt_out = None;
+    for r in &rs.rows {
+        let id = r[0].as_int().unwrap();
+        if r[1].as_bool().unwrap() {
+            sharer.get_or_insert(id);
+        } else {
+            opt_out.get_or_insert(id);
+        }
+    }
+    let owners = [
+        (sharer.expect("a sharer"), true),
+        (opt_out.expect("an opt-out"), false),
+    ];
+
+    let mut cases = 0;
+    for (owner, shares) in owners {
+        for role in [Role::Student, Role::Faculty, Role::Staff, Role::Admin] {
+            for viewer in [owner, owner + 1, 999_999] {
+                let got = privacy.can_view_plans(viewer, role, owner).unwrap();
+                let want = legacy(viewer, role, owner, shares);
+                // Byte-identical: same variant, same payload, same Debug.
+                assert_eq!(got, want, "viewer={viewer} role={role:?} owner={owner}");
+                assert_eq!(format!("{got:?}"), format!("{want:?}"));
+                cases += 1;
+            }
+        }
+    }
+    assert_eq!(cases, 24);
+}
+
 #[test]
 fn total_variation_is_a_metric_on_these_inputs() {
     let (db, _) = cr_datagen::generate(&ScaleConfig::tiny()).unwrap();

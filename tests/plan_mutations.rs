@@ -409,6 +409,172 @@ fn corpus_covers_at_least_ten_distinct_codes() {
     }
 }
 
+// --- PR10: policy-violation corpus (P-codes from the flow analysis) --------
+//
+// Same spirit as the structural mutations above, but for *disclosure*:
+// each plan is well-formed, yet leaks labeled data for the given
+// principal. Every stable P-code must be produced by at least one plan
+// here, including the implicit-flow case and the k-threshold boundary.
+
+mod policy {
+    use super::*;
+    use cr_relation::plan::flow::{self, Principal};
+
+    fn flow_check(db: &Database, sql: &str, p: &Principal) -> ValidationReport {
+        let plan = cr_relation::sql::plan_query(sql, &db.catalog()).unwrap();
+        flow::check_disclosure(&plan, &db.catalog(), p)
+    }
+
+    fn student() -> Principal {
+        Principal::Student(Some(2))
+    }
+
+    #[test]
+    fn p001_direct_grade_scan() {
+        let db = campus();
+        let r = flow_check(&db, "SELECT SuID, Grade FROM Enrollments", &student());
+        assert_flags(&r, "P001");
+        // Same plan, full clearance: clean.
+        let r = flow_check(
+            &db,
+            "SELECT SuID, Grade FROM Enrollments",
+            &Principal::Staff,
+        );
+        assert!(r.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn p001_handbuilt_gpa_projection() {
+        // Not via SQL: a hand-built Project exposing the per-user GPA.
+        let db = campus();
+        let plan = PlanBuilder::scan(&db.catalog(), "Students")
+            .unwrap()
+            .select_columns(&["Name", "GPA"])
+            .unwrap()
+            .build();
+        let r = flow::check_disclosure(&plan, &db.catalog(), &student());
+        assert_flags(&r, "P001");
+    }
+
+    #[test]
+    fn p002_implicit_flow_via_grade_predicate() {
+        // Output is only community data, but *which rows* depends on a
+        // per-user grade — the implicit-flow case.
+        let db = campus();
+        let r = flow_check(
+            &db,
+            "SELECT SuID FROM Enrollments WHERE Grade = 'A'",
+            &student(),
+        );
+        assert_flags(&r, "P002");
+        assert!(
+            !r.has_code("P001"),
+            "direct and implicit must not blur: {r}"
+        );
+    }
+
+    #[test]
+    fn p003_k_threshold_boundary() {
+        let db = campus();
+        let having = |k: i64| {
+            format!(
+                "SELECT Grade, COUNT(DISTINCT SuID) AS n FROM Enrollments \
+                 GROUP BY Grade HAVING COUNT(DISTINCT SuID) >= {k}"
+            )
+        };
+        // Below k=5: denied.
+        let below = flow_check(&db, &having(4), &student());
+        assert_flags(&below, "P003");
+        // At the threshold: the guard proves group size; clean.
+        let at = flow_check(&db, &having(5), &student());
+        assert!(at.is_empty(), "{at}");
+        // Above: clean a fortiori.
+        let above = flow_check(&db, &having(6), &student());
+        assert!(above.is_empty(), "{above}");
+        // No guard at all: denied.
+        let none = flow_check(
+            &db,
+            "SELECT Grade, COUNT(DISTINCT SuID) AS n FROM Enrollments GROUP BY Grade",
+            &student(),
+        );
+        assert_flags(&none, "P003");
+    }
+
+    #[test]
+    fn p004_optout_gate_bypass() {
+        let db = campus();
+        let bypass = "SELECT e.SuID, e.CourseID FROM Enrollments e WHERE e.Status = 'planned'";
+        let r = flow_check(&db, bypass, &student());
+        assert_flags(&r, "P004");
+        // Guarding on the sharing gate declassifies for students...
+        let gated = "SELECT e.SuID, e.CourseID FROM Enrollments e \
+                     JOIN Students s ON e.SuID = s.SuID \
+                     WHERE s.SharePlans = TRUE AND e.Status = 'planned'";
+        let r = flow_check(&db, gated, &student());
+        assert!(!r.has_errors(), "{r}");
+        // ...but never for faculty (the paper's role matrix).
+        let r = flow_check(&db, gated, &Principal::Faculty);
+        assert_flags(&r, "P004");
+    }
+
+    #[test]
+    fn p005_restricted_telemetry_scan() {
+        let db = campus();
+        for table in ["cr_stat_slow_queries", "cr_stat_traces"] {
+            let sql = format!("SELECT * FROM {table}");
+            let r = flow_check(&db, &sql, &student());
+            assert_flags(&r, "P005");
+            let r = flow_check(&db, &sql, &Principal::Staff);
+            assert!(r.is_empty(), "{table}: {r}");
+        }
+    }
+
+    #[test]
+    fn p101_weak_guard_warns_without_denying() {
+        // COUNT(*) bounds rows, not distinct owners — enough to
+        // declassify, weak enough to warn about.
+        let db = campus();
+        let r = flow_check(
+            &db,
+            "SELECT Grade, COUNT(*) AS n FROM Enrollments \
+             GROUP BY Grade HAVING COUNT(*) >= 5",
+            &student(),
+        );
+        assert!(!r.has_errors(), "{r}");
+        assert_flags(&r, "P101");
+    }
+
+    #[test]
+    fn self_access_is_clean() {
+        let db = campus();
+        let r = flow_check(
+            &db,
+            "SELECT CourseID, Grade FROM Enrollments WHERE SuID = 2",
+            &student(),
+        );
+        assert!(r.is_empty(), "{r}");
+        // The same rows under someone else's id: denied.
+        let r = flow_check(
+            &db,
+            "SELECT CourseID, Grade FROM Enrollments WHERE SuID = 3",
+            &student(),
+        );
+        assert!(r.has_errors(), "{r}");
+    }
+
+    #[test]
+    fn corpus_covers_every_p_code() {
+        // Every code the analysis can emit is exercised by a test above;
+        // keep this list in sync with `flow::flow_code_table`.
+        let covered = ["P001", "P002", "P003", "P004", "P005", "P101"];
+        let table: Vec<&str> = flow::flow_code_table().iter().map(|(c, _)| *c).collect();
+        assert_eq!(covered.len(), table.len());
+        for code in covered {
+            assert!(table.contains(&code), "{code} missing from flow_code_table");
+        }
+    }
+}
+
 // --- helpers ---------------------------------------------------------------
 
 /// Apply `f` to the first Extend node found (preorder), rebuilding the

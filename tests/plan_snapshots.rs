@@ -89,16 +89,20 @@ Recommend #0 ~ #6 method=rating_lookup agg=wavg[#7] top=20 AS score
 #[test]
 fn similar_students_by_courses_plan() {
     let wf = templates::similar_students_by_courses(&SchemaMap::default(), 444, 10);
+    // The template projects away every ranked student's other attributes
+    // (notably per-user GPA) so it passes disclosure lint; the root
+    // Project carries only the id and the appended similarity score.
     assert_plan(
         &wf,
         r#"
-Recommend #6 ~ #6 method=set:jaccard agg=max top=10 AS sim
-  Extend set AS courses key=#0
-    Scan Students filter=((#0 IS NOT NULL) AND (#0 <> 444))
-    Scan Comments cols=[1, 2]
-  Extend set AS courses key=#0
-    Scan Students filter=((#0 IS NOT NULL) AND (#0 = 444))
-    Scan Comments cols=[1, 2]
+Project #0 AS SuID, #7 AS sim
+  Recommend #6 ~ #6 method=set:jaccard agg=max top=10 AS sim
+    Extend set AS courses key=#0
+      Scan Students filter=((#0 IS NOT NULL) AND (#0 <> 444))
+      Scan Comments cols=[1, 2]
+    Extend set AS courses key=#0
+      Scan Students filter=((#0 IS NOT NULL) AND (#0 = 444))
+      Scan Comments cols=[1, 2]
 "#,
     );
 }

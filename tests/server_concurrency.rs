@@ -56,7 +56,10 @@ fn concurrent_readers_observe_only_consistent_snapshots() {
     let stop = AtomicBool::new(false);
     std::thread::scope(|s| {
         s.spawn(|| {
-            let session = server.sessions().open("test", "storm");
+            let session =
+                server
+                    .sessions()
+                    .open("test", "storm", cr_relation::plan::Principal::Staff);
             let mut n = 0i64;
             while !stop.load(Ordering::Relaxed) {
                 let resp = server.dispatch(
@@ -89,7 +92,11 @@ fn concurrent_readers_observe_only_consistent_snapshots() {
             .map(|r| {
                 let server = &server;
                 s.spawn(move || {
-                    let session = server.sessions().open("test", &format!("reader-{r}"));
+                    let session = server.sessions().open(
+                        "test",
+                        &format!("reader-{r}"),
+                        cr_relation::plan::Principal::Staff,
+                    );
                     let mut last_versions: Vec<u64> = Vec::new();
                     let mut grew = false;
                     for i in 0..300 {
@@ -149,7 +156,9 @@ fn admission_sheds_deterministically_when_saturated() {
         },
         ..Default::default()
     });
-    let session = server.sessions().open("test", "shed");
+    let session = server
+        .sessions()
+        .open("test", "shed", cr_relation::plan::Principal::Staff);
 
     // Occupy the single read slot directly; with a zero-length queue the
     // next read must shed without touching the engine.
@@ -206,7 +215,9 @@ fn crash_recovery_then_serve_round_trip() {
             courserank::CourseRank::open_with_backend(Arc::new(backend.clone()), cfg).unwrap();
         assert_eq!(report.replayed_records, 0, "fresh store");
         let server = Server::new(app, ServerConfig::default()).unwrap();
-        let session = server.sessions().open("test", "gen1");
+        let session = server
+            .sessions()
+            .open("test", "gen1", cr_relation::plan::Principal::Staff);
         let resp = server.dispatch(
             session,
             &Request::AddComment {
@@ -268,7 +279,9 @@ fn crash_recovery_then_serve_round_trip() {
         "checkpoint snapshot expected"
     );
     let server = Server::new(app, ServerConfig::default()).unwrap();
-    let session = server.sessions().open("test", "gen3");
+    let session = server
+        .sessions()
+        .open("test", "gen3", cr_relation::plan::Principal::Staff);
     match server.dispatch(
         session,
         &Request::SqlRead {
